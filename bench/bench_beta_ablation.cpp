@@ -1,0 +1,53 @@
+// E8 — Lemma 3.4 trade-off: sweep the branching factor beta at fixed n.
+//
+// Small beta => deep hierarchy => more levels of emulation overhead per
+// packet (the 2T(m/beta) * log^2 n recursion compounds); large beta =>
+// shallower tree but a beta^2 portal-construction term and thinner
+// inter-part capacity. The optimum sits in between — the paper picks
+// beta = 2^Theta(sqrt(log n log log n)).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace amix;
+  bench::banner("E8 bench_beta_ablation",
+                "Lemma 3.4: build + route cost as a function of beta");
+
+  const NodeId n = bench::large_mode() ? 1024 : 512;
+  Rng graph_rng(bench::bench_seed() * 17 + 5);
+  const Graph g = gen::random_regular(n, 8, graph_rng);
+
+  Table t({"beta", "depth", "build_rounds", "route_rounds", "route/tau",
+           "hops", "leaf", "deepest_round_cost"});
+
+  for (const std::uint32_t beta : {4u, 8u, 16u, 32u}) {
+    Rng rng(bench::bench_seed() * 29 + beta);
+    RoundLedger build;
+    HierarchyParams hp;
+    hp.beta = beta;
+    hp.seed = bench::bench_seed() + beta;
+    const Hierarchy h = Hierarchy::build(g, hp, build);
+
+    const auto reqs = permutation_instance(g, rng);
+    HierarchicalRouter router(h);
+    RoundLedger ledger;
+    const RouteStats rs = router.route(reqs, ledger, rng);
+    AMIX_CHECK(rs.delivered == reqs.size());
+
+    t.row()
+        .add(std::uint64_t{beta})
+        .add(std::uint64_t{h.depth()})
+        .add(build.total())
+        .add(rs.total_rounds)
+        .add(static_cast<double>(rs.total_rounds) / h.stats().tau_mix, 1)
+        .add(rs.hop_rounds)
+        .add(rs.leaf_rounds)
+        .add(h.stats().deepest_round_cost);
+  }
+  t.print_report(std::cout, "E8.beta");
+  std::cout << "reading guide: route_rounds should be minimized at an\n"
+               "intermediate beta (deeper hierarchies compound emulation\n"
+               "overhead; beta=default_beta(n)="
+            << default_beta(n) << " for n=" << n << ").\n";
+  return 0;
+}

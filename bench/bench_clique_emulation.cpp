@@ -1,0 +1,59 @@
+// E4 — Theorem 1.3 corollary: clique emulation on G(n,p) in O~(1/p + log n)
+// phases of routing, against the Omega(n / h(G)) cut lower bound.
+//
+// Fixed n, sweep p above the connectivity threshold: the phase count must
+// track 1/p (each node has Theta(np) ports and n-1 messages), and rounds
+// divided by the n/h(G) lower bound must stay within a slowly-varying
+// (subpolynomial) envelope.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace amix;
+  bench::banner("E4 bench_clique_emulation",
+                "Theorem 1.3: all-to-all on G(n,p); phases ~ 1/p");
+
+  const NodeId n = bench::large_mode() ? 256 : 128;
+  const std::vector<double> ps = {0.08, 0.12, 0.2, 0.35, 0.6};
+
+  Table t({"n", "p", "1/p", "h(G)~", "n/h (lower bnd)", "phases",
+           "phases*p", "rounds", "rounds/(n/h)"});
+
+  std::vector<double> inv_p, phases_series;
+  for (const double p : ps) {
+    Rng rng(bench::bench_seed() * 97 + static_cast<std::uint64_t>(p * 1000));
+    const Graph g = gen::connected_gnp(n, p, rng);
+    const double h_est = edge_expansion_sweep(g);
+
+    RoundLedger build;
+    HierarchyParams hp;
+    hp.seed = bench::bench_seed() + static_cast<std::uint64_t>(p * 100);
+    const Hierarchy hier = Hierarchy::build(g, hp, build);
+    const CliqueEmulator emu(hier);
+    RoundLedger ledger;
+    const auto stats = emu.emulate_round(ledger, rng, h_est);
+
+    inv_p.push_back(1.0 / p);
+    phases_series.push_back(stats.phases);
+
+    t.row()
+        .add(std::uint64_t{n})
+        .add(p, 2)
+        .add(1.0 / p, 1)
+        .add(h_est, 2)
+        .add(stats.lower_bound, 1)
+        .add(std::uint64_t{stats.phases})
+        .add(stats.phases * p, 2)
+        .add(stats.rounds)
+        .add(static_cast<double>(stats.rounds) / stats.lower_bound, 1);
+  }
+  t.print_report(std::cout, "E4.clique");
+
+  Table shape({"metric", "value", "expectation"});
+  shape.row()
+      .add("loglog_slope(phases vs 1/p)")
+      .add(loglog_slope(inv_p, phases_series), 3)
+      .add("~1.0 (phases proportional to 1/p)");
+  shape.print_report(std::cout, "E4.shape");
+  return 0;
+}

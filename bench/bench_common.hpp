@@ -1,0 +1,60 @@
+#pragma once
+
+// Shared helpers for the experiment binaries (E1..E9; see DESIGN.md §2.4).
+//
+// Every bench prints fixed-width tables plus CSV blocks via amix::Table.
+// Environment knobs:
+//   AMIX_BENCH_LARGE=1   extend sweeps to larger n (slower)
+//   AMIX_BENCH_SEED=<u>  change the experiment seed (default 1)
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "amix/amix.hpp"
+
+namespace amix::bench {
+
+inline bool large_mode() {
+  const char* v = std::getenv("AMIX_BENCH_LARGE");
+  return v != nullptr && v[0] == '1';
+}
+
+inline std::uint64_t bench_seed() {
+  const char* v = std::getenv("AMIX_BENCH_SEED");
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : 1;
+}
+
+/// The standard graph families of the evaluation, keyed by name.
+inline Graph make_family(const std::string& family, NodeId n, Rng& rng) {
+  if (family == "regular8") return gen::random_regular(n, 8, rng);
+  if (family == "regular6") return gen::random_regular(n, 6, rng);
+  if (family == "gnp") {
+    const double p = 2.5 * std::log(static_cast<double>(n)) / n;
+    return gen::connected_gnp(n, p, rng);
+  }
+  if (family == "hypercube") {
+    std::uint32_t dim = 0;
+    while ((NodeId{1} << (dim + 1)) <= n) ++dim;
+    return gen::hypercube(dim);
+  }
+  if (family == "torus") {
+    NodeId side = 2;
+    while ((side + 1) * (side + 1) <= n) ++side;
+    return gen::torus2d(side);
+  }
+  if (family == "ring") return gen::ring(n);
+  AMIX_CHECK_MSG(false, "unknown family");
+  return {};
+}
+
+/// Header banner shared by all experiment binaries.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "\n################################################\n"
+            << "# " << id << " — " << claim << "\n"
+            << "# seed=" << bench_seed()
+            << (large_mode() ? " (large mode)" : "") << "\n"
+            << "################################################\n";
+}
+
+}  // namespace amix::bench

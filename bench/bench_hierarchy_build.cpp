@@ -1,0 +1,60 @@
+// E7 — Lemmas 3.1-3.3: hierarchical-embedding construction cost, by stage.
+//
+// Per size: the build's round breakdown (leader+seed / G0 / levels /
+// portals), the measured per-level emulation overheads (Lemma 3.1's
+// O(log^2 n) factors), Las Vegas retries, and the deepest overlay's total
+// round cost (the compounding Lemma 3.2 warns about).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace amix;
+  bench::banner("E7 bench_hierarchy_build",
+                "Lemmas 3.1-3.3: construction cost by stage");
+
+  std::vector<NodeId> sizes = {256, 512, 1024};
+  if (bench::large_mode()) sizes.push_back(2048);
+
+  Table t({"n", "beta", "depth", "tau_mix", "retries", "total_rounds",
+           "seed_bits_phase", "g0_phase", "levels_phase", "portals_phase",
+           "g0_round_cost", "deepest_round_cost"});
+  Table emul({"n", "level", "emul_parent_rounds", "log2n^2"});
+
+  for (const NodeId n : sizes) {
+    Rng rng(bench::bench_seed() * 131 + n);
+    const Graph g = gen::random_regular(n, 8, rng);
+    RoundLedger ledger;
+    HierarchyParams hp;
+    hp.seed = bench::bench_seed() + 3 * n;
+    const Hierarchy h = Hierarchy::build(g, hp, ledger);
+    const auto& s = h.stats();
+
+    t.row()
+        .add(std::uint64_t{n})
+        .add(std::uint64_t{s.beta})
+        .add(std::uint64_t{s.depth})
+        .add(std::uint64_t{s.tau_mix})
+        .add(std::uint64_t{s.retries})
+        .add(ledger.total())
+        .add(ledger.phase_total("leader+seed"))
+        .add(ledger.phase_total("g0-embed"))
+        .add(ledger.phase_total("levels"))
+        .add(ledger.phase_total("portals"))
+        .add(s.g0_round_cost)
+        .add(s.deepest_round_cost);
+
+    const double l2 = std::log2(static_cast<double>(n));
+    for (std::size_t i = 0; i < s.emul_parent_rounds.size(); ++i) {
+      emul.row()
+          .add(std::uint64_t{n})
+          .add(static_cast<std::uint64_t>(i + 1))
+          .add(s.emul_parent_rounds[i])
+          .add(l2 * l2, 1);
+    }
+  }
+  t.print_report(std::cout, "E7.build");
+  emul.print_report(std::cout, "E7.emulation-overheads");
+  std::cout << "Lemma 3.1 check: emul_parent_rounds should track log2n^2 up\n"
+               "to a modest constant, level after level.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E9 — Section 4's closing claim: approximate min cut via the same
+// machinery. Tree-packing approximation vs exact Stoer-Wagner on planted-
+// bottleneck instances and standard families; per-tree rounds charged from
+// a real hierarchical MST run on the same graph.
+
+#include <set>
+
+#include "bench_common.hpp"
+
+namespace {
+
+amix::Graph planted_bottleneck(amix::NodeId half, std::uint32_t bridge_edges,
+                               amix::Rng& rng) {
+  using namespace amix;
+  const Graph a = gen::random_regular(half, 6, rng);
+  const Graph b = gen::random_regular(half, 6, rng);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    edges.emplace_back(a.edge_u(e), a.edge_v(e));
+  }
+  for (EdgeId e = 0; e < b.num_edges(); ++e) {
+    edges.emplace_back(b.edge_u(e) + half, b.edge_v(e) + half);
+  }
+  std::set<std::uint64_t> used;
+  while (used.size() < bridge_edges) {
+    const NodeId u = static_cast<NodeId>(rng.next_below(half));
+    const NodeId v = static_cast<NodeId>(half + rng.next_below(half));
+    if (used.insert((static_cast<std::uint64_t>(u) << 32) | v).second) {
+      edges.emplace_back(u, v);
+    }
+  }
+  return Graph::from_edges(2 * half, edges);
+}
+
+}  // namespace
+
+int main() {
+  using namespace amix;
+  bench::banner("E9 bench_mincut",
+                "Section 4: tree-packing min cut vs exact Stoer-Wagner");
+
+  struct Instance {
+    std::string name;
+    Graph g;
+  };
+  Rng rng(bench::bench_seed() * 41 + 11);
+  std::vector<Instance> instances;
+  instances.push_back({"planted-2", planted_bottleneck(64, 2, rng)});
+  instances.push_back({"planted-5", planted_bottleneck(64, 5, rng)});
+  instances.push_back({"planted-9", planted_bottleneck(96, 9, rng)});
+  instances.push_back({"barbell-128", gen::barbell(128)});
+  instances.push_back({"regular6-128", gen::random_regular(128, 6, rng)});
+  instances.push_back({"hypercube-128", gen::hypercube(7)});
+
+  Table t({"graph", "n", "exact_cut", "approx_cut", "ratio", "trees",
+           "mincut_rounds", "per_tree_rounds"});
+
+  for (auto& [name, g] : instances) {
+    // Charge each packed tree what a real distributed MST run costs here.
+    RoundLedger mst_ledger;
+    HierarchyParams hp;
+    hp.seed = bench::bench_seed() + g.num_nodes();
+    const Hierarchy h = Hierarchy::build(g, hp, mst_ledger);
+    Rng wrng = rng.split();
+    const Weights w = distinct_random_weights(g, wrng);
+    const MstStats mst = HierarchicalBoruvka(h, w).run(mst_ledger);
+    AMIX_CHECK(is_exact_mst(g, w, mst.edges));
+
+    RoundLedger ledger;
+    const auto stats = approx_mincut_tree_packing(g, rng, ledger, mst.rounds);
+    const auto exact = stoer_wagner_mincut(g);
+    const double ratio =
+        static_cast<double>(stats.cut_value) / static_cast<double>(exact);
+    AMIX_CHECK_MSG(stats.cut_value >= exact && stats.cut_value <= 2 * exact,
+                   "tree-packing approximation out of its guarantee");
+
+    t.row()
+        .add(name)
+        .add(std::uint64_t{g.num_nodes()})
+        .add(exact)
+        .add(stats.cut_value)
+        .add(ratio, 3)
+        .add(std::uint64_t{stats.trees})
+        .add(stats.rounds)
+        .add(mst.rounds);
+  }
+  t.print_report(std::cout, "E9.mincut");
+  return 0;
+}

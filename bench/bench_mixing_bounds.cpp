@@ -1,0 +1,77 @@
+// E5 — Lemma 2.3: tau_mix_bar <= 8 (Delta/h(G))^2 ln n for the
+// 2Delta-regular walk, across the mixing spectrum.
+//
+// Families where h is known analytically or via the sweep estimate; the
+// measured column is the exact Definition 2.1/2.2 mixing time (dense
+// distribution evolution, max over sampled starts + extremal nodes).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace amix;
+  bench::banner("E5 bench_mixing_bounds",
+                "Lemma 2.3: measured 2Delta-regular mixing vs Cheeger bound");
+
+  struct Instance {
+    std::string name;
+    Graph g;
+    double h;  // <= true h(G); 0 = use sweep estimate
+  };
+  Rng rng(bench::bench_seed() * 11 + 3);
+  std::vector<Instance> instances;
+  instances.push_back({"complete-64", gen::complete(64), 32.0});
+  instances.push_back({"ring-64", gen::ring(64), 2.0 / 32.0});
+  instances.push_back({"ring-128", gen::ring(128), 2.0 / 64.0});
+  instances.push_back({"torus-64", gen::torus2d(8), 0.0});
+  instances.push_back({"hypercube-64", gen::hypercube(6), 0.0});
+  instances.push_back({"regular6-128", gen::random_regular(128, 6, rng), 0.0});
+  instances.push_back({"gnp-128", bench::make_family("gnp", 128, rng), 0.0});
+  instances.push_back({"barbell-64", gen::barbell(64), 1.0 / 32.0});
+
+  Table t({"graph", "n", "Delta", "h(G)", "lemma2.3 bound", "measured",
+           "bound/measured", "holds"});
+
+  for (auto& [name, g, h] : instances) {
+    if (h == 0.0) h = edge_expansion_sweep(g);
+    const double bound = lemma23_bound(g, h);
+    Rng probe = rng.split();
+    const auto measured = mixing_time_sampled(
+        g, WalkKind::kRegular2Delta, 6, probe,
+        static_cast<std::uint32_t>(std::min(4.0 * bound + 1000, 4.0e8)));
+    const bool holds = measured <= bound;
+    t.row()
+        .add(name)
+        .add(std::uint64_t{g.num_nodes()})
+        .add(std::uint64_t{g.max_degree()})
+        .add(h, 4)
+        .add(bound, 0)
+        .add(std::uint64_t{measured})
+        .add(bound / std::max<std::uint32_t>(measured, 1), 1)
+        .add(holds ? "yes" : "NO");
+    AMIX_CHECK_MSG(holds, "Lemma 2.3 violated");
+  }
+  t.print_report(std::cout, "E5.mixing");
+
+  // Lazy-walk mixing across the spectrum (the tau_mix the theorems use).
+  Table t2({"graph", "tau_mix(lazy)", "family class"});
+  Rng probe2 = rng.split();
+  t2.row()
+      .add("regular6-128")
+      .add(std::uint64_t{mixing_time_sampled(
+          gen::random_regular(128, 6, rng), WalkKind::kLazy, 6, probe2,
+          1u << 22)})
+      .add("expander: polylog");
+  t2.row()
+      .add("torus-121")
+      .add(std::uint64_t{mixing_time_sampled(gen::torus2d(11),
+                                             WalkKind::kLazy, 6, probe2,
+                                             1u << 22)})
+      .add("torus: ~n");
+  t2.row()
+      .add("ring-128")
+      .add(std::uint64_t{mixing_time_sampled(gen::ring(128), WalkKind::kLazy,
+                                             6, probe2, 1u << 24)})
+      .add("ring: ~n^2");
+  t2.print_report(std::cout, "E5.spectrum");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// E2 — Theorem 1.1: MST in tau_mix * 2^O(sqrt(log n log log n)) rounds.
+//
+// For each family and size: build the hierarchy, run the hierarchical
+// Boruvka, verify against Kruskal, and report rounds, rounds/tau_mix,
+// iteration counts, and the Lemma 4.1 telemetry. The shape table reports
+// the log-log slope of rounds/tau_mix against n.
+
+#include <map>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace amix;
+  bench::banner("E2 bench_mst_scaling",
+                "Theorem 1.1: MST rounds ~ tau_mix * subpoly(n)");
+
+  const std::vector<std::string> families = {"regular8", "gnp"};
+  std::vector<NodeId> sizes = {256, 384, 512, 768};
+  if (bench::large_mode()) sizes.push_back(1024);
+
+  Table t({"family", "n", "hdepth", "tau_mix", "build_rounds", "mst_rounds",
+           "mst/tau", "iters", "max_depth", "max_indeg/deg", "verified"});
+  // Slopes per constant hierarchy depth (see E1 for why).
+  std::map<std::pair<std::string, std::uint32_t>,
+           std::pair<std::vector<double>, std::vector<double>>>
+      series;
+
+  for (const auto& family : families) {
+    for (const NodeId n : sizes) {
+      Rng rng(bench::bench_seed() * 7 + n);
+      const Graph g = bench::make_family(family, n, rng);
+      const Weights w = distinct_random_weights(g, rng);
+
+      RoundLedger ledger;
+      HierarchyParams hp;
+      hp.seed = bench::bench_seed() + 13 * n;
+      const Hierarchy h = Hierarchy::build(g, hp, ledger);
+      const std::uint64_t build_rounds = ledger.total();
+
+      const MstStats stats = HierarchicalBoruvka(h, w).run(ledger);
+      const bool ok = is_exact_mst(g, w, stats.edges);
+      AMIX_CHECK(ok);
+
+      const double tau = h.stats().tau_mix;
+      const double ratio = static_cast<double>(stats.rounds) / tau;
+      series[{family, h.depth()}].first.push_back(n);
+      series[{family, h.depth()}].second.push_back(ratio);
+
+      t.row()
+          .add(family)
+          .add(std::uint64_t{n})
+          .add(std::uint64_t{h.depth()})
+          .add(std::uint64_t{h.stats().tau_mix})
+          .add(build_rounds)
+          .add(stats.rounds)
+          .add(ratio, 1)
+          .add(std::uint64_t{stats.iterations})
+          .add(std::uint64_t{stats.max_tree_depth})
+          .add(stats.max_indegree_over_degree, 2)
+          .add(ok ? "yes" : "NO");
+    }
+  }
+  t.print_report(std::cout, "E2.mst");
+
+  Table shape({"family", "hdepth", "points", "loglog_slope(mst/tau vs n)",
+               "verdict"});
+  for (const auto& [key, xy] : series) {
+    if (xy.first.size() < 2) continue;
+    const double slope = loglog_slope(xy.first, xy.second);
+    shape.row()
+        .add(key.first)
+        .add(std::uint64_t{key.second})
+        .add(static_cast<std::uint64_t>(xy.first.size()))
+        .add(slope, 3)
+        .add(slope < 1.3 ? "subpolynomial-consistent" : "SUSPICIOUS");
+  }
+  shape.print_report(std::cout, "E2.shape");
+  return 0;
+}

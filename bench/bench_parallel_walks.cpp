@@ -1,0 +1,70 @@
+// E6 — Lemmas 2.4 / 2.5: parallel random-walk load and schedule bounds.
+//
+// k * d(v) walks per node on an expander, T steps:
+//  * Lemma 2.4: peak walks resident at any node = O(k d(v) + log n);
+//  * Lemma 2.5: total schedule = O((k + log n) * T) rounds.
+// Sweep k and report measured/bound ratios (they must stay bounded by a
+// constant as k grows).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace amix;
+  bench::banner("E6 bench_parallel_walks",
+                "Lemmas 2.4/2.5: load O(k d + log n), schedule O((k+log n)T)");
+
+  const NodeId n = bench::large_mode() ? 2048 : 1024;
+  const std::uint32_t d = 8, T = 40;
+  Rng rng(bench::bench_seed() * 101 + 9);
+  const Graph g = gen::random_regular(n, d, rng);
+  const double logn = std::log2(static_cast<double>(n));
+  BaseComm base(g);
+
+  Table t({"k", "walks", "T", "max_node_load", "load_bound(k*d+log n)",
+           "load_ratio", "rounds", "round_bound((k+log n)*T)",
+           "round_ratio"});
+
+  std::vector<double> ks, ratios;
+  for (const std::uint32_t k : {1u, 2u, 4u, 8u, 16u}) {
+    ParallelWalkEngine engine(base, rng.split());
+    std::vector<std::uint32_t> starts;
+    starts.reserve(static_cast<std::size_t>(n) * d * k);
+    for (NodeId v = 0; v < n; ++v) {
+      for (std::uint32_t i = 0; i < k * g.degree(v); ++i) starts.push_back(v);
+    }
+    RoundLedger ledger;
+    WalkStats stats;
+    engine.run(starts, WalkKind::kLazy, T, ledger, &stats);
+
+    const double load_bound = k * d + logn;
+    const double round_bound = (k + logn) * T;
+    const double load_ratio = stats.max_node_load / load_bound;
+    const double round_ratio =
+        static_cast<double>(stats.base_rounds) / round_bound;
+    ks.push_back(k);
+    ratios.push_back(round_ratio);
+
+    t.row()
+        .add(std::uint64_t{k})
+        .add(static_cast<std::uint64_t>(starts.size()))
+        .add(std::uint64_t{T})
+        .add(std::uint64_t{stats.max_node_load})
+        .add(load_bound, 1)
+        .add(load_ratio, 2)
+        .add(stats.base_rounds)
+        .add(round_bound, 1)
+        .add(round_ratio, 2);
+
+    AMIX_CHECK_MSG(load_ratio < 4.0, "Lemma 2.4 bound violated");
+    AMIX_CHECK_MSG(round_ratio < 4.0, "Lemma 2.5 bound violated");
+  }
+  t.print_report(std::cout, "E6.walks");
+
+  Table shape({"metric", "value", "expectation"});
+  shape.row()
+      .add("loglog_slope(round_ratio vs k)")
+      .add(loglog_slope(ks, ratios), 3)
+      .add("~0 (ratio constant in k)");
+  shape.print_report(std::cout, "E6.shape");
+  return 0;
+}

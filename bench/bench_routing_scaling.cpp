@@ -1,0 +1,101 @@
+// E1 — Theorem 1.2: permutation routing in tau_mix * 2^O(sqrt(log n loglog n)).
+//
+// For each family and size: build the hierarchy, route a random permutation
+// instance with the hierarchical router, and run the two baselines. The
+// theorem's shape check is the last table: the log-log slope of
+// (routing rounds / tau_mix) against n, which must stay far below any fixed
+// power of n (the subpolynomial factor), and the per-family ratio series.
+
+#include <map>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace amix;
+  bench::banner("E1 bench_routing_scaling",
+                "Theorem 1.2: permutation routing ~ tau_mix * subpoly(n)");
+
+  const std::vector<std::string> families = {"regular8", "gnp", "hypercube"};
+  std::vector<NodeId> sizes = {256, 384, 512, 768, 1024};
+  if (bench::large_mode()) sizes.push_back(2048);
+
+  Table t({"family", "n", "depth", "tau_mix", "build_rounds", "route_rounds",
+           "route/tau", "prep", "hops", "leaf", "max_vid_load", "sp_rounds",
+           "walk_undelivered"});
+
+  // (family, hierarchy depth) -> (n series, route/tau series). The
+  // subpolynomial factor is smooth only at constant depth; depth
+  // transitions multiply the cost by another emulation layer (Lemma 3.2),
+  // so slopes are computed per depth segment.
+  std::map<std::pair<std::string, std::uint32_t>,
+           std::pair<std::vector<double>, std::vector<double>>>
+      series;
+
+  for (const auto& family : families) {
+    for (const NodeId n : sizes) {
+      Rng rng(bench::bench_seed() * 1000003 + n);
+      const Graph g = bench::make_family(family, n, rng);
+
+      RoundLedger build_ledger;
+      HierarchyParams hp;
+      hp.seed = bench::bench_seed() + n;
+      const Hierarchy h = Hierarchy::build(g, hp, build_ledger);
+
+      const auto reqs = permutation_instance(g, rng);
+      HierarchicalRouter router(h);
+      RoundLedger route_ledger;
+      const RouteStats rs = router.route(reqs, route_ledger, rng);
+      AMIX_CHECK(rs.delivered == reqs.size());
+
+      const ShortestPathRouter sp(g);
+      RoundLedger sp_ledger;
+      const auto sps = sp.route(reqs, sp_ledger);
+
+      const RandomWalkRouter wr(g);
+      RoundLedger wr_ledger;
+      const auto wrs =
+          wr.route(reqs, wr_ledger, rng, 4ULL * h.stats().tau_mix);
+
+      const double tau = h.stats().tau_mix;
+      const double ratio = static_cast<double>(rs.total_rounds) / tau;
+      series[{family, h.depth()}].first.push_back(n);
+      series[{family, h.depth()}].second.push_back(ratio);
+
+      t.row()
+          .add(family)
+          .add(std::uint64_t{n})
+          .add(std::uint64_t{h.depth()})
+          .add(std::uint64_t{h.stats().tau_mix})
+          .add(build_ledger.total())
+          .add(rs.total_rounds)
+          .add(ratio, 1)
+          .add(rs.prep_rounds)
+          .add(rs.hop_rounds)
+          .add(rs.leaf_rounds)
+          .add(std::uint64_t{rs.max_vid_load})
+          .add(sps.rounds)
+          .add(std::uint64_t{wrs.undelivered});
+    }
+  }
+  t.print_report(std::cout, "E1.routing");
+
+  Table shape({"family", "depth", "points",
+               "loglog_slope(route/tau vs n)", "verdict"});
+  for (const auto& [key, xy] : series) {
+    if (xy.first.size() < 2) continue;
+    const double slope = loglog_slope(xy.first, xy.second);
+    // 2^O(sqrt(log n log log n)) has vanishing log-log slope at constant
+    // depth; anything comfortably below linear supports the claim here.
+    shape.row()
+        .add(key.first)
+        .add(std::uint64_t{key.second})
+        .add(static_cast<std::uint64_t>(xy.first.size()))
+        .add(slope, 3)
+        .add(slope < 1.0 ? "subpolynomial-consistent" : "SUSPICIOUS");
+  }
+  shape.print_report(std::cout, "E1.shape");
+  std::cout << "note: a depth transition (extra hierarchy level) multiplies\n"
+               "cost by another measured emulation layer — Lemma 3.2's\n"
+               "compounding — so slopes are per constant-depth segment.\n";
+  return 0;
+}

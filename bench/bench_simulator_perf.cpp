@@ -1,0 +1,97 @@
+// Simulator wall-clock performance (google-benchmark): how fast the
+// substrate itself runs on this machine. Not a paper experiment — it
+// answers "can I afford larger sweeps?" (walk steps/sec, packets/sec,
+// kernel rounds/sec).
+
+#include <benchmark/benchmark.h>
+
+#include "amix/amix.hpp"
+
+namespace {
+
+using namespace amix;
+
+void BM_WalkEngineSteps(benchmark::State& state) {
+  Rng rng(7);
+  const Graph g = gen::random_regular(1024, 8, rng);
+  BaseComm base(g);
+  std::vector<std::uint32_t> starts;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (int i = 0; i < 8; ++i) starts.push_back(v);
+  }
+  for (auto _ : state) {
+    ParallelWalkEngine engine(base, rng.split());
+    RoundLedger ledger;
+    engine.run(starts, WalkKind::kLazy,
+               static_cast<std::uint32_t>(state.range(0)), ledger, nullptr);
+    benchmark::DoNotOptimize(ledger.total());
+  }
+  state.SetItemsProcessed(state.iterations() * starts.size() * state.range(0));
+}
+BENCHMARK(BM_WalkEngineSteps)->Arg(8)->Arg(32);
+
+void BM_KernelRounds(benchmark::State& state) {
+  Rng rng(9);
+  const Graph g = gen::random_regular(512, 8, rng);
+  for (auto _ : state) {
+    RoundLedger ledger;
+    congest::SyncNetwork net(g, ledger);
+    net.run_rounds(
+        [](NodeId, const congest::Inbox&, congest::Outbox& out) {
+          out.send(0, congest::Message{1, 2});
+        },
+        static_cast<std::uint32_t>(state.range(0)));
+    benchmark::DoNotOptimize(ledger.total());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes() *
+                          state.range(0));
+}
+BENCHMARK(BM_KernelRounds)->Arg(16);
+
+void BM_HierarchyBuild(benchmark::State& state) {
+  Rng rng(11);
+  const Graph g =
+      gen::random_regular(static_cast<NodeId>(state.range(0)), 8, rng);
+  for (auto _ : state) {
+    RoundLedger ledger;
+    HierarchyParams hp;
+    hp.seed = 5;
+    const Hierarchy h = Hierarchy::build(g, hp, ledger);
+    benchmark::DoNotOptimize(h.depth());
+  }
+}
+BENCHMARK(BM_HierarchyBuild)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_RoutePermutation(benchmark::State& state) {
+  Rng rng(13);
+  const Graph g =
+      gen::random_regular(static_cast<NodeId>(state.range(0)), 8, rng);
+  RoundLedger build;
+  HierarchyParams hp;
+  hp.seed = 7;
+  const Hierarchy h = Hierarchy::build(g, hp, build);
+  HierarchicalRouter router(h);
+  for (auto _ : state) {
+    const auto reqs = permutation_instance(g, rng);
+    RoundLedger ledger;
+    const auto stats = router.route(reqs, ledger, rng);
+    benchmark::DoNotOptimize(stats.total_rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RoutePermutation)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_KruskalOracle(benchmark::State& state) {
+  Rng rng(15);
+  const Graph g =
+      gen::random_regular(static_cast<NodeId>(state.range(0)), 8, rng);
+  const Weights w = distinct_random_weights(g, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kruskal_mst(g, w).size());
+  }
+}
+BENCHMARK(BM_KruskalOracle)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Scenario: congested-clique emulation on a datacenter-style random graph.
+//
+// Theorem 1.3's corollary: a G(n,p) network above the connectivity
+// threshold can emulate one round of the congested clique — every node
+// sends a distinct O(log n)-bit message to every other node, the all-to-all
+// personalized exchange at the heart of shuffle/allreduce steps — in
+// ~O(1/p + log n) phases of routing. This example sweeps p on a fixed
+// cluster and reports phases and rounds against the Omega(n/h(G)) cut bound.
+//
+// Run:  ./example_cluster_allreduce [n]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "amix/amix.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amix;
+  const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 96;
+
+  Rng rng(777);
+  Table t({"p", "avg_degree", "h(G)~", "phases", "phases*p", "rounds",
+           "n/h lower bnd"});
+
+  for (const double p : {0.12, 0.2, 0.35, 0.6}) {
+    const Graph g = gen::connected_gnp(n, p, rng);
+    const double h_est = edge_expansion_sweep(g);
+
+    RoundLedger build;
+    HierarchyParams hp;
+    hp.seed = 1000 + static_cast<std::uint64_t>(p * 100);
+    const Hierarchy h = Hierarchy::build(g, hp, build);
+
+    const CliqueEmulator emu(h);
+    RoundLedger ledger;
+    const auto stats = emu.emulate_round(ledger, rng, h_est);
+
+    double avg_deg = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) avg_deg += g.degree(v);
+    avg_deg /= g.num_nodes();
+
+    t.row()
+        .add(p, 2)
+        .add(avg_deg, 1)
+        .add(h_est, 2)
+        .add(std::uint64_t{stats.phases})
+        .add(stats.phases * p, 2)
+        .add(stats.rounds)
+        .add(stats.lower_bound, 1);
+  }
+  t.print_report(std::cout, "clique emulation on G(n,p), n=" +
+                                std::to_string(n));
+  std::cout << "phases*p staying ~constant is the O(1/p) corollary; denser\n"
+               "clusters emulate the clique in proportionally fewer "
+               "phases.\n";
+
+  // The payoff: run a congested-clique ALGORITHM through the emulation —
+  // full Boruvka needs only O(log n) clique rounds.
+  {
+    const Graph g = gen::connected_gnp(n, 0.2, rng);
+    const Weights w = distinct_random_weights(g, rng);
+    RoundLedger ledger;
+    HierarchyParams hp;
+    hp.seed = 4242;
+    const Hierarchy h = Hierarchy::build(g, hp, ledger);
+    const auto stats = clique_mst(h, w, ledger);
+    std::cout << "\nclique-algorithm demo: MST via clique emulation in "
+              << stats.clique_rounds << " clique rounds ("
+              << stats.rounds << " emulated CONGEST rounds); exact="
+              << (is_exact_mst(g, w, stats.edges) ? "yes" : "NO") << "\n";
+  }
+  return 0;
+}

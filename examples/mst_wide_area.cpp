@@ -1,0 +1,98 @@
+// Scenario: spanning-tree construction for a wide-area overlay.
+//
+// A service picks a minimum-latency spanning tree over its overlay links
+// (weights = measured RTTs, clustered by region). We run all three MST
+// engines on two topologies from opposite ends of the mixing spectrum —
+// a well-connected overlay (expander) and a chain-of-regions topology
+// (ring of cliques) — and verify every result against Kruskal.
+//
+// Run:  ./example_mst_wide_area [nodes_per_region] [regions]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "amix/amix.hpp"
+
+namespace {
+
+// Ring of cliques: `regions` cliques of `k` nodes, consecutive regions
+// joined by a few links — a realistic "chain of datacenters".
+amix::Graph ring_of_cliques(amix::NodeId k, amix::NodeId regions,
+                            amix::Rng& rng) {
+  using namespace amix;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId r = 0; r < regions; ++r) {
+    const NodeId base = r * k;
+    for (NodeId a = 0; a < k; ++a) {
+      for (NodeId b = a + 1; b < k; ++b) {
+        edges.emplace_back(base + a, base + b);
+      }
+    }
+    const NodeId next = ((r + 1) % regions) * k;
+    for (int link = 0; link < 2; ++link) {
+      edges.emplace_back(base + rng.next_below(k),
+                         next + rng.next_below(k));
+    }
+  }
+  // Deduplicate the random inter-region links.
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return Graph::from_edges(k * regions, edges);
+}
+
+void run_instance(const std::string& name, const amix::Graph& g,
+                  amix::Rng& rng) {
+  using namespace amix;
+  const Weights w = clustered_weights(g, rng, 8);  // RTT-like, region-biased
+
+  Table t({"engine", "rounds", "iterations", "exact"});
+
+  RoundLedger hl;
+  HierarchyParams hp;
+  hp.seed = 99 + g.num_nodes();
+  const Hierarchy h = Hierarchy::build(g, hp, hl);
+  const MstStats hs = HierarchicalBoruvka(h, w).run(hl);
+  t.row()
+      .add("hierarchical (paper)")
+      .add(hs.rounds)
+      .add(std::uint64_t{hs.iterations})
+      .add(is_exact_mst(g, w, hs.edges) ? "yes" : "NO");
+
+  RoundLedger fl;
+  const auto fs = flood_boruvka(g, w, fl);
+  t.row()
+      .add("flood/GHS baseline")
+      .add(fs.rounds)
+      .add(std::uint64_t{fs.iterations})
+      .add(is_exact_mst(g, w, fs.edges) ? "yes" : "NO");
+
+  RoundLedger pl;
+  const auto ps = pipelined_boruvka(g, w, pl);
+  t.row()
+      .add("pipelined/GKP baseline")
+      .add(ps.rounds)
+      .add(std::uint64_t{ps.iterations})
+      .add(is_exact_mst(g, w, ps.edges) ? "yes" : "NO");
+
+  t.print_report(std::cout, name + " (n=" + std::to_string(g.num_nodes()) +
+                                ", tau_mix=" +
+                                std::to_string(h.stats().tau_mix) + ")");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace amix;
+  const NodeId k = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 16;
+  const NodeId regions = argc > 2 ? static_cast<NodeId>(std::atoi(argv[2])) : 12;
+
+  Rng rng(31337);
+  run_instance("well-connected overlay (8-regular expander)",
+               gen::random_regular(k * regions, 8, rng), rng);
+  run_instance("chain of regions (ring of cliques)",
+               ring_of_cliques(k, regions, rng), rng);
+  std::cout << "note how the expander keeps tau_mix small while the chain\n"
+               "topology inflates it — exactly the regime split of the "
+               "paper.\n";
+  return 0;
+}

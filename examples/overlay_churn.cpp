@@ -1,0 +1,55 @@
+// Scenario: overlay churn.
+//
+// The paper's motivating P2P systems (Chord, DEX, self-healing expanders)
+// keep a bounded-degree expander under continuous membership churn. This
+// example drifts the topology through degree-preserving rewires epoch
+// after epoch, rebuilds the routing structure per epoch, and shows that
+// the structure cost and routing cost stay stable: expansion (and hence
+// tau_mix) is a property of the construction, not of one lucky topology.
+//
+// Run:  ./example_overlay_churn [peers] [epochs]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "amix/amix.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amix;
+  const NodeId peers =
+      argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 256;
+  const std::uint32_t epochs = argc > 2 ? std::atoi(argv[2]) : 5;
+
+  Rng rng(20260705);
+  Graph overlay = gen::random_regular(peers, 8, rng);
+
+  Table t({"epoch", "tau_mix", "build_rounds", "route_rounds", "delivered"});
+  for (std::uint32_t epoch = 0; epoch < epochs; ++epoch) {
+    RoundLedger ledger;
+    HierarchyParams hp;
+    hp.seed = 100 + epoch;
+    const Hierarchy h = Hierarchy::build(overlay, hp, ledger);
+    const std::uint64_t build = ledger.total();
+
+    HierarchicalRouter router(h);
+    const auto reqs = permutation_instance(overlay, rng);
+    const RouteStats rs = router.route(reqs, ledger, rng);
+
+    t.row()
+        .add(std::uint64_t{epoch})
+        .add(std::uint64_t{h.stats().tau_mix})
+        .add(build)
+        .add(rs.total_rounds)
+        .add(std::to_string(rs.delivered) + "/" + std::to_string(rs.packets));
+
+    // Churn: ~10% of the links are rewired before the next epoch.
+    overlay = gen::degree_preserving_rewire(
+        overlay, overlay.num_edges() / 10, rng);
+  }
+  t.print_report(std::cout, "overlay churn (" + std::to_string(peers) +
+                                " peers, 8-regular)");
+  std::cout << "tau_mix and costs stay flat across epochs: expansion is\n"
+               "maintained by the degree-preserving churn, so the paper's\n"
+               "parameterization keeps paying off after every rebuild.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Scenario: point-to-point messaging in a peer-to-peer overlay.
+//
+// The paper's introduction motivates the mixing-time parameterization with
+// P2P/overlay networks (Chord, DEX, self-healing expanders ...): bounded-
+// degree graphs maintained to have good expansion, where no node knows the
+// global topology. This example builds such an overlay (union of random
+// matchings, the classic construction), simulates a "DHT lookup storm" —
+// every peer messages a random other peer — and compares:
+//   * the paper's hierarchical router (after a one-time structure build),
+//   * naive store-and-forward over BFS paths (needs global routing tables!),
+//   * random-walk forwarding (needs nothing, delivers almost nothing).
+//
+// Run:  ./example_p2p_overlay [peers] [degree]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "amix/amix.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amix;
+  const NodeId peers =
+      argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 512;
+  const std::uint32_t degree = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  Rng rng(4242);
+  const Graph overlay = gen::matching_expander(peers, degree, rng);
+  std::cout << "p2p overlay: " << peers << " peers, degree " << degree
+            << ", diameter~" << diameter_double_sweep(overlay) << "\n";
+
+  RoundLedger build;
+  HierarchyParams hp;
+  const Hierarchy h = Hierarchy::build(overlay, hp, build);
+  std::cout << "one-time structure build: " << build.total()
+            << " rounds (tau_mix=" << h.stats().tau_mix << ")\n\n";
+
+  // The lookup storm: a random permutation of peer-to-peer requests.
+  const auto storm = permutation_instance(overlay, rng);
+
+  Table t({"router", "delivered", "undelivered", "rounds", "notes"});
+
+  {
+    HierarchicalRouter router(h);
+    RoundLedger ledger;
+    const auto rs = router.route(storm, ledger, rng);
+    t.row()
+        .add("hierarchical (this paper)")
+        .add(std::uint64_t{rs.delivered})
+        .add(std::uint64_t{rs.packets - rs.delivered})
+        .add(rs.total_rounds)
+        .add("local knowledge only");
+  }
+  {
+    const ShortestPathRouter router(overlay);
+    RoundLedger ledger;
+    const auto rs = router.route(storm, ledger);
+    t.row()
+        .add("store-and-forward BFS")
+        .add(std::uint64_t{rs.delivered})
+        .add(std::uint64_t{rs.undelivered})
+        .add(rs.rounds)
+        .add("needs global routing tables");
+  }
+  {
+    const RandomWalkRouter router(overlay);
+    RoundLedger ledger;
+    const auto rs =
+        router.route(storm, ledger, rng, 4ULL * h.stats().tau_mix);
+    t.row()
+        .add("random-walk forwarding")
+        .add(std::uint64_t{rs.delivered})
+        .add(std::uint64_t{rs.undelivered})
+        .add(rs.rounds)
+        .add("walk budget 4 x tau_mix");
+  }
+  t.print_report(std::cout, "p2p lookup storm");
+
+  std::cout << "takeaway: walks of mixing length land on *random* peers —\n"
+               "the hierarchy is what turns mixing into addressable "
+               "routing.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+#pragma once
+
+// Umbrella header: the public API of the amix library.
+//
+// amix reproduces "Distributed MST and Routing in Almost Mixing Time"
+// (Ghaffari, Kuhn, Su — PODC 2017) as a single-machine CONGEST-round
+// simulation. Typical usage:
+//
+//   amix::Rng rng(1);
+//   amix::Graph g = amix::gen::random_regular(1024, 8, rng);
+//   amix::RoundLedger ledger;
+//   amix::Hierarchy h = amix::Hierarchy::build(g, {}, ledger);
+//
+//   amix::HierarchicalRouter router(h);
+//   auto reqs = amix::permutation_instance(g, rng);
+//   auto stats = router.route(reqs, ledger, rng);       // Theorem 1.2
+//
+//   amix::Weights w = amix::distinct_random_weights(g, rng);
+//   amix::HierarchicalBoruvka mst(h, w);
+//   auto mst_stats = mst.run(ledger);                   // Theorem 1.1
+//
+// See README.md for the architecture overview and DESIGN.md for the
+// paper-to-module map.
+
+#include "congest/comm_graph.hpp"
+#include "congest/network.hpp"
+#include "congest/primitives.hpp"
+#include "congest/round_ledger.hpp"
+#include "congest/token_transport.hpp"
+#include "graph/exact_mincut.hpp"
+#include "graph/exact_mst.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/spectral.hpp"
+#include "graph/traversal.hpp"
+#include "graph/weighted_graph.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "mincut/tree_packing.hpp"
+#include "mst/baseline_mst.hpp"
+#include "mst/clique_mst.hpp"
+#include "mst/hierarchical_boruvka.hpp"
+#include "mst/kernel_boruvka.hpp"
+#include "mst/verify.hpp"
+#include "randwalk/anonymous.hpp"
+#include "randwalk/mixing.hpp"
+#include "randwalk/tau_estimator.hpp"
+#include "randwalk/walk_engine.hpp"
+#include "routing/baseline_routers.hpp"
+#include "routing/clique_emulation.hpp"
+#include "routing/hierarchical_router.hpp"
+#include "routing/request.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"

@@ -1,0 +1,118 @@
+#pragma once
+
+// CommGraph: the communication substrate abstraction.
+//
+// The paper's construction is recursive: random walks and packet hops run
+// first on the base network G, then on the embedded overlay G_0, then on
+// the per-part overlays G_1, G_2, ... (Section 3.1). Every one of those is
+// "a graph whose single communication round costs some number of base-G
+// rounds" (Lemmas 3.1/3.2). CommGraph captures exactly that: adjacency plus
+// a measured `round_cost()` multiplier. Algorithms written against
+// CommGraph (the walk engine, the token transport, the router) therefore
+// work unchanged at every level of the hierarchy, and all their charges
+// land in base-G rounds.
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.hpp"
+
+namespace amix {
+
+class CommGraph {
+ public:
+  virtual ~CommGraph() = default;
+
+  virtual std::uint32_t num_nodes() const = 0;
+  virtual std::uint32_t degree(std::uint32_t v) const = 0;
+  virtual std::uint32_t neighbor(std::uint32_t v, std::uint32_t port) const = 0;
+
+  /// Directed-arc index of (v, port), in [0, num_arcs()): the unit of the
+  /// CONGEST capacity constraint (one message per arc per round).
+  virtual std::uint64_t arc_index(std::uint32_t v,
+                                  std::uint32_t port) const = 0;
+  virtual std::uint64_t num_arcs() const = 0;
+
+  /// Base-G rounds needed to emulate one communication round of this graph
+  /// (1 for the base graph; measured at construction for overlays).
+  virtual std::uint64_t round_cost() const = 0;
+
+  std::uint32_t max_degree() const {
+    std::uint32_t d = 0;
+    for (std::uint32_t v = 0; v < num_nodes(); ++v) {
+      d = std::max(d, degree(v));
+    }
+    return d;
+  }
+};
+
+/// The base network G as a CommGraph (round_cost == 1).
+class BaseComm final : public CommGraph {
+ public:
+  explicit BaseComm(const Graph& g) : g_(g) {
+    offsets_.resize(g.num_nodes() + 1, 0);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      offsets_[v + 1] = offsets_[v] + g.degree(v);
+    }
+  }
+
+  std::uint32_t num_nodes() const override { return g_.num_nodes(); }
+  std::uint32_t degree(std::uint32_t v) const override { return g_.degree(v); }
+  std::uint32_t neighbor(std::uint32_t v, std::uint32_t port) const override {
+    return g_.neighbor(v, port);
+  }
+  std::uint64_t arc_index(std::uint32_t v, std::uint32_t port) const override {
+    return offsets_[v] + port;
+  }
+  std::uint64_t num_arcs() const override { return g_.num_arcs(); }
+  std::uint64_t round_cost() const override { return 1; }
+
+  const Graph& graph() const { return g_; }
+
+ private:
+  const Graph& g_;
+  std::vector<std::uint64_t> offsets_;
+};
+
+/// A materialized overlay (adjacency lists + measured emulation cost):
+/// used for G_0 and every G_i[part] of the hierarchy.
+class OverlayComm final : public CommGraph {
+ public:
+  OverlayComm() = default;
+  OverlayComm(std::vector<std::vector<std::uint32_t>> adj,
+              std::uint64_t round_cost)
+      : adj_(std::move(adj)), round_cost_(round_cost) {
+    offsets_.resize(adj_.size() + 1, 0);
+    for (std::size_t v = 0; v < adj_.size(); ++v) {
+      offsets_[v + 1] = offsets_[v] + adj_[v].size();
+    }
+  }
+
+  std::uint32_t num_nodes() const override {
+    return static_cast<std::uint32_t>(adj_.size());
+  }
+  std::uint32_t degree(std::uint32_t v) const override {
+    return static_cast<std::uint32_t>(adj_[v].size());
+  }
+  std::uint32_t neighbor(std::uint32_t v, std::uint32_t port) const override {
+    return adj_[v][port];
+  }
+  std::uint64_t arc_index(std::uint32_t v, std::uint32_t port) const override {
+    return offsets_[v] + port;
+  }
+  std::uint64_t num_arcs() const override { return offsets_.back(); }
+  std::uint64_t round_cost() const override { return round_cost_; }
+
+  void set_round_cost(std::uint64_t c) { round_cost_ = c; }
+
+  std::span<const std::uint32_t> neighbors(std::uint32_t v) const {
+    return adj_[v];
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> adj_;
+  std::vector<std::uint64_t> offsets_;
+  std::uint64_t round_cost_ = 1;
+};
+
+}  // namespace amix

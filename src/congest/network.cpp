@@ -1,0 +1,57 @@
+#include "congest/network.hpp"
+
+namespace amix::congest {
+
+SyncNetwork::SyncNetwork(const Graph& g, RoundLedger& ledger)
+    : g_(g), ledger_(ledger) {
+  offsets_.resize(g.num_nodes() + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    offsets_[v + 1] = offsets_[v] + g.degree(v);
+  }
+  inbox_.assign(g.num_arcs(), std::nullopt);
+  outbox_.assign(g.num_arcs(), std::nullopt);
+}
+
+bool SyncNetwork::step(const Handler& h) {
+  bool any_sent = false;
+  for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+    const Inbox in(std::span<const std::optional<Message>>(
+        inbox_.data() + offsets_[v], g_.degree(v)));
+    Outbox out(std::span<std::optional<Message>>(outbox_.data() + offsets_[v],
+                                                 g_.degree(v)),
+               &any_sent);
+    h(v, in, out);
+  }
+  // Deliver: the message v sent on port p arrives at w = neighbor(v,p) on
+  // w's port for the same edge.
+  std::fill(inbox_.begin(), inbox_.end(), std::nullopt);
+  for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+    const auto arcs = g_.arcs(v);
+    for (std::uint32_t p = 0; p < arcs.size(); ++p) {
+      auto& slot = outbox_[offsets_[v] + p];
+      if (!slot.has_value()) continue;
+      const NodeId w = arcs[p].to;
+      const std::uint32_t q = g_.port_of(w, arcs[p].edge);
+      inbox_[offsets_[w] + q] = *slot;
+      slot.reset();
+    }
+  }
+  ++rounds_executed_;
+  ledger_.charge(1);
+  return any_sent;
+}
+
+void SyncNetwork::run_rounds(const Handler& h, std::uint32_t rounds) {
+  for (std::uint32_t r = 0; r < rounds; ++r) step(h);
+}
+
+std::uint32_t SyncNetwork::run_until_quiet(const Handler& h,
+                                           std::uint32_t max_rounds) {
+  for (std::uint32_t r = 1; r <= max_rounds; ++r) {
+    if (!step(h)) return r;
+  }
+  AMIX_CHECK_MSG(false, "run_until_quiet: did not quiesce");
+  return max_rounds;
+}
+
+}  // namespace amix::congest

@@ -1,0 +1,109 @@
+#pragma once
+
+// Synchronous message-passing kernel: the literal CONGEST model.
+//
+// Per round, every node reads the messages that arrived on its ports,
+// updates local state, and sends at most ONE message per port. A message is
+// two 64-bit words — a constant number of O(log n)-bit fields, which is the
+// CONGEST budget. The kernel enforces the per-arc capacity by construction
+// and charges exactly one ledger round per synchronous step.
+//
+// The heavy machinery of the paper does not run on this kernel (it uses the
+// congestion-faithful TokenTransport; see DESIGN.md Section 3) — the kernel
+// exists for the classic building blocks (BFS trees, leader election,
+// broadcast/convergecast, flooding MST baselines) and as ground truth for
+// tests.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "congest/round_ledger.hpp"
+#include "graph/graph.hpp"
+
+namespace amix::congest {
+
+struct Message {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// Messages visible to node v this round, indexed by v's port.
+class Inbox {
+ public:
+  explicit Inbox(std::span<const std::optional<Message>> slots)
+      : slots_(slots) {}
+
+  std::uint32_t num_ports() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+  const std::optional<Message>& at(std::uint32_t port) const {
+    return slots_[port];
+  }
+  bool empty() const {
+    for (const auto& s : slots_) {
+      if (s.has_value()) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::span<const std::optional<Message>> slots_;
+};
+
+/// Send buffer for node v this round; at most one message per port.
+class Outbox {
+ public:
+  Outbox(std::span<std::optional<Message>> slots, bool* any_sent)
+      : slots_(slots), any_sent_(any_sent) {}
+
+  void send(std::uint32_t port, Message msg) {
+    AMIX_CHECK_MSG(port < slots_.size(), "send: bad port");
+    AMIX_CHECK_MSG(!slots_[port].has_value(),
+                   "CONGEST violation: two messages on one arc in one round");
+    slots_[port] = msg;
+    *any_sent_ = true;
+  }
+
+  std::uint32_t num_ports() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+
+ private:
+  std::span<std::optional<Message>> slots_;
+  bool* any_sent_;
+};
+
+class SyncNetwork {
+ public:
+  /// handler(v, inbox, outbox) runs once per node per round.
+  using Handler = std::function<void(NodeId, const Inbox&, Outbox&)>;
+
+  SyncNetwork(const Graph& g, RoundLedger& ledger);
+
+  /// Run exactly `rounds` synchronous rounds.
+  void run_rounds(const Handler& h, std::uint32_t rounds);
+
+  /// Run until a round in which no node sends anything (that quiet round is
+  /// charged too — the nodes cannot know it was quiet in advance). Aborts
+  /// after max_rounds.
+  std::uint32_t run_until_quiet(const Handler& h, std::uint32_t max_rounds);
+
+  std::uint64_t rounds_executed() const { return rounds_executed_; }
+  const Graph& graph() const { return g_; }
+
+ private:
+  bool step(const Handler& h);  // returns true if any message was sent
+
+  const Graph& g_;
+  RoundLedger& ledger_;
+  std::vector<std::uint32_t> offsets_;          // node -> first slot
+  std::vector<std::optional<Message>> inbox_;   // per directed arc slot
+  std::vector<std::optional<Message>> outbox_;  // per directed arc slot
+  std::uint64_t rounds_executed_ = 0;
+};
+
+}  // namespace amix::congest

@@ -1,0 +1,226 @@
+#include "congest/primitives.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace amix::congest {
+
+BfsTree distributed_bfs_tree(const Graph& g, NodeId root,
+                             RoundLedger& ledger) {
+  AMIX_CHECK(root < g.num_nodes());
+  SyncNetwork net(g, ledger);
+
+  BfsTree t;
+  t.root = root;
+  t.parent.assign(g.num_nodes(), kInvalidNode);
+  t.parent_edge.assign(g.num_nodes(), kInvalidEdge);
+  t.depth.assign(g.num_nodes(), kUnreachable);
+  t.depth[root] = 0;
+
+  // State machine: a node that joined the tree in round r announces itself
+  // on all ports in round r+1; a node adopting a parent picks the lowest
+  // port that announced.
+  std::vector<bool> announced(g.num_nodes(), false);
+
+  net.run_until_quiet(
+      [&](NodeId v, const Inbox& in, Outbox& out) {
+        if (t.depth[v] == kUnreachable) {
+          for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
+            if (in.at(p).has_value()) {
+              t.parent[v] = g.neighbor(v, p);
+              t.parent_edge[v] = g.edge_at(v, p);
+              t.depth[v] = static_cast<std::uint32_t>(in.at(p)->a) + 1;
+              t.height = std::max(t.height, t.depth[v]);
+              break;
+            }
+          }
+        }
+        if (t.depth[v] != kUnreachable && !announced[v]) {
+          announced[v] = true;
+          for (std::uint32_t p = 0; p < out.num_ports(); ++p) {
+            out.send(p, Message{t.depth[v], 0});
+          }
+        }
+      },
+      2 * g.num_nodes() + 4);
+
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    AMIX_CHECK_MSG(t.depth[v] != kUnreachable,
+                   "distributed_bfs_tree: graph not connected");
+  }
+  return t;
+}
+
+NodeId elect_leader_max_id(const Graph& g, RoundLedger& ledger) {
+  SyncNetwork net(g, ledger);
+  std::vector<std::uint64_t> best(g.num_nodes());
+  std::vector<bool> dirty(g.num_nodes(), true);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) best[v] = v;
+
+  net.run_until_quiet(
+      [&](NodeId v, const Inbox& in, Outbox& out) {
+        for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
+          if (in.at(p).has_value() && in.at(p)->a > best[v]) {
+            best[v] = in.at(p)->a;
+            dirty[v] = true;
+          }
+        }
+        if (dirty[v]) {
+          dirty[v] = false;
+          for (std::uint32_t p = 0; p < out.num_ports(); ++p) {
+            out.send(p, Message{best[v], 0});
+          }
+        }
+      },
+      2 * g.num_nodes() + 4);
+
+  const std::uint64_t leader = best[0];
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    AMIX_CHECK(best[v] == leader);
+  }
+  return static_cast<NodeId>(leader);
+}
+
+void broadcast_bits(const BfsTree& tree, std::uint64_t nbits,
+                    std::uint64_t bits_per_message, RoundLedger& ledger) {
+  AMIX_CHECK(bits_per_message >= 1);
+  const std::uint64_t packets =
+      (nbits + bits_per_message - 1) / bits_per_message;
+  // Pipelined broadcast down the tree: first packet arrives at depth d
+  // after d rounds; subsequent packets stream one per round.
+  ledger.charge(tree.height + (packets > 0 ? packets - 1 : 0) + 1);
+}
+
+std::uint64_t convergecast_min(const Graph& g, const BfsTree& tree,
+                               const std::vector<std::uint64_t>& values,
+                               RoundLedger& ledger) {
+  AMIX_CHECK(values.size() == g.num_nodes());
+  SyncNetwork net(g, ledger);
+
+  // Each node waits for all tree children, then forwards the min upward.
+  std::vector<std::uint32_t> pending(g.num_nodes(), 0);
+  std::vector<std::uint64_t> acc = values;
+  std::vector<bool> sent(g.num_nodes(), false);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (tree.parent[v] != kInvalidNode) ++pending[tree.parent[v]];
+  }
+
+  net.run_until_quiet(
+      [&](NodeId v, const Inbox& in, Outbox& out) {
+        for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
+          if (in.at(p).has_value()) {
+            acc[v] = std::min(acc[v], in.at(p)->a);
+            AMIX_CHECK(pending[v] > 0);
+            --pending[v];
+          }
+        }
+        if (!sent[v] && pending[v] == 0 && tree.parent[v] != kInvalidNode) {
+          sent[v] = true;
+          out.send(g.port_of(v, tree.parent_edge[v]), Message{acc[v], 0});
+        }
+      },
+      2 * tree.height + 4);
+
+  return acc[tree.root];
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> pipelined_convergecast(
+    const Graph& g, const BfsTree& tree,
+    const std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>&
+        items,
+    RoundLedger& ledger) {
+  const NodeId n = g.num_nodes();
+  AMIX_CHECK(items.size() == n);
+  SyncNetwork net(g, ledger);
+
+  constexpr std::uint64_t kDone = std::numeric_limits<std::uint64_t>::max();
+
+  // Per-node sorted buffers and child bookkeeping. Children send their
+  // items in increasing key order; a node may forward key k only once
+  // every child's "floor" (last key received) has reached k, so equal keys
+  // are guaranteed to have merged before they move up — the classic
+  // pipeline, h + #distinct-keys rounds.
+  struct State {
+    std::map<std::uint64_t, std::uint64_t> buffer;
+    std::vector<std::uint32_t> child_ports;
+    std::vector<std::int64_t> floor;  // -1 = nothing yet; per child index
+    std::vector<bool> child_done;
+    bool done_sent = false;
+  };
+  std::vector<State> st(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const auto& [key, value] : items[v]) {
+      AMIX_CHECK_MSG(key != kDone, "key collides with the DONE sentinel");
+      const auto it = st[v].buffer.find(key);
+      if (it == st[v].buffer.end() || value < it->second) {
+        st[v].buffer[key] = value;
+      }
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (tree.parent[v] == kInvalidNode) continue;
+    const NodeId p = tree.parent[v];
+    st[p].child_ports.push_back(g.port_of(p, tree.parent_edge[v]));
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    st[v].floor.assign(st[v].child_ports.size(), -1);
+    st[v].child_done.assign(st[v].child_ports.size(), false);
+  }
+
+  net.run_until_quiet(
+      [&](NodeId v, const Inbox& in, Outbox& out) {
+        State& s = st[v];
+        // Absorb arrivals.
+        for (std::size_t c = 0; c < s.child_ports.size(); ++c) {
+          const auto& slot = in.at(s.child_ports[c]);
+          if (!slot.has_value()) continue;
+          if (slot->a == kDone) {
+            s.child_done[c] = true;
+            continue;
+          }
+          s.floor[c] = static_cast<std::int64_t>(slot->a);
+          const auto it = s.buffer.find(slot->a);
+          if (it == s.buffer.end() || slot->b < it->second) {
+            s.buffer[slot->a] = slot->b;
+          }
+        }
+        if (tree.parent[v] == kInvalidNode) return;  // root only collects
+        // May we forward our smallest key?
+        if (!s.buffer.empty()) {
+          const std::uint64_t k = s.buffer.begin()->first;
+          bool ready = true;
+          for (std::size_t c = 0; c < s.child_ports.size(); ++c) {
+            if (!s.child_done[c] &&
+                s.floor[c] < static_cast<std::int64_t>(k)) {
+              ready = false;
+              break;
+            }
+          }
+          if (ready) {
+            out.send(g.port_of(v, tree.parent_edge[v]),
+                     Message{k, s.buffer.begin()->second});
+            s.buffer.erase(s.buffer.begin());
+            return;
+          }
+        }
+        // Finished: everything forwarded and all children done.
+        if (!s.done_sent && s.buffer.empty()) {
+          bool all_done = true;
+          for (std::size_t c = 0; c < s.child_ports.size(); ++c) {
+            all_done = all_done && s.child_done[c];
+          }
+          if (all_done) {
+            s.done_sent = true;
+            out.send(g.port_of(v, tree.parent_edge[v]), Message{kDone, 0});
+          }
+        }
+      },
+      8 * n + 8 * static_cast<std::uint32_t>(items.size()) + 64);
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> result(
+      st[tree.root].buffer.begin(), st[tree.root].buffer.end());
+  return result;
+}
+
+}  // namespace amix::congest

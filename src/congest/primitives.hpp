@@ -1,0 +1,59 @@
+#pragma once
+
+// Classic CONGEST building blocks, implemented on the literal
+// message-passing kernel (SyncNetwork) so their round counts are ground
+// truth rather than formulas. Used by the MST baselines, by the shared-
+// randomness dissemination of Section 3.1.2, and heavily in tests.
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "graph/traversal.hpp"
+
+namespace amix::congest {
+
+/// Distributed BFS-tree construction by flooding from `root`.
+/// Charges the actual rounds (eccentricity(root) + 1) on the ledger.
+BfsTree distributed_bfs_tree(const Graph& g, NodeId root, RoundLedger& ledger);
+
+/// Leader election by max-ID flooding; every node learns the max ID.
+/// Returns the leader id; charges ~diameter rounds.
+NodeId elect_leader_max_id(const Graph& g, RoundLedger& ledger);
+
+/// Pipelined broadcast of `nbits` bits from the tree root to every node
+/// (e.g. the Theta(log^2 n) shared random bits for the k-wise hash).
+/// Cost: height + ceil(nbits / bits_per_message) rounds, charged on the
+/// ledger. The payload itself is handled centrally (the simulator's state
+/// is global); only the schedule is simulated.
+void broadcast_bits(const BfsTree& tree, std::uint64_t nbits,
+                    std::uint64_t bits_per_message, RoundLedger& ledger);
+
+/// Convergecast of one aggregate (e.g. a global min) up a BFS tree,
+/// executed on the kernel: charges height(tree)+1 rounds. Returns the
+/// aggregate of `values` under min.
+std::uint64_t convergecast_min(const Graph& g, const BfsTree& tree,
+                               const std::vector<std::uint64_t>& values,
+                               RoundLedger& ledger);
+
+/// Charge for a pipelined convergecast of `num_keys` independent aggregates
+/// over a tree of height `height` (the standard h + k pipeline bound used
+/// by the Garay-Kutten-Peleg style baseline).
+inline void charge_pipelined_convergecast(std::uint32_t height,
+                                          std::uint64_t num_keys,
+                                          RoundLedger& ledger) {
+  ledger.charge(height + num_keys);
+}
+
+/// The real thing, on the kernel: every node holds key->value items
+/// (e.g. per-fragment min-edge candidates); items with equal keys combine
+/// by min as they meet; each tree edge forwards one item per round,
+/// smallest-key-first (the classic upcast pipeline). Returns the combined
+/// map at the root. Tests validate the h + k charge formula against this.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> pipelined_convergecast(
+    const Graph& g, const BfsTree& tree,
+    const std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>&
+        items,
+    RoundLedger& ledger);
+
+}  // namespace amix::congest

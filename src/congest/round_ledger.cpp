@@ -1,0 +1,4 @@
+#include "congest/round_ledger.hpp"
+
+// Header-only today; this translation unit anchors the target and keeps the
+// door open for out-of-line additions without touching the build.

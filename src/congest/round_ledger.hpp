@@ -1,0 +1,74 @@
+#pragma once
+
+// RoundLedger: the single source of truth for charged CONGEST rounds.
+//
+// Every algorithm in the library reports its cost by charging this ledger;
+// benches compare algorithms by ledger totals. Charges can be tagged with a
+// phase name so the benches can break costs down by construction stage
+// (e.g. "g0-embed" / "levels" / "portals" / "route").
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace amix {
+
+class RoundLedger {
+ public:
+  void charge(std::uint64_t rounds) { total_ += rounds; }
+
+  void charge(std::string_view phase, std::uint64_t rounds) {
+    total_ += rounds;
+    for (auto& [name, sum] : phases_) {
+      if (name == phase) {
+        sum += rounds;
+        return;
+      }
+    }
+    phases_.emplace_back(std::string(phase), rounds);
+  }
+
+  std::uint64_t total() const { return total_; }
+
+  std::uint64_t phase_total(std::string_view phase) const {
+    for (const auto& [name, sum] : phases_) {
+      if (name == phase) return sum;
+    }
+    return 0;
+  }
+
+  const std::vector<std::pair<std::string, std::uint64_t>>& phases() const {
+    return phases_;
+  }
+
+  void reset() {
+    total_ = 0;
+    phases_.clear();
+  }
+
+ private:
+  std::uint64_t total_ = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> phases_;
+};
+
+/// RAII helper: accumulates into a sub-ledger, then folds the result into
+/// the parent under one phase label on destruction.
+class PhaseScope {
+ public:
+  PhaseScope(RoundLedger& parent, std::string phase)
+      : parent_(parent), phase_(std::move(phase)) {}
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+  ~PhaseScope() { parent_.charge(phase_, sub_.total()); }
+
+  RoundLedger& ledger() { return sub_; }
+
+ private:
+  RoundLedger& parent_;
+  std::string phase_;
+  RoundLedger sub_;
+};
+
+}  // namespace amix

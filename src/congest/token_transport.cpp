@@ -1,0 +1,3 @@
+#include "congest/token_transport.hpp"
+
+// Header-only; anchor translation unit.

@@ -1,0 +1,69 @@
+#pragma once
+
+// Congestion-faithful bulk token movement (the Lemma 2.5 schedule).
+//
+// A "parallel step" moves many tokens, each across one chosen arc of a
+// CommGraph. Since every arc carries one O(log n)-bit message per round,
+// a step whose most-loaded arc carries L tokens needs exactly L rounds of
+// that graph (the optimal realization of the paper's fixed-length phases).
+// TokenTransport tallies per-arc loads for a step, reports the max, and
+// charges `max_load * round_cost()` base rounds to the ledger.
+//
+// It also tracks the Lemma 2.4 statistic (max tokens resident at a node)
+// so tests/benches can check the O(k d(v) + log n) bound.
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/comm_graph.hpp"
+#include "congest/round_ledger.hpp"
+
+namespace amix {
+
+class TokenTransport {
+ public:
+  explicit TokenTransport(const CommGraph& g) : g_(g), load_(g.num_arcs(), 0) {}
+
+  /// Record that one token crosses arc (v, port) this step.
+  void move(std::uint32_t v, std::uint32_t port) {
+    const std::uint64_t idx = g_.arc_index(v, port);
+    if (load_[idx] == 0) touched_.push_back(idx);
+    ++load_[idx];
+    if (load_[idx] > step_max_) step_max_ = load_[idx];
+    ++step_moves_;
+  }
+
+  /// Max per-arc load of the current step.
+  std::uint32_t step_max_load() const { return step_max_; }
+  std::uint64_t step_moves() const { return step_moves_; }
+
+  /// Close the step: charge `max_load * round_cost` base rounds (0 if the
+  /// step moved nothing) and reset per-step state. Returns the rounds of
+  /// *this* graph the step took (i.e. the max load).
+  std::uint32_t commit_step(RoundLedger& ledger) {
+    const std::uint32_t cost = step_max_;
+    ledger.charge(static_cast<std::uint64_t>(cost) * g_.round_cost());
+    total_graph_rounds_ += cost;
+    for (const std::uint64_t idx : touched_) load_[idx] = 0;
+    touched_.clear();
+    step_max_ = 0;
+    step_moves_ = 0;
+    return cost;
+  }
+
+  /// Sum over committed steps of their max loads — the total cost in rounds
+  /// of this graph (multiply by round_cost() for base rounds).
+  std::uint64_t total_graph_rounds() const { return total_graph_rounds_; }
+
+  const CommGraph& graph() const { return g_; }
+
+ private:
+  const CommGraph& g_;
+  std::vector<std::uint32_t> load_;
+  std::vector<std::uint64_t> touched_;
+  std::uint32_t step_max_ = 0;
+  std::uint64_t step_moves_ = 0;
+  std::uint64_t total_graph_rounds_ = 0;
+};
+
+}  // namespace amix

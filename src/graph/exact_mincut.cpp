@@ -1,0 +1,73 @@
+#include "graph/exact_mincut.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace amix {
+
+std::uint64_t cut_value(const Graph& g, const std::vector<bool>& in_s) {
+  AMIX_CHECK(in_s.size() == g.num_nodes());
+  std::uint64_t cut = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (in_s[g.edge_u(e)] != in_s[g.edge_v(e)]) ++cut;
+  }
+  return cut;
+}
+
+std::uint64_t stoer_wagner_mincut(const Graph& g,
+                                  const std::vector<std::uint64_t>& cap) {
+  const NodeId n = g.num_nodes();
+  AMIX_CHECK(n >= 2);
+  AMIX_CHECK(cap.size() == g.num_edges());
+  // Dense adjacency matrix of capacities; merged nodes accumulate.
+  std::vector<std::vector<std::uint64_t>> w(n,
+                                            std::vector<std::uint64_t>(n, 0));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    w[g.edge_u(e)][g.edge_v(e)] += cap[e];
+    w[g.edge_v(e)][g.edge_u(e)] += cap[e];
+  }
+  std::vector<NodeId> active(n);
+  for (NodeId v = 0; v < n; ++v) active[v] = v;
+
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  while (active.size() > 1) {
+    // Maximum-adjacency (minimum cut phase) ordering.
+    std::vector<std::uint64_t> conn(active.size(), 0);
+    std::vector<bool> added(active.size(), false);
+    NodeId prev_idx = 0, last_idx = 0;
+    for (std::size_t step = 0; step < active.size(); ++step) {
+      std::size_t pick = active.size();
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (!added[i] && (pick == active.size() || conn[i] > conn[pick])) {
+          pick = i;
+        }
+      }
+      added[pick] = true;
+      prev_idx = last_idx;
+      last_idx = static_cast<NodeId>(pick);
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (!added[i]) conn[i] += w[active[pick]][active[i]];
+      }
+    }
+    best = std::min(best, conn[last_idx]);
+    // Merge last into prev.
+    const NodeId s = active[prev_idx];
+    const NodeId t = active[last_idx];
+    for (const NodeId v : active) {
+      if (v == s || v == t) continue;
+      w[s][v] += w[t][v];
+      w[v][s] = w[s][v];
+    }
+    active.erase(active.begin() + last_idx);
+  }
+  return best;
+}
+
+std::uint64_t stoer_wagner_mincut(const Graph& g) {
+  return stoer_wagner_mincut(
+      g, std::vector<std::uint64_t>(g.num_edges(), 1));
+}
+
+}  // namespace amix

@@ -1,0 +1,24 @@
+#pragma once
+
+// Exact global minimum cut (Stoer-Wagner) — the verification oracle for
+// the approximate distributed min-cut of Section 4 / src/mincut.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace amix {
+
+/// Exact unweighted global min cut value. O(n^3); use on n <~ 1000.
+/// Requires a connected graph with >= 2 nodes.
+std::uint64_t stoer_wagner_mincut(const Graph& g);
+
+/// Weighted variant (per-edge capacities).
+std::uint64_t stoer_wagner_mincut(const Graph& g,
+                                  const std::vector<std::uint64_t>& cap);
+
+/// Cut value of a given side-set indicator (number of crossing edges).
+std::uint64_t cut_value(const Graph& g, const std::vector<bool>& in_s);
+
+}  // namespace amix

@@ -1,0 +1,78 @@
+#include "graph/exact_mst.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace amix {
+
+UnionFind::UnionFind(std::uint32_t n)
+    : parent_(n), size_(n, 1), sets_(n) {
+  for (std::uint32_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+std::uint32_t UnionFind::find(std::uint32_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::uint32_t a, std::uint32_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --sets_;
+  return true;
+}
+
+std::vector<EdgeId> kruskal_msf(const Graph& g, const Weights& w) {
+  std::vector<EdgeId> order(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) order[e] = e;
+  std::sort(order.begin(), order.end(),
+            [&w](EdgeId a, EdgeId b) { return w.less(a, b); });
+  UnionFind uf(g.num_nodes());
+  std::vector<EdgeId> out;
+  out.reserve(g.num_nodes() > 0 ? g.num_nodes() - 1 : 0);
+  for (const EdgeId e : order) {
+    if (uf.unite(g.edge_u(e), g.edge_v(e))) out.push_back(e);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<EdgeId> kruskal_mst(const Graph& g, const Weights& w) {
+  auto out = kruskal_msf(g, w);
+  AMIX_CHECK_MSG(out.size() + 1 == g.num_nodes(),
+                 "kruskal_mst requires a connected graph");
+  return out;
+}
+
+std::vector<EdgeId> prim_mst(const Graph& g, const Weights& w) {
+  AMIX_CHECK(g.num_nodes() >= 1);
+  using Item = std::pair<std::pair<Weight, EdgeId>, NodeId>;  // key, node
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  std::vector<bool> in_tree(g.num_nodes(), false);
+  std::vector<EdgeId> out;
+  in_tree[0] = true;
+  for (const Arc& a : g.arcs(0)) pq.push({w.key(a.edge), a.to});
+  while (!pq.empty()) {
+    const auto [key, v] = pq.top();
+    pq.pop();
+    if (in_tree[v]) continue;
+    in_tree[v] = true;
+    out.push_back(key.second);
+    for (const Arc& a : g.arcs(v)) {
+      if (!in_tree[a.to]) pq.push({w.key(a.edge), a.to});
+    }
+  }
+  AMIX_CHECK_MSG(out.size() + 1 == g.num_nodes(),
+                 "prim_mst requires a connected graph");
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace amix

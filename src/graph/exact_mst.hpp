@@ -1,0 +1,42 @@
+#pragma once
+
+// Centralized MST oracles (Kruskal and Prim) and a union-find.
+//
+// These are *verification* tools: distinct weights make the MST unique, so
+// any distributed run can be checked edge-for-edge against Kruskal.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace amix {
+
+/// Union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::uint32_t n);
+
+  std::uint32_t find(std::uint32_t x);
+  /// Returns false if already in the same set.
+  bool unite(std::uint32_t a, std::uint32_t b);
+  std::uint32_t num_sets() const { return sets_; }
+  std::uint32_t size_of(std::uint32_t x) { return size_[find(x)]; }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::uint32_t sets_;
+};
+
+/// Kruskal. Returns MST edge ids sorted ascending; requires connectivity.
+std::vector<EdgeId> kruskal_mst(const Graph& g, const Weights& w);
+
+/// Prim (binary-heap). Same output as Kruskal given distinct weights.
+std::vector<EdgeId> prim_mst(const Graph& g, const Weights& w);
+
+/// Minimum spanning forest (allows disconnected graphs).
+std::vector<EdgeId> kruskal_msf(const Graph& g, const Weights& w);
+
+}  // namespace amix

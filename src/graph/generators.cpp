@@ -1,0 +1,361 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "graph/traversal.hpp"
+
+namespace amix::gen {
+namespace {
+
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+
+std::uint64_t edge_key(NodeId a, NodeId b) {
+  const NodeId u = std::min(a, b);
+  const NodeId v = std::max(a, b);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+/// Try to turn a multigraph edge multiset into a simple graph by random
+/// "switch" moves (swap partners of two edges). Returns true on success.
+bool repair_to_simple(EdgeList& edges, Rng& rng, int max_passes = 200) {
+  for (int pass = 0; pass < max_passes; ++pass) {
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(edges.size() * 2);
+    std::vector<std::size_t> bad;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const auto [a, b] = edges[i];
+      if (a == b || !seen.insert(edge_key(a, b)).second) bad.push_back(i);
+    }
+    if (bad.empty()) return true;
+    for (const std::size_t i : bad) {
+      // Swap one endpoint of edges[i] with a random other edge.
+      const std::size_t j = rng.next_below(edges.size());
+      if (i == j) continue;
+      std::swap(edges[i].second, edges[j].second);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Graph gnp(NodeId n, double p, Rng& rng) {
+  AMIX_CHECK(p >= 0.0 && p <= 1.0);
+  EdgeList edges;
+  if (p <= 0.0 || n < 2) return Graph::from_edges(n, edges);
+  if (p >= 1.0) return complete(n);
+  // Skip sampling (geometric jumps) over the n*(n-1)/2 pair indices.
+  const double log1mp = std::log1p(-p);
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  std::uint64_t idx = 0;
+  while (true) {
+    const double r = rng.next_double();  // uniform [0, 1)
+    // Geometric gap: #pairs skipped before the next edge = floor(ln(1-r)/ln(1-p)).
+    const double skip = std::floor(std::log1p(-r) / log1mp);
+    idx += static_cast<std::uint64_t>(std::max(0.0, skip)) + 1;
+    if (idx > total) break;
+    // Decode pair index (idx-1) into (u, v), u < v: row-major over rows u
+    // with lengths n-1-u.
+    const std::uint64_t k = idx - 1;
+    // Solve for u: k - u*n + u*(u+1)/2 in [0, n-1-u).
+    const double nn = static_cast<double>(n);
+    auto u = static_cast<std::uint64_t>(
+        std::floor(nn - 0.5 - std::sqrt((nn - 0.5) * (nn - 0.5) -
+                                        2.0 * static_cast<double>(k))));
+    // Guard against floating-point boundary error.
+    auto row_start = [&](std::uint64_t uu) {
+      return uu * n - uu * (uu + 1) / 2;
+    };
+    while (u > 0 && row_start(u) > k) --u;
+    while (row_start(u + 1) <= k) ++u;
+    const std::uint64_t v = u + 1 + (k - row_start(u));
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph connected_gnp(NodeId n, double p, Rng& rng, int max_attempts) {
+  for (int i = 0; i < max_attempts; ++i) {
+    Graph g = gnp(n, p, rng);
+    if (is_connected(g)) return g;
+  }
+  AMIX_CHECK_MSG(false, "connected_gnp: exceeded attempts (p too small?)");
+  return {};
+}
+
+Graph random_regular(NodeId n, std::uint32_t d, Rng& rng) {
+  AMIX_CHECK(d < n);
+  AMIX_CHECK_MSG((static_cast<std::uint64_t>(n) * d) % 2 == 0,
+                 "n*d must be even");
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    // Configuration model: shuffle stubs, pair consecutive.
+    std::vector<NodeId> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * d);
+    for (NodeId v = 0; v < n; ++v) {
+      for (std::uint32_t i = 0; i < d; ++i) stubs.push_back(v);
+    }
+    shuffle(stubs, rng);
+    EdgeList edges;
+    edges.reserve(stubs.size() / 2);
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      edges.emplace_back(stubs[i], stubs[i + 1]);
+    }
+    if (!repair_to_simple(edges, rng)) continue;
+    Graph g = Graph::from_edges(n, edges);
+    if (d >= 2 && !is_connected(g)) continue;
+    return g;
+  }
+  AMIX_CHECK_MSG(false, "random_regular: exceeded attempts");
+  return {};
+}
+
+Graph matching_expander(NodeId n, std::uint32_t d, Rng& rng) {
+  AMIX_CHECK_MSG(n % 2 == 0, "matching_expander needs even n");
+  AMIX_CHECK(d >= 1 && d < n);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::unordered_set<std::uint64_t> seen;
+    EdgeList edges;
+    bool ok = true;
+    for (std::uint32_t matching = 0; matching < d && ok; ++matching) {
+      bool placed = false;
+      for (int retry = 0; retry < 64 && !placed; ++retry) {
+        std::vector<NodeId> perm(n);
+        for (NodeId v = 0; v < n; ++v) perm[v] = v;
+        shuffle(perm, rng);
+        std::vector<std::pair<NodeId, NodeId>> medges;
+        bool clash = false;
+        for (NodeId i = 0; i < n; i += 2) {
+          if (seen.count(edge_key(perm[i], perm[i + 1])) != 0) {
+            clash = true;
+            break;
+          }
+          medges.emplace_back(perm[i], perm[i + 1]);
+        }
+        if (clash) continue;
+        for (const auto& e : medges) {
+          seen.insert(edge_key(e.first, e.second));
+          edges.push_back(e);
+        }
+        placed = true;
+      }
+      ok = placed;
+    }
+    if (!ok) continue;
+    Graph g = Graph::from_edges(n, edges);
+    if (d >= 2 && !is_connected(g)) continue;
+    if (d == 1) return g;  // a single matching is never connected for n > 2
+    return g;
+  }
+  AMIX_CHECK_MSG(false, "matching_expander: exceeded attempts");
+  return {};
+}
+
+Graph ring(NodeId n) {
+  AMIX_CHECK(n >= 3);
+  EdgeList edges;
+  edges.reserve(n);
+  for (NodeId v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+  return Graph::from_edges(n, edges);
+}
+
+Graph path(NodeId n) {
+  AMIX_CHECK(n >= 1);
+  EdgeList edges;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return Graph::from_edges(n, edges);
+}
+
+Graph complete(NodeId n) {
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph star(NodeId n) {
+  AMIX_CHECK(n >= 2);
+  EdgeList edges;
+  for (NodeId v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return Graph::from_edges(n, edges);
+}
+
+Graph torus2d(NodeId side) {
+  AMIX_CHECK(side >= 3);
+  const NodeId n = side * side;
+  auto id = [side](NodeId r, NodeId c) { return r * side + c; };
+  EdgeList edges;
+  for (NodeId r = 0; r < side; ++r) {
+    for (NodeId c = 0; c < side; ++c) {
+      edges.emplace_back(id(r, c), id(r, (c + 1) % side));
+      edges.emplace_back(id(r, c), id((r + 1) % side, c));
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph grid2d(NodeId rows, NodeId cols) {
+  AMIX_CHECK(rows >= 1 && cols >= 1);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  EdgeList edges;
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Graph::from_edges(rows * cols, edges);
+}
+
+Graph hypercube(std::uint32_t dim) {
+  AMIX_CHECK(dim >= 1 && dim < 31);
+  const NodeId n = NodeId{1} << dim;
+  EdgeList edges;
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint32_t b = 0; b < dim; ++b) {
+      const NodeId w = v ^ (NodeId{1} << b);
+      if (v < w) edges.emplace_back(v, w);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph barbell(NodeId n) {
+  AMIX_CHECK(n >= 6);
+  const NodeId half = n / 2;
+  EdgeList edges;
+  for (NodeId u = 0; u < half; ++u) {
+    for (NodeId v = u + 1; v < half; ++v) edges.emplace_back(u, v);
+  }
+  for (NodeId u = half; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  edges.emplace_back(half - 1, half);
+  return Graph::from_edges(n, edges);
+}
+
+Graph watts_strogatz(NodeId n, std::uint32_t k, double beta, Rng& rng) {
+  AMIX_CHECK(k >= 1 && 2 * k < n);
+  std::set<std::uint64_t> seen;
+  EdgeList edges;
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint32_t j = 1; j <= k; ++j) {
+      NodeId w = (v + j) % n;
+      if (rng.next_bool(beta)) {
+        // Rewire to a uniform non-neighbor.
+        for (int retry = 0; retry < 64; ++retry) {
+          const auto cand = static_cast<NodeId>(rng.next_below(n));
+          if (cand != v && seen.count(edge_key(v, cand)) == 0) {
+            w = cand;
+            break;
+          }
+        }
+      }
+      if (seen.insert(edge_key(v, w)).second) edges.emplace_back(v, w);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph barabasi_albert(NodeId n, std::uint32_t attach, Rng& rng) {
+  AMIX_CHECK(attach >= 1 && n > attach);
+  EdgeList edges;
+  std::vector<NodeId> targets;  // degree-weighted pool
+  // Seed: star on attach+1 nodes.
+  for (NodeId v = 1; v <= attach; ++v) {
+    edges.emplace_back(0, v);
+    targets.push_back(0);
+    targets.push_back(v);
+  }
+  std::unordered_set<NodeId> chosen;
+  for (NodeId v = attach + 1; v < n; ++v) {
+    chosen.clear();
+    while (chosen.size() < attach) {
+      chosen.insert(targets[rng.next_below(targets.size())]);
+    }
+    for (const NodeId w : chosen) {
+      edges.emplace_back(v, w);
+      targets.push_back(v);
+      targets.push_back(w);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph degree_preserving_rewire(const Graph& g, std::uint32_t swaps,
+                               Rng& rng) {
+  const bool was_connected = is_connected(g);
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    EdgeList edges;
+    edges.reserve(g.num_edges());
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(g.num_edges() * 2);
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      edges.emplace_back(g.edge_u(e), g.edge_v(e));
+      seen.insert(edge_key(g.edge_u(e), g.edge_v(e)));
+    }
+    std::uint32_t done = 0;
+    for (std::uint32_t tries = 0; done < swaps && tries < 20 * swaps + 100;
+         ++tries) {
+      const std::size_t i = rng.next_below(edges.size());
+      const std::size_t j = rng.next_below(edges.size());
+      if (i == j) continue;
+      auto [a, b] = edges[i];
+      auto [c, d] = edges[j];
+      if (rng.next_bool()) std::swap(c, d);
+      // Proposed: (a,d) and (c,b).
+      if (a == d || c == b) continue;
+      if (seen.count(edge_key(a, d)) != 0 || seen.count(edge_key(c, b)) != 0) {
+        continue;
+      }
+      seen.erase(edge_key(a, b));
+      seen.erase(edge_key(c, d));
+      seen.insert(edge_key(a, d));
+      seen.insert(edge_key(c, b));
+      edges[i] = {a, d};
+      edges[j] = {c, b};
+      ++done;
+    }
+    Graph out = Graph::from_edges(g.num_nodes(), edges);
+    if (!was_connected || is_connected(out)) return out;
+  }
+  AMIX_CHECK_MSG(false, "degree_preserving_rewire: could not stay connected");
+  return {};
+}
+
+Graph lowerbound_skeleton(std::uint32_t paths, std::uint32_t plen) {
+  AMIX_CHECK(paths >= 1 && plen >= 2);
+  // Node layout: paths*plen path nodes, then the binary tree over columns.
+  auto pnode = [plen](std::uint32_t i, std::uint32_t j) {
+    return static_cast<NodeId>(i * plen + j);
+  };
+  const NodeId tree_base = paths * plen;
+  // Balanced binary tree with plen leaves: heap-indexed, nodes 1..2*plen-1.
+  const NodeId tree_nodes = 2 * plen - 1;
+  EdgeList edges;
+  for (std::uint32_t i = 0; i < paths; ++i) {
+    for (std::uint32_t j = 0; j + 1 < plen; ++j) {
+      edges.emplace_back(pnode(i, j), pnode(i, j + 1));
+    }
+  }
+  auto tnode = [tree_base](std::uint32_t heap) {
+    return static_cast<NodeId>(tree_base + heap - 1);  // heap index from 1
+  };
+  for (std::uint32_t h = 2; h <= tree_nodes; ++h) {
+    edges.emplace_back(tnode(h), tnode(h / 2));
+  }
+  // Leaves are heap indices plen..2*plen-1; leaf j attaches to column j of
+  // every path.
+  for (std::uint32_t j = 0; j < plen; ++j) {
+    for (std::uint32_t i = 0; i < paths; ++i) {
+      edges.emplace_back(tnode(plen + j), pnode(i, j));
+    }
+  }
+  return Graph::from_edges(tree_base + tree_nodes, edges);
+}
+
+}  // namespace amix::gen

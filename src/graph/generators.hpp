@@ -1,0 +1,81 @@
+#pragma once
+
+// Graph generators for the experiment suite.
+//
+// Families are chosen to span the mixing-time spectrum the paper cares
+// about: expanders and G(n,p) above the connectivity threshold (tau_mix
+// polylog — where Theorem 1.1 beats O~(D + sqrt(n))), tori and hypercubes
+// (intermediate), and rings / barbells (tau_mix = Theta(n^2) — where the
+// classic algorithms win). All generators are deterministic given the Rng.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace amix::gen {
+
+/// Erdos-Renyi G(n, p). Not guaranteed connected; use
+/// `connected_gnp` for a connected sample.
+Graph gnp(NodeId n, double p, Rng& rng);
+
+/// G(n, p) resampled until connected (p should be above the ~ln n / n
+/// threshold or this will loop for a long time; checked with a cap).
+Graph connected_gnp(NodeId n, double p, Rng& rng, int max_attempts = 64);
+
+/// Random d-regular graph via the configuration model with rejection and
+/// local repair (switches) of self-loops / parallel edges. Requires
+/// n*d even, d < n. Connected w.h.p. for d >= 3; resamples until connected.
+Graph random_regular(NodeId n, std::uint32_t d, Rng& rng);
+
+/// Union of `d` random perfect matchings on an even number of nodes:
+/// a classic explicit-ish expander family with max degree exactly d
+/// (parallel edges between matchings are repaired by re-switching).
+Graph matching_expander(NodeId n, std::uint32_t d, Rng& rng);
+
+/// Cycle on n nodes (tau_mix = Theta(n^2); D = n/2).
+Graph ring(NodeId n);
+
+/// Path on n nodes.
+Graph path(NodeId n);
+
+/// Complete graph K_n (the congested clique).
+Graph complete(NodeId n);
+
+/// Star with one hub and n-1 leaves.
+Graph star(NodeId n);
+
+/// 2D torus of side `side` (n = side^2, 4-regular, tau_mix = Theta(n)).
+Graph torus2d(NodeId side);
+
+/// 2D grid (no wraparound).
+Graph grid2d(NodeId rows, NodeId cols);
+
+/// Hypercube on 2^dim nodes (degree dim, tau_mix = Theta(dim log dim)).
+Graph hypercube(std::uint32_t dim);
+
+/// Two complete graphs of size n/2 joined by a single edge — the classic
+/// bad-mixing instance (tau_mix = Theta(n^2)).
+Graph barbell(NodeId n);
+
+/// Watts-Strogatz small-world: ring lattice with k nearest neighbors per
+/// side, each edge rewired with probability beta (simple-graph repaired).
+Graph watts_strogatz(NodeId n, std::uint32_t k, double beta, Rng& rng);
+
+/// Barabasi-Albert preferential attachment, `attach` edges per new node.
+Graph barabasi_albert(NodeId n, std::uint32_t attach, Rng& rng);
+
+/// Churn step for overlay experiments: `swaps` random double-edge swaps
+/// ((a,b),(c,d) -> (a,d),(c,b)), preserving every node's degree. Swaps
+/// that would create self-loops or parallel edges are skipped; the result
+/// is resampled until connected (when the input was). Models P2P topology
+/// drift without changing the degree sequence.
+Graph degree_preserving_rewire(const Graph& g, std::uint32_t swaps, Rng& rng);
+
+/// The Peleg-Rubinovich / Das Sarma et al. style lower-bound skeleton:
+/// `paths` long parallel paths of length `plen` glued to a shallow
+/// complete binary tree spine — diameter O(log n) but MST needs
+/// ~sqrt(n) rounds; also mixes slowly. Used by E3.
+Graph lowerbound_skeleton(std::uint32_t paths, std::uint32_t plen);
+
+}  // namespace amix::gen

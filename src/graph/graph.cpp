@@ -1,0 +1,59 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace amix {
+
+Graph Graph::from_edges(NodeId n,
+                        const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  Graph g;
+  g.n_ = n;
+  g.m_ = static_cast<EdgeId>(edges.size());
+  g.offsets_.assign(n + 1, 0);
+  g.edge_endpoints_.reserve(edges.size());
+
+  // Validate and normalize endpoints; count degrees.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(edges.size() * 2);
+  for (const auto& [a, b] : edges) {
+    AMIX_CHECK_MSG(a < n && b < n, "edge endpoint out of range");
+    AMIX_CHECK_MSG(a != b, "self-loops not supported in the base graph");
+    const NodeId u = std::min(a, b);
+    const NodeId v = std::max(a, b);
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    AMIX_CHECK_MSG(seen.insert(key).second, "parallel edge in edge list");
+    g.edge_endpoints_.emplace_back(u, v);
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    g.offsets_[v + 1] += g.offsets_[v];
+    g.max_degree_ = std::max(g.max_degree_, g.offsets_[v + 1] - g.offsets_[v]);
+  }
+
+  g.adj_.resize(2ULL * g.m_);
+  g.edge_ports_.resize(g.m_);
+  std::vector<std::uint32_t> fill(n, 0);
+  for (EdgeId e = 0; e < g.m_; ++e) {
+    const auto [u, v] = g.edge_endpoints_[e];
+    const std::uint32_t pu = fill[u]++;
+    const std::uint32_t pv = fill[v]++;
+    g.adj_[g.offsets_[u] + pu] = Arc{v, e};
+    g.adj_[g.offsets_[v] + pv] = Arc{u, e};
+    g.edge_ports_[e] = {pu, pv};
+  }
+  return g;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  if (u >= n_ || v >= n_ || u == v) return false;
+  const NodeId probe = degree(u) <= degree(v) ? u : v;
+  const NodeId target = probe == u ? v : u;
+  for (const Arc& a : arcs(probe)) {
+    if (a.to == target) return true;
+  }
+  return false;
+}
+
+}  // namespace amix

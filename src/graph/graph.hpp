@@ -1,0 +1,110 @@
+#pragma once
+
+// Immutable undirected graph in adjacency-array (CSR) form.
+//
+// This is the "base network" G = (V, E) of the CONGEST model: nodes are
+// 0..n-1, edges have stable ids 0..m-1, and every incident (node, port)
+// slot maps to one directed arc. Ports matter: the paper's virtual nodes
+// (Section 3.1.1) are exactly the (node, port) slots, and the CONGEST
+// capacity constraint is "one O(log n)-bit message per edge direction per
+// round", i.e. per arc.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace amix {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// One directed incidence slot: the neighbor reached and the undirected
+/// edge id used.
+struct Arc {
+  NodeId to;
+  EdgeId edge;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Build from an undirected edge list. Self-loops and parallel edges are
+  /// rejected (the algorithms in this library assume a simple base graph;
+  /// multigraph behaviour, where needed, is handled algorithmically).
+  static Graph from_edges(NodeId n,
+                          const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  NodeId num_nodes() const { return n_; }
+  EdgeId num_edges() const { return m_; }
+
+  std::uint32_t degree(NodeId v) const {
+    AMIX_DCHECK(v < n_);
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  std::uint32_t max_degree() const { return max_degree_; }
+
+  /// All incidence slots of v; `arcs(v)[p]` is v's port p.
+  std::span<const Arc> arcs(NodeId v) const {
+    AMIX_DCHECK(v < n_);
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+  NodeId neighbor(NodeId v, std::uint32_t port) const {
+    AMIX_DCHECK(port < degree(v));
+    return adj_[offsets_[v] + port].to;
+  }
+
+  EdgeId edge_at(NodeId v, std::uint32_t port) const {
+    AMIX_DCHECK(port < degree(v));
+    return adj_[offsets_[v] + port].edge;
+  }
+
+  /// Endpoints of edge e, with u() < v().
+  NodeId edge_u(EdgeId e) const {
+    AMIX_DCHECK(e < m_);
+    return edge_endpoints_[e].first;
+  }
+  NodeId edge_v(EdgeId e) const {
+    AMIX_DCHECK(e < m_);
+    return edge_endpoints_[e].second;
+  }
+
+  /// The endpoint of e that is not `from`.
+  NodeId other_endpoint(EdgeId e, NodeId from) const {
+    const auto [a, b] = edge_endpoints_[e];
+    AMIX_DCHECK(from == a || from == b);
+    return from == a ? b : a;
+  }
+
+  /// Port index of edge e at node v (the inverse of edge_at). O(1).
+  std::uint32_t port_of(NodeId v, EdgeId e) const {
+    const auto [a, b] = edge_endpoints_[e];
+    AMIX_DCHECK(v == a || v == b);
+    return v == a ? edge_ports_[e].first : edge_ports_[e].second;
+  }
+
+  /// True if {u, v} is an edge. O(min degree) — fine for tests/oracles.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Sum of degrees = 2m; the number of virtual nodes of Section 3.1.1.
+  std::uint64_t num_arcs() const { return 2ULL * m_; }
+
+ private:
+  NodeId n_ = 0;
+  EdgeId m_ = 0;
+  std::uint32_t max_degree_ = 0;
+  std::vector<std::uint32_t> offsets_;  // size n_+1
+  std::vector<Arc> adj_;                // size 2m_
+  std::vector<std::pair<NodeId, NodeId>> edge_endpoints_;        // size m_
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_ports_;  // size m_
+};
+
+}  // namespace amix

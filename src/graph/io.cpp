@@ -1,0 +1,80 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace amix {
+
+void write_graph(std::ostream& os, const Graph& g, const Weights* w) {
+  os << "graph " << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    os << "e " << g.edge_u(e) << ' ' << g.edge_v(e);
+    if (w != nullptr) os << ' ' << (*w)[e];
+    os << '\n';
+  }
+}
+
+GraphFile read_graph(std::istream& is) {
+  std::string line;
+  NodeId n = 0;
+  EdgeId m = 0;
+  bool header_seen = false;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<Weight> weights;
+  bool weights_seen = false;
+
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    if (tag == "graph") {
+      AMIX_CHECK_MSG(!header_seen, "duplicate graph header");
+      AMIX_CHECK_MSG(static_cast<bool>(ss >> n >> m), "bad graph header");
+      header_seen = true;
+      edges.reserve(m);
+    } else if (tag == "e") {
+      AMIX_CHECK_MSG(header_seen, "edge before graph header");
+      NodeId u = 0, v = 0;
+      AMIX_CHECK_MSG(static_cast<bool>(ss >> u >> v), "bad edge line");
+      edges.emplace_back(u, v);
+      Weight w = 0;
+      if (ss >> w) {
+        AMIX_CHECK_MSG(weights.size() == edges.size() - 1,
+                       "weights must be all-or-none");
+        weights.push_back(w);
+        weights_seen = true;
+      } else {
+        AMIX_CHECK_MSG(!weights_seen, "weights must be all-or-none");
+      }
+    } else {
+      AMIX_CHECK_MSG(false, "unknown line tag in graph file");
+    }
+  }
+  AMIX_CHECK_MSG(header_seen, "missing graph header");
+  AMIX_CHECK_MSG(edges.size() == m, "edge count mismatch");
+
+  GraphFile out;
+  out.graph = Graph::from_edges(n, edges);
+  if (weights_seen) {
+    out.weights = Weights(out.graph, std::move(weights));
+  }
+  return out;
+}
+
+void save_graph(const std::string& path, const Graph& g, const Weights* w) {
+  std::ofstream os(path);
+  AMIX_CHECK_MSG(os.good(), "cannot open file for writing");
+  write_graph(os, g, w);
+  AMIX_CHECK_MSG(os.good(), "write failed");
+}
+
+GraphFile load_graph(const std::string& path) {
+  std::ifstream is(path);
+  AMIX_CHECK_MSG(is.good(), "cannot open file for reading");
+  return read_graph(is);
+}
+
+}  // namespace amix

@@ -1,0 +1,39 @@
+#pragma once
+
+// Graph and weight serialization: a simple, diff-friendly text format so
+// experiments can be pinned to on-disk instances and exchanged.
+//
+//   # comments and blank lines are ignored
+//   graph <n> <m>
+//   e <u> <v> [w]        (m lines; weights optional but all-or-none)
+//
+// All writers emit edges in edge-id order, so write/read round-trips
+// preserve edge ids (and therefore Weights indices).
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace amix {
+
+struct GraphFile {
+  Graph graph;
+  std::optional<Weights> weights;
+};
+
+/// Serialize (optionally with weights) to the text format above.
+void write_graph(std::ostream& os, const Graph& g,
+                 const Weights* w = nullptr);
+
+/// Parse the text format; throws via AMIX_CHECK on malformed input.
+GraphFile read_graph(std::istream& is);
+
+/// File-path convenience wrappers.
+void save_graph(const std::string& path, const Graph& g,
+                const Weights* w = nullptr);
+GraphFile load_graph(const std::string& path);
+
+}  // namespace amix

@@ -1,0 +1,304 @@
+#include "graph/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace amix {
+
+std::vector<double> stationary(const Graph& g, WalkKind kind) {
+  const NodeId n = g.num_nodes();
+  std::vector<double> pi(n);
+  if (kind == WalkKind::kLazy) {
+    const double denom = 2.0 * static_cast<double>(g.num_edges());
+    for (NodeId v = 0; v < n; ++v) {
+      pi[v] = static_cast<double>(g.degree(v)) / denom;
+    }
+  } else {
+    std::fill(pi.begin(), pi.end(), 1.0 / static_cast<double>(n));
+  }
+  return pi;
+}
+
+void step_distribution(const Graph& g, WalkKind kind,
+                       const std::vector<double>& in,
+                       std::vector<double>& out) {
+  const NodeId n = g.num_nodes();
+  AMIX_CHECK(in.size() == n);
+  out.assign(n, 0.0);
+  if (kind == WalkKind::kLazy) {
+    for (NodeId v = 0; v < n; ++v) {
+      const double mass = in[v];
+      if (mass == 0.0) continue;
+      out[v] += 0.5 * mass;
+      const double share = 0.5 * mass / static_cast<double>(g.degree(v));
+      for (const Arc& a : g.arcs(v)) out[a.to] += share;
+    }
+  } else {
+    const double inv2delta = 1.0 / (2.0 * static_cast<double>(g.max_degree()));
+    for (NodeId v = 0; v < n; ++v) {
+      const double mass = in[v];
+      if (mass == 0.0) continue;
+      const double move = mass * inv2delta;
+      out[v] += mass - move * static_cast<double>(g.degree(v));
+      for (const Arc& a : g.arcs(v)) out[a.to] += move;
+    }
+  }
+}
+
+namespace {
+
+bool mixed(const std::vector<double>& p, const std::vector<double>& pi,
+           double inv_n) {
+  for (std::size_t v = 0; v < p.size(); ++v) {
+    if (std::abs(p[v] - pi[v]) > pi[v] * inv_n) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t mixing_time_from_start(const Graph& g, WalkKind kind,
+                                     NodeId src, std::uint32_t max_t) {
+  const NodeId n = g.num_nodes();
+  AMIX_CHECK(src < n);
+  const auto pi = stationary(g, kind);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  std::vector<double> p(n, 0.0), q(n);
+  p[src] = 1.0;
+  for (std::uint32_t t = 0; t <= max_t; ++t) {
+    if (mixed(p, pi, inv_n)) return t;
+    step_distribution(g, kind, p, q);
+    p.swap(q);
+  }
+  return max_t + 1;
+}
+
+std::uint32_t mixing_time_exact(const Graph& g, WalkKind kind,
+                                std::uint32_t max_t) {
+  std::uint32_t worst = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    worst = std::max(worst, mixing_time_from_start(g, kind, v, max_t));
+  }
+  return worst;
+}
+
+std::uint32_t mixing_time_sampled(const Graph& g, WalkKind kind,
+                                  std::uint32_t samples, Rng& rng,
+                                  std::uint32_t max_t) {
+  const NodeId n = g.num_nodes();
+  AMIX_CHECK(n >= 1);
+  // Always probe the extremal-degree nodes: they are the slowest starts on
+  // the irregular families.
+  NodeId min_deg_node = 0, max_deg_node = 0;
+  for (NodeId v = 1; v < n; ++v) {
+    if (g.degree(v) < g.degree(min_deg_node)) min_deg_node = v;
+    if (g.degree(v) > g.degree(max_deg_node)) max_deg_node = v;
+  }
+  std::vector<NodeId> starts{min_deg_node, max_deg_node};
+  for (std::uint32_t i = 0; i < samples; ++i) {
+    starts.push_back(static_cast<NodeId>(rng.next_below(n)));
+  }
+  std::sort(starts.begin(), starts.end());
+  starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+  std::uint32_t worst = 0;
+  for (const NodeId v : starts) {
+    worst = std::max(worst, mixing_time_from_start(g, kind, v, max_t));
+  }
+  return worst;
+}
+
+double second_eigenvalue(const Graph& g, WalkKind kind,
+                         std::uint32_t iterations) {
+  const NodeId n = g.num_nodes();
+  AMIX_CHECK(n >= 2);
+  const auto pi = stationary(g, kind);
+  // The walk matrix P is reversible w.r.t. pi; power-iterate on a vector
+  // deflated against the principal left/right pair. We track x with
+  // <x, pi-weighted 1> = 0 in the pi inner product, i.e. sum_v pi_v x_v = 0,
+  // applying P^T in the pi-weighted sense: here we evolve a *function*
+  // h' = P h (right action), for which the principal eigenfunction is the
+  // constant; deflation subtracts the pi-weighted mean.
+  std::vector<double> x(n), y(n);
+  Rng rng(0xabcdef12345ULL);
+  for (auto& v : x) v = rng.next_double() - 0.5;
+  auto deflate = [&](std::vector<double>& h) {
+    double mean = 0.0;
+    for (NodeId v = 0; v < n; ++v) mean += pi[v] * h[v];
+    for (auto& t : h) t -= mean;
+  };
+  auto norm = [&](const std::vector<double>& h) {
+    double s = 0.0;
+    for (NodeId v = 0; v < n; ++v) s += pi[v] * h[v] * h[v];
+    return std::sqrt(s);
+  };
+  // Apply the right action h' (v) = sum_u P(v,u) h(u): for the lazy walk,
+  // h'(v) = h(v)/2 + (1/2d(v)) sum_{u ~ v} h(u); for 2Delta-regular,
+  // h'(v) = (1 - d(v)/2Delta) h(v) + (1/2Delta) sum_{u ~ v} h(u).
+  auto apply = [&](const std::vector<double>& h, std::vector<double>& out) {
+    if (kind == WalkKind::kLazy) {
+      for (NodeId v = 0; v < n; ++v) {
+        double s = 0.0;
+        for (const Arc& a : g.arcs(v)) s += h[a.to];
+        out[v] = 0.5 * h[v] + 0.5 * s / static_cast<double>(g.degree(v));
+      }
+    } else {
+      const double inv2delta =
+          1.0 / (2.0 * static_cast<double>(g.max_degree()));
+      for (NodeId v = 0; v < n; ++v) {
+        double s = 0.0;
+        for (const Arc& a : g.arcs(v)) s += h[a.to];
+        out[v] = (1.0 - static_cast<double>(g.degree(v)) * inv2delta) * h[v] +
+                 inv2delta * s;
+      }
+    }
+  };
+  deflate(x);
+  double nx = norm(x);
+  AMIX_CHECK(nx > 0);
+  for (auto& t : x) t /= nx;
+  double lambda = 0.0;
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    apply(x, y);
+    deflate(y);
+    const double ny = norm(y);
+    if (ny <= 1e-300) return 0.0;
+    lambda = ny;  // Rayleigh-style estimate since ||x||_pi = 1
+    for (NodeId v = 0; v < n; ++v) x[v] = y[v] / ny;
+  }
+  return lambda;
+}
+
+std::uint32_t mixing_time_spectral_bound(const Graph& g, WalkKind kind) {
+  const double lambda = second_eigenvalue(g, kind);
+  const double gap = 1.0 - lambda;
+  AMIX_CHECK(gap > 0);
+  const double n = static_cast<double>(g.num_nodes());
+  // |P^t(u) - pi(u)| <= lambda^t / min_pi; need <= pi(u)/n, so
+  // t >= ln(n / (pi_min^2)) / ln(1/lambda)-ish. Use the standard safe form.
+  const auto pi = stationary(g, kind);
+  const double pi_min = *std::min_element(pi.begin(), pi.end());
+  const double t = std::log(n / (pi_min * pi_min)) / gap;
+  return static_cast<std::uint32_t>(std::ceil(t));
+}
+
+double lemma23_bound(const Graph& g, double edge_expansion) {
+  AMIX_CHECK(edge_expansion > 0);
+  const double delta = static_cast<double>(g.max_degree());
+  const double n = static_cast<double>(g.num_nodes());
+  return 8.0 * (delta / edge_expansion) * (delta / edge_expansion) *
+         std::log(n);
+}
+
+double edge_expansion_bruteforce(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  AMIX_CHECK_MSG(n <= 24, "bruteforce edge expansion limited to n <= 24");
+  AMIX_CHECK(n >= 2);
+  double best = std::numeric_limits<double>::infinity();
+  const std::uint32_t limit = 1u << n;
+  for (std::uint32_t mask = 1; mask < limit - 1; ++mask) {
+    const int size = __builtin_popcount(mask);
+    if (size > static_cast<int>(n) / 2) continue;
+    std::uint64_t cut = 0;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const bool a = (mask >> g.edge_u(e)) & 1u;
+      const bool b = (mask >> g.edge_v(e)) & 1u;
+      if (a != b) ++cut;
+    }
+    best = std::min(best, static_cast<double>(cut) / size);
+  }
+  return best;
+}
+
+namespace {
+
+/// Fiedler-style ordering: second eigenvector of the lazy walk's right
+/// action, computed by deflated power iteration on (I+P)/2 to avoid
+/// oscillation.
+std::vector<double> fiedler_like_vector(const Graph& g,
+                                        std::uint32_t iterations) {
+  const NodeId n = g.num_nodes();
+  const auto pi = stationary(g, WalkKind::kLazy);
+  std::vector<double> x(n), y(n);
+  Rng rng(0x5eedf1ed1e5ULL);
+  for (auto& v : x) v = rng.next_double() - 0.5;
+  auto deflate = [&](std::vector<double>& h) {
+    double mean = 0.0;
+    for (NodeId v = 0; v < n; ++v) mean += pi[v] * h[v];
+    for (auto& t : h) t -= mean;
+  };
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    for (NodeId v = 0; v < n; ++v) {
+      double s = 0.0;
+      for (const Arc& a : g.arcs(v)) s += x[a.to];
+      y[v] = 0.5 * x[v] + 0.5 * s / static_cast<double>(g.degree(v));
+    }
+    deflate(y);
+    double nrm = 0.0;
+    for (const double t : y) nrm += t * t;
+    nrm = std::sqrt(nrm);
+    if (nrm <= 1e-300) break;
+    for (NodeId v = 0; v < n; ++v) x[v] = y[v] / nrm;
+  }
+  return x;
+}
+
+}  // namespace
+
+double edge_expansion_sweep(const Graph& g, std::uint32_t iterations) {
+  const NodeId n = g.num_nodes();
+  AMIX_CHECK(n >= 2);
+  const auto f = fiedler_like_vector(g, iterations);
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&f](NodeId a, NodeId b) { return f[a] < f[b]; });
+  // Sweep: S = first k nodes in Fiedler order; maintain crossing count.
+  std::vector<bool> in_s(n, false);
+  std::uint64_t cut = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (NodeId k = 0; k + 1 < n; ++k) {
+    const NodeId v = order[k];
+    for (const Arc& a : g.arcs(v)) {
+      cut += in_s[a.to] ? static_cast<std::uint64_t>(-1) : 1;
+    }
+    in_s[v] = true;
+    const std::uint32_t size = std::min<std::uint32_t>(k + 1, n - (k + 1));
+    best = std::min(best, static_cast<double>(cut) / size);
+  }
+  // The singleton min-degree cut is always available.
+  std::uint32_t min_deg = g.degree(0);
+  for (NodeId v = 1; v < n; ++v) min_deg = std::min(min_deg, g.degree(v));
+  return std::min(best, static_cast<double>(min_deg));
+}
+
+double conductance_sweep(const Graph& g, std::uint32_t iterations) {
+  const NodeId n = g.num_nodes();
+  AMIX_CHECK(n >= 2);
+  const auto f = fiedler_like_vector(g, iterations);
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&f](NodeId a, NodeId b) { return f[a] < f[b]; });
+  std::vector<bool> in_s(n, false);
+  std::uint64_t cut = 0, vol = 0;
+  const std::uint64_t total_vol = g.num_arcs();
+  double best = std::numeric_limits<double>::infinity();
+  for (NodeId k = 0; k + 1 < n; ++k) {
+    const NodeId v = order[k];
+    for (const Arc& a : g.arcs(v)) {
+      cut += in_s[a.to] ? static_cast<std::uint64_t>(-1) : 1;
+    }
+    in_s[v] = true;
+    vol += g.degree(v);
+    const std::uint64_t small_vol = std::min(vol, total_vol - vol);
+    if (small_vol > 0) {
+      best = std::min(best, static_cast<double>(cut) /
+                                static_cast<double>(small_vol));
+    }
+  }
+  return best;
+}
+
+}  // namespace amix

@@ -1,0 +1,77 @@
+#pragma once
+
+// Spectral / random-walk analysis toolkit.
+//
+// Implements the quantities the paper parameterizes by:
+//   * tau_mix(G)      — Definition 2.1, for the lazy random walk;
+//   * tau_mix_bar(G)  — mixing of the 2Delta-regular walk (Definition 2.2);
+//   * h(G)            — edge expansion (estimated by Fiedler sweep cuts,
+//                       exact by brute force on tiny graphs);
+//   * the Cheeger-style bound of Lemma 2.3.
+//
+// Distribution evolution is exact (dense vector times sparse matrix), so
+// measured mixing times are true values per the paper's definition, not
+// Monte-Carlo estimates.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace amix {
+
+enum class WalkKind {
+  kLazy,           // stay w.p. 1/2, else uniform incident edge
+  kRegular2Delta,  // stay w.p. 1 - d(v)/(2*Delta), else each edge w.p. 1/(2*Delta)
+};
+
+/// Stationary distribution: d(v)/2m for lazy, 1/n for 2Delta-regular.
+std::vector<double> stationary(const Graph& g, WalkKind kind);
+
+/// One exact step of the walk on a distribution (out may alias nothing).
+void step_distribution(const Graph& g, WalkKind kind,
+                       const std::vector<double>& in,
+                       std::vector<double>& out);
+
+/// Smallest t such that the walk started at `src` satisfies the paper's
+/// Definition 2.1 criterion |P^t(u) - pi(u)| <= pi(u)/n for all u.
+/// Returns max_t+1 if not mixed within max_t steps.
+std::uint32_t mixing_time_from_start(const Graph& g, WalkKind kind,
+                                     NodeId src, std::uint32_t max_t);
+
+/// Definition 2.1 tau_mix: max over all starts. O(n * m * tau) — exact but
+/// only for small graphs (tests, calibration).
+std::uint32_t mixing_time_exact(const Graph& g, WalkKind kind,
+                                std::uint32_t max_t);
+
+/// Max over `samples` random starts plus the extremal-degree nodes.
+/// A tight lower bound on tau_mix in practice (and exact on
+/// vertex-transitive graphs); this is what the benches report.
+std::uint32_t mixing_time_sampled(const Graph& g, WalkKind kind,
+                                  std::uint32_t samples, Rng& rng,
+                                  std::uint32_t max_t);
+
+/// Estimate of the second-largest eigenvalue modulus of the walk matrix by
+/// power iteration with deflation against the stationary direction.
+double second_eigenvalue(const Graph& g, WalkKind kind,
+                         std::uint32_t iterations = 300);
+
+/// Spectral upper bound on tau_mix: ln(n^2) / (1 - lambda_2)-style.
+std::uint32_t mixing_time_spectral_bound(const Graph& g, WalkKind kind);
+
+/// Lemma 2.3 bound: 8 * (Delta / h)^2 * ln n on the 2Delta-regular walk.
+double lemma23_bound(const Graph& g, double edge_expansion);
+
+/// Edge expansion h(G) by exhaustive search — n <= 24 only.
+double edge_expansion_bruteforce(const Graph& g);
+
+/// Upper bound on h(G) from sweep cuts over the Fiedler ordering
+/// (plus degree-based trivial bounds). Close to exact on the bench
+/// families; always a valid upper bound.
+double edge_expansion_sweep(const Graph& g, std::uint32_t iterations = 400);
+
+/// Conductance phi(G) upper bound via the same sweep.
+double conductance_sweep(const Graph& g, std::uint32_t iterations = 400);
+
+}  // namespace amix

@@ -1,0 +1,120 @@
+#include "graph/traversal.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace amix {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src) {
+  AMIX_CHECK(src < g.num_nodes());
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::vector<NodeId> frontier{src};
+  dist[src] = 0;
+  std::uint32_t d = 0;
+  std::vector<NodeId> next;
+  while (!frontier.empty()) {
+    ++d;
+    next.clear();
+    for (const NodeId v : frontier) {
+      for (const Arc& a : g.arcs(v)) {
+        if (dist[a.to] == kUnreachable) {
+          dist[a.to] = d;
+          next.push_back(a.to);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+std::vector<NodeId> component_ids(const Graph& g, NodeId* count) {
+  std::vector<NodeId> comp(g.num_nodes(), kInvalidNode);
+  NodeId next_id = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (comp[s] != kInvalidNode) continue;
+    comp[s] = next_id;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const Arc& a : g.arcs(v)) {
+        if (comp[a.to] == kInvalidNode) {
+          comp[a.to] = next_id;
+          stack.push_back(a.to);
+        }
+      }
+    }
+    ++next_id;
+  }
+  if (count != nullptr) *count = next_id;
+  return comp;
+}
+
+std::uint32_t eccentricity(const Graph& g, NodeId src) {
+  const auto dist = bfs_distances(g, src);
+  std::uint32_t ecc = 0;
+  for (const std::uint32_t d : dist) {
+    AMIX_CHECK_MSG(d != kUnreachable, "eccentricity requires connectivity");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter_exact(const Graph& g) {
+  std::uint32_t diam = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    diam = std::max(diam, eccentricity(g, v));
+  }
+  return diam;
+}
+
+std::uint32_t diameter_double_sweep(const Graph& g, NodeId start) {
+  AMIX_CHECK(g.num_nodes() > 0);
+  auto dist = bfs_distances(g, start);
+  NodeId far = start;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    AMIX_CHECK(dist[v] != kUnreachable);
+    if (dist[v] > dist[far]) far = v;
+  }
+  return eccentricity(g, far);
+}
+
+BfsTree bfs_tree(const Graph& g, NodeId root) {
+  AMIX_CHECK(root < g.num_nodes());
+  BfsTree t;
+  t.root = root;
+  t.parent.assign(g.num_nodes(), kInvalidNode);
+  t.parent_edge.assign(g.num_nodes(), kInvalidEdge);
+  t.depth.assign(g.num_nodes(), kUnreachable);
+  t.depth[root] = 0;
+  std::queue<NodeId> q;
+  q.push(root);
+  NodeId visited = 0;
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    ++visited;
+    t.height = std::max(t.height, t.depth[v]);
+    for (const Arc& a : g.arcs(v)) {
+      if (t.depth[a.to] == kUnreachable) {
+        t.depth[a.to] = t.depth[v] + 1;
+        t.parent[a.to] = v;
+        t.parent_edge[a.to] = a.edge;
+        q.push(a.to);
+      }
+    }
+  }
+  AMIX_CHECK_MSG(visited == g.num_nodes(), "bfs_tree requires connectivity");
+  return t;
+}
+
+}  // namespace amix

@@ -1,0 +1,45 @@
+#pragma once
+
+// BFS-based utilities: distances, connectivity, components, diameter,
+// and BFS trees (the broadcast/convergecast backbone of the CONGEST
+// primitives and the pipelined MST baseline).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace amix {
+
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+
+/// Hop distances from src (kUnreachable where disconnected).
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src);
+
+bool is_connected(const Graph& g);
+
+/// Connected-component labels in [0, count).
+std::vector<NodeId> component_ids(const Graph& g, NodeId* count = nullptr);
+
+/// max_v dist(src, v); requires connected graph.
+std::uint32_t eccentricity(const Graph& g, NodeId src);
+
+/// Exact diameter via all-pairs BFS — O(nm), for tests / small graphs.
+std::uint32_t diameter_exact(const Graph& g);
+
+/// Double-sweep lower bound on the diameter (exact on trees); the value
+/// the CONGEST algorithms use when they need "some D estimate".
+std::uint32_t diameter_double_sweep(const Graph& g, NodeId start = 0);
+
+struct BfsTree {
+  NodeId root = kInvalidNode;
+  std::vector<NodeId> parent;          // parent[root] == kInvalidNode
+  std::vector<EdgeId> parent_edge;     // edge to parent
+  std::vector<std::uint32_t> depth;    // depth[root] == 0
+  std::uint32_t height = 0;            // max depth
+};
+
+/// BFS tree rooted at `root`; requires connected graph.
+BfsTree bfs_tree(const Graph& g, NodeId root);
+
+}  // namespace amix

@@ -1,0 +1,37 @@
+#include "graph/weighted_graph.hpp"
+
+namespace amix {
+
+Weights distinct_random_weights(const Graph& g, Rng& rng) {
+  std::vector<Weight> w(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) w[e] = e + 1;
+  shuffle(w, rng);
+  // Spread the values out so sums are informative but still < 2^53 total.
+  for (auto& x : w) x *= 17;
+  return Weights(g, std::move(w));
+}
+
+Weights clustered_weights(const Graph& g, Rng& rng, std::uint32_t clusters) {
+  AMIX_CHECK(clusters >= 1);
+  // Assign each node a random cluster; intra-cluster edges are cheap,
+  // inter-cluster edges expensive. Distinctness via unique low-order bits.
+  std::vector<std::uint32_t> cluster(g.num_nodes());
+  for (auto& c : cluster) {
+    c = static_cast<std::uint32_t>(rng.next_below(clusters));
+  }
+  std::vector<Weight> base(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const bool cross = cluster[g.edge_u(e)] != cluster[g.edge_v(e)];
+    base[e] = cross ? 1'000'000 : 1'000;
+  }
+  std::vector<Weight> tiebreak(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) tiebreak[e] = e;
+  shuffle(tiebreak, rng);
+  std::vector<Weight> w(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    w[e] = base[e] * g.num_edges() + tiebreak[e];
+  }
+  return Weights(g, std::move(w));
+}
+
+}  // namespace amix

@@ -1,0 +1,62 @@
+#pragma once
+
+// Edge weights for MST / min-cut experiments.
+//
+// The paper (like most of the distributed MST literature) assumes distinct
+// edge weights, which makes the MST unique and lets Kruskal serve as a
+// complete verification oracle. `distinct_random_weights` guarantees
+// distinctness by construction; `Weights::mst_key` additionally tie-breaks
+// by edge id so even adversarial inputs have a unique MST.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace amix {
+
+using Weight = std::uint64_t;
+
+class Weights {
+ public:
+  Weights() = default;
+  Weights(const Graph& g, std::vector<Weight> w) : w_(std::move(w)) {
+    AMIX_CHECK(w_.size() == g.num_edges());
+  }
+
+  Weight operator[](EdgeId e) const {
+    AMIX_DCHECK(e < w_.size());
+    return w_[e];
+  }
+
+  std::size_t size() const { return w_.size(); }
+
+  /// Total ordering on edges: by weight, ties by edge id. The MST w.r.t.
+  /// this ordering is unique.
+  bool less(EdgeId a, EdgeId b) const {
+    return w_[a] != w_[b] ? w_[a] < w_[b] : a < b;
+  }
+
+  /// 96-bit comparable key packed as (weight, edge id) — what the CONGEST
+  /// messages carry (fits in O(log n) bits).
+  std::pair<Weight, EdgeId> key(EdgeId e) const { return {w_[e], e}; }
+
+  std::uint64_t total(const std::vector<EdgeId>& edges) const {
+    std::uint64_t s = 0;
+    for (const EdgeId e : edges) s += w_[e];
+    return s;
+  }
+
+ private:
+  std::vector<Weight> w_;
+};
+
+/// Uniformly random distinct weights (random permutation of 1..m scaled).
+Weights distinct_random_weights(const Graph& g, Rng& rng);
+
+/// Weights correlated with an embedding (Euclidean-ish), still distinct;
+/// exercises non-uniform weight distributions in tests.
+Weights clustered_weights(const Graph& g, Rng& rng, std::uint32_t clusters);
+
+}  // namespace amix

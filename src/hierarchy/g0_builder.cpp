@@ -1,0 +1,101 @@
+#include "hierarchy/g0_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/spectral.hpp"
+
+namespace amix {
+
+G0Result build_g0(const VirtualNodeSpace& vs, const G0Params& params,
+                  Rng& rng, RoundLedger& ledger) {
+  const Graph& g = vs.graph();
+  const Vid nv = vs.num_virtual();
+  AMIX_CHECK(nv >= 2);
+  BaseComm base(g);
+
+  G0Result res;
+  res.out_degree =
+      params.out_degree != 0
+          ? params.out_degree
+          : std::max<std::uint32_t>(
+                4, static_cast<std::uint32_t>(std::ceil(
+                       0.75 * std::log2(static_cast<double>(g.num_nodes())))));
+
+  if (params.tau_mix != 0) {
+    res.tau_mix = params.tau_mix;
+  } else {
+    Rng probe = rng.split();
+    res.tau_mix = mixing_time_sampled(g, WalkKind::kLazy, params.tau_samples,
+                                      probe, params.max_tau);
+    AMIX_CHECK_MSG(res.tau_mix <= params.max_tau,
+                   "base graph did not mix within max_tau");
+  }
+
+  const auto walks_per_vid = static_cast<std::uint32_t>(
+      std::ceil(params.walk_slack * res.out_degree));
+
+  // Walks start at the owner node of each virtual node (tokens live on the
+  // base graph); walk i of vid v occupies starts[v * walks_per_vid + i].
+  std::vector<std::uint32_t> starts;
+  starts.reserve(static_cast<std::size_t>(nv) * walks_per_vid);
+  for (Vid vid = 0; vid < nv; ++vid) {
+    for (std::uint32_t i = 0; i < walks_per_vid; ++i) {
+      starts.push_back(vs.owner(vid));
+    }
+  }
+
+  ParallelWalkEngine engine(base, rng.split());
+  const auto ends = engine.run(starts, WalkKind::kLazy, res.tau_mix, ledger,
+                               &res.forward_stats);
+  // Reverse traversal (neighbors learn the walk sources) + second forward
+  // traversal (in-edges become known): same schedule cost each.
+  ParallelWalkEngine::charge_rerun(res.forward_stats, ledger);
+  ParallelWalkEngine::charge_rerun(res.forward_stats, ledger);
+
+  // Out-neighbor selection: the endpoint node assigns each token to a
+  // uniform port, making endpoints ~uniform over virtual nodes. Take the
+  // first out_degree endpoints distinct from self (multi-edges allowed, as
+  // in a directed-pick Erdos-Renyi overlay).
+  std::vector<std::vector<std::uint32_t>> adj(nv);
+  for (Vid vid = 0; vid < nv; ++vid) adj[vid].reserve(2 * res.out_degree);
+  for (Vid vid = 0; vid < nv; ++vid) {
+    std::uint32_t taken = 0;
+    for (std::uint32_t i = 0; i < walks_per_vid && taken < res.out_degree;
+         ++i) {
+      const NodeId land = ends[static_cast<std::size_t>(vid) * walks_per_vid + i];
+      const std::uint32_t port =
+          static_cast<std::uint32_t>(rng.next_below(g.degree(land)));
+      const Vid nbr = vs.vid_of(land, port);
+      if (nbr == vid) continue;
+      adj[vid].push_back(nbr);
+      adj[nbr].push_back(vid);  // edge becomes undirected
+      ++taken;
+    }
+    AMIX_CHECK_MSG(taken >= res.out_degree / 2,
+                   "G0: too many self-landings; increase walk_slack");
+  }
+
+  // Emulation-cost probe: a fresh batch shaped like the selected walks
+  // (out_degree per vid, same length) measured on a scratch ledger; one
+  // G0 round re-runs those walks forward and backward.
+  RoundLedger scratch;
+  std::vector<std::uint32_t> probe_starts;
+  probe_starts.reserve(static_cast<std::size_t>(nv) * res.out_degree);
+  for (Vid vid = 0; vid < nv; ++vid) {
+    for (std::uint32_t i = 0; i < res.out_degree; ++i) {
+      probe_starts.push_back(vs.owner(vid));
+    }
+  }
+  WalkStats probe_stats;
+  ParallelWalkEngine probe_engine(base, rng.split());
+  probe_engine.run(probe_starts, WalkKind::kLazy, res.tau_mix, scratch,
+                   &probe_stats);
+  const std::uint64_t round_cost = 2 * std::max<std::uint64_t>(
+                                           1, probe_stats.graph_rounds);
+
+  res.overlay = OverlayComm(std::move(adj), round_cost);
+  return res;
+}
+
+}  // namespace amix

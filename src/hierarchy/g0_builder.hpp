@@ -1,0 +1,47 @@
+#pragma once
+
+// Level-zero embedding (Section 3.1.1): an Erdos-Renyi-like overlay G_0 on
+// the 2m virtual nodes, built from parallel lazy random walks of length
+// tau_mix(G) on the base graph.
+//
+// Each virtual node starts `walk_slack * out_degree` walks; after tau_mix
+// steps a walk's endpoint is (essentially) a uniform virtual node, because
+// the lazy walk's stationary distribution is degree-proportional and the
+// landing node assigns the token to a uniform port. The first `out_degree`
+// endpoints become out-neighbors; reversing the walks informs both sides
+// (charged as a second pass), and one more forward pass lets endpoints
+// learn their in-edges (third pass) — exactly the paper's three traversals.
+//
+// round_cost of the resulting overlay = base rounds to re-run the selected
+// walks in both directions, measured on a fresh same-shape batch (see
+// DESIGN.md Section 5 on why a fresh batch is a faithful cost probe).
+
+#include <cstdint>
+
+#include "congest/comm_graph.hpp"
+#include "congest/round_ledger.hpp"
+#include "hierarchy/virtual_space.hpp"
+#include "randwalk/walk_engine.hpp"
+
+namespace amix {
+
+struct G0Params {
+  std::uint32_t out_degree = 0;   // 0 = auto: max(4, ceil(0.75 * log2 n))
+  double walk_slack = 2.0;        // started walks = slack * out_degree
+  std::uint32_t tau_mix = 0;      // 0 = measure (sampled, Definition 2.1)
+  std::uint32_t tau_samples = 4;  // starts probed when measuring tau_mix
+  std::uint32_t max_tau = 2'000'000;
+};
+
+struct G0Result {
+  OverlayComm overlay;        // on [0, 2m) vids; round_cost set
+  std::uint32_t tau_mix = 0;  // walk length used
+  std::uint32_t out_degree = 0;
+  WalkStats forward_stats;    // the full construction batch
+};
+
+/// Builds G_0 and charges the ledger for the three walk traversals.
+G0Result build_g0(const VirtualNodeSpace& vs, const G0Params& params, Rng& rng,
+                  RoundLedger& ledger);
+
+}  // namespace amix

@@ -1,0 +1,168 @@
+#include "hierarchy/hierarchy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "congest/primitives.hpp"
+#include "graph/traversal.hpp"
+
+namespace amix {
+
+std::uint32_t default_beta(std::uint64_t n) {
+  const double logn = std::max(2.0, std::log2(static_cast<double>(n)));
+  const double loglogn = std::max(1.0, std::log2(logn));
+  const auto exponent =
+      static_cast<std::uint32_t>(std::ceil(std::sqrt(logn * loglogn)));
+  const std::uint64_t beta = 1ULL << std::min<std::uint32_t>(exponent, 6);
+  return static_cast<std::uint32_t>(std::clamp<std::uint64_t>(beta, 4, 64));
+}
+
+Hierarchy Hierarchy::build(const Graph& g, const HierarchyParams& params,
+                           RoundLedger& ledger) {
+  AMIX_CHECK(g.num_nodes() >= 2);
+  const std::uint64_t start_rounds = ledger.total();
+
+  Hierarchy h;
+  h.g_ = &g;
+  h.vspace_ = std::make_unique<VirtualNodeSpace>(g);
+  const Vid nv = h.vspace_->num_virtual();
+  const double log2n = std::max(2.0, std::log2(static_cast<double>(g.num_nodes())));
+
+  const std::uint32_t leaf_target =
+      params.leaf_target != 0
+          ? params.leaf_target
+          : std::max<std::uint32_t>(
+                8, static_cast<std::uint32_t>(std::ceil(1.25 * log2n)));
+  std::uint32_t level_degree =
+      params.level_degree != 0
+          ? params.level_degree
+          : std::max<std::uint32_t>(
+                4, static_cast<std::uint32_t>(std::ceil(0.6 * log2n)));
+  std::uint32_t g0_degree =
+      params.g0_out_degree != 0
+          ? params.g0_out_degree
+          : std::max<std::uint32_t>(
+                4, static_cast<std::uint32_t>(std::ceil(0.75 * log2n)));
+
+  // beta: the paper's 2^O(sqrt(log n log log n)), additionally clamped so
+  // that every sibling-part pair keeps Theta(1) expected connecting edges
+  // at every level (Lemma 3.4's capacity needs ~m log n / beta^2 > 0; with
+  // our scaled constants the binding constraints are the G0 density at
+  // level 1 and the leaf density at level `depth`).
+  std::uint32_t beta = params.beta;
+  if (beta == 0) {
+    const std::uint32_t wanted = default_beta(g.num_nodes());
+    beta = 4;
+    const auto fits = [&](std::uint64_t b) {
+      const bool c1 = static_cast<std::uint64_t>(nv) * 2 * g0_degree >=
+                      12 * b * b;  // level-1 hop edges per sibling pair
+      const bool c2 = static_cast<std::uint64_t>(leaf_target) * 2 *
+                          level_degree >=
+                      8 * b;  // leaf-level hop edges per sibling pair
+      return c1 && c2;
+    };
+    while (2 * beta <= wanted && fits(2ULL * beta)) beta *= 2;
+  }
+
+  // depth k: the deepest tree whose average leaf still holds >= leaf_target
+  // virtual nodes (at least 1 level). Going one level further would leave
+  // leaves below the Theta(log n) floor the recursion bottoms out on.
+  std::uint32_t depth = 1;
+  {
+    double parts = static_cast<double>(beta) * beta;
+    while (static_cast<double>(nv) / parts >= leaf_target) {
+      parts *= beta;
+      ++depth;
+    }
+  }
+
+  Rng rng(params.seed);
+
+  // Shared randomness (Section 3.1.2): a leader is elected, samples the
+  // Theta(log^2 n) hash-seed bits, and pipeline-broadcasts them over a BFS
+  // tree. Charged once per (re)try on the kernel + pipeline formula.
+  const auto charge_seed_dissemination = [&](std::uint32_t w_independence) {
+    PhaseScope scope(ledger, "leader+seed");
+    congest::elect_leader_max_id(g, scope.ledger());
+    const BfsTree tree =
+        congest::distributed_bfs_tree(g, 0, scope.ledger());
+    congest::broadcast_bits(tree, static_cast<std::uint64_t>(w_independence) * 61,
+                            128, scope.ledger());
+  };
+
+  const auto w_independence = static_cast<unsigned>(
+      std::max(8.0, std::ceil(2.0 * log2n)));
+
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    AMIX_CHECK_MSG(attempt < params.max_retries,
+                   "hierarchy build exceeded max_retries");
+    h.stats_.retries = attempt;
+
+    charge_seed_dissemination(w_independence);
+    KWiseHash hash(w_independence, rng);
+    h.partition_ = std::make_unique<HierarchicalPartition>(
+        *h.vspace_, std::move(hash), beta, depth);
+    if (!h.partition_->balanced(params.balance_slack)) continue;  // resample
+
+    // G0.
+    h.overlays_.clear();
+    {
+      PhaseScope scope(ledger, "g0-embed");
+      G0Params g0p;
+      g0p.out_degree = g0_degree;
+      g0p.walk_slack = std::max(2.0, params.walk_slack);
+      g0p.tau_mix = params.tau_mix != 0 ? params.tau_mix : h.stats_.tau_mix;
+      G0Result g0 = build_g0(*h.vspace_, g0p, rng, scope.ledger());
+      h.stats_.tau_mix = g0.tau_mix;  // reuse the measurement on retries
+      h.stats_.g0_round_cost = g0.overlay.round_cost();
+      h.overlays_.push_back(std::move(g0.overlay));
+    }
+
+    // Levels 1..depth.
+    bool levels_ok = true;
+    h.stats_.emul_parent_rounds.clear();
+    for (std::uint32_t level = 1; level <= depth; ++level) {
+      PhaseScope scope(ledger, "levels");
+      LevelParams lp;
+      lp.target_degree = level_degree;
+      lp.walk_slack = params.walk_slack;
+      LevelResult lr = build_level(h.overlays_[level - 1], *h.partition_,
+                                   level, lp, rng, scope.ledger());
+      if (!lr.parts_connected) {
+        levels_ok = false;
+        break;
+      }
+      h.stats_.emul_parent_rounds.push_back(lr.emul_parent_rounds);
+      h.overlays_.push_back(std::move(lr.overlay));
+    }
+    if (!levels_ok) {
+      level_degree += (level_degree + 1) / 2;  // thicken and retry
+      continue;
+    }
+
+    // Portals.
+    {
+      PhaseScope scope(ledger, "portals");
+      std::vector<const OverlayComm*> ptrs;
+      for (const auto& ov : h.overlays_) ptrs.push_back(&ov);
+      h.portals_ = std::make_unique<PortalTable>(*h.partition_, ptrs, rng,
+                                                 scope.ledger());
+    }
+    if (!h.portals_->complete()) {
+      // Some sibling pair has no connecting edge: thicken all overlays
+      // (level 1 hops over G0, deeper levels over the level overlays).
+      level_degree += (level_degree + 1) / 2;
+      g0_degree += (g0_degree + 1) / 2;
+      continue;
+    }
+    break;
+  }
+
+  h.stats_.depth = depth;
+  h.stats_.beta = beta;
+  h.stats_.deepest_round_cost = h.overlays_.back().round_cost();
+  h.stats_.build_rounds = ledger.total() - start_rounds;
+  return h;
+}
+
+}  // namespace amix

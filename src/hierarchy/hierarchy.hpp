@@ -1,0 +1,91 @@
+#pragma once
+
+// The full hierarchical routing structure of Section 3.1: G0 + the
+// recursive levels + the pseudo-random partition + the portal tables,
+// built bottom-up with every stage's cost charged to the ledger.
+//
+// Defaults follow the paper with scaled constants (DESIGN.md Section 4):
+//   beta  = 2^ceil(sqrt(log2 n * log2 log2 n))  (clamped to [4, 64])
+//   depth = ceil(log_beta(2m / leaf_target))
+//   per-level degree, G0 degree ~ Theta(log n) with small multipliers.
+//
+// The build is Las Vegas: the partition balance (P1) and portal
+// completeness checks are verified, and the build retries with a fresh
+// hash seed / +50% degrees when they fail, counting retries.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "congest/round_ledger.hpp"
+#include "hierarchy/g0_builder.hpp"
+#include "hierarchy/level_builder.hpp"
+#include "hierarchy/partition.hpp"
+#include "hierarchy/portals.hpp"
+#include "hierarchy/virtual_space.hpp"
+
+namespace amix {
+
+struct HierarchyParams {
+  std::uint32_t beta = 0;         // 0 = auto (the paper's 2^~sqrt(log log log))
+  std::uint32_t leaf_target = 0;  // 0 = auto: max(8, ceil(1.25 * log2 n))
+  std::uint32_t g0_out_degree = 0;     // 0 = auto
+  std::uint32_t level_degree = 0;      // 0 = auto: max(4, ceil(0.6 * log2 n))
+  double walk_slack = 1.5;
+  double balance_slack = 6.0;     // P1 check tolerance on leaf sizes
+  std::uint32_t tau_mix = 0;      // 0 = measure on the base graph
+  std::uint32_t max_retries = 6;
+  std::uint64_t seed = 0x517cc1b727220a95ULL;
+};
+
+/// The paper's beta: 2^O(sqrt(log n log log n)), concretely
+/// 2^ceil(sqrt(log2 n * log2 log2 n)) clamped to [4, 64] for simulation.
+std::uint32_t default_beta(std::uint64_t n);
+
+struct HierarchyStats {
+  std::uint32_t retries = 0;
+  std::uint32_t tau_mix = 0;      // base-graph mixing time used
+  std::uint32_t depth = 0;
+  std::uint32_t beta = 0;
+  std::uint64_t build_rounds = 0;  // total charged construction rounds
+  std::vector<std::uint64_t> emul_parent_rounds;  // per level 1..depth
+  std::uint64_t g0_round_cost = 0;
+  std::uint64_t deepest_round_cost = 0;
+};
+
+class Hierarchy {
+ public:
+  /// Build everything; charges construction rounds (tagged by phase:
+  /// "leader+seed", "g0-embed", "levels", "portals") to `ledger`.
+  static Hierarchy build(const Graph& g, const HierarchyParams& params,
+                         RoundLedger& ledger);
+
+  const Graph& graph() const { return *g_; }
+  const VirtualNodeSpace& vspace() const { return *vspace_; }
+  const HierarchicalPartition& partition() const { return *partition_; }
+  const PortalTable& portals() const { return *portals_; }
+
+  std::uint32_t depth() const { return partition_->depth(); }
+  std::uint32_t beta() const { return partition_->beta(); }
+
+  /// Level-l overlay, l in [0, depth]; overlay(0) is G0.
+  const OverlayComm& overlay(std::uint32_t level) const {
+    AMIX_CHECK(level < overlays_.size());
+    return overlays_[level];
+  }
+
+  const HierarchyStats& stats() const { return stats_; }
+
+ private:
+  Hierarchy() = default;
+
+  const Graph* g_ = nullptr;
+  std::unique_ptr<VirtualNodeSpace> vspace_;
+  std::unique_ptr<HierarchicalPartition> partition_;
+  std::vector<OverlayComm> overlays_;
+  std::unique_ptr<PortalTable> portals_;
+  HierarchyStats stats_;
+};
+
+}  // namespace amix

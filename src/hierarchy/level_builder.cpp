@@ -1,0 +1,155 @@
+#include "hierarchy/level_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "randwalk/mixing.hpp"
+
+namespace amix {
+namespace {
+
+std::uint64_t edge_key(std::uint32_t a, std::uint32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+LevelResult build_level(const CommGraph& parent,
+                        const HierarchicalPartition& part, std::uint32_t level,
+                        const LevelParams& params, Rng& rng,
+                        RoundLedger& ledger) {
+  AMIX_CHECK(level >= 1 && level <= part.depth());
+  const std::uint32_t nv = parent.num_nodes();
+  AMIX_CHECK(nv == part.order().size());
+
+  LevelResult res;
+
+  if (params.tau != 0) {
+    res.tau = params.tau;
+  } else {
+    Rng probe = rng.split();
+    res.tau = comm_mixing_time_sampled(parent, WalkKind::kRegular2Delta,
+                                       params.tau_samples, probe,
+                                       params.max_tau);
+    AMIX_CHECK_MSG(res.tau <= params.max_tau,
+                   "parent overlay did not mix within max_tau");
+    res.tau = std::max<std::uint32_t>(res.tau, 1);
+  }
+
+  const std::uint32_t beta = part.beta();
+
+  // Per-vid targets: target_degree, capped at 2/3 of the co-member count
+  // so the distinct-neighbor waves converge geometrically (each successful
+  // walk still has >= 1/3 chance of hitting a new neighbor).
+  std::vector<std::uint32_t> missing(nv);
+  for (Vid v = 0; v < nv; ++v) {
+    const std::uint32_t sz = part.part_size(level, part.part_of(v, level));
+    const std::uint32_t cap =
+        sz <= 1 ? 0 : std::max<std::uint32_t>(1, 2 * (sz - 1) / 3);
+    missing[v] = std::min(params.target_degree, cap);
+  }
+
+  std::vector<std::vector<std::uint32_t>> adj(nv);
+  std::unordered_set<std::uint64_t> have;  // undirected edges present
+  have.reserve(static_cast<std::size_t>(nv) * params.target_degree * 2);
+
+  auto connect = [&](Vid a, Vid b) -> bool {
+    if (!have.insert(edge_key(a, b)).second) return false;
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+    return true;
+  };
+
+  ParallelWalkEngine engine(parent, rng.split());
+  std::vector<std::uint32_t> starts;
+
+  for (res.waves = 0; res.waves < params.max_waves; ++res.waves) {
+    starts.clear();
+    for (Vid v = 0; v < nv; ++v) {
+      if (missing[v] == 0) continue;
+      const auto w = static_cast<std::uint32_t>(
+          std::ceil(params.walk_slack * beta * missing[v]));
+      for (std::uint32_t i = 0; i < w; ++i) starts.push_back(v);
+    }
+    if (starts.empty()) break;
+    res.walks_issued += starts.size();
+
+    WalkStats stats;
+    const auto ends = engine.run(starts, WalkKind::kRegular2Delta, res.tau,
+                                 ledger, &stats);
+    ParallelWalkEngine::charge_rerun(stats, ledger);  // reverse traversal
+
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+      const Vid s = starts[i];
+      const Vid e = ends[i];
+      if (missing[s] == 0 || e == s) continue;
+      if (part.part_of(s, level) != part.part_of(e, level)) continue;
+      if (connect(s, e)) {
+        --missing[s];
+        if (missing[e] > 0) --missing[e];  // the edge serves both endpoints
+      }
+    }
+  }
+
+  for (Vid v = 0; v < nv; ++v) {
+    AMIX_CHECK_MSG(missing[v] == 0,
+                   "level build did not converge; raise max_waves/walk_slack");
+  }
+
+  // Per-part connectivity (the recursion walks within parts, so every
+  // part's overlay must be one component). Verified, not assumed.
+  {
+    // Union-find over overlay edges.
+    std::vector<Vid> uf(nv);
+    for (Vid v = 0; v < nv; ++v) uf[v] = v;
+    const auto find = [&uf](Vid x) {
+      while (uf[x] != x) {
+        uf[x] = uf[uf[x]];
+        x = uf[x];
+      }
+      return x;
+    };
+    for (Vid v = 0; v < nv; ++v) {
+      for (const Vid w : adj[v]) {
+        const Vid a = find(v), b = find(w);
+        if (a != b) uf[a] = b;
+      }
+    }
+    // Each part must have exactly one representative.
+    std::unordered_set<std::uint64_t> reps;
+    res.parts_connected = true;
+    for (Vid v = 0; v < nv; ++v) {
+      const std::uint64_t key =
+          (part.part_of(v, level) << 22) ^ find(v);
+      reps.insert(key);
+    }
+    std::unordered_set<PartId> parts_seen;
+    for (Vid v = 0; v < nv; ++v) parts_seen.insert(part.part_of(v, level));
+    if (reps.size() != parts_seen.size()) res.parts_connected = false;
+  }
+
+  // Emulation-cost probe: one round of this overlay re-runs (forward and
+  // backward) one walk per overlay edge-direction; probe with a fresh batch
+  // of target_degree walks per vid on a scratch ledger.
+  RoundLedger scratch;
+  std::vector<std::uint32_t> probe_starts;
+  for (Vid v = 0; v < nv; ++v) {
+    for (const Vid w : adj[v]) {
+      if (v < w) probe_starts.push_back(v);  // one walk per undirected edge
+    }
+  }
+  WalkStats probe_stats;
+  ParallelWalkEngine probe_engine(parent, rng.split());
+  probe_engine.run(probe_starts, WalkKind::kRegular2Delta, res.tau, scratch,
+                   &probe_stats);
+  res.emul_parent_rounds =
+      2 * std::max<std::uint64_t>(1, probe_stats.graph_rounds);
+
+  res.overlay =
+      OverlayComm(std::move(adj), res.emul_parent_rounds * parent.round_cost());
+  return res;
+}
+
+}  // namespace amix

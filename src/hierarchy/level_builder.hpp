@@ -1,0 +1,53 @@
+#pragma once
+
+// Recursive level construction (Section 3.1.2): given the level-(l-1)
+// overlay, build the level-l overlay G_l — a disjoint union of random
+// graphs, one per level-l part — by running 2Delta-regular random walks on
+// the parent overlay and keeping the "successful" walks (those whose
+// endpoint lies in the starter's own level-l part).
+//
+// Walks are issued in adaptive waves: each wave starts
+// ~walk_slack * beta * missing walks per still-unsatisfied node (success
+// probability per walk is ~1/beta); nodes stop once they have their target
+// degree. The per-node target is capped at 2/3 of the part size so waves
+// converge geometrically (no coupon-collector tail); at the last level,
+// where parts have Theta(log n) nodes, this yields the paper's effectively
+// complete leaf graphs (diameter 1-2) without a quadratic construction.
+// Per-part connectivity is verified; the hierarchy retries with thicker
+// overlays if it ever fails (Las Vegas).
+
+#include <cstdint>
+
+#include "congest/comm_graph.hpp"
+#include "congest/round_ledger.hpp"
+#include "hierarchy/partition.hpp"
+#include "randwalk/walk_engine.hpp"
+
+namespace amix {
+
+struct LevelParams {
+  std::uint32_t target_degree = 8;  // Theta(log n) random same-part neighbors
+  double walk_slack = 1.5;
+  std::uint32_t tau = 0;            // walk length on parent; 0 = measure
+  std::uint32_t tau_samples = 4;
+  std::uint32_t max_tau = 4000;
+  std::uint32_t max_waves = 64;
+};
+
+struct LevelResult {
+  OverlayComm overlay;               // on [0, 2m) vids; round_cost set
+  std::uint32_t tau = 0;             // walk length used on the parent
+  std::uint64_t emul_parent_rounds = 0;  // parent rounds per round of this
+  std::uint32_t waves = 0;
+  std::uint64_t walks_issued = 0;
+  bool parts_connected = false;  // every part's overlay subgraph connected
+};
+
+/// Build the level-`level` overlay on top of `parent`. Charges the ledger
+/// for every wave (forward + reverse). `level >= 1`.
+LevelResult build_level(const CommGraph& parent,
+                        const HierarchicalPartition& part, std::uint32_t level,
+                        const LevelParams& params, Rng& rng,
+                        RoundLedger& ledger);
+
+}  // namespace amix

@@ -1,0 +1,92 @@
+#include "hierarchy/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace amix {
+
+HierarchicalPartition::HierarchicalPartition(const VirtualNodeSpace& vs,
+                                             KWiseHash hash,
+                                             std::uint32_t beta,
+                                             std::uint32_t depth)
+    : vs_(&vs), hash_(std::move(hash)), beta_(beta), depth_(depth) {
+  AMIX_CHECK(beta >= 2);
+  AMIX_CHECK(depth >= 1);
+  pow_beta_.resize(depth + 1);
+  pow_beta_[0] = 1;
+  for (std::uint32_t i = 1; i <= depth; ++i) {
+    pow_beta_[i] = pow_beta_[i - 1] * beta;
+    AMIX_CHECK_MSG(pow_beta_[i] < (1ULL << 40), "partition tree too large");
+  }
+
+  const Vid n = vs.num_virtual();
+  leaf_.resize(n);
+  for (Vid vid = 0; vid < n; ++vid) {
+    leaf_[vid] = leaf_of_key(vs.key(vid));
+  }
+
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), Vid{0});
+  std::sort(order_.begin(), order_.end(), [this](Vid a, Vid b) {
+    return leaf_[a] != leaf_[b] ? leaf_[a] < leaf_[b] : a < b;
+  });
+
+  const std::uint64_t leaves = pow_beta_[depth];
+  leaf_start_.assign(leaves + 1, 0);
+  for (Vid vid = 0; vid < n; ++vid) {
+    ++leaf_start_[static_cast<std::size_t>(leaf_[vid]) + 1];
+  }
+  for (std::uint64_t l = 0; l < leaves; ++l) {
+    leaf_start_[l + 1] += leaf_start_[l];
+  }
+
+  min_leaf_ = n;
+  max_leaf_ = 0;
+  for (std::uint64_t l = 0; l < leaves; ++l) {
+    const std::uint32_t sz = leaf_start_[l + 1] - leaf_start_[l];
+    min_leaf_ = std::min(min_leaf_, sz);
+    max_leaf_ = std::max(max_leaf_, sz);
+  }
+}
+
+std::uint64_t HierarchicalPartition::num_parts(std::uint32_t level) const {
+  AMIX_CHECK(level <= depth_);
+  return pow_beta_[level];
+}
+
+std::uint32_t HierarchicalPartition::digit(Vid vid,
+                                           std::uint32_t level) const {
+  AMIX_CHECK(level >= 1 && level <= depth_);
+  return static_cast<std::uint32_t>(
+      (leaf_[vid] / pow_beta_[depth_ - level]) % beta_);
+}
+
+PartId HierarchicalPartition::leaf_of_key(std::uint64_t key) const {
+  return hash_(key) % pow_beta_[depth_];
+}
+
+std::pair<std::uint32_t, std::uint32_t> HierarchicalPartition::range(
+    std::uint32_t level, PartId part) const {
+  AMIX_CHECK(level <= depth_);
+  AMIX_CHECK(part < num_parts(level));
+  const std::uint64_t first_leaf = part * pow_beta_[depth_ - level];
+  const std::uint64_t last_leaf = first_leaf + pow_beta_[depth_ - level];
+  return {leaf_start_[first_leaf], leaf_start_[last_leaf]};
+}
+
+bool HierarchicalPartition::balanced(double slack) const {
+  AMIX_CHECK(slack >= 1.0);
+  const double avg = static_cast<double>(vs_->num_virtual()) /
+                     static_cast<double>(pow_beta_[depth_]);
+  if (avg < 4.0) {
+    // Degenerate instances (fewer virtual nodes than ~4 per leaf): empty
+    // leaves are unavoidable and harmless — empty parts never hold packets
+    // and the portal/level machinery skips them. Only cap the maximum.
+    return static_cast<double>(max_leaf_) <= avg * slack + 4.0;
+  }
+  if (min_leaf_ == 0) return false;
+  return static_cast<double>(max_leaf_) <= avg * slack &&
+         static_cast<double>(min_leaf_) >= avg / slack;
+}
+
+}  // namespace amix

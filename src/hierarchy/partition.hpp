@@ -1,0 +1,98 @@
+#pragma once
+
+// Pseudo-random hierarchical partition (Section 3.1.2).
+//
+// A Theta(log n)-wise independent hash maps every virtual node key to a
+// leaf of the beta-ary partition tree of depth k; the level-l label of a
+// virtual node is the length-l prefix of its leaf index written in base
+// beta. Property (P1): all parts at every level have near-equal size,
+// checked at construction (Las Vegas: the builder resamples the hash seed
+// if the check fails, charging a re-broadcast). Property (P2): any node
+// can compute any other virtual node's labels from its key alone — which
+// is how packet sources learn their destination's position in the tree.
+
+#include <cstdint>
+#include <vector>
+
+#include "hierarchy/virtual_space.hpp"
+#include "util/kwise_hash.hpp"
+#include "util/rng.hpp"
+
+namespace amix {
+
+/// Part id at a level: the label prefix interpreted as an integer in
+/// [0, beta^level).
+using PartId = std::uint64_t;
+
+class HierarchicalPartition {
+ public:
+  /// depth >= 1, beta >= 2. `hash` must already be sampled (its seed is the
+  /// broadcast shared randomness).
+  HierarchicalPartition(const VirtualNodeSpace& vs, KWiseHash hash,
+                        std::uint32_t beta, std::uint32_t depth);
+
+  std::uint32_t beta() const { return beta_; }
+  std::uint32_t depth() const { return depth_; }
+
+  std::uint64_t num_leaves() const { return num_parts(depth_); }
+  std::uint64_t num_parts(std::uint32_t level) const;  // beta^level
+
+  /// Leaf index of a virtual node (precomputed).
+  PartId leaf(Vid vid) const { return leaf_[vid]; }
+
+  /// Part id of vid at `level` (0 = the single root part).
+  PartId part_of(Vid vid, std::uint32_t level) const {
+    return prefix(leaf_[vid], level);
+  }
+
+  /// Level-`level` digit (the paper's l_level in {0..beta-1}).
+  std::uint32_t digit(Vid vid, std::uint32_t level) const;
+
+  /// Labels from a key alone — what remote nodes compute (property P2).
+  PartId leaf_of_key(std::uint64_t key) const;
+  PartId part_of_key(std::uint64_t key, std::uint32_t level) const {
+    return prefix(leaf_of_key(key), level);
+  }
+
+  PartId prefix(PartId leaf, std::uint32_t level) const {
+    return leaf / pow_beta_[depth_ - level];
+  }
+
+  /// Parent part id of a level-`level` part (level >= 1).
+  PartId parent_part(PartId part) const { return part / beta_; }
+  /// Child index of a level-`level` part within its parent.
+  std::uint32_t child_index(PartId part) const {
+    return static_cast<std::uint32_t>(part % beta_);
+  }
+
+  /// Members of each part at `level`, as contiguous ranges over a vid
+  /// ordering shared by all levels. `order()[range(part)]` are the members.
+  const std::vector<Vid>& order() const { return order_; }
+  std::pair<std::uint32_t, std::uint32_t> range(std::uint32_t level,
+                                                PartId part) const;
+
+  std::uint32_t part_size(std::uint32_t level, PartId part) const {
+    const auto [lo, hi] = range(level, part);
+    return hi - lo;
+  }
+
+  std::uint32_t min_leaf_size() const { return min_leaf_; }
+  std::uint32_t max_leaf_size() const { return max_leaf_; }
+
+  /// P1 check: every leaf size in [avg/slack, avg*slack] (and nonempty).
+  bool balanced(double slack) const;
+
+ private:
+  const VirtualNodeSpace* vs_;
+  KWiseHash hash_;
+  std::uint32_t beta_;
+  std::uint32_t depth_;
+  std::vector<std::uint64_t> pow_beta_;  // beta^0 .. beta^depth
+  std::vector<PartId> leaf_;             // per vid
+  std::vector<Vid> order_;               // vids sorted by (leaf, vid)
+  std::vector<std::uint32_t> leaf_start_;  // per leaf id: start in order_
+  std::uint32_t min_leaf_ = 0;
+  std::uint32_t max_leaf_ = 0;
+};
+
+}  // namespace amix

@@ -1,0 +1,128 @@
+#include "hierarchy/portals.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "randwalk/mixing.hpp"
+
+namespace amix {
+
+PortalTable::PortalTable(const HierarchicalPartition& part,
+                         const std::vector<const OverlayComm*>& overlays,
+                         Rng& rng, RoundLedger& ledger)
+    : part_(&part), overlays_(overlays) {
+  AMIX_CHECK(overlays_.size() == part.depth() + 1);
+  AMIX_CHECK_MSG(part.beta() <= 64, "portal table assumes beta <= 64");
+  const std::uint32_t nv = overlays_[0]->num_nodes();
+
+  // Candidate sets from the parent-overlay adjacency.
+  for (std::uint32_t level = 1; level <= part.depth(); ++level) {
+    const OverlayComm& hop_graph = *overlays_[level - 1];
+    for (Vid u = 0; u < nv; ++u) {
+      const PartId pu = part.part_of(u, level);
+      const PartId parent_u = level == 1 ? 0 : part.part_of(u, level - 1);
+      for (const Vid w : hop_graph.neighbors(u)) {
+        const PartId pw = part.part_of(w, level);
+        if (pw == pu) continue;
+        const PartId parent_w = level == 1 ? 0 : part.part_of(w, level - 1);
+        if (parent_w != parent_u) continue;
+        candidates_[slot_key(level, pu, part.child_index(pw))].push_back(u);
+      }
+    }
+  }
+  for (auto& [key, vec] : candidates_) {
+    std::sort(vec.begin(), vec.end());
+    vec.erase(std::unique(vec.begin(), vec.end()), vec.end());
+  }
+
+  // Completeness + min size over all ordered sibling pairs.
+  min_candidates_ = std::numeric_limits<std::uint32_t>::max();
+  for (std::uint32_t level = 1; level <= part.depth(); ++level) {
+    for (PartId a = 0; a < part.num_parts(level); ++a) {
+      if (part.part_size(level, a) == 0) continue;
+      const PartId parent = a / part.beta();
+      for (std::uint32_t c = 0; c < part.beta(); ++c) {
+        const PartId b = parent * part.beta() + c;
+        if (b == a) continue;
+        if (part.part_size(level, b) == 0) continue;
+        const auto it = candidates_.find(slot_key(level, a, c));
+        const std::uint32_t sz =
+            it == candidates_.end()
+                ? 0
+                : static_cast<std::uint32_t>(it->second.size());
+        min_candidates_ = std::min(min_candidates_, sz);
+        if (sz == 0) complete_ = false;
+      }
+    }
+  }
+  if (min_candidates_ == std::numeric_limits<std::uint32_t>::max()) {
+    min_candidates_ = 0;
+  }
+
+  // Lemma 3.3 construction charge: per level, a beta-walks-per-node batch
+  // on the level-l overlay, once per target sibling, forward and reverse.
+  for (std::uint32_t level = 1; level <= part.depth(); ++level) {
+    const OverlayComm& ov = *overlays_[level];
+    if (ov.num_arcs() == 0) continue;  // degenerate: all parts singletons
+    Rng probe = rng.split();
+    const std::uint32_t tau = std::min<std::uint32_t>(
+        comm_mixing_time_sampled(ov, WalkKind::kRegular2Delta, 2, probe, 400),
+        400);
+    std::vector<std::uint32_t> starts;
+    starts.reserve(static_cast<std::size_t>(nv) * part.beta());
+    for (Vid v = 0; v < nv; ++v) {
+      if (ov.degree(v) == 0) continue;
+      for (std::uint32_t i = 0; i < part.beta(); ++i) starts.push_back(v);
+    }
+    RoundLedger scratch;
+    WalkStats stats;
+    ParallelWalkEngine engine(ov, rng.split());
+    engine.run(starts, WalkKind::kRegular2Delta, std::max(tau, 1u), scratch,
+               &stats);
+    // One batch per target part, each run forward and reverse.
+    ledger.charge(2ULL * stats.base_rounds * part.beta());
+  }
+}
+
+bool PortalTable::has_candidates(std::uint32_t level, PartId part_a,
+                                 std::uint32_t target_child) const {
+  const auto it = candidates_.find(slot_key(level, part_a, target_child));
+  return it != candidates_.end() && !it->second.empty();
+}
+
+Vid PortalTable::portal_for(Vid u, std::uint32_t level,
+                            std::uint32_t target_child) const {
+  const PartId pa = part_->part_of(u, level);
+  const auto it = candidates_.find(slot_key(level, pa, target_child));
+  AMIX_CHECK_MSG(it != candidates_.end() && !it->second.empty(),
+                 "no portal candidates for this sibling pair");
+  const std::uint64_t h = splitmix64(
+      (static_cast<std::uint64_t>(u) << 24) ^ (level << 8) ^ target_child);
+  return it->second[h % it->second.size()];
+}
+
+std::pair<Vid, std::uint32_t> PortalTable::hop_arc(
+    Vid portal, std::uint32_t level, std::uint32_t target_child) const {
+  const OverlayComm& hop_graph = *overlays_[level - 1];
+  const PartId parent =
+      level == 1 ? 0 : part_->part_of(portal, level - 1);
+  // Collect qualifying arcs (neighbors inside the target sibling part).
+  std::vector<std::uint32_t> ports;
+  const auto nbrs = hop_graph.neighbors(portal);
+  for (std::uint32_t p = 0; p < nbrs.size(); ++p) {
+    const Vid w = nbrs[p];
+    if (part_->part_of(w, level) ==
+            parent * part_->beta() + target_child &&
+        (level == 1 || part_->part_of(w, level - 1) == parent)) {
+      ports.push_back(p);
+    }
+  }
+  AMIX_CHECK_MSG(!ports.empty(), "hop_arc: portal does not qualify");
+  const std::uint64_t h = splitmix64(
+      (static_cast<std::uint64_t>(portal) << 24) ^ (level << 8) ^
+      target_child ^ 0x9e3779b9ULL);
+  const std::uint32_t p = ports[h % ports.size()];
+  return {nbrs[p], p};
+}
+
+}  // namespace amix

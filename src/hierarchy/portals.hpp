@@ -1,0 +1,70 @@
+#pragma once
+
+// Portals (Lemma 3.3). For sibling parts C_a, C_b at level l (children of
+// the same level-(l-1) part), a packet leaving C_a for C_b is first routed
+// to a *portal*: a node of C_a with a level-(l-1)-overlay edge into C_b.
+// The portal of node u towards C_b is a uniformly random member of the
+// candidate set S(C_a, C_b), chosen independently per node — realized here
+// by deterministic hashed sampling from the exact candidate list (the same
+// distribution Lemma 3.3's random walks converge to; see DESIGN.md §5).
+// The construction cost charged follows the lemma: per level, a measured
+// beta-walks-per-node batch on the level-l overlay, once per target part,
+// forward and reverse.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "congest/comm_graph.hpp"
+#include "congest/round_ledger.hpp"
+#include "hierarchy/partition.hpp"
+#include "randwalk/walk_engine.hpp"
+
+namespace amix {
+
+class PortalTable {
+ public:
+  /// `overlays[l]` is the level-l overlay (overlays[0] == G0), for l in
+  /// [0, depth]. Builds candidate sets for every level and charges the
+  /// ledger per Lemma 3.3.
+  PortalTable(const HierarchicalPartition& part,
+              const std::vector<const OverlayComm*>& overlays, Rng& rng,
+              RoundLedger& ledger);
+
+  /// True if some node of part_a (level `level`) has a parent-overlay edge
+  /// into the sibling with child index `target_child`.
+  bool has_candidates(std::uint32_t level, PartId part_a,
+                      std::uint32_t target_child) const;
+
+  /// The portal of `u` (a member of part_a at `level`) towards the sibling
+  /// child `target_child`. Deterministic per (u, target): repeated packets
+  /// from u to that sibling reuse the same portal, as in the paper.
+  Vid portal_for(Vid u, std::uint32_t level, std::uint32_t target_child) const;
+
+  /// The parent-overlay neighbor of `portal` inside the target sibling part
+  /// (the other endpoint of the hop edge), plus the port to reach it.
+  /// Requires that `portal` qualifies. Deterministic per portal/target.
+  std::pair<Vid, std::uint32_t> hop_arc(Vid portal, std::uint32_t level,
+                                        std::uint32_t target_child) const;
+
+  /// Smallest candidate-set size over all sibling pairs that have any
+  /// parent-overlay edge count demand; 0 if some sibling pair within a
+  /// common parent has NO candidates (build must be retried).
+  std::uint32_t min_candidates() const { return min_candidates_; }
+  bool complete() const { return complete_; }
+
+ private:
+  static std::uint64_t slot_key(std::uint32_t level, PartId part,
+                                std::uint32_t child) {
+    return ((part * 64 + child) << 5) | level;
+  }
+
+  const HierarchicalPartition* part_;
+  std::vector<const OverlayComm*> overlays_;
+  // (level, part_a, target_child) -> sorted candidate vids.
+  std::unordered_map<std::uint64_t, std::vector<Vid>> candidates_;
+  std::uint32_t min_candidates_ = 0;
+  bool complete_ = true;
+};
+
+}  // namespace amix

@@ -1,0 +1,3 @@
+#include "hierarchy/virtual_space.hpp"
+
+// Header-only; anchor translation unit.

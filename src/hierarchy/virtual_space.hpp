@@ -1,0 +1,64 @@
+#pragma once
+
+// Virtual node space (Section 3.1.1): every node v of the base graph
+// simulates d_G(v) virtual nodes — one per incident edge port — for a total
+// of 2m. Virtual node ids are dense in [0, 2m); the key() of a virtual node
+// is the pair (owner id, port) packed into 64 bits, which is what the
+// partition hash is applied to and what sources can compute from a
+// destination's RoutingAddr (id + degree).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace amix {
+
+using Vid = std::uint32_t;
+
+class VirtualNodeSpace {
+ public:
+  explicit VirtualNodeSpace(const Graph& g) : g_(&g) {
+    offsets_.resize(g.num_nodes() + 1, 0);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      offsets_[v + 1] = offsets_[v] + g.degree(v);
+    }
+    owner_.resize(offsets_.back());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (std::uint32_t p = 0; p < g.degree(v); ++p) {
+        owner_[offsets_[v] + p] = v;
+      }
+    }
+  }
+
+  Vid num_virtual() const { return static_cast<Vid>(owner_.size()); }
+
+  NodeId owner(Vid vid) const {
+    AMIX_DCHECK(vid < owner_.size());
+    return owner_[vid];
+  }
+
+  std::uint32_t port(Vid vid) const { return vid - offsets_[owner_[vid]]; }
+
+  Vid vid_of(NodeId v, std::uint32_t p) const {
+    AMIX_DCHECK(p < g_->degree(v));
+    return offsets_[v] + p;
+  }
+
+  /// The hash key of a virtual node: computable by anyone who knows the
+  /// owner's id and degree (RoutingAddr).
+  std::uint64_t key(Vid vid) const { return key_of(owner(vid), port(vid)); }
+
+  static std::uint64_t key_of(NodeId node, std::uint32_t port) {
+    return (static_cast<std::uint64_t>(node) << 32) | port;
+  }
+
+  const Graph& graph() const { return *g_; }
+
+ private:
+  const Graph* g_;
+  std::vector<Vid> offsets_;
+  std::vector<NodeId> owner_;
+};
+
+}  // namespace amix

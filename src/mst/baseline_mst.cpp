@@ -1,0 +1,243 @@
+#include "mst/baseline_mst.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "congest/primitives.hpp"
+#include "graph/exact_mst.hpp"
+#include "graph/traversal.hpp"
+#include "mst/verify.hpp"
+
+namespace amix {
+namespace {
+
+constexpr std::pair<Weight, EdgeId> kNoEdge{
+    std::numeric_limits<Weight>::max(), kInvalidEdge};
+
+/// Fragment bookkeeping shared by both baselines: union-find components,
+/// the forest adjacency (chosen MST edges), and measured diameters.
+class Fragments {
+ public:
+  explicit Fragments(const Graph& g)
+      : g_(&g), uf_(g.num_nodes()), fadj_(g.num_nodes()) {}
+
+  NodeId comp(NodeId v) { return uf_.find(v); }
+  std::uint32_t num_components() const { return uf_.num_sets(); }
+  std::uint32_t size_of(NodeId v) { return uf_.size_of(v); }
+
+  void add_edge(EdgeId e) {
+    const NodeId u = g_->edge_u(e);
+    const NodeId v = g_->edge_v(e);
+    AMIX_CHECK(uf_.unite(u, v));
+    fadj_[u].push_back(v);
+    fadj_[v].push_back(u);
+    edges_.push_back(e);
+  }
+
+  const std::vector<EdgeId>& edges() const { return edges_; }
+
+  /// Exact diameter (in F-edges) of v's fragment: double BFS on the tree.
+  std::uint32_t fragment_diameter(NodeId v) const {
+    const auto [far1, d1] = tree_bfs(v);
+    (void)d1;
+    return tree_bfs(far1).second;
+  }
+
+  /// Max fragment diameter over all fragments (each computed once).
+  std::uint32_t max_diameter() {
+    std::uint32_t best = 0;
+    std::vector<bool> seen(g_->num_nodes(), false);
+    for (NodeId v = 0; v < g_->num_nodes(); ++v) {
+      const NodeId c = comp(v);
+      if (seen[c]) continue;
+      seen[c] = true;
+      best = std::max(best, fragment_diameter(c));
+    }
+    return best;
+  }
+
+ private:
+  std::pair<NodeId, std::uint32_t> tree_bfs(NodeId src) const {
+    std::queue<std::pair<NodeId, NodeId>> q;  // node, from
+    q.push({src, kInvalidNode});
+    std::vector<std::uint32_t> dist(g_->num_nodes(), 0);
+    NodeId far = src;
+    while (!q.empty()) {
+      const auto [v, from] = q.front();
+      q.pop();
+      if (dist[v] > dist[far]) far = v;
+      for (const NodeId w : fadj_[v]) {
+        if (w == from) continue;
+        dist[w] = dist[v] + 1;
+        q.push({w, v});
+      }
+    }
+    return {far, dist[far]};
+  }
+
+  const Graph* g_;
+  UnionFind uf_;
+  std::vector<std::vector<NodeId>> fadj_;
+  std::vector<EdgeId> edges_;
+};
+
+/// Minimum outgoing edge per fragment (classic Boruvka step, computed
+/// centrally; the *rounds* are charged by the callers).
+std::vector<std::pair<NodeId, EdgeId>> min_outgoing(const Graph& g,
+                                                    const Weights& w,
+                                                    Fragments& frags) {
+  std::vector<std::pair<Weight, EdgeId>> best(g.num_nodes(), kNoEdge);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const NodeId cu = frags.comp(g.edge_u(e));
+    const NodeId cv = frags.comp(g.edge_v(e));
+    if (cu == cv) continue;
+    best[cu] = std::min(best[cu], w.key(e));
+    best[cv] = std::min(best[cv], w.key(e));
+  }
+  std::vector<std::pair<NodeId, EdgeId>> out;
+  for (NodeId c = 0; c < g.num_nodes(); ++c) {
+    if (frags.comp(c) == c && best[c].second != kInvalidEdge) {
+      out.emplace_back(c, best[c].second);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BaselineMstStats flood_boruvka(const Graph& g, const Weights& w,
+                               RoundLedger& ledger) {
+  AMIX_CHECK(g.num_nodes() >= 1);
+  const std::uint64_t rounds_at_entry = ledger.total();
+  BaselineMstStats out;
+  Fragments frags(g);
+
+  while (frags.num_components() > 1) {
+    ++out.iterations;
+    // Neighbors exchange fragment ids (1 round), then convergecast +
+    // broadcast over every fragment tree: 2 * diameter + 2 rounds.
+    const std::uint32_t diam = frags.max_diameter();
+    out.max_fragment_diameter = std::max(out.max_fragment_diameter, diam);
+    ledger.charge(1 + 2ULL * diam + 2);
+
+    const auto chosen = min_outgoing(g, w, frags);
+    AMIX_CHECK(!chosen.empty());
+    for (const auto& [c, e] : chosen) {
+      if (frags.comp(g.edge_u(e)) != frags.comp(g.edge_v(e))) {
+        frags.add_edge(e);
+        out.edges.push_back(e);
+      }
+    }
+  }
+
+  std::sort(out.edges.begin(), out.edges.end());
+  AMIX_CHECK(is_spanning_tree(g, out.edges));
+  out.rounds = ledger.total() - rounds_at_entry;
+  return out;
+}
+
+BaselineMstStats pipelined_boruvka(const Graph& g, const Weights& w,
+                                   RoundLedger& ledger,
+                                   std::uint32_t size_cap) {
+  AMIX_CHECK(g.num_nodes() >= 1);
+  const std::uint64_t rounds_at_entry = ledger.total();
+  if (size_cap == 0) {
+    size_cap = static_cast<std::uint32_t>(
+        std::ceil(std::sqrt(static_cast<double>(g.num_nodes()))));
+  }
+  BaselineMstStats out;
+  Fragments frags(g);
+
+  // Phase 1 (controlled growth): only fragments below the size cap
+  // propose; cost per iteration is the diameter of the proposing
+  // fragments (all small), Theta(sqrt n) in total.
+  while (frags.num_components() > 1) {
+    // Which fragments still propose?
+    bool any_small = false;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (frags.comp(v) == v && frags.size_of(v) < size_cap) {
+        any_small = true;
+        break;
+      }
+    }
+    if (!any_small) break;
+    ++out.iterations;
+    ++out.phase1_iterations;
+
+    std::uint32_t cast_diam = 0;
+    std::vector<bool> seen(g.num_nodes(), false);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const NodeId c = frags.comp(v);
+      if (seen[c] || frags.size_of(c) >= size_cap) continue;
+      seen[c] = true;
+      cast_diam = std::max(cast_diam, frags.fragment_diameter(c));
+    }
+    out.max_fragment_diameter =
+        std::max(out.max_fragment_diameter, cast_diam);
+    ledger.charge(1 + 2ULL * cast_diam + 2);
+
+    const auto chosen = min_outgoing(g, w, frags);
+    for (const auto& [c, e] : chosen) {
+      if (frags.size_of(c) >= size_cap) continue;  // big fragments wait
+      if (frags.comp(g.edge_u(e)) != frags.comp(g.edge_v(e))) {
+        frags.add_edge(e);
+        out.edges.push_back(e);
+      }
+    }
+  }
+
+  // Phase 2: aggregate fragment candidates over a global BFS tree with
+  // pipelining. The upcast is run for real on the kernel
+  // (pipelined_convergecast, ~height + #fragments rounds); the matching
+  // downcast is charged symmetrically.
+  const BfsTree tree = bfs_tree(g, 0);
+  ledger.charge(tree.height + 1);  // building the tree by flooding
+  while (frags.num_components() > 1) {
+    ++out.iterations;
+    ++out.phase2_iterations;
+    ledger.charge(1);  // neighbors exchange fragment ids
+
+    // Every node contributes (fragment id -> its best outgoing edge key);
+    // the pipeline combines by min. Values pack (weight, edge) so the
+    // root's map is exactly the per-fragment Boruvka choice.
+    std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> items(
+        g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      std::pair<Weight, EdgeId> local = kNoEdge;
+      for (const Arc& a : g.arcs(v)) {
+        if (frags.comp(v) != frags.comp(a.to)) {
+          local = std::min(local, w.key(a.edge));
+        }
+      }
+      if (local.second != kInvalidEdge) {
+        items[v].push_back(
+            {frags.comp(v),
+             local.first * (g.num_edges() + 1ULL) + local.second});
+      }
+    }
+    const std::uint64_t before = ledger.total();
+    const auto combined =
+        congest::pipelined_convergecast(g, tree, items, ledger);
+    ledger.charge(ledger.total() - before);  // symmetric downcast
+
+    AMIX_CHECK(!combined.empty());
+    for (const auto& [frag, packed] : combined) {
+      (void)frag;
+      const EdgeId e =
+          static_cast<EdgeId>(packed % (g.num_edges() + 1ULL));
+      if (frags.comp(g.edge_u(e)) != frags.comp(g.edge_v(e))) {
+        frags.add_edge(e);
+        out.edges.push_back(e);
+      }
+    }
+  }
+
+  std::sort(out.edges.begin(), out.edges.end());
+  AMIX_CHECK(is_spanning_tree(g, out.edges));
+  out.rounds = ledger.total() - rounds_at_entry;
+  return out;
+}
+
+}  // namespace amix

@@ -1,0 +1,43 @@
+#pragma once
+
+// Distributed MST baselines the paper positions itself against:
+//
+//  * flood_boruvka — the classic GHS/Boruvka regime: each fragment finds
+//    its minimum outgoing edge by convergecast + broadcast over its own
+//    fragment tree (physical F-edges). Per-iteration cost is the measured
+//    fragment diameter — Theta(n) on the worst graphs, the O(n log n)-ish
+//    pre-1990s state of the art.
+//
+//  * pipelined_boruvka — the Garay-Kutten-Peleg O~(D + sqrt(n)) regime:
+//    phase 1 grows fragments with convergecasts while they are small
+//    (size < sqrt(n)); phase 2 switches to aggregating the (at most
+//    sqrt(n)-ish) fragment candidates over a global BFS tree with
+//    pipelining, charged height + #fragments per cast.
+//
+// Both verify against Kruskal and charge every round to the ledger.
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/round_ledger.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace amix {
+
+struct BaselineMstStats {
+  std::vector<EdgeId> edges;
+  std::uint64_t rounds = 0;
+  std::uint32_t iterations = 0;
+  std::uint32_t phase1_iterations = 0;  // pipelined only
+  std::uint32_t phase2_iterations = 0;  // pipelined only
+  std::uint32_t max_fragment_diameter = 0;
+};
+
+BaselineMstStats flood_boruvka(const Graph& g, const Weights& w,
+                               RoundLedger& ledger);
+
+BaselineMstStats pipelined_boruvka(const Graph& g, const Weights& w,
+                                   RoundLedger& ledger,
+                                   std::uint32_t size_cap = 0 /* sqrt(n) */);
+
+}  // namespace amix

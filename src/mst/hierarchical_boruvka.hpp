@@ -1,0 +1,60 @@
+#pragma once
+
+// The paper's MST algorithm (Section 4): Boruvka with per-component
+// head/tail coins, minimum-outgoing-edge computation by level-synchronous
+// upcast/downcast on the virtual trees, every tree message delivered by
+// the hierarchical permutation router, and virtual-tree maintenance per
+// Lemma 4.1.
+//
+// Round accounting per iteration:
+//   * 2 kernel rounds: neighbors exchange (component id, coin) and the
+//     chosen cross edge is announced to its other endpoint;
+//   * depth(T) routing instances for the upcast and depth(T) for the
+//     downcast (candidates up, decision + new component id down);
+//   * one routing instance per balancing step of Lemma 4.1.
+// The upcast request multiset (child -> parent over all virtual trees) is
+// identical across the steps of one iteration, so by default one instance
+// is measured and charged depth-many times ("amortized"); exact mode
+// measures every instance (tests verify both agree closely).
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/round_ledger.hpp"
+#include "graph/weighted_graph.hpp"
+#include "routing/hierarchical_router.hpp"
+
+namespace amix {
+
+struct MstParams {
+  bool exact_charging = false;  // measure every routing instance
+  std::uint32_t max_iterations = 0;  // 0 = 40 * ceil(log2 n)
+  std::uint64_t seed = 0x9d2c5680eb1afe01ULL;
+};
+
+struct MstStats {
+  std::vector<EdgeId> edges;
+  std::uint64_t rounds = 0;           // total charged by the run
+  std::uint32_t iterations = 0;
+  std::uint32_t routing_instances = 0;  // instances actually measured
+  std::uint64_t routed_packets = 0;
+  std::uint32_t max_tree_depth = 0;     // Lemma 4.1 property (1)
+  std::uint32_t max_tree_indegree = 0;  // Lemma 4.1 property (2) numerator
+  double max_indegree_over_degree = 0.0;
+};
+
+class HierarchicalBoruvka {
+ public:
+  /// The hierarchy must have been built on `g` (its construction cost is
+  /// charged separately by Hierarchy::build).
+  HierarchicalBoruvka(const Hierarchy& h, const Weights& w)
+      : h_(&h), w_(&w) {}
+
+  MstStats run(RoundLedger& ledger, const MstParams& params = {}) const;
+
+ private:
+  const Hierarchy* h_;
+  const Weights* w_;
+};
+
+}  // namespace amix

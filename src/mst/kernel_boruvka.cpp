@@ -1,0 +1,270 @@
+#include "mst/kernel_boruvka.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "congest/network.hpp"
+#include "mst/verify.hpp"
+#include "util/rng.hpp"
+
+namespace amix {
+namespace {
+
+using congest::Inbox;
+using congest::Message;
+using congest::Outbox;
+using congest::SyncNetwork;
+
+constexpr std::uint64_t kNone = std::numeric_limits<std::uint64_t>::max();
+
+/// Candidate = (weight, target-is-head bit) packed into one word + edge id.
+struct Candidate {
+  Weight weight = std::numeric_limits<Weight>::max();
+  EdgeId edge = kInvalidEdge;
+  bool to_head = false;
+
+  bool better_than(const Candidate& o) const {
+    if (edge == kInvalidEdge) return false;
+    if (o.edge == kInvalidEdge) return true;
+    return weight != o.weight ? weight < o.weight : edge < o.edge;
+  }
+  Message encode() const {
+    return Message{(weight << 1) | (to_head ? 1u : 0u), edge};
+  }
+  static Candidate decode(const Message& m) {
+    if (m.b == kInvalidEdge && m.a == kNone) return {};
+    return Candidate{m.a >> 1, static_cast<EdgeId>(m.b), (m.a & 1) != 0};
+  }
+  static Message encode_none() { return Message{kNone, kInvalidEdge}; }
+};
+
+/// Per-node protocol state.
+struct NodeState {
+  NodeId frag = kInvalidNode;
+  EdgeId parent_edge = kInvalidEdge;      // toward the fragment root
+  std::vector<EdgeId> tree_edges;         // incident F-edges
+  std::vector<NodeId> nbr_frag;           // per port, from phase A
+  // Phase scratch:
+  std::uint32_t pending = 0;
+  Candidate best;
+  bool sent = false;
+  EdgeId chosen = kInvalidEdge;           // this iteration's fragment choice
+  bool flipping = false;
+  NodeId new_frag = kInvalidNode;
+};
+
+bool coin_is_head(NodeId frag, std::uint32_t iter, std::uint64_t seed) {
+  return (splitmix64(seed ^ (static_cast<std::uint64_t>(frag) << 20) ^ iter) &
+          1u) != 0;
+}
+
+}  // namespace
+
+KernelMstStats kernel_boruvka(const Graph& g, const Weights& w,
+                              RoundLedger& ledger, std::uint64_t seed) {
+  const NodeId n = g.num_nodes();
+  AMIX_CHECK(n >= 1);
+  KernelMstStats out;
+  if (n <= 1) return out;
+  const std::uint64_t rounds_at_entry = ledger.total();
+
+  SyncNetwork net(g, ledger);
+  std::vector<NodeState> st(n);
+  for (NodeId v = 0; v < n; ++v) {
+    st[v].frag = v;
+    st[v].nbr_frag.assign(g.degree(v), kInvalidNode);
+  }
+  const std::uint32_t round_cap = 8 * n + 64;
+
+  std::uint32_t frag_count = n;
+  const std::uint32_t max_iterations = 64 * 32;  // generous Las Vegas cap
+
+  while (frag_count > 1) {
+    AMIX_CHECK_MSG(out.iterations < max_iterations,
+                   "kernel_boruvka did not converge");
+    const std::uint32_t iter = out.iterations++;
+
+    // ---- Phase A: exchange fragment ids (exactly one round). ----
+    bool announced = false;
+    net.run_rounds(
+        [&](NodeId v, const Inbox& in, Outbox& outb) {
+          if (!announced) {
+            for (std::uint32_t p = 0; p < outb.num_ports(); ++p) {
+              outb.send(p, Message{st[v].frag, 0});
+            }
+          } else {
+            for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
+              AMIX_CHECK(in.at(p).has_value());
+              st[v].nbr_frag[p] = static_cast<NodeId>(in.at(p)->a);
+            }
+          }
+          if (v + 1 == n) announced = true;  // flip after the send round
+        },
+        2);
+
+    // ---- Phase B: convergecast the minimum outgoing candidate. ----
+    for (NodeId v = 0; v < n; ++v) {
+      NodeState& s = st[v];
+      s.best = Candidate{};
+      for (std::uint32_t p = 0; p < g.degree(v); ++p) {
+        if (s.nbr_frag[p] == s.frag) continue;
+        const EdgeId e = g.edge_at(v, p);
+        const Candidate cand{w[e], e,
+                             coin_is_head(s.nbr_frag[p], iter, seed)};
+        if (cand.better_than(s.best)) s.best = cand;
+      }
+      s.pending = static_cast<std::uint32_t>(s.tree_edges.size()) -
+                  (s.parent_edge != kInvalidEdge ? 1 : 0);
+      s.sent = false;
+      s.chosen = kInvalidEdge;
+      s.flipping = false;
+      s.new_frag = kInvalidNode;
+    }
+    net.run_until_quiet(
+        [&](NodeId v, const Inbox& in, Outbox& outb) {
+          NodeState& s = st[v];
+          for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
+            if (!in.at(p).has_value()) continue;
+            const Candidate cand = Candidate::decode(*in.at(p));
+            if (cand.better_than(s.best)) s.best = cand;
+            AMIX_CHECK(s.pending > 0);
+            --s.pending;
+          }
+          if (!s.sent && s.pending == 0 && s.parent_edge != kInvalidEdge) {
+            s.sent = true;
+            outb.send(g.port_of(v, s.parent_edge),
+                      s.best.edge == kInvalidEdge ? Candidate::encode_none()
+                                                  : s.best.encode());
+          }
+        },
+        round_cap);
+
+    // ---- Phase C: roots decide; broadcast the chosen edge down. ----
+    for (NodeId v = 0; v < n; ++v) {
+      NodeState& s = st[v];
+      if (s.parent_edge != kInvalidEdge) continue;  // not a root
+      const bool is_tail = !coin_is_head(s.frag, iter, seed);
+      if (is_tail && s.best.edge != kInvalidEdge && s.best.to_head) {
+        s.chosen = s.best.edge;
+      }
+      s.sent = false;
+    }
+    net.run_until_quiet(
+        [&](NodeId v, const Inbox& in, Outbox& outb) {
+          NodeState& s = st[v];
+          for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
+            if (in.at(p).has_value()) {
+              s.chosen = static_cast<EdgeId>(in.at(p)->a);
+              s.sent = false;
+            }
+          }
+          const bool is_root_turn =
+              s.parent_edge == kInvalidEdge || s.chosen != kInvalidEdge;
+          if (is_root_turn && !s.sent) {
+            s.sent = true;
+            if (s.chosen == kInvalidEdge) return;  // no merge this round
+            for (const EdgeId te : s.tree_edges) {
+              if (te != s.parent_edge) {
+                outb.send(g.port_of(v, te), Message{s.chosen, 0});
+              }
+            }
+          }
+        },
+        round_cap);
+
+    // ---- Phase D: the chosen edge's owner adopts + re-roots its tree,
+    //      and announces the merge across the chosen edge. The flip
+    //      message climbs the old parent path, reversing orientation. ----
+    for (NodeId v = 0; v < n; ++v) {
+      NodeState& s = st[v];
+      s.flipping =
+          s.chosen != kInvalidEdge &&
+          (g.edge_u(s.chosen) == v || g.edge_v(s.chosen) == v) &&
+          st[g.other_endpoint(s.chosen, v)].frag != s.frag;
+      s.sent = false;
+    }
+    net.run_until_quiet(
+        [&](NodeId v, const Inbox& in, Outbox& outb) {
+          NodeState& s = st[v];
+          for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
+            if (!in.at(p).has_value()) continue;
+            const Message m = *in.at(p);
+            const EdgeId e = g.edge_at(v, p);
+            if (m.a == 1) {
+              // "adopt": the head-side endpoint records the new tree edge.
+              s.tree_edges.push_back(e);
+            } else {
+              // "flip": new parent = the child that sent this.
+              const EdgeId old_parent = s.parent_edge;
+              s.parent_edge = e;
+              if (old_parent != kInvalidEdge) {
+                outb.send(g.port_of(v, old_parent), Message{2, 0});
+              }
+            }
+          }
+          if (s.flipping && !s.sent) {
+            s.sent = true;
+            const EdgeId old_parent = s.parent_edge;
+            // Adopt the merge edge as the new parent (toward the head).
+            s.tree_edges.push_back(s.chosen);
+            s.parent_edge = s.chosen;
+            outb.send(g.port_of(v, s.chosen), Message{1, 0});  // adopt
+            if (old_parent != kInvalidEdge) {
+              outb.send(g.port_of(v, old_parent), Message{2, 0});  // flip
+            }
+          }
+        },
+        round_cap);
+
+    // ---- Phase E: relabel the merged tails — the owner knows the head's
+    //      fragment id from phase A and floods it down the re-rooted tree.
+    for (NodeId v = 0; v < n; ++v) {
+      NodeState& s = st[v];
+      if (s.flipping) {
+        const std::uint32_t p = g.port_of(v, s.chosen);
+        s.new_frag = s.nbr_frag[p];
+        out.edges.push_back(s.chosen);
+      }
+      s.sent = false;
+    }
+    net.run_until_quiet(
+        [&](NodeId v, const Inbox& in, Outbox& outb) {
+          NodeState& s = st[v];
+          for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
+            if (in.at(p).has_value()) {
+              s.new_frag = static_cast<NodeId>(in.at(p)->a);
+            }
+          }
+          if (s.new_frag != kInvalidNode && !s.sent) {
+            s.sent = true;
+            s.frag = s.new_frag;
+            for (const EdgeId te : s.tree_edges) {
+              if (te != s.parent_edge) {
+                outb.send(g.port_of(v, te), Message{s.new_frag, 0});
+              }
+            }
+          }
+        },
+        round_cap);
+
+    // Count fragments (driver-side bookkeeping only).
+    std::vector<bool> seen(n, false);
+    frag_count = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!seen[st[v].frag]) {
+        seen[st[v].frag] = true;
+        ++frag_count;
+      }
+    }
+  }
+
+  std::sort(out.edges.begin(), out.edges.end());
+  out.edges.erase(std::unique(out.edges.begin(), out.edges.end()),
+                  out.edges.end());
+  AMIX_CHECK_MSG(is_spanning_tree(g, out.edges),
+                 "kernel_boruvka produced a non-tree");
+  out.rounds = ledger.total() - rounds_at_entry;
+  return out;
+}
+
+}  // namespace amix

@@ -1,0 +1,34 @@
+#pragma once
+
+// A fully message-passing Boruvka MST on the literal CONGEST kernel.
+//
+// Unlike flood_boruvka (which computes centrally and charges the analytic
+// convergecast cost), every step here is real synchronous message passing
+// on SyncNetwork — fragment-id exchange, candidate convergecast up the
+// fragment trees, decision broadcast, tree re-rooting, and fragment
+// relabeling — so its round count is ground truth for the GHS-style
+// regime, and tests cross-validate the analytic baseline against it.
+//
+// Merging uses the paper's head/tail coins (derived from the fragment id
+// and iteration number via shared randomness, so no extra communication):
+// a tail fragment whose minimum outgoing edge points into a head fragment
+// re-roots at that edge's endpoint and joins the head, a star merge.
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/round_ledger.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace amix {
+
+struct KernelMstStats {
+  std::vector<EdgeId> edges;
+  std::uint64_t rounds = 0;
+  std::uint32_t iterations = 0;
+};
+
+KernelMstStats kernel_boruvka(const Graph& g, const Weights& w,
+                              RoundLedger& ledger, std::uint64_t seed = 1);
+
+}  // namespace amix

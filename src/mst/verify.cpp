@@ -1,0 +1,25 @@
+#include "mst/verify.hpp"
+
+#include <algorithm>
+
+namespace amix {
+
+bool is_exact_mst(const Graph& g, const Weights& w,
+                  const std::vector<EdgeId>& edges) {
+  std::vector<EdgeId> got = edges;
+  std::sort(got.begin(), got.end());
+  return got == kruskal_mst(g, w);
+}
+
+bool is_spanning_tree(const Graph& g, const std::vector<EdgeId>& edges) {
+  if (g.num_nodes() == 0) return edges.empty();
+  if (edges.size() + 1 != g.num_nodes()) return false;
+  UnionFind uf(g.num_nodes());
+  for (const EdgeId e : edges) {
+    if (e >= g.num_edges()) return false;
+    if (!uf.unite(g.edge_u(e), g.edge_v(e))) return false;  // cycle
+  }
+  return uf.num_sets() == 1;
+}
+
+}  // namespace amix

@@ -1,0 +1,21 @@
+#pragma once
+
+// MST verification helpers: with distinct weights the MST is unique, so a
+// distributed run is correct iff its edge set equals Kruskal's.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/exact_mst.hpp"
+
+namespace amix {
+
+/// True iff `edges` (any order) is exactly the unique MST of (g, w).
+bool is_exact_mst(const Graph& g, const Weights& w,
+                  const std::vector<EdgeId>& edges);
+
+/// True iff `edges` forms a spanning tree of g (n-1 edges, connected,
+/// acyclic) — a weaker structural check used while debugging.
+bool is_spanning_tree(const Graph& g, const std::vector<EdgeId>& edges);
+
+}  // namespace amix

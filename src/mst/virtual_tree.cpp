@@ -1,0 +1,133 @@
+#include "mst/virtual_tree.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace amix {
+
+VirtualTreeForest::VirtualTreeForest(const Graph& g)
+    : g_(&g),
+      parent_(g.num_nodes(), kInvalidNode),
+      depth_(g.num_nodes(), 0),
+      indeg_(g.num_nodes(), 0),
+      comp_(g.num_nodes()),
+      num_components_(g.num_nodes()) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) comp_[v] = v;
+}
+
+std::uint32_t VirtualTreeForest::merge_star(
+    NodeId head_root, std::span<const Attachment> attachments) {
+  if (attachments.empty()) return 0;
+
+  // Attach each tail root below its head-side endpoint.
+  std::vector<NodeId> creation_points;
+  for (const Attachment& a : attachments) {
+    AMIX_CHECK(comp_[a.head_endpoint] == head_root);
+    AMIX_CHECK(comp_[a.tail_root] != head_root);
+    AMIX_CHECK(parent_[a.tail_root] == kInvalidNode);
+    parent_[a.tail_root] = a.head_endpoint;
+    ++indeg_[a.head_endpoint];
+    creation_points.push_back(a.head_endpoint);
+    --num_components_;
+  }
+  std::sort(creation_points.begin(), creation_points.end());
+  creation_points.erase(
+      std::unique(creation_points.begin(), creation_points.end()),
+      creation_points.end());
+
+  // Token balancing (Lemma 4.1 proof). Tokens live on nodes of the *old*
+  // head tree; levels are the depths recorded before this merge batch
+  // touched the head tree (attachments hang below, never above).
+  struct Token {
+    NodeId creation;
+    NodeId at;
+    NodeId via;  // child through which the token arrived at `at`
+  };
+  // level -> tokens at that level (keyed by depth of `at`).
+  std::map<std::uint32_t, std::vector<Token>, std::greater<>> by_level;
+  for (const NodeId w : creation_points) {
+    by_level[depth_[w]].push_back(Token{w, w, w});
+  }
+
+  std::uint32_t steps = 0;
+  while (!by_level.empty()) {
+    const auto it = by_level.begin();
+    const std::uint32_t level = it->first;
+    std::vector<Token> toks = std::move(it->second);
+    by_level.erase(it);
+
+    // Merge co-located tokens first: every merge re-parents each token's
+    // creation point below its via-child (a strict original ancestor), and
+    // replaces the group by one fresh token.
+    std::unordered_map<NodeId, std::vector<std::uint32_t>> at_node;
+    for (std::uint32_t i = 0; i < toks.size(); ++i) {
+      at_node[toks[i].at].push_back(i);
+    }
+    std::vector<Token> survivors;
+    for (auto& [node, idxs] : at_node) {
+      if (idxs.size() == 1) {
+        survivors.push_back(toks[idxs[0]]);
+        continue;
+      }
+      for (const std::uint32_t i : idxs) {
+        const Token& t = toks[i];
+        if (t.creation == t.via) continue;  // already a child of the meeting path
+        // Re-parent the creation point below the via-child (shortcut).
+        AMIX_CHECK(parent_[t.creation] != kInvalidNode);
+        --indeg_[parent_[t.creation]];
+        parent_[t.creation] = t.via;
+        ++indeg_[t.via];
+      }
+      survivors.push_back(Token{node, node, node});
+    }
+
+    // Climb one level (tokens at the root stop).
+    bool moved = false;
+    for (Token& t : survivors) {
+      const NodeId p = parent_[t.at];
+      if (p == kInvalidNode) continue;  // reached the head root
+      t.via = t.at;
+      t.at = p;
+      moved = true;
+      AMIX_CHECK(depth_[p] < level);
+      by_level[depth_[p]].push_back(t);
+    }
+    if (moved) ++steps;
+  }
+  return steps;
+}
+
+void VirtualTreeForest::refresh() {
+  const NodeId n = g_->num_nodes();
+  // Children lists, then BFS from each root to set depth and comp.
+  std::vector<std::vector<NodeId>> children(n);
+  std::vector<NodeId> roots;
+  for (NodeId v = 0; v < n; ++v) {
+    if (parent_[v] == kInvalidNode) {
+      roots.push_back(v);
+    } else {
+      children[parent_[v]].push_back(v);
+    }
+  }
+  AMIX_CHECK(roots.size() == num_components_);
+  max_depth_ = 0;
+  std::vector<NodeId> stack;
+  for (const NodeId r : roots) {
+    depth_[r] = 0;
+    comp_[r] = r;
+    stack.push_back(r);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const NodeId c : children[v]) {
+        depth_[c] = depth_[v] + 1;
+        comp_[c] = r;
+        max_depth_ = std::max(max_depth_, depth_[c]);
+        stack.push_back(c);
+      }
+    }
+  }
+}
+
+}  // namespace amix

@@ -1,0 +1,68 @@
+#pragma once
+
+// Virtual trees (Lemma 4.1): one shallow tree per Boruvka component,
+// used to upcast/downcast min-outgoing-edge candidates via the
+// permutation router. The forest maintains, across star merges, the
+// lemma's three properties: depth O(log^2 n), per-node virtual in-degree
+// d_G(v) * O(log n), and known parents.
+//
+// merge_star attaches every tail component's root below the head-side
+// endpoint of its chosen MST edge, then runs the token balancing process
+// of Lemma 4.1's proof: tokens start at the attachment points, climb the
+// head tree level-synchronously, and whenever two or more meet, their
+// creation points are re-parented below the child through which they
+// arrived (a shortcut to an original ancestor — provably acyclic). The
+// number of climb steps is returned so the caller can charge one routing
+// instance per step.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace amix {
+
+class VirtualTreeForest {
+ public:
+  explicit VirtualTreeForest(const Graph& g);
+
+  NodeId parent(NodeId v) const { return parent_[v]; }
+  bool is_root(NodeId v) const { return parent_[v] == kInvalidNode; }
+
+  /// Component representative (the tree root). O(1): cached per epoch.
+  NodeId comp(NodeId v) const { return comp_[v]; }
+
+  std::uint32_t depth(NodeId v) const { return depth_[v]; }
+  std::uint32_t max_depth() const { return max_depth_; }
+  std::uint32_t indegree(NodeId v) const { return indeg_[v]; }
+  std::uint32_t max_children(NodeId v) const { return indeg_[v]; }
+  NodeId num_components() const { return num_components_; }
+
+  struct Attachment {
+    NodeId tail_root;     // root of the tail component's tree
+    NodeId head_endpoint; // v_i: the head-side endpoint of the merge edge
+  };
+
+  /// Merge tail components into the head component (star merge). All
+  /// attachments must reference the same head component. Returns the
+  /// number of level-synchronous balancing steps performed (for round
+  /// charging). Caller must call refresh() after all merges of the
+  /// iteration.
+  std::uint32_t merge_star(NodeId head_root,
+                           std::span<const Attachment> attachments);
+
+  /// Recompute component labels and depths after a batch of merges.
+  void refresh();
+
+ private:
+  const Graph* g_;
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<std::uint32_t> indeg_;
+  std::vector<NodeId> comp_;
+  std::uint32_t max_depth_ = 0;
+  NodeId num_components_ = 0;
+};
+
+}  // namespace amix

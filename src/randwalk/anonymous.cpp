@@ -1,0 +1,74 @@
+#include "randwalk/anonymous.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amix {
+
+std::uint64_t binomial_sample(std::uint64_t n, double p, Rng& rng) {
+  AMIX_CHECK(p >= 0.0 && p <= 1.0);
+  if (n == 0 || p == 0.0) return 0;
+  if (p == 1.0) return n;
+  if (n <= 64) {
+    std::uint64_t hits = 0;
+    for (std::uint64_t i = 0; i < n; ++i) hits += rng.next_bool(p);
+    return hits;
+  }
+  // Normal approximation (n*p*(1-p) is large for all callers that reach
+  // here); Box-Muller with clamping to [0, n].
+  const double mean = static_cast<double>(n) * p;
+  const double sigma = std::sqrt(mean * (1.0 - p));
+  const double u1 = std::max(rng.next_double(), 1e-300);
+  const double u2 = rng.next_double();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  const double x = std::round(mean + sigma * z);
+  return static_cast<std::uint64_t>(
+      std::clamp(x, 0.0, static_cast<double>(n)));
+}
+
+AnonymousWalks::AnonymousWalks(const CommGraph& g,
+                               std::vector<std::uint64_t> counts)
+    : g_(g), counts_(std::move(counts)), next_(g.num_nodes(), 0) {
+  AMIX_CHECK(counts_.size() == g.num_nodes());
+  for (const auto c : counts_) total_ += c;
+}
+
+void AnonymousWalks::step(WalkKind kind, Rng& rng, RoundLedger& ledger) {
+  const std::uint32_t n = g_.num_nodes();
+  std::fill(next_.begin(), next_.end(), 0);
+  const double inv2delta = 1.0 / (2.0 * std::max(1u, g_.max_degree()));
+  for (std::uint32_t v = 0; v < n; ++v) {
+    std::uint64_t here = counts_[v];
+    if (here == 0) continue;
+    const std::uint32_t deg = g_.degree(v);
+    if (deg == 0) {
+      next_[v] += here;
+      continue;
+    }
+    // Split: stay mass, then a multinomial over arcs via chained binomials.
+    const double stay_p =
+        kind == WalkKind::kLazy ? 0.5 : 1.0 - deg * inv2delta;
+    const std::uint64_t stay = binomial_sample(here, stay_p, rng);
+    next_[v] += stay;
+    here -= stay;
+    for (std::uint32_t p = 0; p < deg && here > 0; ++p) {
+      const double share = 1.0 / static_cast<double>(deg - p);
+      const std::uint64_t cross =
+          p + 1 == deg ? here : binomial_sample(here, share, rng);
+      next_[g_.neighbor(v, p)] += cross;
+      here -= cross;
+    }
+  }
+  counts_.swap(next_);
+  ++steps_;
+  // One count message per arc: one round of this graph.
+  ledger.charge(g_.round_cost());
+}
+
+void AnonymousWalks::run(WalkKind kind, std::uint32_t steps, Rng& rng,
+                         RoundLedger& ledger) {
+  for (std::uint32_t t = 0; t < steps; ++t) step(kind, rng, ledger);
+}
+
+}  // namespace amix

@@ -1,0 +1,55 @@
+#pragma once
+
+// Anonymous counting walks.
+//
+// When walk tokens carry no identity, all tokens crossing one arc in one
+// step can be aggregated into a single O(log n)-bit COUNT message — so a
+// parallel step of arbitrarily many anonymous walks costs exactly one
+// CONGEST round. This is the communication pattern behind the in-band
+// mixing-time estimator (tau_estimator.hpp): the paper assumes tau_mix(G)
+// is known to the nodes; anonymous walks let them measure it for
+// O(tau_mix + D) rounds per probe instead of the id-carrying walks'
+// congestion-dependent cost.
+//
+// The simulation evolves exact per-node token counts with true binomial/
+// multinomial sampling (not expectations), so the estimator sees the same
+// fluctuations a real execution would.
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/comm_graph.hpp"
+#include "congest/round_ledger.hpp"
+#include "graph/spectral.hpp"
+#include "util/rng.hpp"
+
+namespace amix {
+
+/// Binomial(n, p) sample: exact for small n, normal approximation with
+/// clamping for large n (error far below the estimator's tolerance).
+std::uint64_t binomial_sample(std::uint64_t n, double p, Rng& rng);
+
+class AnonymousWalks {
+ public:
+  /// `counts[v]` = tokens initially at node v.
+  AnonymousWalks(const CommGraph& g, std::vector<std::uint64_t> counts);
+
+  /// Advance all tokens one lazy (or 2Delta-regular) step. Charges exactly
+  /// round_cost() base rounds: one count message per arc.
+  void step(WalkKind kind, Rng& rng, RoundLedger& ledger);
+
+  void run(WalkKind kind, std::uint32_t steps, Rng& rng, RoundLedger& ledger);
+
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t total_tokens() const { return total_; }
+  std::uint32_t steps_taken() const { return steps_; }
+
+ private:
+  const CommGraph& g_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<std::uint64_t> next_;
+  std::uint64_t total_ = 0;
+  std::uint32_t steps_ = 0;
+};
+
+}  // namespace amix

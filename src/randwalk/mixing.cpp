@@ -1,0 +1,118 @@
+#include "randwalk/mixing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace amix {
+namespace {
+
+void comm_step(const CommGraph& g, WalkKind kind, const std::vector<double>& in,
+               std::vector<double>& out) {
+  const std::uint32_t n = g.num_nodes();
+  out.assign(n, 0.0);
+  const double inv2delta = 1.0 / (2.0 * std::max(1u, g.max_degree()));
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const double mass = in[v];
+    if (mass == 0.0) continue;
+    const std::uint32_t deg = g.degree(v);
+    if (deg == 0) {
+      out[v] += mass;
+      continue;
+    }
+    if (kind == WalkKind::kLazy) {
+      out[v] += 0.5 * mass;
+      const double share = 0.5 * mass / deg;
+      for (std::uint32_t p = 0; p < deg; ++p) out[g.neighbor(v, p)] += share;
+    } else {
+      const double move = mass * inv2delta;
+      out[v] += mass - move * deg;
+      for (std::uint32_t p = 0; p < deg; ++p) out[g.neighbor(v, p)] += move;
+    }
+  }
+}
+
+/// Nodes reachable from src (the walk's support; overlays above level 0 are
+/// disjoint unions of per-part graphs, so mixing is per component).
+std::vector<std::uint32_t> reachable(const CommGraph& g, std::uint32_t src) {
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::vector<std::uint32_t> stack{src}, out;
+  seen[src] = true;
+  while (!stack.empty()) {
+    const std::uint32_t v = stack.back();
+    stack.pop_back();
+    out.push_back(v);
+    for (std::uint32_t p = 0; p < g.degree(v); ++p) {
+      const std::uint32_t w = g.neighbor(v, p);
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t comm_mixing_time_from_start(const CommGraph& g, WalkKind kind,
+                                          std::uint32_t src,
+                                          std::uint32_t max_t) {
+  const std::uint32_t n = g.num_nodes();
+  AMIX_CHECK(src < n);
+  AMIX_CHECK(g.degree(src) > 0);
+
+  const auto comp = reachable(g, src);
+
+  // Stationary restricted to the component: lazy ~ degree-proportional,
+  // 2Delta-regular ~ uniform (Definitions 2.1 / 2.2 on the component).
+  std::uint64_t vol = 0;
+  for (const std::uint32_t v : comp) vol += g.degree(v);
+  std::vector<double> pi(n, 0.0);
+  for (const std::uint32_t v : comp) {
+    pi[v] = kind == WalkKind::kLazy
+                ? static_cast<double>(g.degree(v)) / static_cast<double>(vol)
+                : 1.0 / static_cast<double>(comp.size());
+  }
+
+  const double inv_n = 1.0 / static_cast<double>(comp.size());
+  std::vector<double> p(n, 0.0), q;
+  p[src] = 1.0;
+  for (std::uint32_t t = 0; t <= max_t; ++t) {
+    bool ok = true;
+    for (const std::uint32_t v : comp) {
+      if (std::abs(p[v] - pi[v]) > pi[v] * inv_n) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return t;
+    comm_step(g, kind, p, q);
+    p.swap(q);
+  }
+  return max_t + 1;
+}
+
+std::uint32_t comm_mixing_time_sampled(const CommGraph& g, WalkKind kind,
+                                       std::uint32_t samples, Rng& rng,
+                                       std::uint32_t max_t) {
+  bool any_live = false;
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > 0) {
+      any_live = true;
+      break;
+    }
+  }
+  if (!any_live) return 0;  // edgeless overlay: nothing to mix
+  std::uint32_t worst = 0;
+  for (std::uint32_t i = 0; i < samples; ++i) {
+    std::uint32_t src;
+    do {
+      src = static_cast<std::uint32_t>(rng.next_below(g.num_nodes()));
+    } while (g.degree(src) == 0);
+    worst = std::max(worst, comm_mixing_time_from_start(g, kind, src, max_t));
+  }
+  return worst;
+}
+
+}  // namespace amix

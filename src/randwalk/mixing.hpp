@@ -1,0 +1,30 @@
+#pragma once
+
+// Mixing-time measurement for CommGraphs (overlays included).
+//
+// The hierarchy builder needs a walk length that mixes each overlay; these
+// helpers evolve exact distributions on a CommGraph (Definition 2.1 /
+// Definition 2.2 semantics) so both tests and the builder's defaults can be
+// validated against ground truth.
+
+#include <cstdint>
+
+#include "congest/comm_graph.hpp"
+#include "graph/spectral.hpp"
+#include "util/rng.hpp"
+
+namespace amix {
+
+/// Definition 2.1 criterion from a single start on a CommGraph.
+/// Returns max_t + 1 if not mixed. Nodes with degree 0 are excluded from
+/// the criterion (they are unreachable overlay slots).
+std::uint32_t comm_mixing_time_from_start(const CommGraph& g, WalkKind kind,
+                                          std::uint32_t src,
+                                          std::uint32_t max_t);
+
+/// Max over sampled starts.
+std::uint32_t comm_mixing_time_sampled(const CommGraph& g, WalkKind kind,
+                                       std::uint32_t samples, Rng& rng,
+                                       std::uint32_t max_t);
+
+}  // namespace amix

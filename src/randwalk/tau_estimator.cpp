@@ -1,0 +1,65 @@
+#include "randwalk/tau_estimator.hpp"
+
+#include <cmath>
+
+#include "congest/primitives.hpp"
+#include "randwalk/anonymous.hpp"
+
+namespace amix {
+
+TauEstimate estimate_tau_distributed(const Graph& g,
+                                     const TauEstimatorParams& params,
+                                     Rng& rng, RoundLedger& ledger) {
+  AMIX_CHECK(g.num_nodes() >= 2);
+  AMIX_CHECK(params.tokens_per_slot >= 1);
+  const std::uint64_t rounds_at_entry = ledger.total();
+  TauEstimate out;
+
+  // Coordination backbone (one-time): leader + BFS tree; the leader then
+  // learns the total degree 2m by a sum-convergecast and broadcasts it, so
+  // every node knows its stationary expectation k * d(v).
+  const NodeId leader = congest::elect_leader_max_id(g, ledger);
+  const BfsTree tree = congest::distributed_bfs_tree(g, leader, ledger);
+  ledger.charge(2ULL * (tree.height + 1));  // degree-sum up, 2m down
+
+  BaseComm base(g);
+  const std::uint64_t k = params.tokens_per_slot;
+  const std::uint64_t total_tokens = k * g.num_arcs();
+
+  for (std::uint32_t T = params.t0;; T *= 2) {
+    AMIX_CHECK_MSG(T <= params.max_t, "tau estimator exceeded max_t");
+    ++out.probes;
+
+    std::uint32_t violating = 0;
+    for (std::uint32_t trial = 0; trial < params.trials; ++trial) {
+      // Definition 2.1's single-source form: everything starts at the
+      // leader (the one node that can decide this locally).
+      std::vector<std::uint64_t> counts(g.num_nodes(), 0);
+      counts[leader] = total_tokens;
+      AnonymousWalks walks(base, std::move(counts));
+      walks.run(WalkKind::kLazy, T, rng, ledger);
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        const double expect = static_cast<double>(k) * g.degree(v);
+        const double got = static_cast<double>(walks.counts()[v]);
+        // Tolerance = relative band + 3-sigma sampling noise at
+        // stationarity, so large stationary counts don't false-positive.
+        const double tol = params.delta * expect + 3.0 * std::sqrt(expect);
+        if (std::abs(got - expect) > tol) ++violating;
+      }
+    }
+
+    // Violation flag up the tree, verdict down: (height + 1) each way.
+    ledger.charge(2ULL * (tree.height + 1));
+
+    const double frac = static_cast<double>(violating) /
+                        (static_cast<double>(g.num_nodes()) * params.trials);
+    if (frac <= params.violator_fraction) {
+      out.tau = T;
+      break;
+    }
+  }
+  out.rounds = ledger.total() - rounds_at_entry;
+  return out;
+}
+
+}  // namespace amix

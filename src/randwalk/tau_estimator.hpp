@@ -1,0 +1,50 @@
+#pragma once
+
+// In-band distributed mixing-time estimation.
+//
+// The paper's algorithms take tau_mix(G) as a known parameter. This module
+// closes that gap with a doubling protocol the nodes can actually run:
+//
+//   for T = T0, 2*T0, 4*T0, ...:
+//     run `trials` independent batches of anonymous counting walks
+//     (k tokens per arc slot) for T steps — T rounds per batch;
+//     each node checks its token count against the stationary expectation
+//     k * d(v) with relative tolerance `delta`;
+//     a convergecast over a BFS tree ORs the violations; the leader
+//     broadcasts continue/stop (height + 1 rounds each way).
+//
+// The estimate is the smallest probed T whose batches all look stationary.
+// It converges to the *token-count* mixing scale: a constant-factor proxy
+// for Definition 2.1's tau_mix (tests check the ratio), obtained in
+// O(tau_mix * trials + D * log tau_mix) rounds — no global knowledge used.
+
+#include <cstdint>
+
+#include "congest/round_ledger.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace amix {
+
+struct TauEstimatorParams {
+  std::uint32_t tokens_per_slot = 32;  // k: tokens per (node, port)
+  std::uint32_t trials = 3;            // batches per probed T
+  double delta = 0.25;                 // per-node relative tolerance
+  double violator_fraction = 0.02;     // tolerated fraction of nodes outside
+  std::uint32_t t0 = 2;                // first probed T
+  std::uint32_t max_t = 1u << 22;
+};
+
+struct TauEstimate {
+  std::uint32_t tau = 0;        // smallest accepted T
+  std::uint32_t probes = 0;     // doubling steps executed
+  std::uint64_t rounds = 0;     // total charged rounds
+};
+
+/// Estimate the lazy-walk mixing scale of a connected graph, distributedly
+/// (anonymous walks + BFS-tree coordination), charging every round.
+TauEstimate estimate_tau_distributed(const Graph& g,
+                                     const TauEstimatorParams& params,
+                                     Rng& rng, RoundLedger& ledger);
+
+}  // namespace amix

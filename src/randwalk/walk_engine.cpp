@@ -1,0 +1,68 @@
+#include "randwalk/walk_engine.hpp"
+
+#include <algorithm>
+
+namespace amix {
+
+ParallelWalkEngine::ParallelWalkEngine(const CommGraph& g, Rng rng)
+    : g_(g), rng_(rng) {}
+
+std::vector<std::uint32_t> ParallelWalkEngine::run(
+    std::span<const std::uint32_t> starts, WalkKind kind, std::uint32_t steps,
+    RoundLedger& ledger, WalkStats* stats) {
+  std::vector<std::uint32_t> pos(starts.begin(), starts.end());
+  for (const std::uint32_t s : pos) {
+    AMIX_CHECK(s < g_.num_nodes());
+  }
+
+  TokenTransport transport(g_);
+  WalkStats local{};
+  local.steps = steps;
+
+  // Node-load tracking with epoch stamps (avoids O(n) clears per step).
+  std::vector<std::uint32_t> load(g_.num_nodes(), 0);
+  std::vector<std::uint32_t> stamp(g_.num_nodes(), 0);
+  std::uint32_t epoch = 0;
+
+  const std::uint32_t two_delta = 2 * std::max(1u, g_.max_degree());
+
+  for (std::uint32_t t = 0; t < steps; ++t) {
+    for (auto& p : pos) {
+      const std::uint32_t deg = g_.degree(p);
+      if (deg == 0) continue;  // isolated in this overlay; walk is stuck
+      std::uint32_t port = UINT32_MAX;
+      if (kind == WalkKind::kLazy) {
+        // Stay w.p. 1/2, else uniform incident arc.
+        const std::uint64_t r = rng_.next_below(2ULL * deg);
+        if (r < deg) port = static_cast<std::uint32_t>(r);
+      } else {
+        // 2Delta-regular: cross each incident arc w.p. 1/(2*Delta).
+        const std::uint64_t r = rng_.next_below(two_delta);
+        if (r < deg) port = static_cast<std::uint32_t>(r);
+      }
+      if (port != UINT32_MAX) {
+        transport.move(p, port);
+        p = g_.neighbor(p, port);
+        ++local.total_moves;
+      }
+    }
+    transport.commit_step(ledger);
+
+    ++epoch;
+    for (const std::uint32_t p : pos) {
+      if (stamp[p] != epoch) {
+        stamp[p] = epoch;
+        load[p] = 0;
+      }
+      ++load[p];
+      local.max_node_load = std::max(local.max_node_load, load[p]);
+    }
+  }
+
+  local.graph_rounds = transport.total_graph_rounds();
+  local.base_rounds = local.graph_rounds * g_.round_cost();
+  if (stats != nullptr) *stats = local;
+  return pos;
+}
+
+}  // namespace amix

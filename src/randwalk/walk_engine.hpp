@@ -1,0 +1,55 @@
+#pragma once
+
+// Parallel random walks on any CommGraph, with Lemma 2.4/2.5 accounting.
+//
+// The engine advances all walks synchronously. Per parallel step, each
+// walk either stays (lazy / regular self-loop mass) or crosses one arc;
+// the step is then committed through TokenTransport, charging
+// max-arc-load * round_cost() base rounds — the optimal realization of the
+// Lemma 2.5 schedule. The engine also tracks the maximum number of walks
+// resident at a single node (the Lemma 2.4 statistic).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "congest/comm_graph.hpp"
+#include "congest/round_ledger.hpp"
+#include "congest/token_transport.hpp"
+#include "graph/spectral.hpp"  // WalkKind
+#include "util/rng.hpp"
+
+namespace amix {
+
+struct WalkStats {
+  std::uint64_t graph_rounds = 0;    // rounds of the walked graph
+  std::uint64_t base_rounds = 0;     // graph_rounds * round_cost
+  std::uint32_t max_node_load = 0;   // Lemma 2.4: peak walks at one node
+  std::uint64_t total_moves = 0;     // arc crossings over all steps
+  std::uint32_t steps = 0;
+};
+
+class ParallelWalkEngine {
+ public:
+  ParallelWalkEngine(const CommGraph& g, Rng rng);
+
+  /// Advance walks starting at `starts` for `steps` parallel steps.
+  /// Returns final positions (same order as starts). Charges the ledger.
+  std::vector<std::uint32_t> run(std::span<const std::uint32_t> starts,
+                                 WalkKind kind, std::uint32_t steps,
+                                 RoundLedger& ledger,
+                                 WalkStats* stats = nullptr);
+
+  /// Charge the ledger for re-running (or reversing) a previously measured
+  /// run: reversal retraces the recorded paths, so its schedule cost equals
+  /// the forward cost (Section 3.1.1 "running the walks in reverse").
+  static void charge_rerun(const WalkStats& stats, RoundLedger& ledger) {
+    ledger.charge(stats.base_rounds);
+  }
+
+ private:
+  const CommGraph& g_;
+  Rng rng_;
+};
+
+}  // namespace amix

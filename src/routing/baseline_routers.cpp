@@ -1,0 +1,165 @@
+#include "routing/baseline_routers.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "congest/comm_graph.hpp"
+#include "congest/token_transport.hpp"
+#include "graph/traversal.hpp"
+
+namespace amix {
+
+BaselineStats ShortestPathRouter::route(std::span<const RouteRequest> reqs,
+                                        RoundLedger& ledger,
+                                        std::uint64_t max_rounds) const {
+  const Graph& g = *g_;
+  BaselineStats stats;
+  if (reqs.empty()) return stats;
+  if (max_rounds == 0) {
+    max_rounds = 64ULL * g.num_nodes() + 64ULL * reqs.size();
+  }
+
+  // Precompute each packet's path as a port sequence: group packets by
+  // destination, one BFS per distinct destination.
+  std::unordered_map<NodeId, std::vector<std::uint32_t>> by_dst;
+  for (std::uint32_t i = 0; i < reqs.size(); ++i) {
+    by_dst[reqs[i].dst.id].push_back(i);
+  }
+  std::vector<std::vector<std::uint32_t>> path(reqs.size());  // port list
+  for (const auto& [dst, idxs] : by_dst) {
+    const auto dist = bfs_distances(g, dst);
+    for (const std::uint32_t i : idxs) {
+      NodeId v = reqs[i].src;
+      AMIX_CHECK_MSG(dist[v] != kUnreachable, "destination unreachable");
+      while (v != dst) {
+        // Greedy descent: first neighbor strictly closer to dst.
+        const auto arcs = g.arcs(v);
+        std::uint32_t chosen = UINT32_MAX;
+        for (std::uint32_t p = 0; p < arcs.size(); ++p) {
+          if (dist[arcs[p].to] + 1 == dist[v]) {
+            chosen = p;
+            break;
+          }
+        }
+        AMIX_CHECK(chosen != UINT32_MAX);
+        path[i].push_back(chosen);
+        v = arcs[chosen].to;
+      }
+    }
+  }
+
+  // Store-and-forward simulation: per round, each directed arc transmits
+  // the oldest queued packet.
+  std::vector<std::uint32_t> offsets(g.num_nodes() + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    offsets[v + 1] = offsets[v] + g.degree(v);
+  }
+  std::vector<std::deque<std::uint32_t>> queue(g.num_arcs());
+  std::vector<NodeId> at(reqs.size());
+  std::vector<std::uint32_t> hop(reqs.size(), 0);
+  std::uint32_t remaining = 0;
+  for (std::uint32_t i = 0; i < reqs.size(); ++i) {
+    at[i] = reqs[i].src;
+    if (path[i].empty()) {
+      ++stats.delivered;  // src == dst
+    } else {
+      const std::uint64_t arc = offsets[at[i]] + path[i][0];
+      queue[arc].push_back(i);
+      stats.max_queue = std::max(stats.max_queue, queue[arc].size());
+      ++remaining;
+    }
+  }
+
+  std::vector<std::uint64_t> active;
+  for (std::uint64_t a = 0; a < queue.size(); ++a) {
+    if (!queue[a].empty()) active.push_back(a);
+  }
+  while (remaining > 0) {
+    AMIX_CHECK_MSG(stats.rounds < max_rounds,
+                   "shortest-path router exceeded round cap");
+    ++stats.rounds;
+    ledger.charge(1);
+    std::vector<std::uint64_t> next_active;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> arrivals;
+    for (const std::uint64_t a : active) {
+      auto& q = queue[a];
+      if (q.empty()) continue;
+      const std::uint32_t i = q.front();
+      q.pop_front();
+      if (!q.empty()) next_active.push_back(a);
+      // Deliver packet i across arc a.
+      const NodeId v = at[i];
+      const std::uint32_t port = static_cast<std::uint32_t>(a - offsets[v]);
+      at[i] = g.neighbor(v, port);
+      ++hop[i];
+      if (hop[i] == path[i].size()) {
+        ++stats.delivered;
+        --remaining;
+      } else {
+        const std::uint64_t arc2 = offsets[at[i]] + path[i][hop[i]];
+        arrivals.emplace_back(arc2, i);
+      }
+    }
+    for (const auto& [arc2, i] : arrivals) {
+      if (queue[arc2].empty()) next_active.push_back(arc2);
+      queue[arc2].push_back(i);
+      stats.max_queue = std::max(stats.max_queue, queue[arc2].size());
+    }
+    std::sort(next_active.begin(), next_active.end());
+    next_active.erase(std::unique(next_active.begin(), next_active.end()),
+                      next_active.end());
+    active.swap(next_active);
+  }
+  return stats;
+}
+
+BaselineStats RandomWalkRouter::route(std::span<const RouteRequest> reqs,
+                                      RoundLedger& ledger, Rng& rng,
+                                      std::uint64_t max_steps) const {
+  const Graph& g = *g_;
+  BaselineStats stats;
+  if (reqs.empty()) return stats;
+  if (max_steps == 0) max_steps = 64ULL * g.num_nodes();
+
+  BaseComm base(g);
+  TokenTransport transport(base);
+  std::vector<NodeId> at(reqs.size());
+  std::vector<bool> done(reqs.size(), false);
+  std::uint32_t remaining = 0;
+  for (std::uint32_t i = 0; i < reqs.size(); ++i) {
+    at[i] = reqs[i].src;
+    if (at[i] == reqs[i].dst.id) {
+      done[i] = true;
+      ++stats.delivered;
+    } else {
+      ++remaining;
+    }
+  }
+
+  for (std::uint64_t step = 0; step < max_steps && remaining > 0; ++step) {
+    for (std::uint32_t i = 0; i < reqs.size(); ++i) {
+      if (done[i]) continue;
+      const NodeId v = at[i];
+      const std::uint32_t deg = g.degree(v);
+      const std::uint64_t r = rng.next_below(2ULL * deg);
+      if (r < deg) {
+        transport.move(v, static_cast<std::uint32_t>(r));
+        at[i] = g.neighbor(v, static_cast<std::uint32_t>(r));
+        ++stats.walk_steps;
+        if (at[i] == reqs[i].dst.id) {
+          done[i] = true;
+          ++stats.delivered;
+          --remaining;
+        }
+      }
+    }
+    const std::uint64_t before = ledger.total();
+    transport.commit_step(ledger);
+    stats.rounds += ledger.total() - before;
+  }
+  stats.undelivered = remaining;
+  return stats;
+}
+
+}  // namespace amix

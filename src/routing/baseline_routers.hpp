@@ -1,0 +1,57 @@
+#pragma once
+
+// Baseline routers for the E1 comparison:
+//
+//  * ShortestPathRouter — the natural store-and-forward scheme: every
+//    packet follows a BFS shortest path to its destination; per round each
+//    edge direction forwards one queued packet (FIFO). Round count is the
+//    genuine congested completion time (dilation + queueing).
+//  * RandomWalkRouter — the strawman the paper's introduction dismisses:
+//    each packet performs a lazy random walk until it happens to hit its
+//    destination. Charged through TokenTransport like everything else.
+
+#include <cstdint>
+#include <span>
+
+#include "congest/round_ledger.hpp"
+#include "graph/graph.hpp"
+#include "routing/request.hpp"
+#include "util/rng.hpp"
+
+namespace amix {
+
+struct BaselineStats {
+  std::uint64_t rounds = 0;
+  std::uint32_t delivered = 0;
+  std::uint32_t undelivered = 0;   // random-walk router may hit its cap
+  std::uint64_t max_queue = 0;     // peak per-arc queue (shortest-path)
+  std::uint64_t walk_steps = 0;    // total steps (random-walk)
+};
+
+class ShortestPathRouter {
+ public:
+  explicit ShortestPathRouter(const Graph& g) : g_(&g) {}
+
+  /// Routes all packets; charges the measured store-and-forward rounds.
+  BaselineStats route(std::span<const RouteRequest> reqs, RoundLedger& ledger,
+                      std::uint64_t max_rounds = 0) const;
+
+ private:
+  const Graph* g_;
+};
+
+class RandomWalkRouter {
+ public:
+  explicit RandomWalkRouter(const Graph& g) : g_(&g) {}
+
+  /// Each packet walks until it visits its destination node or the step cap
+  /// (default 64 * n) is reached; undelivered packets are reported, not
+  /// asserted — this baseline is *supposed* to be bad.
+  BaselineStats route(std::span<const RouteRequest> reqs, RoundLedger& ledger,
+                      Rng& rng, std::uint64_t max_steps = 0) const;
+
+ private:
+  const Graph* g_;
+};
+
+}  // namespace amix

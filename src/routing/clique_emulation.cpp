@@ -1,0 +1,24 @@
+#include "routing/clique_emulation.hpp"
+
+namespace amix {
+
+CliqueEmulationStats CliqueEmulator::emulate_round(RoundLedger& ledger,
+                                                   Rng& rng,
+                                                   double edge_expansion) const {
+  const Graph& g = h_->graph();
+  CliqueEmulationStats stats;
+  const auto reqs = all_to_all_instance(g);
+  stats.messages = reqs.size();
+
+  const RouteStats rs = router_.route_in_phases(reqs, 0, ledger, rng);
+  AMIX_CHECK(rs.delivered == reqs.size());
+  stats.rounds = rs.total_rounds;
+  stats.phases = rs.phases;
+  if (edge_expansion > 0.0) {
+    stats.lower_bound =
+        static_cast<double>(g.num_nodes()) / edge_expansion;
+  }
+  return stats;
+}
+
+}  // namespace amix

@@ -1,0 +1,274 @@
+#include "routing/hierarchical_router.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "congest/token_transport.hpp"
+#include "randwalk/walk_engine.hpp"
+
+namespace amix {
+namespace {
+
+struct Packet {
+  Vid cur;
+  Vid dst;
+};
+
+/// A packet participating in one recursive call, with the target of that
+/// call (final destination, or a portal on the way there).
+struct Item {
+  std::uint32_t pkt;
+  Vid target;
+};
+
+class Recursion {
+ public:
+  Recursion(const Hierarchy& h, std::vector<Packet>& packets,
+            RoundLedger& ledger, RouteStats& stats)
+      : h_(h), packets_(packets), ledger_(ledger), stats_(stats) {}
+
+  void route_within(std::uint32_t level, std::vector<Item>& items) {
+    if (items.empty()) return;
+    if (level == h_.depth()) {
+      leaf_deliver(items);
+      return;
+    }
+    const auto& part = h_.partition();
+    const std::uint32_t child_level = level + 1;
+
+    // Split into "stay" (target already in the packet's child part) and
+    // "cross" (must reach a portal, hop, then recurse in the target child).
+    std::vector<Item> phase1;
+    phase1.reserve(items.size());
+    std::vector<Item> cross;  // keeps the *real* target for phase 2
+    for (const Item& it : items) {
+      const Vid cur = packets_[it.pkt].cur;
+      const PartId a = part.part_of(cur, child_level);
+      const PartId b = part.part_of(it.target, child_level);
+      if (a == b) {
+        phase1.push_back(it);
+      } else {
+        const std::uint32_t target_child = part.child_index(b);
+        const Vid portal =
+            h_.portals().portal_for(cur, child_level, target_child);
+        phase1.push_back(Item{it.pkt, portal});
+        cross.push_back(it);
+      }
+    }
+
+    route_within(child_level, phase1);
+
+    if (!cross.empty()) {
+      // Hop every cross packet over one level-`level` overlay edge.
+      TokenTransport transport(h_.overlay(level));
+      for (const Item& it : cross) {
+        const Vid portal = packets_[it.pkt].cur;
+        const std::uint32_t target_child =
+            part.child_index(part.part_of(it.target, child_level));
+        const auto [nbr, port] =
+            h_.portals().hop_arc(portal, child_level, target_child);
+        transport.move(portal, port);
+        packets_[it.pkt].cur = nbr;
+      }
+      const std::uint64_t before = ledger_.total();
+      transport.commit_step(ledger_);
+      stats_.hop_rounds += ledger_.total() - before;
+      if (stats_.hop_rounds_by_level.size() <= level) {
+        stats_.hop_rounds_by_level.resize(level + 1, 0);
+        stats_.cross_packets_by_level.resize(level + 1, 0);
+      }
+      stats_.hop_rounds_by_level[level] += ledger_.total() - before;
+      stats_.cross_packets_by_level[level] += cross.size();
+
+      route_within(child_level, cross);
+    }
+  }
+
+ private:
+  void leaf_deliver(std::vector<Item>& items) {
+    const OverlayComm& leaf = h_.overlay(h_.depth());
+    // The leaf overlay is a dense random graph per leaf part (diameter
+    // 1-2): forward each packet along a BFS shortest path, one parallel
+    // hop per committed step.
+    std::vector<std::vector<std::pair<Vid, std::uint32_t>>> moves(
+        items.size());  // per packet: (node, port) hops
+    std::size_t max_len = 0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      Packet& p = packets_[items[i].pkt];
+      if (p.cur == items[i].target) continue;
+      moves[i] = leaf_path(leaf, p.cur, items[i].target);
+      max_len = std::max(max_len, moves[i].size());
+    }
+    TokenTransport transport(leaf);
+    for (std::size_t step = 0; step < max_len; ++step) {
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (step >= moves[i].size()) continue;
+        const auto [v, port] = moves[i][step];
+        transport.move(v, port);
+        packets_[items[i].pkt].cur = leaf.neighbor(v, port);
+      }
+      const std::uint64_t before = ledger_.total();
+      transport.commit_step(ledger_);
+      stats_.leaf_rounds += ledger_.total() - before;
+    }
+    ++stats_.leaf_phases;
+  }
+
+  /// BFS shortest path within the (small, connected) leaf component.
+  static std::vector<std::pair<Vid, std::uint32_t>> leaf_path(
+      const OverlayComm& leaf, Vid from, Vid to) {
+    // Leaf parts are Theta(log n) nodes; a local BFS with hash maps stays
+    // proportional to the part size.
+    std::unordered_map<Vid, std::pair<Vid, std::uint32_t>> via;  // node -> (prev, port at prev)
+    std::vector<Vid> frontier{from}, next;
+    via[from] = {from, UINT32_MAX};
+    bool found = false;
+    while (!frontier.empty() && !found) {
+      next.clear();
+      for (const Vid v : frontier) {
+        const auto nbrs = leaf.neighbors(v);
+        for (std::uint32_t q = 0; q < nbrs.size(); ++q) {
+          const Vid w = nbrs[q];
+          if (via.count(w) != 0) continue;
+          via[w] = {v, q};
+          if (w == to) {
+            found = true;
+            break;
+          }
+          next.push_back(w);
+        }
+        if (found) break;
+      }
+      frontier.swap(next);
+    }
+    AMIX_CHECK_MSG(found, "leaf part is not connected");
+    std::vector<std::pair<Vid, std::uint32_t>> hops;
+    for (Vid v = to; v != from;) {
+      const auto [prev, port] = via[v];
+      hops.emplace_back(prev, port);
+      v = prev;
+    }
+    std::reverse(hops.begin(), hops.end());
+    return hops;
+  }
+
+  const Hierarchy& h_;
+  std::vector<Packet>& packets_;
+  RoundLedger& ledger_;
+  RouteStats& stats_;
+};
+
+}  // namespace
+
+RouteStats HierarchicalRouter::route(std::span<const RouteRequest> reqs,
+                                     RoundLedger& ledger, Rng& rng) const {
+  const Graph& g = h_->graph();
+  const VirtualNodeSpace& vs = h_->vspace();
+  RouteStats stats;
+  stats.packets = static_cast<std::uint32_t>(reqs.size());
+  const std::uint64_t rounds_at_entry = ledger.total();
+  if (reqs.empty()) return stats;
+
+  // Destination virtual nodes: hashed port, computable from RoutingAddr.
+  std::vector<Packet> packets(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const RoutingAddr& dst = reqs[i].dst;
+    AMIX_CHECK_MSG(dst.degree == g.degree(dst.id),
+                   "RoutingAddr degree mismatch");
+    const std::uint32_t port = static_cast<std::uint32_t>(
+        splitmix64(reqs[i].seq ^ (static_cast<std::uint64_t>(dst.id) << 20)) %
+        dst.degree);
+    packets[i].dst = vs.vid_of(dst.id, port);
+  }
+
+  // Preparation: scatter packets by lazy walks of length tau_mix on G.
+  {
+    std::vector<std::uint32_t> starts(reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) starts[i] = reqs[i].src;
+    BaseComm base(g);
+    ParallelWalkEngine engine(base, rng.split());
+    WalkStats wstats;
+    const auto ends = engine.run(starts, WalkKind::kLazy,
+                                 h_->stats().tau_mix, ledger, &wstats);
+    stats.prep_rounds = wstats.base_rounds;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const NodeId u = ends[i];
+      const std::uint32_t port =
+          static_cast<std::uint32_t>(rng.next_below(g.degree(u)));
+      packets[i].cur = vs.vid_of(u, port);
+    }
+  }
+
+  // Lemma 3.4 precondition telemetry: packets per virtual node after prep.
+  {
+    std::vector<std::uint32_t> load(vs.num_virtual(), 0);
+    for (const Packet& p : packets) {
+      stats.max_vid_load = std::max(stats.max_vid_load, ++load[p.cur]);
+    }
+  }
+
+  std::vector<Item> items;
+  items.reserve(packets.size());
+  for (std::uint32_t i = 0; i < packets.size(); ++i) {
+    items.push_back(Item{i, packets[i].dst});
+  }
+  Recursion rec(*h_, packets, ledger, stats);
+  rec.route_within(0, items);
+
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    AMIX_CHECK_MSG(packets[i].cur == packets[i].dst, "packet not delivered");
+    AMIX_CHECK(vs.owner(packets[i].cur) == reqs[i].dst.id);
+    ++stats.delivered;
+  }
+  stats.total_rounds = ledger.total() - rounds_at_entry;
+  return stats;
+}
+
+std::uint32_t HierarchicalRouter::auto_phase_count(
+    std::span<const RouteRequest> reqs) const {
+  const Graph& g = h_->graph();
+  std::vector<std::uint32_t> out(g.num_nodes(), 0), in(g.num_nodes(), 0);
+  for (const RouteRequest& r : reqs) {
+    ++out[r.src];
+    ++in[r.dst.id];
+  }
+  std::uint32_t k = 1;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::uint32_t demand = std::max(out[v], in[v]);
+    const std::uint32_t deg = std::max(1u, g.degree(v));
+    k = std::max(k, (demand + deg - 1) / deg);
+  }
+  return k;
+}
+
+RouteStats HierarchicalRouter::route_in_phases(
+    std::span<const RouteRequest> reqs, std::uint32_t phases,
+    RoundLedger& ledger, Rng& rng) const {
+  if (phases == 0) phases = auto_phase_count(reqs);
+  if (phases <= 1) {
+    RouteStats s = route(reqs, ledger, rng);
+    s.phases = 1;
+    return s;
+  }
+  std::vector<std::vector<RouteRequest>> buckets(phases);
+  for (const RouteRequest& r : reqs) {
+    buckets[rng.next_below(phases)].push_back(r);
+  }
+  RouteStats agg;
+  agg.packets = static_cast<std::uint32_t>(reqs.size());
+  agg.phases = phases;
+  for (const auto& bucket : buckets) {
+    if (bucket.empty()) continue;
+    const RouteStats s = route(bucket, ledger, rng);
+    agg.total_rounds += s.total_rounds;
+    agg.prep_rounds += s.prep_rounds;
+    agg.hop_rounds += s.hop_rounds;
+    agg.leaf_rounds += s.leaf_rounds;
+    agg.delivered += s.delivered;
+    agg.leaf_phases += s.leaf_phases;
+    agg.max_vid_load = std::max(agg.max_vid_load, s.max_vid_load);
+  }
+  return agg;
+}
+
+}  // namespace amix

@@ -1,0 +1,72 @@
+#pragma once
+
+// The permutation router of Theorem 1.2 / Section 3.2.
+//
+// Given a built Hierarchy, routes a batch of point-to-point requests:
+//
+//   1. Preparation: every packet takes a lazy random walk of length
+//      tau_mix on the base graph, then is assigned to a uniform virtual
+//      node of the landing node — packets end up ~uniform over G0.
+//   2. Recursive descent, in lockstep across all parts of a level:
+//      RouteWithin(l) routes packets whose current position and (current)
+//      target share a level-l part. For l < depth it splits each packet by
+//      the level-(l+1) parts of position and target: "stay" packets recurse
+//      with their real target; "cross" packets recurse towards their
+//      portal, hop over one level-l overlay edge into the target part
+//      (charged through TokenTransport), and recurse again. At l == depth
+//      delivery is direct on the complete leaf graphs.
+//
+// Every movement is charged through the hierarchy's measured emulation
+// costs, so the reported rounds are end-to-end base-graph rounds.
+
+#include <cstdint>
+#include <vector>
+#include <span>
+
+#include "congest/round_ledger.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "routing/request.hpp"
+
+namespace amix {
+
+struct RouteStats {
+  std::uint64_t total_rounds = 0;  // charged by this call
+  std::uint64_t prep_rounds = 0;
+  std::uint64_t hop_rounds = 0;
+  std::uint64_t leaf_rounds = 0;
+  std::uint32_t packets = 0;
+  std::uint32_t delivered = 0;
+  std::uint32_t max_vid_load = 0;   // packets per virtual node after prep
+  std::uint32_t leaf_phases = 0;    // number of leaf-level delivery calls
+  std::uint32_t phases = 1;         // K of the footnote-3 extension
+  /// Diagnostics: hop rounds charged per hierarchy level (index = the
+  /// level of the overlay the hop crossed; size = hierarchy depth).
+  std::vector<std::uint64_t> hop_rounds_by_level;
+  /// Diagnostics: packets that crossed between sibling parts, per level.
+  std::vector<std::uint64_t> cross_packets_by_level;
+};
+
+class HierarchicalRouter {
+ public:
+  explicit HierarchicalRouter(const Hierarchy& h) : h_(&h) {}
+
+  /// Route all requests; charges `ledger`; asserts full delivery.
+  RouteStats route(std::span<const RouteRequest> reqs, RoundLedger& ledger,
+                   Rng& rng) const;
+
+  /// Footnote-3 extension: randomly split the requests into `phases`
+  /// batches routed one after the other (for instances whose per-node load
+  /// exceeds the d_G(v) promise). phases == 0 picks K automatically from
+  /// the instance's max per-node load.
+  RouteStats route_in_phases(std::span<const RouteRequest> reqs,
+                             std::uint32_t phases, RoundLedger& ledger,
+                             Rng& rng) const;
+
+  /// The K that route_in_phases(., 0, .) would pick.
+  std::uint32_t auto_phase_count(std::span<const RouteRequest> reqs) const;
+
+ private:
+  const Hierarchy* h_;
+};
+
+}  // namespace amix

@@ -1,0 +1,100 @@
+#include "routing/request.hpp"
+
+#include <numeric>
+
+namespace amix {
+
+std::vector<RouteRequest> permutation_instance(const Graph& g, Rng& rng) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  shuffle(perm, rng);
+  std::vector<RouteRequest> reqs;
+  reqs.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    reqs.push_back(RouteRequest{v, addr_of(g, perm[v]), rng()});
+  }
+  return reqs;
+}
+
+std::vector<RouteRequest> degree_demand_instance(const Graph& g, Rng& rng) {
+  // Sources: every arc slot (v repeated d(v) times); destinations: a random
+  // permutation of the same multiset. Each node is source of exactly d(v)
+  // and destination of exactly d(v) packets.
+  std::vector<NodeId> slots;
+  slots.reserve(g.num_arcs());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (std::uint32_t i = 0; i < g.degree(v); ++i) slots.push_back(v);
+  }
+  std::vector<NodeId> dsts = slots;
+  shuffle(dsts, rng);
+  std::vector<RouteRequest> reqs;
+  reqs.reserve(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    reqs.push_back(RouteRequest{slots[i], addr_of(g, dsts[i]), rng()});
+  }
+  return reqs;
+}
+
+std::vector<RouteRequest> hotspot_instance(const Graph& g, Rng& rng,
+                                           std::uint32_t hotspots,
+                                           std::uint32_t mult) {
+  AMIX_CHECK(hotspots >= 1 && hotspots <= g.num_nodes());
+  std::vector<RouteRequest> reqs;
+  const auto hot = sample_distinct(g.num_nodes(), hotspots, rng);
+  for (const NodeId h : hot) {
+    const std::uint64_t count =
+        static_cast<std::uint64_t>(mult) * g.degree(h);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto src = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+      reqs.push_back(RouteRequest{src, addr_of(g, h), rng()});
+    }
+  }
+  return reqs;
+}
+
+std::vector<RouteRequest> all_to_all_instance(const Graph& g) {
+  std::vector<RouteRequest> reqs;
+  const NodeId n = g.num_nodes();
+  reqs.reserve(static_cast<std::size_t>(n) * (n - 1));
+  std::uint64_t seq = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t) continue;
+      reqs.push_back(RouteRequest{s, addr_of(g, t), seq++});
+    }
+  }
+  return reqs;
+}
+
+std::vector<RouteRequest> bit_reversal_instance(const Graph& g, Rng& rng) {
+  const NodeId n = g.num_nodes();
+  AMIX_CHECK_MSG((n & (n - 1)) == 0 && n >= 2, "n must be a power of two");
+  std::uint32_t bits = 0;
+  while ((NodeId{1} << bits) < n) ++bits;
+  std::vector<RouteRequest> reqs;
+  reqs.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId r = 0;
+    for (std::uint32_t b = 0; b < bits; ++b) {
+      r |= ((v >> b) & 1u) << (bits - 1 - b);
+    }
+    reqs.push_back(RouteRequest{v, addr_of(g, r), rng()});
+  }
+  return reqs;
+}
+
+std::vector<RouteRequest> transpose_instance(const Graph& g, Rng& rng) {
+  const NodeId n = g.num_nodes();
+  NodeId s = 1;
+  while ((s + 1) * (s + 1) <= n) ++s;
+  std::vector<RouteRequest> reqs;
+  reqs.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId dst = v < s * s ? (v % s) * s + (v / s) : v;
+    reqs.push_back(RouteRequest{v, addr_of(g, dst), rng()});
+  }
+  return reqs;
+}
+
+}  // namespace amix

@@ -1,0 +1,61 @@
+#pragma once
+
+// Routing requests and instance generators.
+//
+// A source addresses its destination by RoutingAddr = (id, degree): any
+// CONGEST message that teaches a node an id can carry the degree in the
+// same O(log n) bits, and the degree is what lets the source pick (and
+// hash) a destination *virtual node* — see DESIGN.md Section 5.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace amix {
+
+struct RoutingAddr {
+  NodeId id = kInvalidNode;
+  std::uint32_t degree = 0;
+};
+
+struct RouteRequest {
+  NodeId src = kInvalidNode;
+  RoutingAddr dst;
+  std::uint64_t seq = 0;  // per-packet nonce (spreads destination ports)
+};
+
+inline RoutingAddr addr_of(const Graph& g, NodeId v) {
+  return RoutingAddr{v, g.degree(v)};
+}
+
+/// One packet per node, destinations a uniform random permutation
+/// (classic permutation routing; each node is source and destination of
+/// exactly one packet).
+std::vector<RouteRequest> permutation_instance(const Graph& g, Rng& rng);
+
+/// The paper's Theorem 1.2 promise at full load: each node is the source
+/// of exactly d_G(v) packets and the destination of exactly d_G(v) packets
+/// (a random perfect matching between arc slots).
+std::vector<RouteRequest> degree_demand_instance(const Graph& g, Rng& rng);
+
+/// Skewed instance: `hotspots` random nodes receive `mult * d(v)` packets
+/// each (sources uniform). Exercises the K-phase extension (footnote 3).
+std::vector<RouteRequest> hotspot_instance(const Graph& g, Rng& rng,
+                                           std::uint32_t hotspots,
+                                           std::uint32_t mult);
+
+/// All-to-all: each node one packet to every other node (clique emulation).
+std::vector<RouteRequest> all_to_all_instance(const Graph& g);
+
+/// Bit-reversal permutation (n must be a power of two): the classic
+/// adversarial pattern for oblivious routers — every packet's destination
+/// is maximally "far" in address space.
+std::vector<RouteRequest> bit_reversal_instance(const Graph& g, Rng& rng);
+
+/// Transpose permutation on the largest s*s prefix (node r*s+c -> c*s+r);
+/// nodes outside the square send to themselves.
+std::vector<RouteRequest> transpose_instance(const Graph& g, Rng& rng);
+
+}  // namespace amix

@@ -1,0 +1,43 @@
+#pragma once
+
+// Lightweight runtime-check macros used throughout the library.
+//
+// AMIX_CHECK is always on (benches rely on the Las-Vegas retry logic it
+// guards); AMIX_DCHECK compiles out in NDEBUG builds and is meant for
+// hot-loop invariants.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace amix::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "AMIX_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace amix::detail
+
+#define AMIX_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::amix::detail::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                 \
+  } while (false)
+
+#define AMIX_CHECK_MSG(expr, msg)                                   \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::amix::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+    }                                                               \
+  } while (false)
+
+#ifdef NDEBUG
+#define AMIX_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define AMIX_DCHECK(expr) AMIX_CHECK(expr)
+#endif

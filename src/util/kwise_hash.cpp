@@ -1,0 +1,36 @@
+#include "util/kwise_hash.hpp"
+
+#include "util/check.hpp"
+
+namespace amix {
+
+std::uint64_t mulmod_m61(std::uint64_t a, std::uint64_t b) {
+  const __uint128_t prod = static_cast<__uint128_t>(a) * b;
+  const auto lo = static_cast<std::uint64_t>(prod & KWiseHash::kPrime);
+  const auto hi = static_cast<std::uint64_t>(prod >> 61);
+  return reduce_m61(lo + hi);
+}
+
+KWiseHash::KWiseHash(unsigned W, Rng& rng) {
+  AMIX_CHECK(W >= 1);
+  coeffs_.resize(W);
+  for (auto& c : coeffs_) {
+    // Rejection-sample a uniform value in [0, p).
+    do {
+      c = rng() & ((1ULL << 61) - 1);
+    } while (c >= kPrime);
+  }
+}
+
+std::uint64_t KWiseHash::operator()(std::uint64_t key) const {
+  // Keys can be arbitrary 64-bit values; fold into the field first.
+  const std::uint64_t x = reduce_m61(reduce_m61(key) + 1);  // avoid x == 0
+  // Horner evaluation, highest coefficient first.
+  std::uint64_t acc = 0;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    acc = reduce_m61(mulmod_m61(acc, x) + coeffs_[i]);
+  }
+  return acc;
+}
+
+}  // namespace amix

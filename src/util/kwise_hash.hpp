@@ -1,0 +1,57 @@
+#pragma once
+
+// W-wise independent hash family over the Mersenne prime p = 2^61 - 1.
+//
+// Section 3.1.2 of the paper partitions the virtual nodes with a
+// Theta(log n)-wise independent hash function whose O(log^2 n) random bits
+// are broadcast from a leader. A random degree-(W-1) polynomial over a prime
+// field is the textbook construction [Alon-Spencer]: evaluating it at a key
+// gives a W-wise independent value in [0, p), which we then reduce to the
+// desired range.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace amix {
+
+class KWiseHash {
+ public:
+  static constexpr std::uint64_t kPrime = (1ULL << 61) - 1;
+
+  /// A random member of the W-wise independent family. `W >= 1`.
+  KWiseHash(unsigned W, Rng& rng);
+
+  /// Hash of a 64-bit key, uniform in [0, kPrime).
+  std::uint64_t operator()(std::uint64_t key) const;
+
+  /// Hash reduced to [0, range). Bias is O(range / 2^61), negligible for the
+  /// ranges used here (at most m^O(1)).
+  std::uint64_t bounded(std::uint64_t key, std::uint64_t range) const {
+    return (*this)(key) % range;
+  }
+
+  unsigned independence() const {
+    return static_cast<unsigned>(coeffs_.size());
+  }
+
+  /// Number of random bits the construction consumes: W coefficients of
+  /// 61 bits each — the Theta(W log n) bits the paper's leader broadcasts.
+  std::size_t seed_bits() const { return coeffs_.size() * 61; }
+
+ private:
+  std::vector<std::uint64_t> coeffs_;  // degree W-1 polynomial, c[0] + c[1] x + ...
+};
+
+/// Multiplication mod 2^61 - 1 without overflow.
+std::uint64_t mulmod_m61(std::uint64_t a, std::uint64_t b);
+
+/// Reduction mod 2^61 - 1 of a value < 2^62.
+constexpr std::uint64_t reduce_m61(std::uint64_t x) {
+  constexpr std::uint64_t p = (1ULL << 61) - 1;
+  x = (x & p) + (x >> 61);
+  return x >= p ? x - p : x;
+}
+
+}  // namespace amix

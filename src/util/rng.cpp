@@ -1,0 +1,42 @@
+#include "util/rng.hpp"
+
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace amix {
+
+std::vector<std::uint32_t> sample_distinct(std::uint32_t n, std::uint32_t k,
+                                           Rng& rng) {
+  AMIX_CHECK(k <= n);
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (static_cast<std::uint64_t>(k) * 4 >= n) {
+    // Dense case: partial Fisher-Yates over an index array.
+    std::vector<std::uint32_t> idx(n);
+    for (std::uint32_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const std::uint32_t j =
+          i + static_cast<std::uint32_t>(rng.next_below(n - i));
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+    return out;
+  }
+  // Sparse case: Floyd's algorithm.
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(k * 2);
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::uint32_t>(rng.next_below(j + 1));
+    if (seen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      seen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace amix

@@ -1,0 +1,116 @@
+#pragma once
+
+// Deterministic, fast pseudo-random number generation.
+//
+// The whole library is seeded explicitly so that every experiment is
+// reproducible: a single 64-bit seed fans out (via SplitMix64) into
+// independent streams for each subsystem.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace amix {
+
+/// SplitMix64: used for seeding and for cheap stateless hashing of
+/// 64-bit keys. Passes BigCrush when used as a generator.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna: the library's workhorse generator.
+/// Satisfies the C++ UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x = splitmix64(x);
+      word = x;
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's nearly-divisionless method.
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound <= 1) return 0;
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli(p).
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+  /// Derive an independent stream (e.g. per subsystem or per walk batch).
+  Rng split() { return Rng(splitmix64((*this)()) ^ 0x2545f4914f6cdd1dULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+/// Fisher-Yates shuffle of a vector (uses Rng rather than std::shuffle so
+/// results are identical across standard-library implementations).
+template <typename T>
+void shuffle(std::vector<T>& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    using std::swap;
+    swap(v[i - 1], v[j]);
+  }
+}
+
+/// Sample `k` distinct values from [0, n) (k <= n). O(k) expected time via
+/// Floyd's algorithm for small k, falling back to a shuffle prefix.
+std::vector<std::uint32_t> sample_distinct(std::uint32_t n, std::uint32_t k,
+                                           Rng& rng);
+
+}  // namespace amix

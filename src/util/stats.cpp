@@ -1,0 +1,40 @@
+#include "util/stats.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace amix {
+
+double quantile(std::vector<double> xs, double q) {
+  AMIX_CHECK(!xs.empty());
+  AMIX_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double loglog_slope(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  AMIX_CHECK(x.size() == y.size());
+  AMIX_CHECK(x.size() >= 2);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const auto n = static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    AMIX_CHECK(x[i] > 0 && y[i] > 0);
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  AMIX_CHECK(denom != 0.0);
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace amix

@@ -1,0 +1,51 @@
+#pragma once
+
+// Small summary-statistics helpers used by tests and benches.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace amix {
+
+/// Streaming summary: count / min / max / mean / variance (Welford).
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact quantile of a sample (copies and sorts; fine for bench sizes).
+double quantile(std::vector<double> xs, double q);
+
+/// Least-squares slope of log(y) against log(x): the empirical scaling
+/// exponent used by the benches ("rounds grow like n^slope").
+double loglog_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace amix

@@ -1,0 +1,41 @@
+#pragma once
+
+// Fixed-width table printer used by the bench binaries so every experiment
+// emits both a human-readable table and a machine-readable CSV block.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace amix {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(const char* cell) { return add(std::string(cell)); }
+  Table& add(std::uint64_t v);
+  Table& add(std::int64_t v);
+  Table& add(int v) { return add(static_cast<std::int64_t>(v)); }
+  Table& add(unsigned v) { return add(static_cast<std::uint64_t>(v)); }
+  Table& add(double v, int precision = 3);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Pretty fixed-width rendering.
+  void print(std::ostream& os) const;
+  /// CSV rendering (headers + rows).
+  void print_csv(std::ostream& os) const;
+  /// Both, with a title banner — the standard bench output format.
+  void print_report(std::ostream& os, const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace amix

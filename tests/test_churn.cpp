@@ -1,0 +1,75 @@
+// gen::degree_preserving_rewire and churn-resilience of the pipeline.
+
+#include <gtest/gtest.h>
+
+#include "amix/amix.hpp"
+
+namespace amix {
+namespace {
+
+TEST(Churn, RewirePreservesDegreesAndConnectivity) {
+  Rng rng(17);
+  const Graph g = gen::random_regular(96, 6, rng);
+  const Graph h = gen::degree_preserving_rewire(g, 60, rng);
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(h.degree(v), g.degree(v));
+  }
+  EXPECT_TRUE(is_connected(h));
+}
+
+TEST(Churn, RewireActuallyChangesTheTopology) {
+  Rng rng(19);
+  const Graph g = gen::random_regular(96, 6, rng);
+  const Graph h = gen::degree_preserving_rewire(g, 60, rng);
+  std::uint32_t changed = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!h.has_edge(g.edge_u(e), g.edge_v(e))) ++changed;
+  }
+  EXPECT_GE(changed, 30u);  // ~60 swaps touch ~120 edge slots
+}
+
+TEST(Churn, ZeroSwapsIsIdentityUpToEdgeOrder) {
+  Rng rng(21);
+  const Graph g = gen::connected_gnp(50, 0.15, rng);
+  const Graph h = gen::degree_preserving_rewire(g, 0, rng);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_TRUE(h.has_edge(g.edge_u(e), g.edge_v(e)));
+  }
+}
+
+TEST(Churn, PipelineSurvivesRepeatedChurn) {
+  Rng rng(23);
+  Graph g = gen::random_regular(96, 6, rng);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    RoundLedger ledger;
+    HierarchyParams hp;
+    hp.seed = 31 + epoch;
+    const Hierarchy h = Hierarchy::build(g, hp, ledger);
+    HierarchicalRouter router(h);
+    const auto reqs = permutation_instance(g, rng);
+    const RouteStats rs = router.route(reqs, ledger, rng);
+    EXPECT_EQ(rs.delivered, reqs.size()) << "epoch " << epoch;
+    g = gen::degree_preserving_rewire(g, g.num_edges() / 8, rng);
+  }
+}
+
+TEST(Churn, ExpansionStaysHealthyUnderChurn) {
+  // Degree-preserving churn on a random regular graph keeps it an
+  // expander: the mixing time stays within a constant band.
+  Rng rng(25);
+  Graph g = gen::random_regular(128, 6, rng);
+  const auto tau0 =
+      mixing_time_sampled(g, WalkKind::kLazy, 4, rng, 1u << 20);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    g = gen::degree_preserving_rewire(g, g.num_edges() / 4, rng);
+  }
+  const auto tau4 =
+      mixing_time_sampled(g, WalkKind::kLazy, 4, rng, 1u << 20);
+  EXPECT_LT(tau4, 4 * tau0 + 16);
+  EXPECT_GT(4 * tau4 + 16, tau0);
+}
+
+}  // namespace
+}  // namespace amix

@@ -1,0 +1,57 @@
+// mst/clique_mst: MST via clique emulation (the Theorem 1.3 application).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amix/amix.hpp"
+
+namespace amix {
+namespace {
+
+TEST(CliqueMst, MatchesKruskalOnExpanders) {
+  Rng rng(41);
+  const Graph g = gen::random_regular(48, 6, rng);
+  const Weights w = distinct_random_weights(g, rng);
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.seed = 9;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+  const auto stats = clique_mst(h, w, ledger);
+  EXPECT_TRUE(is_exact_mst(g, w, stats.edges));
+  EXPECT_GT(stats.rounds, 0u);
+}
+
+TEST(CliqueMst, LogManyCliqueRounds) {
+  Rng rng(43);
+  const Graph g = gen::connected_gnp(64, 0.15, rng);
+  const Weights w = distinct_random_weights(g, rng);
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.seed = 11;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+  const auto stats = clique_mst(h, w, ledger);
+  EXPECT_TRUE(is_exact_mst(g, w, stats.edges));
+  // Full Boruvka halves components every round: <= ~log2 n + slack.
+  EXPECT_LE(stats.clique_rounds,
+            static_cast<std::uint32_t>(std::log2(64.0)) + 2);
+}
+
+TEST(CliqueMst, AgreesWithTheOtherEngines) {
+  Rng rng(45);
+  const Graph g = gen::hypercube(6);
+  const Weights w = distinct_random_weights(g, rng);
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.seed = 13;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+  const auto via_clique = clique_mst(h, w, ledger);
+  const auto via_hier = HierarchicalBoruvka(h, w).run(ledger);
+  RoundLedger kl;
+  const auto via_kernel = kernel_boruvka(g, w, kl);
+  EXPECT_EQ(via_clique.edges, via_hier.edges);
+  EXPECT_EQ(via_clique.edges, via_kernel.edges);
+}
+
+}  // namespace
+}  // namespace amix

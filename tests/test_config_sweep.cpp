@@ -1,0 +1,114 @@
+// Property sweep over the hierarchy configuration space: the Las Vegas
+// construction and the router/MST must be correct for every sensible
+// combination of beta / leaf_target / level_degree / walk_slack — not just
+// the defaults.
+
+#include <gtest/gtest.h>
+
+#include "amix/amix.hpp"
+
+namespace amix {
+namespace {
+
+struct Config {
+  std::uint32_t beta;
+  std::uint32_t leaf_target;
+  std::uint32_t level_degree;
+  double walk_slack;
+};
+
+class ConfigSweep : public ::testing::TestWithParam<Config> {};
+
+TEST_P(ConfigSweep, PipelineCorrectUnderConfig) {
+  const Config c = GetParam();
+  Rng rng(71);
+  const Graph g = gen::random_regular(128, 6, rng);
+
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.beta = c.beta;
+  hp.leaf_target = c.leaf_target;
+  hp.level_degree = c.level_degree;
+  hp.walk_slack = c.walk_slack;
+  hp.seed = 1 + c.beta * 100 + c.leaf_target;
+  hp.max_retries = 10;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+  EXPECT_EQ(h.beta(), c.beta);
+
+  HierarchicalRouter router(h);
+  const auto reqs = permutation_instance(g, rng);
+  const RouteStats rs = router.route(reqs, ledger, rng);
+  EXPECT_EQ(rs.delivered, reqs.size());
+
+  const Weights w = distinct_random_weights(g, rng);
+  const MstStats ms = HierarchicalBoruvka(h, w).run(ledger);
+  EXPECT_TRUE(is_exact_mst(g, w, ms.edges));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConfigSweep,
+    ::testing::Values(Config{4, 12, 5, 1.5},    // deep hierarchy
+                      Config{8, 10, 5, 1.5},    // default-ish
+                      Config{8, 20, 4, 1.5},    // big leaves
+                      Config{16, 10, 6, 1.5},   // wide
+                      Config{16, 16, 8, 2.5},   // wide + thick + slack
+                      Config{32, 12, 6, 1.5},   // widest (depth 1)
+                      Config{8, 10, 3, 1.2}),   // thin overlays (more retries)
+    [](const ::testing::TestParamInfo<Config>& info) {
+      const Config& c = info.param;
+      return "b" + std::to_string(c.beta) + "_l" +
+             std::to_string(c.leaf_target) + "_d" +
+             std::to_string(c.level_degree) + "_s" +
+             std::to_string(static_cast<int>(c.walk_slack * 10));
+    });
+
+TEST(RouterDiagnostics, PerLevelBreakdownIsConsistent) {
+  Rng rng(73);
+  const Graph g = gen::random_regular(160, 6, rng);
+  RoundLedger build;
+  HierarchyParams hp;
+  hp.seed = 17;
+  const Hierarchy h = Hierarchy::build(g, hp, build);
+  HierarchicalRouter router(h);
+  const auto reqs = permutation_instance(g, rng);
+  RoundLedger ledger;
+  const RouteStats rs = router.route(reqs, ledger, rng);
+
+  // Per-level hop rounds sum to the total hop charge.
+  std::uint64_t level_sum = 0;
+  for (const auto x : rs.hop_rounds_by_level) level_sum += x;
+  EXPECT_EQ(level_sum, rs.hop_rounds);
+  // Some packets cross at the top level w.h.p. (random dests).
+  ASSERT_FALSE(rs.cross_packets_by_level.empty());
+  EXPECT_GT(rs.cross_packets_by_level[0], 0u);
+  // Cross packets never exceed total packets per level... per call they
+  // can repeat across phases, but stay bounded by packets * 2^depth.
+  for (const auto c : rs.cross_packets_by_level) {
+    EXPECT_LE(c, static_cast<std::uint64_t>(rs.packets) << h.depth());
+  }
+}
+
+TEST(RouterDiagnostics, HopChargesUseTheRightOverlayCosts) {
+  // Level-l hops cross the level-l overlay: each hop step costs a multiple
+  // of that overlay's round cost.
+  Rng rng(79);
+  const Graph g = gen::random_regular(96, 6, rng);
+  RoundLedger build;
+  HierarchyParams hp;
+  hp.seed = 23;
+  const Hierarchy h = Hierarchy::build(g, hp, build);
+  HierarchicalRouter router(h);
+  const auto reqs = permutation_instance(g, rng);
+  RoundLedger ledger;
+  const RouteStats rs = router.route(reqs, ledger, rng);
+  for (std::size_t level = 0; level < rs.hop_rounds_by_level.size();
+       ++level) {
+    const std::uint64_t hops = rs.hop_rounds_by_level[level];
+    if (hops == 0) continue;
+    EXPECT_EQ(hops % h.overlay(level).round_cost(), 0u)
+        << "level " << level;
+  }
+}
+
+}  // namespace
+}  // namespace amix

@@ -1,0 +1,232 @@
+// congest/: the synchronous kernel, its primitives, and token transport.
+
+#include <gtest/gtest.h>
+
+#include "congest/comm_graph.hpp"
+#include "congest/network.hpp"
+#include "congest/primitives.hpp"
+#include "congest/token_transport.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace amix {
+namespace {
+
+using congest::Inbox;
+using congest::Message;
+using congest::Outbox;
+using congest::SyncNetwork;
+
+TEST(SyncNetwork, DeliversMessagesToTheRightPort) {
+  const Graph g = gen::path(3);  // 0 - 1 - 2
+  RoundLedger ledger;
+  SyncNetwork net(g, ledger);
+  std::vector<std::uint64_t> got(3, 0);
+  net.run_rounds(
+      [&](NodeId v, const Inbox& in, Outbox& out) {
+        for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
+          if (in.at(p).has_value()) got[v] += in.at(p)->a;
+        }
+        if (net.rounds_executed() == 0 && v == 0) {
+          out.send(0, Message{41, 0});  // to node 1
+        }
+      },
+      2);
+  EXPECT_EQ(got[1], 41u);
+  EXPECT_EQ(got[0], 0u);
+  EXPECT_EQ(got[2], 0u);
+  EXPECT_EQ(ledger.total(), 2u);
+}
+
+TEST(SyncNetwork, ChargesOneRoundPerStep) {
+  const Graph g = gen::ring(5);
+  RoundLedger ledger;
+  SyncNetwork net(g, ledger);
+  net.run_rounds([](NodeId, const Inbox&, Outbox&) {}, 7);
+  EXPECT_EQ(ledger.total(), 7u);
+  EXPECT_EQ(net.rounds_executed(), 7u);
+}
+
+TEST(SyncNetworkDeath, RejectsTwoMessagesOnOneArc) {
+  const Graph g = gen::path(2);
+  RoundLedger ledger;
+  SyncNetwork net(g, ledger);
+  EXPECT_DEATH(net.run_rounds(
+                   [](NodeId v, const Inbox&, Outbox& out) {
+                     if (v == 0) {
+                       out.send(0, Message{1, 0});
+                       out.send(0, Message{2, 0});
+                     }
+                   },
+                   1),
+               "CONGEST violation");
+}
+
+TEST(SyncNetwork, RunUntilQuietStopsAndCharges) {
+  const Graph g = gen::path(4);
+  RoundLedger ledger;
+  SyncNetwork net(g, ledger);
+  // One message travels 0 -> 1 -> 2 -> 3; then quiet.
+  std::vector<bool> forwarded(4, false);
+  const auto rounds = net.run_until_quiet(
+      [&](NodeId v, const Inbox& in, Outbox& out) {
+        if (v == 0 && !forwarded[0]) {
+          forwarded[0] = true;
+          out.send(0, Message{7, 0});
+          return;
+        }
+        for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
+          if (in.at(p).has_value() && !forwarded[v] && v + 1 < 4) {
+            forwarded[v] = true;
+            out.send(g.port_of(v, g.edge_at(v, 1 - p)), *in.at(p));
+          }
+        }
+      },
+      100);
+  EXPECT_EQ(rounds, 4u);  // 3 forwarding rounds + 1 quiet round
+}
+
+TEST(Primitives, DistributedBfsTreeMatchesCentralDistances) {
+  Rng rng(5);
+  const Graph g = gen::connected_gnp(60, 0.1, rng);
+  RoundLedger ledger;
+  const BfsTree t = congest::distributed_bfs_tree(g, 3, ledger);
+  const auto dist = bfs_distances(g, 3);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(t.depth[v], dist[v]);
+  }
+  // Flooding takes eccentricity+O(1) rounds.
+  EXPECT_GE(ledger.total(), eccentricity(g, 3));
+  EXPECT_LE(ledger.total(), eccentricity(g, 3) + 3);
+}
+
+TEST(Primitives, LeaderElectionFindsMaxId) {
+  Rng rng(7);
+  const Graph g = gen::connected_gnp(40, 0.15, rng);
+  RoundLedger ledger;
+  EXPECT_EQ(congest::elect_leader_max_id(g, ledger), g.num_nodes() - 1);
+  EXPECT_GE(ledger.total(), diameter_double_sweep(g) / 2);
+}
+
+TEST(Primitives, ConvergecastMinComputesGlobalMin) {
+  Rng rng(9);
+  const Graph g = gen::connected_gnp(50, 0.12, rng);
+  RoundLedger ledger;
+  const BfsTree t = bfs_tree(g, 0);
+  std::vector<std::uint64_t> values(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) values[v] = 1000 + v * 7;
+  values[37] = 3;
+  EXPECT_EQ(congest::convergecast_min(g, t, values, ledger), 3u);
+  EXPECT_LE(ledger.total(), 2u * t.height + 4);
+}
+
+TEST(Primitives, BroadcastBitsChargesPipelineFormula) {
+  BfsTree t;
+  t.height = 10;
+  RoundLedger ledger;
+  congest::broadcast_bits(t, 1280, 128, ledger);  // 10 packets
+  EXPECT_EQ(ledger.total(), 10u + 9 + 1);
+  RoundLedger l2;
+  congest::broadcast_bits(t, 1, 128, l2);  // 1 packet
+  EXPECT_EQ(l2.total(), 11u);
+}
+
+TEST(TokenTransport, ChargesMaxArcLoad) {
+  const Graph g = gen::star(5);  // hub 0
+  BaseComm base(g);
+  TokenTransport tt(base);
+  RoundLedger ledger;
+  // 3 tokens over hub->leaf port 0, 1 token over port 1.
+  tt.move(0, 0);
+  tt.move(0, 0);
+  tt.move(0, 0);
+  tt.move(0, 1);
+  EXPECT_EQ(tt.step_max_load(), 3u);
+  EXPECT_EQ(tt.step_moves(), 4u);
+  EXPECT_EQ(tt.commit_step(ledger), 3u);
+  EXPECT_EQ(ledger.total(), 3u);
+  // State resets between steps.
+  tt.move(0, 1);
+  EXPECT_EQ(tt.commit_step(ledger), 1u);
+  EXPECT_EQ(ledger.total(), 4u);
+  EXPECT_EQ(tt.total_graph_rounds(), 4u);
+}
+
+TEST(TokenTransport, MultipliesByRoundCost) {
+  OverlayComm overlay({{1}, {0}}, /*round_cost=*/17);
+  TokenTransport tt(overlay);
+  RoundLedger ledger;
+  tt.move(0, 0);
+  tt.move(0, 0);
+  tt.commit_step(ledger);
+  EXPECT_EQ(ledger.total(), 2u * 17);
+  EXPECT_EQ(tt.total_graph_rounds(), 2u);
+}
+
+TEST(TokenTransport, OppositeDirectionsDoNotCollide) {
+  const Graph g = gen::path(2);
+  BaseComm base(g);
+  TokenTransport tt(base);
+  RoundLedger ledger;
+  tt.move(0, 0);  // 0 -> 1
+  tt.move(1, 0);  // 1 -> 0
+  EXPECT_EQ(tt.commit_step(ledger), 1u);  // full duplex: one round
+}
+
+TEST(CommGraph, BaseCommMirrorsGraph) {
+  Rng rng(11);
+  const Graph g = gen::connected_gnp(30, 0.2, rng);
+  const BaseComm base(g);
+  EXPECT_EQ(base.num_nodes(), g.num_nodes());
+  EXPECT_EQ(base.num_arcs(), g.num_arcs());
+  EXPECT_EQ(base.round_cost(), 1u);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(base.degree(v), g.degree(v));
+    for (std::uint32_t p = 0; p < g.degree(v); ++p) {
+      EXPECT_EQ(base.neighbor(v, p), g.neighbor(v, p));
+    }
+  }
+  EXPECT_EQ(base.max_degree(), g.max_degree());
+}
+
+TEST(CommGraph, OverlayCommArcIndexingIsDense) {
+  OverlayComm overlay({{1, 2}, {0}, {0}}, 5);
+  EXPECT_EQ(overlay.num_nodes(), 3u);
+  EXPECT_EQ(overlay.num_arcs(), 4u);
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t v = 0; v < 3; ++v) {
+    for (std::uint32_t p = 0; p < overlay.degree(v); ++p) {
+      seen.insert(overlay.arc_index(v, p));
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(*seen.rbegin(), 3u);
+}
+
+TEST(RoundLedger, PhaseTaggingAccumulates) {
+  RoundLedger ledger;
+  ledger.charge("a", 5);
+  ledger.charge("b", 7);
+  ledger.charge("a", 2);
+  ledger.charge(1);
+  EXPECT_EQ(ledger.total(), 15u);
+  EXPECT_EQ(ledger.phase_total("a"), 7u);
+  EXPECT_EQ(ledger.phase_total("b"), 7u);
+  EXPECT_EQ(ledger.phase_total("missing"), 0u);
+  ledger.reset();
+  EXPECT_EQ(ledger.total(), 0u);
+}
+
+TEST(RoundLedger, PhaseScopeFoldsIntoParent) {
+  RoundLedger parent;
+  {
+    PhaseScope scope(parent, "stage");
+    scope.ledger().charge(9);
+    scope.ledger().charge("inner", 4);
+  }
+  EXPECT_EQ(parent.total(), 13u);
+  EXPECT_EQ(parent.phase_total("stage"), 13u);
+}
+
+}  // namespace
+}  // namespace amix

@@ -1,0 +1,185 @@
+// Edge-case coverage batch: corners of the API that the main suites only
+// brush — conductance estimates, eigenvalue sanity for the regular walk,
+// router phase handling, MST parameter overrides, overlay behaviors.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "amix/amix.hpp"
+#include "graph/io.hpp"
+
+namespace amix {
+namespace {
+
+TEST(SpectralEdge, ConductanceSweepKnownValues) {
+  // Complete graph: phi = ceil-ish 1/2 * n/(n-1); ring: 2/(n) volume form.
+  const Graph k = gen::complete(16);
+  EXPECT_NEAR(conductance_sweep(k), 8.0 / 15.0, 0.05);
+  const Graph r = gen::ring(32);
+  EXPECT_NEAR(conductance_sweep(r), 2.0 / 32.0, 0.01);
+}
+
+TEST(SpectralEdge, SecondEigenvalueOfRegularWalkIsBelowOne) {
+  Rng rng(3);
+  for (const auto& g :
+       {gen::star(12), gen::ring(16), gen::random_regular(32, 4, rng)}) {
+    const double l = second_eigenvalue(g, WalkKind::kRegular2Delta, 800);
+    EXPECT_GT(l, 0.0);
+    EXPECT_LT(l, 1.0);
+  }
+}
+
+TEST(SpectralEdge, MixingFromStartReturnsCapPlusOneWhenUnmixed) {
+  const Graph g = gen::ring(64);
+  EXPECT_EQ(mixing_time_from_start(g, WalkKind::kLazy, 0, 5), 6u);
+}
+
+TEST(GraphEdge, HasEdgeChecksBothDirectionsAndBounds) {
+  const Graph g = Graph::from_edges(3, {{0, 1}});
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(5, 0));  // out of range is just "no"
+  EXPECT_FALSE(g.has_edge(1, 1));
+}
+
+TEST(GraphEdge, EmptyAndEdgelessGraphs) {
+  const Graph empty = Graph::from_edges(0, {});
+  EXPECT_EQ(empty.num_nodes(), 0u);
+  EXPECT_TRUE(is_connected(empty));
+  const Graph lonely = Graph::from_edges(1, {});
+  EXPECT_EQ(lonely.degree(0), 0u);
+  EXPECT_TRUE(is_connected(lonely));
+}
+
+TEST(OverlayEdge, EmptyOverlayBehaves) {
+  OverlayComm ov({{}, {}}, 7);
+  EXPECT_EQ(ov.num_nodes(), 2u);
+  EXPECT_EQ(ov.num_arcs(), 0u);
+  EXPECT_EQ(ov.degree(0), 0u);
+  EXPECT_EQ(ov.max_degree(), 0u);
+  EXPECT_EQ(ov.round_cost(), 7u);
+}
+
+TEST(WalkEdge, RegularWalkOnOverlayConservesPositions) {
+  OverlayComm ov({{1}, {0, 2}, {1}}, 3);
+  Rng rng(5);
+  ParallelWalkEngine engine(ov, rng.split());
+  std::vector<std::uint32_t> starts{0, 1, 2, 1};
+  RoundLedger ledger;
+  const auto ends =
+      engine.run(starts, WalkKind::kRegular2Delta, 50, ledger, nullptr);
+  for (const auto e : ends) EXPECT_LT(e, 3u);
+}
+
+TEST(RouterEdge, PhasedRoutingWithExplicitOnePhase) {
+  Rng rng(7);
+  const Graph g = gen::random_regular(64, 6, rng);
+  RoundLedger build;
+  HierarchyParams hp;
+  hp.seed = 5;
+  const Hierarchy h = Hierarchy::build(g, hp, build);
+  HierarchicalRouter router(h);
+  const auto reqs = permutation_instance(g, rng);
+  RoundLedger ledger;
+  const auto stats = router.route_in_phases(reqs, 1, ledger, rng);
+  EXPECT_EQ(stats.phases, 1u);
+  EXPECT_EQ(stats.delivered, reqs.size());
+}
+
+TEST(RouterEdge, ManyExplicitPhasesStillDeliver) {
+  Rng rng(9);
+  const Graph g = gen::random_regular(64, 6, rng);
+  RoundLedger build;
+  HierarchyParams hp;
+  hp.seed = 7;
+  const Hierarchy h = Hierarchy::build(g, hp, build);
+  HierarchicalRouter router(h);
+  const auto reqs = permutation_instance(g, rng);
+  RoundLedger ledger;
+  // More phases than needed: some buckets may be empty; all must deliver.
+  const auto stats = router.route_in_phases(reqs, 16, ledger, rng);
+  EXPECT_EQ(stats.phases, 16u);
+  EXPECT_EQ(stats.delivered, reqs.size());
+}
+
+TEST(MstEdge, MaxIterationOverrideAborts) {
+  Rng rng(11);
+  const Graph g = gen::random_regular(64, 6, rng);
+  const Weights w = distinct_random_weights(g, rng);
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.seed = 9;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+  MstParams mp;
+  mp.max_iterations = 1;  // cannot possibly finish
+  EXPECT_DEATH(HierarchicalBoruvka(h, w).run(ledger, mp), "converge");
+}
+
+TEST(MstEdge, PipelinedBoruvkaCustomSizeCap) {
+  Rng rng(13);
+  const Graph g = gen::connected_gnp(80, 0.1, rng);
+  const Weights w = distinct_random_weights(g, rng);
+  for (const std::uint32_t cap : {2u, 8u, 80u}) {
+    RoundLedger ledger;
+    const auto stats = pipelined_boruvka(g, w, ledger, cap);
+    EXPECT_TRUE(is_exact_mst(g, w, stats.edges)) << "cap=" << cap;
+  }
+}
+
+TEST(IoEdge, LargeWeightsSurviveRoundTrip) {
+  const Graph g = gen::path(3);
+  const Weights w(g, {(1ULL << 52) + 3, (1ULL << 40) + 1});
+  std::stringstream ss;
+  write_graph(ss, g, &w);
+  const auto back = read_graph(ss);
+  ASSERT_TRUE(back.weights.has_value());
+  EXPECT_EQ((*back.weights)[0], (1ULL << 52) + 3);
+}
+
+TEST(KWiseHashEdge, RangeOneAlwaysZero) {
+  Rng rng(15);
+  const KWiseHash h(4, rng);
+  for (std::uint64_t key = 0; key < 50; ++key) {
+    EXPECT_EQ(h.bounded(key, 1), 0u);
+  }
+}
+
+TEST(LedgerEdge, ManyPhasesAccumulateIndependently) {
+  RoundLedger ledger;
+  for (int i = 0; i < 20; ++i) {
+    ledger.charge("phase" + std::to_string(i % 5), i);
+  }
+  std::uint64_t total = 0;
+  for (const auto& [name, sum] : ledger.phases()) total += sum;
+  EXPECT_EQ(total, ledger.total());
+  EXPECT_EQ(ledger.phases().size(), 5u);
+}
+
+TEST(TransportEdge, CommitWithNoMovesIsFree) {
+  const Graph g = gen::ring(5);
+  BaseComm base(g);
+  TokenTransport tt(base);
+  RoundLedger ledger;
+  EXPECT_EQ(tt.commit_step(ledger), 0u);
+  EXPECT_EQ(ledger.total(), 0u);
+}
+
+TEST(InstanceEdge, BitReversalRequiresPowerOfTwo) {
+  Rng rng(17);
+  const Graph g = gen::ring(12);
+  EXPECT_DEATH(bit_reversal_instance(g, rng), "power of two");
+}
+
+TEST(InstanceEdge, TransposeOnNonSquareFallsBackToSelf) {
+  Rng rng(19);
+  const Graph g = gen::ring(10);  // s = 3, nodes 9 transpose, node 9 self
+  const auto reqs = transpose_instance(g, rng);
+  EXPECT_EQ(reqs[9].dst.id, 9u);
+  EXPECT_EQ(reqs[1].dst.id, 3u);  // (0,1) -> (1,0)
+}
+
+}  // namespace
+}  // namespace amix

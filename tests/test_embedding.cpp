@@ -1,0 +1,189 @@
+// hierarchy/g0_builder + hierarchy/level_builder in isolation: the two
+// embedding stages, their Las Vegas guarantees, and their cost accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "hierarchy/g0_builder.hpp"
+#include "hierarchy/level_builder.hpp"
+#include "util/stats.hpp"
+
+namespace amix {
+namespace {
+
+class G0Fixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = Rng(3);
+    g_ = gen::random_regular(128, 6, rng_);
+    vs_ = std::make_unique<VirtualNodeSpace>(*g_);
+  }
+  Rng rng_{0};
+  std::optional<Graph> g_;
+  std::unique_ptr<VirtualNodeSpace> vs_;
+};
+
+TEST_F(G0Fixture, BuildsWithRequestedOutDegree) {
+  G0Params p;
+  p.out_degree = 6;
+  RoundLedger ledger;
+  const G0Result res = build_g0(*vs_, p, rng_, ledger);
+  EXPECT_EQ(res.out_degree, 6u);
+  EXPECT_EQ(res.overlay.num_nodes(), vs_->num_virtual());
+  // Directed picks + incoming edges: degree in [out/2, ~4*out] w.h.p.
+  Summary deg;
+  for (Vid v = 0; v < res.overlay.num_nodes(); ++v) {
+    deg.add(res.overlay.degree(v));
+  }
+  EXPECT_GE(deg.min(), 3.0);
+  EXPECT_NEAR(deg.mean(), 12.0, 1.5);  // ~2 * out_degree
+}
+
+TEST_F(G0Fixture, ChargesThreeTraversals) {
+  G0Params p;
+  p.out_degree = 5;
+  p.tau_mix = 30;
+  RoundLedger ledger;
+  const G0Result res = build_g0(*vs_, p, rng_, ledger);
+  // forward + reverse + forward = 3x the forward batch.
+  EXPECT_EQ(ledger.total(), 3 * res.forward_stats.base_rounds);
+  EXPECT_EQ(res.tau_mix, 30u);
+  EXPECT_EQ(res.forward_stats.steps, 30u);
+}
+
+TEST_F(G0Fixture, MeasuresTauWhenNotGiven) {
+  G0Params p;
+  RoundLedger ledger;
+  const G0Result res = build_g0(*vs_, p, rng_, ledger);
+  const auto direct =
+      mixing_time_sampled(*g_, WalkKind::kLazy, 4, rng_, 100000);
+  // Both are sampled maxima of the same quantity; same order.
+  EXPECT_GT(res.tau_mix, direct / 4);
+  EXPECT_LT(res.tau_mix, direct * 4 + 8);
+}
+
+TEST_F(G0Fixture, EndpointsAreSpreadAcrossTheGraph) {
+  // The embedding's purpose: each vid's G0 neighbors are ~uniform over all
+  // vids. Check the coarse signature: neighbors hit many distinct owners.
+  G0Params p;
+  p.out_degree = 8;
+  RoundLedger ledger;
+  const G0Result res = build_g0(*vs_, p, rng_, ledger);
+  Summary distinct_owner_frac;
+  for (Vid v = 0; v < res.overlay.num_nodes(); v += 17) {
+    std::set<NodeId> owners;
+    for (const Vid w : res.overlay.neighbors(v)) {
+      owners.insert(vs_->owner(w));
+    }
+    distinct_owner_frac.add(static_cast<double>(owners.size()) /
+                            res.overlay.degree(v));
+  }
+  EXPECT_GT(distinct_owner_frac.mean(), 0.8);  // few owner collisions
+}
+
+TEST_F(G0Fixture, OverlayRoundCostIsPlausible) {
+  G0Params p;
+  p.out_degree = 5;
+  RoundLedger ledger;
+  const G0Result res = build_g0(*vs_, p, rng_, ledger);
+  // One G0 round >= 2 * tau_mix (forward + reverse of mixing-length walks)
+  // and <= the full construction cost.
+  EXPECT_GE(res.overlay.round_cost(), 2ULL * res.tau_mix);
+  EXPECT_LE(res.overlay.round_cost(), ledger.total());
+}
+
+class LevelFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = Rng(11);
+    g_ = gen::random_regular(128, 6, rng_);
+    vs_ = std::make_unique<VirtualNodeSpace>(*g_);
+    G0Params gp;
+    gp.out_degree = 6;
+    RoundLedger scratch;
+    g0_ = build_g0(*vs_, gp, rng_, scratch).overlay;
+    KWiseHash hash(16, rng_);
+    part_ = std::make_unique<HierarchicalPartition>(*vs_, std::move(hash),
+                                                    /*beta=*/4, /*depth=*/2);
+  }
+  Rng rng_{0};
+  std::optional<Graph> g_;
+  std::unique_ptr<VirtualNodeSpace> vs_;
+  OverlayComm g0_;
+  std::unique_ptr<HierarchicalPartition> part_;
+};
+
+TEST_F(LevelFixture, Level1EdgesStayWithinParts) {
+  LevelParams lp;
+  lp.target_degree = 5;
+  RoundLedger ledger;
+  const LevelResult res = build_level(g0_, *part_, 1, lp, rng_, ledger);
+  EXPECT_TRUE(res.parts_connected);
+  for (Vid v = 0; v < res.overlay.num_nodes(); ++v) {
+    for (const Vid w : res.overlay.neighbors(v)) {
+      EXPECT_EQ(part_->part_of(v, 1), part_->part_of(w, 1));
+      EXPECT_NE(v, w);
+    }
+  }
+}
+
+TEST_F(LevelFixture, DegreesMeetTheCappedTarget) {
+  LevelParams lp;
+  lp.target_degree = 5;
+  RoundLedger ledger;
+  const LevelResult res = build_level(g0_, *part_, 1, lp, rng_, ledger);
+  for (Vid v = 0; v < res.overlay.num_nodes(); ++v) {
+    const auto sz = part_->part_size(1, part_->part_of(v, 1));
+    const std::uint32_t cap =
+        sz <= 1 ? 0 : std::max<std::uint32_t>(1, 2 * (sz - 1) / 3);
+    EXPECT_GE(res.overlay.degree(v), std::min(5u, cap));
+  }
+}
+
+TEST_F(LevelFixture, NoDuplicateEdges) {
+  LevelParams lp;
+  lp.target_degree = 4;
+  RoundLedger ledger;
+  const LevelResult res = build_level(g0_, *part_, 1, lp, rng_, ledger);
+  for (Vid v = 0; v < res.overlay.num_nodes(); ++v) {
+    std::set<Vid> nbrs;
+    for (const Vid w : res.overlay.neighbors(v)) {
+      EXPECT_TRUE(nbrs.insert(w).second) << "duplicate neighbor at " << v;
+    }
+  }
+}
+
+TEST_F(LevelFixture, ChargesGrowWithWavesAndEmulationIsMeasured) {
+  LevelParams lp;
+  lp.target_degree = 5;
+  RoundLedger ledger;
+  const LevelResult res = build_level(g0_, *part_, 1, lp, rng_, ledger);
+  EXPECT_GT(ledger.total(), 0u);
+  EXPECT_GE(res.waves, 1u);
+  EXPECT_GT(res.walks_issued, 0u);
+  EXPECT_GT(res.emul_parent_rounds, 0u);
+  // round_cost compounds: child cost = emul * parent cost.
+  EXPECT_EQ(res.overlay.round_cost(),
+            res.emul_parent_rounds * g0_.round_cost());
+}
+
+TEST_F(LevelFixture, Level2BuildsOnLevel1) {
+  LevelParams lp;
+  lp.target_degree = 4;
+  RoundLedger ledger;
+  const LevelResult l1 = build_level(g0_, *part_, 1, lp, rng_, ledger);
+  const LevelResult l2 = build_level(l1.overlay, *part_, 2, lp, rng_, ledger);
+  EXPECT_TRUE(l2.parts_connected);
+  for (Vid v = 0; v < l2.overlay.num_nodes(); ++v) {
+    for (const Vid w : l2.overlay.neighbors(v)) {
+      EXPECT_EQ(part_->part_of(v, 2), part_->part_of(w, 2));
+    }
+  }
+  EXPECT_GT(l2.overlay.round_cost(), l1.overlay.round_cost());
+}
+
+}  // namespace
+}  // namespace amix

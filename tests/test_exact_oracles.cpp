@@ -1,0 +1,156 @@
+// graph/exact_mst + graph/exact_mincut: the centralized verification
+// oracles, cross-checked against each other and brute force.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/exact_mincut.hpp"
+#include "graph/exact_mst.hpp"
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace amix {
+namespace {
+
+TEST(UnionFind, BasicSemantics) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_FALSE(uf.unite(0, 2));
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_EQ(uf.find(0), uf.find(2));
+  EXPECT_NE(uf.find(0), uf.find(3));
+  EXPECT_EQ(uf.size_of(1), 3u);
+  EXPECT_EQ(uf.size_of(4), 1u);
+}
+
+TEST(ExactMst, KnownToyInstance) {
+  //   0 -1- 1
+  //   |     |
+  //   4     2
+  //   |     |
+  //   3 -8- 2   plus diagonal 0-2 weight 16
+  const Graph g =
+      Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+  const Weights w(g, {1, 2, 8, 4, 16});
+  const auto mst = kruskal_mst(g, w);
+  EXPECT_EQ(mst, (std::vector<EdgeId>{0, 1, 3}));
+}
+
+TEST(ExactMst, KruskalEqualsPrimOnRandomGraphs) {
+  Rng rng(42);
+  for (int rep = 0; rep < 8; ++rep) {
+    const Graph g = gen::connected_gnp(60, 0.12, rng);
+    const Weights w = distinct_random_weights(g, rng);
+    EXPECT_EQ(kruskal_mst(g, w), prim_mst(g, w));
+  }
+}
+
+TEST(ExactMst, MsfOnDisconnectedGraph) {
+  const Graph g = Graph::from_edges(5, {{0, 1}, {1, 2}, {3, 4}});
+  const Weights w(g, {5, 3, 9});
+  const auto msf = kruskal_msf(g, w);
+  EXPECT_EQ(msf.size(), 3u);  // all edges (no cycles exist)
+}
+
+TEST(ExactMst, TreeInputReturnsAllEdges) {
+  Rng rng(43);
+  const Graph g = gen::path(30);
+  const Weights w = distinct_random_weights(g, rng);
+  EXPECT_EQ(kruskal_mst(g, w).size(), 29u);
+}
+
+TEST(ExactMst, MstIsMinimumAgainstRandomSpanningTrees) {
+  // Property check: no random spanning tree beats Kruskal's total weight.
+  Rng rng(44);
+  const Graph g = gen::connected_gnp(40, 0.2, rng);
+  const Weights w = distinct_random_weights(g, rng);
+  const auto mst = kruskal_mst(g, w);
+  const std::uint64_t best = w.total(mst);
+  for (int rep = 0; rep < 20; ++rep) {
+    // Random spanning tree via randomized Kruskal on shuffled edges.
+    std::vector<EdgeId> order(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) order[e] = e;
+    shuffle(order, rng);
+    UnionFind uf(g.num_nodes());
+    std::vector<EdgeId> tree;
+    for (const EdgeId e : order) {
+      if (uf.unite(g.edge_u(e), g.edge_v(e))) tree.push_back(e);
+    }
+    EXPECT_GE(w.total(tree), best);
+  }
+}
+
+TEST(ExactMincut, KnownValues) {
+  EXPECT_EQ(stoer_wagner_mincut(gen::barbell(12)), 1u);
+  EXPECT_EQ(stoer_wagner_mincut(gen::ring(10)), 2u);
+  EXPECT_EQ(stoer_wagner_mincut(gen::complete(7)), 6u);
+  EXPECT_EQ(stoer_wagner_mincut(gen::path(5)), 1u);
+  EXPECT_EQ(stoer_wagner_mincut(gen::hypercube(3)), 3u);
+}
+
+TEST(ExactMincut, MatchesBruteForceOnSmallRandomGraphs) {
+  Rng rng(45);
+  for (int rep = 0; rep < 6; ++rep) {
+    const Graph g = gen::connected_gnp(10, 0.4, rng);
+    // Brute force over all bipartitions.
+    std::uint64_t best = UINT64_MAX;
+    for (std::uint32_t mask = 1; mask + 1 < (1u << g.num_nodes()); ++mask) {
+      std::vector<bool> in_s(g.num_nodes());
+      for (NodeId v = 0; v < g.num_nodes(); ++v) in_s[v] = (mask >> v) & 1u;
+      best = std::min(best, cut_value(g, in_s));
+    }
+    EXPECT_EQ(stoer_wagner_mincut(g), best);
+  }
+}
+
+TEST(ExactMincut, WeightedVariantRespectsCapacities) {
+  // Triangle with one heavy edge: min cut separates the light corner.
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  const std::uint64_t cut =
+      stoer_wagner_mincut(g, std::vector<std::uint64_t>{10, 1, 1});
+  EXPECT_EQ(cut, 2u);
+}
+
+TEST(ExactMincut, CutValueCountsCrossingEdges) {
+  const Graph g = gen::ring(6);
+  std::vector<bool> in_s{true, true, true, false, false, false};
+  EXPECT_EQ(cut_value(g, in_s), 2u);
+}
+
+TEST(Weights, DistinctByConstruction) {
+  Rng rng(46);
+  const Graph g = gen::connected_gnp(50, 0.15, rng);
+  const Weights w = distinct_random_weights(g, rng);
+  std::vector<Weight> all;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) all.push_back(w[e]);
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+TEST(Weights, ClusteredWeightsAreDistinctAndFavorIntraCluster) {
+  Rng rng(47);
+  const Graph g = gen::connected_gnp(60, 0.2, rng);
+  const Weights w = clustered_weights(g, rng, 4);
+  std::vector<Weight> all;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) all.push_back(w[e]);
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+  // Bimodal: max weight should be ~1000x min weight.
+  EXPECT_GT(all.back() / all.front(), 100u);
+}
+
+TEST(Weights, LessIsATotalOrder) {
+  const Graph g = gen::ring(5);
+  const Weights w(g, {7, 7, 7, 1, 9});  // ties broken by edge id
+  EXPECT_TRUE(w.less(0, 1));
+  EXPECT_FALSE(w.less(1, 0));
+  EXPECT_TRUE(w.less(3, 0));
+  EXPECT_TRUE(w.less(0, 4));
+}
+
+}  // namespace
+}  // namespace amix

@@ -1,0 +1,129 @@
+// Randomized fuzz sweeps: random connected graphs (random spanning tree +
+// random extra edges) across many seeds, through the whole pipeline, plus
+// the adversarial routing patterns.
+
+#include <gtest/gtest.h>
+
+#include "amix/amix.hpp"
+
+namespace amix {
+namespace {
+
+/// Random connected graph: a random spanning tree plus `extra` random
+/// non-duplicate edges — hits irregular shapes the named families miss.
+Graph random_connected(NodeId n, std::uint32_t extra, Rng& rng) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  shuffle(order, rng);
+  for (NodeId i = 1; i < n; ++i) {
+    edges.emplace_back(order[i], order[rng.next_below(i)]);
+  }
+  std::set<std::uint64_t> seen;
+  for (const auto& [a, b] : edges) {
+    seen.insert((static_cast<std::uint64_t>(std::min(a, b)) << 32) |
+                std::max(a, b));
+  }
+  std::uint32_t added = 0;
+  for (std::uint32_t tries = 0; added < extra && tries < 50 * extra + 100;
+       ++tries) {
+    const auto a = static_cast<NodeId>(rng.next_below(n));
+    const auto b = static_cast<NodeId>(rng.next_below(n));
+    if (a == b) continue;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+    if (seen.insert(key).second) {
+      edges.emplace_back(a, b);
+      ++added;
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+class FuzzPipeline : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzPipeline, RandomShapesSurviveTheWholeStack) {
+  Rng rng(GetParam() * 0x9e3779b97f4a7c15ULL + 1);
+  const NodeId n = 40 + static_cast<NodeId>(rng.next_below(40));
+  const auto extra = static_cast<std::uint32_t>(rng.next_below(3 * n)) + n / 4;
+  const Graph g = random_connected(n, extra, rng);
+  ASSERT_TRUE(is_connected(g));
+
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.seed = GetParam() + 77;
+  hp.max_retries = 10;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+
+  HierarchicalRouter router(h);
+  const auto reqs = degree_demand_instance(g, rng);
+  const RouteStats rs = router.route(reqs, ledger, rng);
+  EXPECT_EQ(rs.delivered, reqs.size());
+
+  const Weights w = distinct_random_weights(g, rng);
+  const MstStats ms = HierarchicalBoruvka(h, w).run(ledger);
+  EXPECT_TRUE(is_exact_mst(g, w, ms.edges));
+
+  RoundLedger kl;
+  EXPECT_TRUE(is_exact_mst(g, w, kernel_boruvka(g, w, kl).edges));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline, ::testing::Range(std::uint64_t{1}, std::uint64_t{13}));
+
+TEST(AdversarialPatterns, BitReversalRoutes) {
+  Rng rng(31);
+  const Graph g = gen::hypercube(7);  // 128 nodes, the classic target
+  RoundLedger build;
+  HierarchyParams hp;
+  hp.seed = 3;
+  const Hierarchy h = Hierarchy::build(g, hp, build);
+  HierarchicalRouter router(h);
+  const auto reqs = bit_reversal_instance(g, rng);
+  // Bit reversal is a permutation: every node sends and receives once.
+  std::vector<int> in(g.num_nodes(), 0);
+  for (const auto& r : reqs) ++in[r.dst.id];
+  for (const int c : in) EXPECT_EQ(c, 1);
+  RoundLedger ledger;
+  const auto rs = router.route(reqs, ledger, rng);
+  EXPECT_EQ(rs.delivered, reqs.size());
+}
+
+TEST(AdversarialPatterns, TransposeRoutes) {
+  Rng rng(33);
+  const Graph g = gen::torus2d(12);  // 144 = 12^2 nodes
+  RoundLedger build;
+  HierarchyParams hp;
+  hp.seed = 5;
+  const Hierarchy h = Hierarchy::build(g, hp, build);
+  HierarchicalRouter router(h);
+  const auto reqs = transpose_instance(g, rng);
+  std::vector<int> in(g.num_nodes(), 0);
+  for (const auto& r : reqs) ++in[r.dst.id];
+  for (const int c : in) EXPECT_EQ(c, 1);  // transpose is an involution
+  RoundLedger ledger;
+  const auto rs = router.route(reqs, ledger, rng);
+  EXPECT_EQ(rs.delivered, reqs.size());
+}
+
+TEST(AdversarialPatterns, AdversarialCostsMatchRandomPermutationCosts) {
+  // The router's cost is oblivious to the pattern (walk scatter first):
+  // adversarial permutations cost about the same as random ones — the
+  // whole point of the Valiant-style preparation step.
+  Rng rng(35);
+  const Graph g = gen::hypercube(7);
+  RoundLedger build;
+  HierarchyParams hp;
+  hp.seed = 7;
+  const Hierarchy h = Hierarchy::build(g, hp, build);
+  HierarchicalRouter router(h);
+  RoundLedger l1, l2;
+  const auto rev = router.route(bit_reversal_instance(g, rng), l1, rng);
+  const auto rnd = router.route(permutation_instance(g, rng), l2, rng);
+  const double ratio = static_cast<double>(rev.total_rounds) /
+                       static_cast<double>(rnd.total_rounds);
+  EXPECT_GT(ratio, 0.2);
+  EXPECT_LT(ratio, 5.0);
+}
+
+}  // namespace
+}  // namespace amix

@@ -1,0 +1,282 @@
+// graph/: representation, generators, traversal.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/traversal.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace amix {
+namespace {
+
+TEST(Graph, FromEdgesBasicAccessors) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.num_arcs(), 10u);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(1, 3));
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(Graph, PortsAndEdgeIdsAreConsistent) {
+  Rng rng(3);
+  const Graph g = gen::gnp(60, 0.15, rng);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (std::uint32_t p = 0; p < g.degree(v); ++p) {
+      const EdgeId e = g.edge_at(v, p);
+      const NodeId w = g.neighbor(v, p);
+      EXPECT_EQ(g.other_endpoint(e, v), w);
+      EXPECT_EQ(g.port_of(v, e), p);
+      EXPECT_TRUE((g.edge_u(e) == v && g.edge_v(e) == w) ||
+                  (g.edge_u(e) == w && g.edge_v(e) == v));
+      EXPECT_LT(g.edge_u(e), g.edge_v(e));
+    }
+  }
+}
+
+TEST(Graph, DegreeSumEqualsTwiceEdges) {
+  Rng rng(5);
+  const Graph g = gen::gnp(100, 0.1, rng);
+  std::uint64_t sum = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) sum += g.degree(v);
+  EXPECT_EQ(sum, 2ULL * g.num_edges());
+}
+
+TEST(GraphDeath, RejectsSelfLoopsAndParallelEdges) {
+  EXPECT_DEATH(Graph::from_edges(3, {{0, 0}}), "self-loops");
+  EXPECT_DEATH(Graph::from_edges(3, {{0, 1}, {1, 0}}), "parallel");
+  EXPECT_DEATH(Graph::from_edges(2, {{0, 5}}), "out of range");
+}
+
+TEST(Generators, RingShape) {
+  const Graph g = gen::ring(10);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 10u);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_EQ(diameter_exact(g), 5u);
+}
+
+TEST(Generators, PathShape) {
+  const Graph g = gen::path(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(diameter_exact(g), 6u);
+}
+
+TEST(Generators, CompleteShape) {
+  const Graph g = gen::complete(8);
+  EXPECT_EQ(g.num_edges(), 28u);
+  EXPECT_EQ(diameter_exact(g), 1u);
+  EXPECT_EQ(g.max_degree(), 7u);
+}
+
+TEST(Generators, StarShape) {
+  const Graph g = gen::star(9);
+  EXPECT_EQ(g.num_edges(), 8u);
+  EXPECT_EQ(g.degree(0), 8u);
+  EXPECT_EQ(diameter_exact(g), 2u);
+}
+
+TEST(Generators, Torus2dIsFourRegular) {
+  const Graph g = gen::torus2d(5);
+  EXPECT_EQ(g.num_nodes(), 25u);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, Grid2dShape) {
+  const Graph g = gen::grid2d(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 4u * 2);  // horizontal + vertical
+  EXPECT_EQ(diameter_exact(g), 5u);
+}
+
+TEST(Generators, HypercubeShape) {
+  const Graph g = gen::hypercube(4);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(diameter_exact(g), 4u);
+}
+
+TEST(Generators, BarbellHasBridge) {
+  const Graph g = gen::barbell(12);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.num_edges(), 2u * (6 * 5 / 2) + 1);
+  EXPECT_EQ(diameter_exact(g), 3u);
+}
+
+TEST(Generators, RandomRegularIsRegularAndConnected) {
+  Rng rng(7);
+  for (const std::uint32_t d : {3u, 4u, 6u}) {
+    const Graph g = gen::random_regular(64, d, rng);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), d);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, MatchingExpanderIsRegularAndConnected) {
+  Rng rng(9);
+  const Graph g = gen::matching_expander(64, 5, rng);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), 5u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, GnpEdgeCountNearExpectation) {
+  Rng rng(11);
+  const NodeId n = 300;
+  const double p = 0.05;
+  Summary edges;
+  for (int rep = 0; rep < 10; ++rep) {
+    edges.add(static_cast<double>(gen::gnp(n, p, rng).num_edges()));
+  }
+  const double expect = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(edges.mean(), expect, 0.08 * expect);
+}
+
+TEST(Generators, GnpExtremes) {
+  Rng rng(13);
+  EXPECT_EQ(gen::gnp(50, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(gen::gnp(10, 1.0, rng).num_edges(), 45u);
+}
+
+TEST(Generators, ConnectedGnpIsConnected) {
+  Rng rng(15);
+  const Graph g = gen::connected_gnp(80, 0.08, rng);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, WattsStrogatzShape) {
+  Rng rng(17);
+  const Graph g = gen::watts_strogatz(100, 3, 0.1, rng);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_GE(g.num_edges(), 280u);  // ~ n*k minus rewiring collisions
+  EXPECT_LE(g.num_edges(), 300u);
+}
+
+TEST(Generators, BarabasiAlbertShape) {
+  Rng rng(19);
+  const Graph g = gen::barabasi_albert(200, 3, rng);
+  EXPECT_EQ(g.num_nodes(), 200u);
+  EXPECT_TRUE(is_connected(g));
+  // Preferential attachment: the max degree is well above the minimum.
+  EXPECT_GE(g.max_degree(), 12u);
+}
+
+TEST(Generators, LowerboundSkeletonShape) {
+  const Graph g = gen::lowerbound_skeleton(8, 16);
+  EXPECT_EQ(g.num_nodes(), 8u * 16 + (2 * 16 - 1));
+  EXPECT_TRUE(is_connected(g));
+  // Shallow: tree height + leaf hop.
+  EXPECT_LE(diameter_exact(g), 14u);
+}
+
+TEST(Generators, DeterministicGivenSeed) {
+  Rng r1(21), r2(21);
+  const Graph a = gen::gnp(50, 0.2, r1);
+  const Graph b = gen::gnp(50, 0.2, r2);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge_u(e), b.edge_u(e));
+    EXPECT_EQ(a.edge_v(e), b.edge_v(e));
+  }
+}
+
+TEST(Traversal, BfsDistancesOnRing) {
+  const Graph g = gen::ring(8);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[4], 4u);
+  EXPECT_EQ(dist[7], 1u);
+}
+
+TEST(Traversal, ComponentsOfDisjointUnion) {
+  const Graph g = Graph::from_edges(6, {{0, 1}, {1, 2}, {3, 4}});
+  NodeId count = 0;
+  const auto comp = component_ids(g, &count);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[0]);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Traversal, DoubleSweepIsExactOnTreesAndLowerBoundElsewhere) {
+  const Graph tree = gen::path(20);
+  EXPECT_EQ(diameter_double_sweep(tree, 7), 19u);
+  Rng rng(23);
+  const Graph g = gen::connected_gnp(60, 0.12, rng);
+  EXPECT_LE(diameter_double_sweep(g), diameter_exact(g));
+}
+
+TEST(Traversal, BfsTreeProperties) {
+  Rng rng(25);
+  const Graph g = gen::connected_gnp(70, 0.1, rng);
+  const BfsTree t = bfs_tree(g, 5);
+  EXPECT_EQ(t.root, 5u);
+  EXPECT_EQ(t.parent[5], kInvalidNode);
+  const auto dist = bfs_distances(g, 5);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(t.depth[v], dist[v]);
+    if (v != 5) {
+      EXPECT_EQ(t.depth[t.parent[v]] + 1, t.depth[v]);
+      EXPECT_EQ(g.other_endpoint(t.parent_edge[v], v), t.parent[v]);
+    }
+  }
+  EXPECT_EQ(t.height, eccentricity(g, 5));
+}
+
+// Parameterized structural sweep across generator families.
+struct FamilyCase {
+  const char* name;
+  Graph (*make)(Rng&);
+};
+
+Graph make_reg(Rng& rng) { return gen::random_regular(96, 4, rng); }
+Graph make_gnp(Rng& rng) { return gen::connected_gnp(96, 0.08, rng); }
+Graph make_hyper(Rng&) { return gen::hypercube(6); }
+Graph make_torus(Rng&) { return gen::torus2d(8); }
+Graph make_ws(Rng& rng) { return gen::watts_strogatz(96, 3, 0.2, rng); }
+Graph make_ba(Rng& rng) { return gen::barabasi_albert(96, 2, rng); }
+
+class FamilyStructure : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(FamilyStructure, WellFormedConnectedAndConsistent) {
+  Rng rng(29);
+  const Graph g = GetParam().make(rng);
+  EXPECT_TRUE(is_connected(g));
+  std::uint64_t degsum = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    degsum += g.degree(v);
+    for (std::uint32_t p = 0; p < g.degree(v); ++p) {
+      EXPECT_NE(g.neighbor(v, p), v);
+      EXPECT_EQ(g.port_of(v, g.edge_at(v, p)), p);
+    }
+  }
+  EXPECT_EQ(degsum, g.num_arcs());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, FamilyStructure,
+    ::testing::Values(FamilyCase{"regular", make_reg},
+                      FamilyCase{"gnp", make_gnp},
+                      FamilyCase{"hypercube", make_hyper},
+                      FamilyCase{"torus", make_torus},
+                      FamilyCase{"wattsstrogatz", make_ws},
+                      FamilyCase{"barabasialbert", make_ba}),
+    [](const ::testing::TestParamInfo<FamilyCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace amix

@@ -1,0 +1,281 @@
+// hierarchy/: virtual node space, pseudo-random partition (P1/P2), G0
+// embedding, level overlays, portals, and the assembled Hierarchy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+#include "hierarchy/hierarchy.hpp"
+
+namespace amix {
+namespace {
+
+TEST(VirtualSpace, BijectionBetweenVidsAndNodePorts) {
+  Rng rng(3);
+  const Graph g = gen::connected_gnp(40, 0.15, rng);
+  const VirtualNodeSpace vs(g);
+  EXPECT_EQ(vs.num_virtual(), g.num_arcs());
+  std::set<Vid> seen;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (std::uint32_t p = 0; p < g.degree(v); ++p) {
+      const Vid vid = vs.vid_of(v, p);
+      EXPECT_TRUE(seen.insert(vid).second);
+      EXPECT_EQ(vs.owner(vid), v);
+      EXPECT_EQ(vs.port(vid), p);
+      EXPECT_EQ(vs.key(vid), VirtualNodeSpace::key_of(v, p));
+    }
+  }
+  EXPECT_EQ(seen.size(), g.num_arcs());
+}
+
+class PartitionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = Rng(7);
+    g_ = gen::random_regular(256, 6, rng_);
+    vs_ = std::make_unique<VirtualNodeSpace>(*g_);
+    KWiseHash hash(16, rng_);
+    part_ = std::make_unique<HierarchicalPartition>(*vs_, std::move(hash),
+                                                    /*beta=*/4, /*depth=*/3);
+  }
+
+  Rng rng_{0};
+  std::optional<Graph> g_;
+  std::unique_ptr<VirtualNodeSpace> vs_;
+  std::unique_ptr<HierarchicalPartition> part_;
+};
+
+TEST_F(PartitionTest, PartCountsArePowersOfBeta) {
+  EXPECT_EQ(part_->num_parts(0), 1u);
+  EXPECT_EQ(part_->num_parts(1), 4u);
+  EXPECT_EQ(part_->num_parts(2), 16u);
+  EXPECT_EQ(part_->num_leaves(), 64u);
+}
+
+TEST_F(PartitionTest, PrefixesAreConsistentAcrossLevels) {
+  for (Vid vid = 0; vid < vs_->num_virtual(); vid += 7) {
+    EXPECT_EQ(part_->part_of(vid, 0), 0u);
+    PartId prev = 0;
+    for (std::uint32_t level = 1; level <= part_->depth(); ++level) {
+      const PartId p = part_->part_of(vid, level);
+      EXPECT_EQ(part_->parent_part(p), prev);
+      EXPECT_EQ(p % 4, part_->digit(vid, level));
+      prev = p;
+    }
+    EXPECT_EQ(part_->part_of(vid, part_->depth()), part_->leaf(vid));
+  }
+}
+
+TEST_F(PartitionTest, PropertyP2KeyOnlyLookupMatches) {
+  // Any node can compute any virtual node's labels from its key alone.
+  for (Vid vid = 0; vid < vs_->num_virtual(); vid += 5) {
+    const std::uint64_t key = vs_->key(vid);
+    EXPECT_EQ(part_->leaf_of_key(key), part_->leaf(vid));
+    for (std::uint32_t level = 0; level <= part_->depth(); ++level) {
+      EXPECT_EQ(part_->part_of_key(key, level), part_->part_of(vid, level));
+    }
+  }
+}
+
+TEST_F(PartitionTest, RangesTileTheOrderArray) {
+  for (std::uint32_t level = 0; level <= part_->depth(); ++level) {
+    std::uint32_t covered = 0;
+    for (PartId p = 0; p < part_->num_parts(level); ++p) {
+      const auto [lo, hi] = part_->range(level, p);
+      EXPECT_EQ(lo, covered);
+      covered = hi;
+      for (std::uint32_t i = lo; i < hi; ++i) {
+        EXPECT_EQ(part_->part_of(part_->order()[i], level), p);
+      }
+    }
+    EXPECT_EQ(covered, vs_->num_virtual());
+  }
+}
+
+TEST_F(PartitionTest, PropertyP1NearUniformLeaves) {
+  // 256*6 = 1536 vids over 64 leaves: average 24 per leaf.
+  EXPECT_TRUE(part_->balanced(6.0));
+  EXPECT_GT(part_->min_leaf_size(), 0u);
+}
+
+TEST(DefaultBeta, GrowsSlowlyAndStaysClamped) {
+  EXPECT_GE(default_beta(64), 4u);
+  EXPECT_LE(default_beta(1u << 20), 64u);
+  EXPECT_LE(default_beta(256), default_beta(1u << 16));
+}
+
+// Shared hierarchy fixture (built once; several structural tests reuse it).
+class HierarchyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(11);
+    g_ = new Graph(gen::random_regular(192, 6, rng));
+    ledger_ = new RoundLedger();
+    HierarchyParams hp;
+    hp.seed = 99;
+    h_ = new Hierarchy(Hierarchy::build(*g_, hp, *ledger_));
+  }
+  static void TearDownTestSuite() {
+    delete h_;
+    delete ledger_;
+    delete g_;
+    h_ = nullptr;
+    ledger_ = nullptr;
+    g_ = nullptr;
+  }
+
+  static Graph* g_;
+  static RoundLedger* ledger_;
+  static Hierarchy* h_;
+};
+
+Graph* HierarchyTest::g_ = nullptr;
+RoundLedger* HierarchyTest::ledger_ = nullptr;
+Hierarchy* HierarchyTest::h_ = nullptr;
+
+TEST_F(HierarchyTest, BuildChargesEveryPhase) {
+  EXPECT_GT(ledger_->phase_total("leader+seed"), 0u);
+  EXPECT_GT(ledger_->phase_total("g0-embed"), 0u);
+  EXPECT_GT(ledger_->phase_total("levels"), 0u);
+  EXPECT_GT(ledger_->phase_total("portals"), 0u);
+  EXPECT_EQ(h_->stats().build_rounds, ledger_->total());
+}
+
+TEST_F(HierarchyTest, G0HasHealthyDegrees) {
+  const OverlayComm& g0 = h_->overlay(0);
+  EXPECT_EQ(g0.num_nodes(), g_->num_arcs());
+  const auto out_deg = h_->stats().beta;  // not the right constant; check floor
+  (void)out_deg;
+  std::uint32_t min_deg = UINT32_MAX;
+  for (Vid v = 0; v < g0.num_nodes(); ++v) {
+    min_deg = std::min(min_deg, g0.degree(v));
+  }
+  // Every vid picked >= out_degree/2 out-neighbors and keeps its in-edges.
+  EXPECT_GE(min_deg, 2u);
+  EXPECT_GE(g0.round_cost(), 2u);  // at least forward+reverse of one step
+}
+
+TEST_F(HierarchyTest, G0EdgesAreSymmetric) {
+  const OverlayComm& g0 = h_->overlay(0);
+  // Count directed occurrences; every edge was inserted in both lists.
+  std::unordered_map<std::uint64_t, int> dir;
+  for (Vid v = 0; v < g0.num_nodes(); ++v) {
+    for (const Vid w : g0.neighbors(v)) {
+      ++dir[(static_cast<std::uint64_t>(v) << 32) | w];
+    }
+  }
+  for (const auto& [key, cnt] : dir) {
+    const std::uint64_t rev = (key << 32) | (key >> 32);
+    EXPECT_EQ(cnt, dir[rev]);
+  }
+}
+
+TEST_F(HierarchyTest, LevelsRefineAndStayWithinParts) {
+  const auto& part = h_->partition();
+  for (std::uint32_t level = 1; level <= h_->depth(); ++level) {
+    const OverlayComm& ov = h_->overlay(level);
+    for (Vid v = 0; v < ov.num_nodes(); ++v) {
+      for (const Vid w : ov.neighbors(v)) {
+        EXPECT_EQ(part.part_of(v, level), part.part_of(w, level));
+      }
+    }
+  }
+}
+
+TEST_F(HierarchyTest, EmulationCostsGrowDownTheHierarchy) {
+  std::uint64_t prev = 1;
+  for (std::uint32_t level = 0; level <= h_->depth(); ++level) {
+    const std::uint64_t cost = h_->overlay(level).round_cost();
+    EXPECT_GE(cost, prev);
+    prev = cost;
+  }
+  EXPECT_EQ(h_->stats().deepest_round_cost,
+            h_->overlay(h_->depth()).round_cost());
+}
+
+TEST_F(HierarchyTest, PortalsExistForAllSiblingPairs) {
+  EXPECT_TRUE(h_->portals().complete());
+  EXPECT_GE(h_->portals().min_candidates(), 1u);
+}
+
+TEST_F(HierarchyTest, PortalsQualifyAndHopArcsLandInTargetPart) {
+  const auto& part = h_->partition();
+  const auto& portals = h_->portals();
+  Rng rng(13);
+  for (int rep = 0; rep < 200; ++rep) {
+    const Vid u = static_cast<Vid>(rng.next_below(g_->num_arcs()));
+    for (std::uint32_t level = 1; level <= h_->depth(); ++level) {
+      const PartId a = part.part_of(u, level);
+      const PartId parent = part.parent_part(a);
+      const std::uint32_t own_child = part.child_index(a);
+      for (std::uint32_t c = 0; c < part.beta(); ++c) {
+        if (c == own_child) continue;
+        const PartId b = parent * part.beta() + c;
+        if (part.part_size(level, b) == 0) continue;
+        const Vid portal = portals.portal_for(u, level, c);
+        // Portal is in u's part.
+        EXPECT_EQ(part.part_of(portal, level), a);
+        // Hop arc crosses into the target sibling.
+        const auto [nbr, port] = portals.hop_arc(portal, level, c);
+        EXPECT_EQ(part.part_of(nbr, level), b);
+        EXPECT_EQ(h_->overlay(level - 1).neighbor(portal, port), nbr);
+        // Deterministic.
+        EXPECT_EQ(portals.portal_for(u, level, c), portal);
+      }
+    }
+  }
+}
+
+TEST_F(HierarchyTest, StatsAreInternallyConsistent) {
+  const auto& s = h_->stats();
+  EXPECT_EQ(s.depth, h_->depth());
+  EXPECT_EQ(s.beta, h_->beta());
+  EXPECT_GT(s.tau_mix, 0u);
+  EXPECT_EQ(s.emul_parent_rounds.size(), h_->depth());
+  EXPECT_EQ(s.g0_round_cost, h_->overlay(0).round_cost());
+}
+
+TEST(HierarchyBuild, WorksOnIrregularGraphs) {
+  Rng rng(17);
+  const Graph g = gen::barabasi_albert(150, 3, rng);
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.seed = 5;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+  EXPECT_GE(h.depth(), 1u);
+  EXPECT_GT(ledger.total(), 0u);
+}
+
+TEST(HierarchyBuild, RespectsExplicitBetaAndTau) {
+  Rng rng(19);
+  const Graph g = gen::random_regular(128, 4, rng);
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.beta = 8;
+  hp.tau_mix = 40;
+  hp.seed = 21;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+  EXPECT_EQ(h.beta(), 8u);
+  EXPECT_EQ(h.stats().tau_mix, 40u);
+}
+
+TEST(HierarchyBuild, DeterministicGivenSeeds) {
+  Rng r1(23), r2(23);
+  const Graph g1 = gen::random_regular(96, 4, r1);
+  const Graph g2 = gen::random_regular(96, 4, r2);
+  RoundLedger l1, l2;
+  HierarchyParams hp;
+  hp.seed = 31;
+  const Hierarchy h1 = Hierarchy::build(g1, hp, l1);
+  const Hierarchy h2 = Hierarchy::build(g2, hp, l2);
+  EXPECT_EQ(l1.total(), l2.total());
+  EXPECT_EQ(h1.stats().tau_mix, h2.stats().tau_mix);
+  EXPECT_EQ(h1.overlay(0).num_arcs(), h2.overlay(0).num_arcs());
+}
+
+}  // namespace
+}  // namespace amix

@@ -1,0 +1,189 @@
+// End-to-end integration and property sweeps: the full pipeline across
+// random seeds (Las Vegas correctness must hold for every seed), plus
+// cross-engine agreement and determinism guarantees.
+
+#include <gtest/gtest.h>
+
+#include "amix/amix.hpp"
+
+namespace amix {
+namespace {
+
+// ---- Seed sweep: the entire pipeline is correct for every seed. ----
+
+class PipelineSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineSeedSweep, RouteAndMstCorrectForEverySeed) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const Graph g = gen::random_regular(96, 6, rng);
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.seed = seed * 2654435761u + 1;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+
+  HierarchicalRouter router(h);
+  const auto reqs = permutation_instance(g, rng);
+  const RouteStats rs = router.route(reqs, ledger, rng);
+  EXPECT_EQ(rs.delivered, reqs.size());
+
+  const Weights w = distinct_random_weights(g, rng);
+  const MstStats ms = HierarchicalBoruvka(h, w).run(ledger);
+  EXPECT_TRUE(is_exact_mst(g, w, ms.edges)) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---- Weight-distribution sweep: MST engines agree under skew. ----
+
+class WeightSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightSweep, AllEnginesAgreeOnSkewedWeights) {
+  Rng rng(97 + GetParam());
+  const Graph g = gen::connected_gnp(80, 0.1, rng);
+  const Weights w = GetParam() % 2 == 0
+                        ? distinct_random_weights(g, rng)
+                        : clustered_weights(g, rng, 1 + GetParam());
+  RoundLedger hb, l1, l2;
+  HierarchyParams hp;
+  hp.seed = 1000 + GetParam();
+  const Hierarchy h = Hierarchy::build(g, hp, hb);
+  const auto hier = HierarchicalBoruvka(h, w).run(hb);
+  const auto flood = flood_boruvka(g, w, l1);
+  const auto piped = pipelined_boruvka(g, w, l2);
+  const auto oracle = kruskal_mst(g, w);
+  EXPECT_EQ(hier.edges, oracle);
+  EXPECT_EQ(flood.edges, oracle);
+  EXPECT_EQ(piped.edges, oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dists, WeightSweep, ::testing::Range(0, 6));
+
+// ---- Determinism: identical seeds -> identical round counts. ----
+
+TEST(Determinism, FullPipelineIsReproducible) {
+  auto run_once = [] {
+    Rng rng(4242);
+    const Graph g = gen::random_regular(96, 6, rng);
+    RoundLedger ledger;
+    HierarchyParams hp;
+    hp.seed = 77;
+    const Hierarchy h = Hierarchy::build(g, hp, ledger);
+    HierarchicalRouter router(h);
+    const auto reqs = permutation_instance(g, rng);
+    router.route(reqs, ledger, rng);
+    const Weights w = distinct_random_weights(g, rng);
+    HierarchicalBoruvka(h, w).run(ledger);
+    return ledger.total();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Determinism, DifferentSeedsChangeScheduleNotCorrectness) {
+  Rng rng(5);
+  const Graph g = gen::random_regular(96, 6, rng);
+  const Weights w = distinct_random_weights(g, rng);
+  std::uint64_t prev_rounds = 0;
+  bool any_differ = false;
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    RoundLedger ledger;
+    HierarchyParams hp;
+    hp.seed = seed;
+    const Hierarchy h = Hierarchy::build(g, hp, ledger);
+    const auto ms = HierarchicalBoruvka(h, w).run(ledger);
+    EXPECT_TRUE(is_exact_mst(g, w, ms.edges));
+    if (prev_rounds != 0 && ledger.total() != prev_rounds) any_differ = true;
+    prev_rounds = ledger.total();
+  }
+  EXPECT_TRUE(any_differ);  // randomness actually flows through
+}
+
+// ---- Cross-checks between independently implemented components. ----
+
+TEST(CrossCheck, MincutAgreesWithMstWitnessOnBridgeGraphs) {
+  // On a barbell, the min cut (the bridge) must also be the heaviest
+  // possible bottleneck any spanning tree crosses exactly once.
+  Rng rng(7);
+  const Graph g = gen::barbell(24);
+  RoundLedger ledger;
+  const auto mc = approx_mincut_tree_packing(g, rng, ledger, 10);
+  EXPECT_EQ(mc.cut_value, 1u);
+  EXPECT_EQ(mc.cut_value, stoer_wagner_mincut(g));
+}
+
+TEST(CrossCheck, CliqueEmulationMatchesDirectAllToAllRouting) {
+  Rng rng(9);
+  const Graph g = gen::random_regular(32, 6, rng);
+  RoundLedger build;
+  HierarchyParams hp;
+  hp.seed = 3;
+  const Hierarchy h = Hierarchy::build(g, hp, build);
+  // Route the all-to-all instance manually with the K-phase router.
+  HierarchicalRouter router(h);
+  const auto reqs = all_to_all_instance(g);
+  RoundLedger l1;
+  const auto direct = router.route_in_phases(reqs, 0, l1, rng);
+  EXPECT_EQ(direct.delivered, reqs.size());
+  // The CliqueEmulator reports the same flavor of cost.
+  const CliqueEmulator emu(h);
+  RoundLedger l2;
+  const auto stats = emu.emulate_round(l2, rng, 0.0);
+  EXPECT_EQ(stats.messages, reqs.size());
+  EXPECT_EQ(stats.phases, direct.phases);
+}
+
+TEST(CrossCheck, RouterWorksAfterManyReuses) {
+  // The hierarchy is a long-lived structure: many routing batches reuse it
+  // without state leaking between calls.
+  Rng rng(11);
+  const Graph g = gen::random_regular(64, 6, rng);
+  RoundLedger build;
+  HierarchyParams hp;
+  hp.seed = 31;
+  const Hierarchy h = Hierarchy::build(g, hp, build);
+  HierarchicalRouter router(h);
+  std::uint64_t first_cost = 0;
+  for (int batch = 0; batch < 5; ++batch) {
+    const auto reqs = permutation_instance(g, rng);
+    RoundLedger ledger;
+    const auto rs = router.route(reqs, ledger, rng);
+    EXPECT_EQ(rs.delivered, reqs.size());
+    if (batch == 0) first_cost = rs.total_rounds;
+    // Costs stay in the same ballpark (no monotone drift).
+    EXPECT_LT(rs.total_rounds, 20 * first_cost);
+    EXPECT_GT(rs.total_rounds, first_cost / 20);
+  }
+}
+
+TEST(EdgeCases, TwoNodeGraphFullPipeline) {
+  const Graph g = gen::path(2);
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.seed = 1;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+  Rng rng(1);
+  HierarchicalRouter router(h);
+  std::vector<RouteRequest> reqs{RouteRequest{0, addr_of(g, 1), 7},
+                                 RouteRequest{1, addr_of(g, 0), 8}};
+  const auto rs = router.route(reqs, ledger, rng);
+  EXPECT_EQ(rs.delivered, 2u);
+  const Weights w(g, {42});
+  const auto ms = HierarchicalBoruvka(h, w).run(ledger);
+  EXPECT_EQ(ms.edges, std::vector<EdgeId>{0});
+}
+
+TEST(EdgeCases, TriangleGraph) {
+  const Graph g = gen::ring(3);
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.seed = 2;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+  Rng rng(2);
+  const Weights w(g, {3, 1, 2});
+  const auto ms = HierarchicalBoruvka(h, w).run(ledger);
+  EXPECT_EQ(ms.edges, (std::vector<EdgeId>{1, 2}));
+}
+
+}  // namespace
+}  // namespace amix

@@ -1,0 +1,73 @@
+// graph/io: text serialization round-trips.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "util/rng.hpp"
+
+namespace amix {
+namespace {
+
+TEST(GraphIo, RoundTripPreservesStructure) {
+  Rng rng(3);
+  const Graph g = gen::connected_gnp(60, 0.12, rng);
+  std::stringstream ss;
+  write_graph(ss, g);
+  const GraphFile back = read_graph(ss);
+  ASSERT_EQ(back.graph.num_nodes(), g.num_nodes());
+  ASSERT_EQ(back.graph.num_edges(), g.num_edges());
+  EXPECT_FALSE(back.weights.has_value());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(back.graph.edge_u(e), g.edge_u(e));
+    EXPECT_EQ(back.graph.edge_v(e), g.edge_v(e));
+  }
+}
+
+TEST(GraphIo, RoundTripPreservesWeights) {
+  Rng rng(5);
+  const Graph g = gen::ring(20);
+  const Weights w = distinct_random_weights(g, rng);
+  std::stringstream ss;
+  write_graph(ss, g, &w);
+  const GraphFile back = read_graph(ss);
+  ASSERT_TRUE(back.weights.has_value());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ((*back.weights)[e], w[e]);
+  }
+}
+
+TEST(GraphIo, IgnoresCommentsAndBlankLines) {
+  std::stringstream ss("# header comment\n\ngraph 3 2\n# mid comment\ne 0 1\n\ne 1 2\n");
+  const GraphFile f = read_graph(ss);
+  EXPECT_EQ(f.graph.num_nodes(), 3u);
+  EXPECT_EQ(f.graph.num_edges(), 2u);
+}
+
+TEST(GraphIoDeath, RejectsMalformedInput) {
+  const auto parse = [](const std::string& text) {
+    std::stringstream ss(text);
+    read_graph(ss);
+  };
+  EXPECT_DEATH(parse("e 0 1\n"), "edge before graph header");
+  EXPECT_DEATH(parse("graph 3 1\n"), "edge count mismatch");
+  EXPECT_DEATH(parse("graph 2 1\nx 0 1\n"), "unknown line tag");
+  EXPECT_DEATH(parse("graph 3 2\ne 0 1 5\ne 1 2\n"), "all-or-none");
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  Rng rng(7);
+  const Graph g = gen::hypercube(4);
+  const Weights w = distinct_random_weights(g, rng);
+  const std::string path = "/tmp/amix_io_test.graph";
+  save_graph(path, g, &w);
+  const GraphFile back = load_graph(path);
+  EXPECT_EQ(back.graph.num_edges(), g.num_edges());
+  ASSERT_TRUE(back.weights.has_value());
+  EXPECT_EQ((*back.weights)[3], w[3]);
+}
+
+}  // namespace
+}  // namespace amix

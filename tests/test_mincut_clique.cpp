@@ -1,0 +1,174 @@
+// mincut/ tree packing and routing/ clique emulation.
+
+#include <gtest/gtest.h>
+
+#include "amix/amix.hpp"
+
+namespace amix {
+namespace {
+
+TEST(OneRespectingCut, ExactOnPathTree) {
+  // Path graph: the tree IS the graph; every 1-respecting cut = 1.
+  const Graph g = gen::path(10);
+  std::vector<EdgeId> tree(9);
+  for (EdgeId e = 0; e < 9; ++e) tree[e] = e;
+  const auto [cut, edge] = min_one_respecting_cut(g, tree);
+  EXPECT_EQ(cut, 1u);
+  EXPECT_NE(edge, kInvalidEdge);
+}
+
+TEST(OneRespectingCut, FindsTheBarbellBridge) {
+  Rng rng(3);
+  const Graph g = gen::barbell(16);
+  const Weights w = distinct_random_weights(g, rng);
+  const auto tree = kruskal_mst(g, w);
+  const auto [cut, edge] = min_one_respecting_cut(g, tree);
+  EXPECT_EQ(cut, 1u);  // the bridge 1-respects every spanning tree
+}
+
+TEST(OneRespectingCut, MatchesBruteForceOnSmallGraphs) {
+  Rng rng(5);
+  for (int rep = 0; rep < 6; ++rep) {
+    const Graph g = gen::connected_gnp(12, 0.3, rng);
+    const Weights w = distinct_random_weights(g, rng);
+    const auto tree = kruskal_mst(g, w);
+    const auto [got, witness] = min_one_respecting_cut(g, tree);
+    (void)witness;
+    // Brute force: for every tree edge, remove it and measure the cut
+    // between the two components of the remaining tree.
+    std::uint64_t want = UINT64_MAX;
+    for (const EdgeId skip : tree) {
+      UnionFind uf(g.num_nodes());
+      for (const EdgeId e : tree) {
+        if (e != skip) uf.unite(g.edge_u(e), g.edge_v(e));
+      }
+      std::vector<bool> side(g.num_nodes());
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        side[v] = uf.find(v) == uf.find(g.edge_u(skip));
+      }
+      want = std::min(want, cut_value(g, side));
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(TwoRespectingCut, MatchesBruteForceOnSmallGraphs) {
+  Rng rng(13);
+  for (int rep = 0; rep < 5; ++rep) {
+    const Graph g = gen::connected_gnp(11, 0.35, rng);
+    const Weights w = distinct_random_weights(g, rng);
+    const auto tree = kruskal_mst(g, w);
+    const auto got = min_two_respecting_cut(g, tree);
+    // Brute force: remove every pair of tree edges, the remaining forest
+    // has 3 components; evaluate both nontrivial bipartitions that cross
+    // exactly those two tree edges.
+    std::uint64_t want = UINT64_MAX;
+    for (std::size_t i = 0; i < tree.size(); ++i) {
+      for (std::size_t j = i + 1; j < tree.size(); ++j) {
+        UnionFind uf(g.num_nodes());
+        for (std::size_t k = 0; k < tree.size(); ++k) {
+          if (k != i && k != j) uf.unite(g.edge_u(tree[k]), g.edge_v(tree[k]));
+        }
+        // The valid 2-respecting side is the component adjacent to BOTH
+        // removed edges; it contains an endpoint of each, so it is among
+        // these four candidates.
+        for (const NodeId mid :
+             {uf.find(g.edge_u(tree[i])), uf.find(g.edge_v(tree[i])),
+              uf.find(g.edge_u(tree[j])), uf.find(g.edge_v(tree[j]))}) {
+          std::vector<bool> side(g.num_nodes());
+          bool proper = false, nonempty = false;
+          for (NodeId v = 0; v < g.num_nodes(); ++v) {
+            side[v] = uf.find(v) == mid;
+            (side[v] ? nonempty : proper) = true;
+          }
+          if (!proper || !nonempty) continue;
+          // Count only sides that cross BOTH removed tree edges.
+          const bool crosses_i =
+              side[g.edge_u(tree[i])] != side[g.edge_v(tree[i])];
+          const bool crosses_j =
+              side[g.edge_u(tree[j])] != side[g.edge_v(tree[j])];
+          if (crosses_i && crosses_j) {
+            want = std::min(want, cut_value(g, side));
+          }
+        }
+      }
+    }
+    if (want != UINT64_MAX) {
+      EXPECT_EQ(got, want) << "rep=" << rep;
+    }
+  }
+}
+
+TEST(TwoRespectingCut, FindsPairOnlyCuts) {
+  // A 4-cycle with one chord: the min cut (2) 2-respects the path tree.
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const std::vector<EdgeId> tree{0, 1, 2};  // path 0-1-2-3
+  const auto cut2 = min_two_respecting_cut(g, tree);
+  EXPECT_EQ(cut2, 2u);
+}
+
+TEST(ApproxMincut, WithinFactorTwoOfStoerWagner) {
+  Rng rng(7);
+  struct Case {
+    Graph g;
+    const char* name;
+  };
+  std::vector<Case> cases;
+  cases.push_back({gen::barbell(20), "barbell"});
+  cases.push_back({gen::ring(24), "ring"});
+  cases.push_back({gen::hypercube(4), "hypercube"});
+  cases.push_back({gen::connected_gnp(40, 0.2, rng), "gnp"});
+  cases.push_back({gen::random_regular(40, 4, rng), "regular"});
+  for (auto& [g, name] : cases) {
+    RoundLedger ledger;
+    const auto stats = approx_mincut_tree_packing(g, rng, ledger, 100);
+    const auto exact = stoer_wagner_mincut(g);
+    EXPECT_GE(stats.cut_value, exact) << name;       // never below optimum
+    EXPECT_LE(stats.cut_value, 2 * exact) << name;   // 1-respecting bound
+    EXPECT_GT(stats.rounds, 0u);
+    EXPECT_GE(stats.trees, 4u);
+  }
+}
+
+TEST(ApproxMincut, ExactOnPlantedBottlenecks) {
+  // Two expanders joined by k random edges: the planted cut is found.
+  Rng rng(9);
+  const Graph a = gen::random_regular(32, 4, rng);
+  const Graph b = gen::random_regular(32, 4, rng);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    edges.emplace_back(a.edge_u(e), a.edge_v(e));
+  }
+  for (EdgeId e = 0; e < b.num_edges(); ++e) {
+    edges.emplace_back(b.edge_u(e) + 32, b.edge_v(e) + 32);
+  }
+  for (int i = 0; i < 2; ++i) {
+    edges.emplace_back(static_cast<NodeId>(rng.next_below(32)),
+                       static_cast<NodeId>(32 + rng.next_below(32)));
+  }
+  const Graph g = Graph::from_edges(64, edges);
+  RoundLedger ledger;
+  const auto stats = approx_mincut_tree_packing(g, rng, ledger, 0);
+  EXPECT_EQ(stats.cut_value, stoer_wagner_mincut(g));  // = 2 (planted)
+}
+
+TEST(CliqueEmulation, DeliversAllToAllOnSmallGraph) {
+  Rng rng(11);
+  const Graph g = gen::random_regular(48, 6, rng);
+  RoundLedger build;
+  HierarchyParams hp;
+  hp.seed = 13;
+  const Hierarchy h = Hierarchy::build(g, hp, build);
+  const CliqueEmulator emu(h);
+  RoundLedger ledger;
+  const auto stats = emu.emulate_round(ledger, rng, 2.0);
+  EXPECT_EQ(stats.messages, 48u * 47);
+  EXPECT_GT(stats.rounds, 0u);
+  EXPECT_GT(stats.lower_bound, 0.0);
+  // K ~ (n-1)/d phases.
+  EXPECT_GE(stats.phases, 47u / 6);
+  EXPECT_LE(stats.phases, 3 * (47u / 6 + 1));
+}
+
+}  // namespace
+}  // namespace amix

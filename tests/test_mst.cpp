@@ -1,0 +1,170 @@
+// mst/: the hierarchical Boruvka (Theorem 1.1) and the baselines, across
+// families and weight distributions, all verified against Kruskal.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amix/amix.hpp"
+
+namespace amix {
+namespace {
+
+struct MstCase {
+  const char* name;
+  Graph (*make)(Rng&);
+};
+
+Graph mc_reg(Rng& rng) { return gen::random_regular(128, 6, rng); }
+Graph mc_gnp(Rng& rng) { return gen::connected_gnp(120, 0.1, rng); }
+Graph mc_hyper(Rng&) { return gen::hypercube(7); }
+Graph mc_torus(Rng&) { return gen::torus2d(10); }
+Graph mc_ba(Rng& rng) { return gen::barabasi_albert(120, 3, rng); }
+Graph mc_ws(Rng& rng) { return gen::watts_strogatz(120, 3, 0.3, rng); }
+
+class MstFamilies : public ::testing::TestWithParam<MstCase> {};
+
+TEST_P(MstFamilies, HierarchicalBoruvkaIsExact) {
+  Rng rng(31);
+  const Graph g = GetParam().make(rng);
+  const Weights w = distinct_random_weights(g, rng);
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.seed = 37;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+  HierarchicalBoruvka engine(h, w);
+  const MstStats stats = engine.run(ledger);
+  EXPECT_TRUE(is_exact_mst(g, w, stats.edges)) << GetParam().name;
+  EXPECT_GT(stats.rounds, 0u);
+}
+
+TEST_P(MstFamilies, BaselinesAreExact) {
+  Rng rng(33);
+  const Graph g = GetParam().make(rng);
+  const Weights w = distinct_random_weights(g, rng);
+  RoundLedger l1, l2;
+  EXPECT_TRUE(is_exact_mst(g, w, flood_boruvka(g, w, l1).edges));
+  EXPECT_TRUE(is_exact_mst(g, w, pipelined_boruvka(g, w, l2).edges));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, MstFamilies,
+    ::testing::Values(MstCase{"regular", mc_reg}, MstCase{"gnp", mc_gnp},
+                      MstCase{"hypercube", mc_hyper},
+                      MstCase{"torus", mc_torus},
+                      MstCase{"barabasialbert", mc_ba},
+                      MstCase{"wattsstrogatz", mc_ws}),
+    [](const ::testing::TestParamInfo<MstCase>& info) {
+      return info.param.name;
+    });
+
+TEST(Mst, ClusteredWeightsAreHandled) {
+  Rng rng(35);
+  const Graph g = gen::random_regular(96, 6, rng);
+  const Weights w = clustered_weights(g, rng, 5);
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.seed = 41;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+  const MstStats stats = HierarchicalBoruvka(h, w).run(ledger);
+  EXPECT_TRUE(is_exact_mst(g, w, stats.edges));
+}
+
+TEST(Mst, Lemma41PropertiesHoldDuringRun) {
+  Rng rng(37);
+  const Graph g = gen::random_regular(192, 6, rng);
+  const Weights w = distinct_random_weights(g, rng);
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.seed = 43;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+  const MstStats stats = HierarchicalBoruvka(h, w).run(ledger);
+  const double logn = std::log2(static_cast<double>(g.num_nodes()));
+  EXPECT_LE(stats.max_tree_depth, 4 * logn * logn);       // property (1)
+  EXPECT_LE(stats.max_indegree_over_degree, 2 * logn + 2);  // property (2)
+  EXPECT_LE(stats.iterations, 6 * logn);
+}
+
+TEST(Mst, ExactChargingAgreesWithAmortizedWithinFactor) {
+  Rng rng(39);
+  const Graph g = gen::random_regular(96, 6, rng);
+  const Weights w = distinct_random_weights(g, rng);
+  RoundLedger lb;
+  HierarchyParams hp;
+  hp.seed = 47;
+  const Hierarchy h = Hierarchy::build(g, hp, lb);
+
+  MstParams amortized;
+  amortized.seed = 1;
+  MstParams exact;
+  exact.seed = 1;
+  exact.exact_charging = true;
+  RoundLedger l1, l2;
+  const auto a = HierarchicalBoruvka(h, w).run(l1, amortized);
+  const auto b = HierarchicalBoruvka(h, w).run(l2, exact);
+  EXPECT_EQ(a.edges, b.edges);  // same seed -> same algorithm trajectory
+  EXPECT_GT(a.rounds, 0u);
+  EXPECT_GT(b.rounds, 0u);
+  const double ratio = static_cast<double>(a.rounds) /
+                       static_cast<double>(b.rounds);
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 2.5);
+}
+
+TEST(Mst, SingleNodeAndSingleEdgeGraphs) {
+  const Graph g2 = gen::path(2);
+  const Weights w2(g2, {5});
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.seed = 53;
+  const Hierarchy h2 = Hierarchy::build(g2, hp, ledger);
+  const MstStats s2 = HierarchicalBoruvka(h2, w2).run(ledger);
+  EXPECT_EQ(s2.edges, std::vector<EdgeId>{0});
+}
+
+TEST(Mst, BaselineRoundShapesMatchTheory) {
+  // flood-Boruvka pays fragment diameters (can reach Theta(n) on a ring);
+  // pipelined caps phase-1 fragments and pays D + #fragments afterwards.
+  Rng rng(41);
+  const Graph ring = gen::ring(400);
+  const Weights w = distinct_random_weights(ring, rng);
+  RoundLedger l1, l2;
+  const auto flood = flood_boruvka(ring, w, l1);
+  const auto piped = pipelined_boruvka(ring, w, l2);
+  EXPECT_TRUE(is_exact_mst(ring, w, flood.edges));
+  EXPECT_TRUE(is_exact_mst(ring, w, piped.edges));
+  // On the ring, flood pays ~n per late iteration; the cap helps little
+  // (D = n/2), but phase structure must be recorded.
+  EXPECT_GT(piped.phase1_iterations, 0u);
+  EXPECT_GT(piped.phase2_iterations, 0u);
+  EXPECT_GE(flood.max_fragment_diameter + 1, piped.max_fragment_diameter);
+}
+
+TEST(Mst, PipelinedBeatsFloodOnLowerBoundSkeleton) {
+  // The E3 story: D = O(log n) but fragments grow long — flooding pays
+  // fragment diameters, pipelining pays D + #fragments.
+  Rng rng(43);
+  const Graph g = gen::lowerbound_skeleton(12, 24);
+  const Weights w = distinct_random_weights(g, rng);
+  RoundLedger l1, l2;
+  const auto flood = flood_boruvka(g, w, l1);
+  const auto piped = pipelined_boruvka(g, w, l2);
+  EXPECT_TRUE(is_exact_mst(g, w, flood.edges));
+  EXPECT_TRUE(is_exact_mst(g, w, piped.edges));
+}
+
+TEST(Mst, RoutingInstancesAreCounted) {
+  Rng rng(45);
+  const Graph g = gen::random_regular(96, 4, rng);
+  const Weights w = distinct_random_weights(g, rng);
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.seed = 59;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+  const MstStats stats = HierarchicalBoruvka(h, w).run(ledger);
+  EXPECT_GT(stats.routing_instances, 0u);
+  EXPECT_GT(stats.routed_packets, 0u);
+}
+
+}  // namespace
+}  // namespace amix

@@ -1,0 +1,43 @@
+// End-to-end MST smoke tests: the paper's algorithm and both baselines
+// must all reproduce the unique Kruskal MST.
+
+#include <gtest/gtest.h>
+
+#include "amix/amix.hpp"
+
+namespace amix {
+namespace {
+
+TEST(MstSmoke, HierarchicalBoruvkaMatchesKruskal) {
+  Rng rng(123);
+  const Graph g = gen::random_regular(128, 6, rng);
+  const Weights w = distinct_random_weights(g, rng);
+
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.seed = 3;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+
+  HierarchicalBoruvka engine(h, w);
+  const MstStats stats = engine.run(ledger);
+  EXPECT_TRUE(is_exact_mst(g, w, stats.edges));
+  EXPECT_GT(stats.rounds, 0u);
+  EXPECT_GE(stats.iterations, 1u);
+}
+
+TEST(MstSmoke, BaselinesMatchKruskal) {
+  Rng rng(321);
+  const Graph g = gen::connected_gnp(150, 0.08, rng);
+  const Weights w = distinct_random_weights(g, rng);
+
+  RoundLedger l1, l2;
+  const auto flood = flood_boruvka(g, w, l1);
+  EXPECT_TRUE(is_exact_mst(g, w, flood.edges));
+  const auto piped = pipelined_boruvka(g, w, l2);
+  EXPECT_TRUE(is_exact_mst(g, w, piped.edges));
+  EXPECT_GT(flood.rounds, 0u);
+  EXPECT_GT(piped.rounds, 0u);
+}
+
+}  // namespace
+}  // namespace amix

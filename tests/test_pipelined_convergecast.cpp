@@ -1,0 +1,121 @@
+// congest/pipelined_convergecast: the kernel pipeline vs the h+k formula,
+// and the distributed tree-packing min cut that builds on the full stack.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "amix/amix.hpp"
+
+namespace amix {
+namespace {
+
+using Items = std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>;
+
+TEST(PipelinedConvergecast, CombinesByMinAcrossTheTree) {
+  Rng rng(3);
+  const Graph g = gen::connected_gnp(60, 0.1, rng);
+  const BfsTree tree = bfs_tree(g, 0);
+  Items items(g.num_nodes());
+  std::map<std::uint64_t, std::uint64_t> want;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    // Every node holds two keyed values.
+    for (const std::uint64_t key : {v % 7ull, (v * 3) % 7ull}) {
+      const std::uint64_t value = 1000 + (v * 37 + key * 11) % 500;
+      items[v].push_back({key, value});
+      const auto it = want.find(key);
+      if (it == want.end() || value < it->second) want[key] = value;
+    }
+  }
+  RoundLedger ledger;
+  const auto got = congest::pipelined_convergecast(g, tree, items, ledger);
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> want_vec(
+      want.begin(), want.end());
+  EXPECT_EQ(got, want_vec);
+  EXPECT_GT(ledger.total(), 0u);
+}
+
+TEST(PipelinedConvergecast, RoundsTrackHeightPlusKeys) {
+  // Many distinct keys on a path: the pipeline should take ~h + k rounds,
+  // NOT h * k (which a non-pipelined repetition would cost).
+  const NodeId n = 64;
+  const Graph g = gen::path(n);
+  const BfsTree tree = bfs_tree(g, 0);
+  constexpr std::uint64_t kKeys = 32;
+  Items items(n);
+  for (NodeId v = 0; v < n; ++v) {
+    items[v].push_back({v % kKeys, 100 + v});
+  }
+  RoundLedger ledger;
+  const auto got = congest::pipelined_convergecast(g, tree, items, ledger);
+  EXPECT_EQ(got.size(), kKeys);
+  const std::uint64_t h = tree.height;
+  EXPECT_LE(ledger.total(), 3 * (h + kKeys) + 8);   // pipelined
+  EXPECT_GE(ledger.total(), h);                     // at least the height
+  EXPECT_LT(ledger.total(), h * kKeys / 2);         // far from h*k
+}
+
+TEST(PipelinedConvergecast, SingleKeyMatchesPlainConvergecast) {
+  Rng rng(5);
+  const Graph g = gen::connected_gnp(50, 0.12, rng);
+  const BfsTree tree = bfs_tree(g, 0);
+  Items items(g.num_nodes());
+  std::vector<std::uint64_t> values(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    values[v] = 10000 - v * 3;
+    items[v].push_back({0, values[v]});
+  }
+  RoundLedger l1, l2;
+  const auto piped = congest::pipelined_convergecast(g, tree, items, l1);
+  const auto plain = congest::convergecast_min(g, tree, values, l2);
+  ASSERT_EQ(piped.size(), 1u);
+  EXPECT_EQ(piped[0].second, plain);
+}
+
+TEST(PipelinedConvergecast, EmptyItemsAreFine) {
+  const Graph g = gen::ring(10);
+  const BfsTree tree = bfs_tree(g, 0);
+  Items items(g.num_nodes());
+  RoundLedger ledger;
+  const auto got = congest::pipelined_convergecast(g, tree, items, ledger);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(DistributedMincut, EndToEndMatchesStoerWagner) {
+  Rng rng(7);
+  // Two 5-regular expanders joined by 3 random bridges: planted cut = 3.
+  const Graph a = gen::random_regular(24, 5, rng);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    edges.emplace_back(a.edge_u(e), a.edge_v(e));
+    edges.emplace_back(a.edge_u(e) + 24, a.edge_v(e) + 24);
+  }
+  edges.emplace_back(1, 25);
+  edges.emplace_back(7, 30);
+  edges.emplace_back(15, 41);
+  const Graph g = Graph::from_edges(48, edges);
+
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.seed = 11;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+  const auto stats = distributed_mincut_tree_packing(h, rng, ledger, 8);
+  EXPECT_EQ(stats.cut_value, stoer_wagner_mincut(g));
+  EXPECT_EQ(stats.cut_value, 3u);
+  EXPECT_EQ(stats.trees, 8u);
+  EXPECT_GT(stats.rounds, 0u);
+}
+
+TEST(DistributedMincut, RegularGraphCutIsDegree) {
+  Rng rng(9);
+  const Graph g = gen::random_regular(40, 5, rng);
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.seed = 13;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+  const auto stats = distributed_mincut_tree_packing(h, rng, ledger, 6);
+  EXPECT_EQ(stats.cut_value, stoer_wagner_mincut(g));
+}
+
+}  // namespace
+}  // namespace amix

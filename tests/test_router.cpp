@@ -1,0 +1,278 @@
+// routing/: instance generators, the hierarchical router (Theorem 1.2),
+// baselines, and the K-phase extension, across graph families.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "routing/baseline_routers.hpp"
+#include "routing/hierarchical_router.hpp"
+
+namespace amix {
+namespace {
+
+TEST(Instances, PermutationIsOneToOne) {
+  Rng rng(3);
+  const Graph g = gen::ring(50);
+  const auto reqs = permutation_instance(g, rng);
+  EXPECT_EQ(reqs.size(), 50u);
+  std::vector<int> as_src(50, 0), as_dst(50, 0);
+  for (const auto& r : reqs) {
+    ++as_src[r.src];
+    ++as_dst[r.dst.id];
+    EXPECT_EQ(r.dst.degree, g.degree(r.dst.id));
+  }
+  for (NodeId v = 0; v < 50; ++v) {
+    EXPECT_EQ(as_src[v], 1);
+    EXPECT_EQ(as_dst[v], 1);
+  }
+}
+
+TEST(Instances, DegreeDemandMatchesDegrees) {
+  Rng rng(5);
+  const Graph g = gen::barabasi_albert(60, 2, rng);
+  const auto reqs = degree_demand_instance(g, rng);
+  EXPECT_EQ(reqs.size(), g.num_arcs());
+  std::vector<std::uint32_t> as_src(60, 0), as_dst(60, 0);
+  for (const auto& r : reqs) {
+    ++as_src[r.src];
+    ++as_dst[r.dst.id];
+  }
+  for (NodeId v = 0; v < 60; ++v) {
+    EXPECT_EQ(as_src[v], g.degree(v));
+    EXPECT_EQ(as_dst[v], g.degree(v));
+  }
+}
+
+TEST(Instances, HotspotTargetsHotNodes) {
+  Rng rng(7);
+  const Graph g = gen::random_regular(64, 4, rng);
+  const auto reqs = hotspot_instance(g, rng, 3, 5);
+  EXPECT_EQ(reqs.size(), 3u * 5 * 4);
+  std::unordered_map<NodeId, int> dsts;
+  for (const auto& r : reqs) ++dsts[r.dst.id];
+  EXPECT_EQ(dsts.size(), 3u);
+  for (const auto& [node, cnt] : dsts) EXPECT_EQ(cnt, 20);
+}
+
+TEST(Instances, AllToAllIsComplete) {
+  const Graph g = gen::ring(12);
+  const auto reqs = all_to_all_instance(g);
+  EXPECT_EQ(reqs.size(), 12u * 11);
+}
+
+// Router correctness across families (parameterized).
+struct RouterCase {
+  const char* name;
+  Graph (*make)(Rng&);
+};
+
+Graph rc_reg(Rng& rng) { return gen::random_regular(128, 6, rng); }
+Graph rc_gnp(Rng& rng) { return gen::connected_gnp(128, 0.08, rng); }
+Graph rc_hyper(Rng&) { return gen::hypercube(7); }
+Graph rc_torus(Rng&) { return gen::torus2d(11); }
+Graph rc_ws(Rng& rng) { return gen::watts_strogatz(128, 3, 0.3, rng); }
+Graph rc_expander(Rng& rng) { return gen::matching_expander(128, 6, rng); }
+
+class RouterFamilies : public ::testing::TestWithParam<RouterCase> {};
+
+TEST_P(RouterFamilies, PermutationDeliversEverywhere) {
+  Rng rng(11);
+  const Graph g = GetParam().make(rng);
+  RoundLedger build_ledger;
+  HierarchyParams hp;
+  hp.seed = 17;
+  const Hierarchy h = Hierarchy::build(g, hp, build_ledger);
+  HierarchicalRouter router(h);
+
+  const auto reqs = permutation_instance(g, rng);
+  RoundLedger ledger;
+  const RouteStats stats = router.route(reqs, ledger, rng);
+  EXPECT_EQ(stats.delivered, reqs.size());
+  EXPECT_GT(stats.total_rounds, 0u);
+  EXPECT_GT(stats.prep_rounds, 0u);
+  EXPECT_EQ(stats.total_rounds, ledger.total());
+  EXPECT_GE(stats.total_rounds,
+            stats.prep_rounds + stats.hop_rounds + stats.leaf_rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, RouterFamilies,
+    ::testing::Values(RouterCase{"regular", rc_reg}, RouterCase{"gnp", rc_gnp},
+                      RouterCase{"hypercube", rc_hyper},
+                      RouterCase{"torus", rc_torus},
+                      RouterCase{"wattsstrogatz", rc_ws},
+                      RouterCase{"matching", rc_expander}),
+    [](const ::testing::TestParamInfo<RouterCase>& info) {
+      return info.param.name;
+    });
+
+class RouterFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(13);
+    g_ = new Graph(gen::random_regular(160, 6, rng));
+    RoundLedger ledger;
+    HierarchyParams hp;
+    hp.seed = 23;
+    h_ = new Hierarchy(Hierarchy::build(*g_, hp, ledger));
+  }
+  static void TearDownTestSuite() {
+    delete h_;
+    delete g_;
+    h_ = nullptr;
+    g_ = nullptr;
+  }
+  static Graph* g_;
+  static Hierarchy* h_;
+};
+Graph* RouterFixture::g_ = nullptr;
+Hierarchy* RouterFixture::h_ = nullptr;
+
+TEST_F(RouterFixture, EmptyInstanceIsFree) {
+  HierarchicalRouter router(*h_);
+  Rng rng(1);
+  RoundLedger ledger;
+  const auto stats = router.route({}, ledger, rng);
+  EXPECT_EQ(stats.delivered, 0u);
+  EXPECT_EQ(ledger.total(), 0u);
+}
+
+TEST_F(RouterFixture, SelfDestinationsWork) {
+  HierarchicalRouter router(*h_);
+  Rng rng(2);
+  std::vector<RouteRequest> reqs;
+  for (NodeId v = 0; v < 20; ++v) {
+    reqs.push_back(RouteRequest{v, addr_of(*g_, v), rng()});
+  }
+  RoundLedger ledger;
+  const auto stats = router.route(reqs, ledger, rng);
+  EXPECT_EQ(stats.delivered, reqs.size());
+}
+
+TEST_F(RouterFixture, RepeatedPairsAndDuplicateRequests) {
+  HierarchicalRouter router(*h_);
+  Rng rng(3);
+  std::vector<RouteRequest> reqs;
+  for (int i = 0; i < 30; ++i) {
+    reqs.push_back(RouteRequest{5, addr_of(*g_, 99), static_cast<std::uint64_t>(i)});
+  }
+  RoundLedger ledger;
+  // 30 packets into one degree-6 node: needs the K-phase extension.
+  const auto stats = router.route_in_phases(reqs, 0, ledger, rng);
+  EXPECT_EQ(stats.delivered, reqs.size());
+  EXPECT_GE(stats.phases, 30u / 6);
+}
+
+TEST_F(RouterFixture, AutoPhaseCountMatchesDemand) {
+  HierarchicalRouter router(*h_);
+  Rng rng(4);
+  const auto perm = permutation_instance(*g_, rng);
+  EXPECT_EQ(router.auto_phase_count(perm), 1u);
+  const auto hot = hotspot_instance(*g_, rng, 2, 7);
+  EXPECT_GE(router.auto_phase_count(hot), 7u);
+}
+
+TEST_F(RouterFixture, PhasedRoutingDeliversHotspots) {
+  HierarchicalRouter router(*h_);
+  Rng rng(5);
+  const auto hot = hotspot_instance(*g_, rng, 2, 4);
+  RoundLedger ledger;
+  const auto stats = router.route_in_phases(hot, 0, ledger, rng);
+  EXPECT_EQ(stats.delivered, hot.size());
+  EXPECT_GT(stats.phases, 1u);
+}
+
+TEST_F(RouterFixture, MaxVidLoadStaysNearLemma34Promise) {
+  HierarchicalRouter router(*h_);
+  Rng rng(6);
+  const auto reqs = degree_demand_instance(*g_, rng);
+  RoundLedger ledger;
+  const auto stats = router.route(reqs, ledger, rng);
+  EXPECT_EQ(stats.delivered, reqs.size());
+  // Packets per virtual node after the scatter: O(log n) w.h.p.
+  EXPECT_LE(stats.max_vid_load, 24u);
+}
+
+TEST_F(RouterFixture, DegreeMismatchIsRejected) {
+  HierarchicalRouter router(*h_);
+  Rng rng(7);
+  std::vector<RouteRequest> reqs{
+      RouteRequest{0, RoutingAddr{1, g_->degree(1) + 1}, 0}};
+  RoundLedger ledger;
+  EXPECT_DEATH(router.route(reqs, ledger, rng), "degree mismatch");
+}
+
+TEST(BaselineRouters, ShortestPathDeliversPermutation) {
+  Rng rng(15);
+  const Graph g = gen::connected_gnp(100, 0.08, rng);
+  const ShortestPathRouter router(g);
+  const auto reqs = permutation_instance(g, rng);
+  RoundLedger ledger;
+  const auto stats = router.route(reqs, ledger);
+  EXPECT_EQ(stats.delivered, reqs.size());
+  EXPECT_EQ(stats.rounds, ledger.total());
+  // At least the max BFS distance, at most dilation+|packets|.
+  EXPECT_GE(stats.rounds, 2u);
+  EXPECT_LE(stats.rounds, static_cast<std::uint64_t>(diameter_exact(g)) +
+                              reqs.size());
+}
+
+TEST(BaselineRouters, ShortestPathHandlesSrcEqualsDst) {
+  const Graph g = gen::ring(10);
+  const ShortestPathRouter router(g);
+  std::vector<RouteRequest> reqs{RouteRequest{3, addr_of(g, 3), 0}};
+  RoundLedger ledger;
+  const auto stats = router.route(reqs, ledger);
+  EXPECT_EQ(stats.delivered, 1u);
+  EXPECT_EQ(stats.rounds, 0u);
+}
+
+TEST(BaselineRouters, RandomWalkEventuallyDeliversOnSmallGraph) {
+  Rng rng(17);
+  const Graph g = gen::complete(12);
+  const RandomWalkRouter router(g);
+  const auto reqs = permutation_instance(g, rng);
+  RoundLedger ledger;
+  const auto stats = router.route(reqs, ledger, rng, /*max_steps=*/100000);
+  EXPECT_EQ(stats.delivered, reqs.size());
+  EXPECT_EQ(stats.undelivered, 0u);
+}
+
+TEST(BaselineRouters, RandomWalkReportsUndeliveredAtCap) {
+  Rng rng(19);
+  const Graph g = gen::ring(64);  // terrible for walk-until-hit
+  const RandomWalkRouter router(g);
+  const auto reqs = permutation_instance(g, rng);
+  RoundLedger ledger;
+  const auto stats = router.route(reqs, ledger, rng, /*max_steps=*/16);
+  EXPECT_GT(stats.undelivered, 0u);
+  EXPECT_EQ(stats.delivered + stats.undelivered, reqs.size());
+}
+
+TEST(BaselineRouters, RandomWalksOfMixingLengthMissTheirDestinations) {
+  // The introduction's motivating claim: a random walk of ~tau_mix steps
+  // ends at a *random* node, so it is unlikely to hit its one intended
+  // destination — while the hierarchical router delivers everything.
+  Rng rng(21);
+  const Graph g = gen::random_regular(256, 6, rng);
+  RoundLedger build_ledger;
+  HierarchyParams hp;
+  hp.seed = 29;
+  const Hierarchy h = Hierarchy::build(g, hp, build_ledger);
+  HierarchicalRouter hr(h);
+  const RandomWalkRouter wr(g);
+  const auto reqs = permutation_instance(g, rng);
+  RoundLedger l1, l2;
+  const auto hs = hr.route(reqs, l1, rng);
+  EXPECT_EQ(hs.delivered, reqs.size());
+  const auto ws = wr.route(reqs, l2, rng, 4ULL * h.stats().tau_mix);
+  // A tau_mix-length walk visits ~tau_mix of 256 nodes: most packets miss.
+  EXPECT_GT(ws.undelivered, reqs.size() / 2);
+}
+
+}  // namespace
+}  // namespace amix

@@ -1,0 +1,47 @@
+// End-to-end smoke tests: hierarchy build + hierarchical routing on small
+// expanders. Deeper per-module suites live in the other test files.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "routing/hierarchical_router.hpp"
+
+namespace amix {
+namespace {
+
+TEST(RoutingSmoke, PermutationOnSmallExpander) {
+  Rng rng(42);
+  const Graph g = gen::random_regular(128, 6, rng);
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.seed = 7;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+  EXPECT_GT(ledger.total(), 0u);
+
+  HierarchicalRouter router(h);
+  const auto reqs = permutation_instance(g, rng);
+  RoundLedger route_ledger;
+  const RouteStats stats = router.route(reqs, route_ledger, rng);
+  EXPECT_EQ(stats.delivered, reqs.size());
+  EXPECT_EQ(stats.total_rounds, route_ledger.total());
+  EXPECT_GT(stats.total_rounds, 0u);
+}
+
+TEST(RoutingSmoke, DegreeDemandOnGnp) {
+  Rng rng(43);
+  const Graph g = gen::connected_gnp(96, 0.12, rng);
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.seed = 11;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+
+  HierarchicalRouter router(h);
+  const auto reqs = degree_demand_instance(g, rng);
+  RoundLedger route_ledger;
+  const RouteStats stats = router.route(reqs, route_ledger, rng);
+  EXPECT_EQ(stats.delivered, reqs.size());
+}
+
+}  // namespace
+}  // namespace amix

@@ -1,0 +1,122 @@
+// randwalk/anonymous + randwalk/tau_estimator: anonymous counting walks
+// and the in-band mixing-time estimation protocol.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "congest/comm_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/spectral.hpp"
+#include "randwalk/anonymous.hpp"
+#include "randwalk/tau_estimator.hpp"
+#include "util/stats.hpp"
+
+namespace amix {
+namespace {
+
+TEST(BinomialSample, MatchesMomentsSmallAndLarge) {
+  Rng rng(3);
+  for (const std::uint64_t n : {10ull, 50ull, 5000ull}) {
+    for (const double p : {0.1, 0.5, 0.9}) {
+      Summary s;
+      for (int i = 0; i < 3000; ++i) {
+        s.add(static_cast<double>(binomial_sample(n, p, rng)));
+      }
+      const double mean = static_cast<double>(n) * p;
+      const double sd = std::sqrt(mean * (1 - p));
+      EXPECT_NEAR(s.mean(), mean, 5 * sd / std::sqrt(3000.0) + 0.5)
+          << "n=" << n << " p=" << p;
+      EXPECT_NEAR(s.stddev(), sd, 0.25 * sd + 0.5);
+      EXPECT_GE(s.min(), 0.0);
+      EXPECT_LE(s.max(), static_cast<double>(n));
+    }
+  }
+}
+
+TEST(BinomialSample, EdgeCases) {
+  Rng rng(5);
+  EXPECT_EQ(binomial_sample(0, 0.5, rng), 0u);
+  EXPECT_EQ(binomial_sample(100, 0.0, rng), 0u);
+  EXPECT_EQ(binomial_sample(100, 1.0, rng), 100u);
+}
+
+TEST(AnonymousWalks, ConservesTokens) {
+  Rng rng(7);
+  const Graph g = gen::connected_gnp(60, 0.1, rng);
+  BaseComm base(g);
+  std::vector<std::uint64_t> counts(g.num_nodes(), 10);
+  AnonymousWalks walks(base, counts);
+  RoundLedger ledger;
+  walks.run(WalkKind::kLazy, 25, rng, ledger);
+  std::uint64_t total = 0;
+  for (const auto c : walks.counts()) total += c;
+  EXPECT_EQ(total, walks.total_tokens());
+  EXPECT_EQ(total, 60ull * 10);
+}
+
+TEST(AnonymousWalks, OneRoundPerStepRegardlessOfLoad) {
+  Rng rng(9);
+  const Graph g = gen::ring(20);
+  BaseComm base(g);
+  // A million tokens: still one round per step (counts aggregate).
+  std::vector<std::uint64_t> counts(g.num_nodes(), 1u << 20);
+  AnonymousWalks walks(base, counts);
+  RoundLedger ledger;
+  walks.run(WalkKind::kLazy, 12, rng, ledger);
+  EXPECT_EQ(ledger.total(), 12u);
+}
+
+TEST(AnonymousWalks, ConvergesToDegreeProportionalCounts) {
+  Rng rng(11);
+  const Graph g = gen::star(16);
+  BaseComm base(g);
+  std::vector<std::uint64_t> counts(g.num_nodes(), 0);
+  counts[3] = 300000;  // everything starts at one leaf
+  AnonymousWalks walks(base, counts);
+  RoundLedger ledger;
+  const auto tau = mixing_time_exact(g, WalkKind::kLazy, 100000);
+  walks.run(WalkKind::kLazy, 2 * tau, rng, ledger);
+  // Stationary: hub holds half the mass (d=15 of 2m=30).
+  const double hub = static_cast<double>(walks.counts()[0]);
+  EXPECT_NEAR(hub, 150000.0, 6 * std::sqrt(150000.0) + 400);
+}
+
+TEST(TauEstimator, TracksTrueMixingAcrossFamilies) {
+  struct Case {
+    const char* name;
+    Graph g;
+  };
+  Rng rng(13);
+  std::vector<Case> cases;
+  cases.push_back({"regular6", gen::random_regular(96, 6, rng)});
+  cases.push_back({"hypercube", gen::hypercube(6)});
+  cases.push_back({"torus", gen::torus2d(8)});
+  for (auto& [name, g] : cases) {
+    RoundLedger ledger;
+    TauEstimatorParams params;
+    const auto est = estimate_tau_distributed(g, params, rng, ledger);
+    const auto truth = mixing_time_sampled(g, WalkKind::kLazy, 4, rng,
+                                           1u << 22);
+    // Doubling probes a geometric grid; accept within [truth/8, 8*truth].
+    EXPECT_GE(est.tau * 8, truth) << name;
+    EXPECT_LE(est.tau, 8 * truth + 16) << name;
+    EXPECT_GT(est.rounds, est.tau);  // walks + coordination were charged
+    EXPECT_GE(est.probes, 1u);
+  }
+}
+
+TEST(TauEstimator, SlowGraphNeedsMoreProbes) {
+  Rng rng(15);
+  const Graph fast = gen::random_regular(64, 6, rng);
+  const Graph slow = gen::ring(64);
+  RoundLedger l1, l2;
+  TauEstimatorParams params;
+  const auto ef = estimate_tau_distributed(fast, params, rng, l1);
+  const auto es = estimate_tau_distributed(slow, params, rng, l2);
+  EXPECT_GT(es.tau, 4 * ef.tau);
+  EXPECT_GT(es.probes, ef.probes);
+}
+
+}  // namespace
+}  // namespace amix

@@ -1,0 +1,237 @@
+// util/: RNG, k-wise hashing, statistics, table rendering.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "util/kwise_hash.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace amix {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitStreamsAreIndependentish) {
+  Rng a(7);
+  Rng c = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == c());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(11);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(13);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.next_below(kBuckets)];
+  const double expect = static_cast<double>(kSamples) / kBuckets;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expect, 5 * std::sqrt(expect));
+  }
+}
+
+TEST(Rng, NextInCoversRangeInclusive) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_in(-3, 3));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), -3);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(23);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto w = v;
+  shuffle(w, rng);
+  EXPECT_NE(v, w);  // astronomically unlikely to be identity
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SampleDistinctProducesDistinctInRange) {
+  Rng rng(29);
+  for (std::uint32_t n : {5u, 32u, 1000u}) {
+    for (std::uint32_t k : {0u, 1u, n / 2, n}) {
+      const auto s = sample_distinct(n, k, rng);
+      EXPECT_EQ(s.size(), k);
+      std::set<std::uint32_t> distinct(s.begin(), s.end());
+      EXPECT_EQ(distinct.size(), k);
+      for (const auto x : s) EXPECT_LT(x, n);
+    }
+  }
+}
+
+TEST(Rng, SampleDistinctIsRoughlyUniform) {
+  Rng rng(31);
+  std::vector<int> hits(20, 0);
+  for (int rep = 0; rep < 4000; ++rep) {
+    for (const auto x : sample_distinct(20, 3, rng)) ++hits[x];
+  }
+  for (const int h : hits) EXPECT_NEAR(h, 600, 150);
+}
+
+TEST(KWiseHash, DeterministicAndInRange) {
+  Rng rng(5);
+  const KWiseHash h(8, rng);
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    EXPECT_EQ(h(key), h(key));
+    EXPECT_LT(h(key), KWiseHash::kPrime);
+  }
+}
+
+TEST(KWiseHash, DifferentSeedsGiveDifferentFunctions) {
+  Rng r1(5), r2(6);
+  const KWiseHash h1(8, r1), h2(8, r2);
+  int same = 0;
+  for (std::uint64_t key = 0; key < 128; ++key) same += (h1(key) == h2(key));
+  EXPECT_LT(same, 3);
+}
+
+TEST(KWiseHash, BoundedIsRoughlyUniform) {
+  Rng rng(7);
+  const KWiseHash h(16, rng);
+  constexpr std::uint64_t kRange = 16;
+  std::vector<int> counts(kRange, 0);
+  constexpr int kKeys = 64000;
+  for (std::uint64_t key = 0; key < kKeys; ++key) ++counts[h.bounded(key, kRange)];
+  const double expect = static_cast<double>(kKeys) / kRange;
+  for (const int c : counts) EXPECT_NEAR(c, expect, 6 * std::sqrt(expect));
+}
+
+TEST(KWiseHash, PairwiseCollisionRateMatchesUniform) {
+  // 2-wise independence: over the random choice of the hash function, a
+  // fixed pair of keys collides with probability ~ 1/range. (Within ONE
+  // function, collisions of equal-difference pairs are fully correlated —
+  // so the average must be over functions, not pairs.)
+  Rng rng(9);
+  constexpr std::uint64_t kRange = 16;
+  constexpr int kFunctions = 4000;
+  int collisions = 0;
+  for (int i = 0; i < kFunctions; ++i) {
+    const KWiseHash h(2, rng);
+    collisions += h.bounded(12345, kRange) == h.bounded(98765, kRange);
+  }
+  const double expect = static_cast<double>(kFunctions) / kRange;
+  EXPECT_NEAR(collisions, expect, 5 * std::sqrt(expect));
+}
+
+TEST(KWiseHash, SeedBitsMatchIndependence) {
+  Rng rng(11);
+  const KWiseHash h(12, rng);
+  EXPECT_EQ(h.independence(), 12u);
+  EXPECT_EQ(h.seed_bits(), 12u * 61);
+}
+
+TEST(KWiseHash, MulmodM61Correct) {
+  // Cross-check against __int128 arithmetic.
+  Rng rng(13);
+  constexpr std::uint64_t p = KWiseHash::kPrime;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t a = rng.next_below(p);
+    const std::uint64_t b = rng.next_below(p);
+    const auto want = static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(a) * b) % p);
+    EXPECT_EQ(mulmod_m61(a, b), want);
+  }
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Summary, EmptyIsSafe) {
+  const Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Quantile, InterpolatesCorrectly) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+}
+
+TEST(LogLogSlope, RecoversPowerLaws) {
+  std::vector<double> x, y2, y1;
+  for (double v : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    x.push_back(v);
+    y2.push_back(v * v * 3.0);
+    y1.push_back(v * 7.0);
+  }
+  EXPECT_NEAR(loglog_slope(x, y2), 2.0, 1e-9);
+  EXPECT_NEAR(loglog_slope(x, y1), 1.0, 1e-9);
+}
+
+TEST(Table, RendersRowsAndCsv) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(std::uint64_t{42});
+  t.row().add("beta").add(3.14159, 2);
+  EXPECT_EQ(t.num_rows(), 2u);
+  std::ostringstream pretty, csv;
+  t.print(pretty);
+  t.print_csv(csv);
+  EXPECT_NE(pretty.str().find("alpha"), std::string::npos);
+  EXPECT_NE(pretty.str().find("42"), std::string::npos);
+  EXPECT_EQ(csv.str(), "name,value\nalpha,42\nbeta,3.14\n");
+}
+
+TEST(Table, ReportContainsTitle) {
+  Table t({"a"});
+  t.row().add(1);
+  std::ostringstream os;
+  t.print_report(os, "demo-table");
+  EXPECT_NE(os.str().find("demo-table"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amix

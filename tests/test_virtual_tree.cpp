@@ -1,0 +1,163 @@
+// mst/virtual_tree: the Lemma 4.1 forest — star merges, token balancing,
+// and the three maintained properties.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+
+#include "graph/generators.hpp"
+#include "mst/virtual_tree.hpp"
+#include "util/rng.hpp"
+
+namespace amix {
+namespace {
+
+TEST(VirtualTree, StartsAsSingletons) {
+  const Graph g = gen::ring(10);
+  VirtualTreeForest f(g);
+  EXPECT_EQ(f.num_components(), 10u);
+  EXPECT_EQ(f.max_depth(), 0u);
+  for (NodeId v = 0; v < 10; ++v) {
+    EXPECT_TRUE(f.is_root(v));
+    EXPECT_EQ(f.comp(v), v);
+    EXPECT_EQ(f.indegree(v), 0u);
+  }
+}
+
+TEST(VirtualTree, SingleStarMerge) {
+  const Graph g = gen::complete(6);
+  VirtualTreeForest f(g);
+  // Tails 1,2,3 attach to head 0 (attachment endpoints all = 0).
+  std::vector<VirtualTreeForest::Attachment> atts{
+      {1, 0}, {2, 0}, {3, 0}};
+  f.merge_star(0, atts);
+  f.refresh();
+  EXPECT_EQ(f.num_components(), 3u);
+  EXPECT_EQ(f.comp(1), 0u);
+  EXPECT_EQ(f.comp(2), 0u);
+  EXPECT_EQ(f.comp(3), 0u);
+  EXPECT_EQ(f.comp(4), 4u);
+  EXPECT_EQ(f.max_depth(), 1u);
+  EXPECT_EQ(f.indegree(0), 3u);
+}
+
+TEST(VirtualTree, ChainOfMergesKeepsDepthLogarithmicish) {
+  // Repeatedly merge pairs of components; the balancing process must keep
+  // the depth far below the Theta(n) a naive chain would give.
+  const NodeId n = 256;
+  const Graph g = gen::complete(n);
+  VirtualTreeForest f(g);
+  Rng rng(7);
+  std::uint32_t iterations = 0;
+  while (f.num_components() > 1) {
+    ++iterations;
+    // Pair up current roots: odd-indexed roots attach to even ones through
+    // a random member of the head component.
+    std::vector<NodeId> roots;
+    for (NodeId v = 0; v < n; ++v) {
+      if (f.is_root(v)) roots.push_back(v);
+    }
+    shuffle(roots, rng);
+    std::unordered_map<NodeId, std::vector<VirtualTreeForest::Attachment>>
+        merges;
+    // Collect head members for sampling attachment endpoints.
+    std::unordered_map<NodeId, std::vector<NodeId>> members;
+    for (NodeId v = 0; v < n; ++v) members[f.comp(v)].push_back(v);
+    for (std::size_t i = 0; i + 1 < roots.size(); i += 2) {
+      const NodeId head = roots[i];
+      const NodeId tail = roots[i + 1];
+      const auto& mem = members[head];
+      const NodeId endpoint =
+          mem[rng.next_below(mem.size())];
+      merges[head].push_back({tail, endpoint});
+    }
+    for (const auto& [head, atts] : merges) f.merge_star(head, atts);
+    f.refresh();
+  }
+  const double logn = std::log2(static_cast<double>(n));
+  EXPECT_LE(iterations, 2 * logn + 2);
+  // Lemma 4.1 property (1): depth O(log^2 n) — generous constant.
+  EXPECT_LE(f.max_depth(), 4 * logn * logn);
+}
+
+TEST(VirtualTree, StressManyRandomStarMergesMaintainInvariants) {
+  Rng rng(11);
+  const NodeId n = 300;
+  const Graph g = gen::random_regular(n, 6, rng);
+  VirtualTreeForest f(g);
+  std::uint32_t iterations = 0;
+  while (f.num_components() > 1 && iterations < 100) {
+    ++iterations;
+    // Random head/tail coins; every tail attaches to a random neighboring-
+    // component head if one exists (mimics Boruvka's merge pattern).
+    std::unordered_map<NodeId, bool> head;
+    std::unordered_map<NodeId, std::vector<NodeId>> members;
+    for (NodeId v = 0; v < n; ++v) members[f.comp(v)].push_back(v);
+    for (const auto& [root, mem] : members) head[root] = rng.next_bool();
+    std::unordered_map<NodeId, std::vector<VirtualTreeForest::Attachment>>
+        merges;
+    for (const auto& [root, mem] : members) {
+      if (head[root]) continue;
+      // Find any head component adjacent in g.
+      VirtualTreeForest::Attachment att{root, kInvalidNode};
+      for (const NodeId v : mem) {
+        for (const Arc& a : g.arcs(v)) {
+          const NodeId oc = f.comp(a.to);
+          if (oc != root && head[oc]) {
+            att.head_endpoint = a.to;
+            break;
+          }
+        }
+        if (att.head_endpoint != kInvalidNode) break;
+      }
+      if (att.head_endpoint != kInvalidNode) {
+        merges[f.comp(att.head_endpoint)].push_back(att);
+      }
+    }
+    for (const auto& [head_root, atts] : merges) f.merge_star(head_root, atts);
+    f.refresh();
+
+    // Invariants after every iteration.
+    const double logn = std::log2(static_cast<double>(n));
+    EXPECT_LE(f.max_depth(), 6 * logn * logn);
+    for (NodeId v = 0; v < n; ++v) {
+      // Lemma 4.1 property (2): in-degree <= d(v) * O(log n).
+      EXPECT_LE(f.indegree(v), g.degree(v) * (2.0 * logn + 2));
+      // Parent pointers form a forest consistent with comp labels.
+      if (!f.is_root(v)) {
+        EXPECT_EQ(f.comp(v), f.comp(f.parent(v)));
+      }
+    }
+  }
+  EXPECT_EQ(f.num_components(), 1u);
+}
+
+TEST(VirtualTree, BalanceStepsAreReported) {
+  const Graph g = gen::complete(40);
+  VirtualTreeForest f(g);
+  // First build a small head tree (attach 1..9 to 0), then merge many more
+  // tails at scattered endpoints — tokens must climb and merge.
+  std::vector<VirtualTreeForest::Attachment> first;
+  for (NodeId v = 1; v < 10; ++v) first.push_back({v, 0});
+  f.merge_star(0, first);
+  f.refresh();
+  std::vector<VirtualTreeForest::Attachment> second;
+  for (NodeId v = 10; v < 20; ++v) {
+    second.push_back({v, static_cast<NodeId>(v - 10)});
+  }
+  const auto steps = f.merge_star(0, second);
+  f.refresh();
+  EXPECT_GE(steps, 1u);
+  EXPECT_EQ(f.num_components(), 40u - 19);
+}
+
+TEST(VirtualTreeDeath, RejectsAttachingToForeignHead) {
+  const Graph g = gen::ring(6);
+  VirtualTreeForest f(g);
+  std::vector<VirtualTreeForest::Attachment> atts{{1, 2}};  // endpoint 2 not in head 0
+  EXPECT_DEATH(f.merge_star(0, atts), "");
+}
+
+}  // namespace
+}  // namespace amix

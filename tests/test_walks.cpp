@@ -1,0 +1,200 @@
+// randwalk/: the parallel walk engine (Lemmas 2.4/2.5) and CommGraph
+// mixing measurement.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "congest/comm_graph.hpp"
+#include "graph/generators.hpp"
+#include "randwalk/mixing.hpp"
+#include "randwalk/walk_engine.hpp"
+#include "util/stats.hpp"
+
+namespace amix {
+namespace {
+
+TEST(WalkEngine, WalksStayOnTheGraph) {
+  Rng rng(3);
+  const Graph g = gen::connected_gnp(50, 0.12, rng);
+  BaseComm base(g);
+  ParallelWalkEngine engine(base, rng.split());
+  std::vector<std::uint32_t> starts;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) starts.push_back(v);
+  RoundLedger ledger;
+  const auto ends = engine.run(starts, WalkKind::kLazy, 20, ledger, nullptr);
+  ASSERT_EQ(ends.size(), starts.size());
+  for (const auto e : ends) EXPECT_LT(e, g.num_nodes());
+}
+
+TEST(WalkEngine, ZeroStepsIsFree) {
+  Rng rng(5);
+  const Graph g = gen::ring(10);
+  BaseComm base(g);
+  ParallelWalkEngine engine(base, rng.split());
+  std::vector<std::uint32_t> starts{1, 2, 3};
+  RoundLedger ledger;
+  WalkStats stats;
+  const auto ends = engine.run(starts, WalkKind::kLazy, 0, ledger, &stats);
+  EXPECT_EQ(ends, starts);
+  EXPECT_EQ(ledger.total(), 0u);
+  EXPECT_EQ(stats.base_rounds, 0u);
+}
+
+TEST(WalkEngine, ChargesAtMostStepsTimesMaxLoadAndAtLeastSteps) {
+  Rng rng(7);
+  const Graph g = gen::random_regular(64, 4, rng);
+  BaseComm base(g);
+  ParallelWalkEngine engine(base, rng.split());
+  std::vector<std::uint32_t> starts;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (int i = 0; i < 4; ++i) starts.push_back(v);  // k=1 per arc slot
+  }
+  RoundLedger ledger;
+  WalkStats stats;
+  const std::uint32_t T = 30;
+  engine.run(starts, WalkKind::kLazy, T, ledger, &stats);
+  EXPECT_EQ(stats.steps, T);
+  EXPECT_EQ(stats.base_rounds, ledger.total());
+  EXPECT_GE(stats.base_rounds, T / 2);  // most steps move something
+  EXPECT_LE(stats.base_rounds,
+            static_cast<std::uint64_t>(T) * stats.max_node_load);
+}
+
+TEST(WalkEngine, Lemma24NodeLoadBound) {
+  // k*d(v) walks per node => per-step load O(k d(v) + log n), w.h.p.
+  Rng rng(9);
+  const Graph g = gen::random_regular(128, 4, rng);
+  BaseComm base(g);
+  for (const std::uint32_t k : {1u, 2u, 4u}) {
+    ParallelWalkEngine engine(base, rng.split());
+    std::vector<std::uint32_t> starts;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (std::uint32_t i = 0; i < k * g.degree(v); ++i) starts.push_back(v);
+    }
+    RoundLedger ledger;
+    WalkStats stats;
+    engine.run(starts, WalkKind::kLazy, 40, ledger, &stats);
+    const double logn = std::log2(static_cast<double>(g.num_nodes()));
+    EXPECT_LE(stats.max_node_load, 4.0 * (k * g.max_degree() + logn))
+        << "k=" << k;
+    EXPECT_GE(stats.max_node_load, k * g.max_degree());  // at least the start load
+  }
+}
+
+TEST(WalkEngine, Lemma25ScheduleBound) {
+  // T steps of k*d(v) walks per node: O((k + log n) * T) rounds.
+  Rng rng(11);
+  const Graph g = gen::random_regular(128, 4, rng);
+  BaseComm base(g);
+  const std::uint32_t k = 3, T = 25;
+  ParallelWalkEngine engine(base, rng.split());
+  std::vector<std::uint32_t> starts;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (std::uint32_t i = 0; i < k * g.degree(v); ++i) starts.push_back(v);
+  }
+  RoundLedger ledger;
+  WalkStats stats;
+  engine.run(starts, WalkKind::kLazy, T, ledger, &stats);
+  const double logn = std::log2(static_cast<double>(g.num_nodes()));
+  EXPECT_LE(stats.base_rounds,
+            4.0 * (k + logn) * T);  // Lemma 2.5 with a generous constant
+  EXPECT_GE(stats.base_rounds, static_cast<std::uint64_t>(k) * T / 4);
+}
+
+TEST(WalkEngine, LazyEndpointsApproachDegreeProportional) {
+  Rng rng(13);
+  const Graph g = gen::star(16);  // extreme degree skew
+  BaseComm base(g);
+  ParallelWalkEngine engine(base, rng.split());
+  constexpr int kWalks = 30000;
+  std::vector<std::uint32_t> starts(kWalks, 5);
+  RoundLedger ledger;
+  const auto tau = mixing_time_exact(g, WalkKind::kLazy, 100000);
+  const auto ends = engine.run(starts, WalkKind::kLazy, tau, ledger, nullptr);
+  int hub = 0;
+  for (const auto e : ends) hub += (e == 0);
+  // Stationary hub mass = 15/30 = 1/2.
+  EXPECT_NEAR(hub, kWalks / 2, 6 * std::sqrt(kWalks / 2.0));
+}
+
+TEST(WalkEngine, RegularEndpointsApproachUniform) {
+  Rng rng(15);
+  const Graph g = gen::star(16);
+  BaseComm base(g);
+  ParallelWalkEngine engine(base, rng.split());
+  constexpr int kWalks = 32000;
+  std::vector<std::uint32_t> starts(kWalks, 0);
+  RoundLedger ledger;
+  const auto tau = mixing_time_exact(g, WalkKind::kRegular2Delta, 1u << 20);
+  const auto ends =
+      engine.run(starts, WalkKind::kRegular2Delta, tau, ledger, nullptr);
+  std::vector<int> counts(g.num_nodes(), 0);
+  for (const auto e : ends) ++counts[e];
+  const double expect = static_cast<double>(kWalks) / g.num_nodes();
+  for (const int c : counts) EXPECT_NEAR(c, expect, 6 * std::sqrt(expect));
+}
+
+TEST(WalkEngine, ChargeRerunDuplicatesCost) {
+  Rng rng(17);
+  const Graph g = gen::ring(20);
+  BaseComm base(g);
+  ParallelWalkEngine engine(base, rng.split());
+  std::vector<std::uint32_t> starts(40, 3);
+  RoundLedger ledger;
+  WalkStats stats;
+  engine.run(starts, WalkKind::kLazy, 10, ledger, &stats);
+  const auto forward = ledger.total();
+  ParallelWalkEngine::charge_rerun(stats, ledger);
+  EXPECT_EQ(ledger.total(), 2 * forward);
+}
+
+TEST(WalkEngine, RunsOnOverlaysWithRoundCost) {
+  // Walks on an overlay charge overlay rounds * round_cost.
+  OverlayComm overlay({{1, 2}, {0, 2}, {0, 1}}, /*round_cost=*/10);
+  Rng rng(19);
+  ParallelWalkEngine engine(overlay, rng.split());
+  std::vector<std::uint32_t> starts{0, 1, 2};
+  RoundLedger ledger;
+  WalkStats stats;
+  engine.run(starts, WalkKind::kLazy, 6, ledger, &stats);
+  EXPECT_EQ(stats.base_rounds, stats.graph_rounds * 10);
+  EXPECT_EQ(ledger.total(), stats.base_rounds);
+}
+
+TEST(CommMixing, MatchesGraphMixingOnBaseGraph) {
+  Rng rng(21);
+  const Graph g = gen::connected_gnp(40, 0.15, rng);
+  BaseComm base(g);
+  const auto direct = mixing_time_from_start(g, WalkKind::kLazy, 7, 100000);
+  const auto via_comm =
+      comm_mixing_time_from_start(base, WalkKind::kLazy, 7, 100000);
+  EXPECT_EQ(direct, via_comm);
+}
+
+TEST(CommMixing, DisconnectedOverlayMixesPerComponent) {
+  // Two disjoint triangles: mixing is measured within the component.
+  OverlayComm overlay({{1, 2}, {0, 2}, {0, 1}, {4, 5}, {3, 5}, {3, 4}}, 1);
+  const auto t =
+      comm_mixing_time_from_start(overlay, WalkKind::kLazy, 0, 10000);
+  EXPECT_LE(t, 40u);  // would be "never" against a global stationary
+  const auto t2 =
+      comm_mixing_time_from_start(overlay, WalkKind::kRegular2Delta, 4, 10000);
+  EXPECT_LE(t2, 60u);
+}
+
+TEST(CommMixing, SampledIsMaxOverStarts) {
+  Rng rng(23);
+  const Graph g = gen::connected_gnp(30, 0.25, rng);
+  BaseComm base(g);
+  const auto s = comm_mixing_time_sampled(base, WalkKind::kLazy, 6, rng, 10000);
+  std::uint32_t direct_max = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    direct_max = std::max(
+        direct_max, comm_mixing_time_from_start(base, WalkKind::kLazy, v, 10000));
+  }
+  EXPECT_LE(s, direct_max);
+}
+
+}  // namespace
+}  // namespace amix

@@ -1,0 +1,220 @@
+// amixctl — command-line front end for the amix library.
+//
+//   amixctl generate <family> <n> [param] -o <file> [--seed S]
+//       families: regular (param=degree), gnp (param=avg degree),
+//                 hypercube, torus, ring, ws (param=k), ba (param=attach)
+//   amixctl info <file>
+//   amixctl route <file> [--demand] [--seed S]
+//   amixctl mst <file> [--engine hier|flood|kernel|piped] [--seed S]
+//   amixctl mincut <file> [--trees T] [--seed S]
+//   amixctl estimate-tau <file> [--seed S]
+//
+// Instances are the text format of graph/io.hpp; `generate` always writes
+// distinct random weights so every instance is MST-ready.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "amix/amix.hpp"
+#include "graph/io.hpp"
+
+namespace {
+
+using namespace amix;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::uint64_t seed = 1;
+  std::string out;
+  std::string engine = "hier";
+  std::uint32_t trees = 0;
+  bool demand = false;
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    auto next = [&]() -> std::string {
+      AMIX_CHECK_MSG(i + 1 < argc, "missing value for flag");
+      return argv[++i];
+    };
+    if (s == "--seed") {
+      a.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (s == "-o" || s == "--out") {
+      a.out = next();
+    } else if (s == "--engine") {
+      a.engine = next();
+    } else if (s == "--trees") {
+      a.trees = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (s == "--demand") {
+      a.demand = true;
+    } else {
+      a.positional.push_back(s);
+    }
+  }
+  return a;
+}
+
+int usage() {
+  std::cerr << "usage: amixctl "
+               "{generate|info|route|mst|mincut|estimate-tau} ... "
+               "(see the header of tools/amixctl.cpp)\n";
+  return 2;
+}
+
+Graph make(const std::string& family, NodeId n, std::uint32_t param,
+           Rng& rng) {
+  if (family == "regular") return gen::random_regular(n, param ? param : 8, rng);
+  if (family == "gnp") {
+    const double p = static_cast<double>(param ? param : 8) / n;
+    return gen::connected_gnp(n, p, rng);
+  }
+  if (family == "hypercube") {
+    std::uint32_t dim = 0;
+    while ((NodeId{1} << (dim + 1)) <= n) ++dim;
+    return gen::hypercube(dim);
+  }
+  if (family == "torus") {
+    NodeId side = 2;
+    while ((side + 1) * (side + 1) <= n) ++side;
+    return gen::torus2d(side);
+  }
+  if (family == "ring") return gen::ring(n);
+  if (family == "ws") return gen::watts_strogatz(n, param ? param : 3, 0.2, rng);
+  if (family == "ba") return gen::barabasi_albert(n, param ? param : 3, rng);
+  AMIX_CHECK_MSG(false, "unknown family");
+  return {};
+}
+
+int cmd_generate(const Args& a) {
+  AMIX_CHECK_MSG(a.positional.size() >= 3, "generate needs <family> <n>");
+  AMIX_CHECK_MSG(!a.out.empty(), "generate needs -o <file>");
+  Rng rng(a.seed);
+  const auto n = static_cast<NodeId>(std::stoul(a.positional[2]));
+  const std::uint32_t param =
+      a.positional.size() > 3
+          ? static_cast<std::uint32_t>(std::stoul(a.positional[3]))
+          : 0;
+  const Graph g = make(a.positional[1], n, param, rng);
+  const Weights w = distinct_random_weights(g, rng);
+  save_graph(a.out, g, &w);
+  std::cout << "wrote " << a.out << ": n=" << g.num_nodes()
+            << " m=" << g.num_edges() << "\n";
+  return 0;
+}
+
+int cmd_info(const Args& a) {
+  AMIX_CHECK_MSG(a.positional.size() >= 2, "info needs <file>");
+  const GraphFile f = load_graph(a.positional[1]);
+  const Graph& g = f.graph;
+  Rng rng(a.seed);
+  std::cout << "n=" << g.num_nodes() << " m=" << g.num_edges()
+            << " max_degree=" << g.max_degree()
+            << " connected=" << (is_connected(g) ? "yes" : "no")
+            << " weighted=" << (f.weights ? "yes" : "no") << "\n";
+  if (!is_connected(g)) return 0;
+  std::cout << "diameter>=" << diameter_double_sweep(g)
+            << " tau_mix~=" << mixing_time_sampled(g, WalkKind::kLazy, 4,
+                                                   rng, 1u << 24)
+            << " h(G)<=" << edge_expansion_sweep(g) << "\n";
+  return 0;
+}
+
+int cmd_route(const Args& a) {
+  AMIX_CHECK_MSG(a.positional.size() >= 2, "route needs <file>");
+  const GraphFile f = load_graph(a.positional[1]);
+  Rng rng(a.seed);
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.seed = a.seed;
+  const Hierarchy h = Hierarchy::build(f.graph, hp, ledger);
+  std::cout << "hierarchy: beta=" << h.beta() << " depth=" << h.depth()
+            << " tau_mix=" << h.stats().tau_mix << " build_rounds="
+            << ledger.total() << "\n";
+  const auto reqs = a.demand ? degree_demand_instance(f.graph, rng)
+                             : permutation_instance(f.graph, rng);
+  HierarchicalRouter router(h);
+  RoundLedger rl;
+  const RouteStats rs = router.route_in_phases(reqs, 0, rl, rng);
+  std::cout << "routed " << rs.delivered << "/" << reqs.size() << " in "
+            << rs.total_rounds << " rounds (" << rs.phases << " phase(s))\n";
+  return rs.delivered == reqs.size() ? 0 : 1;
+}
+
+int cmd_mst(const Args& a) {
+  AMIX_CHECK_MSG(a.positional.size() >= 2, "mst needs <file>");
+  const GraphFile f = load_graph(a.positional[1]);
+  AMIX_CHECK_MSG(f.weights.has_value(), "instance has no weights");
+  const Graph& g = f.graph;
+  const Weights& w = *f.weights;
+  RoundLedger ledger;
+  std::vector<EdgeId> edges;
+  if (a.engine == "hier") {
+    HierarchyParams hp;
+    hp.seed = a.seed;
+    const Hierarchy h = Hierarchy::build(g, hp, ledger);
+    edges = HierarchicalBoruvka(h, w).run(ledger).edges;
+  } else if (a.engine == "flood") {
+    edges = flood_boruvka(g, w, ledger).edges;
+  } else if (a.engine == "kernel") {
+    edges = kernel_boruvka(g, w, ledger, a.seed).edges;
+  } else if (a.engine == "piped") {
+    edges = pipelined_boruvka(g, w, ledger).edges;
+  } else {
+    return usage();
+  }
+  const bool ok = is_exact_mst(g, w, edges);
+  std::cout << "engine=" << a.engine << " rounds=" << ledger.total()
+            << " mst_weight=" << w.total(edges)
+            << " exact=" << (ok ? "yes" : "NO") << "\n";
+  return ok ? 0 : 1;
+}
+
+int cmd_mincut(const Args& a) {
+  AMIX_CHECK_MSG(a.positional.size() >= 2, "mincut needs <file>");
+  const GraphFile f = load_graph(a.positional[1]);
+  Rng rng(a.seed);
+  RoundLedger ledger;
+  HierarchyParams hp;
+  hp.seed = a.seed;
+  const Hierarchy h = Hierarchy::build(f.graph, hp, ledger);
+  const auto stats =
+      distributed_mincut_tree_packing(h, rng, ledger, a.trees);
+  std::cout << "approx_mincut=" << stats.cut_value
+            << " trees=" << stats.trees << " rounds=" << stats.rounds;
+  if (f.graph.num_nodes() <= 600) {
+    std::cout << " exact=" << stoer_wagner_mincut(f.graph);
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_estimate_tau(const Args& a) {
+  AMIX_CHECK_MSG(a.positional.size() >= 2, "estimate-tau needs <file>");
+  const GraphFile f = load_graph(a.positional[1]);
+  Rng rng(a.seed);
+  RoundLedger ledger;
+  TauEstimatorParams params;
+  const auto est = estimate_tau_distributed(f.graph, params, rng, ledger);
+  std::cout << "estimated_tau=" << est.tau << " probes=" << est.probes
+            << " protocol_rounds=" << est.rounds << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const Args a = parse(argc, argv);
+  const std::string cmd = a.positional.empty() ? "" : a.positional[0];
+  if (cmd == "generate") return cmd_generate(a);
+  if (cmd == "info") return cmd_info(a);
+  if (cmd == "route") return cmd_route(a);
+  if (cmd == "mst") return cmd_mst(a);
+  if (cmd == "mincut") return cmd_mincut(a);
+  if (cmd == "estimate-tau") return cmd_estimate_tau(a);
+  return usage();
+}
