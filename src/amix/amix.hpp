@@ -23,6 +23,7 @@
 // paper-to-module map.
 
 #include "congest/comm_graph.hpp"
+#include "congest/instrument.hpp"
 #include "congest/network.hpp"
 #include "congest/primitives.hpp"
 #include "congest/round_ledger.hpp"
@@ -49,6 +50,10 @@
 #include "routing/clique_emulation.hpp"
 #include "routing/hierarchical_router.hpp"
 #include "routing/request.hpp"
+#include "sim/conformance.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/harness.hpp"
+#include "sim/scenario.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"

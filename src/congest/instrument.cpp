@@ -1,0 +1,18 @@
+#include "congest/instrument.hpp"
+
+namespace amix::congest {
+
+namespace {
+thread_local CongestInstrument* g_instrument = nullptr;
+}  // namespace
+
+CongestInstrument* instrument() { return g_instrument; }
+
+ScopedInstrument::ScopedInstrument(CongestInstrument* ins)
+    : prev_(g_instrument) {
+  g_instrument = ins;
+}
+
+ScopedInstrument::~ScopedInstrument() { g_instrument = prev_; }
+
+}  // namespace amix::congest

@@ -1,0 +1,91 @@
+#pragma once
+
+// Instrumentation seam for the CONGEST substrates.
+//
+// The simulation harness (src/sim/) needs two capabilities the substrates
+// cannot offer through their public APIs alone:
+//
+//   * observation — independently recompute what TokenTransport charges
+//     (the conformance audit), without trusting its internal tallies;
+//   * interposition — inject faults (retransmitted/duplicated token
+//     crossings, dropped kernel messages, adversarial handler order)
+//     underneath unmodified algorithm code.
+//
+// Both are served by one interface, CongestInstrument, installed through a
+// thread-local pointer. TokenTransport and SyncNetwork consult it on their
+// hot paths with a single pointer test, so uninstrumented runs pay one
+// predictable branch and instrumented runs see every event. Instruments
+// nest lexically (ScopedInstrument restores the previous one), and the
+// registration is thread-local because substrates themselves are
+// single-threaded per instance.
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.hpp"
+
+namespace amix {
+
+class CommGraph;  // congest/comm_graph.hpp; kept forward to avoid a cycle
+
+namespace congest {
+
+class CongestInstrument {
+ public:
+  virtual ~CongestInstrument() = default;
+
+  // ---- Token layer (TokenTransport) ----
+
+  /// One token is about to cross arc `arc` of `g`. Returns the number of
+  /// EXTRA slots the crossing consumes on that arc beyond the token itself
+  /// (0 = clean delivery; k > 0 models k retransmissions after drops, or k
+  /// duplicate copies the receiver will discard). The token always
+  /// arrives: the transport layer is reliable, faults only cost rounds.
+  virtual std::uint32_t on_token_move(const CommGraph& /*g*/,
+                                      std::uint64_t /*arc*/) {
+    return 0;
+  }
+
+  /// A parallel step of `g` committed, charging `charged` rounds of that
+  /// graph (the transport's max per-arc slot count for the step).
+  virtual void on_step_commit(const CommGraph& /*g*/,
+                              std::uint32_t /*charged*/) {}
+
+  // ---- Kernel layer (SyncNetwork) ----
+
+  /// A kernel message from `from` to `to` is being delivered in round
+  /// `round`. Return false to drop it (the round is still charged — the
+  /// sender used its slot; the bits just never arrive).
+  virtual bool on_kernel_deliver(NodeId /*from*/, NodeId /*to*/,
+                                 std::uint64_t /*round*/) {
+    return true;
+  }
+
+  /// Handler invocation order for kernel round `round`. `order` arrives as
+  /// the identity permutation of the nodes; permute it in place to force
+  /// an adversarial schedule. Correct synchronous algorithms read only
+  /// their own inbox and write only their own outbox, so any permutation
+  /// must leave behaviour bit-identical — the harness uses this to detect
+  /// hidden cross-node state sharing.
+  virtual void on_kernel_round_order(std::uint64_t /*round*/,
+                                     std::span<NodeId> /*order*/) {}
+};
+
+/// Currently installed instrument for this thread (nullptr when none).
+CongestInstrument* instrument();
+
+/// RAII installation; restores the previously installed instrument on
+/// destruction, so instrumented scopes nest.
+class ScopedInstrument {
+ public:
+  explicit ScopedInstrument(CongestInstrument* ins);
+  ~ScopedInstrument();
+  ScopedInstrument(const ScopedInstrument&) = delete;
+  ScopedInstrument& operator=(const ScopedInstrument&) = delete;
+
+ private:
+  CongestInstrument* prev_;
+};
+
+}  // namespace congest
+}  // namespace amix

@@ -1,5 +1,9 @@
 #include "congest/network.hpp"
 
+#include <numeric>
+
+#include "congest/instrument.hpp"
+
 namespace amix::congest {
 
 SyncNetwork::SyncNetwork(const Graph& g, RoundLedger& ledger)
@@ -13,14 +17,25 @@ SyncNetwork::SyncNetwork(const Graph& g, RoundLedger& ledger)
 }
 
 bool SyncNetwork::step(const Handler& h) {
+  CongestInstrument* const ins = instrument();
   bool any_sent = false;
-  for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+  const auto invoke = [&](NodeId v) {
     const Inbox in(std::span<const std::optional<Message>>(
         inbox_.data() + offsets_[v], g_.degree(v)));
     Outbox out(std::span<std::optional<Message>>(outbox_.data() + offsets_[v],
                                                  g_.degree(v)),
                &any_sent);
     h(v, in, out);
+  };
+  if (ins == nullptr) {
+    for (NodeId v = 0; v < g_.num_nodes(); ++v) invoke(v);
+  } else {
+    // An instrument may permute the handler invocation order (adversarial
+    // schedule); a well-formed synchronous handler cannot observe this.
+    std::vector<NodeId> order(g_.num_nodes());
+    std::iota(order.begin(), order.end(), NodeId{0});
+    ins->on_kernel_round_order(rounds_executed_, order);
+    for (const NodeId v : order) invoke(v);
   }
   // Deliver: the message v sent on port p arrives at w = neighbor(v,p) on
   // w's port for the same edge.
@@ -31,8 +46,10 @@ bool SyncNetwork::step(const Handler& h) {
       auto& slot = outbox_[offsets_[v] + p];
       if (!slot.has_value()) continue;
       const NodeId w = arcs[p].to;
-      const std::uint32_t q = g_.port_of(w, arcs[p].edge);
-      inbox_[offsets_[w] + q] = *slot;
+      if (ins == nullptr || ins->on_kernel_deliver(v, w, rounds_executed_)) {
+        const std::uint32_t q = g_.port_of(w, arcs[p].edge);
+        inbox_[offsets_[w] + q] = *slot;
+      }
       slot.reset();
     }
   }

@@ -9,45 +9,78 @@
 // TokenTransport tallies per-arc loads for a step, reports the max, and
 // charges `max_load * round_cost()` base rounds to the ledger.
 //
-// It also tracks the Lemma 2.4 statistic (max tokens resident at a node)
-// so tests/benches can check the O(k d(v) + log n) bound.
+// It also tracks the Lemma 2.4 statistic (max tokens resident at a node):
+// per step, the peak number of tokens arriving at a single node, folded
+// into a running maximum at commit_step so tests/benches can check the
+// O(k d(v) + log n) bound across a whole run.
+//
+// When a congest::CongestInstrument is installed (see instrument.hpp),
+// every move is reported to it and may be charged extra arc slots (fault
+// injection: retransmits after drops, duplicate copies); every commit is
+// reported with the rounds charged, which is what lets the sim harness
+// audit the ledger independently.
 
 #include <cstdint>
 #include <vector>
 
 #include "congest/comm_graph.hpp"
+#include "congest/instrument.hpp"
 #include "congest/round_ledger.hpp"
 
 namespace amix {
 
 class TokenTransport {
  public:
-  explicit TokenTransport(const CommGraph& g) : g_(g), load_(g.num_arcs(), 0) {}
+  explicit TokenTransport(const CommGraph& g)
+      : g_(g), load_(g.num_arcs(), 0), resident_(g.num_nodes(), 0) {}
 
   /// Record that one token crosses arc (v, port) this step.
   void move(std::uint32_t v, std::uint32_t port) {
     const std::uint64_t idx = g_.arc_index(v, port);
+    std::uint32_t slots = 1;
+    if (congest::CongestInstrument* ins = congest::instrument()) {
+      slots += ins->on_token_move(g_, idx);
+    }
     if (load_[idx] == 0) touched_.push_back(idx);
-    ++load_[idx];
+    load_[idx] += slots;
     if (load_[idx] > step_max_) step_max_ = load_[idx];
     ++step_moves_;
+    // Lemma 2.4 residency: the token comes to rest at the arc's head.
+    const std::uint32_t w = g_.neighbor(v, port);
+    if (resident_[w] == 0) touched_nodes_.push_back(w);
+    ++resident_[w];
+    if (resident_[w] > step_residency_) step_residency_ = resident_[w];
   }
 
   /// Max per-arc load of the current step.
   std::uint32_t step_max_load() const { return step_max_; }
   std::uint64_t step_moves() const { return step_moves_; }
 
+  /// Peak tokens arriving at a single node during the current step (the
+  /// Lemma 2.4 statistic, before commit folds it into the running max).
+  std::uint32_t step_residency() const { return step_residency_; }
+
   /// Close the step: charge `max_load * round_cost` base rounds (0 if the
-  /// step moved nothing) and reset per-step state. Returns the rounds of
-  /// *this* graph the step took (i.e. the max load).
+  /// step moved nothing), fold the residency peak into the running
+  /// maximum, and reset per-step state. Returns the rounds of *this*
+  /// graph the step took (i.e. the max load).
   std::uint32_t commit_step(RoundLedger& ledger) {
     const std::uint32_t cost = step_max_;
+    if (congest::CongestInstrument* ins = congest::instrument()) {
+      ins->on_step_commit(g_, cost);
+    }
     ledger.charge(static_cast<std::uint64_t>(cost) * g_.round_cost());
     total_graph_rounds_ += cost;
+    if (step_residency_ > max_node_residency_) {
+      max_node_residency_ = step_residency_;
+    }
     for (const std::uint64_t idx : touched_) load_[idx] = 0;
     touched_.clear();
+    for (const std::uint32_t w : touched_nodes_) resident_[w] = 0;
+    touched_nodes_.clear();
     step_max_ = 0;
     step_moves_ = 0;
+    step_residency_ = 0;
     return cost;
   }
 
@@ -55,15 +88,23 @@ class TokenTransport {
   /// of this graph (multiply by round_cost() for base rounds).
   std::uint64_t total_graph_rounds() const { return total_graph_rounds_; }
 
+  /// Max over committed steps of the per-step residency peak — the
+  /// Lemma 2.4 `O(k d(v) + log n)` quantity for the whole run.
+  std::uint32_t max_node_residency() const { return max_node_residency_; }
+
   const CommGraph& graph() const { return g_; }
 
  private:
   const CommGraph& g_;
   std::vector<std::uint32_t> load_;
   std::vector<std::uint64_t> touched_;
+  std::vector<std::uint32_t> resident_;       // per-node arrivals this step
+  std::vector<std::uint32_t> touched_nodes_;  // nodes with arrivals this step
   std::uint32_t step_max_ = 0;
+  std::uint32_t step_residency_ = 0;
   std::uint64_t step_moves_ = 0;
   std::uint64_t total_graph_rounds_ = 0;
+  std::uint32_t max_node_residency_ = 0;
 };
 
 }  // namespace amix

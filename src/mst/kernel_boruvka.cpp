@@ -85,10 +85,13 @@ KernelMstStats kernel_boruvka(const Graph& g, const Weights& w,
     const std::uint32_t iter = out.iterations++;
 
     // ---- Phase A: exchange fragment ids (exactly one round). ----
-    bool announced = false;
+    // Keyed off the network's round counter, NOT off which node runs
+    // last: handler invocation order within a round is unspecified (and
+    // adversarially permuted under the sim harness's order fault).
+    const std::uint64_t send_round = net.rounds_executed();
     net.run_rounds(
         [&](NodeId v, const Inbox& in, Outbox& outb) {
-          if (!announced) {
+          if (net.rounds_executed() == send_round) {
             for (std::uint32_t p = 0; p < outb.num_ports(); ++p) {
               outb.send(p, Message{st[v].frag, 0});
             }
@@ -98,7 +101,6 @@ KernelMstStats kernel_boruvka(const Graph& g, const Weights& w,
               st[v].nbr_frag[p] = static_cast<NodeId>(in.at(p)->a);
             }
           }
-          if (v + 1 == n) announced = true;  // flip after the send round
         },
         2);
 

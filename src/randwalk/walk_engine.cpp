@@ -61,6 +61,7 @@ std::vector<std::uint32_t> ParallelWalkEngine::run(
 
   local.graph_rounds = transport.total_graph_rounds();
   local.base_rounds = local.graph_rounds * g_.round_cost();
+  local.max_transport_residency = transport.max_node_residency();
   if (stats != nullptr) *stats = local;
   return pos;
 }

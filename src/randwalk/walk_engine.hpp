@@ -25,6 +25,9 @@ struct WalkStats {
   std::uint64_t graph_rounds = 0;    // rounds of the walked graph
   std::uint64_t base_rounds = 0;     // graph_rounds * round_cost
   std::uint32_t max_node_load = 0;   // Lemma 2.4: peak walks at one node
+  /// Transport-level Lemma 2.4 statistic: peak tokens *arriving* at one
+  /// node in a single committed step (excludes walks that stayed put).
+  std::uint32_t max_transport_residency = 0;
   std::uint64_t total_moves = 0;     // arc crossings over all steps
   std::uint32_t steps = 0;
 };

@@ -1,0 +1,57 @@
+#include "sim/conformance.hpp"
+
+#include <sstream>
+
+namespace amix::sim {
+
+void ConformanceAuditor::record_move(const CommGraph& g, std::uint64_t arc,
+                                     std::uint32_t slots) {
+  PerGraph& s = state_[&g];
+  if (s.raw.size() < g.num_arcs()) {
+    s.raw.resize(g.num_arcs(), 0);
+    s.slotted.resize(g.num_arcs(), 0);
+  }
+  if (s.raw[arc] == 0 && s.slotted[arc] == 0) s.touched.push_back(arc);
+  s.raw[arc] += 1;
+  s.slotted[arc] += slots;
+  s.raw_max = std::max(s.raw_max, s.raw[arc]);
+  s.slotted_max = std::max(s.slotted_max, s.slotted[arc]);
+  ++report_.moves;
+  report_.fault_slots += slots - 1;
+}
+
+void ConformanceAuditor::flag(std::uint64_t AuditReport::* counter,
+                              const CommGraph& g, std::uint32_t charged,
+                              const PerGraph& s, const char* kind) {
+  ++(report_.*counter);
+  if (report_.first_violation.empty()) {
+    std::ostringstream os;
+    os << kind << " at audited step " << report_.steps << " on graph("
+       << g.num_nodes() << " nodes, round_cost " << g.round_cost()
+       << "): charged " << charged << " graph rounds, independent bounds ["
+       << s.raw_max << ", " << s.slotted_max << "]";
+    report_.first_violation = os.str();
+  }
+}
+
+void ConformanceAuditor::record_commit(const CommGraph& g,
+                                       std::uint32_t charged) {
+  PerGraph& s = state_[&g];
+  ++report_.steps;
+  report_.recomputed_graph_rounds += s.raw_max;
+  report_.charged_graph_rounds += charged;
+  if (charged < s.raw_max) {
+    flag(&AuditReport::under_charges, g, charged, s, "UNDER-charge");
+  } else if (charged > s.slotted_max) {
+    flag(&AuditReport::over_charges, g, charged, s, "OVER-charge");
+  }
+  for (const std::uint64_t arc : s.touched) {
+    s.raw[arc] = 0;
+    s.slotted[arc] = 0;
+  }
+  s.touched.clear();
+  s.raw_max = 0;
+  s.slotted_max = 0;
+}
+
+}  // namespace amix::sim

@@ -1,0 +1,81 @@
+#pragma once
+
+// CONGEST conformance auditing: trust, but recompute.
+//
+// Every round this library reports ultimately flows through
+// TokenTransport::commit_step, which charges the max per-arc load of the
+// step. The auditor recomputes that quantity independently — its own
+// per-arc tallies, its own touched lists, fed move-by-move through the
+// instrumentation seam — and cross-checks every commit:
+//
+//   * UNDER-charge (charged < max raw crossings on any arc): the ledger
+//     claims fewer rounds than any CONGEST schedule could realize. This
+//     is a soundness bug; it must never happen.
+//   * OVER-charge (charged > max slotted load, i.e. crossings plus fault
+//     slots): the schedule's slack is exactly the fault-injected slots,
+//     so anything beyond it means rounds are being wasted or
+//     double-counted. In a fault-free run slotted == raw and the check
+//     degenerates to exact equality with the transport's optimal charge.
+//
+// Violations are recorded, not aborted on, so tests can verify the
+// auditor itself catches deliberately corrupted charges.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "congest/comm_graph.hpp"
+
+namespace amix::sim {
+
+struct AuditReport {
+  std::uint64_t steps = 0;          // commits audited
+  std::uint64_t moves = 0;          // token crossings observed
+  std::uint64_t under_charges = 0;  // soundness violations (must be 0)
+  std::uint64_t over_charges = 0;   // waste beyond the fault slack
+  std::uint64_t fault_slots = 0;    // extra slots injected by faults
+  /// Sum over steps of the independently recomputed raw max load — the
+  /// lower bound on graph rounds any schedule needs. Equals the
+  /// transport's total_graph_rounds() in a fault-free conforming run.
+  std::uint64_t recomputed_graph_rounds = 0;
+  /// Sum of the actually charged graph rounds, as reported at commit.
+  std::uint64_t charged_graph_rounds = 0;
+  std::string first_violation;  // human-readable; empty when ok()
+
+  bool ok() const { return under_charges == 0 && over_charges == 0; }
+};
+
+class ConformanceAuditor {
+ public:
+  /// Observe one token crossing `arc` of `g` consuming `slots` arc slots
+  /// (1 clean + fault extras).
+  void record_move(const CommGraph& g, std::uint64_t arc, std::uint32_t slots);
+
+  /// Observe a step of `g` committing with `charged` graph rounds; checks
+  /// the charge against the independently recomputed bounds and resets
+  /// the per-step tallies for `g`.
+  void record_commit(const CommGraph& g, std::uint32_t charged);
+
+  void reset() { state_.clear(), report_ = AuditReport{}; }
+  const AuditReport& report() const { return report_; }
+
+ private:
+  struct PerGraph {
+    std::vector<std::uint32_t> raw;      // crossings per arc, this step
+    std::vector<std::uint32_t> slotted;  // crossings + fault slots per arc
+    std::vector<std::uint64_t> touched;
+    std::uint32_t raw_max = 0;
+    std::uint32_t slotted_max = 0;
+  };
+
+  void flag(std::uint64_t AuditReport::* counter, const CommGraph& g,
+            std::uint32_t charged, const PerGraph& s, const char* kind);
+
+  // Keyed by graph identity: each live TokenTransport binds one CommGraph,
+  // and the library never interleaves two open steps on the same graph.
+  std::unordered_map<const CommGraph*, PerGraph> state_;
+  AuditReport report_;
+};
+
+}  // namespace amix::sim

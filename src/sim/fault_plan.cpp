@@ -1,0 +1,117 @@
+#include "sim/fault_plan.hpp"
+
+#include <algorithm>
+
+namespace amix::sim {
+
+// ---- MessageDropPlan ----
+
+MessageDropPlan::MessageDropPlan(double p, std::uint64_t seed,
+                                 bool drop_tokens, bool drop_kernel,
+                                 std::uint32_t max_retransmits)
+    : p_(p),
+      seed_(seed),
+      drop_tokens_(drop_tokens),
+      drop_kernel_(drop_kernel),
+      max_retransmits_(max_retransmits),
+      rng_(seed) {}
+
+void MessageDropPlan::reset(std::uint64_t run_seed) {
+  rng_.reseed(splitmix64(seed_ ^ splitmix64(run_seed)));
+  retransmits_ = 0;
+  kernel_dropped_ = 0;
+}
+
+std::uint32_t MessageDropPlan::extra_arc_slots(const CommGraph&,
+                                               std::uint64_t) {
+  if (!drop_tokens_) return 0;
+  std::uint32_t extra = 0;
+  while (extra < max_retransmits_ && rng_.next_bool(p_)) ++extra;
+  retransmits_ += extra;
+  return extra;
+}
+
+bool MessageDropPlan::deliver(NodeId, NodeId, std::uint64_t) {
+  if (!drop_kernel_) return true;
+  if (rng_.next_bool(p_)) {
+    ++kernel_dropped_;
+    return false;
+  }
+  return true;
+}
+
+// ---- DuplicationPlan ----
+
+DuplicationPlan::DuplicationPlan(double p, std::uint64_t seed)
+    : p_(p), seed_(seed), rng_(seed) {}
+
+void DuplicationPlan::reset(std::uint64_t run_seed) {
+  rng_.reseed(splitmix64(seed_ ^ splitmix64(run_seed)));
+  duplicates_ = 0;
+}
+
+std::uint32_t DuplicationPlan::extra_arc_slots(const CommGraph&,
+                                               std::uint64_t) {
+  if (!rng_.next_bool(p_)) return 0;
+  ++duplicates_;
+  return 1;
+}
+
+// ---- AdversarialOrderPlan ----
+
+AdversarialOrderPlan::AdversarialOrderPlan(std::uint64_t seed)
+    : seed_(seed), rng_(seed) {}
+
+void AdversarialOrderPlan::reset(std::uint64_t run_seed) {
+  rng_.reseed(splitmix64(seed_ ^ splitmix64(run_seed)));
+}
+
+void AdversarialOrderPlan::permute_order(std::uint64_t,
+                                         std::span<NodeId> order) {
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const std::size_t j = rng_.next_below(i);
+    std::swap(order[i - 1], order[j]);
+  }
+}
+
+// ---- ChurnPlan ----
+
+std::uint32_t ChurnPlan::churn_swaps(std::uint32_t epoch,
+                                     const Graph& g) const {
+  if (epoch == 0) return 0;
+  const double swaps = fraction_ * static_cast<double>(g.num_edges());
+  return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(swaps));
+}
+
+// ---- CompositeFaultPlan ----
+
+void CompositeFaultPlan::reset(std::uint64_t run_seed) {
+  for (FaultPlan* p : plans_) p->reset(run_seed);
+}
+
+std::uint32_t CompositeFaultPlan::extra_arc_slots(const CommGraph& g,
+                                                  std::uint64_t arc) {
+  std::uint32_t extra = 0;
+  for (FaultPlan* p : plans_) extra += p->extra_arc_slots(g, arc);
+  return extra;
+}
+
+bool CompositeFaultPlan::deliver(NodeId from, NodeId to, std::uint64_t round) {
+  bool ok = true;
+  for (FaultPlan* p : plans_) ok = p->deliver(from, to, round) && ok;
+  return ok;
+}
+
+void CompositeFaultPlan::permute_order(std::uint64_t round,
+                                       std::span<NodeId> order) {
+  for (FaultPlan* p : plans_) p->permute_order(round, order);
+}
+
+std::uint32_t CompositeFaultPlan::churn_swaps(std::uint32_t epoch,
+                                              const Graph& g) const {
+  std::uint32_t swaps = 0;
+  for (const FaultPlan* p : plans_) swaps += p->churn_swaps(epoch, g);
+  return swaps;
+}
+
+}  // namespace amix::sim

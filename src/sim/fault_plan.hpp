@@ -1,0 +1,182 @@
+#pragma once
+
+// Fault plans: pluggable adversaries for the simulation harness.
+//
+// A FaultPlan decides, deterministically given its seed, what goes wrong
+// during a run. Faults act at three layers:
+//
+//   * token layer   — a token crossing an arc costs extra slots on that
+//                     arc (drop-with-retransmit, duplication). The token
+//                     still arrives; correctness is preserved by
+//                     construction and only the schedule cost grows, so
+//                     Las-Vegas algorithms must stay exactly correct.
+//   * kernel layer  — a SyncNetwork message is dropped outright, or the
+//                     per-round handler invocation order is permuted
+//                     adversarially. Dropped kernel messages CAN change
+//                     behaviour: protocols are certified either
+//                     drop-tolerant (still correct) or fail-loud (a guard
+//                     fires / the test observes non-delivery) — never
+//                     silently wrong.
+//   * scenario layer — between harness epochs the base graph churns
+//                     (degree-preserving rewires), and the algorithm must
+//                     hold on the rewired topology.
+//
+// Determinism contract: the harness calls reset(run_seed) before every
+// (re)play; a plan must derive all of its randomness from its own seed
+// and that run seed, so identical seeds replay identical fault patterns.
+// Plans draw from their OWN Rng stream — they never consume algorithm
+// randomness, which is what makes "same seed, faults on vs. off" runs
+// token-for-token comparable.
+
+#include <cstdint>
+#include <string_view>
+
+#include "congest/instrument.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace amix::sim {
+
+class FaultPlan {
+ public:
+  virtual ~FaultPlan() = default;
+
+  /// Re-arm the plan for a (re)play of a run with the given seed. All
+  /// subsequent fault decisions must be a pure function of the plan's
+  /// construction parameters and this seed.
+  virtual void reset(std::uint64_t /*run_seed*/) {}
+
+  /// Token layer: extra slots consumed by one token crossing `arc`.
+  virtual std::uint32_t extra_arc_slots(const CommGraph& /*g*/,
+                                        std::uint64_t /*arc*/) {
+    return 0;
+  }
+
+  /// Kernel layer: deliver this message? (false = drop; round still paid)
+  virtual bool deliver(NodeId /*from*/, NodeId /*to*/,
+                       std::uint64_t /*round*/) {
+    return true;
+  }
+
+  /// Kernel layer: permute the handler invocation order in place.
+  virtual void permute_order(std::uint64_t /*round*/,
+                             std::span<NodeId> /*order*/) {}
+
+  /// Scenario layer: degree-preserving edge swaps to apply to `g` before
+  /// epoch `epoch` (epoch 0 runs on the pristine graph).
+  virtual std::uint32_t churn_swaps(std::uint32_t /*epoch*/,
+                                    const Graph& /*g*/) const {
+    return 0;
+  }
+
+  virtual std::string_view name() const = 0;
+};
+
+/// The trivial plan: nothing goes wrong (baseline for cost comparisons).
+class NoFaults final : public FaultPlan {
+ public:
+  std::string_view name() const override { return "none"; }
+};
+
+/// Every token crossing is independently lost with probability p and
+/// retransmitted until it gets through (geometric extra slots, capped);
+/// optionally also drops kernel messages with the same probability
+/// (kernel drops are NOT retransmitted — the kernel has no link layer).
+class MessageDropPlan final : public FaultPlan {
+ public:
+  explicit MessageDropPlan(double p, std::uint64_t seed = 0xd0d0fau,
+                           bool drop_tokens = true, bool drop_kernel = false,
+                           std::uint32_t max_retransmits = 64);
+
+  void reset(std::uint64_t run_seed) override;
+  std::uint32_t extra_arc_slots(const CommGraph& g,
+                                std::uint64_t arc) override;
+  bool deliver(NodeId from, NodeId to, std::uint64_t round) override;
+  std::string_view name() const override { return "drop"; }
+
+  std::uint64_t tokens_retransmitted() const { return retransmits_; }
+  std::uint64_t kernel_dropped() const { return kernel_dropped_; }
+
+ private:
+  double p_;
+  std::uint64_t seed_;
+  bool drop_tokens_;
+  bool drop_kernel_;
+  std::uint32_t max_retransmits_;
+  Rng rng_;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t kernel_dropped_ = 0;
+};
+
+/// Every token crossing is independently duplicated with probability p:
+/// the copy consumes one extra slot on the arc and is discarded at the
+/// receiver (classic at-least-once delivery).
+class DuplicationPlan final : public FaultPlan {
+ public:
+  explicit DuplicationPlan(double p, std::uint64_t seed = 0xd4b1ca7eu);
+
+  void reset(std::uint64_t run_seed) override;
+  std::uint32_t extra_arc_slots(const CommGraph& g,
+                                std::uint64_t arc) override;
+  std::string_view name() const override { return "duplicate"; }
+
+  std::uint64_t duplicates() const { return duplicates_; }
+
+ private:
+  double p_;
+  std::uint64_t seed_;
+  Rng rng_;
+  std::uint64_t duplicates_ = 0;
+};
+
+/// Permutes the SyncNetwork handler invocation order with a fresh seeded
+/// shuffle every round. Any observable difference vs. the natural order
+/// convicts the algorithm of cross-node state sharing within a round.
+class AdversarialOrderPlan final : public FaultPlan {
+ public:
+  explicit AdversarialOrderPlan(std::uint64_t seed = 0xbadc0ffeeu);
+
+  void reset(std::uint64_t run_seed) override;
+  void permute_order(std::uint64_t round, std::span<NodeId> order) override;
+  std::string_view name() const override { return "adversarial-order"; }
+
+ private:
+  std::uint64_t seed_;
+  Rng rng_;
+};
+
+/// Scenario-layer churn: before every epoch after the first, rewire
+/// `fraction` of the edges with degree-preserving double-edge swaps.
+class ChurnPlan final : public FaultPlan {
+ public:
+  explicit ChurnPlan(double fraction = 0.125) : fraction_(fraction) {}
+
+  std::uint32_t churn_swaps(std::uint32_t epoch,
+                            const Graph& g) const override;
+  std::string_view name() const override { return "churn"; }
+
+ private:
+  double fraction_;
+};
+
+/// Applies several plans at once (extra slots add; a delivery survives
+/// only if every plan lets it through; order permutations compose).
+class CompositeFaultPlan final : public FaultPlan {
+ public:
+  explicit CompositeFaultPlan(std::vector<FaultPlan*> plans)
+      : plans_(std::move(plans)) {}
+
+  void reset(std::uint64_t run_seed) override;
+  std::uint32_t extra_arc_slots(const CommGraph& g,
+                                std::uint64_t arc) override;
+  bool deliver(NodeId from, NodeId to, std::uint64_t round) override;
+  void permute_order(std::uint64_t round, std::span<NodeId> order) override;
+  std::uint32_t churn_swaps(std::uint32_t epoch,
+                            const Graph& g) const override;
+  std::string_view name() const override { return "composite"; }
+
+ private:
+  std::vector<FaultPlan*> plans_;  // not owned
+};
+
+}  // namespace amix::sim

@@ -1,0 +1,144 @@
+#include "sim/harness.hpp"
+
+#include <sstream>
+
+#include "congest/instrument.hpp"
+#include "graph/generators.hpp"
+
+namespace amix::sim {
+namespace {
+
+/// Bridges the congest instrumentation seam to (fault plan, auditor):
+/// faults decide the extra slots, the auditor sees every move with its
+/// final slot count and every commit with its final charge.
+class SimInstrument final : public congest::CongestInstrument {
+ public:
+  SimInstrument(FaultPlan* faults, ConformanceAuditor* auditor)
+      : faults_(faults), auditor_(auditor) {}
+
+  std::uint32_t on_token_move(const CommGraph& g, std::uint64_t arc) override {
+    const std::uint32_t extra =
+        faults_ != nullptr ? faults_->extra_arc_slots(g, arc) : 0;
+    if (auditor_ != nullptr) auditor_->record_move(g, arc, 1 + extra);
+    return extra;
+  }
+
+  void on_step_commit(const CommGraph& g, std::uint32_t charged) override {
+    if (auditor_ != nullptr) auditor_->record_commit(g, charged);
+  }
+
+  bool on_kernel_deliver(NodeId from, NodeId to,
+                         std::uint64_t round) override {
+    return faults_ == nullptr || faults_->deliver(from, to, round);
+  }
+
+  void on_kernel_round_order(std::uint64_t round,
+                             std::span<NodeId> order) override {
+    if (faults_ != nullptr) faults_->permute_order(round, order);
+  }
+
+ private:
+  FaultPlan* faults_;
+  ConformanceAuditor* auditor_;
+};
+
+}  // namespace
+
+RunRecord SimHarness::play_once(const EpochBody& body, const Graph* g0,
+                                std::uint32_t epochs) const {
+  if (opt_.faults != nullptr) opt_.faults->reset(opt_.seed);
+  ConformanceAuditor auditor;
+  SimInstrument ins(opt_.faults, opt_.audit ? &auditor : nullptr);
+  congest::ScopedInstrument scope(&ins);
+
+  SimRun run(opt_.seed);
+  // Churn randomness is a private stream: the body's rng consumption is
+  // identical whether or not the topology churns.
+  Rng churn_rng(splitmix64(opt_.seed ^ 0xc0dec0dec0dec0deULL));
+  Graph churned;
+  const Graph* g = g0;
+  for (std::uint32_t e = 0; e < epochs; ++e) {
+    run.epoch_ = e;
+    if (opt_.faults != nullptr && g->num_nodes() > 0) {
+      const std::uint32_t swaps = opt_.faults->churn_swaps(e, *g);
+      if (swaps > 0) {
+        churned = gen::degree_preserving_rewire(*g, swaps, churn_rng);
+        g = &churned;
+      }
+    }
+    body(run, *g);
+  }
+
+  RunRecord rec;
+  rec.seed = opt_.seed;
+  rec.ledger_total = run.ledger_.total();
+  rec.phase_totals = run.ledger_.phases();
+  rec.output_digest = run.digest_.value();
+  rec.audit = auditor.report();
+  return rec;
+}
+
+HarnessResult SimHarness::run(const Body& body) const {
+  return run_epochs(Graph{}, 1,
+                    [&body](SimRun& run, const Graph&) { body(run); });
+}
+
+HarnessResult SimHarness::run_epochs(const Graph& g0, std::uint32_t epochs,
+                                     const EpochBody& body) const {
+  HarnessResult result;
+  result.record = play_once(body, &g0, epochs);
+  for (std::uint32_t r = 0; r < opt_.replays; ++r) {
+    const RunRecord replay = play_once(body, &g0, epochs);
+    const std::string diff = diff_records(result.record, replay);
+    if (!diff.empty()) {
+      result.deterministic = false;
+      std::ostringstream os;
+      os << "replay " << (r + 1) << " of seed " << opt_.seed
+         << " diverged from the primary run:\n"
+         << diff;
+      result.mismatch_report = os.str();
+      break;
+    }
+  }
+  return result;
+}
+
+std::string diff_records(const RunRecord& a, const RunRecord& b) {
+  std::ostringstream os;
+  if (a.ledger_total != b.ledger_total) {
+    os << "  ledger total: " << a.ledger_total << " vs " << b.ledger_total
+       << "\n";
+  }
+  if (a.phase_totals != b.phase_totals) {
+    os << "  phase breakdown differs:\n";
+    const std::size_t n = std::max(a.phase_totals.size(),
+                                   b.phase_totals.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string pa = i < a.phase_totals.size()
+                                 ? a.phase_totals[i].first + "=" +
+                                       std::to_string(a.phase_totals[i].second)
+                                 : "<absent>";
+      const std::string pb = i < b.phase_totals.size()
+                                 ? b.phase_totals[i].first + "=" +
+                                       std::to_string(b.phase_totals[i].second)
+                                 : "<absent>";
+      if (pa != pb) os << "    [" << i << "] " << pa << " vs " << pb << "\n";
+    }
+  }
+  if (a.output_digest != b.output_digest) {
+    os << "  output digest: " << a.output_digest << " vs " << b.output_digest
+       << "\n";
+  }
+  if (a.audit.charged_graph_rounds != b.audit.charged_graph_rounds ||
+      a.audit.recomputed_graph_rounds != b.audit.recomputed_graph_rounds ||
+      a.audit.steps != b.audit.steps || a.audit.moves != b.audit.moves) {
+    os << "  audit trail: steps " << a.audit.steps << "/" << b.audit.steps
+       << ", moves " << a.audit.moves << "/" << b.audit.moves << ", charged "
+       << a.audit.charged_graph_rounds << "/" << b.audit.charged_graph_rounds
+       << ", recomputed " << a.audit.recomputed_graph_rounds << "/"
+       << b.audit.recomputed_graph_rounds << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace amix::sim

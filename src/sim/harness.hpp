@@ -1,0 +1,130 @@
+#pragma once
+
+// SimHarness: deterministic simulation runs with fault injection and
+// conformance auditing.
+//
+// A harness run executes a user-supplied scenario body under a controlled
+// environment: a seeded Rng, a fresh RoundLedger, an output digest sink,
+// and (optionally) an installed fault plan plus a conformance auditor
+// wired into the CONGEST substrates through the instrumentation seam.
+//
+// Determinism contract: the body must derive ALL of its randomness from
+// SimRun::rng() (or from constants). The harness replays the body
+// `replays` extra times with identical seeds and asserts the records are
+// bit-identical — ledger total, per-phase breakdown, and output digest.
+// On mismatch it produces a replay report that names the first diverging
+// quantity, which is how hidden std::rand / unordered-container /
+// address-dependent nondeterminism is caught in CI rather than in a
+// flaky bench three months later.
+//
+// Churn: run_epochs drives the body once per epoch, rewiring the base
+// graph between epochs as dictated by the fault plan (scenario-layer
+// churn). The rewiring randomness comes from the harness seed, so
+// churned runs replay too.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "congest/round_ledger.hpp"
+#include "graph/graph.hpp"
+#include "sim/conformance.hpp"
+#include "sim/fault_plan.hpp"
+#include "util/rng.hpp"
+
+namespace amix::sim {
+
+/// Order-sensitive output digest (splitmix64 chaining).
+class Digest {
+ public:
+  void fold(std::uint64_t word) { h_ = splitmix64(h_ ^ word); ++words_; }
+  template <typename Range>
+  void fold_range(const Range& r) {
+    for (const auto& x : r) fold(static_cast<std::uint64_t>(x));
+  }
+  std::uint64_t value() const { return splitmix64(h_ ^ words_); }
+
+ private:
+  std::uint64_t h_ = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t words_ = 0;
+};
+
+/// Everything observable about one play of a scenario body.
+struct RunRecord {
+  std::uint64_t seed = 0;
+  std::uint64_t ledger_total = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> phase_totals;
+  std::uint64_t output_digest = 0;
+  AuditReport audit;
+};
+
+/// The environment handed to a scenario body.
+class SimRun {
+ public:
+  Rng& rng() { return rng_; }
+  RoundLedger& ledger() { return ledger_; }
+  std::uint32_t epoch() const { return epoch_; }
+
+  /// Fold an output word (MST edge, delivered count, walk endpoint, ...)
+  /// into the run's output digest. Two runs are "identical" only if they
+  /// folded identical words in identical order.
+  void fold(std::uint64_t word) { digest_.fold(word); }
+  template <typename Range>
+  void fold_range(const Range& r) {
+    digest_.fold_range(r);
+  }
+
+ private:
+  friend class SimHarness;
+  explicit SimRun(std::uint64_t seed)
+      : rng_(splitmix64(seed ^ 0x5bf03635ef8c1e9bULL)) {}
+
+  Rng rng_;
+  RoundLedger ledger_;
+  Digest digest_;
+  std::uint32_t epoch_ = 0;
+};
+
+struct HarnessOptions {
+  std::uint64_t seed = 1;
+  FaultPlan* faults = nullptr;  // not owned; nullptr = fault-free
+  bool audit = true;            // install the conformance auditor
+  std::uint32_t replays = 1;    // extra identical-seed plays to compare
+};
+
+struct HarnessResult {
+  RunRecord record;              // from the primary play
+  bool deterministic = true;     // all replays matched bit-for-bit
+  std::string mismatch_report;   // replay diff; empty when deterministic
+
+  /// The harness's overall verdict: replayable AND conformant.
+  bool certified() const { return deterministic && record.audit.ok(); }
+};
+
+class SimHarness {
+ public:
+  explicit SimHarness(HarnessOptions opt) : opt_(std::move(opt)) {}
+
+  using Body = std::function<void(SimRun&)>;
+  HarnessResult run(const Body& body) const;
+
+  /// Epoch driver: body(run, graph) once per epoch on a graph that churns
+  /// between epochs per the fault plan. All epochs share one record.
+  using EpochBody = std::function<void(SimRun&, const Graph&)>;
+  HarnessResult run_epochs(const Graph& g0, std::uint32_t epochs,
+                           const EpochBody& body) const;
+
+ private:
+  RunRecord play_once(const EpochBody& body, const Graph* g0,
+                      std::uint32_t epochs) const;
+
+  HarnessOptions opt_;
+};
+
+/// Human-readable diff of two records of the same seed (first mismatching
+/// quantity leads). Empty string when they match.
+std::string diff_records(const RunRecord& a, const RunRecord& b);
+
+}  // namespace amix::sim

@@ -1,0 +1,41 @@
+#include "sim/scenario.hpp"
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace amix::sim {
+
+std::vector<Scenario> seeded_corpus(std::uint64_t corpus_seed,
+                                    std::uint32_t scale) {
+  Rng root(corpus_seed);
+  std::vector<Scenario> out;
+  const auto add = [&](std::string name, auto make) {
+    Rng rng = root.split();
+    const std::uint64_t seed = splitmix64(corpus_seed ^ out.size());
+    out.push_back(Scenario{std::move(name), make(rng), seed});
+  };
+  const std::uint32_t s = scale;
+  add("regular-" + std::to_string(64 * s) + "x6",
+      [&](Rng& rng) { return gen::random_regular(64 * s, 6, rng); });
+  add("gnp-" + std::to_string(48 * s),
+      [&](Rng& rng) { return gen::connected_gnp(48 * s, 0.14, rng); });
+  add("torus-" + std::to_string(6 * s),
+      [&](Rng&) { return gen::torus2d(6 * s); });
+  add("hypercube-5", [&](Rng&) { return gen::hypercube(5); });
+  add("ring-" + std::to_string(24 * s),
+      [&](Rng&) { return gen::ring(24 * s); });
+  add("barbell-" + std::to_string(16 * s),
+      [&](Rng&) { return gen::barbell(16 * s); });
+  return out;
+}
+
+std::uint64_t graph_digest(const Graph& g) {
+  std::uint64_t h = splitmix64(g.num_nodes());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    h = splitmix64(h ^ (static_cast<std::uint64_t>(g.edge_u(e)) << 32 |
+                        g.edge_v(e)));
+  }
+  return h;
+}
+
+}  // namespace amix::sim

@@ -1,0 +1,35 @@
+#pragma once
+
+// Seeded random-graph corpus for property-based sweeps.
+//
+// One seed pins the entire corpus: every family is generated from a
+// stream split off the corpus seed, so test sweeps are reproducible
+// bit-for-bit and a failure report ("family X, corpus seed S") is enough
+// to replay. Families span the mixing-time spectrum the paper cares
+// about (expanders, G(n,p), tori, hypercubes, rings, barbells) at sizes
+// small enough for CI but large enough to have nontrivial hierarchies.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace amix::sim {
+
+struct Scenario {
+  std::string name;    // family + size, e.g. "regular-64x6"
+  Graph graph;
+  std::uint64_t seed;  // per-scenario seed, derived from the corpus seed
+};
+
+/// The standard corpus: one connected instance per family. `scale` >= 1
+/// multiplies node counts for heavier (bench-style) sweeps.
+std::vector<Scenario> seeded_corpus(std::uint64_t corpus_seed,
+                                    std::uint32_t scale = 1);
+
+/// A digest of a graph's topology (node count + sorted edge list folded
+/// through splitmix64) — used to assert corpus determinism.
+std::uint64_t graph_digest(const Graph& g);
+
+}  // namespace amix::sim

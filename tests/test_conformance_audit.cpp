@@ -1,0 +1,196 @@
+// sim/: the CONGEST conformance auditor — independent recomputation of
+// per-arc max loads, under/over-charge detection, and the Lemma 2.4
+// residency statistic and bound.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amix/amix.hpp"
+
+namespace amix {
+namespace {
+
+using sim::ConformanceAuditor;
+using sim::DuplicationPlan;
+using sim::HarnessOptions;
+using sim::HarnessResult;
+using sim::MessageDropPlan;
+using sim::SimHarness;
+using sim::SimRun;
+
+// ---- The auditor itself, driven synthetically. ----
+
+TEST(ConformanceAudit, AcceptsExactCharges) {
+  OverlayComm g({{1, 2}, {0}, {0}}, 1);
+  ConformanceAuditor auditor;
+  auditor.record_move(g, 0, 1);
+  auditor.record_move(g, 0, 1);
+  auditor.record_move(g, 1, 1);
+  auditor.record_commit(g, 2);  // max raw load is 2 — exact
+  EXPECT_TRUE(auditor.report().ok());
+  EXPECT_EQ(auditor.report().steps, 1u);
+  EXPECT_EQ(auditor.report().moves, 3u);
+  EXPECT_EQ(auditor.report().recomputed_graph_rounds, 2u);
+  EXPECT_EQ(auditor.report().charged_graph_rounds, 2u);
+}
+
+TEST(ConformanceAudit, FlagsUnderCharge) {
+  OverlayComm g({{1}, {0}}, 1);
+  ConformanceAuditor auditor;
+  for (int i = 0; i < 3; ++i) auditor.record_move(g, 0, 1);
+  auditor.record_commit(g, 2);  // 3 crossings need >= 3 rounds
+  EXPECT_FALSE(auditor.report().ok());
+  EXPECT_EQ(auditor.report().under_charges, 1u);
+  EXPECT_NE(auditor.report().first_violation.find("UNDER-charge"),
+            std::string::npos)
+      << auditor.report().first_violation;
+}
+
+TEST(ConformanceAudit, FlagsOverChargeBeyondFaultSlack) {
+  OverlayComm g({{1}, {0}}, 1);
+  ConformanceAuditor auditor;
+  // A duplicated crossing (2 slots) legitimizes a charge of 2...
+  auditor.record_move(g, 0, 2);
+  auditor.record_commit(g, 2);
+  EXPECT_TRUE(auditor.report().ok());
+  EXPECT_EQ(auditor.report().fault_slots, 1u);
+  // ...but a charge beyond the slotted load is waste.
+  auditor.record_move(g, 0, 2);
+  auditor.record_commit(g, 3);
+  EXPECT_FALSE(auditor.report().ok());
+  EXPECT_EQ(auditor.report().over_charges, 1u);
+  EXPECT_NE(auditor.report().first_violation.find("OVER-charge"),
+            std::string::npos);
+}
+
+TEST(ConformanceAudit, PerStepTalliesResetBetweenCommits) {
+  OverlayComm g({{1}, {0}}, 1);
+  ConformanceAuditor auditor;
+  for (int i = 0; i < 4; ++i) auditor.record_move(g, 0, 1);
+  auditor.record_commit(g, 4);
+  auditor.record_move(g, 0, 1);
+  auditor.record_commit(g, 1);  // would under-charge if tallies leaked
+  EXPECT_TRUE(auditor.report().ok());
+  EXPECT_EQ(auditor.report().recomputed_graph_rounds, 5u);
+}
+
+TEST(ConformanceAudit, TracksMultipleGraphsIndependently) {
+  OverlayComm a({{1}, {0}}, 1);
+  OverlayComm b({{1}, {0}}, 7);
+  ConformanceAuditor auditor;
+  auditor.record_move(a, 0, 1);
+  auditor.record_move(b, 0, 1);
+  auditor.record_move(b, 0, 1);
+  auditor.record_commit(b, 2);
+  auditor.record_commit(a, 1);
+  EXPECT_TRUE(auditor.report().ok());
+  EXPECT_EQ(auditor.report().steps, 2u);
+}
+
+// ---- The auditor against the real transport, across the corpus. ----
+
+TEST(ConformanceAudit, RealRunsAreExactlyConformantFaultFree) {
+  for (const auto& sc : sim::seeded_corpus(41)) {
+    SimHarness harness(HarnessOptions{.seed = sc.seed, .replays = 0});
+    const HarnessResult res = harness.run([&sc](SimRun& run) {
+      RoundLedger& ledger = run.ledger();
+      HierarchyParams hp;
+      hp.seed = run.rng()();
+      const Hierarchy h = Hierarchy::build(sc.graph, hp, ledger);
+      HierarchicalRouter router(h);
+      const auto reqs = permutation_instance(sc.graph, run.rng());
+      router.route(reqs, ledger, run.rng());
+      const Weights w = distinct_random_weights(sc.graph, run.rng());
+      HierarchicalBoruvka(h, w).run(ledger);
+    });
+    const sim::AuditReport& audit = res.record.audit;
+    EXPECT_EQ(audit.under_charges, 0u) << sc.name << ": "
+                                       << audit.first_violation;
+    EXPECT_EQ(audit.over_charges, 0u) << sc.name << ": "
+                                      << audit.first_violation;
+    // Fault-free, the optimal schedule is charged to the round: the
+    // transport's totals equal the independent recomputation exactly.
+    EXPECT_EQ(audit.charged_graph_rounds, audit.recomputed_graph_rounds)
+        << sc.name;
+    EXPECT_GT(audit.moves, 0u) << sc.name;
+  }
+}
+
+TEST(ConformanceAudit, FaultedRunsNeverUnderCharge) {
+  Rng grng(43);
+  const Graph g = gen::random_regular(64, 6, grng);
+  MessageDropPlan drop(0.3);
+  DuplicationPlan dup(0.25);
+  sim::CompositeFaultPlan plan({&drop, &dup});
+  SimHarness harness(
+      HarnessOptions{.seed = 15, .faults = &plan, .replays = 1});
+  const HarnessResult res = harness.run([&g](SimRun& run) {
+    std::vector<std::uint32_t> starts(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) starts[v] = v;
+    BaseComm base(g);
+    ParallelWalkEngine engine(base, run.rng().split());
+    const auto ends =
+        engine.run(starts, WalkKind::kLazy, 20, run.ledger(), nullptr);
+    run.fold_range(ends);
+  });
+  const sim::AuditReport& audit = res.record.audit;
+  EXPECT_TRUE(res.certified()) << audit.first_violation;
+  EXPECT_GT(audit.fault_slots, 0u);
+  // Faults only ever push the charge up from the fault-free lower bound.
+  EXPECT_GT(audit.charged_graph_rounds, audit.recomputed_graph_rounds);
+}
+
+// ---- Lemma 2.4: the per-node residency statistic and its bound. ----
+
+TEST(Lemma24, TransportResidencyWithinKDegPlusLogBound) {
+  Rng grng(47);
+  const std::uint32_t k = 4;  // walks started per node
+  const Graph g = gen::random_regular(64, 6, grng);
+  std::vector<std::uint32_t> starts;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (std::uint32_t i = 0; i < k; ++i) starts.push_back(v);
+  }
+  BaseComm base(g);
+  RoundLedger ledger;
+  ParallelWalkEngine engine(base, Rng(123));
+  WalkStats stats;
+  engine.run(starts, WalkKind::kLazy, 32, ledger, &stats);
+  EXPECT_GT(stats.max_transport_residency, 0u);
+  // Lemma 2.4: O(k d(v) + log n) tokens at a node, here with the scaled
+  // constants pinned to 1x and 2x respectively.
+  const std::uint32_t bound =
+      k * g.max_degree() +
+      2 * static_cast<std::uint32_t>(std::log2(g.num_nodes()));
+  EXPECT_LE(stats.max_transport_residency, bound);
+  // Arrivals are a subset of residents: the engine's own statistic
+  // (which also counts walks that stayed put) dominates.
+  EXPECT_LE(stats.max_transport_residency, stats.max_node_load + k);
+}
+
+TEST(Lemma24, ResidencyStatSurvivesFaultInjection) {
+  // Retransmissions inflate arc slots but not residency: each token
+  // arrives exactly once no matter how many copies the arc carried.
+  Rng grng(49);
+  const Graph g = gen::random_regular(48, 6, grng);
+  std::vector<std::uint32_t> starts(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) starts[v] = v;
+  const auto residency_with = [&](sim::FaultPlan* plan) {
+    SimHarness harness(
+        HarnessOptions{.seed = 8, .faults = plan, .replays = 0});
+    std::uint32_t residency = 0;
+    harness.run([&](SimRun& run) {
+      BaseComm base(g);
+      ParallelWalkEngine engine(base, run.rng().split());
+      WalkStats stats;
+      engine.run(starts, WalkKind::kLazy, 16, run.ledger(), &stats);
+      residency = stats.max_transport_residency;
+    });
+    return residency;
+  };
+  MessageDropPlan drop(0.4);
+  EXPECT_EQ(residency_with(nullptr), residency_with(&drop));
+}
+
+}  // namespace
+}  // namespace amix

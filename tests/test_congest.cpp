@@ -62,6 +62,31 @@ TEST(SyncNetworkDeath, RejectsTwoMessagesOnOneArc) {
                "CONGEST violation");
 }
 
+TEST(SyncNetworkDeath, RejectsSendOnBadPort) {
+  const Graph g = gen::path(2);  // node 0 has exactly one port
+  RoundLedger ledger;
+  SyncNetwork net(g, ledger);
+  EXPECT_DEATH(net.run_rounds(
+                   [](NodeId v, const Inbox&, Outbox& out) {
+                     if (v == 0) out.send(1, Message{1, 0});
+                   },
+                   1),
+               "bad port");
+}
+
+TEST(SyncNetworkDeath, RunUntilQuietAbortsAtMaxRounds) {
+  const Graph g = gen::ring(4);
+  RoundLedger ledger;
+  SyncNetwork net(g, ledger);
+  // A babbler never quiesces: the guard must fire rather than spin.
+  EXPECT_DEATH(net.run_until_quiet(
+                   [](NodeId, const Inbox&, Outbox& out) {
+                     out.send(0, Message{1, 0});
+                   },
+                   10),
+               "did not quiesce");
+}
+
 TEST(SyncNetwork, RunUntilQuietStopsAndCharges) {
   const Graph g = gen::path(4);
   RoundLedger ledger;
@@ -171,6 +196,42 @@ TEST(TokenTransport, OppositeDirectionsDoNotCollide) {
   tt.move(0, 0);  // 0 -> 1
   tt.move(1, 0);  // 1 -> 0
   EXPECT_EQ(tt.commit_step(ledger), 1u);  // full duplex: one round
+}
+
+TEST(TokenTransport, TracksPerNodeResidency) {
+  const Graph g = gen::star(5);  // hub 0, leaves 1..4
+  BaseComm base(g);
+  TokenTransport tt(base);
+  RoundLedger ledger;
+  // Step 1: every leaf sends one token to the hub; hub sends one out.
+  for (std::uint32_t leaf = 1; leaf <= 4; ++leaf) tt.move(leaf, 0);
+  tt.move(0, 0);
+  EXPECT_EQ(tt.step_residency(), 4u);  // 4 tokens arrive at the hub
+  tt.commit_step(ledger);
+  EXPECT_EQ(tt.step_residency(), 0u);  // reset-and-report at commit
+  EXPECT_EQ(tt.max_node_residency(), 4u);
+  // Step 2: a single quiet move must not disturb the running max.
+  tt.move(1, 0);
+  EXPECT_EQ(tt.step_residency(), 1u);
+  tt.commit_step(ledger);
+  EXPECT_EQ(tt.max_node_residency(), 4u);
+}
+
+TEST(TokenTransport, ResidencyCountsArrivalsNotArcCopies) {
+  // Two tokens over the same arc: arc load 2 (two rounds) but both come
+  // to rest at the same head node, so residency is also 2 — while a
+  // fan-in over distinct arcs yields residency 2 with arc load 1.
+  const Graph g = gen::path(3);  // 0 - 1 - 2
+  BaseComm base(g);
+  TokenTransport tt(base);
+  RoundLedger ledger;
+  tt.move(0, 0);  // 0 -> 1
+  tt.move(2, 0);  // 2 -> 1
+  EXPECT_EQ(tt.step_max_load(), 1u);
+  EXPECT_EQ(tt.step_residency(), 2u);
+  tt.commit_step(ledger);
+  EXPECT_EQ(ledger.total(), 1u);
+  EXPECT_EQ(tt.max_node_residency(), 2u);
 }
 
 TEST(CommGraph, BaseCommMirrorsGraph) {

@@ -1,0 +1,270 @@
+// sim/: fault injection — token drops with retransmission, duplication,
+// adversarial kernel schedules, kernel message loss, and topology churn.
+// The certification standard: under every fault mode an algorithm is
+// either exactly correct (Las Vegas: faults only cost rounds) or its
+// failure is loudly observable — never silently wrong.
+
+#include <gtest/gtest.h>
+
+#include "amix/amix.hpp"
+
+namespace amix {
+namespace {
+
+using congest::Inbox;
+using congest::Message;
+using congest::Outbox;
+using congest::SyncNetwork;
+using sim::AdversarialOrderPlan;
+using sim::ChurnPlan;
+using sim::CompositeFaultPlan;
+using sim::DuplicationPlan;
+using sim::HarnessOptions;
+using sim::HarnessResult;
+using sim::MessageDropPlan;
+using sim::SimHarness;
+using sim::SimRun;
+
+/// Route a permutation instance; fold trajectory-observable outputs.
+void route_body(SimRun& run, const Graph& g) {
+  RoundLedger& ledger = run.ledger();
+  HierarchyParams hp;
+  hp.seed = run.rng()();
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+  HierarchicalRouter router(h);
+  const auto reqs = permutation_instance(g, run.rng());
+  const RouteStats rs = router.route(reqs, ledger, run.rng());
+  ASSERT_EQ(rs.delivered, reqs.size());
+  run.fold(rs.delivered);
+  run.fold(rs.max_vid_load);
+}
+
+TEST(FaultInjection, RoutingDeliversUnderTokenDrops) {
+  const auto corpus = sim::seeded_corpus(11);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto& sc = corpus[i];
+    const HarnessResult clean =
+        SimHarness(HarnessOptions{.seed = sc.seed, .replays = 1})
+            .run([&](SimRun& run) { route_body(run, sc.graph); });
+    MessageDropPlan drop(0.2);
+    const HarnessResult faulted =
+        SimHarness(
+            HarnessOptions{.seed = sc.seed, .faults = &drop, .replays = 1})
+            .run([&](SimRun& run) { route_body(run, sc.graph); });
+    ASSERT_TRUE(clean.certified()) << sc.name;
+    ASSERT_TRUE(faulted.certified())
+        << sc.name << ": " << faulted.mismatch_report
+        << faulted.record.audit.first_violation;
+    // Faults draw from their own stream: trajectories (and therefore
+    // outputs) are bit-identical, only the schedule gets more expensive.
+    EXPECT_EQ(clean.record.output_digest, faulted.record.output_digest)
+        << sc.name;
+    EXPECT_GE(faulted.record.ledger_total, clean.record.ledger_total)
+        << sc.name;
+    EXPECT_GT(faulted.record.audit.fault_slots, 0u) << sc.name;
+    EXPECT_GT(drop.tokens_retransmitted(), 0u) << sc.name;
+  }
+}
+
+class MstFaultModes
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MstFaultModes, MstExactlyCorrectUnderFaults) {
+  const std::string mode = GetParam();
+  MessageDropPlan drop(0.25);
+  DuplicationPlan dup(0.3);
+  CompositeFaultPlan both({&drop, &dup});
+  sim::FaultPlan* plan = nullptr;
+  if (mode == "drop") plan = &drop;
+  if (mode == "duplicate") plan = &dup;
+  if (mode == "composite") plan = &both;
+
+  const auto corpus = sim::seeded_corpus(13);
+  const sim::Scenario& sc = corpus[0];
+  const Weights w = [&] {
+    Rng wrng(sc.seed);
+    return distinct_random_weights(sc.graph, wrng);
+  }();
+  const auto oracle = kruskal_mst(sc.graph, w);
+
+  SimHarness harness(
+      HarnessOptions{.seed = sc.seed, .faults = plan, .replays = 1});
+  const HarnessResult res = harness.run([&](SimRun& run) {
+    RoundLedger& ledger = run.ledger();
+    HierarchyParams hp;
+    hp.seed = run.rng()();
+    const Hierarchy h = Hierarchy::build(sc.graph, hp, ledger);
+    const MstStats ms = HierarchicalBoruvka(h, w).run(ledger);
+    EXPECT_EQ(ms.edges, oracle) << "fault mode " << mode;
+    run.fold_range(ms.edges);
+  });
+  EXPECT_TRUE(res.certified())
+      << mode << ": " << res.mismatch_report
+      << res.record.audit.first_violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, MstFaultModes,
+                         ::testing::Values("none", "drop", "duplicate",
+                                           "composite"));
+
+TEST(FaultInjection, WalksPayForDuplicatesButLandIdentically) {
+  Rng grng(21);
+  const Graph g = gen::random_regular(64, 6, grng);
+  const auto walk_body = [&g](SimRun& run) {
+    std::vector<std::uint32_t> starts(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) starts[v] = v;
+    BaseComm base(g);
+    ParallelWalkEngine engine(base, run.rng().split());
+    WalkStats stats;
+    const auto ends =
+        engine.run(starts, WalkKind::kLazy, 24, run.ledger(), &stats);
+    run.fold_range(ends);
+  };
+  const HarnessResult clean =
+      SimHarness(HarnessOptions{.seed = 5, .replays = 1}).run(walk_body);
+  DuplicationPlan dup(0.3);
+  const HarnessResult faulted =
+      SimHarness(HarnessOptions{.seed = 5, .faults = &dup, .replays = 1})
+          .run(walk_body);
+  ASSERT_TRUE(clean.certified());
+  ASSERT_TRUE(faulted.certified()) << faulted.record.audit.first_violation;
+  EXPECT_EQ(clean.record.output_digest, faulted.record.output_digest);
+  EXPECT_GT(faulted.record.ledger_total, clean.record.ledger_total);
+  EXPECT_GT(dup.duplicates(), 0u);
+  // The charge never dips below the independently recomputed lower bound.
+  EXPECT_GE(faulted.record.audit.charged_graph_rounds,
+            faulted.record.audit.recomputed_graph_rounds);
+}
+
+// ---- Kernel layer: message loss must be tolerated or loudly visible. ----
+
+namespace {
+/// Repeated-flooding broadcast: every informed node re-sends the value on
+/// every port, every round. One successful delivery per edge suffices, so
+/// the protocol tolerates independent message loss.
+std::vector<bool> flood_with_repeats(const Graph& g, std::uint32_t rounds,
+                                     RoundLedger& ledger) {
+  std::vector<bool> knows(g.num_nodes(), false);
+  knows[0] = true;
+  SyncNetwork net(g, ledger);
+  net.run_rounds(
+      [&](NodeId v, const Inbox& in, Outbox& out) {
+        for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
+          if (in.at(p).has_value()) knows[v] = true;
+        }
+        if (knows[v]) {
+          for (std::uint32_t p = 0; p < out.num_ports(); ++p) {
+            out.send(p, Message{1, 0});
+          }
+        }
+      },
+      rounds);
+  return knows;
+}
+}  // namespace
+
+TEST(FaultInjection, DropTolerantFloodingSurvivesKernelLoss) {
+  Rng grng(23);
+  const Graph g = gen::connected_gnp(40, 0.15, grng);
+  MessageDropPlan drop(0.3, /*seed=*/77, /*drop_tokens=*/false,
+                       /*drop_kernel=*/true);
+  SimHarness harness(
+      HarnessOptions{.seed = 9, .faults = &drop, .replays = 1});
+  const HarnessResult res = harness.run([&g](SimRun& run) {
+    const auto knows = flood_with_repeats(g, 30, run.ledger());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_TRUE(knows[v]) << "node " << v << " never informed";
+      run.fold(knows[v]);
+    }
+  });
+  EXPECT_TRUE(res.certified()) << res.mismatch_report;
+  EXPECT_GT(drop.kernel_dropped(), 0u);
+}
+
+TEST(FaultInjection, TotalKernelLossFailsLoudlyNotSilently) {
+  // With p = 1 nothing is ever delivered: the failure is observable as
+  // non-delivery (and would trip any delivery assertion), not as a wrong
+  // answer passed off as a right one.
+  Rng grng(25);
+  const Graph g = gen::connected_gnp(30, 0.2, grng);
+  MessageDropPlan drop(1.0, /*seed=*/78, /*drop_tokens=*/false,
+                       /*drop_kernel=*/true);
+  SimHarness harness(
+      HarnessOptions{.seed = 9, .faults = &drop, .replays = 0});
+  const HarnessResult res = harness.run([&g](SimRun& run) {
+    const auto knows = flood_with_repeats(g, 20, run.ledger());
+    std::uint32_t informed = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) informed += knows[v];
+    EXPECT_EQ(informed, 1u);  // only the source itself
+  });
+  EXPECT_TRUE(res.record.audit.ok());
+}
+
+// ---- Kernel layer: adversarial handler order must be unobservable. ----
+
+TEST(FaultInjection, AdversarialOrderIsInvisibleToKernelAlgorithms) {
+  Rng grng(27);
+  const Graph g = gen::connected_gnp(48, 0.12, grng);
+  const Weights w = distinct_random_weights(g, grng);
+
+  const auto run_mst = [&](sim::FaultPlan* plan) {
+    SimHarness harness(
+        HarnessOptions{.seed = 4, .faults = plan, .replays = 1});
+    return harness.run([&](SimRun& run) {
+      const KernelMstStats ms = kernel_boruvka(g, w, run.ledger(), 17);
+      run.fold_range(ms.edges);
+      const BfsTree t = congest::distributed_bfs_tree(g, 0, run.ledger());
+      run.fold_range(t.depth);
+    });
+  };
+  const HarnessResult natural = run_mst(nullptr);
+  AdversarialOrderPlan adversary(0xfeedface);
+  const HarnessResult permuted = run_mst(&adversary);
+  ASSERT_TRUE(natural.certified());
+  ASSERT_TRUE(permuted.certified());
+  // Any divergence would convict the handlers of cross-node state
+  // sharing within a round.
+  EXPECT_EQ(natural.record.output_digest, permuted.record.output_digest);
+  EXPECT_EQ(natural.record.ledger_total, permuted.record.ledger_total);
+}
+
+// ---- Scenario layer: topology churn between epochs. ----
+
+TEST(FaultInjection, PipelineStaysCorrectAcrossChurnEpochs) {
+  Rng grng(29);
+  const Graph g0 = gen::random_regular(64, 6, grng);
+  ChurnPlan churn(0.125);
+  std::vector<std::uint64_t> epoch_digests;
+  SimHarness harness(
+      HarnessOptions{.seed = 6, .faults = &churn, .replays = 1});
+  const HarnessResult res = harness.run_epochs(
+      g0, 3, [&epoch_digests](SimRun& run, const Graph& g) {
+        if (run.epoch() == 0) epoch_digests.clear();  // fresh per play
+        epoch_digests.push_back(sim::graph_digest(g));
+        run.fold(sim::graph_digest(g));
+        ASSERT_TRUE(is_connected(g));
+
+        RoundLedger& ledger = run.ledger();
+        HierarchyParams hp;
+        hp.seed = run.rng()();
+        const Hierarchy h = Hierarchy::build(g, hp, ledger);
+        HierarchicalRouter router(h);
+        const auto reqs = permutation_instance(g, run.rng());
+        const RouteStats rs = router.route(reqs, ledger, run.rng());
+        EXPECT_EQ(rs.delivered, reqs.size());
+
+        const Weights w = distinct_random_weights(g, run.rng());
+        const MstStats ms = HierarchicalBoruvka(h, w).run(ledger);
+        EXPECT_TRUE(is_exact_mst(g, w, ms.edges));
+        run.fold_range(ms.edges);
+      });
+  EXPECT_TRUE(res.certified())
+      << res.mismatch_report << res.record.audit.first_violation;
+  ASSERT_EQ(epoch_digests.size(), 3u);
+  // The churn actually rewired the topology between epochs.
+  EXPECT_NE(epoch_digests[0], epoch_digests[1]);
+  EXPECT_NE(epoch_digests[1], epoch_digests[2]);
+}
+
+}  // namespace
+}  // namespace amix

@@ -80,6 +80,53 @@ TEST(Determinism, FullPipelineIsReproducible) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+TEST(Determinism, CrossAlgorithmSeedRegression) {
+  // Run MST + routing twice from one seed and compare EVERYTHING — total,
+  // per-phase breakdown, MST edge list, and routing statistics. This is
+  // the regression net for hidden std::rand / unordered-container /
+  // address-dependent nondeterminism anywhere in the pipeline: a bare
+  // total can collide by luck, the full tuple cannot.
+  struct Observation {
+    std::uint64_t total;
+    std::vector<std::pair<std::string, std::uint64_t>> phases;
+    std::vector<EdgeId> mst_edges;
+    std::uint64_t route_rounds, prep_rounds, hop_rounds, leaf_rounds;
+    std::uint32_t delivered, max_vid_load;
+    std::uint64_t mst_rounds;
+    std::uint32_t mst_iterations;
+  };
+  const auto observe = [] {
+    Rng rng(31337);
+    const Graph g = gen::random_regular(96, 6, rng);
+    RoundLedger ledger;
+    HierarchyParams hp;
+    hp.seed = 271828;
+    const Hierarchy h = Hierarchy::build(g, hp, ledger);
+    HierarchicalRouter router(h);
+    const auto reqs = permutation_instance(g, rng);
+    const RouteStats rs = router.route(reqs, ledger, rng);
+    const Weights w = distinct_random_weights(g, rng);
+    const MstStats ms = HierarchicalBoruvka(h, w).run(ledger);
+    return Observation{ledger.total(),   ledger.phases(), ms.edges,
+                       rs.total_rounds,  rs.prep_rounds,  rs.hop_rounds,
+                       rs.leaf_rounds,   rs.delivered,    rs.max_vid_load,
+                       ms.rounds,        ms.iterations};
+  };
+  const Observation a = observe();
+  const Observation b = observe();
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.phases, b.phases);
+  EXPECT_EQ(a.mst_edges, b.mst_edges);
+  EXPECT_EQ(a.route_rounds, b.route_rounds);
+  EXPECT_EQ(a.prep_rounds, b.prep_rounds);
+  EXPECT_EQ(a.hop_rounds, b.hop_rounds);
+  EXPECT_EQ(a.leaf_rounds, b.leaf_rounds);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.max_vid_load, b.max_vid_load);
+  EXPECT_EQ(a.mst_rounds, b.mst_rounds);
+  EXPECT_EQ(a.mst_iterations, b.mst_iterations);
+}
+
 TEST(Determinism, DifferentSeedsChangeScheduleNotCorrectness) {
   Rng rng(5);
   const Graph g = gen::random_regular(96, 6, rng);

@@ -1,0 +1,91 @@
+// congest/round_ledger.hpp: the RoundLedger and PhaseScope unit contract.
+
+#include <gtest/gtest.h>
+
+#include "congest/round_ledger.hpp"
+
+namespace amix {
+namespace {
+
+TEST(RoundLedger, UntaggedChargesCountOnlyTowardTotal) {
+  RoundLedger ledger;
+  ledger.charge(5);
+  ledger.charge(3);
+  EXPECT_EQ(ledger.total(), 8u);
+  EXPECT_TRUE(ledger.phases().empty());
+}
+
+TEST(RoundLedger, PhaseTotalOnUnknownPhaseIsZero) {
+  RoundLedger ledger;
+  ledger.charge("build", 11);
+  EXPECT_EQ(ledger.phase_total("build"), 11u);
+  EXPECT_EQ(ledger.phase_total("route"), 0u);
+  EXPECT_EQ(ledger.phase_total(""), 0u);
+}
+
+TEST(RoundLedger, ResetClearsTotalAndPhaseBreakdown) {
+  RoundLedger ledger;
+  ledger.charge("a", 4);
+  ledger.charge(2);
+  ASSERT_EQ(ledger.total(), 6u);
+  ASSERT_FALSE(ledger.phases().empty());
+  ledger.reset();
+  EXPECT_EQ(ledger.total(), 0u);
+  EXPECT_TRUE(ledger.phases().empty());
+  EXPECT_EQ(ledger.phase_total("a"), 0u);
+}
+
+TEST(RoundLedger, PhaseOrderIsFirstChargeOrder) {
+  RoundLedger ledger;
+  ledger.charge("z", 1);
+  ledger.charge("a", 2);
+  ledger.charge("z", 3);
+  ASSERT_EQ(ledger.phases().size(), 2u);
+  EXPECT_EQ(ledger.phases()[0].first, "z");
+  EXPECT_EQ(ledger.phases()[0].second, 4u);
+  EXPECT_EQ(ledger.phases()[1].first, "a");
+}
+
+TEST(PhaseScope, NestedScopesFoldIntoParentUnderTheRightLabel) {
+  RoundLedger root;
+  {
+    PhaseScope outer(root, "outer");
+    outer.ledger().charge(1);
+    {
+      PhaseScope inner(outer.ledger(), "inner");
+      inner.ledger().charge(10);
+      inner.ledger().charge("deep", 5);
+    }
+    // The inner scope's 15 rounds landed in the outer sub-ledger under
+    // "inner"; nothing has reached the root yet.
+    EXPECT_EQ(outer.ledger().total(), 16u);
+    EXPECT_EQ(outer.ledger().phase_total("inner"), 15u);
+    EXPECT_EQ(root.total(), 0u);
+  }
+  EXPECT_EQ(root.total(), 16u);
+  EXPECT_EQ(root.phase_total("outer"), 16u);
+  EXPECT_EQ(root.phase_total("inner"), 0u);  // folded away, not leaked
+}
+
+TEST(PhaseScope, EmptyScopeStillRegistersItsPhase) {
+  RoundLedger root;
+  { PhaseScope scope(root, "idle"); }
+  EXPECT_EQ(root.total(), 0u);
+  ASSERT_EQ(root.phases().size(), 1u);
+  EXPECT_EQ(root.phases()[0].first, "idle");
+  EXPECT_EQ(root.phase_total("idle"), 0u);
+}
+
+TEST(PhaseScope, SiblingScopesAccumulateUnderOneLabel) {
+  RoundLedger root;
+  for (int i = 1; i <= 3; ++i) {
+    PhaseScope scope(root, "pass");
+    scope.ledger().charge(static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(root.total(), 6u);
+  EXPECT_EQ(root.phase_total("pass"), 6u);
+  EXPECT_EQ(root.phases().size(), 1u);
+}
+
+}  // namespace
+}  // namespace amix
