@@ -30,6 +30,66 @@ void BM_WalkEngineSteps(benchmark::State& state) {
 }
 BENCHMARK(BM_WalkEngineSteps)->Arg(8)->Arg(32);
 
+// Threaded variant: same workload shape at a size where the parallel
+// sweep pays; range(1) is the ExecPolicy thread count, so the items/sec
+// ratio of {32, 8} over {32, 1} is the executor speedup (the ISSUE 2
+// acceptance bar is >= 2.5x at 8 threads). Fixed-seed engine: every
+// thread count advances the exact same trajectories.
+void BM_WalkEngineStepsThreaded(benchmark::State& state) {
+  Rng rng(7);
+  const Graph g = gen::random_regular(4096, 8, rng);
+  BaseComm base(g);
+  std::vector<std::uint32_t> starts;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (int i = 0; i < 8; ++i) starts.push_back(v);
+  }
+  const ExecPolicy exec{static_cast<std::uint32_t>(state.range(1))};
+  for (auto _ : state) {
+    ParallelWalkEngine engine(base, Rng(1234), exec);
+    RoundLedger ledger;
+    engine.run(starts, WalkKind::kLazy,
+               static_cast<std::uint32_t>(state.range(0)), ledger, nullptr);
+    benchmark::DoNotOptimize(ledger.total());
+  }
+  state.SetItemsProcessed(state.iterations() * starts.size() * state.range(0));
+}
+BENCHMARK(BM_WalkEngineStepsThreaded)
+    ->ArgsProduct({{32}, {1, 2, 4, 8}});
+
+// Sharded-commit cost in isolation: one parallel step of `range(0)` token
+// moves, accumulated into range(1) shards and merged (shard count 0 =
+// the serial move()/commit_step path for reference).
+void BM_TokenTransportCommit(benchmark::State& state) {
+  Rng rng(21);
+  const Graph g = gen::random_regular(1024, 8, rng);
+  BaseComm base(g);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> moves;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    const auto v = static_cast<std::uint32_t>(rng.next_below(g.num_nodes()));
+    moves.emplace_back(v,
+                       static_cast<std::uint32_t>(rng.next_below(g.degree(v))));
+  }
+  const auto num_shards = static_cast<std::uint32_t>(state.range(1));
+  TokenTransport transport(base);
+  auto shards = transport.make_shards(num_shards == 0 ? 1 : num_shards);
+  for (auto _ : state) {
+    RoundLedger ledger;
+    if (num_shards == 0) {
+      for (const auto& [v, p] : moves) transport.move(v, p);
+      benchmark::DoNotOptimize(transport.commit_step(ledger));
+    } else {
+      for (auto& s : shards) s.begin_step(/*log_moves=*/false);
+      for (std::size_t i = 0; i < moves.size(); ++i) {
+        shards[i % num_shards].move(moves[i].first, moves[i].second);
+      }
+      benchmark::DoNotOptimize(transport.commit_step_shards(shards, ledger));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TokenTransportCommit)
+    ->ArgsProduct({{1 << 15}, {0, 1, 2, 8}});
+
 void BM_KernelRounds(benchmark::State& state) {
   Rng rng(9);
   const Graph g = gen::random_regular(512, 8, rng);
@@ -47,6 +107,35 @@ void BM_KernelRounds(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_KernelRounds)->Arg(16);
+
+// Threaded variant: handler sweep + receiver-side delivery over node
+// shards; range(1) is the ExecPolicy thread count.
+void BM_KernelRoundsThreaded(benchmark::State& state) {
+  Rng rng(9);
+  const Graph g = gen::random_regular(4096, 8, rng);
+  const ExecPolicy exec{static_cast<std::uint32_t>(state.range(1))};
+  std::vector<std::uint64_t> acc(g.num_nodes(), 0);
+  for (auto _ : state) {
+    RoundLedger ledger;
+    congest::SyncNetwork net(g, ledger, exec);
+    net.run_rounds(
+        [&acc](NodeId v, const congest::Inbox& in, congest::Outbox& out) {
+          if (!in.empty()) {
+            for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
+              if (in.at(p).has_value()) acc[v] += in.at(p)->a;
+            }
+          }
+          for (std::uint32_t p = 0; p < out.num_ports(); ++p) {
+            out.send(p, congest::Message{acc[v] + p, v});
+          }
+        },
+        static_cast<std::uint32_t>(state.range(0)));
+    benchmark::DoNotOptimize(ledger.total());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes() *
+                          state.range(0));
+}
+BENCHMARK(BM_KernelRoundsThreaded)->ArgsProduct({{16}, {1, 2, 4, 8}});
 
 void BM_HierarchyBuild(benchmark::State& state) {
   Rng rng(11);

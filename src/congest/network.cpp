@@ -6,49 +6,122 @@
 
 namespace amix::congest {
 
-SyncNetwork::SyncNetwork(const Graph& g, RoundLedger& ledger)
-    : g_(g), ledger_(ledger) {
+namespace {
+/// Cache-line padded per-shard "sent anything" flag (no false sharing).
+struct alignas(64) SentFlag {
+  bool v = false;
+};
+}  // namespace
+
+SyncNetwork::SyncNetwork(const Graph& g, RoundLedger& ledger, ExecPolicy exec)
+    : g_(g), ledger_(ledger), exec_(exec) {
   offsets_.resize(g.num_nodes() + 1, 0);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     offsets_[v + 1] = offsets_[v] + g.degree(v);
   }
   inbox_.assign(g.num_arcs(), std::nullopt);
   outbox_.assign(g.num_arcs(), std::nullopt);
+  arrived_.assign(g.num_nodes(), 0);
+  // Receiver-side delivery map: the message arriving on w's port q was
+  // sent from the peer slot of the same edge at the other endpoint.
+  peer_slot_.resize(g.num_arcs());
+  for (NodeId w = 0; w < g.num_nodes(); ++w) {
+    const auto arcs = g.arcs(w);
+    for (std::uint32_t q = 0; q < arcs.size(); ++q) {
+      const NodeId v = arcs[q].to;
+      peer_slot_[offsets_[w] + q] = offsets_[v] + g.port_of(v, arcs[q].edge);
+    }
+  }
+}
+
+void SyncNetwork::invoke_handler(const Handler& h, NodeId v, bool* any_sent) {
+  const Inbox in(std::span<const std::optional<Message>>(
+                     inbox_.data() + offsets_[v], g_.degree(v)),
+                 arrived_[v] != 0);
+  Outbox out(
+      std::span<std::optional<Message>>(outbox_.data() + offsets_[v],
+                                        g_.degree(v)),
+      any_sent);
+  h(v, in, out);
 }
 
 bool SyncNetwork::step(const Handler& h) {
-  CongestInstrument* const ins = instrument();
-  bool any_sent = false;
-  const auto invoke = [&](NodeId v) {
-    const Inbox in(std::span<const std::optional<Message>>(
-        inbox_.data() + offsets_[v], g_.degree(v)));
-    Outbox out(std::span<std::optional<Message>>(outbox_.data() + offsets_[v],
-                                                 g_.degree(v)),
-               &any_sent);
-    h(v, in, out);
-  };
-  if (ins == nullptr) {
-    for (NodeId v = 0; v < g_.num_nodes(); ++v) invoke(v);
-  } else {
-    // An instrument may permute the handler invocation order (adversarial
-    // schedule); a well-formed synchronous handler cannot observe this.
-    std::vector<NodeId> order(g_.num_nodes());
-    std::iota(order.begin(), order.end(), NodeId{0});
-    ins->on_kernel_round_order(rounds_executed_, order);
-    for (const NodeId v : order) invoke(v);
+  if (CongestInstrument* const ins = instrument()) {
+    // Instrumented rounds stay serial: the adversarial-order and drop
+    // hooks define a per-event callback sequence that must replay
+    // identically, and permuted invocation order is the point.
+    return step_serial_instrumented(h, *ins);
   }
+
+  const std::uint32_t num_shards = exec_.shards();
+  std::vector<SentFlag> sent(num_shards);
+
+  // Phase 1: handler sweep. Outboxes are disjoint per node, inboxes are
+  // read-only — node shards are race-free by construction.
+  parallel_for_shards(exec_, g_.num_nodes(),
+                      [&](std::uint32_t s, std::size_t lo, std::size_t hi) {
+                        for (std::size_t v = lo; v < hi; ++v) {
+                          invoke_handler(h, static_cast<NodeId>(v),
+                                         &sent[s].v);
+                        }
+                      });
+  bool any_sent = false;
+  for (const SentFlag& f : sent) any_sent |= f.v;
+
+  // Phase 2: receiver-side delivery. Each inbox slot is written exactly
+  // once (by its receiver's shard), so this is race-free too; the
+  // per-node arrived flag is what makes Inbox::empty() O(1).
+  parallel_for_shards(
+      exec_, g_.num_nodes(),
+      [&](std::uint32_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t w = lo; w < hi; ++w) {
+          bool any = false;
+          const std::uint32_t base = offsets_[w];
+          const std::uint32_t deg = g_.degree(static_cast<NodeId>(w));
+          for (std::uint32_t q = 0; q < deg; ++q) {
+            inbox_[base + q] = outbox_[peer_slot_[base + q]];
+            any |= inbox_[base + q].has_value();
+          }
+          arrived_[w] = any ? 1 : 0;
+        }
+      });
+
+  // Phase 3: retire the round's outboxes (all receivers are done).
+  parallel_for_shards(exec_, g_.num_nodes(),
+                      [&](std::uint32_t, std::size_t lo, std::size_t hi) {
+                        std::fill(outbox_.begin() + offsets_[lo],
+                                  outbox_.begin() + offsets_[hi],
+                                  std::nullopt);
+                      });
+
+  ++rounds_executed_;
+  ledger_.charge(1);
+  return any_sent;
+}
+
+bool SyncNetwork::step_serial_instrumented(const Handler& h,
+                                           CongestInstrument& ins) {
+  bool any_sent = false;
+  // An instrument may permute the handler invocation order (adversarial
+  // schedule); a well-formed synchronous handler cannot observe this.
+  std::vector<NodeId> order(g_.num_nodes());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  ins.on_kernel_round_order(rounds_executed_, order);
+  for (const NodeId v : order) invoke_handler(h, v, &any_sent);
   // Deliver: the message v sent on port p arrives at w = neighbor(v,p) on
   // w's port for the same edge.
   std::fill(inbox_.begin(), inbox_.end(), std::nullopt);
+  std::fill(arrived_.begin(), arrived_.end(), 0);
   for (NodeId v = 0; v < g_.num_nodes(); ++v) {
     const auto arcs = g_.arcs(v);
     for (std::uint32_t p = 0; p < arcs.size(); ++p) {
       auto& slot = outbox_[offsets_[v] + p];
       if (!slot.has_value()) continue;
       const NodeId w = arcs[p].to;
-      if (ins == nullptr || ins->on_kernel_deliver(v, w, rounds_executed_)) {
+      if (ins.on_kernel_deliver(v, w, rounds_executed_)) {
         const std::uint32_t q = g_.port_of(w, arcs[p].edge);
         inbox_[offsets_[w] + q] = *slot;
+        arrived_[w] = 1;
       }
       slot.reset();
     }

@@ -13,6 +13,18 @@
 // exists for the classic building blocks (BFS trees, leader election,
 // broadcast/convergecast, flooding MST baselines) and as ground truth for
 // tests.
+//
+// Execution model: CONGEST rounds are embarrassingly parallel — a handler
+// reads only node v's inbox and writes only node v's outbox — so with an
+// ExecPolicy of more than one thread the kernel sweeps node shards
+// concurrently (static contiguous shards; see util/thread_pool.hpp) and
+// delivers receiver-side, one thread per receiver shard, each inbox slot
+// written exactly once. Results are bit-identical at every thread count
+// PROVIDED the handler honors the synchronous contract (per-node state
+// only; no vector<bool> shared across nodes — element access races).
+// When a CongestInstrument is installed the kernel always runs the serial
+// instrumented path, preserving the adversarial-order and drop-fault
+// callback sequence exactly.
 
 #include <cstdint>
 #include <functional>
@@ -21,8 +33,11 @@
 
 #include "congest/round_ledger.hpp"
 #include "graph/graph.hpp"
+#include "util/thread_pool.hpp"
 
 namespace amix::congest {
+
+class CongestInstrument;  // congest/instrument.hpp
 
 struct Message {
   std::uint64_t a = 0;
@@ -34,8 +49,8 @@ struct Message {
 /// Messages visible to node v this round, indexed by v's port.
 class Inbox {
  public:
-  explicit Inbox(std::span<const std::optional<Message>> slots)
-      : slots_(slots) {}
+  Inbox(std::span<const std::optional<Message>> slots, bool any_arrived)
+      : slots_(slots), any_arrived_(any_arrived) {}
 
   std::uint32_t num_ports() const {
     return static_cast<std::uint32_t>(slots_.size());
@@ -43,15 +58,13 @@ class Inbox {
   const std::optional<Message>& at(std::uint32_t port) const {
     return slots_[port];
   }
-  bool empty() const {
-    for (const auto& s : slots_) {
-      if (s.has_value()) return false;
-    }
-    return true;
-  }
+  /// O(1): the network tracks a per-node "anything arrived" flag during
+  /// delivery, so handlers can early-out without scanning every port.
+  bool empty() const { return !any_arrived_; }
 
  private:
   std::span<const std::optional<Message>> slots_;
+  bool any_arrived_;
 };
 
 /// Send buffer for node v this round; at most one message per port.
@@ -74,7 +87,7 @@ class Outbox {
 
  private:
   std::span<std::optional<Message>> slots_;
-  bool* any_sent_;
+  bool* any_sent_;  // per shard under parallel execution
 };
 
 class SyncNetwork {
@@ -82,7 +95,7 @@ class SyncNetwork {
   /// handler(v, inbox, outbox) runs once per node per round.
   using Handler = std::function<void(NodeId, const Inbox&, Outbox&)>;
 
-  SyncNetwork(const Graph& g, RoundLedger& ledger);
+  SyncNetwork(const Graph& g, RoundLedger& ledger, ExecPolicy exec = {});
 
   /// Run exactly `rounds` synchronous rounds.
   void run_rounds(const Handler& h, std::uint32_t rounds);
@@ -94,15 +107,21 @@ class SyncNetwork {
 
   std::uint64_t rounds_executed() const { return rounds_executed_; }
   const Graph& graph() const { return g_; }
+  const ExecPolicy& exec() const { return exec_; }
 
  private:
   bool step(const Handler& h);  // returns true if any message was sent
+  bool step_serial_instrumented(const Handler& h, CongestInstrument& ins);
+  void invoke_handler(const Handler& h, NodeId v, bool* any_sent);
 
   const Graph& g_;
   RoundLedger& ledger_;
+  ExecPolicy exec_;
   std::vector<std::uint32_t> offsets_;          // node -> first slot
   std::vector<std::optional<Message>> inbox_;   // per directed arc slot
   std::vector<std::optional<Message>> outbox_;  // per directed arc slot
+  std::vector<std::uint32_t> peer_slot_;        // arc slot -> peer arc slot
+  std::vector<std::uint8_t> arrived_;           // node -> any inbox message
   std::uint64_t rounds_executed_ = 0;
 };
 

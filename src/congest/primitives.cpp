@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
 
 namespace amix::congest {
 
@@ -20,12 +19,13 @@ BfsTree distributed_bfs_tree(const Graph& g, NodeId root,
 
   // State machine: a node that joined the tree in round r announces itself
   // on all ports in round r+1; a node adopting a parent picks the lowest
-  // port that announced.
-  std::vector<bool> announced(g.num_nodes(), false);
+  // port that announced. (uint8_t, not vector<bool>: per-node flags must
+  // be element-addressable so parallel kernel sweeps stay race-free.)
+  std::vector<std::uint8_t> announced(g.num_nodes(), 0);
 
   net.run_until_quiet(
       [&](NodeId v, const Inbox& in, Outbox& out) {
-        if (t.depth[v] == kUnreachable) {
+        if (t.depth[v] == kUnreachable && !in.empty()) {
           for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
             if (in.at(p).has_value()) {
               t.parent[v] = g.neighbor(v, p);
@@ -37,7 +37,7 @@ BfsTree distributed_bfs_tree(const Graph& g, NodeId root,
           }
         }
         if (t.depth[v] != kUnreachable && !announced[v]) {
-          announced[v] = true;
+          announced[v] = 1;
           for (std::uint32_t p = 0; p < out.num_ports(); ++p) {
             out.send(p, Message{t.depth[v], 0});
           }
@@ -55,19 +55,21 @@ BfsTree distributed_bfs_tree(const Graph& g, NodeId root,
 NodeId elect_leader_max_id(const Graph& g, RoundLedger& ledger) {
   SyncNetwork net(g, ledger);
   std::vector<std::uint64_t> best(g.num_nodes());
-  std::vector<bool> dirty(g.num_nodes(), true);
+  std::vector<std::uint8_t> dirty(g.num_nodes(), 1);
   for (NodeId v = 0; v < g.num_nodes(); ++v) best[v] = v;
 
   net.run_until_quiet(
       [&](NodeId v, const Inbox& in, Outbox& out) {
-        for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
-          if (in.at(p).has_value() && in.at(p)->a > best[v]) {
-            best[v] = in.at(p)->a;
-            dirty[v] = true;
+        if (!in.empty()) {
+          for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
+            if (in.at(p).has_value() && in.at(p)->a > best[v]) {
+              best[v] = in.at(p)->a;
+              dirty[v] = 1;
+            }
           }
         }
         if (dirty[v]) {
-          dirty[v] = false;
+          dirty[v] = 0;
           for (std::uint32_t p = 0; p < out.num_ports(); ++p) {
             out.send(p, Message{best[v], 0});
           }
@@ -101,22 +103,24 @@ std::uint64_t convergecast_min(const Graph& g, const BfsTree& tree,
   // Each node waits for all tree children, then forwards the min upward.
   std::vector<std::uint32_t> pending(g.num_nodes(), 0);
   std::vector<std::uint64_t> acc = values;
-  std::vector<bool> sent(g.num_nodes(), false);
+  std::vector<std::uint8_t> sent(g.num_nodes(), 0);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     if (tree.parent[v] != kInvalidNode) ++pending[tree.parent[v]];
   }
 
   net.run_until_quiet(
       [&](NodeId v, const Inbox& in, Outbox& out) {
-        for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
-          if (in.at(p).has_value()) {
-            acc[v] = std::min(acc[v], in.at(p)->a);
-            AMIX_CHECK(pending[v] > 0);
-            --pending[v];
+        if (!in.empty()) {
+          for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
+            if (in.at(p).has_value()) {
+              acc[v] = std::min(acc[v], in.at(p)->a);
+              AMIX_CHECK(pending[v] > 0);
+              --pending[v];
+            }
           }
         }
         if (!sent[v] && pending[v] == 0 && tree.parent[v] != kInvalidNode) {
-          sent[v] = true;
+          sent[v] = 1;
           out.send(g.port_of(v, tree.parent_edge[v]), Message{acc[v], 0});
         }
       },
@@ -124,6 +128,55 @@ std::uint64_t convergecast_min(const Graph& g, const BfsTree& tree,
 
   return acc[tree.root];
 }
+
+namespace {
+
+/// Sorted flat key->value buffer for the convergecast pipeline. A
+/// std::map here caused one node allocation per arriving item on the hot
+/// path; the flat vector keeps the same ascending-key contract with a
+/// single contiguous allocation. Consumed entries advance `head_` and the
+/// prefix is reclaimed lazily, so pop_front is O(1) amortized; inserts
+/// shift at most the live suffix (arrivals come child-floor-ordered, so
+/// they land near the end in practice).
+class FlatKvBuffer {
+ public:
+  bool empty() const { return head_ == kv_.size(); }
+  std::size_t size() const { return kv_.size() - head_; }
+  const std::pair<std::uint64_t, std::uint64_t>& front() const {
+    return kv_[head_];
+  }
+
+  void pop_front() {
+    ++head_;
+    if (head_ >= 64 && head_ * 2 >= kv_.size()) {
+      kv_.erase(kv_.begin(), kv_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  /// Insert (key, value), combining equal keys by min.
+  void merge_min(std::uint64_t key, std::uint64_t value) {
+    const auto it = std::lower_bound(
+        kv_.begin() + static_cast<std::ptrdiff_t>(head_), kv_.end(), key,
+        [](const std::pair<std::uint64_t, std::uint64_t>& kv,
+           std::uint64_t k) { return kv.first < k; });
+    if (it != kv_.end() && it->first == key) {
+      if (value < it->second) it->second = value;
+    } else {
+      kv_.insert(it, {key, value});
+    }
+  }
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> take() const {
+    return {kv_.begin() + static_cast<std::ptrdiff_t>(head_), kv_.end()};
+  }
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> kv_;
+  std::size_t head_ = 0;  // consumed prefix
+};
+
+}  // namespace
 
 std::vector<std::pair<std::uint64_t, std::uint64_t>> pipelined_convergecast(
     const Graph& g, const BfsTree& tree,
@@ -142,20 +195,17 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> pipelined_convergecast(
   // are guaranteed to have merged before they move up — the classic
   // pipeline, h + #distinct-keys rounds.
   struct State {
-    std::map<std::uint64_t, std::uint64_t> buffer;
+    FlatKvBuffer buffer;
     std::vector<std::uint32_t> child_ports;
     std::vector<std::int64_t> floor;  // -1 = nothing yet; per child index
-    std::vector<bool> child_done;
+    std::vector<std::uint8_t> child_done;
     bool done_sent = false;
   };
   std::vector<State> st(n);
   for (NodeId v = 0; v < n; ++v) {
     for (const auto& [key, value] : items[v]) {
       AMIX_CHECK_MSG(key != kDone, "key collides with the DONE sentinel");
-      const auto it = st[v].buffer.find(key);
-      if (it == st[v].buffer.end() || value < it->second) {
-        st[v].buffer[key] = value;
-      }
+      st[v].buffer.merge_min(key, value);
     }
   }
   for (NodeId v = 0; v < n; ++v) {
@@ -165,30 +215,29 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> pipelined_convergecast(
   }
   for (NodeId v = 0; v < n; ++v) {
     st[v].floor.assign(st[v].child_ports.size(), -1);
-    st[v].child_done.assign(st[v].child_ports.size(), false);
+    st[v].child_done.assign(st[v].child_ports.size(), 0);
   }
 
   net.run_until_quiet(
       [&](NodeId v, const Inbox& in, Outbox& out) {
         State& s = st[v];
         // Absorb arrivals.
-        for (std::size_t c = 0; c < s.child_ports.size(); ++c) {
-          const auto& slot = in.at(s.child_ports[c]);
-          if (!slot.has_value()) continue;
-          if (slot->a == kDone) {
-            s.child_done[c] = true;
-            continue;
-          }
-          s.floor[c] = static_cast<std::int64_t>(slot->a);
-          const auto it = s.buffer.find(slot->a);
-          if (it == s.buffer.end() || slot->b < it->second) {
-            s.buffer[slot->a] = slot->b;
+        if (!in.empty()) {
+          for (std::size_t c = 0; c < s.child_ports.size(); ++c) {
+            const auto& slot = in.at(s.child_ports[c]);
+            if (!slot.has_value()) continue;
+            if (slot->a == kDone) {
+              s.child_done[c] = 1;
+              continue;
+            }
+            s.floor[c] = static_cast<std::int64_t>(slot->a);
+            s.buffer.merge_min(slot->a, slot->b);
           }
         }
         if (tree.parent[v] == kInvalidNode) return;  // root only collects
         // May we forward our smallest key?
         if (!s.buffer.empty()) {
-          const std::uint64_t k = s.buffer.begin()->first;
+          const std::uint64_t k = s.buffer.front().first;
           bool ready = true;
           for (std::size_t c = 0; c < s.child_ports.size(); ++c) {
             if (!s.child_done[c] &&
@@ -199,8 +248,8 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> pipelined_convergecast(
           }
           if (ready) {
             out.send(g.port_of(v, tree.parent_edge[v]),
-                     Message{k, s.buffer.begin()->second});
-            s.buffer.erase(s.buffer.begin());
+                     Message{k, s.buffer.front().second});
+            s.buffer.pop_front();
             return;
           }
         }
@@ -218,9 +267,7 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> pipelined_convergecast(
       },
       8 * n + 8 * static_cast<std::uint32_t>(items.size()) + 64);
 
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> result(
-      st[tree.root].buffer.begin(), st[tree.root].buffer.end());
-  return result;
+  return st[tree.root].buffer.take();
 }
 
 }  // namespace amix::congest

@@ -1,3 +1,50 @@
 #include "congest/token_transport.hpp"
 
-// Header-only; anchor translation unit.
+namespace amix {
+
+std::vector<TokenTransport::Shard> TokenTransport::make_shards(
+    std::uint32_t count) const {
+  std::vector<Shard> shards(count);
+  for (Shard& s : shards) {
+    s.g_ = &g_;
+    s.load_.assign(g_.num_arcs(), 0);
+    s.resident_.assign(g_.num_nodes(), 0);
+  }
+  return shards;
+}
+
+std::uint32_t TokenTransport::commit_step_shards(std::span<Shard> shards,
+                                                 RoundLedger& ledger) {
+  for (Shard& s : shards) {
+    if (s.log_) {
+      // Logging mode: replay in shard order == item order, through the
+      // full serial accounting (instrument callbacks included), so
+      // stateful fault plans and auditors see the serial event stream.
+      for (const std::uint64_t packed : s.move_log_) {
+        move(static_cast<std::uint32_t>(packed >> 32),
+             static_cast<std::uint32_t>(packed));
+      }
+      s.move_log_.clear();
+    } else {
+      for (const std::uint64_t idx : s.touched_) {
+        if (load_[idx] == 0) touched_.push_back(idx);
+        load_[idx] += s.load_[idx];
+        if (load_[idx] > step_max_) step_max_ = load_[idx];
+        s.load_[idx] = 0;
+      }
+      s.touched_.clear();
+      for (const std::uint32_t w : s.touched_nodes_) {
+        if (resident_[w] == 0) touched_nodes_.push_back(w);
+        resident_[w] += s.resident_[w];
+        if (resident_[w] > step_residency_) step_residency_ = resident_[w];
+        s.resident_[w] = 0;
+      }
+      s.touched_nodes_.clear();
+      step_moves_ += s.moves_;
+    }
+    s.moves_ = 0;
+  }
+  return commit_step(ledger);
+}
+
+}  // namespace amix

@@ -19,8 +19,22 @@
 // injection: retransmits after drops, duplicate copies); every commit is
 // reported with the rounds charged, which is what lets the sim harness
 // audit the ledger independently.
+//
+// Sharded accumulation (the parallel path): a caller that advances tokens
+// from several threads gives each thread its own TokenTransport::Shard.
+// Shards tally per-arc loads and per-node arrivals privately (disjoint
+// state, no synchronization), and commit_step_shards merges them in
+// increasing shard index order before charging — per-arc loads and
+// per-node arrivals are sums, and max-of-sums is independent of both the
+// merge order and the shard boundaries, so any shard count charges
+// exactly what the serial path charges. When an instrument is installed,
+// shards instead LOG their moves (in item order) and the merge replays
+// the logs serially through move(), shard 0 first — which reproduces the
+// serial path's per-move instrument callback order exactly, keeping
+// stateful fault plans and the conformance audit bit-identical too.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "congest/comm_graph.hpp"
@@ -93,6 +107,62 @@ class TokenTransport {
   std::uint32_t max_node_residency() const { return max_node_residency_; }
 
   const CommGraph& graph() const { return g_; }
+
+  /// Thread-private move accumulator for one shard of a parallel step.
+  /// No internal synchronization: exactly one thread may touch a Shard
+  /// during the parallel phase, and only the committing thread afterwards.
+  class Shard {
+   public:
+    /// Arm the shard for one parallel step. `log_moves` selects logging
+    /// mode (required whenever an instrument is installed, so the merge
+    /// can replay moves in order through the instrument seam).
+    void begin_step(bool log_moves) {
+      log_ = log_moves;
+      AMIX_DCHECK(touched_.empty() && touched_nodes_.empty() &&
+                  move_log_.empty() && moves_ == 0);
+    }
+
+    /// Record one token crossing arc (v, port); same contract as
+    /// TokenTransport::move but on this shard's private tallies.
+    void move(std::uint32_t v, std::uint32_t port) {
+      ++moves_;
+      if (log_) {
+        move_log_.push_back(static_cast<std::uint64_t>(v) << 32 | port);
+        return;
+      }
+      const std::uint64_t idx = g_->arc_index(v, port);
+      if (load_[idx] == 0) touched_.push_back(idx);
+      ++load_[idx];
+      const std::uint32_t w = g_->neighbor(v, port);
+      if (resident_[w] == 0) touched_nodes_.push_back(w);
+      ++resident_[w];
+    }
+
+    /// Moves recorded since begin_step (valid before the commit merge).
+    std::uint64_t step_moves() const { return moves_; }
+
+   private:
+    friend class TokenTransport;
+    const CommGraph* g_ = nullptr;
+    std::vector<std::uint32_t> load_;      // per-arc crossings, this step
+    std::vector<std::uint32_t> resident_;  // per-node arrivals, this step
+    std::vector<std::uint64_t> touched_;
+    std::vector<std::uint32_t> touched_nodes_;
+    std::vector<std::uint64_t> move_log_;  // packed (v << 32 | port)
+    std::uint64_t moves_ = 0;
+    bool log_ = false;
+  };
+
+  /// Shards ready for parallel accumulation against this transport's graph.
+  std::vector<Shard> make_shards(std::uint32_t count) const;
+
+  /// Close a sharded step: deterministically merge the shards in
+  /// increasing index order into the step tallies, then commit exactly as
+  /// commit_step would. Shards are left re-armed for the next step.
+  /// Requires: every move of the step went through one of `shards` (the
+  /// serial move() API must not be mixed into the same step).
+  std::uint32_t commit_step_shards(std::span<Shard> shards,
+                                   RoundLedger& ledger);
 
  private:
   const CommGraph& g_;

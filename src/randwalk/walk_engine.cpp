@@ -2,10 +2,46 @@
 
 #include <algorithm>
 
+#include "congest/instrument.hpp"
+
 namespace amix {
 
-ParallelWalkEngine::ParallelWalkEngine(const CommGraph& g, Rng rng)
-    : g_(g), rng_(rng) {}
+namespace {
+
+/// Epoch-stamped sparse per-node counter (avoids O(n) clears per step).
+/// One instance per shard during the sweep, one for the ordered merge.
+struct NodeLoadCounter {
+  std::vector<std::uint32_t> count;
+  std::vector<std::uint32_t> stamp;
+  std::vector<std::uint32_t> touched;
+  std::uint32_t epoch = 0;
+  std::uint32_t step_max = 0;
+
+  void init(std::uint32_t n) {
+    count.assign(n, 0);
+    stamp.assign(n, 0);
+  }
+  void begin_step() {
+    ++epoch;
+    touched.clear();
+    step_max = 0;
+  }
+  void add(std::uint32_t v, std::uint32_t by) {
+    if (stamp[v] != epoch) {
+      stamp[v] = epoch;
+      count[v] = 0;
+      touched.push_back(v);
+    }
+    count[v] += by;
+    if (count[v] > step_max) step_max = count[v];
+  }
+};
+
+}  // namespace
+
+ParallelWalkEngine::ParallelWalkEngine(const CommGraph& g, Rng rng,
+                                       ExecPolicy exec)
+    : g_(g), rng_(rng), exec_(exec) {}
 
 std::vector<std::uint32_t> ParallelWalkEngine::run(
     std::span<const std::uint32_t> starts, WalkKind kind, std::uint32_t steps,
@@ -19,44 +55,72 @@ std::vector<std::uint32_t> ParallelWalkEngine::run(
   WalkStats local{};
   local.steps = steps;
 
-  // Node-load tracking with epoch stamps (avoids O(n) clears per step).
-  std::vector<std::uint32_t> load(g_.num_nodes(), 0);
-  std::vector<std::uint32_t> stamp(g_.num_nodes(), 0);
-  std::uint32_t epoch = 0;
+  // One keyed stream per run: walk i's step t draws are pure functions of
+  // (run_key, i, t), so sharding the sweep cannot change any trajectory.
+  const std::uint64_t run_key = rng_();
+
+  const std::uint32_t num_shards = exec_.shards();
+  std::vector<TokenTransport::Shard> shards = transport.make_shards(num_shards);
+  std::vector<NodeLoadCounter> shard_load(num_shards);
+  for (auto& lc : shard_load) lc.init(g_.num_nodes());
+  NodeLoadCounter merged_load;
+  merged_load.init(g_.num_nodes());
 
   const std::uint32_t two_delta = 2 * std::max(1u, g_.max_degree());
 
   for (std::uint32_t t = 0; t < steps; ++t) {
-    for (auto& p : pos) {
-      const std::uint32_t deg = g_.degree(p);
-      if (deg == 0) continue;  // isolated in this overlay; walk is stuck
-      std::uint32_t port = UINT32_MAX;
-      if (kind == WalkKind::kLazy) {
-        // Stay w.p. 1/2, else uniform incident arc.
-        const std::uint64_t r = rng_.next_below(2ULL * deg);
-        if (r < deg) port = static_cast<std::uint32_t>(r);
-      } else {
-        // 2Delta-regular: cross each incident arc w.p. 1/(2*Delta).
-        const std::uint64_t r = rng_.next_below(two_delta);
-        if (r < deg) port = static_cast<std::uint32_t>(r);
-      }
-      if (port != UINT32_MAX) {
-        transport.move(p, port);
-        p = g_.neighbor(p, port);
-        ++local.total_moves;
-      }
-    }
-    transport.commit_step(ledger);
+    // Instrument callbacks only fire on the committing thread: shards log
+    // their moves and the commit merge replays them in walk order.
+    const bool log_moves = congest::instrument() != nullptr;
 
-    ++epoch;
-    for (const std::uint32_t p : pos) {
-      if (stamp[p] != epoch) {
-        stamp[p] = epoch;
-        load[p] = 0;
-      }
-      ++load[p];
-      local.max_node_load = std::max(local.max_node_load, load[p]);
+    parallel_for_shards(
+        exec_, pos.size(),
+        [&](std::uint32_t s, std::size_t lo, std::size_t hi) {
+          TokenTransport::Shard& shard = shards[s];
+          shard.begin_step(log_moves);
+          NodeLoadCounter& lc = shard_load[s];
+          lc.begin_step();
+          for (std::size_t i = lo; i < hi; ++i) {
+            std::uint32_t p = pos[i];
+            const std::uint32_t deg = g_.degree(p);
+            if (deg == 0) {
+              lc.add(p, 1);  // isolated in this overlay; walk is stuck
+              continue;
+            }
+            std::uint32_t port = UINT32_MAX;
+            if (kind == WalkKind::kLazy) {
+              // Stay w.p. 1/2, else uniform incident arc.
+              const std::uint64_t r =
+                  keyed_below(run_key, i, t, 2ULL * deg);
+              if (r < deg) port = static_cast<std::uint32_t>(r);
+            } else {
+              // 2Delta-regular: cross each incident arc w.p. 1/(2*Delta).
+              const std::uint64_t r = keyed_below(run_key, i, t, two_delta);
+              if (r < deg) port = static_cast<std::uint32_t>(r);
+            }
+            if (port != UINT32_MAX) {
+              shard.move(p, port);
+              p = g_.neighbor(p, port);
+              pos[i] = p;
+            }
+            lc.add(p, 1);
+          }
+        });
+
+    for (const TokenTransport::Shard& s : shards) {
+      local.total_moves += s.step_moves();
     }
+    transport.commit_step_shards(shards, ledger);
+
+    // Ordered merge of the per-shard node loads (sums then max — both
+    // independent of shard boundaries, so this matches the serial sweep).
+    merged_load.begin_step();
+    for (const NodeLoadCounter& lc : shard_load) {
+      for (const std::uint32_t v : lc.touched) {
+        merged_load.add(v, lc.count[v]);
+      }
+    }
+    local.max_node_load = std::max(local.max_node_load, merged_load.step_max);
   }
 
   local.graph_rounds = transport.total_graph_rounds();

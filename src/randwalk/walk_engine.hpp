@@ -8,6 +8,14 @@
 // max-arc-load * round_cost() base rounds — the optimal realization of the
 // Lemma 2.5 schedule. The engine also tracks the maximum number of walks
 // resident at a single node (the Lemma 2.4 statistic).
+//
+// Randomness is counter-based: one run key is drawn from the engine's Rng
+// per run(), and walk i's step t then draws keyed_below(key, i, t, ·) —
+// a pure function of the key, never of execution order. That is what lets
+// run() shard the walk sweep over threads (ExecPolicy) while staying
+// bit-identical to the serial sweep: trajectories don't depend on which
+// thread advances them, and the sharded TokenTransport merge is
+// order-fixed. See DESIGN.md Section 8.
 
 #include <cstdint>
 #include <span>
@@ -18,6 +26,7 @@
 #include "congest/token_transport.hpp"
 #include "graph/spectral.hpp"  // WalkKind
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace amix {
 
@@ -34,7 +43,7 @@ struct WalkStats {
 
 class ParallelWalkEngine {
  public:
-  ParallelWalkEngine(const CommGraph& g, Rng rng);
+  ParallelWalkEngine(const CommGraph& g, Rng rng, ExecPolicy exec = {});
 
   /// Advance walks starting at `starts` for `steps` parallel steps.
   /// Returns final positions (same order as starts). Charges the ledger.
@@ -53,6 +62,7 @@ class ParallelWalkEngine {
  private:
   const CommGraph& g_;
   Rng rng_;
+  ExecPolicy exec_;
 };
 
 }  // namespace amix

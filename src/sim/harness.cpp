@@ -52,6 +52,7 @@ RunRecord SimHarness::play_once(const EpochBody& body, const Graph* g0,
   congest::ScopedInstrument scope(&ins);
 
   SimRun run(opt_.seed);
+  run.exec_ = opt_.exec;
   // Churn randomness is a private stream: the body's rng consumption is
   // identical whether or not the topology churns.
   Rng churn_rng(splitmix64(opt_.seed ^ 0xc0dec0dec0dec0deULL));

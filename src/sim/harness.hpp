@@ -33,6 +33,7 @@
 #include "sim/conformance.hpp"
 #include "sim/fault_plan.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace amix::sim {
 
@@ -67,6 +68,12 @@ class SimRun {
   RoundLedger& ledger() { return ledger_; }
   std::uint32_t epoch() const { return epoch_; }
 
+  /// The harness's execution policy: bodies pass this to SyncNetwork /
+  /// ParallelWalkEngine so one HarnessOptions knob controls substrate
+  /// parallelism. Certification demands bit-identical records at every
+  /// thread count, so exec() must never influence anything else.
+  const ExecPolicy& exec() const { return exec_; }
+
   /// Fold an output word (MST edge, delivered count, walk endpoint, ...)
   /// into the run's output digest. Two runs are "identical" only if they
   /// folded identical words in identical order.
@@ -85,6 +92,7 @@ class SimRun {
   RoundLedger ledger_;
   Digest digest_;
   std::uint32_t epoch_ = 0;
+  ExecPolicy exec_;
 };
 
 struct HarnessOptions {
@@ -92,6 +100,7 @@ struct HarnessOptions {
   FaultPlan* faults = nullptr;  // not owned; nullptr = fault-free
   bool audit = true;            // install the conformance auditor
   std::uint32_t replays = 1;    // extra identical-seed plays to compare
+  ExecPolicy exec{};            // substrate threading for the body
 };
 
 struct HarnessResult {

@@ -97,6 +97,54 @@ class Rng {
   std::uint64_t state_[4] = {};
 };
 
+// ---------------------------------------------------------------------------
+// Counter-based (keyed) generation: randomness as a pure function of
+// (seed, stream, counter), in the spirit of Philox/Threefry counter RNGs
+// but built from SplitMix64 rounds. Unlike a sequential generator, a
+// keyed draw does not depend on how many draws happened before it — so a
+// loop over (stream, counter) pairs produces the same values no matter
+// how its iterations are sharded across threads. This is what keeps
+// parallel walk trajectories bit-identical to serial ones: walk i's step
+// t draws keyed_below(run_key, i, t, bound) wherever it executes.
+// ---------------------------------------------------------------------------
+
+/// Uniform 64-bit word keyed on (seed, stream, counter): three chained
+/// SplitMix64 rounds (each round is a bijective avalanche mix; SplitMix64
+/// itself passes BigCrush).
+constexpr std::uint64_t keyed_u64(std::uint64_t seed, std::uint64_t stream,
+                                  std::uint64_t counter) {
+  std::uint64_t x = splitmix64(seed ^ 0x6a09e667f3bcc909ULL);
+  x = splitmix64(x ^ stream);
+  return splitmix64(x ^ counter);
+}
+
+/// Uniform integer in [0, bound) keyed on (seed, stream, counter).
+/// Lemire's method with exact rejection; rejected words continue the
+/// SplitMix64 chain, so the result stays a pure function of the key.
+inline std::uint64_t keyed_below(std::uint64_t seed, std::uint64_t stream,
+                                 std::uint64_t counter, std::uint64_t bound) {
+  if (bound <= 1) return 0;
+  std::uint64_t x = keyed_u64(seed, stream, counter);
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = splitmix64(x);
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+/// Uniform double in [0, 1) keyed on (seed, stream, counter).
+inline double keyed_double(std::uint64_t seed, std::uint64_t stream,
+                           std::uint64_t counter) {
+  return static_cast<double>(keyed_u64(seed, stream, counter) >> 11) *
+         0x1.0p-53;
+}
+
 /// Fisher-Yates shuffle of a vector (uses Rng rather than std::shuffle so
 /// results are identical across standard-library implementations).
 template <typename T>

@@ -1,0 +1,150 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace amix {
+
+std::uint32_t ExecPolicy::shards() const {
+  if (num_threads != 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : static_cast<std::uint32_t>(hw);
+}
+
+namespace {
+
+/// One fork/join dispatch. Workers pull shard indices from `next`; the
+/// shard→range mapping is static, so which worker runs a shard never
+/// affects results. The object is shared_ptr-held by every participant,
+/// which makes a lagging worker that wakes after the join harmless: it
+/// sees `next >= num_shards` and touches nothing else.
+struct Job {
+  const std::function<void(std::uint32_t)>* body = nullptr;
+  std::uint32_t num_shards = 0;
+  std::atomic<std::uint32_t> next{0};
+  std::atomic<std::uint32_t> done{0};
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::shared_ptr<Job> job;  // guarded by mu; non-null while a job runs
+  std::uint64_t generation = 0;
+  bool stop = false;
+  std::vector<std::thread> workers;
+
+  static void drain(Job& job) {
+    for (;;) {
+      const std::uint32_t s = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (s >= job.num_shards) return;
+      (*job.body)(s);
+      job.done.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> j;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        work_cv.wait(lk, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+        j = job;
+      }
+      if (j == nullptr) continue;
+      drain(*j);
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::uint32_t num_workers) : impl_(new Impl) {
+  impl_->workers.reserve(num_workers);
+  for (std::uint32_t i = 0; i < num_workers; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+    impl_->work_cv.notify_all();
+  }
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+std::uint32_t ThreadPool::num_workers() const {
+  return static_cast<std::uint32_t>(impl_->workers.size());
+}
+
+void ThreadPool::run_shards(std::uint32_t num_shards,
+                            const std::function<void(std::uint32_t)>& body) {
+  if (num_shards == 0) return;
+  if (num_shards == 1 || impl_->workers.empty()) {
+    for (std::uint32_t s = 0; s < num_shards; ++s) body(s);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->body = &body;
+  job->num_shards = num_shards;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->job = job;
+    ++impl_->generation;
+    impl_->work_cv.notify_all();
+  }
+  // The caller is a participant too — it never just blocks on the join.
+  Impl::drain(*job);
+  {
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    impl_->done_cv.wait(lk, [&] {
+      return job->done.load(std::memory_order_acquire) == job->num_shards;
+    });
+    impl_->job = nullptr;
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    // Workers beyond the shard counts anyone asks for just idle on the
+    // condition variable; still, cap the global pool at a sane size.
+    const unsigned workers = hw == 0 ? 1 : hw - 1;
+    return static_cast<std::uint32_t>(std::min(workers, 31u));
+  }());
+  return pool;
+}
+
+void parallel_for_shards(
+    const ExecPolicy& exec, std::size_t n,
+    const std::function<void(std::uint32_t shard, std::size_t begin,
+                             std::size_t end)>& body) {
+  const std::uint32_t num_shards = exec.shards();
+  if (!exec.parallel() || n <= 1) {
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      const auto [begin, end] = shard_range(n, num_shards, s);
+      body(s, begin, end);
+    }
+    return;
+  }
+  ThreadPool::global().run_shards(num_shards, [&](std::uint32_t s) {
+    const auto [begin, end] = shard_range(n, num_shards, s);
+    body(s, begin, end);
+  });
+}
+
+}  // namespace amix

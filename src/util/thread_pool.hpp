@@ -1,0 +1,95 @@
+#pragma once
+
+// Deterministic fork/join parallelism for the simulation substrate.
+//
+// The substrate's hot loops (SyncNetwork::step handler sweeps,
+// ParallelWalkEngine steps, TokenTransport accumulation) are
+// embarrassingly parallel per round: each node reads only its inbox and
+// writes only its outbox, each walk only its own position. What makes
+// naive parallelization nondeterministic is *scheduling* — which thread
+// processes which item, and in what order results are folded together.
+//
+// This header pins both down:
+//
+//   * ExecPolicy names the requested shard count. Shard s of n items is
+//     ALWAYS the contiguous range [s*ceil(n/S), (s+1)*ceil(n/S)) — static
+//     range sharding, no work stealing — so the item→shard mapping is a
+//     pure function of (n, S), never of thread timing.
+//   * ThreadPool::run_shards executes shard bodies on a persistent worker
+//     pool. Which OS thread runs shard s is arbitrary (workers pull shard
+//     indices from an atomic counter), but that is invisible to results:
+//     shards touch disjoint state, and every consumer merges shard
+//     results serially in increasing shard order after the join.
+//
+// Consumers guarantee bit-identical output for ANY shard count (1, 2, 8,
+// ...) by making per-item work order-free (counter-keyed RNG, disjoint
+// writes) and merges order-fixed. See DESIGN.md Section 8.
+
+#include <cstdint>
+#include <functional>
+
+#include "util/check.hpp"
+
+namespace amix {
+
+/// How much parallelism a substrate component may use. The default (one
+/// thread) is the serial path; results are bit-identical at any setting.
+struct ExecPolicy {
+  /// 1 = serial (default); 0 = one shard per hardware thread; k = k shards.
+  std::uint32_t num_threads = 1;
+
+  bool parallel() const { return num_threads != 1; }
+
+  /// The resolved shard count (num_threads, with 0 mapped to the
+  /// machine's hardware concurrency).
+  std::uint32_t shards() const;
+};
+
+/// Persistent fork/join worker pool. One global instance serves the whole
+/// process (workers are started lazily on first parallel use); the
+/// calling thread always participates, so `ThreadPool::global()` with W
+/// workers runs up to W+1 shards concurrently.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::uint32_t num_workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::uint32_t num_workers() const;
+
+  /// Run body(0), ..., body(num_shards - 1), distributed over the workers
+  /// and the calling thread; returns after ALL shards finished (a full
+  /// barrier). Shard bodies must not throw and must touch disjoint state.
+  void run_shards(std::uint32_t num_shards,
+                  const std::function<void(std::uint32_t)>& body);
+
+  /// The process-wide pool (hardware_concurrency - 1 workers, capped).
+  static ThreadPool& global();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Static range sharding of [0, n): invokes
+/// body(shard, begin, end) for each of exec.shards() contiguous shards.
+/// Serial policies (and tiny n) run inline on the caller, in shard order;
+/// parallel policies dispatch through ThreadPool::global(). The
+/// shard→range mapping is identical either way.
+void parallel_for_shards(
+    const ExecPolicy& exec, std::size_t n,
+    const std::function<void(std::uint32_t shard, std::size_t begin,
+                             std::size_t end)>& body);
+
+/// The [begin, end) range of shard s when [0, n) is cut into S shards.
+inline std::pair<std::size_t, std::size_t> shard_range(std::size_t n,
+                                                       std::uint32_t num_shards,
+                                                       std::uint32_t s) {
+  AMIX_DCHECK(num_shards > 0 && s < num_shards);
+  const std::size_t chunk = (n + num_shards - 1) / num_shards;
+  const std::size_t begin = std::min(n, s * chunk);
+  return {begin, std::min(n, begin + chunk)};
+}
+
+}  // namespace amix
