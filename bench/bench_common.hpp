@@ -8,7 +8,9 @@
 //   AMIX_BENCH_SEED=<u>  change the experiment seed (default 1)
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "amix/amix.hpp"
@@ -47,6 +49,72 @@ inline Graph make_family(const std::string& family, NodeId n, Rng& rng) {
   AMIX_CHECK_MSG(false, "unknown family");
   return {};
 }
+
+/// `--trace-out <f.json>` / `--metrics-out <f.json|f.csv>` support for the
+/// experiment binaries: when either flag is present, the whole bench runs
+/// under a TraceRecorder + ObsInstrument (so every hierarchy build, route,
+/// and MST run it performs is spanned and metered), and the artifacts are
+/// written when the session ends. Without the flags the session is inert —
+/// no recorder is installed and the bench numbers are untouched.
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string s = argv[i];
+      if (s == "--trace-out" && i + 1 < argc) {
+        trace_out_ = argv[++i];
+      } else if (s == "--metrics-out" && i + 1 < argc) {
+        metrics_out_ = argv[++i];
+      }
+    }
+    if (enabled()) {
+      rec_ = std::make_unique<obs::TraceRecorder>();
+      ins_ = std::make_unique<obs::ObsInstrument>(*rec_);
+      rec_scope_ = std::make_unique<obs::ScopedRecorder>(rec_.get());
+      ins_scope_ = std::make_unique<congest::ScopedInstrument>(ins_.get());
+    }
+  }
+  ~ObsSession() { finish(); }
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  bool enabled() const {
+    return !trace_out_.empty() || !metrics_out_.empty();
+  }
+
+  /// Write the requested artifacts (idempotent; also runs at destruction).
+  void finish() {
+    if (!enabled() || written_) return;
+    written_ = true;
+    if (!trace_out_.empty()) {
+      std::ofstream os(trace_out_);
+      rec_->write_chrome_trace(os);
+      std::cout << "# wrote trace: " << trace_out_ << " ("
+                << rec_->spans().size() << " spans)\n";
+    }
+    if (!metrics_out_.empty()) {
+      std::ofstream os(metrics_out_);
+      const bool csv =
+          metrics_out_.size() >= 4 &&
+          metrics_out_.substr(metrics_out_.size() - 4) == ".csv";
+      if (csv) {
+        rec_->metrics().write_csv(os);
+      } else {
+        rec_->metrics().write_json(os);
+      }
+      std::cout << "# wrote metrics: " << metrics_out_ << "\n";
+    }
+  }
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+  bool written_ = false;
+  std::unique_ptr<obs::TraceRecorder> rec_;
+  std::unique_ptr<obs::ObsInstrument> ins_;
+  std::unique_ptr<obs::ScopedRecorder> rec_scope_;
+  std::unique_ptr<congest::ScopedInstrument> ins_scope_;
+};
 
 /// Header banner shared by all experiment binaries.
 inline void banner(const std::string& id, const std::string& claim) {

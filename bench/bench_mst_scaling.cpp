@@ -9,8 +9,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace amix;
+  bench::ObsSession obs(argc, argv);  // --trace-out / --metrics-out
   bench::banner("E2 bench_mst_scaling",
                 "Theorem 1.1: MST rounds ~ tau_mix * subpoly(n)");
 

@@ -10,8 +10,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace amix;
+  bench::ObsSession obs(argc, argv);  // --trace-out / --metrics-out
   bench::banner("E1 bench_routing_scaling",
                 "Theorem 1.2: permutation routing ~ tau_mix * subpoly(n)");
 

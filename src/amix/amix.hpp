@@ -42,6 +42,9 @@
 #include "mst/hierarchical_boruvka.hpp"
 #include "mst/kernel_boruvka.hpp"
 #include "mst/verify.hpp"
+#include "obs/bound_checker.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "randwalk/anonymous.hpp"
 #include "randwalk/mixing.hpp"
 #include "randwalk/tau_estimator.hpp"

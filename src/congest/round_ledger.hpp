@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/ordered_map.hpp"
+
 namespace amix {
 
 class RoundLedger {
@@ -21,27 +23,23 @@ class RoundLedger {
 
   void charge(std::string_view phase, std::uint64_t rounds) {
     total_ += rounds;
-    for (auto& [name, sum] : phases_) {
-      if (name == phase) {
-        sum += rounds;
-        return;
-      }
-    }
-    phases_.emplace_back(std::string(phase), rounds);
+    phases_.at_or_insert(phase) += rounds;
   }
 
   std::uint64_t total() const { return total_; }
 
   std::uint64_t phase_total(std::string_view phase) const {
-    for (const auto& [name, sum] : phases_) {
-      if (name == phase) return sum;
-    }
-    return 0;
+    const std::uint64_t* sum = phases_.find(phase);
+    return sum ? *sum : 0;
   }
 
   const std::vector<std::pair<std::string, std::uint64_t>>& phases() const {
-    return phases_;
+    return phases_.items();
   }
+
+  /// The phase breakdown as the ordered map itself (lookup + deterministic
+  /// iteration); phases() above stays for vector-shaped consumers.
+  const OrderedMap<std::uint64_t>& phase_map() const { return phases_; }
 
   void reset() {
     total_ = 0;
@@ -50,7 +48,7 @@ class RoundLedger {
 
  private:
   std::uint64_t total_ = 0;
-  std::vector<std::pair<std::string, std::uint64_t>> phases_;
+  OrderedMap<std::uint64_t> phases_;
 };
 
 /// RAII helper: accumulates into a sub-ledger, then folds the result into

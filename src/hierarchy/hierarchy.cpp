@@ -5,6 +5,7 @@
 
 #include "congest/primitives.hpp"
 #include "graph/traversal.hpp"
+#include "obs/trace.hpp"
 
 namespace amix {
 
@@ -20,6 +21,9 @@ std::uint32_t default_beta(std::uint64_t n) {
 Hierarchy Hierarchy::build(const Graph& g, const HierarchyParams& params,
                            RoundLedger& ledger) {
   AMIX_CHECK(g.num_nodes() >= 2);
+  // Spans bind the parent ledger: each closes AFTER the PhaseScope inside
+  // it folds its sub-ledger, so span round deltas equal the phase costs.
+  const obs::Span build_span(ledger, "hierarchy/build");
   const std::uint64_t start_rounds = ledger.total();
 
   Hierarchy h;
@@ -82,6 +86,7 @@ Hierarchy Hierarchy::build(const Graph& g, const HierarchyParams& params,
   // Theta(log^2 n) hash-seed bits, and pipeline-broadcasts them over a BFS
   // tree. Charged once per (re)try on the kernel + pipeline formula.
   const auto charge_seed_dissemination = [&](std::uint32_t w_independence) {
+    const obs::Span span(ledger, "hierarchy/leader+seed");
     PhaseScope scope(ledger, "leader+seed");
     congest::elect_leader_max_id(g, scope.ledger());
     const BfsTree tree =
@@ -107,6 +112,7 @@ Hierarchy Hierarchy::build(const Graph& g, const HierarchyParams& params,
     // G0.
     h.overlays_.clear();
     {
+      const obs::Span span(ledger, "hierarchy/g0-embed");
       PhaseScope scope(ledger, "g0-embed");
       G0Params g0p;
       g0p.out_degree = g0_degree;
@@ -122,6 +128,7 @@ Hierarchy Hierarchy::build(const Graph& g, const HierarchyParams& params,
     bool levels_ok = true;
     h.stats_.emul_parent_rounds.clear();
     for (std::uint32_t level = 1; level <= depth; ++level) {
+      const obs::Span span(ledger, obs::numbered("hierarchy/level-", level));
       PhaseScope scope(ledger, "levels");
       LevelParams lp;
       lp.target_degree = level_degree;
@@ -142,6 +149,7 @@ Hierarchy Hierarchy::build(const Graph& g, const HierarchyParams& params,
 
     // Portals.
     {
+      const obs::Span span(ledger, "hierarchy/portals");
       PhaseScope scope(ledger, "portals");
       std::vector<const OverlayComm*> ptrs;
       for (const auto& ov : h.overlays_) ptrs.push_back(&ov);
@@ -162,6 +170,30 @@ Hierarchy Hierarchy::build(const Graph& g, const HierarchyParams& params,
   h.stats_.beta = beta;
   h.stats_.deepest_round_cost = h.overlays_.back().round_cost();
   h.stats_.build_rounds = ledger.total() - start_rounds;
+
+  if (obs::recorder() != nullptr) {
+    obs::metric_gauge_set("hierarchy/depth", depth);
+    obs::metric_gauge_set("hierarchy/beta", beta);
+    obs::metric_gauge_set("hierarchy/retries", h.stats_.retries);
+    obs::metric_gauge_set("hierarchy/tau_mix", h.stats_.tau_mix);
+    obs::metric_gauge_set("portal/table_entries", h.portals_->table_entries());
+    obs::metric_gauge_set("portal/total_candidates",
+                          h.portals_->total_candidates());
+    obs::metric_gauge_set("portal/min_candidates",
+                          h.portals_->min_candidates());
+    // Lemma 3.1/3.2: each level's emulation overhead (parent-graph rounds
+    // per simulated overlay round) vs the log2(n)^2 envelope.
+    const auto log2n_u =
+        static_cast<std::uint64_t>(std::llround(std::ceil(log2n)));
+    const std::uint64_t envelope = log2n_u * log2n_u;
+    for (std::size_t l = 0; l < h.stats_.emul_parent_rounds.size(); ++l) {
+      const std::uint64_t emul = h.stats_.emul_parent_rounds[l];
+      obs::metric_gauge_set(
+          obs::numbered("hierarchy/emul_parent_rounds/level-", l + 1), emul);
+      obs::metric_gauge_max("lemma3x/emul_over_log2sq_x1000",
+                            obs::ratio_x1000(emul, envelope));
+    }
+  }
   return h;
 }
 

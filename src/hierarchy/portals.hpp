@@ -53,6 +53,17 @@ class PortalTable {
   std::uint32_t min_candidates() const { return min_candidates_; }
   bool complete() const { return complete_; }
 
+  /// Occupied (level, part, target-child) slots — the Lemma 3.3 table's
+  /// row count, the obs dashboards' "portal/table_entries".
+  std::size_t table_entries() const { return candidates_.size(); }
+
+  /// Total candidate vids across all slots (table storage volume).
+  std::size_t total_candidates() const {
+    std::size_t n = 0;
+    for (const auto& [key, vids] : candidates_) n += vids.size();
+    return n;
+  }
+
  private:
   static std::uint64_t slot_key(std::uint32_t level, PartId part,
                                 std::uint32_t child) {

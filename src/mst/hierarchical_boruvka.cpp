@@ -7,6 +7,7 @@
 
 #include "mst/virtual_tree.hpp"
 #include "mst/verify.hpp"
+#include "obs/trace.hpp"
 
 namespace amix {
 
@@ -19,6 +20,7 @@ MstStats HierarchicalBoruvka::run(RoundLedger& ledger,
 
   MstStats out;
   if (n == 1) return out;
+  const obs::Span run_span(ledger, "mst/boruvka");
   const std::uint64_t rounds_at_entry = ledger.total();
 
   Rng rng(params.seed);
@@ -39,6 +41,8 @@ MstStats HierarchicalBoruvka::run(RoundLedger& ledger,
     AMIX_CHECK_MSG(out.iterations < max_iterations,
                    "Boruvka did not converge (coin flips too unlucky?)");
     ++out.iterations;
+    const obs::Span phase_span(
+        ledger, obs::numbered("boruvka/phase-", out.iterations));
 
     // Coins: the component root flips; the value rides along with the
     // component id in the dissemination below.
@@ -72,6 +76,7 @@ MstStats HierarchicalBoruvka::run(RoundLedger& ledger,
     const std::uint32_t depth = forest.max_depth();
     std::uint64_t instance_cost = 0;
     if (depth > 0) {
+      const obs::Span cast_span(ledger, "boruvka/upcast+downcast");
       std::vector<RouteRequest> reqs;
       reqs.reserve(n);
       for (NodeId v = 0; v < n; ++v) {
@@ -120,6 +125,7 @@ MstStats HierarchicalBoruvka::run(RoundLedger& ledger,
 
     // Balancing tokens + new-component-id relabel travel over tree edges;
     // both are (sub)instances of the measured upcast shape.
+    const obs::Span balance_span(ledger, "boruvka/balance+relabel");
     if (instance_cost > 0 || forest.max_depth() > 0) {
       const std::uint64_t per_step =
           instance_cost > 0 ? instance_cost : 1;
@@ -143,6 +149,13 @@ MstStats HierarchicalBoruvka::run(RoundLedger& ledger,
                  "hierarchical Boruvka produced a non-tree");
   std::sort(out.edges.begin(), out.edges.end());
   out.rounds = ledger.total() - rounds_at_entry;
+  if (obs::recorder() != nullptr) {
+    obs::metric_gauge_set("mst/iterations", out.iterations);
+    obs::metric_gauge_max("mst/max_tree_depth", out.max_tree_depth);
+    obs::metric_gauge_max("mst/max_tree_indegree", out.max_tree_indegree);
+    obs::metric_counter_add("mst/routing_instances", out.routing_instances);
+    obs::metric_counter_add("mst/routed_packets", out.routed_packets);
+  }
   return out;
 }
 

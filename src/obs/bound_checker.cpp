@@ -1,0 +1,63 @@
+#include "obs/bound_checker.hpp"
+
+#include <sstream>
+
+namespace amix::obs {
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_x1000(std::uint64_t v) {
+  std::ostringstream os;
+  os << v / 1000 << '.' << static_cast<char>('0' + (v % 1000) / 100)
+     << static_cast<char>('0' + (v % 100) / 10);
+  return os.str();
+}
+
+}  // namespace
+
+BoundReport BoundChecker::check(const MetricsRegistry& m) const {
+  BoundReport report;
+  // Every gauge under a lemma namespace is a x1000 ratio against that
+  // lemma's unit-constant envelope; new per-level or per-run ratios added
+  // at annotation sites get checked with no changes here.
+  for (const auto& [name, value] : m.gauges()) {
+    std::uint64_t limit = 0;
+    std::string lemma;
+    if (starts_with(name, "lemma24/")) {
+      limit = c_.lemma24_c_x1000;
+      lemma = "Lemma 2.4";
+    } else if (starts_with(name, "lemma3x/")) {
+      limit = c_.lemma3x_c_x1000;
+      lemma = "Lemma 3.1/3.2";
+    } else {
+      continue;
+    }
+    BoundEntry e;
+    e.metric = name;
+    e.lemma = std::move(lemma);
+    e.observed_x1000 = value;
+    e.limit_x1000 = limit;
+    e.ok = value <= limit;
+    report.entries.push_back(std::move(e));
+  }
+  return report;
+}
+
+std::string BoundReport::summary() const {
+  if (entries.empty()) return "bound check: (no checks applicable)\n";
+  std::ostringstream os;
+  for (const BoundEntry& e : entries) {
+    os << (e.ok ? "  ok " : "  VIOLATION ") << e.lemma << "  " << e.metric
+       << "  observed/envelope=" << format_x1000(e.observed_x1000)
+       << "x  limit=" << format_x1000(e.limit_x1000) << "x\n";
+  }
+  os << "bound check: " << entries.size() << " checked, " << violations()
+     << " violation(s)\n";
+  return os.str();
+}
+
+}  // namespace amix::obs

@@ -1,0 +1,136 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+
+namespace amix::obs {
+
+void Histogram::record(std::uint64_t v) {
+  if (count == 0) {
+    min = v;
+    max = v;
+  } else {
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+  ++count;
+  sum += v;
+  const std::size_t b = v <= 1 ? 0 : static_cast<std::size_t>(
+                                         63 - std::countl_zero(v));
+  if (buckets.size() <= b) buckets.resize(b + 1, 0);
+  ++buckets[b];
+}
+
+std::uint64_t MetricsRegistry::value_or(std::string_view name,
+                                        std::uint64_t fallback) const {
+  if (const std::uint64_t* g = gauges_.find(name)) return *g;
+  if (const std::uint64_t* c = counters_.find(name)) return *c;
+  return fallback;
+}
+
+bool MetricsRegistry::has(std::string_view name) const {
+  return gauges_.contains(name) || counters_.contains(name);
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  hists_.clear();
+}
+
+void write_json_escaped(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Control characters never appear in metric/span names, but the
+          // exporter must not emit invalid JSON if one sneaks in.
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+namespace {
+
+void write_scalar_map(std::ostream& os, const OrderedMap<std::uint64_t>& m) {
+  os << '{';
+  bool first = true;
+  for (const auto& [name, v] : m) {
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    write_json_escaped(os, name);
+    os << "\":" << v;
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{\"counters\":";
+  write_scalar_map(os, counters_);
+  os << ",\"gauges\":";
+  write_scalar_map(os, gauges_);
+  os << ",\"histograms\":{";
+  bool first = true;
+  for (const auto& [name, h] : hists_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    write_json_escaped(os, name);
+    os << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"min\":" << h.min << ",\"max\":" << h.max << ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b) os << ',';
+      os << h.buckets[b];
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+void MetricsRegistry::write_csv(std::ostream& os) const {
+  os << "kind,name,value\n";
+  for (const auto& [name, v] : counters_) {
+    os << "counter," << name << ',' << v << '\n';
+  }
+  for (const auto& [name, v] : gauges_) {
+    os << "gauge," << name << ',' << v << '\n';
+  }
+  for (const auto& [name, h] : hists_) {
+    os << "hist_count," << name << ',' << h.count << '\n';
+    os << "hist_sum," << name << ',' << h.sum << '\n';
+    os << "hist_min," << name << ',' << h.min << '\n';
+    os << "hist_max," << name << ',' << h.max << '\n';
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      os << "hist_bucket_p" << b << ',' << name << ',' << h.buckets[b]
+         << '\n';
+    }
+  }
+}
+
+std::uint64_t ratio_x1000(std::uint64_t observed, std::uint64_t envelope) {
+  if (envelope == 0) return observed == 0 ? 0 : ~std::uint64_t{0};
+  // 1000*observed cannot overflow for the magnitudes the simulator
+  // produces (rounds and loads are far below 2^54), so plain integer
+  // arithmetic with round-to-nearest is safe.
+  return (observed * 1000 + envelope / 2) / envelope;
+}
+
+}  // namespace amix::obs

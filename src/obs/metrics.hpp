@@ -1,0 +1,97 @@
+#pragma once
+
+// MetricsRegistry: counters / gauges / histograms for a run, with
+// deterministic JSON and CSV export.
+//
+// Everything is unsigned 64-bit. Ratios against analytic envelopes (the
+// Lemma 2.4 / Lemma 3.1-3.2 dashboards) are stored as integers scaled by
+// 1000 ("..._x1000") so exports never format floating point — float
+// printing is the classic way byte-identical-across-machines dies.
+// Iteration order is insertion order via OrderedMap, which together with
+// the serial instrumented substrate paths makes exports a pure function
+// of (scenario, seed), independent of ExecPolicy thread count.
+//
+// Histograms use log2 buckets: bucket b holds values v with
+// floor(log2(v)) == b (value 0 goes to bucket 0 alongside 1). Exact
+// count/sum/min/max ride along, so the buckets are a shape sketch and the
+// moments are exact.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/ordered_map.hpp"
+
+namespace amix::obs {
+
+struct Histogram {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::vector<std::uint64_t> buckets;  // buckets[b] = #values in [2^b, 2^(b+1))
+
+  void record(std::uint64_t v);
+};
+
+class MetricsRegistry {
+ public:
+  void counter_add(std::string_view name, std::uint64_t delta) {
+    counters_.at_or_insert(name) += delta;
+  }
+
+  /// Keep the max of all observations (the common shape for "worst
+  /// per-round congestion" style metrics).
+  void gauge_max(std::string_view name, std::uint64_t v) {
+    auto& g = gauges_.at_or_insert(name);
+    if (v > g) g = v;
+  }
+
+  /// Overwrite (last observation wins).
+  void gauge_set(std::string_view name, std::uint64_t v) {
+    gauges_.at_or_insert(name) = v;
+  }
+
+  void hist_record(std::string_view name, std::uint64_t v) {
+    hists_.at_or_insert(name).record(v);
+  }
+
+  /// Value of a counter/gauge, or `fallback` when never touched. Checks
+  /// gauges first, then counters (names never collide in practice: the
+  /// taxonomy in DESIGN.md §9 keeps the namespaces disjoint).
+  std::uint64_t value_or(std::string_view name, std::uint64_t fallback) const;
+  bool has(std::string_view name) const;
+
+  const OrderedMap<std::uint64_t>& counters() const { return counters_; }
+  const OrderedMap<std::uint64_t>& gauges() const { return gauges_; }
+  const OrderedMap<Histogram>& histograms() const { return hists_; }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && hists_.empty();
+  }
+  void clear();
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} — insertion
+  /// order, no floats, no whitespace variation: byte-stable per run.
+  void write_json(std::ostream& os) const;
+
+  /// kind,name,value rows (histograms expand to count/sum/min/max/bucket
+  /// rows), same ordering guarantees as the JSON.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  OrderedMap<std::uint64_t> counters_;
+  OrderedMap<std::uint64_t> gauges_;
+  OrderedMap<Histogram> hists_;
+};
+
+/// Scale a ratio observed/envelope into the x1000 integer form used by the
+/// "..._x1000" gauges (rounded to nearest; envelope 0 saturates).
+std::uint64_t ratio_x1000(std::uint64_t observed, std::uint64_t envelope);
+
+/// JSON string escaping shared by the obs exporters.
+void write_json_escaped(std::ostream& os, std::string_view s);
+
+}  // namespace amix::obs

@@ -1,0 +1,211 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+#include "congest/comm_graph.hpp"
+
+namespace amix::obs {
+
+namespace {
+
+thread_local TraceRecorder* tls_recorder = nullptr;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TraceRecorder* recorder() { return tls_recorder; }
+
+ScopedRecorder::ScopedRecorder(TraceRecorder* rec) : prev_(tls_recorder) {
+  tls_recorder = rec;
+}
+
+ScopedRecorder::~ScopedRecorder() { tls_recorder = prev_; }
+
+std::int32_t TraceRecorder::open_span(const RoundLedger& ledger,
+                                      std::string_view name) {
+  SpanRecord s;
+  s.name = std::string(name);
+  s.parent = current_;
+  s.depth = open_depth_;
+  s.open_rounds = ledger.total();
+  s.token_moves = tokens_;
+  s.steps = commits_;
+  spans_.push_back(std::move(s));
+  current_ = static_cast<std::int32_t>(spans_.size() - 1);
+  ++open_depth_;
+  return current_;
+}
+
+void TraceRecorder::close_span(std::int32_t idx, const RoundLedger& ledger,
+                               std::uint64_t wall_ns) {
+  SpanRecord& s = spans_[static_cast<std::size_t>(idx)];
+  s.close_rounds = ledger.total();
+  s.token_moves = tokens_ - s.token_moves;
+  s.steps = commits_ - s.steps;
+  s.wall_ns = wall_ns;
+  s.closed = true;
+  current_ = s.parent;
+  --open_depth_;
+}
+
+void TraceRecorder::clear() {
+  spans_.clear();
+  current_ = -1;
+  open_depth_ = 0;
+  metrics_.clear();
+  tokens_ = 0;
+  slots_ = 0;
+  commits_ = 0;
+  kernel_msgs_ = 0;
+  kernel_drops_ = 0;
+}
+
+Span::Span(const RoundLedger& ledger, std::string_view name)
+    : rec_(tls_recorder), ledger_(&ledger) {
+  if (rec_ == nullptr) return;
+  idx_ = rec_->open_span(ledger, name);
+  open_ns_ = now_ns();
+}
+
+Span::~Span() {
+  if (rec_ == nullptr) return;
+  rec_->close_span(idx_, *ledger_, now_ns() - open_ns_);
+}
+
+// ---- Export -----------------------------------------------------------
+
+namespace {
+
+// Chrome-trace timestamps must nest: a child event's [ts, ts+dur) interval
+// has to sit inside its parent's. Span round counts alone cannot provide
+// that when several spans bind different sub-ledgers (a PhaseScope's fold
+// lands in the parent ledger only at scope exit, so a parent's own round
+// delta can briefly lag the sum of its children). So the exporter derives
+// a consistent timeline from the tree itself: every span's effective
+// duration is max(own rounds, sum of children's effective durations), and
+// children are laid out sequentially from the parent's start. The result
+// is deterministic, properly nested, and monotone; exact measured rounds
+// are still reported verbatim in args.rounds.
+struct Timeline {
+  std::vector<std::uint64_t> eff_dur;
+  std::vector<std::uint64_t> ts;
+};
+
+Timeline build_timeline(const std::vector<SpanRecord>& spans) {
+  const std::size_t n = spans.size();
+  Timeline t;
+  t.eff_dur.assign(n, 0);
+  t.ts.assign(n, 0);
+  std::vector<std::uint64_t> child_sum(n, 0);
+  // Spans are recorded in open order, so children always follow their
+  // parent: a reverse sweep is a post-order accumulation.
+  for (std::size_t i = n; i-- > 0;) {
+    std::uint64_t d = spans[i].rounds();
+    if (child_sum[i] > d) d = child_sum[i];
+    if (d == 0) d = 1;  // zero-width events are invisible in viewers
+    t.eff_dur[i] = d;
+    if (spans[i].parent >= 0) {
+      child_sum[static_cast<std::size_t>(spans[i].parent)] += d;
+    }
+  }
+  // Forward sweep assigns start times: roots run back to back; within a
+  // parent, children start at the parent's cursor, in open order.
+  std::vector<std::uint64_t> cursor(n, 0);
+  std::uint64_t root_cursor = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (spans[i].parent < 0) {
+      t.ts[i] = root_cursor;
+      root_cursor += t.eff_dur[i];
+    } else {
+      const auto p = static_cast<std::size_t>(spans[i].parent);
+      t.ts[i] = t.ts[p] + cursor[p];
+      cursor[p] += t.eff_dur[i];
+    }
+    cursor[i] = 0;
+  }
+  return t;
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome_trace(std::ostream& os,
+                                       const ExportOptions& opt) const {
+  const Timeline t = build_timeline(spans_);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":\"amix (1 round = 1us)\"}}";
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const SpanRecord& s = spans_[i];
+    os << ",{\"name\":\"";
+    write_json_escaped(os, s.name);
+    os << "\",\"cat\":\"amix\",\"ph\":\"X\",\"ts\":" << t.ts[i]
+       << ",\"dur\":" << t.eff_dur[i] << ",\"pid\":0,\"tid\":0"
+       << ",\"args\":{\"rounds\":" << s.rounds()
+       << ",\"token_moves\":" << s.token_moves << ",\"steps\":" << s.steps;
+    if (opt.include_wall_time) {
+      os << ",\"wall_us\":" << s.wall_ns / 1000;
+    }
+    os << "}}";
+  }
+  os << "]}";
+}
+
+void TraceRecorder::write_text_tree(std::ostream& os,
+                                    const ExportOptions& opt) const {
+  for (const SpanRecord& s : spans_) {
+    for (std::uint32_t d = 0; d < s.depth; ++d) os << "  ";
+    os << s.name << "  rounds=" << s.rounds() << " tokens=" << s.token_moves
+       << " steps=" << s.steps;
+    if (opt.include_wall_time) os << " wall_us=" << s.wall_ns / 1000;
+    if (!s.closed) os << "  [UNCLOSED]";
+    os << '\n';
+  }
+}
+
+// ---- ObsInstrument ----------------------------------------------------
+
+std::uint32_t ObsInstrument::on_token_move(const CommGraph& g,
+                                           std::uint64_t arc) {
+  // The inner instrument (fault plan / auditor chain) decides on extra
+  // slots; the recorder only observes. Count the extras too: they occupy
+  // real arc capacity and the congestion dashboards should see them.
+  const std::uint32_t extra = inner_ ? inner_->on_token_move(g, arc) : 0;
+  ++rec_.tokens_;
+  rec_.slots_ += 1 + extra;
+  return extra;
+}
+
+void ObsInstrument::on_step_commit(const CommGraph& g, std::uint32_t charged) {
+  if (inner_) inner_->on_step_commit(g, charged);
+  ++rec_.commits_;
+  if (charged > 0) {
+    // `charged` is the step's max per-arc load = rounds of this graph.
+    rec_.metrics_.hist_record("transport/step_max_load", charged);
+    rec_.metrics_.gauge_max("transport/max_step_load", charged);
+    rec_.metrics_.counter_add("transport/base_rounds",
+                              static_cast<std::uint64_t>(charged) *
+                                  g.round_cost());
+  }
+}
+
+bool ObsInstrument::on_kernel_deliver(NodeId from, NodeId to,
+                                      std::uint64_t round) {
+  const bool deliver = inner_ ? inner_->on_kernel_deliver(from, to, round)
+                              : true;
+  ++rec_.kernel_msgs_;
+  if (!deliver) ++rec_.kernel_drops_;
+  return deliver;
+}
+
+void ObsInstrument::on_kernel_round_order(std::uint64_t round,
+                                          std::span<NodeId> order) {
+  if (inner_) inner_->on_kernel_round_order(round, order);
+}
+
+}  // namespace amix::obs

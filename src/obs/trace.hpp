@@ -1,0 +1,205 @@
+#pragma once
+
+// TraceRecorder: nestable RAII phase spans + run metrics, exportable as
+// Chrome-trace JSON (chrome://tracing / Perfetto) and as a plain-text
+// tree.
+//
+// The span taxonomy is named after the paper's phases and lemmas
+// ("hierarchy/build", "boruvka/phase-3", "route/level-2", ...; full list
+// in DESIGN.md §9). Each span captures, at open and close:
+//
+//   * the bound ledger's charged-round total  -> span round cost,
+//   * the recorder's token/step counters      -> span traffic volume,
+//   * a steady_clock stamp                    -> span wall time.
+//
+// Determinism: round and token numbers are products of the simulation and
+// are bit-identical across ExecPolicy thread counts (installing the
+// recorder's instrument switches the substrates to their serial
+// log-and-replay paths, exactly like the fault/audit seam). Wall time is
+// NOT deterministic, so exports omit it unless explicitly asked
+// (ExportOptions::include_wall_time) — the default artifacts are byte
+// -identical for a fixed seed at any thread count, which the test suite
+// enforces.
+//
+// Cost when disabled: every annotation site does one thread-local load
+// and one branch (the same budget as the congest::instrument() seam). No
+// strings are materialized, no clocks are read, no allocation happens
+// unless a recorder is installed.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "congest/instrument.hpp"
+#include "congest/round_ledger.hpp"
+#include "obs/metrics.hpp"
+
+namespace amix::obs {
+
+class TraceRecorder;
+
+/// Currently installed recorder for this thread (nullptr when none).
+/// Annotation sites must treat nullptr as "record nothing".
+TraceRecorder* recorder();
+
+/// RAII installation; restores the previous recorder so traced scopes
+/// nest (a bench can trace a region inside an already-traced run).
+class ScopedRecorder {
+ public:
+  explicit ScopedRecorder(TraceRecorder* rec);
+  ~ScopedRecorder();
+  ScopedRecorder(const ScopedRecorder&) = delete;
+  ScopedRecorder& operator=(const ScopedRecorder&) = delete;
+
+ private:
+  TraceRecorder* prev_;
+};
+
+struct SpanRecord {
+  std::string name;
+  std::int32_t parent = -1;  // index into spans(); -1 = root
+  std::uint32_t depth = 0;
+  std::uint64_t open_rounds = 0;   // bound ledger total at open
+  std::uint64_t close_rounds = 0;  // ... and at close
+  std::uint64_t token_moves = 0;   // recorder token counter delta
+  std::uint64_t steps = 0;         // recorder commit counter delta
+  std::uint64_t wall_ns = 0;
+  bool closed = false;
+
+  std::uint64_t rounds() const { return close_rounds - open_rounds; }
+};
+
+struct ExportOptions {
+  /// Wall times are nondeterministic; keep them out of artifacts unless a
+  /// human explicitly wants them (amixctl trace --wall).
+  bool include_wall_time = false;
+};
+
+class TraceRecorder {
+ public:
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+
+  /// True when every opened span has been closed — the invariant the
+  /// faulted-run regression test checks (fault plans cost rounds but must
+  /// never leak a span).
+  bool all_closed() const { return open_depth_ == 0; }
+  std::uint32_t open_depth() const { return open_depth_; }
+
+  std::uint64_t token_moves() const { return tokens_; }
+  std::uint64_t arc_slots() const { return slots_; }
+  std::uint64_t step_commits() const { return commits_; }
+  std::uint64_t kernel_messages() const { return kernel_msgs_; }
+  std::uint64_t kernel_drops() const { return kernel_drops_; }
+
+  /// Chrome-trace JSON: {"traceEvents":[...]} of "X" complete events, one
+  /// per span, 1 charged round = 1 µs of trace time. Timestamps are
+  /// assigned deterministically from the span tree (children laid out
+  /// sequentially inside their parent), so the file is byte-stable and
+  /// always passes Perfetto's nesting validation even when spans from
+  /// several sub-ledgers share a trace.
+  void write_chrome_trace(std::ostream& os, const ExportOptions& opt = {}) const;
+
+  /// Indented text tree: one line per span with rounds / token volume
+  /// (and wall time when opted in).
+  void write_text_tree(std::ostream& os, const ExportOptions& opt = {}) const;
+
+  void clear();
+
+ private:
+  friend class Span;
+  friend class ObsInstrument;
+
+  std::int32_t open_span(const RoundLedger& ledger, std::string_view name);
+  void close_span(std::int32_t idx, const RoundLedger& ledger,
+                  std::uint64_t wall_ns);
+
+  std::vector<SpanRecord> spans_;
+  std::int32_t current_ = -1;  // innermost open span
+  std::uint32_t open_depth_ = 0;
+  MetricsRegistry metrics_;
+
+  // Raw hot-path tallies (bumped from ObsInstrument callbacks; plain
+  // increments, no map lookups per token or per kernel message).
+  std::uint64_t tokens_ = 0;
+  std::uint64_t slots_ = 0;
+  std::uint64_t commits_ = 0;
+  std::uint64_t kernel_msgs_ = 0;
+  std::uint64_t kernel_drops_ = 0;
+};
+
+/// RAII phase span. Opens against the thread's recorder (no-op when none
+/// is installed) and snapshots `ledger` — bind the ledger the surrounded
+/// code charges, so close-open equals the phase's round cost.
+class Span {
+ public:
+  Span(const RoundLedger& ledger, std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceRecorder* rec_;         // captured once; null = disabled span
+  const RoundLedger* ledger_;
+  std::int32_t idx_ = -1;
+  std::uint64_t open_ns_ = 0;
+};
+
+/// "prefix<i>" for numbered spans ("boruvka/phase-3", "route/level-1") —
+/// built only when a recorder is installed so disabled sites never
+/// allocate. A Span given the resulting empty string is still a no-op.
+inline std::string numbered(std::string_view prefix, std::uint64_t i) {
+  if (recorder() == nullptr) return {};
+  std::string s(prefix);
+  s += std::to_string(i);
+  return s;
+}
+
+// ---- Metric helpers for annotation sites ------------------------------
+// Each is a thread-local load + branch when no recorder is installed, so
+// call sites need no #ifdef-style guards.
+
+inline void metric_counter_add(std::string_view name, std::uint64_t delta) {
+  if (TraceRecorder* r = recorder()) r->metrics().counter_add(name, delta);
+}
+inline void metric_gauge_max(std::string_view name, std::uint64_t v) {
+  if (TraceRecorder* r = recorder()) r->metrics().gauge_max(name, v);
+}
+inline void metric_gauge_set(std::string_view name, std::uint64_t v) {
+  if (TraceRecorder* r = recorder()) r->metrics().gauge_set(name, v);
+}
+inline void metric_hist(std::string_view name, std::uint64_t v) {
+  if (TraceRecorder* r = recorder()) r->metrics().hist_record(name, v);
+}
+
+/// CongestInstrument that feeds the recorder's counters and congestion
+/// histogram from the token layer, optionally forwarding every callback
+/// to an inner instrument (so tracing composes with fault plans and the
+/// conformance auditor — the harness chains them).
+///
+/// Installing any instrument flips TokenTransport / SyncNetwork to their
+/// serial replay paths; that, plus OrderedMap iteration order, is what
+/// makes recorded traces thread-count invariant.
+class ObsInstrument final : public congest::CongestInstrument {
+ public:
+  explicit ObsInstrument(TraceRecorder& rec,
+                         congest::CongestInstrument* inner = nullptr)
+      : rec_(rec), inner_(inner) {}
+
+  std::uint32_t on_token_move(const CommGraph& g, std::uint64_t arc) override;
+  void on_step_commit(const CommGraph& g, std::uint32_t charged) override;
+  bool on_kernel_deliver(NodeId from, NodeId to,
+                         std::uint64_t round) override;
+  void on_kernel_round_order(std::uint64_t round,
+                             std::span<NodeId> order) override;
+
+ private:
+  TraceRecorder& rec_;
+  congest::CongestInstrument* inner_;
+};
+
+}  // namespace amix::obs

@@ -1,10 +1,35 @@
 #include "randwalk/walk_engine.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "congest/instrument.hpp"
+#include "obs/trace.hpp"
 
 namespace amix {
+
+namespace {
+
+/// Lemma 2.4 envelope with constant 1: k·Δ + log2 n, where k is the
+/// smallest integer with (walks starting at v) <= k·d(v) for every v.
+/// The recorded ratio observed/envelope is what BoundChecker holds
+/// against its configured constant.
+std::uint64_t lemma24_envelope(const CommGraph& g,
+                               std::span<const std::uint32_t> starts) {
+  std::vector<std::uint32_t> at(g.num_nodes(), 0);
+  for (const std::uint32_t s : starts) ++at[s];
+  std::uint64_t k_hat = 0;
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    if (at[v] == 0) continue;
+    const std::uint32_t d = std::max(1u, g.degree(v));
+    k_hat = std::max<std::uint64_t>(k_hat, (at[v] + d - 1) / d);
+  }
+  const std::uint64_t log_n =
+      std::bit_width(std::uint64_t{std::max(2u, g.num_nodes())} - 1);
+  return k_hat * std::max(1u, g.max_degree()) + log_n;
+}
+
+}  // namespace
 
 namespace {
 
@@ -46,6 +71,7 @@ ParallelWalkEngine::ParallelWalkEngine(const CommGraph& g, Rng rng,
 std::vector<std::uint32_t> ParallelWalkEngine::run(
     std::span<const std::uint32_t> starts, WalkKind kind, std::uint32_t steps,
     RoundLedger& ledger, WalkStats* stats) {
+  const obs::Span span(ledger, "walks/run");
   std::vector<std::uint32_t> pos(starts.begin(), starts.end());
   for (const std::uint32_t s : pos) {
     AMIX_CHECK(s < g_.num_nodes());
@@ -126,6 +152,15 @@ std::vector<std::uint32_t> ParallelWalkEngine::run(
   local.graph_rounds = transport.total_graph_rounds();
   local.base_rounds = local.graph_rounds * g_.round_cost();
   local.max_transport_residency = transport.max_node_residency();
+  if (obs::recorder() != nullptr && !pos.empty() && steps > 0) {
+    obs::metric_counter_add("walk/moves", local.total_moves);
+    obs::metric_gauge_max("walk/max_node_load", local.max_node_load);
+    obs::metric_gauge_max("walk/max_transport_residency",
+                          local.max_transport_residency);
+    obs::metric_gauge_max(
+        "lemma24/load_over_envelope_x1000",
+        obs::ratio_x1000(local.max_node_load, lemma24_envelope(g_, starts)));
+  }
   if (stats != nullptr) *stats = local;
   return pos;
 }

@@ -1,10 +1,13 @@
 #include "routing/clique_emulation.hpp"
 
+#include "obs/trace.hpp"
+
 namespace amix {
 
 CliqueEmulationStats CliqueEmulator::emulate_round(RoundLedger& ledger,
                                                    Rng& rng,
                                                    double edge_expansion) const {
+  const obs::Span span(ledger, "clique/emulate-round");
   const Graph& g = h_->graph();
   CliqueEmulationStats stats;
   const auto reqs = all_to_all_instance(g);
@@ -18,6 +21,8 @@ CliqueEmulationStats CliqueEmulator::emulate_round(RoundLedger& ledger,
     stats.lower_bound =
         static_cast<double>(g.num_nodes()) / edge_expansion;
   }
+  obs::metric_counter_add("clique/messages", stats.messages);
+  obs::metric_counter_add("clique/phases", stats.phases);
   return stats;
 }
 

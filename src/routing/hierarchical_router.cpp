@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "congest/token_transport.hpp"
+#include "obs/trace.hpp"
 #include "randwalk/walk_engine.hpp"
 
 namespace amix {
@@ -33,6 +34,7 @@ class Recursion {
       leaf_deliver(items);
       return;
     }
+    const obs::Span span(ledger_, obs::numbered("route/level-", level));
     const auto& part = h_.partition();
     const std::uint32_t child_level = level + 1;
 
@@ -59,26 +61,31 @@ class Recursion {
     route_within(child_level, phase1);
 
     if (!cross.empty()) {
-      // Hop every cross packet over one level-`level` overlay edge.
-      TokenTransport transport(h_.overlay(level));
-      for (const Item& it : cross) {
-        const Vid portal = packets_[it.pkt].cur;
-        const std::uint32_t target_child =
-            part.child_index(part.part_of(it.target, child_level));
-        const auto [nbr, port] =
-            h_.portals().hop_arc(portal, child_level, target_child);
-        transport.move(portal, port);
-        packets_[it.pkt].cur = nbr;
+      {
+        // Hop every cross packet over one level-`level` overlay edge. The
+        // span closes before the recursion so it holds only the hop cost.
+        const obs::Span hop_span(ledger_,
+                                 obs::numbered("route/hop/level-", level));
+        TokenTransport transport(h_.overlay(level));
+        for (const Item& it : cross) {
+          const Vid portal = packets_[it.pkt].cur;
+          const std::uint32_t target_child =
+              part.child_index(part.part_of(it.target, child_level));
+          const auto [nbr, port] =
+              h_.portals().hop_arc(portal, child_level, target_child);
+          transport.move(portal, port);
+          packets_[it.pkt].cur = nbr;
+        }
+        const std::uint64_t before = ledger_.total();
+        transport.commit_step(ledger_);
+        stats_.hop_rounds += ledger_.total() - before;
+        if (stats_.hop_rounds_by_level.size() <= level) {
+          stats_.hop_rounds_by_level.resize(level + 1, 0);
+          stats_.cross_packets_by_level.resize(level + 1, 0);
+        }
+        stats_.hop_rounds_by_level[level] += ledger_.total() - before;
+        stats_.cross_packets_by_level[level] += cross.size();
       }
-      const std::uint64_t before = ledger_.total();
-      transport.commit_step(ledger_);
-      stats_.hop_rounds += ledger_.total() - before;
-      if (stats_.hop_rounds_by_level.size() <= level) {
-        stats_.hop_rounds_by_level.resize(level + 1, 0);
-        stats_.cross_packets_by_level.resize(level + 1, 0);
-      }
-      stats_.hop_rounds_by_level[level] += ledger_.total() - before;
-      stats_.cross_packets_by_level[level] += cross.size();
 
       route_within(child_level, cross);
     }
@@ -86,6 +93,7 @@ class Recursion {
 
  private:
   void leaf_deliver(std::vector<Item>& items) {
+    const obs::Span span(ledger_, "route/leaf-deliver");
     const OverlayComm& leaf = h_.overlay(h_.depth());
     // The leaf overlay is a dense random graph per leaf part (diameter
     // 1-2): forward each packet along a BFS shortest path, one parallel
@@ -168,6 +176,7 @@ RouteStats HierarchicalRouter::route(std::span<const RouteRequest> reqs,
   stats.packets = static_cast<std::uint32_t>(reqs.size());
   const std::uint64_t rounds_at_entry = ledger.total();
   if (reqs.empty()) return stats;
+  const obs::Span route_span(ledger, "route/run");
 
   // Destination virtual nodes: hashed port, computable from RoutingAddr.
   std::vector<Packet> packets(reqs.size());
@@ -183,6 +192,7 @@ RouteStats HierarchicalRouter::route(std::span<const RouteRequest> reqs,
 
   // Preparation: scatter packets by lazy walks of length tau_mix on G.
   {
+    const obs::Span prep_span(ledger, "route/prep-walks");
     std::vector<std::uint32_t> starts(reqs.size());
     for (std::size_t i = 0; i < reqs.size(); ++i) starts[i] = reqs[i].src;
     BaseComm base(g);
@@ -221,6 +231,11 @@ RouteStats HierarchicalRouter::route(std::span<const RouteRequest> reqs,
     ++stats.delivered;
   }
   stats.total_rounds = ledger.total() - rounds_at_entry;
+  if (obs::recorder() != nullptr) {
+    obs::metric_counter_add("route/packets", stats.packets);
+    obs::metric_counter_add("route/delivered", stats.delivered);
+    obs::metric_gauge_max("route/max_vid_load", stats.max_vid_load);
+  }
   return stats;
 }
 

@@ -1,9 +1,11 @@
 #include "sim/harness.hpp"
 
+#include <optional>
 #include <sstream>
 
 #include "congest/instrument.hpp"
 #include "graph/generators.hpp"
+#include "obs/trace.hpp"
 
 namespace amix::sim {
 namespace {
@@ -45,11 +47,25 @@ class SimInstrument final : public congest::CongestInstrument {
 }  // namespace
 
 RunRecord SimHarness::play_once(const EpochBody& body, const Graph* g0,
-                                std::uint32_t epochs) const {
+                                std::uint32_t epochs, bool primary) const {
   if (opt_.faults != nullptr) opt_.faults->reset(opt_.seed);
   ConformanceAuditor auditor;
   SimInstrument ins(opt_.faults, opt_.audit ? &auditor : nullptr);
-  congest::ScopedInstrument scope(&ins);
+
+  // Tracing records only the primary play: replays must compare equal to
+  // it, and recording them too would double-count every span and metric.
+  // The ObsInstrument chains in FRONT of the fault/audit instrument so
+  // faults still decide retransmissions and the auditor still sees final
+  // slot counts; the recorder just watches. Installing a ScopedRecorder
+  // of nullptr during replays also shields them from any ambient recorder.
+  obs::TraceRecorder* trace = primary ? opt_.trace : nullptr;
+  if (trace != nullptr) trace->clear();
+  std::optional<obs::ObsInstrument> obs_ins;
+  if (trace != nullptr) obs_ins.emplace(*trace, &ins);
+  congest::ScopedInstrument scope(
+      obs_ins.has_value() ? static_cast<congest::CongestInstrument*>(&*obs_ins)
+                          : &ins);
+  obs::ScopedRecorder rec_scope(trace);
 
   SimRun run(opt_.seed);
   run.exec_ = opt_.exec;
@@ -73,7 +89,7 @@ RunRecord SimHarness::play_once(const EpochBody& body, const Graph* g0,
   RunRecord rec;
   rec.seed = opt_.seed;
   rec.ledger_total = run.ledger_.total();
-  rec.phase_totals = run.ledger_.phases();
+  rec.phase_totals = run.ledger_.phase_map();
   rec.output_digest = run.digest_.value();
   rec.audit = auditor.report();
   return rec;
@@ -87,9 +103,9 @@ HarnessResult SimHarness::run(const Body& body) const {
 HarnessResult SimHarness::run_epochs(const Graph& g0, std::uint32_t epochs,
                                      const EpochBody& body) const {
   HarnessResult result;
-  result.record = play_once(body, &g0, epochs);
+  result.record = play_once(body, &g0, epochs, /*primary=*/true);
   for (std::uint32_t r = 0; r < opt_.replays; ++r) {
-    const RunRecord replay = play_once(body, &g0, epochs);
+    const RunRecord replay = play_once(body, &g0, epochs, /*primary=*/false);
     const std::string diff = diff_records(result.record, replay);
     if (!diff.empty()) {
       result.deterministic = false;

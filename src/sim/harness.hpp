@@ -32,8 +32,13 @@
 #include "graph/graph.hpp"
 #include "sim/conformance.hpp"
 #include "sim/fault_plan.hpp"
+#include "util/ordered_map.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+
+namespace amix::obs {
+class TraceRecorder;  // obs/trace.hpp; forward to keep sim headers light
+}
 
 namespace amix::sim {
 
@@ -56,7 +61,9 @@ class Digest {
 struct RunRecord {
   std::uint64_t seed = 0;
   std::uint64_t ledger_total = 0;
-  std::vector<std::pair<std::string, std::uint64_t>> phase_totals;
+  /// Per-phase charge breakdown, deterministic first-charge order (the
+  /// same OrderedMap the ledger and obs::MetricsRegistry use).
+  OrderedMap<std::uint64_t> phase_totals;
   std::uint64_t output_digest = 0;
   AuditReport audit;
 };
@@ -101,6 +108,11 @@ struct HarnessOptions {
   bool audit = true;            // install the conformance auditor
   std::uint32_t replays = 1;    // extra identical-seed plays to compare
   ExecPolicy exec{};            // substrate threading for the body
+  /// Trace/metrics sink for the PRIMARY play only (not owned; nullptr =
+  /// no recording). Replays run untraced — they must compare equal to the
+  /// primary, and recording twice would double every metric. The recorder
+  /// is cleared before the primary play starts.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 struct HarnessResult {
@@ -127,7 +139,7 @@ class SimHarness {
 
  private:
   RunRecord play_once(const EpochBody& body, const Graph* g0,
-                      std::uint32_t epochs) const;
+                      std::uint32_t epochs, bool primary) const;
 
   HarnessOptions opt_;
 };

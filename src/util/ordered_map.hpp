@@ -1,0 +1,92 @@
+#pragma once
+
+// OrderedMap: a string-keyed map with deterministic (insertion-order)
+// iteration and O(1) average lookup.
+//
+// The repo's observability surfaces — RoundLedger phase breakdowns,
+// obs::MetricsRegistry counters/gauges/histograms — all need the same two
+// properties: exports must be byte-identical across runs and thread counts
+// (so iteration order must be a pure function of the recorded event
+// sequence, never of hashing or addresses), and lookups happen on paths
+// hot enough that the previous linear scan over a vector<pair> was
+// starting to show up (RoundLedger::charge with a phase tag runs once per
+// committed step). Items live in an insertion-ordered vector — the vector
+// IS the iteration order — and an unordered index maps key -> slot for
+// lookup only.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace amix {
+
+template <typename V>
+class OrderedMap {
+ public:
+  using Item = std::pair<std::string, V>;
+
+  /// Value slot for `key`, inserting a default-constructed value (at the
+  /// end of the iteration order) on first use.
+  V& at_or_insert(std::string_view key) {
+    if (const auto it = index_.find(key); it != index_.end()) {
+      return items_[it->second].second;
+    }
+    items_.emplace_back(std::string(key), V{});
+    // The index owns its key copy: item strings move when the vector
+    // grows (and short keys live in SSO buffers), so views into them
+    // would dangle. Lookups stay allocation-free via transparent hashing.
+    index_.emplace(items_.back().first, items_.size() - 1);
+    return items_.back().second;
+  }
+
+  /// Lookup without insertion; nullptr when absent.
+  const V* find(std::string_view key) const {
+    const auto it = index_.find(key);
+    return it != index_.end() ? &items_[it->second].second : nullptr;
+  }
+
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+
+  /// Insertion-ordered items; the canonical iteration surface.
+  const std::vector<Item>& items() const { return items_; }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const Item& operator[](std::size_t i) const { return items_[i]; }
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+  void clear() {
+    items_.clear();
+    index_.clear();
+  }
+
+  /// Equality is over the ordered items — two maps built by different
+  /// insertion sequences compare unequal, which is exactly what the
+  /// determinism diffs want.
+  friend bool operator==(const OrderedMap& a, const OrderedMap& b) {
+    return a.items_ == b.items_;
+  }
+
+ private:
+  struct SvHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct SvEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  std::vector<Item> items_;
+  std::unordered_map<std::string, std::size_t, SvHash, SvEq> index_;
+};
+
+}  // namespace amix

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <vector>
+
 #include "congest/comm_graph.hpp"
+#include "congest/instrument.hpp"
 #include "congest/network.hpp"
 #include "congest/primitives.hpp"
 #include "congest/token_transport.hpp"
@@ -276,6 +280,57 @@ TEST(RoundLedger, PhaseTaggingAccumulates) {
   EXPECT_EQ(ledger.phase_total("missing"), 0u);
   ledger.reset();
   EXPECT_EQ(ledger.total(), 0u);
+}
+
+TEST(SyncNetwork, InboxEmptyFlagSetsAndClearsAcrossRounds) {
+  // The empty() fast path reads a per-node arrived flag that must be SET
+  // the round after any message lands and CLEARED again once a silent
+  // round passes — on the plain serial path, on the instrumented serial
+  // path (any installed instrument reroutes delivery), and on the
+  // threaded path.
+  const Graph g = gen::ring(8);
+  const NodeId n = g.num_nodes();
+  const NodeId w = g.arcs(0)[0].to;  // receiver of node 0's port 0
+  constexpr std::uint32_t kRounds = 4;
+
+  // flags[r * n + v] = in.empty() seen by v in round r (uint8_t: written
+  // concurrently per node under the threaded executor, so no vector<bool>).
+  const auto observe = [&](std::uint32_t threads, bool instrumented) {
+    RoundLedger ledger;
+    SyncNetwork net(g, ledger, ExecPolicy{threads});
+    std::vector<std::uint8_t> flags(std::size_t{kRounds} * n, 0);
+    congest::CongestInstrument passthrough;
+    std::optional<congest::ScopedInstrument> scope;
+    if (instrumented) scope.emplace(&passthrough);
+    net.run_rounds(
+        [&](NodeId v, const Inbox& in, Outbox& out) {
+          flags[net.rounds_executed() * n + v] = in.empty() ? 1 : 0;
+          // Node 0 speaks in rounds 0 and 2, is silent in rounds 1 and 3.
+          if (v == 0 && net.rounds_executed() % 2 == 0) {
+            out.send(0, Message{7, 0});
+          }
+        },
+        kRounds);
+    return flags;
+  };
+
+  const auto expect_pattern = [&](const std::vector<std::uint8_t>& flags) {
+    for (std::uint32_t r = 0; r < kRounds; ++r) {
+      for (NodeId v = 0; v < n; ++v) {
+        // Only w hears anything, and only in the rounds right after node 0
+        // spoke (set in round 1, cleared in round 2, set again in round 3).
+        const bool expect_empty = !(v == w && (r == 1 || r == 3));
+        EXPECT_EQ(flags[r * n + v] == 1, expect_empty)
+            << "round " << r << " node " << v;
+      }
+    }
+  };
+
+  const auto serial = observe(1, /*instrumented=*/false);
+  expect_pattern(serial);
+  EXPECT_EQ(observe(1, /*instrumented=*/true), serial);
+  EXPECT_EQ(observe(4, /*instrumented=*/false), serial);
+  EXPECT_EQ(observe(4, /*instrumented=*/true), serial);
 }
 
 TEST(RoundLedger, PhaseScopeFoldsIntoParent) {

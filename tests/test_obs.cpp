@@ -1,0 +1,703 @@
+// obs/: OrderedMap, TraceRecorder spans, MetricsRegistry exports, the
+// Chrome-trace schema (validated with a real JSON parse), BoundChecker
+// envelopes on the seed corpus, thread-count invariance of the exported
+// artifacts, and span integrity under fault injection.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "amix/amix.hpp"
+
+namespace amix {
+namespace {
+
+using obs::BoundChecker;
+using obs::BoundReport;
+using obs::MetricsRegistry;
+using obs::ObsInstrument;
+using obs::ScopedRecorder;
+using obs::Span;
+using obs::TraceRecorder;
+using sim::HarnessOptions;
+using sim::HarnessResult;
+using sim::Scenario;
+using sim::SimHarness;
+using sim::SimRun;
+
+// ---------------------------------------------------------------------------
+// OrderedMap
+// ---------------------------------------------------------------------------
+
+TEST(OrderedMap, InsertionOrderIsIterationOrder) {
+  OrderedMap<std::uint64_t> m;
+  m.at_or_insert("zebra") = 1;
+  m.at_or_insert("alpha") = 2;
+  m.at_or_insert("mid") = 3;
+  m.at_or_insert("zebra") += 10;  // update must not move the key
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0].first, "zebra");
+  EXPECT_EQ(m[0].second, 11u);
+  EXPECT_EQ(m[1].first, "alpha");
+  EXPECT_EQ(m[2].first, "mid");
+  EXPECT_EQ(*m.find("mid"), 3u);
+  EXPECT_EQ(m.find("absent"), nullptr);
+  EXPECT_TRUE(m.contains("alpha"));
+}
+
+TEST(OrderedMap, EqualityIsOrderSensitive) {
+  OrderedMap<std::uint64_t> a, b;
+  a.at_or_insert("x") = 1;
+  a.at_or_insert("y") = 2;
+  b.at_or_insert("y") = 2;
+  b.at_or_insert("x") = 1;
+  EXPECT_FALSE(a == b);  // same content, different first-insertion order
+  OrderedMap<std::uint64_t> c;
+  c.at_or_insert("x") = 1;
+  c.at_or_insert("y") = 2;
+  EXPECT_TRUE(a == c);
+}
+
+TEST(OrderedMap, SurvivesIndexRehashing) {
+  // The index stores string_views into the item vector; growth must not
+  // leave them dangling (items are std::string — stable heap storage).
+  OrderedMap<std::uint64_t> m;
+  for (int i = 0; i < 500; ++i) {
+    m.at_or_insert("key-" + std::to_string(i)) = i;
+  }
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_NE(m.find("key-" + std::to_string(i)), nullptr) << i;
+    EXPECT_EQ(*m.find("key-" + std::to_string(i)),
+              static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(RoundLedgerOrderedMap, PhaseChargeOrderAndTotals) {
+  RoundLedger ledger;
+  ledger.charge("b", 2);
+  ledger.charge("a", 3);
+  ledger.charge("b", 5);
+  EXPECT_EQ(ledger.total(), 10u);
+  EXPECT_EQ(ledger.phase_total("b"), 7u);
+  ASSERT_EQ(ledger.phases().size(), 2u);
+  EXPECT_EQ(ledger.phases()[0].first, "b");  // first-charge order
+  EXPECT_EQ(ledger.phases()[1].first, "a");
+  EXPECT_EQ(ledger.phase_map().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+TEST(TraceRecorder, SpanIsANoopWithoutARecorder) {
+  ASSERT_EQ(obs::recorder(), nullptr);
+  RoundLedger ledger;
+  {
+    const Span s(ledger, "never-recorded");
+    ledger.charge(5);
+  }
+  // Nothing to assert beyond "didn't crash": there is no recorder to
+  // inspect, which is exactly the point.
+  EXPECT_EQ(obs::recorder(), nullptr);
+}
+
+TEST(TraceRecorder, NestedSpansAttributeRoundsAndParents) {
+  TraceRecorder rec;
+  RoundLedger ledger;
+  {
+    const ScopedRecorder scope(&rec);
+    const Span outer(ledger, "outer");
+    ledger.charge(5);
+    {
+      const Span inner(ledger, "inner");
+      ledger.charge(3);
+    }
+    ledger.charge(2);
+  }
+  ASSERT_TRUE(rec.all_closed());
+  ASSERT_EQ(rec.spans().size(), 2u);
+  const auto& outer = rec.spans()[0];
+  const auto& inner = rec.spans()[1];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.parent, -1);
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(outer.rounds(), 10u);
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.parent, 0);
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_EQ(inner.rounds(), 3u);
+}
+
+TEST(TraceRecorder, ScopedRecorderRestoresThePreviousRecorder) {
+  TraceRecorder a, b;
+  {
+    const ScopedRecorder sa(&a);
+    EXPECT_EQ(obs::recorder(), &a);
+    {
+      const ScopedRecorder sb(&b);
+      EXPECT_EQ(obs::recorder(), &b);
+    }
+    EXPECT_EQ(obs::recorder(), &a);
+  }
+  EXPECT_EQ(obs::recorder(), nullptr);
+}
+
+TEST(TraceRecorder, TextTreeIndentsByDepth) {
+  TraceRecorder rec;
+  RoundLedger ledger;
+  {
+    const ScopedRecorder scope(&rec);
+    const Span outer(ledger, "build");
+    ledger.charge(1);
+    const Span inner(ledger, "phase");
+    ledger.charge(1);
+  }
+  std::ostringstream os;
+  rec.write_text_tree(os);
+  EXPECT_EQ(os.str(), "build  rounds=2 tokens=0 steps=0\n"
+                      "  phase  rounds=1 tokens=0 steps=0\n");
+}
+
+TEST(TraceRecorder, NumberedLabelsOnlyMaterializeWhenRecording) {
+  EXPECT_EQ(obs::numbered("p-", 3), "");  // no recorder installed
+  TraceRecorder rec;
+  const ScopedRecorder scope(&rec);
+  EXPECT_EQ(obs::numbered("p-", 3), "p-3");
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, CountersGaugesAndHistograms) {
+  MetricsRegistry m;
+  m.counter_add("moves", 5);
+  m.counter_add("moves", 7);
+  m.gauge_max("peak", 4);
+  m.gauge_max("peak", 9);
+  m.gauge_max("peak", 2);  // must not lower the max
+  m.gauge_set("depth", 3);
+  m.gauge_set("depth", 2);  // last write wins
+  m.hist_record("load", 1);
+  m.hist_record("load", 5);
+  m.hist_record("load", 1000);
+  EXPECT_EQ(m.value_or("moves", 0), 12u);
+  EXPECT_EQ(m.value_or("peak", 0), 9u);
+  EXPECT_EQ(m.value_or("depth", 0), 2u);
+  EXPECT_EQ(m.value_or("absent", 77), 77u);
+  const obs::Histogram* h = m.histograms().find("load");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 3u);
+  EXPECT_EQ(h->sum, 1006u);
+  EXPECT_EQ(h->min, 1u);
+  EXPECT_EQ(h->max, 1000u);
+  ASSERT_EQ(h->buckets.size(), 10u);  // floor(log2(1000)) == 9
+  EXPECT_EQ(h->buckets[0], 1u);
+  EXPECT_EQ(h->buckets[2], 1u);
+  EXPECT_EQ(h->buckets[9], 1u);
+}
+
+TEST(Metrics, JsonExportIsInsertionOrderedAndFloatFree) {
+  MetricsRegistry m;
+  m.counter_add("z", 1);
+  m.counter_add("a", 2);
+  m.gauge_set("g", 3);
+  m.hist_record("h", 4);
+  std::ostringstream os;
+  m.write_json(os);
+  EXPECT_EQ(os.str(),
+            "{\"counters\":{\"z\":1,\"a\":2},\"gauges\":{\"g\":3},"
+            "\"histograms\":{\"h\":{\"count\":1,\"sum\":4,\"min\":4,"
+            "\"max\":4,\"buckets\":[0,0,1]}}}");
+}
+
+TEST(Metrics, CsvExportListsEveryKind) {
+  MetricsRegistry m;
+  m.counter_add("c", 1);
+  m.gauge_set("g", 2);
+  m.hist_record("h", 3);
+  std::ostringstream os;
+  m.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("kind,name,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("counter,c,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,g,2\n"), std::string::npos);
+  EXPECT_NE(csv.find("hist_count,h,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("hist_bucket_p1,h,1\n"), std::string::npos);
+}
+
+TEST(Metrics, RatioX1000RoundsToNearest) {
+  EXPECT_EQ(obs::ratio_x1000(1, 2), 500u);
+  EXPECT_EQ(obs::ratio_x1000(2, 3), 667u);
+  EXPECT_EQ(obs::ratio_x1000(7, 7), 1000u);
+  EXPECT_EQ(obs::ratio_x1000(0, 5), 0u);
+  EXPECT_EQ(obs::ratio_x1000(0, 0), 0u);
+  EXPECT_EQ(obs::ratio_x1000(1, 0), ~std::uint64_t{0});
+}
+
+// ---------------------------------------------------------------------------
+// A small JSON parser for schema validation (tests only — the library
+// itself never parses JSON, and pulling a dependency for this would break
+// the no-new-deps rule).
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNum, kStr, kArr, kObj };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  /// Parses the full document; sets ok=false on any syntax error or
+  /// trailing garbage.
+  JsonValue parse(bool& ok) {
+    ok = true;
+    const JsonValue v = value(ok);
+    skip_ws();
+    if (p_ != end_) ok = false;
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\n' || *p_ == '\t' ||
+                          *p_ == '\r')) {
+      ++p_;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (p_ != end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+  JsonValue value(bool& ok) {
+    skip_ws();
+    JsonValue v;
+    if (p_ == end_) {
+      ok = false;
+      return v;
+    }
+    if (*p_ == '{') return object(ok);
+    if (*p_ == '[') return array(ok);
+    if (*p_ == '"') {
+      v.kind = JsonValue::Kind::kStr;
+      v.str = string(ok);
+      return v;
+    }
+    if (literal("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (literal("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (literal("null")) return v;
+    char* num_end = nullptr;
+    v.num = std::strtod(p_, &num_end);
+    if (num_end == p_ || num_end > end_) {
+      ok = false;
+      return v;
+    }
+    v.kind = JsonValue::Kind::kNum;
+    p_ = num_end;
+    return v;
+  }
+  bool literal(const char* lit) {
+    const char* q = p_;
+    for (const char* l = lit; *l; ++l, ++q) {
+      if (q == end_ || *q != *l) return false;
+    }
+    p_ = q;
+    return true;
+  }
+  std::string string(bool& ok) {
+    std::string out;
+    ++p_;  // opening quote
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) break;
+        switch (*p_) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            // Only \u00XX escapes are emitted by the exporter.
+            if (end_ - p_ >= 5) {
+              out += static_cast<char>(
+                  std::strtol(std::string(p_ + 1, p_ + 5).c_str(), nullptr,
+                              16));
+              p_ += 4;
+            }
+            break;
+          default: out += *p_;
+        }
+      } else {
+        out += *p_;
+      }
+      ++p_;
+    }
+    if (p_ == end_) {
+      ok = false;
+      return out;
+    }
+    ++p_;  // closing quote
+    return out;
+  }
+  JsonValue object(bool& ok) {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObj;
+    ++p_;  // '{'
+    skip_ws();
+    if (consume('}')) return v;
+    do {
+      skip_ws();
+      if (p_ == end_ || *p_ != '"') {
+        ok = false;
+        return v;
+      }
+      std::string key = string(ok);
+      if (!consume(':')) {
+        ok = false;
+        return v;
+      }
+      v.obj.emplace_back(std::move(key), value(ok));
+      if (!ok) return v;
+    } while (consume(','));
+    if (!consume('}')) ok = false;
+    return v;
+  }
+  JsonValue array(bool& ok) {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArr;
+    ++p_;  // '['
+    skip_ws();
+    if (consume(']')) return v;
+    do {
+      v.arr.push_back(value(ok));
+      if (!ok) return v;
+    } while (consume(','));
+    if (!consume(']')) ok = false;
+    return v;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+std::string chrome_export(const TraceRecorder& rec) {
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  return os.str();
+}
+
+std::string metrics_export(const TraceRecorder& rec) {
+  std::ostringstream os;
+  rec.metrics().write_json(os);
+  return os.str();
+}
+
+/// Schema check for one exported Chrome trace: structure of every event,
+/// and proper nesting of the "X" complete events on each (pid, tid) track
+/// (Perfetto's import requirement).
+void expect_valid_chrome_trace(const std::string& text,
+                               std::vector<std::string>* names_out) {
+  bool ok = true;
+  const JsonValue doc = JsonParser(text).parse(ok);
+  ASSERT_TRUE(ok) << "trace is not valid JSON";
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObj);
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::kArr);
+
+  struct Open {
+    double ts, dur;
+  };
+  std::vector<Open> stack;
+  double prev_ts = -1;
+  for (const JsonValue& e : events->arr) {
+    ASSERT_EQ(e.kind, JsonValue::Kind::kObj);
+    const JsonValue* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->str == "M") continue;  // metadata record
+    ASSERT_EQ(ph->str, "X");
+    for (const char* key : {"name", "cat", "ts", "dur", "pid", "tid"}) {
+      ASSERT_NE(e.find(key), nullptr) << "missing " << key;
+    }
+    const JsonValue* args = e.find("args");
+    ASSERT_NE(args, nullptr);
+    for (const char* key : {"rounds", "token_moves", "steps"}) {
+      const JsonValue* a = args->find(key);
+      ASSERT_NE(a, nullptr) << "missing args." << key;
+      ASSERT_EQ(a->kind, JsonValue::Kind::kNum);
+    }
+    const double ts = e.find("ts")->num;
+    const double dur = e.find("dur")->num;
+    EXPECT_GE(dur, 1.0);  // zero-width events vanish in viewers
+    // Events are emitted in span-open order, so ts must be monotone and
+    // each event must nest inside whatever is still open.
+    EXPECT_GE(ts, prev_ts);
+    prev_ts = ts;
+    while (!stack.empty() && stack.back().ts + stack.back().dur <= ts) {
+      stack.pop_back();
+    }
+    if (!stack.empty()) {
+      EXPECT_LE(ts + dur, stack.back().ts + stack.back().dur)
+          << "event " << e.find("name")->str << " escapes its parent";
+    }
+    stack.push_back({ts, dur});
+    if (names_out != nullptr) names_out->push_back(e.find("name")->str);
+  }
+}
+
+TEST(ChromeTrace, EmptyRecorderExportsValidJson) {
+  TraceRecorder rec;
+  std::vector<std::string> names;
+  expect_valid_chrome_trace(chrome_export(rec), &names);
+  EXPECT_TRUE(names.empty());
+}
+
+TEST(ChromeTrace, MstScenarioHasEveryLevelAndPhaseSpan) {
+  Rng rng(11);
+  const Graph g = gen::random_regular(96, 6, rng);
+  const Weights w = distinct_random_weights(g, rng);
+
+  TraceRecorder rec;
+  ObsInstrument ins(rec);
+  RoundLedger ledger;
+  MstStats stats;
+  std::uint32_t depth = 0;
+  {
+    const ScopedRecorder rscope(&rec);
+    const congest::ScopedInstrument iscope(&ins);
+    HierarchyParams hp;
+    hp.seed = 11;
+    const Hierarchy h = Hierarchy::build(g, hp, ledger);
+    depth = h.depth();
+    stats = HierarchicalBoruvka(h, w).run(ledger);
+  }
+  ASSERT_TRUE(is_exact_mst(g, w, stats.edges));
+  ASSERT_TRUE(rec.all_closed());
+
+  std::vector<std::string> names;
+  expect_valid_chrome_trace(chrome_export(rec), &names);
+  const auto has = [&](const std::string& n) {
+    for (const std::string& s : names) {
+      if (s == n) return true;
+    }
+    return false;
+  };
+  // The acceptance criterion: a span for every hierarchy level and every
+  // Boruvka phase, plus the umbrella spans.
+  EXPECT_TRUE(has("hierarchy/build"));
+  EXPECT_TRUE(has("hierarchy/g0-embed"));
+  EXPECT_TRUE(has("hierarchy/portals"));
+  ASSERT_GE(depth, 1u);
+  for (std::uint32_t l = 1; l <= depth; ++l) {
+    EXPECT_TRUE(has("hierarchy/level-" + std::to_string(l))) << l;
+  }
+  EXPECT_TRUE(has("mst/boruvka"));
+  ASSERT_GE(stats.iterations, 1u);
+  for (std::uint32_t i = 1; i <= stats.iterations; ++i) {
+    EXPECT_TRUE(has("boruvka/phase-" + std::to_string(i))) << i;
+  }
+  EXPECT_TRUE(has("route/run"));
+  EXPECT_TRUE(has("walks/run"));
+
+  // And the registry carried the dashboard gauges the BoundChecker reads.
+  EXPECT_TRUE(rec.metrics().has("lemma24/load_over_envelope_x1000"));
+  EXPECT_TRUE(rec.metrics().has("lemma3x/emul_over_log2sq_x1000"));
+  EXPECT_TRUE(rec.metrics().has("portal/table_entries"));
+  EXPECT_GT(rec.token_moves(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// BoundChecker
+// ---------------------------------------------------------------------------
+
+TEST(BoundChecker, NoApplicableGaugesMeansNoEntries) {
+  MetricsRegistry m;
+  m.gauge_set("unrelated", 123456);
+  const BoundReport r = BoundChecker().check(m);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.entries.empty());
+  EXPECT_NE(r.summary().find("no checks applicable"), std::string::npos);
+}
+
+TEST(BoundChecker, FlagsARatioAboveTheConstant) {
+  MetricsRegistry m;
+  m.gauge_max("lemma24/load_over_envelope_x1000", 99999);
+  m.gauge_max("lemma3x/emul_over_log2sq_x1000", 100);
+  const BoundReport r = BoundChecker().check(m);
+  ASSERT_EQ(r.entries.size(), 2u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.violations(), 1u);
+  EXPECT_FALSE(r.entries[0].ok);
+  EXPECT_EQ(r.entries[0].lemma, "Lemma 2.4");
+  EXPECT_TRUE(r.entries[1].ok);
+  EXPECT_NE(r.summary().find("VIOLATION"), std::string::npos);
+}
+
+TEST(BoundChecker, ZeroViolationsAcrossTheSeedCorpus) {
+  for (const Scenario& sc : sim::seeded_corpus(23)) {
+    Rng rng(sc.seed);
+    const Weights w = distinct_random_weights(sc.graph, rng);
+    TraceRecorder rec;
+    ObsInstrument ins(rec);
+    RoundLedger ledger;
+    {
+      const ScopedRecorder rscope(&rec);
+      const congest::ScopedInstrument iscope(&ins);
+      HierarchyParams hp;
+      hp.seed = sc.seed;
+      const Hierarchy h = Hierarchy::build(sc.graph, hp, ledger);
+      const MstStats stats = HierarchicalBoruvka(h, w).run(ledger);
+      ASSERT_TRUE(is_exact_mst(sc.graph, w, stats.edges)) << sc.name;
+    }
+    const BoundReport r = BoundChecker().check(rec.metrics());
+    EXPECT_GE(r.entries.size(), 2u) << sc.name;
+    EXPECT_TRUE(r.ok()) << sc.name << "\n" << r.summary();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance of the exported artifacts
+// ---------------------------------------------------------------------------
+
+/// The same walk+kernel pipeline test_parallel_exec certifies, here run
+/// with a recorder attached through HarnessOptions::trace.
+void traced_pipeline(SimRun& run, const Graph& g) {
+  RoundLedger& ledger = run.ledger();
+  BaseComm base(g);
+  std::vector<std::uint32_t> starts;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (std::uint32_t i = 0; i < g.degree(v); ++i) starts.push_back(v);
+  }
+  const Span span(ledger, "pipeline");
+  ParallelWalkEngine engine(base, run.rng().split(), run.exec());
+  WalkStats stats;
+  const auto ends = engine.run(starts, WalkKind::kLazy, 10, ledger, &stats);
+  run.fold_range(ends);
+
+  congest::SyncNetwork net(g, ledger, run.exec());
+  net.run_rounds(
+      [&](NodeId v, const congest::Inbox& in, congest::Outbox& out) {
+        (void)in;
+        out.send(static_cast<std::uint32_t>(v % g.degree(v)),
+                 congest::Message{v, 0});
+      },
+      4);
+}
+
+TEST(ThreadInvariance, TraceAndMetricsExportsAreByteIdentical) {
+  for (const Scenario& sc : sim::seeded_corpus(73)) {
+    std::vector<std::string> traces, metrics;
+    for (const std::uint32_t threads : {1u, 2u, 8u}) {
+      TraceRecorder rec;
+      SimHarness harness(HarnessOptions{.seed = sc.seed,
+                                        .replays = 1,
+                                        .exec = ExecPolicy{threads},
+                                        .trace = &rec});
+      const HarnessResult res = harness.run(
+          [&sc](SimRun& run) { traced_pipeline(run, sc.graph); });
+      ASSERT_TRUE(res.certified()) << sc.name << " threads=" << threads
+                                   << res.mismatch_report;
+      ASSERT_TRUE(rec.all_closed()) << sc.name;
+      ASSERT_FALSE(rec.spans().empty()) << sc.name;
+      traces.push_back(chrome_export(rec));
+      metrics.push_back(metrics_export(rec));
+    }
+    // The acceptance criterion: byte-identical JSON artifacts at thread
+    // counts 1, 2, and 8 under one seed.
+    EXPECT_EQ(traces[0], traces[1]) << sc.name;
+    EXPECT_EQ(traces[0], traces[2]) << sc.name;
+    EXPECT_EQ(metrics[0], metrics[1]) << sc.name;
+    EXPECT_EQ(metrics[0], metrics[2]) << sc.name;
+    expect_valid_chrome_trace(traces[0], nullptr);
+  }
+}
+
+TEST(ThreadInvariance, ReplaysStayUntracedAndUnperturbed) {
+  // Tracing the primary play must not desync it from untraced replays
+  // (the recorder is observation-only), and the replays must not append
+  // to the recorder.
+  const Scenario sc = sim::seeded_corpus(41)[0];
+  TraceRecorder rec;
+  SimHarness harness(HarnessOptions{.seed = sc.seed,
+                                    .replays = 3,
+                                    .trace = &rec});
+  const HarnessResult res =
+      harness.run([&sc](SimRun& run) { traced_pipeline(run, sc.graph); });
+  ASSERT_TRUE(res.certified()) << res.mismatch_report;
+  ASSERT_TRUE(rec.all_closed());
+  // Exactly one pipeline span: replays did not record.
+  std::uint32_t pipeline_spans = 0;
+  for (const auto& s : rec.spans()) pipeline_spans += s.name == "pipeline";
+  EXPECT_EQ(pipeline_spans, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: spans still nest and close
+// ---------------------------------------------------------------------------
+
+TEST(FaultedRun, SpansNestAndCloseUnderDropsAndDuplication) {
+  const Scenario sc = sim::seeded_corpus(57)[0];
+  sim::MessageDropPlan drop(0.08);
+  sim::DuplicationPlan dup(0.10);
+  for (sim::FaultPlan* plan : {static_cast<sim::FaultPlan*>(&drop),
+                               static_cast<sim::FaultPlan*>(&dup)}) {
+    TraceRecorder rec;
+    SimHarness harness(HarnessOptions{.seed = 4242,
+                                      .faults = plan,
+                                      .replays = 1,
+                                      .trace = &rec});
+    const HarnessResult res =
+        harness.run([&sc](SimRun& run) { traced_pipeline(run, sc.graph); });
+    ASSERT_TRUE(res.certified()) << plan->name() << res.mismatch_report;
+
+    // The regression this guards: a faulted run must leave the span tree
+    // fully closed and structurally sound (parents precede children,
+    // depth increments by one), and the export must still validate.
+    EXPECT_TRUE(rec.all_closed()) << plan->name();
+    EXPECT_EQ(rec.open_depth(), 0u);
+    ASSERT_FALSE(rec.spans().empty());
+    for (std::size_t i = 0; i < rec.spans().size(); ++i) {
+      const auto& s = rec.spans()[i];
+      EXPECT_TRUE(s.closed) << plan->name() << " span " << s.name;
+      EXPECT_GE(s.close_rounds, s.open_rounds);
+      if (s.parent >= 0) {
+        ASSERT_LT(static_cast<std::size_t>(s.parent), i);
+        EXPECT_EQ(s.depth,
+                  rec.spans()[static_cast<std::size_t>(s.parent)].depth + 1);
+      } else {
+        EXPECT_EQ(s.depth, 0u);
+      }
+    }
+    expect_valid_chrome_trace(chrome_export(rec), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace amix

@@ -8,11 +8,18 @@
 //   amixctl mst <file> [--engine hier|flood|kernel|piped] [--seed S]
 //   amixctl mincut <file> [--trees T] [--seed S]
 //   amixctl estimate-tau <file> [--seed S]
+//   amixctl trace <file> [--scenario mst|route|clique] [--seed S]
+//           [--trace-out f.json] [--metrics-out f.json|f.csv]
+//           [--tree f.txt] [--wall]
+//       runs the scenario under a TraceRecorder, writes the Chrome-trace
+//       and metrics artifacts, prints the span tree + bound-check report;
+//       exits nonzero if any paper-bound envelope is violated.
 //
 // Instances are the text format of graph/io.hpp; `generate` always writes
 // distinct random weights so every instance is MST-ready.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -31,6 +38,11 @@ struct Args {
   std::string engine = "hier";
   std::uint32_t trees = 0;
   bool demand = false;
+  std::string scenario = "mst";
+  std::string trace_out = "amix-trace.json";
+  std::string metrics_out = "amix-metrics.json";
+  std::string tree_out;
+  bool wall = false;
 };
 
 Args parse(int argc, char** argv) {
@@ -51,6 +63,16 @@ Args parse(int argc, char** argv) {
       a.trees = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (s == "--demand") {
       a.demand = true;
+    } else if (s == "--scenario") {
+      a.scenario = next();
+    } else if (s == "--trace-out") {
+      a.trace_out = next();
+    } else if (s == "--metrics-out") {
+      a.metrics_out = next();
+    } else if (s == "--tree") {
+      a.tree_out = next();
+    } else if (s == "--wall") {
+      a.wall = true;
     } else {
       a.positional.push_back(s);
     }
@@ -60,7 +82,7 @@ Args parse(int argc, char** argv) {
 
 int usage() {
   std::cerr << "usage: amixctl "
-               "{generate|info|route|mst|mincut|estimate-tau} ... "
+               "{generate|info|route|mst|mincut|estimate-tau|trace} ... "
                "(see the header of tools/amixctl.cpp)\n";
   return 2;
 }
@@ -204,6 +226,75 @@ int cmd_estimate_tau(const Args& a) {
   return 0;
 }
 
+int cmd_trace(const Args& a) {
+  AMIX_CHECK_MSG(a.positional.size() >= 2, "trace needs <file>");
+  const GraphFile f = load_graph(a.positional[1]);
+  const Graph& g = f.graph;
+  Rng rng(a.seed);
+
+  obs::TraceRecorder rec;
+  obs::ObsInstrument ins(rec);
+  RoundLedger ledger;
+  {
+    const obs::ScopedRecorder rscope(&rec);
+    const congest::ScopedInstrument iscope(&ins);
+
+    HierarchyParams hp;
+    hp.seed = a.seed;
+    const Hierarchy h = Hierarchy::build(g, hp, ledger);
+
+    if (a.scenario == "mst") {
+      Weights w = f.weights ? *f.weights : distinct_random_weights(g, rng);
+      const MstStats ms = HierarchicalBoruvka(h, w).run(ledger);
+      AMIX_CHECK_MSG(is_exact_mst(g, w, ms.edges),
+                     "traced MST run is not exact");
+    } else if (a.scenario == "route") {
+      const auto reqs = a.demand ? degree_demand_instance(g, rng)
+                                 : permutation_instance(g, rng);
+      HierarchicalRouter router(h);
+      const RouteStats rs = router.route_in_phases(reqs, 0, ledger, rng);
+      AMIX_CHECK_MSG(rs.delivered == reqs.size(),
+                     "traced route run dropped packets");
+    } else if (a.scenario == "clique") {
+      CliqueEmulator emu(h);
+      emu.emulate_round(ledger, rng);
+    } else {
+      return usage();
+    }
+  }
+
+  const obs::ExportOptions eo{.include_wall_time = a.wall};
+  {
+    std::ofstream os(a.trace_out);
+    AMIX_CHECK_MSG(os.good(), "cannot open --trace-out file");
+    rec.write_chrome_trace(os, eo);
+  }
+  {
+    std::ofstream os(a.metrics_out);
+    AMIX_CHECK_MSG(os.good(), "cannot open --metrics-out file");
+    const bool csv = a.metrics_out.size() >= 4 &&
+                     a.metrics_out.substr(a.metrics_out.size() - 4) == ".csv";
+    if (csv) {
+      rec.metrics().write_csv(os);
+    } else {
+      rec.metrics().write_json(os);
+    }
+  }
+  if (!a.tree_out.empty()) {
+    std::ofstream os(a.tree_out);
+    AMIX_CHECK_MSG(os.good(), "cannot open --tree file");
+    rec.write_text_tree(os, eo);
+  }
+
+  std::cout << "scenario=" << a.scenario << " rounds=" << ledger.total()
+            << " spans=" << rec.spans().size()
+            << " token_moves=" << rec.token_moves() << "\n"
+            << "wrote " << a.trace_out << " and " << a.metrics_out << "\n";
+  const obs::BoundReport report = obs::BoundChecker().check(rec.metrics());
+  std::cout << report.summary();
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -216,5 +307,6 @@ int main(int argc, char** argv) {
   if (cmd == "mst") return cmd_mst(a);
   if (cmd == "mincut") return cmd_mincut(a);
   if (cmd == "estimate-tau") return cmd_estimate_tau(a);
+  if (cmd == "trace") return cmd_trace(a);
   return usage();
 }

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a committed baseline.
+
+Used by CI's perf-smoke job as the observability zero-overhead guard: the
+token-transport hot path must not regress when no TraceRecorder is
+installed (the obs seam is one thread-local load + branch, shared with the
+pre-existing instrument seam, so the expected delta is zero).
+
+    perf_guard.py --baseline BENCH_simulator.json \
+                  --current bench-transport-guard.json \
+                  --benchmark BM_TokenTransportCommit --tolerance 0.03
+
+Rows are matched by benchmark name (prefix-filtered by --benchmark). When
+the current file holds repetition aggregates, the `_median` rows are used
+and the suffix is stripped for matching — medians are what make a 3%
+tolerance meaningful on shared runners. Exits 1 when any matched row's
+cpu_time exceeds baseline * (1 + tolerance); missing rows are an error
+(a silently renamed benchmark must not disable the guard).
+
+Stdlib only; no pip dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path, prefix):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    has_aggregates = any(
+        b["name"].endswith("_median") for b in doc.get("benchmarks", [])
+    )
+    for b in doc.get("benchmarks", []):
+        name = b["name"]
+        if has_aggregates:
+            if not name.endswith("_median"):
+                continue
+            name = name[: -len("_median")]
+        if not name.startswith(prefix):
+            continue
+        rows[name] = float(b["cpu_time"])
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--benchmark", default="", help="benchmark name prefix")
+    ap.add_argument("--tolerance", type=float, default=0.03)
+    args = ap.parse_args()
+
+    base = load_rows(args.baseline, args.benchmark)
+    cur = load_rows(args.current, args.benchmark)
+    if not base:
+        print(f"perf_guard: no baseline rows match '{args.benchmark}'")
+        return 1
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        print(f"perf_guard: rows missing from current run: {missing}")
+        return 1
+
+    failed = False
+    print(f"{'benchmark':<44} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for name in sorted(base):
+        b, c = base[name], cur[name]
+        delta = (c - b) / b
+        verdict = "ok" if delta <= args.tolerance else "REGRESSION"
+        failed |= delta > args.tolerance
+        print(f"{name:<44} {b:>10.0f}ns {c:>10.0f}ns {delta:>+7.1%} {verdict}")
+    if failed:
+        print(f"perf_guard: regression beyond {args.tolerance:.0%} tolerance")
+        return 1
+    print(f"perf_guard: all rows within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
