@@ -90,6 +90,37 @@ void BM_TokenTransportCommit(benchmark::State& state) {
 BENCHMARK(BM_TokenTransportCommit)
     ->ArgsProduct({{1 << 15}, {0, 1, 2, 8}});
 
+// Kernel slot-sweep cost in isolation: rounds of mixed traffic (half the
+// ports send, so present and absent inbox slots interleave) over the
+// per-arc message arrays. This is the SyncNetwork memory-layout benchmark:
+// its cost is dominated by the delivery sweep and slot bookkeeping, not
+// the handler body.
+void BM_SyncNetworkRound(benchmark::State& state) {
+  Rng rng(23);
+  const Graph g = gen::random_regular(2048, 8, rng);
+  std::vector<std::uint64_t> acc(g.num_nodes(), 0);
+  for (auto _ : state) {
+    RoundLedger ledger;
+    congest::SyncNetwork net(g, ledger);
+    net.run_rounds(
+        [&acc](NodeId v, const congest::Inbox& in, congest::Outbox& out) {
+          if (!in.empty()) {
+            for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
+              if (in.at(p).has_value()) acc[v] += in.at(p)->a;
+            }
+          }
+          for (std::uint32_t p = 0; p < out.num_ports(); p += 2) {
+            out.send(p, congest::Message{acc[v] + p, v});
+          }
+        },
+        static_cast<std::uint32_t>(state.range(0)));
+    benchmark::DoNotOptimize(ledger.total());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes() *
+                          state.range(0));
+}
+BENCHMARK(BM_SyncNetworkRound)->Arg(32);
+
 void BM_KernelRounds(benchmark::State& state) {
   Rng rng(9);
   const Graph g = gen::random_regular(512, 8, rng);

@@ -11,13 +11,50 @@
 // CommGraph (the walk engine, the token transport, the router) therefore
 // work unchanged at every level of the hierarchy, and all their charges
 // land in base-G rounds.
+//
+// Hot loops do not call the virtual interface. Every CommGraph exposes a
+// CommView — a non-owning POD over one contiguous CSR block (prefix-sum
+// offsets + flat neighbor array) with the scalar invariants cached — and
+// the per-token inner loops (walk engine, token transport, router) run
+// against the view, so degree/neighbor/arc_index are two array reads with
+// zero dispatch. The view is a pure re-description of the same adjacency:
+// port numbering, arc indices, and hence every ledger charge are identical
+// to the virtual interface (tests/test_comm_view.cpp pins this).
 
 #include <cstdint>
 #include <span>
+#include <utility>
 
 #include "graph/graph.hpp"
 
 namespace amix {
+
+/// Non-owning flat view of a CommGraph's adjacency. Plain arrays + cached
+/// scalars; valid only while the owning CommGraph is alive and unmodified.
+struct CommView {
+  const std::uint64_t* offsets = nullptr;  // num_nodes + 1 prefix sums
+  const std::uint32_t* nbrs = nullptr;     // flat neighbors, size num_arcs
+  std::uint32_t num_nodes = 0;
+  std::uint32_t max_degree = 0;
+  std::uint64_t num_arcs = 0;
+  std::uint64_t round_cost = 1;
+
+  std::uint32_t degree(std::uint32_t v) const {
+    return static_cast<std::uint32_t>(offsets[v + 1] - offsets[v]);
+  }
+  std::uint32_t neighbor(std::uint32_t v, std::uint32_t port) const {
+    return nbrs[offsets[v] + port];
+  }
+  /// Directed-arc index of (v, port): same numbering as the owning
+  /// CommGraph (offsets[v] + port), the unit of the CONGEST capacity
+  /// constraint.
+  std::uint64_t arc_index(std::uint32_t v, std::uint32_t port) const {
+    return offsets[v] + port;
+  }
+  std::span<const std::uint32_t> neighbors(std::uint32_t v) const {
+    return {nbrs + offsets[v], nbrs + offsets[v + 1]};
+  }
+};
 
 class CommGraph {
  public:
@@ -37,7 +74,13 @@ class CommGraph {
   /// (1 for the base graph; measured at construction for overlays).
   virtual std::uint64_t round_cost() const = 0;
 
-  std::uint32_t max_degree() const {
+  /// Flat CSR view for hot loops; see CommView. O(1) — concrete graphs
+  /// keep their adjacency in CSR form already.
+  virtual CommView view() const = 0;
+
+  /// Max degree over all nodes. Concrete graphs cache this at
+  /// construction; the default is a scan fallback for ad-hoc test doubles.
+  virtual std::uint32_t max_degree() const {
     std::uint32_t d = 0;
     for (std::uint32_t v = 0; v < num_nodes(); ++v) {
       d = std::max(d, degree(v));
@@ -51,8 +94,10 @@ class BaseComm final : public CommGraph {
  public:
   explicit BaseComm(const Graph& g) : g_(g) {
     offsets_.resize(g.num_nodes() + 1, 0);
+    nbrs_.reserve(g.num_arcs());
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       offsets_[v + 1] = offsets_[v] + g.degree(v);
+      for (const Arc& a : g.arcs(v)) nbrs_.push_back(a.to);
     }
   }
 
@@ -66,53 +111,145 @@ class BaseComm final : public CommGraph {
   }
   std::uint64_t num_arcs() const override { return g_.num_arcs(); }
   std::uint64_t round_cost() const override { return 1; }
+  std::uint32_t max_degree() const override { return g_.max_degree(); }
+
+  CommView view() const override {
+    return CommView{.offsets = offsets_.data(),
+                    .nbrs = nbrs_.data(),
+                    .num_nodes = g_.num_nodes(),
+                    .max_degree = g_.max_degree(),
+                    .num_arcs = g_.num_arcs(),
+                    .round_cost = 1};
+  }
 
   const Graph& graph() const { return g_; }
 
  private:
   const Graph& g_;
   std::vector<std::uint64_t> offsets_;
+  std::vector<std::uint32_t> nbrs_;  // flat ports-in-order neighbor copy
 };
 
-/// A materialized overlay (adjacency lists + measured emulation cost):
-/// used for G_0 and every G_i[part] of the hierarchy.
+/// A materialized overlay in flat CSR form (offsets + neighbor array +
+/// measured emulation cost): used for G_0 and every G_i[part] of the
+/// hierarchy. Port p of node v is nbrs_[offsets_[v] + p].
 class OverlayComm final : public CommGraph {
  public:
   OverlayComm() = default;
-  OverlayComm(std::vector<std::vector<std::uint32_t>> adj,
+
+  /// From per-node adjacency lists; port numbering is the list order.
+  OverlayComm(const std::vector<std::vector<std::uint32_t>>& adj,
               std::uint64_t round_cost)
-      : adj_(std::move(adj)), round_cost_(round_cost) {
-    offsets_.resize(adj_.size() + 1, 0);
-    for (std::size_t v = 0; v < adj_.size(); ++v) {
-      offsets_[v + 1] = offsets_[v] + adj_[v].size();
+      : round_cost_(round_cost) {
+    offsets_.resize(adj.size() + 1, 0);
+    std::size_t total = 0;
+    for (const auto& row : adj) total += row.size();
+    nbrs_.reserve(total);
+    for (std::size_t v = 0; v < adj.size(); ++v) {
+      offsets_[v + 1] = offsets_[v] + adj[v].size();
+      nbrs_.insert(nbrs_.end(), adj[v].begin(), adj[v].end());
+      max_degree_ =
+          std::max(max_degree_, static_cast<std::uint32_t>(adj[v].size()));
+    }
+  }
+
+  /// From prebuilt CSR arrays (see CsrBuilder). `offsets` has
+  /// num_nodes + 1 entries; `nbrs` has offsets.back() entries.
+  OverlayComm(std::vector<std::uint64_t> offsets,
+              std::vector<std::uint32_t> nbrs, std::uint64_t round_cost)
+      : offsets_(std::move(offsets)),
+        nbrs_(std::move(nbrs)),
+        round_cost_(round_cost) {
+    AMIX_CHECK(!offsets_.empty() && offsets_.back() == nbrs_.size());
+    for (std::size_t v = 0; v + 1 < offsets_.size(); ++v) {
+      max_degree_ = std::max(
+          max_degree_, static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]));
     }
   }
 
   std::uint32_t num_nodes() const override {
-    return static_cast<std::uint32_t>(adj_.size());
+    return static_cast<std::uint32_t>(offsets_.empty() ? 0
+                                                       : offsets_.size() - 1);
   }
   std::uint32_t degree(std::uint32_t v) const override {
-    return static_cast<std::uint32_t>(adj_[v].size());
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
   }
   std::uint32_t neighbor(std::uint32_t v, std::uint32_t port) const override {
-    return adj_[v][port];
+    return nbrs_[offsets_[v] + port];
   }
   std::uint64_t arc_index(std::uint32_t v, std::uint32_t port) const override {
     return offsets_[v] + port;
   }
-  std::uint64_t num_arcs() const override { return offsets_.back(); }
+  std::uint64_t num_arcs() const override {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
   std::uint64_t round_cost() const override { return round_cost_; }
+  std::uint32_t max_degree() const override { return max_degree_; }
+
+  CommView view() const override {
+    return CommView{.offsets = offsets_.data(),
+                    .nbrs = nbrs_.data(),
+                    .num_nodes = num_nodes(),
+                    .max_degree = max_degree_,
+                    .num_arcs = num_arcs(),
+                    .round_cost = round_cost_};
+  }
 
   void set_round_cost(std::uint64_t c) { round_cost_ = c; }
 
   std::span<const std::uint32_t> neighbors(std::uint32_t v) const {
-    return adj_[v];
+    return {nbrs_.data() + offsets_[v], nbrs_.data() + offsets_[v + 1]};
   }
 
  private:
-  std::vector<std::vector<std::uint32_t>> adj_;
-  std::vector<std::uint64_t> offsets_;
+  std::vector<std::uint64_t> offsets_;  // num_nodes + 1
+  std::vector<std::uint32_t> nbrs_;     // flat, size offsets_.back()
+  std::uint32_t max_degree_ = 0;
   std::uint64_t round_cost_ = 1;
+};
+
+/// Accumulates arcs in arrival order and emits a CSR OverlayComm whose
+/// per-node port numbering is the per-node arrival order — exactly what
+/// incremental vector<vector>::push_back construction produced, so arc
+/// indices (and every ledger charge derived from them) are unchanged.
+/// The hierarchy builders construct their overlays through this instead
+/// of materializing nested vectors.
+class CsrBuilder {
+ public:
+  explicit CsrBuilder(std::uint32_t num_nodes) : degree_(num_nodes, 0) {}
+
+  void add_arc(std::uint32_t src, std::uint32_t dst) {
+    AMIX_DCHECK(src < degree_.size() && dst < degree_.size());
+    arcs_.emplace_back(src, dst);
+    ++degree_[src];
+  }
+  /// Undirected edge: one arc each way, in (a->b, b->a) arrival order.
+  void add_edge(std::uint32_t a, std::uint32_t b) {
+    add_arc(a, b);
+    add_arc(b, a);
+  }
+
+  std::uint32_t degree(std::uint32_t v) const { return degree_[v]; }
+  std::uint64_t num_arcs() const { return arcs_.size(); }
+
+  /// Counting-sort the arc stream into CSR (stable per source node).
+  /// Consumes the builder.
+  OverlayComm finish(std::uint64_t round_cost) && {
+    const std::size_t n = degree_.size();
+    std::vector<std::uint64_t> offsets(n + 1, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      offsets[v + 1] = offsets[v] + degree_[v];
+    }
+    std::vector<std::uint32_t> nbrs(arcs_.size());
+    std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const auto& [src, dst] : arcs_) nbrs[cursor[src]++] = dst;
+    arcs_.clear();
+    return OverlayComm(std::move(offsets), std::move(nbrs), round_cost);
+  }
+
+ private:
+  std::vector<std::uint32_t> degree_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> arcs_;
 };
 
 }  // namespace amix

@@ -71,15 +71,26 @@ class CongestInstrument {
                                      std::span<NodeId> /*order*/) {}
 };
 
+namespace detail {
+/// Storage for the per-thread instrument pointer. Inline so the accessor
+/// below compiles down to a TLS load at every call site — the substrate
+/// hot paths (one check per token move / kernel round) must not pay an
+/// out-of-line call just to discover that no instrument is installed.
+inline thread_local CongestInstrument* t_instrument = nullptr;
+}  // namespace detail
+
 /// Currently installed instrument for this thread (nullptr when none).
-CongestInstrument* instrument();
+inline CongestInstrument* instrument() { return detail::t_instrument; }
 
 /// RAII installation; restores the previously installed instrument on
 /// destruction, so instrumented scopes nest.
 class ScopedInstrument {
  public:
-  explicit ScopedInstrument(CongestInstrument* ins);
-  ~ScopedInstrument();
+  explicit ScopedInstrument(CongestInstrument* ins)
+      : prev_(detail::t_instrument) {
+    detail::t_instrument = ins;
+  }
+  ~ScopedInstrument() { detail::t_instrument = prev_; }
   ScopedInstrument(const ScopedInstrument&) = delete;
   ScopedInstrument& operator=(const ScopedInstrument&) = delete;
 

@@ -19,8 +19,12 @@ SyncNetwork::SyncNetwork(const Graph& g, RoundLedger& ledger, ExecPolicy exec)
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     offsets_[v + 1] = offsets_[v] + g.degree(v);
   }
-  inbox_.assign(g.num_arcs(), std::nullopt);
-  outbox_.assign(g.num_arcs(), std::nullopt);
+  // Stamps start at 0 and the first round's epoch is 1, so every slot is
+  // born absent without an initial clearing pass.
+  inbox_msg_.resize(g.num_arcs());
+  outbox_msg_.resize(g.num_arcs());
+  inbox_stamp_.assign(g.num_arcs(), 0);
+  outbox_stamp_.assign(g.num_arcs(), 0);
   arrived_.assign(g.num_nodes(), 0);
   // Receiver-side delivery map: the message arriving on w's port q was
   // sent from the peer slot of the same edge at the other endpoint.
@@ -34,14 +38,14 @@ SyncNetwork::SyncNetwork(const Graph& g, RoundLedger& ledger, ExecPolicy exec)
   }
 }
 
-void SyncNetwork::invoke_handler(const Handler& h, NodeId v, bool* any_sent) {
-  const Inbox in(std::span<const std::optional<Message>>(
-                     inbox_.data() + offsets_[v], g_.degree(v)),
-                 arrived_[v] != 0);
-  Outbox out(
-      std::span<std::optional<Message>>(outbox_.data() + offsets_[v],
-                                        g_.degree(v)),
-      any_sent);
+void SyncNetwork::invoke_handler(const Handler& h, NodeId v,
+                                 std::uint64_t epoch, bool* any_sent) {
+  const std::uint32_t base = offsets_[v];
+  const std::uint32_t deg = g_.degree(v);
+  const Inbox in(inbox_msg_.data() + base, inbox_stamp_.data() + base, deg,
+                 epoch, arrived_[v] != 0);
+  Outbox out(outbox_msg_.data() + base, outbox_stamp_.data() + base, deg,
+             epoch, any_sent);
   h(v, in, out);
 }
 
@@ -53,6 +57,11 @@ bool SyncNetwork::step(const Handler& h) {
     return step_serial_instrumented(h, *ins);
   }
 
+  // This round's epoch: inbox slots delivered at the end of the previous
+  // round carry it, outbox slots written this round are stamped with it,
+  // and delivery below stamps the next round's inbox with cur + 1.
+  const std::uint64_t cur = rounds_executed_ + 1;
+
   const std::uint32_t num_shards = exec_.shards();
   std::vector<SentFlag> sent(num_shards);
 
@@ -61,7 +70,7 @@ bool SyncNetwork::step(const Handler& h) {
   parallel_for_shards(exec_, g_.num_nodes(),
                       [&](std::uint32_t s, std::size_t lo, std::size_t hi) {
                         for (std::size_t v = lo; v < hi; ++v) {
-                          invoke_handler(h, static_cast<NodeId>(v),
+                          invoke_handler(h, static_cast<NodeId>(v), cur,
                                          &sent[s].v);
                         }
                       });
@@ -70,29 +79,33 @@ bool SyncNetwork::step(const Handler& h) {
 
   // Phase 2: receiver-side delivery. Each inbox slot is written exactly
   // once (by its receiver's shard), so this is race-free too; the
-  // per-node arrived flag is what makes Inbox::empty() O(1).
+  // per-node arrived flag is what makes Inbox::empty() O(1). The sweep is
+  // branchless on purpose: presence is data (whether a sender stamped its
+  // slot this round), so a conditional copy would mispredict on every
+  // traffic pattern that interleaves present and absent slots. Copying
+  // the message unconditionally and selecting the stamp with arithmetic
+  // keeps the pipeline full; an absent slot gets stamp 0 (never a live
+  // epoch — they start at 1), and its garbage message bytes are
+  // unreachable through the Inbox API. The round's outboxes expire
+  // wholesale when the epoch advances — no clearing pass.
   parallel_for_shards(
       exec_, g_.num_nodes(),
       [&](std::uint32_t, std::size_t lo, std::size_t hi) {
         for (std::size_t w = lo; w < hi; ++w) {
-          bool any = false;
           const std::uint32_t base = offsets_[w];
           const std::uint32_t deg = g_.degree(static_cast<NodeId>(w));
+          std::uint64_t any = 0;
           for (std::uint32_t q = 0; q < deg; ++q) {
-            inbox_[base + q] = outbox_[peer_slot_[base + q]];
-            any |= inbox_[base + q].has_value();
+            const std::uint32_t peer = peer_slot_[base + q];
+            const std::uint64_t present =
+                outbox_stamp_[peer] == cur ? 1 : 0;
+            inbox_msg_[base + q] = outbox_msg_[peer];
+            inbox_stamp_[base + q] = present * (cur + 1);
+            any |= present;
           }
-          arrived_[w] = any ? 1 : 0;
+          arrived_[w] = any != 0 ? 1 : 0;
         }
       });
-
-  // Phase 3: retire the round's outboxes (all receivers are done).
-  parallel_for_shards(exec_, g_.num_nodes(),
-                      [&](std::uint32_t, std::size_t lo, std::size_t hi) {
-                        std::fill(outbox_.begin() + offsets_[lo],
-                                  outbox_.begin() + offsets_[hi],
-                                  std::nullopt);
-                      });
 
   ++rounds_executed_;
   ledger_.charge(1);
@@ -101,29 +114,30 @@ bool SyncNetwork::step(const Handler& h) {
 
 bool SyncNetwork::step_serial_instrumented(const Handler& h,
                                            CongestInstrument& ins) {
+  const std::uint64_t cur = rounds_executed_ + 1;
   bool any_sent = false;
   // An instrument may permute the handler invocation order (adversarial
   // schedule); a well-formed synchronous handler cannot observe this.
   std::vector<NodeId> order(g_.num_nodes());
   std::iota(order.begin(), order.end(), NodeId{0});
   ins.on_kernel_round_order(rounds_executed_, order);
-  for (const NodeId v : order) invoke_handler(h, v, &any_sent);
+  for (const NodeId v : order) invoke_handler(h, v, cur, &any_sent);
   // Deliver: the message v sent on port p arrives at w = neighbor(v,p) on
-  // w's port for the same edge.
-  std::fill(inbox_.begin(), inbox_.end(), std::nullopt);
+  // w's port for the same edge. Dropped or unsent slots simply keep a
+  // stale stamp.
   std::fill(arrived_.begin(), arrived_.end(), 0);
   for (NodeId v = 0; v < g_.num_nodes(); ++v) {
     const auto arcs = g_.arcs(v);
     for (std::uint32_t p = 0; p < arcs.size(); ++p) {
-      auto& slot = outbox_[offsets_[v] + p];
-      if (!slot.has_value()) continue;
+      const std::uint32_t slot = offsets_[v] + p;
+      if (outbox_stamp_[slot] != cur) continue;
       const NodeId w = arcs[p].to;
       if (ins.on_kernel_deliver(v, w, rounds_executed_)) {
         const std::uint32_t q = g_.port_of(w, arcs[p].edge);
-        inbox_[offsets_[w] + q] = *slot;
+        inbox_msg_[offsets_[w] + q] = outbox_msg_[slot];
+        inbox_stamp_[offsets_[w] + q] = cur + 1;
         arrived_[w] = 1;
       }
-      slot.reset();
     }
   }
   ++rounds_executed_;

@@ -25,10 +25,17 @@
 // When a CongestInstrument is installed the kernel always runs the serial
 // instrumented path, preserving the adversarial-order and drop-fault
 // callback sequence exactly.
+//
+// Memory layout: slots are struct-of-arrays — a flat Message array plus a
+// per-slot epoch stamp word (slot occupied iff its stamp equals the
+// current round's epoch). Compared to vector<optional<Message>> this
+// removes the per-slot presence padding from the payload sweep AND the
+// per-round outbox-clearing pass entirely: advancing the epoch invalidates
+// every stale slot at once. Inbox/Outbox expose optional-shaped accessors
+// (has_value / * / ->) over that layout, so handlers are unchanged.
 
 #include <cstdint>
 #include <functional>
-#include <optional>
 #include <vector>
 
 #include "congest/round_ledger.hpp"
@@ -49,44 +56,81 @@ struct Message {
 /// Messages visible to node v this round, indexed by v's port.
 class Inbox {
  public:
-  Inbox(std::span<const std::optional<Message>> slots, bool any_arrived)
-      : slots_(slots), any_arrived_(any_arrived) {}
+  /// One inbox slot, optional-shaped: has_value()/operator*/operator->
+  /// over the SoA message + stamp arrays. Cheap to copy (one pointer).
+  class Slot {
+   public:
+    explicit Slot(const Message* m) : m_(m) {}
+    bool has_value() const { return m_ != nullptr; }
+    const Message& operator*() const {
+      AMIX_DCHECK(m_ != nullptr);
+      return *m_;
+    }
+    const Message* operator->() const {
+      AMIX_DCHECK(m_ != nullptr);
+      return m_;
+    }
+    const Message& value() const {
+      AMIX_CHECK(m_ != nullptr);
+      return *m_;
+    }
 
-  std::uint32_t num_ports() const {
-    return static_cast<std::uint32_t>(slots_.size());
-  }
-  const std::optional<Message>& at(std::uint32_t port) const {
-    return slots_[port];
+   private:
+    const Message* m_;
+  };
+
+  Inbox(const Message* msgs, const std::uint64_t* stamps, std::uint32_t ports,
+        std::uint64_t epoch, bool any_arrived)
+      : msgs_(msgs),
+        stamps_(stamps),
+        ports_(ports),
+        epoch_(epoch),
+        any_arrived_(any_arrived) {}
+
+  std::uint32_t num_ports() const { return ports_; }
+  Slot at(std::uint32_t port) const {
+    AMIX_DCHECK(port < ports_);
+    return Slot(stamps_[port] == epoch_ ? &msgs_[port] : nullptr);
   }
   /// O(1): the network tracks a per-node "anything arrived" flag during
   /// delivery, so handlers can early-out without scanning every port.
   bool empty() const { return !any_arrived_; }
 
  private:
-  std::span<const std::optional<Message>> slots_;
+  const Message* msgs_;
+  const std::uint64_t* stamps_;
+  std::uint32_t ports_;
+  std::uint64_t epoch_;
   bool any_arrived_;
 };
 
 /// Send buffer for node v this round; at most one message per port.
 class Outbox {
  public:
-  Outbox(std::span<std::optional<Message>> slots, bool* any_sent)
-      : slots_(slots), any_sent_(any_sent) {}
+  Outbox(Message* msgs, std::uint64_t* stamps, std::uint32_t ports,
+         std::uint64_t epoch, bool* any_sent)
+      : msgs_(msgs),
+        stamps_(stamps),
+        ports_(ports),
+        epoch_(epoch),
+        any_sent_(any_sent) {}
 
   void send(std::uint32_t port, Message msg) {
-    AMIX_CHECK_MSG(port < slots_.size(), "send: bad port");
-    AMIX_CHECK_MSG(!slots_[port].has_value(),
+    AMIX_CHECK_MSG(port < ports_, "send: bad port");
+    AMIX_CHECK_MSG(stamps_[port] != epoch_,
                    "CONGEST violation: two messages on one arc in one round");
-    slots_[port] = msg;
+    msgs_[port] = msg;
+    stamps_[port] = epoch_;
     *any_sent_ = true;
   }
 
-  std::uint32_t num_ports() const {
-    return static_cast<std::uint32_t>(slots_.size());
-  }
+  std::uint32_t num_ports() const { return ports_; }
 
  private:
-  std::span<std::optional<Message>> slots_;
+  Message* msgs_;
+  std::uint64_t* stamps_;
+  std::uint32_t ports_;
+  std::uint64_t epoch_;
   bool* any_sent_;  // per shard under parallel execution
 };
 
@@ -112,16 +156,24 @@ class SyncNetwork {
  private:
   bool step(const Handler& h);  // returns true if any message was sent
   bool step_serial_instrumented(const Handler& h, CongestInstrument& ins);
-  void invoke_handler(const Handler& h, NodeId v, bool* any_sent);
+  void invoke_handler(const Handler& h, NodeId v, std::uint64_t epoch,
+                      bool* any_sent);
 
   const Graph& g_;
   RoundLedger& ledger_;
   ExecPolicy exec_;
-  std::vector<std::uint32_t> offsets_;          // node -> first slot
-  std::vector<std::optional<Message>> inbox_;   // per directed arc slot
-  std::vector<std::optional<Message>> outbox_;  // per directed arc slot
-  std::vector<std::uint32_t> peer_slot_;        // arc slot -> peer arc slot
-  std::vector<std::uint8_t> arrived_;           // node -> any inbox message
+  std::vector<std::uint32_t> offsets_;       // node -> first slot
+  // SoA slot storage: payloads + presence stamps, per directed arc slot.
+  // Round r's epoch is r+1; a slot holds a live message iff its stamp
+  // equals the epoch it is read under (inbox: r+1 written during round r's
+  // delivery, read in round r+1; outbox: r+1 written and read in round
+  // r+1's delivery). Stale slots need no clearing — the epoch moved on.
+  std::vector<Message> inbox_msg_;
+  std::vector<Message> outbox_msg_;
+  std::vector<std::uint64_t> inbox_stamp_;
+  std::vector<std::uint64_t> outbox_stamp_;
+  std::vector<std::uint32_t> peer_slot_;     // arc slot -> peer arc slot
+  std::vector<std::uint8_t> arrived_;        // node -> any inbox message
   std::uint64_t rounds_executed_ = 0;
 };
 

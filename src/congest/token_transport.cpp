@@ -6,15 +6,76 @@ std::vector<TokenTransport::Shard> TokenTransport::make_shards(
     std::uint32_t count) const {
   std::vector<Shard> shards(count);
   for (Shard& s : shards) {
-    s.g_ = &g_;
-    s.load_.assign(g_.num_arcs(), 0);
-    s.resident_.assign(g_.num_nodes(), 0);
+    s.g_ = view_;
+    s.load_.assign(view_.num_arcs, 0);
+    s.resident_.assign(view_.num_nodes, 0);
+    // Density flip points: once a step has first-touched 1/8 of an array,
+    // a full vectorized scan at commit is cheaper than keeping (and later
+    // chasing) the touched list. The floor keeps tiny graphs listed.
+    s.arc_dense_at_ = std::max<std::size_t>(64, view_.num_arcs / 8);
+    s.node_dense_at_ = std::max<std::size_t>(64, view_.num_nodes / 8);
   }
   return shards;
 }
 
+namespace {
+
+/// Max over a whole tally array, zeroing it behind the scan (the dense
+/// commit path; auto-vectorizes).
+template <typename T>
+std::uint32_t max_and_clear_all(std::vector<T>& a) {
+  std::uint32_t mx = 0;
+  for (T& x : a) {
+    mx = std::max<std::uint32_t>(mx, x);
+    x = 0;
+  }
+  return mx;
+}
+
+}  // namespace
+
 std::uint32_t TokenTransport::commit_step_shards(std::span<Shard> shards,
                                                  RoundLedger& ledger) {
+  if (shards.size() == 1 && !shards[0].log_) {
+    // Single-shard fast path (the serial ExecPolicy): the shard's tallies
+    // ARE the step tallies, so take max-and-clear directly over the shard
+    // instead of summing it into the transport's arrays and scanning
+    // those again — one pass instead of two, and the transport's own
+    // load_/resident_ arrays stay cold.
+    Shard& s = shards[0];
+    std::uint32_t mx = 0;
+    if (s.dense_arcs_) {
+      mx = max_and_clear_all(s.load_);
+    } else {
+      for (const std::uint64_t idx : s.touched_) {
+        mx = std::max(mx, s.load_[idx]);
+        s.load_[idx] = 0;
+      }
+    }
+    s.touched_.clear();
+    s.dense_arcs_ = false;
+    std::uint32_t res = 0;
+    if (s.dense_nodes_) {
+      res = max_and_clear_all(s.resident_);
+    } else {
+      for (const std::uint32_t w : s.touched_nodes_) {
+        res = std::max(res, s.resident_[w]);
+        s.resident_[w] = 0;
+      }
+    }
+    s.touched_nodes_.clear();
+    s.dense_nodes_ = false;
+    step_max_ = mx;  // seeds the (empty-touched) commit below
+    step_residency_ = res;
+    step_moves_ = s.moves_;
+    s.moves_ = 0;
+    return commit_step(ledger);
+  }
+
+  // General merge: sums only — commit_step (or the dense full scans
+  // below) derive the step maxima from the merged tallies.
+  bool dense_arcs = false;
+  bool dense_nodes = false;
   for (Shard& s : shards) {
     if (s.log_) {
       // Logging mode: replay in shard order == item order, through the
@@ -26,23 +87,52 @@ std::uint32_t TokenTransport::commit_step_shards(std::span<Shard> shards,
       }
       s.move_log_.clear();
     } else {
-      for (const std::uint64_t idx : s.touched_) {
-        if (load_[idx] == 0) touched_.push_back(idx);
-        load_[idx] += s.load_[idx];
-        if (load_[idx] > step_max_) step_max_ = load_[idx];
-        s.load_[idx] = 0;
+      if (s.dense_arcs_) {
+        // The shard's touched list is not exhaustive: vector-add the
+        // whole array. Entries this leaves in load_ without a touched_
+        // record are covered by the dense scan after the loop.
+        for (std::uint64_t i = 0; i < view_.num_arcs; ++i) {
+          load_[i] += s.load_[i];
+          s.load_[i] = 0;
+        }
+        dense_arcs = true;
+      } else {
+        for (const std::uint64_t idx : s.touched_) {
+          if (load_[idx] == 0) touched_.push_back(idx);
+          load_[idx] += s.load_[idx];
+          s.load_[idx] = 0;
+        }
       }
       s.touched_.clear();
-      for (const std::uint32_t w : s.touched_nodes_) {
-        if (resident_[w] == 0) touched_nodes_.push_back(w);
-        resident_[w] += s.resident_[w];
-        if (resident_[w] > step_residency_) step_residency_ = resident_[w];
-        s.resident_[w] = 0;
+      s.dense_arcs_ = false;
+      if (s.dense_nodes_) {
+        for (std::uint32_t w = 0; w < view_.num_nodes; ++w) {
+          resident_[w] += s.resident_[w];
+          s.resident_[w] = 0;
+        }
+        dense_nodes = true;
+      } else {
+        for (const std::uint32_t w : s.touched_nodes_) {
+          if (resident_[w] == 0) touched_nodes_.push_back(w);
+          resident_[w] += s.resident_[w];
+          s.resident_[w] = 0;
+        }
       }
       s.touched_nodes_.clear();
+      s.dense_nodes_ = false;
       step_moves_ += s.moves_;
     }
     s.moves_ = 0;
+  }
+  if (dense_arcs) {
+    // touched_ is incomplete; resolve the whole array now and seed the
+    // commit with the result (its own touched_ sweep then sees nothing).
+    step_max_ = std::max(step_max_, max_and_clear_all(load_));
+    touched_.clear();
+  }
+  if (dense_nodes) {
+    step_residency_ = std::max(step_residency_, max_and_clear_all(resident_));
+    touched_nodes_.clear();
   }
   return commit_step(ledger);
 }

@@ -33,6 +33,7 @@
 // serial path's per-move instrument callback order exactly, keeping
 // stateful fault plans and the conformance audit bit-identical too.
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -46,52 +47,74 @@ namespace amix {
 class TokenTransport {
  public:
   explicit TokenTransport(const CommGraph& g)
-      : g_(g), load_(g.num_arcs(), 0), resident_(g.num_nodes(), 0) {}
+      : g_(g),
+        view_(g.view()),
+        load_(g.num_arcs(), 0),
+        resident_(g.num_nodes(), 0) {}
 
-  /// Record that one token crosses arc (v, port) this step.
+  /// Record that one token crosses arc (v, port) this step. Runs on the
+  /// flat CommView: arc_index/neighbor are two array reads, no dispatch.
+  /// The per-step maxima are NOT updated here — commit_step derives them
+  /// from the touched lists in the same pass that clears the tallies, so
+  /// the per-move path carries no max-tracking dependency chains.
   void move(std::uint32_t v, std::uint32_t port) {
-    const std::uint64_t idx = g_.arc_index(v, port);
+    const std::uint64_t idx = view_.arc_index(v, port);
     std::uint32_t slots = 1;
     if (congest::CongestInstrument* ins = congest::instrument()) {
       slots += ins->on_token_move(g_, idx);
     }
     if (load_[idx] == 0) touched_.push_back(idx);
     load_[idx] += slots;
-    if (load_[idx] > step_max_) step_max_ = load_[idx];
     ++step_moves_;
     // Lemma 2.4 residency: the token comes to rest at the arc's head.
-    const std::uint32_t w = g_.neighbor(v, port);
+    const std::uint32_t w = view_.neighbor(v, port);
     if (resident_[w] == 0) touched_nodes_.push_back(w);
     ++resident_[w];
-    if (resident_[w] > step_residency_) step_residency_ = resident_[w];
   }
 
-  /// Max per-arc load of the current step.
-  std::uint32_t step_max_load() const { return step_max_; }
+  /// Max per-arc load of the current step (scan of the arcs the step
+  /// touched; cheap relative to the moves that produced them).
+  std::uint32_t step_max_load() const {
+    std::uint32_t mx = step_max_;
+    for (const std::uint64_t idx : touched_) mx = std::max(mx, load_[idx]);
+    return mx;
+  }
   std::uint64_t step_moves() const { return step_moves_; }
 
   /// Peak tokens arriving at a single node during the current step (the
   /// Lemma 2.4 statistic, before commit folds it into the running max).
-  std::uint32_t step_residency() const { return step_residency_; }
+  std::uint32_t step_residency() const {
+    std::uint32_t res = step_residency_;
+    for (const std::uint32_t w : touched_nodes_) {
+      res = std::max(res, resident_[w]);
+    }
+    return res;
+  }
 
   /// Close the step: charge `max_load * round_cost` base rounds (0 if the
   /// step moved nothing), fold the residency peak into the running
   /// maximum, and reset per-step state. Returns the rounds of *this*
-  /// graph the step took (i.e. the max load).
+  /// graph the step took (i.e. the max load). The max-and-clear sweeps
+  /// are fused: one pass over the touched arcs/nodes per step.
   std::uint32_t commit_step(RoundLedger& ledger) {
-    const std::uint32_t cost = step_max_;
+    std::uint32_t cost = step_max_;  // pre-merged seed (single-shard path)
+    for (const std::uint64_t idx : touched_) {
+      cost = std::max(cost, load_[idx]);
+      load_[idx] = 0;
+    }
+    touched_.clear();
+    std::uint32_t res = step_residency_;
+    for (const std::uint32_t w : touched_nodes_) {
+      res = std::max(res, resident_[w]);
+      resident_[w] = 0;
+    }
+    touched_nodes_.clear();
     if (congest::CongestInstrument* ins = congest::instrument()) {
       ins->on_step_commit(g_, cost);
     }
-    ledger.charge(static_cast<std::uint64_t>(cost) * g_.round_cost());
+    ledger.charge(static_cast<std::uint64_t>(cost) * view_.round_cost);
     total_graph_rounds_ += cost;
-    if (step_residency_ > max_node_residency_) {
-      max_node_residency_ = step_residency_;
-    }
-    for (const std::uint64_t idx : touched_) load_[idx] = 0;
-    touched_.clear();
-    for (const std::uint32_t w : touched_nodes_) resident_[w] = 0;
-    touched_nodes_.clear();
+    if (res > max_node_residency_) max_node_residency_ = res;
     step_max_ = 0;
     step_moves_ = 0;
     step_residency_ = 0;
@@ -123,33 +146,70 @@ class TokenTransport {
     }
 
     /// Record one token crossing arc (v, port); same contract as
-    /// TokenTransport::move but on this shard's private tallies.
+    /// TokenTransport::move but on this shard's private tallies. Like the
+    /// serial path, runs on the flat CommView — no virtual dispatch.
+    ///
+    /// Touched-entry tracking is adaptive: below the density thresholds
+    /// the shard lists every first-touched arc/node (so sparse steps
+    /// commit in O(touched)); once a step has touched a constant fraction
+    /// of the array the shard goes dense — it stops listing, and the
+    /// commit scans the whole array instead (vectorizable, and the
+    /// per-move first-touch branch becomes never-taken). The flip depends
+    /// only on the move sequence, never on timing, so results stay
+    /// bit-identical.
     void move(std::uint32_t v, std::uint32_t port) {
       ++moves_;
       if (log_) {
         move_log_.push_back(static_cast<std::uint64_t>(v) << 32 | port);
         return;
       }
-      const std::uint64_t idx = g_->arc_index(v, port);
-      if (load_[idx] == 0) touched_.push_back(idx);
+      const std::uint64_t idx = g_.arc_index(v, port);
+      // Flag first: once dense, the (data-dependent, mispredict-prone)
+      // zero test short-circuits away and the branch predicts perfectly.
+      if (!dense_arcs_ && load_[idx] == 0) {
+        touched_.push_back(idx);
+        if (touched_.size() >= arc_dense_at_) dense_arcs_ = true;
+      }
       ++load_[idx];
-      const std::uint32_t w = g_->neighbor(v, port);
-      if (resident_[w] == 0) touched_nodes_.push_back(w);
+      const std::uint32_t w = g_.neighbor(v, port);
+      if (!dense_nodes_ && resident_[w] == 0) {
+        touched_nodes_.push_back(w);
+        if (touched_nodes_.size() >= node_dense_at_) dense_nodes_ = true;
+      }
       ++resident_[w];
     }
 
     /// Moves recorded since begin_step (valid before the commit merge).
     std::uint64_t step_moves() const { return moves_; }
 
+    /// Per-node arrival tallies of the current step (valid before the
+    /// commit merge, tally mode only — logging shards defer their tallies
+    /// to the replay). Callers that also need per-node totals (e.g. the
+    /// walk engine's Lemma 2.4 occupancy) read these instead of
+    /// double-counting arrivals. When arrivals_listed() is false the
+    /// shard went dense and step_arrival_nodes() is NOT exhaustive — scan
+    /// step_arrivals over all nodes instead.
+    bool arrivals_listed() const { return !dense_nodes_; }
+    std::span<const std::uint32_t> step_arrival_nodes() const {
+      return touched_nodes_;
+    }
+    std::uint32_t step_arrivals(std::uint32_t w) const { return resident_[w]; }
+
    private:
     friend class TokenTransport;
-    const CommGraph* g_ = nullptr;
+    CommView g_;                           // flat view of the walked graph
     std::vector<std::uint32_t> load_;      // per-arc crossings, this step
     std::vector<std::uint32_t> resident_;  // per-node arrivals, this step
     std::vector<std::uint64_t> touched_;
     std::vector<std::uint32_t> touched_nodes_;
     std::vector<std::uint64_t> move_log_;  // packed (v << 32 | port)
     std::uint64_t moves_ = 0;
+    // Density flip points (set by make_shards): once a step's touched
+    // list reaches this size, commit scans the full array instead.
+    std::size_t arc_dense_at_ = SIZE_MAX;
+    std::size_t node_dense_at_ = SIZE_MAX;
+    bool dense_arcs_ = false;
+    bool dense_nodes_ = false;
     bool log_ = false;
   };
 
@@ -165,7 +225,8 @@ class TokenTransport {
                                    RoundLedger& ledger);
 
  private:
-  const CommGraph& g_;
+  const CommGraph& g_;  // for instrument callbacks; hot loops use view_
+  CommView view_;
   std::vector<std::uint32_t> load_;
   std::vector<std::uint64_t> touched_;
   std::vector<std::uint32_t> resident_;       // per-node arrivals this step

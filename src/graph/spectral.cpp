@@ -21,9 +21,14 @@ std::vector<double> stationary(const Graph& g, WalkKind kind) {
   return pi;
 }
 
-void step_distribution(const Graph& g, WalkKind kind,
-                       const std::vector<double>& in,
-                       std::vector<double>& out) {
+namespace {
+
+/// step_distribution with the 2Delta normalizer precomputed: multi-step
+/// probes hoist it out of their evolution loops (the lazy kernel never
+/// needs it; pass 0).
+void step_distribution_impl(const Graph& g, WalkKind kind, double inv2delta,
+                            const std::vector<double>& in,
+                            std::vector<double>& out) {
   const NodeId n = g.num_nodes();
   AMIX_CHECK(in.size() == n);
   out.assign(n, 0.0);
@@ -36,7 +41,6 @@ void step_distribution(const Graph& g, WalkKind kind,
       for (const Arc& a : g.arcs(v)) out[a.to] += share;
     }
   } else {
-    const double inv2delta = 1.0 / (2.0 * static_cast<double>(g.max_degree()));
     for (NodeId v = 0; v < n; ++v) {
       const double mass = in[v];
       if (mass == 0.0) continue;
@@ -47,7 +51,9 @@ void step_distribution(const Graph& g, WalkKind kind,
   }
 }
 
-namespace {
+double regular_inv2delta(const Graph& g) {
+  return 1.0 / (2.0 * static_cast<double>(g.max_degree()));
+}
 
 bool mixed(const std::vector<double>& p, const std::vector<double>& pi,
            double inv_n) {
@@ -57,29 +63,53 @@ bool mixed(const std::vector<double>& p, const std::vector<double>& pi,
   return true;
 }
 
+/// Mixing time from one start with the stationary distribution and the
+/// p/q work vectors supplied by the caller — multi-source probes compute
+/// pi once and reuse the buffers across every source.
+std::uint32_t mixing_time_with(const Graph& g, WalkKind kind, NodeId src,
+                               std::uint32_t max_t,
+                               const std::vector<double>& pi, double inv2delta,
+                               std::vector<double>& p, std::vector<double>& q) {
+  const NodeId n = g.num_nodes();
+  const double inv_n = 1.0 / static_cast<double>(n);
+  p.assign(n, 0.0);
+  p[src] = 1.0;
+  for (std::uint32_t t = 0; t <= max_t; ++t) {
+    if (mixed(p, pi, inv_n)) return t;
+    step_distribution_impl(g, kind, inv2delta, p, q);
+    p.swap(q);
+  }
+  return max_t + 1;
+}
+
 }  // namespace
+
+void step_distribution(const Graph& g, WalkKind kind,
+                       const std::vector<double>& in,
+                       std::vector<double>& out) {
+  step_distribution_impl(
+      g, kind, kind == WalkKind::kLazy ? 0.0 : regular_inv2delta(g), in, out);
+}
 
 std::uint32_t mixing_time_from_start(const Graph& g, WalkKind kind,
                                      NodeId src, std::uint32_t max_t) {
   const NodeId n = g.num_nodes();
   AMIX_CHECK(src < n);
   const auto pi = stationary(g, kind);
-  const double inv_n = 1.0 / static_cast<double>(n);
-  std::vector<double> p(n, 0.0), q(n);
-  p[src] = 1.0;
-  for (std::uint32_t t = 0; t <= max_t; ++t) {
-    if (mixed(p, pi, inv_n)) return t;
-    step_distribution(g, kind, p, q);
-    p.swap(q);
-  }
-  return max_t + 1;
+  std::vector<double> p(n), q(n);
+  return mixing_time_with(g, kind, src, max_t, pi, regular_inv2delta(g), p, q);
 }
 
 std::uint32_t mixing_time_exact(const Graph& g, WalkKind kind,
                                 std::uint32_t max_t) {
+  const NodeId n = g.num_nodes();
+  const auto pi = stationary(g, kind);
+  const double inv2delta = regular_inv2delta(g);
+  std::vector<double> p(n), q(n);
   std::uint32_t worst = 0;
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    worst = std::max(worst, mixing_time_from_start(g, kind, v, max_t));
+  for (NodeId v = 0; v < n; ++v) {
+    worst = std::max(worst,
+                     mixing_time_with(g, kind, v, max_t, pi, inv2delta, p, q));
   }
   return worst;
 }
@@ -102,9 +132,13 @@ std::uint32_t mixing_time_sampled(const Graph& g, WalkKind kind,
   }
   std::sort(starts.begin(), starts.end());
   starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+  const auto pi = stationary(g, kind);
+  const double inv2delta = regular_inv2delta(g);
+  std::vector<double> p(n), q(n);
   std::uint32_t worst = 0;
   for (const NodeId v : starts) {
-    worst = std::max(worst, mixing_time_from_start(g, kind, v, max_t));
+    worst = std::max(worst,
+                     mixing_time_with(g, kind, v, max_t, pi, inv2delta, p, q));
   }
   return worst;
 }

@@ -56,9 +56,10 @@ G0Result build_g0(const VirtualNodeSpace& vs, const G0Params& params,
   // Out-neighbor selection: the endpoint node assigns each token to a
   // uniform port, making endpoints ~uniform over virtual nodes. Take the
   // first out_degree endpoints distinct from self (multi-edges allowed, as
-  // in a directed-pick Erdos-Renyi overlay).
-  std::vector<std::vector<std::uint32_t>> adj(nv);
-  for (Vid vid = 0; vid < nv; ++vid) adj[vid].reserve(2 * res.out_degree);
+  // in a directed-pick Erdos-Renyi overlay). Arcs accumulate straight into
+  // CSR form; per-vid arrival order is the port numbering, matching the
+  // old nested-vector construction exactly.
+  CsrBuilder builder(nv);
   for (Vid vid = 0; vid < nv; ++vid) {
     std::uint32_t taken = 0;
     for (std::uint32_t i = 0; i < walks_per_vid && taken < res.out_degree;
@@ -68,8 +69,7 @@ G0Result build_g0(const VirtualNodeSpace& vs, const G0Params& params,
           static_cast<std::uint32_t>(rng.next_below(g.degree(land)));
       const Vid nbr = vs.vid_of(land, port);
       if (nbr == vid) continue;
-      adj[vid].push_back(nbr);
-      adj[nbr].push_back(vid);  // edge becomes undirected
+      builder.add_edge(vid, nbr);  // edge becomes undirected
       ++taken;
     }
     AMIX_CHECK_MSG(taken >= res.out_degree / 2,
@@ -94,7 +94,7 @@ G0Result build_g0(const VirtualNodeSpace& vs, const G0Params& params,
   const std::uint64_t round_cost = 2 * std::max<std::uint64_t>(
                                            1, probe_stats.graph_rounds);
 
-  res.overlay = OverlayComm(std::move(adj), round_cost);
+  res.overlay = std::move(builder).finish(round_cost);
   return res;
 }
 

@@ -51,14 +51,17 @@ LevelResult build_level(const CommGraph& parent,
     missing[v] = std::min(params.target_degree, cap);
   }
 
-  std::vector<std::vector<std::uint32_t>> adj(nv);
+  // Edges accumulate straight into CSR form: the builder records arcs in
+  // arrival order, which is exactly the port numbering the old nested
+  // vector construction produced, so arc indices (and all ledger charges
+  // derived from them) are unchanged.
+  CsrBuilder builder(nv);
   std::unordered_set<std::uint64_t> have;  // undirected edges present
   have.reserve(static_cast<std::size_t>(nv) * params.target_degree * 2);
 
   auto connect = [&](Vid a, Vid b) -> bool {
     if (!have.insert(edge_key(a, b)).second) return false;
-    adj[a].push_back(b);
-    adj[b].push_back(a);
+    builder.add_edge(a, b);
     return true;
   };
 
@@ -98,6 +101,11 @@ LevelResult build_level(const CommGraph& parent,
                    "level build did not converge; raise max_waves/walk_slack");
   }
 
+  // Finalize the CSR overlay now; the connectivity check and the cost
+  // probe below read its adjacency, and the measured round cost is set
+  // afterwards.
+  OverlayComm overlay = std::move(builder).finish(/*round_cost=*/1);
+
   // Per-part connectivity (the recursion walks within parts, so every
   // part's overlay must be one component). Verified, not assumed.
   {
@@ -112,7 +120,7 @@ LevelResult build_level(const CommGraph& parent,
       return x;
     };
     for (Vid v = 0; v < nv; ++v) {
-      for (const Vid w : adj[v]) {
+      for (const Vid w : overlay.neighbors(v)) {
         const Vid a = find(v), b = find(w);
         if (a != b) uf[a] = b;
       }
@@ -136,7 +144,7 @@ LevelResult build_level(const CommGraph& parent,
   RoundLedger scratch;
   std::vector<std::uint32_t> probe_starts;
   for (Vid v = 0; v < nv; ++v) {
-    for (const Vid w : adj[v]) {
+    for (const Vid w : overlay.neighbors(v)) {
       if (v < w) probe_starts.push_back(v);  // one walk per undirected edge
     }
   }
@@ -147,8 +155,8 @@ LevelResult build_level(const CommGraph& parent,
   res.emul_parent_rounds =
       2 * std::max<std::uint64_t>(1, probe_stats.graph_rounds);
 
-  res.overlay =
-      OverlayComm(std::move(adj), res.emul_parent_rounds * parent.round_cost());
+  overlay.set_round_cost(res.emul_parent_rounds * parent.round_cost());
+  res.overlay = std::move(overlay);
   return res;
 }
 

@@ -7,11 +7,14 @@
 namespace amix {
 namespace {
 
-void comm_step(const CommGraph& g, WalkKind kind, const std::vector<double>& in,
-               std::vector<double>& out) {
-  const std::uint32_t n = g.num_nodes();
+// The distribution evolution sweeps run on the flat CommView: the per-step
+// neighbor loops are array reads, and the 2Delta normalizer is computed
+// once per probe from the view's cached max_degree instead of re-derived
+// (formerly an O(n) virtual scan) on every step.
+void comm_step(const CommView& g, WalkKind kind, double inv2delta,
+               const std::vector<double>& in, std::vector<double>& out) {
+  const std::uint32_t n = g.num_nodes;
   out.assign(n, 0.0);
-  const double inv2delta = 1.0 / (2.0 * std::max(1u, g.max_degree()));
   for (std::uint32_t v = 0; v < n; ++v) {
     const double mass = in[v];
     if (mass == 0.0) continue;
@@ -34,8 +37,8 @@ void comm_step(const CommGraph& g, WalkKind kind, const std::vector<double>& in,
 
 /// Nodes reachable from src (the walk's support; overlays above level 0 are
 /// disjoint unions of per-part graphs, so mixing is per component).
-std::vector<std::uint32_t> reachable(const CommGraph& g, std::uint32_t src) {
-  std::vector<bool> seen(g.num_nodes(), false);
+std::vector<std::uint32_t> reachable(const CommView& g, std::uint32_t src) {
+  std::vector<bool> seen(g.num_nodes, false);
   std::vector<std::uint32_t> stack{src}, out;
   seen[src] = true;
   while (!stack.empty()) {
@@ -53,12 +56,10 @@ std::vector<std::uint32_t> reachable(const CommGraph& g, std::uint32_t src) {
   return out;
 }
 
-}  // namespace
-
-std::uint32_t comm_mixing_time_from_start(const CommGraph& g, WalkKind kind,
-                                          std::uint32_t src,
-                                          std::uint32_t max_t) {
-  const std::uint32_t n = g.num_nodes();
+std::uint32_t comm_mixing_time_from_view(const CommView& g, WalkKind kind,
+                                         std::uint32_t src,
+                                         std::uint32_t max_t) {
+  const std::uint32_t n = g.num_nodes;
   AMIX_CHECK(src < n);
   AMIX_CHECK(g.degree(src) > 0);
 
@@ -75,6 +76,7 @@ std::uint32_t comm_mixing_time_from_start(const CommGraph& g, WalkKind kind,
                 : 1.0 / static_cast<double>(comp.size());
   }
 
+  const double inv2delta = 1.0 / (2.0 * std::max(1u, g.max_degree));
   const double inv_n = 1.0 / static_cast<double>(comp.size());
   std::vector<double> p(n, 0.0), q;
   p[src] = 1.0;
@@ -87,18 +89,27 @@ std::uint32_t comm_mixing_time_from_start(const CommGraph& g, WalkKind kind,
       }
     }
     if (ok) return t;
-    comm_step(g, kind, p, q);
+    comm_step(g, kind, inv2delta, p, q);
     p.swap(q);
   }
   return max_t + 1;
 }
 
+}  // namespace
+
+std::uint32_t comm_mixing_time_from_start(const CommGraph& g, WalkKind kind,
+                                          std::uint32_t src,
+                                          std::uint32_t max_t) {
+  return comm_mixing_time_from_view(g.view(), kind, src, max_t);
+}
+
 std::uint32_t comm_mixing_time_sampled(const CommGraph& g, WalkKind kind,
                                        std::uint32_t samples, Rng& rng,
                                        std::uint32_t max_t) {
+  const CommView cv = g.view();
   bool any_live = false;
-  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
-    if (g.degree(v) > 0) {
+  for (std::uint32_t v = 0; v < cv.num_nodes; ++v) {
+    if (cv.degree(v) > 0) {
       any_live = true;
       break;
     }
@@ -108,9 +119,9 @@ std::uint32_t comm_mixing_time_sampled(const CommGraph& g, WalkKind kind,
   for (std::uint32_t i = 0; i < samples; ++i) {
     std::uint32_t src;
     do {
-      src = static_cast<std::uint32_t>(rng.next_below(g.num_nodes()));
-    } while (g.degree(src) == 0);
-    worst = std::max(worst, comm_mixing_time_from_start(g, kind, src, max_t));
+      src = static_cast<std::uint32_t>(rng.next_below(cv.num_nodes));
+    } while (cv.degree(src) == 0);
+    worst = std::max(worst, comm_mixing_time_from_view(cv, kind, src, max_t));
   }
   return worst;
 }

@@ -40,7 +40,6 @@ struct NodeLoadCounter {
   std::vector<std::uint32_t> stamp;
   std::vector<std::uint32_t> touched;
   std::uint32_t epoch = 0;
-  std::uint32_t step_max = 0;
 
   void init(std::uint32_t n) {
     count.assign(n, 0);
@@ -49,8 +48,9 @@ struct NodeLoadCounter {
   void begin_step() {
     ++epoch;
     touched.clear();
-    step_max = 0;
   }
+  /// No max tracking here: add() sits on the per-walk sweep path, and the
+  /// step maximum is a one-pass scan of `touched` after the sums settle.
   void add(std::uint32_t v, std::uint32_t by) {
     if (stamp[v] != epoch) {
       stamp[v] = epoch;
@@ -58,9 +58,71 @@ struct NodeLoadCounter {
       touched.push_back(v);
     }
     count[v] += by;
-    if (count[v] > step_max) step_max = count[v];
+  }
+  std::uint32_t max_over_touched() const {
+    std::uint32_t mx = 0;
+    for (const std::uint32_t v : touched) mx = std::max(mx, count[v]);
+    return mx;
   }
 };
+
+/// Everything one step's sweep reads, passed BY VALUE. The sweep is a
+/// free function over this struct rather than a capturing lambda on
+/// purpose: a by-reference closure handed to parallel_for_shards has its
+/// address escape into the parallel dispatch, after which the optimizer
+/// must re-load every captured pointer from the closure inside the
+/// per-walk loop (measured at ~25% of the sweep). By-value parameters of
+/// a free function are non-escaping locals, so the CSR base pointers and
+/// walk positions stay in registers.
+struct SweepCtx {
+  std::uint32_t* pos;
+  TokenTransport::Shard* shards;
+  NodeLoadCounter* shard_load;  // null when occupancy is not tracked
+  CommView cv;
+  std::uint64_t run_key;
+  std::uint32_t t;
+  std::uint32_t two_delta;
+  WalkKind kind;
+  bool log_moves;
+};
+
+void sweep_shard(const SweepCtx c, std::uint32_t s, std::size_t lo,
+                 std::size_t hi) {
+  TokenTransport::Shard& shard = c.shards[s];
+  shard.begin_step(c.log_moves);
+  NodeLoadCounter* const lc =
+      c.shard_load == nullptr ? nullptr : c.shard_load + s;
+  if (lc != nullptr) lc->begin_step();
+  for (std::size_t i = lo; i < hi; ++i) {
+    std::uint32_t p = c.pos[i];
+    const std::uint32_t deg = c.cv.degree(p);
+    if (deg == 0) {
+      // Isolated in this overlay; the walk is stuck (a stay).
+      if (lc != nullptr) lc->add(p, 1);
+      continue;
+    }
+    std::uint32_t port = UINT32_MAX;
+    if (c.kind == WalkKind::kLazy) {
+      // Stay w.p. 1/2, else uniform incident arc.
+      const std::uint64_t r = keyed_below(c.run_key, i, c.t, 2ULL * deg);
+      if (r < deg) port = static_cast<std::uint32_t>(r);
+    } else {
+      // 2Delta-regular: cross each incident arc w.p. 1/(2*Delta).
+      const std::uint64_t r = keyed_below(c.run_key, i, c.t, c.two_delta);
+      if (r < deg) port = static_cast<std::uint32_t>(r);
+    }
+    if (port != UINT32_MAX) {
+      shard.move(p, port);
+      p = c.cv.neighbor(p, port);
+      c.pos[i] = p;
+      // Logging shards defer tallies to the replay, so the merge cannot
+      // read arrivals from them; count movers here.
+      if (lc != nullptr && c.log_moves) lc->add(p, 1);
+    } else if (lc != nullptr) {
+      lc->add(p, 1);
+    }
+  }
+}
 
 }  // namespace
 
@@ -85,72 +147,84 @@ std::vector<std::uint32_t> ParallelWalkEngine::run(
   // (run_key, i, t), so sharding the sweep cannot change any trajectory.
   const std::uint64_t run_key = rng_();
 
+  // The sweep runs on the flat CSR view: degree/neighbor inside the
+  // per-walk loop are array reads off one contiguous block, no dispatch.
+  const CommView cv = g_.view();
+
   const std::uint32_t num_shards = exec_.shards();
   std::vector<TokenTransport::Shard> shards = transport.make_shards(num_shards);
-  std::vector<NodeLoadCounter> shard_load(num_shards);
-  for (auto& lc : shard_load) lc.init(g_.num_nodes());
-  NodeLoadCounter merged_load;
-  merged_load.init(g_.num_nodes());
 
-  const std::uint32_t two_delta = 2 * std::max(1u, g_.max_degree());
+  const std::uint32_t two_delta = 2 * std::max(1u, cv.max_degree);
+
+  // Per-node occupancy (Lemma 2.4 telemetry) is pure observation: it
+  // never feeds trajectories or the ledger, so when nobody will read it
+  // (no stats out-param, no recorder) the sweep skips tracking it. When
+  // it IS tracked, the sweep only counts walks that STAY — movers are
+  // already tallied per node by the transport shards, and the merge sums
+  // stays + arrivals before the commit clears the shard tallies.
+  const bool need_node_load = stats != nullptr || obs::recorder() != nullptr;
+  std::vector<NodeLoadCounter> shard_load(need_node_load ? num_shards : 0);
+  for (auto& lc : shard_load) lc.init(cv.num_nodes);
+  NodeLoadCounter merged_load;
+  if (need_node_load) merged_load.init(cv.num_nodes);
 
   for (std::uint32_t t = 0; t < steps; ++t) {
     // Instrument callbacks only fire on the committing thread: shards log
     // their moves and the commit merge replays them in walk order.
     const bool log_moves = congest::instrument() != nullptr;
 
-    parallel_for_shards(
-        exec_, pos.size(),
-        [&](std::uint32_t s, std::size_t lo, std::size_t hi) {
-          TokenTransport::Shard& shard = shards[s];
-          shard.begin_step(log_moves);
-          NodeLoadCounter& lc = shard_load[s];
-          lc.begin_step();
-          for (std::size_t i = lo; i < hi; ++i) {
-            std::uint32_t p = pos[i];
-            const std::uint32_t deg = g_.degree(p);
-            if (deg == 0) {
-              lc.add(p, 1);  // isolated in this overlay; walk is stuck
-              continue;
-            }
-            std::uint32_t port = UINT32_MAX;
-            if (kind == WalkKind::kLazy) {
-              // Stay w.p. 1/2, else uniform incident arc.
-              const std::uint64_t r =
-                  keyed_below(run_key, i, t, 2ULL * deg);
-              if (r < deg) port = static_cast<std::uint32_t>(r);
-            } else {
-              // 2Delta-regular: cross each incident arc w.p. 1/(2*Delta).
-              const std::uint64_t r = keyed_below(run_key, i, t, two_delta);
-              if (r < deg) port = static_cast<std::uint32_t>(r);
-            }
-            if (port != UINT32_MAX) {
-              shard.move(p, port);
-              p = g_.neighbor(p, port);
-              pos[i] = p;
-            }
-            lc.add(p, 1);
-          }
-        });
+    const SweepCtx ctx{pos.data(),
+                       shards.data(),
+                       need_node_load ? shard_load.data() : nullptr,
+                       cv,
+                       run_key,
+                       t,
+                       two_delta,
+                       kind,
+                       log_moves};
+    parallel_for_shards(exec_, pos.size(),
+                        [ctx](std::uint32_t s, std::size_t lo,
+                              std::size_t hi) { sweep_shard(ctx, s, lo, hi); });
 
     for (const TokenTransport::Shard& s : shards) {
       local.total_moves += s.step_moves();
     }
-    transport.commit_step_shards(shards, ledger);
 
     // Ordered merge of the per-shard node loads (sums then max — both
-    // independent of shard boundaries, so this matches the serial sweep).
-    merged_load.begin_step();
-    for (const NodeLoadCounter& lc : shard_load) {
-      for (const std::uint32_t v : lc.touched) {
-        merged_load.add(v, lc.count[v]);
+    // independent of shard boundaries, so this matches a serial count of
+    // every walk's post-step position). Runs before the commit because
+    // the commit clears the shard arrival tallies.
+    if (need_node_load) {
+      merged_load.begin_step();
+      for (std::uint32_t s = 0; s < num_shards; ++s) {
+        const NodeLoadCounter& lc = shard_load[s];
+        for (const std::uint32_t v : lc.touched) {
+          merged_load.add(v, lc.count[v]);
+        }
+        if (!log_moves) {
+          if (shards[s].arrivals_listed()) {
+            for (const std::uint32_t w : shards[s].step_arrival_nodes()) {
+              merged_load.add(w, shards[s].step_arrivals(w));
+            }
+          } else {
+            // The shard went dense: its arrival list is not exhaustive,
+            // so fold in every node with a nonzero tally.
+            for (std::uint32_t w = 0; w < cv.num_nodes; ++w) {
+              const std::uint32_t a = shards[s].step_arrivals(w);
+              if (a != 0) merged_load.add(w, a);
+            }
+          }
+        }
       }
+      local.max_node_load =
+          std::max(local.max_node_load, merged_load.max_over_touched());
     }
-    local.max_node_load = std::max(local.max_node_load, merged_load.step_max);
+
+    transport.commit_step_shards(shards, ledger);
   }
 
   local.graph_rounds = transport.total_graph_rounds();
-  local.base_rounds = local.graph_rounds * g_.round_cost();
+  local.base_rounds = local.graph_rounds * cv.round_cost;
   local.max_transport_residency = transport.max_node_residency();
   if (obs::recorder() != nullptr && !pos.empty() && steps > 0) {
     obs::metric_counter_add("walk/moves", local.total_moves);

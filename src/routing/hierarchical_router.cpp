@@ -95,6 +95,8 @@ class Recursion {
   void leaf_deliver(std::vector<Item>& items) {
     const obs::Span span(ledger_, "route/leaf-deliver");
     const OverlayComm& leaf = h_.overlay(h_.depth());
+    // Hop loops run on the flat CSR view — no virtual dispatch per hop.
+    const CommView lv = leaf.view();
     // The leaf overlay is a dense random graph per leaf part (diameter
     // 1-2): forward each packet along a BFS shortest path, one parallel
     // hop per committed step.
@@ -104,7 +106,7 @@ class Recursion {
     for (std::size_t i = 0; i < items.size(); ++i) {
       Packet& p = packets_[items[i].pkt];
       if (p.cur == items[i].target) continue;
-      moves[i] = leaf_path(leaf, p.cur, items[i].target);
+      moves[i] = leaf_path(lv, p.cur, items[i].target);
       max_len = std::max(max_len, moves[i].size());
     }
     TokenTransport transport(leaf);
@@ -113,7 +115,7 @@ class Recursion {
         if (step >= moves[i].size()) continue;
         const auto [v, port] = moves[i][step];
         transport.move(v, port);
-        packets_[items[i].pkt].cur = leaf.neighbor(v, port);
+        packets_[items[i].pkt].cur = lv.neighbor(v, port);
       }
       const std::uint64_t before = ledger_.total();
       transport.commit_step(ledger_);
@@ -124,7 +126,7 @@ class Recursion {
 
   /// BFS shortest path within the (small, connected) leaf component.
   static std::vector<std::pair<Vid, std::uint32_t>> leaf_path(
-      const OverlayComm& leaf, Vid from, Vid to) {
+      const CommView& leaf, Vid from, Vid to) {
     // Leaf parts are Theta(log n) nodes; a local BFS with hash maps stays
     // proportional to the part size.
     std::unordered_map<Vid, std::pair<Vid, std::uint32_t>> via;  // node -> (prev, port at prev)

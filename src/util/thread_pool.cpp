@@ -129,22 +129,4 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void parallel_for_shards(
-    const ExecPolicy& exec, std::size_t n,
-    const std::function<void(std::uint32_t shard, std::size_t begin,
-                             std::size_t end)>& body) {
-  const std::uint32_t num_shards = exec.shards();
-  if (!exec.parallel() || n <= 1) {
-    for (std::uint32_t s = 0; s < num_shards; ++s) {
-      const auto [begin, end] = shard_range(n, num_shards, s);
-      body(s, begin, end);
-    }
-    return;
-  }
-  ThreadPool::global().run_shards(num_shards, [&](std::uint32_t s) {
-    const auto [begin, end] = shard_range(n, num_shards, s);
-    body(s, begin, end);
-  });
-}
-
 }  // namespace amix

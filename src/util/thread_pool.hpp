@@ -72,16 +72,6 @@ class ThreadPool {
   Impl* impl_;
 };
 
-/// Static range sharding of [0, n): invokes
-/// body(shard, begin, end) for each of exec.shards() contiguous shards.
-/// Serial policies (and tiny n) run inline on the caller, in shard order;
-/// parallel policies dispatch through ThreadPool::global(). The
-/// shard→range mapping is identical either way.
-void parallel_for_shards(
-    const ExecPolicy& exec, std::size_t n,
-    const std::function<void(std::uint32_t shard, std::size_t begin,
-                             std::size_t end)>& body);
-
 /// The [begin, end) range of shard s when [0, n) is cut into S shards.
 inline std::pair<std::size_t, std::size_t> shard_range(std::size_t n,
                                                        std::uint32_t num_shards,
@@ -90,6 +80,41 @@ inline std::pair<std::size_t, std::size_t> shard_range(std::size_t n,
   const std::size_t chunk = (n + num_shards - 1) / num_shards;
   const std::size_t begin = std::min(n, s * chunk);
   return {begin, std::min(n, begin + chunk)};
+}
+
+/// Static range sharding of [0, n): invokes
+/// body(shard, begin, end) for each of exec.shards() contiguous shards.
+/// Serial policies (and tiny n) run inline on the caller, in shard order;
+/// parallel policies dispatch through ThreadPool::global(). The
+/// shard→range mapping is identical either way.
+///
+/// A template on the callable, deliberately: the serial path is the inner
+/// loop of every substrate sweep, and erasing the body behind a
+/// std::function would make each sweep an opaque indirect call — the
+/// optimizer could no longer keep the caller's locals (CSR base pointers,
+/// walk positions) in registers across it. Only the parallel dispatch
+/// pays the type-erasure toll, where it is amortized over a whole shard.
+///
+/// Caveat for peak-throughput bodies: capture the body's state BY VALUE
+/// (e.g. a small context struct of pointers). A by-reference closure has
+/// its address escape into the parallel dispatch below, which forces the
+/// optimizer to re-load the captured pointers from the closure inside the
+/// body's loop even on the serial path. See walk_engine.cpp's SweepCtx.
+template <typename Body>
+void parallel_for_shards(const ExecPolicy& exec, std::size_t n,
+                         const Body& body) {
+  const std::uint32_t num_shards = exec.shards();
+  if (!exec.parallel() || n <= 1) {
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      const auto [begin, end] = shard_range(n, num_shards, s);
+      body(s, begin, end);
+    }
+    return;
+  }
+  ThreadPool::global().run_shards(num_shards, [&](std::uint32_t s) {
+    const auto [begin, end] = shard_range(n, num_shards, s);
+    body(s, begin, end);
+  });
 }
 
 }  // namespace amix

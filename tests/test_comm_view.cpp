@@ -1,0 +1,165 @@
+// CommView equivalence pins: the flat CSR view a CommGraph hands to the
+// hot loops must be a pure re-description of the virtual interface —
+// same degrees, same port->neighbor mapping, same arc indices, same
+// cached scalars — on every graph shape the simulator runs, including
+// the hierarchy's built overlays. A drift here would silently change
+// ledger charges and walk trajectories, so these tests compare the two
+// interfaces element by element instead of sampling.
+//
+// Also pinned: CsrBuilder (the arc-stream CSR construction the hierarchy
+// builders use) must produce the exact per-node port numbering that the
+// legacy vector-of-vectors OverlayComm constructor produced for the same
+// arc arrival order, since arc indices feed the CONGEST capacity
+// accounting.
+
+#include <gtest/gtest.h>
+
+#include "amix/amix.hpp"
+
+namespace amix {
+namespace {
+
+void ExpectViewMatchesVirtual(const CommGraph& g) {
+  const CommView v = g.view();
+  ASSERT_EQ(v.num_nodes, g.num_nodes());
+  ASSERT_EQ(v.num_arcs, g.num_arcs());
+  EXPECT_EQ(v.max_degree, g.max_degree());
+  EXPECT_EQ(v.round_cost, g.round_cost());
+  ASSERT_NE(v.offsets, nullptr);
+  EXPECT_EQ(v.offsets[0], 0u);
+  EXPECT_EQ(v.offsets[v.num_nodes], v.num_arcs);
+  for (std::uint32_t node = 0; node < v.num_nodes; ++node) {
+    ASSERT_EQ(v.degree(node), g.degree(node)) << "node " << node;
+    for (std::uint32_t port = 0; port < v.degree(node); ++port) {
+      ASSERT_EQ(v.neighbor(node, port), g.neighbor(node, port))
+          << "node " << node << " port " << port;
+      ASSERT_EQ(v.arc_index(node, port), g.arc_index(node, port))
+          << "node " << node << " port " << port;
+    }
+    const std::span<const std::uint32_t> row = v.neighbors(node);
+    ASSERT_EQ(row.size(), v.degree(node));
+  }
+}
+
+TEST(CommView, MatchesVirtualOnBaseCorpus) {
+  Rng rng(11);
+  const Graph graphs[] = {
+      gen::random_regular(64, 6, rng),  gen::connected_gnp(48, 0.12, rng),
+      gen::matching_expander(64, 8, rng), gen::ring(17),
+      gen::star(9),                     gen::torus2d(6),
+      gen::complete(12),
+  };
+  for (const Graph& g : graphs) {
+    BaseComm base(g);
+    ExpectViewMatchesVirtual(base);
+  }
+}
+
+TEST(CommView, MatchesVirtualOnAdjacencyOverlay) {
+  // Hand-built overlay with irregular degrees, a zero-degree node, and a
+  // non-unit round cost.
+  const std::vector<std::vector<std::uint32_t>> adj = {
+      {1, 2, 3}, {0, 0, 2}, {1, 0}, {0}, {} /* isolated */, {4},
+  };
+  const OverlayComm overlay(adj, /*round_cost=*/7);
+  ExpectViewMatchesVirtual(overlay);
+  EXPECT_EQ(overlay.view().round_cost, 7u);
+  EXPECT_EQ(overlay.view().degree(4), 0u);
+}
+
+TEST(CommView, MatchesVirtualOnHierarchyOverlays) {
+  Rng rng(23);
+  const Graph g = gen::random_regular(96, 8, rng);
+  HierarchyParams hp;
+  hp.seed = 99;
+  RoundLedger ledger;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+  for (std::uint32_t level = 0; level <= h.depth(); ++level) {
+    SCOPED_TRACE("level " + std::to_string(level));
+    ExpectViewMatchesVirtual(h.overlay(level));
+    EXPECT_GE(h.overlay(level).view().round_cost, 1u);
+  }
+}
+
+TEST(CommView, CsrBuilderReproducesLegacyPortNumbering) {
+  // Same arc stream through both constructions: nested push_back lists
+  // (the legacy representation) and CsrBuilder's counting sort. Port
+  // numbering must match exactly, not just as sets.
+  Rng rng(5);
+  const std::uint32_t n = 57;
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  CsrBuilder builder(n);
+  for (int i = 0; i < 600; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto b = static_cast<std::uint32_t>(rng.next_below(n));
+    if (rng.next_below(2) == 0) {
+      adj[a].push_back(b);
+      builder.add_arc(a, b);
+    } else {
+      adj[a].push_back(b);
+      adj[b].push_back(a);
+      builder.add_edge(a, b);
+    }
+  }
+  for (std::uint32_t v = 0; v < n; ++v) {
+    ASSERT_EQ(builder.degree(v), adj[v].size());
+  }
+  const OverlayComm legacy(adj, /*round_cost=*/3);
+  const OverlayComm flat = std::move(builder).finish(/*round_cost=*/3);
+  ASSERT_EQ(flat.num_nodes(), legacy.num_nodes());
+  ASSERT_EQ(flat.num_arcs(), legacy.num_arcs());
+  EXPECT_EQ(flat.max_degree(), legacy.max_degree());
+  for (std::uint32_t v = 0; v < n; ++v) {
+    ASSERT_EQ(flat.degree(v), legacy.degree(v)) << "node " << v;
+    for (std::uint32_t p = 0; p < flat.degree(v); ++p) {
+      ASSERT_EQ(flat.neighbor(v, p), legacy.neighbor(v, p))
+          << "node " << v << " port " << p;
+      ASSERT_EQ(flat.arc_index(v, p), legacy.arc_index(v, p))
+          << "node " << v << " port " << p;
+    }
+  }
+  ExpectViewMatchesVirtual(flat);
+}
+
+TEST(CommView, WalksAgreeAcrossConstructionPaths) {
+  // End-to-end pin: the same walk run against the two overlay
+  // constructions produces identical trajectories and identical ledger
+  // charges (arc indices feed the congestion accounting).
+  Rng rng(31);
+  const Graph g = gen::random_regular(64, 6, rng);
+  std::vector<std::vector<std::uint32_t>> adj(g.num_nodes());
+  CsrBuilder builder(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const Arc& a : g.arcs(v)) {
+      adj[v].push_back(a.to);
+      builder.add_arc(v, a.to);
+    }
+  }
+  const OverlayComm legacy(adj, /*round_cost=*/2);
+  const OverlayComm flat = std::move(builder).finish(/*round_cost=*/2);
+
+  std::vector<std::uint32_t> starts;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    starts.push_back(v);
+    starts.push_back(v);
+  }
+  RoundLedger ledger_legacy;
+  RoundLedger ledger_flat;
+  WalkStats stats_legacy{};
+  WalkStats stats_flat{};
+  ParallelWalkEngine eng_legacy(legacy, Rng(77), ExecPolicy{});
+  ParallelWalkEngine eng_flat(flat, Rng(77), ExecPolicy{});
+  const auto end_legacy = eng_legacy.run(starts, WalkKind::kLazy, 24,
+                                         ledger_legacy, &stats_legacy);
+  const auto end_flat =
+      eng_flat.run(starts, WalkKind::kLazy, 24, ledger_flat, &stats_flat);
+  EXPECT_EQ(end_legacy, end_flat);
+  EXPECT_EQ(ledger_legacy.total(), ledger_flat.total());
+  EXPECT_EQ(stats_legacy.total_moves, stats_flat.total_moves);
+  EXPECT_EQ(stats_legacy.max_node_load, stats_flat.max_node_load);
+  EXPECT_EQ(stats_legacy.max_transport_residency,
+            stats_flat.max_transport_residency);
+}
+
+}  // namespace
+}  // namespace amix

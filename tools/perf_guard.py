@@ -1,21 +1,33 @@
 #!/usr/bin/env python3
 """Compare a google-benchmark JSON run against a committed baseline.
 
-Used by CI's perf-smoke job as the observability zero-overhead guard: the
-token-transport hot path must not regress when no TraceRecorder is
-installed (the obs seam is one thread-local load + branch, shared with the
-pre-existing instrument seam, so the expected delta is zero).
+Used by CI's perf jobs:
+
+  * the observability zero-overhead guard — the token-transport hot path
+    must not regress when no TraceRecorder is installed (the obs seam is
+    one thread-local load + branch, shared with the pre-existing
+    instrument seam, so the expected delta is zero), and
+  * the substrate hot-path guard — the devirtualized CSR sweep
+    (BM_WalkEngineSteps), the sharded transport commit
+    (BM_TokenTransportCommit), and the SoA sync-network round
+    (BM_SyncNetworkRound) are the round-for-round cost model of the whole
+    simulator; a regression there taxes every experiment.
 
     perf_guard.py --baseline BENCH_simulator.json \
-                  --current bench-transport-guard.json \
-                  --benchmark BM_TokenTransportCommit --tolerance 0.03
+                  --current bench-guard.json \
+                  --benchmark BM_TokenTransportCommit \
+                  --benchmark BM_WalkEngineSteps \
+                  --tolerance 0.03 --report perf-guard-report.txt
 
-Rows are matched by benchmark name (prefix-filtered by --benchmark). When
-the current file holds repetition aggregates, the `_median` rows are used
-and the suffix is stripped for matching — medians are what make a 3%
-tolerance meaningful on shared runners. Exits 1 when any matched row's
-cpu_time exceeds baseline * (1 + tolerance); missing rows are an error
-(a silently renamed benchmark must not disable the guard).
+Rows are matched by benchmark name (prefix-filtered by the --benchmark
+flags; repeat the flag to gate several benchmark families in one run).
+When the current file holds repetition aggregates, the `_median` rows are
+used and the suffix is stripped for matching — medians are what make a
+tight tolerance meaningful on shared runners. Exits 1 when any matched
+row's cpu_time exceeds baseline * (1 + tolerance); missing rows are an
+error (a silently renamed benchmark must not disable the guard).
+--report additionally writes the comparison table to a file so CI can
+archive it as an artifact next to the raw JSON.
 
 Stdlib only; no pip dependencies.
 """
@@ -25,7 +37,7 @@ import json
 import sys
 
 
-def load_rows(path, prefix):
+def load_rows(path, prefixes):
     with open(path) as f:
         doc = json.load(f)
     rows = {}
@@ -38,7 +50,7 @@ def load_rows(path, prefix):
             if not name.endswith("_median"):
                 continue
             name = name[: -len("_median")]
-        if not name.startswith(prefix):
+        if not any(name.startswith(p) for p in prefixes):
             continue
         rows[name] = float(b["cpu_time"])
     return rows
@@ -48,14 +60,23 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--current", required=True)
-    ap.add_argument("--benchmark", default="", help="benchmark name prefix")
+    ap.add_argument(
+        "--benchmark",
+        action="append",
+        default=None,
+        help="benchmark name prefix (repeatable; default: all rows)",
+    )
     ap.add_argument("--tolerance", type=float, default=0.03)
+    ap.add_argument(
+        "--report", default=None, help="also write the comparison table here"
+    )
     args = ap.parse_args()
+    prefixes = args.benchmark if args.benchmark else [""]
 
-    base = load_rows(args.baseline, args.benchmark)
-    cur = load_rows(args.current, args.benchmark)
+    base = load_rows(args.baseline, prefixes)
+    cur = load_rows(args.current, prefixes)
     if not base:
-        print(f"perf_guard: no baseline rows match '{args.benchmark}'")
+        print(f"perf_guard: no baseline rows match {prefixes}")
         return 1
     missing = sorted(set(base) - set(cur))
     if missing:
@@ -63,18 +84,29 @@ def main():
         return 1
 
     failed = False
-    print(f"{'benchmark':<44} {'baseline':>12} {'current':>12} {'delta':>8}")
+    lines = [f"{'benchmark':<44} {'baseline':>12} {'current':>12} {'delta':>8}"]
     for name in sorted(base):
         b, c = base[name], cur[name]
         delta = (c - b) / b
         verdict = "ok" if delta <= args.tolerance else "REGRESSION"
         failed |= delta > args.tolerance
-        print(f"{name:<44} {b:>10.0f}ns {c:>10.0f}ns {delta:>+7.1%} {verdict}")
+        lines.append(
+            f"{name:<44} {b:>10.0f}ns {c:>10.0f}ns {delta:>+7.1%} {verdict}"
+        )
     if failed:
-        print(f"perf_guard: regression beyond {args.tolerance:.0%} tolerance")
-        return 1
-    print(f"perf_guard: all rows within {args.tolerance:.0%} of baseline")
-    return 0
+        lines.append(
+            f"perf_guard: regression beyond {args.tolerance:.0%} tolerance"
+        )
+    else:
+        lines.append(
+            f"perf_guard: all rows within {args.tolerance:.0%} of baseline"
+        )
+    report = "\n".join(lines)
+    print(report)
+    if args.report:
+        with open(args.report, "w") as f:
+            f.write(report + "\n")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
