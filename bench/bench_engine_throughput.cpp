@@ -1,0 +1,116 @@
+// Engine throughput (google-benchmark): what batching and caching buy in
+// wall-clock terms. One mixed workload (MST + two routing instances +
+// walks) on one graph, executed three ways:
+//
+//   Arg(0) sequential — the pre-engine workflow: each query builds its
+//          own hierarchy and runs alone.
+//   Arg(1) batched    — a fresh QueryEngine per iteration: one hierarchy
+//          build, one round-multiplexed batch.
+//   Arg(2) cached     — a warm engine reused across iterations: the
+//          steady state of a long-lived session (cache hit every time).
+//
+// items processed = queries completed, so items/sec is directly
+// comparable across the three modes. The batched/sequential and
+// cached/sequential ratios are the numbers DESIGN.md §11 quotes;
+// tools/perf_guard.py gates BM_EngineThroughput against
+// BENCH_simulator.json like the substrate benches.
+
+#include <benchmark/benchmark.h>
+
+#include "amix/amix.hpp"
+
+namespace {
+
+using namespace amix;
+
+Graph workload_graph() {
+  Rng rng(17);
+  return gen::random_regular(96, 6, rng);
+}
+
+std::vector<QuerySpec> workload(const Graph& g) {
+  Rng rng(18);
+  std::vector<QuerySpec> specs;
+  {
+    QuerySpec s;
+    s.op = MstQuery{distinct_random_weights(g, rng), MstParams{}};
+    s.seed = 1;
+    specs.push_back(std::move(s));
+  }
+  for (std::uint64_t seed : {2, 3}) {
+    QuerySpec s;
+    s.op = RouteQuery{permutation_instance(g, rng), 1};
+    s.seed = seed;
+    specs.push_back(std::move(s));
+  }
+  {
+    std::vector<std::uint32_t> starts(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) starts[v] = v;
+    QuerySpec s;
+    s.op = WalkQuery{std::move(starts), WalkKind::kLazy, 8};
+    s.seed = 4;
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+void run_sequential(const Graph& g, const std::vector<QuerySpec>& specs) {
+  for (const QuerySpec& spec : specs) {
+    RoundLedger ledger;
+    const Hierarchy h = Hierarchy::build(g, HierarchyParams{}, ledger);
+    const std::uint64_t qseed = query_seed(spec);
+    if (const auto* q = std::get_if<MstQuery>(&spec.op)) {
+      MstParams params = q->params;
+      params.seed = qseed;
+      benchmark::DoNotOptimize(
+          HierarchicalBoruvka(h, q->weights).run(ledger, params).rounds);
+    } else if (const auto* q = std::get_if<RouteQuery>(&spec.op)) {
+      Rng rng(qseed);
+      benchmark::DoNotOptimize(HierarchicalRouter(h)
+                                   .route_in_phases(q->requests, q->phases,
+                                                    ledger, rng)
+                                   .total_rounds);
+    } else if (const auto* q = std::get_if<WalkQuery>(&spec.op)) {
+      BaseComm base(g);
+      ParallelWalkEngine walker(base, Rng(qseed));
+      benchmark::DoNotOptimize(
+          walker.run(q->starts, q->kind, q->steps, ledger, nullptr).size());
+    }
+  }
+}
+
+void BM_EngineThroughput(benchmark::State& state) {
+  const Graph g = workload_graph();
+  const std::vector<QuerySpec> specs = workload(g);
+  const std::int64_t mode = state.range(0);
+
+  QueryEngine warm(g);  // mode 2: cache survives across iterations
+  if (mode == 2) {
+    for (const QuerySpec& s : specs) warm.submit(s);
+    benchmark::DoNotOptimize(warm.run().engine_rounds);  // prime the cache
+  }
+
+  for (auto _ : state) {
+    if (mode == 0) {
+      run_sequential(g, specs);
+    } else if (mode == 1) {
+      QueryEngine eng(g);
+      for (const QuerySpec& s : specs) eng.submit(s);
+      benchmark::DoNotOptimize(eng.run().engine_rounds);
+    } else {
+      for (const QuerySpec& s : specs) warm.submit(s);
+      benchmark::DoNotOptimize(warm.run().engine_rounds);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(specs.size()));
+}
+BENCHMARK(BM_EngineThroughput)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,6 +1,9 @@
-// Quickstart: the full pipeline on one expander, in ~40 lines of API use.
-//
-//   build graph -> build hierarchy -> route a permutation -> compute MST.
+// Quickstart: the full pipeline on one expander, through the Session
+// facade — open a session, ask for routing / MST / a clique round, read
+// the unified reports. The first call builds the hierarchy (Section 3.1);
+// the rest hit the session's cache. The explicit low-level layer
+// (Hierarchy::build + HierarchicalRouter / HierarchicalBoruvka) is shown
+// in README.md for when you need control over construction or charging.
 //
 // Run:  ./example_quickstart [n] [degree]
 
@@ -19,33 +22,35 @@ int main(int argc, char** argv) {
   std::cout << "graph: random " << d << "-regular, n=" << n
             << ", m=" << g.num_edges() << "\n";
 
-  // 1. Build the hierarchical routing structure (Section 3.1).
-  RoundLedger ledger;
-  HierarchyParams hp;
-  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+  auto session = Session::open(g);
+
+  // 1. Permutation routing (Theorem 1.2). The call builds the hierarchy.
+  const QueryReport routed = session.route(permutation_instance(g, rng));
+  const Hierarchy& h =
+      session.engine().cache().find(g, HierarchyParams{})->hierarchy();
   std::cout << "hierarchy: beta=" << h.beta() << " depth=" << h.depth()
-            << " tau_mix=" << h.stats().tau_mix
-            << " build_rounds=" << ledger.total() << "\n";
-  for (const auto& [phase, rounds] : ledger.phases()) {
-    std::cout << "  " << phase << ": " << rounds << " rounds\n";
-  }
+            << " tau_mix=" << h.stats().tau_mix << " build_rounds="
+            << session.ledger().phase_total("hierarchy-build") << "\n";
+  std::cout << "routing: " << routed.route->delivered << "/"
+            << routed.route->packets << " packets delivered in "
+            << routed.rounds << " rounds (= "
+            << routed.rounds / h.stats().tau_mix << " x tau_mix)\n";
 
-  // 2. Permutation routing (Theorem 1.2).
-  const auto reqs = permutation_instance(g, rng);
-  HierarchicalRouter router(h);
-  RoundLedger route_ledger;
-  const RouteStats rs = router.route(reqs, route_ledger, rng);
-  std::cout << "routing: " << rs.delivered << "/" << rs.packets
-            << " packets delivered in " << rs.total_rounds
-            << " rounds (= " << rs.total_rounds / h.stats().tau_mix
-            << " x tau_mix)\n";
-
-  // 3. Minimum spanning tree (Theorem 1.1), verified against Kruskal.
+  // 2. Minimum spanning tree (Theorem 1.1) — cache hit, verified exact.
   const Weights w = distinct_random_weights(g, rng);
-  RoundLedger mst_ledger;
-  const MstStats ms = HierarchicalBoruvka(h, w).run(mst_ledger);
-  std::cout << "mst: " << ms.edges.size() << " edges in " << ms.iterations
-            << " Boruvka iterations, " << ms.rounds << " rounds; exact="
-            << (is_exact_mst(g, w, ms.edges) ? "yes" : "NO") << "\n";
-  return 0;
+  const QueryReport mst = session.mst(w);
+  std::cout << "mst: " << mst.mst->edges.size() << " edges in "
+            << mst.mst->iterations << " Boruvka iterations, " << mst.rounds
+            << " rounds; exact="
+            << (is_exact_mst(g, w, mst.mst->edges) ? "yes" : "NO") << "\n";
+
+  // 3. One emulated clique round (Theorem 1.3), for good measure.
+  const QueryReport clique = session.clique_round();
+  std::cout << "clique: " << clique.clique->messages << " messages in "
+            << clique.rounds << " rounds (" << clique.clique->phases
+            << " phases)\n";
+
+  std::cout << "session total: " << session.ledger().total()
+            << " rounds across " << session.calls() << " calls\n";
+  return (routed.ok && mst.ok && clique.ok) ? 0 : 1;
 }

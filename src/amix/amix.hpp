@@ -4,30 +4,31 @@
 //
 // amix reproduces "Distributed MST and Routing in Almost Mixing Time"
 // (Ghaffari, Kuhn, Su — PODC 2017) as a single-machine CONGEST-round
-// simulation. Typical usage:
+// simulation. The Session facade is the one-object entry point:
 //
 //   amix::Rng rng(1);
 //   amix::Graph g = amix::gen::random_regular(1024, 8, rng);
-//   amix::RoundLedger ledger;
-//   amix::Hierarchy h = amix::Hierarchy::build(g, {}, ledger);
+//   auto session = amix::Session::open(g);
 //
-//   amix::HierarchicalRouter router(h);
-//   auto reqs = amix::permutation_instance(g, rng);
-//   auto stats = router.route(reqs, ledger, rng);       // Theorem 1.2
+//   auto routed = session.route(amix::permutation_instance(g, rng));
+//   auto mst = session.mst(amix::distinct_random_weights(g, rng));
+//   // routed.rounds, mst.rounds, session.ledger().total(), ...
 //
-//   amix::Weights w = amix::distinct_random_weights(g, rng);
-//   amix::HierarchicalBoruvka mst(h, w);
-//   auto mst_stats = mst.run(ledger);                   // Theorem 1.1
+// The explicit layer underneath (Hierarchy::build + HierarchicalRouter /
+// HierarchicalBoruvka / CliqueEmulator, each charging a RoundLedger) is
+// the documented low-level API when you need control over hierarchy
+// construction or round accounting. See README.md for the architecture
+// overview and DESIGN.md for the paper-to-module map.
 //
-// See README.md for the architecture overview and DESIGN.md for the
-// paper-to-module map.
+// Includes are grouped bottom-up by layer.
 
-#include "congest/comm_graph.hpp"
-#include "congest/instrument.hpp"
-#include "congest/network.hpp"
-#include "congest/primitives.hpp"
-#include "congest/round_ledger.hpp"
-#include "congest/token_transport.hpp"
+// Utilities: deterministic randomness, thread pool, stats, tables.
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+// Graphs: topology, generators, weights, sequential oracles.
 #include "graph/exact_mincut.hpp"
 #include "graph/exact_mst.hpp"
 #include "graph/generators.hpp"
@@ -35,29 +36,51 @@
 #include "graph/spectral.hpp"
 #include "graph/traversal.hpp"
 #include "graph/weighted_graph.hpp"
+
+// CONGEST substrate: communication graphs, transports, round accounting.
+#include "congest/comm_graph.hpp"
+#include "congest/instrument.hpp"
+#include "congest/network.hpp"
+#include "congest/primitives.hpp"
+#include "congest/round_ledger.hpp"
+#include "congest/token_transport.hpp"
+
+// Random walks: parallel walk engine, mixing, estimators.
+#include "randwalk/anonymous.hpp"
+#include "randwalk/mixing.hpp"
+#include "randwalk/tau_estimator.hpp"
+#include "randwalk/walk_engine.hpp"
+
+// The hierarchy of Lemmas 3.1-3.3: the shared routing substrate.
 #include "hierarchy/hierarchy.hpp"
+
+// Theorems on top of the hierarchy: routing, MST, mincut, clique.
 #include "mincut/tree_packing.hpp"
 #include "mst/baseline_mst.hpp"
 #include "mst/clique_mst.hpp"
 #include "mst/hierarchical_boruvka.hpp"
 #include "mst/kernel_boruvka.hpp"
 #include "mst/verify.hpp"
-#include "obs/bound_checker.hpp"
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
-#include "randwalk/anonymous.hpp"
-#include "randwalk/mixing.hpp"
-#include "randwalk/tau_estimator.hpp"
-#include "randwalk/walk_engine.hpp"
 #include "routing/baseline_routers.hpp"
 #include "routing/clique_emulation.hpp"
 #include "routing/hierarchical_router.hpp"
 #include "routing/request.hpp"
+
+// Observability: tracing, metrics, paper-bound checking.
+#include "obs/bound_checker.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+// Simulation harness: determinism certification, faults, scenarios.
 #include "sim/conformance.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/harness.hpp"
 #include "sim/scenario.hpp"
-#include "util/rng.hpp"
-#include "util/stats.hpp"
-#include "util/table.hpp"
-#include "util/thread_pool.hpp"
+
+// Engine: cached hierarchies, multiplexed batches, the Session facade.
+#include "engine/hierarchy_cache.hpp"
+#include "engine/query.hpp"
+#include "engine/query_engine.hpp"
+#include "engine/report.hpp"
+#include "engine/schedule.hpp"
+#include "engine/session.hpp"

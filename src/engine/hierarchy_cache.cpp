@@ -1,0 +1,81 @@
+#include "engine/hierarchy_cache.hpp"
+
+#include "congest/round_ledger.hpp"
+#include "util/rng.hpp"
+
+namespace amix::engine {
+
+std::uint64_t graph_fingerprint(const Graph& g) {
+  std::uint64_t h = splitmix64(0x67726170682d6670ULL ^ g.num_nodes());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    h = splitmix64(h ^ (static_cast<std::uint64_t>(g.edge_u(e)) << 32 |
+                        g.edge_v(e)));
+  }
+  return h;
+}
+
+std::uint64_t params_fingerprint(const HierarchyParams& p) {
+  std::uint64_t h = splitmix64(0x706172616d732d66ULL);
+  const auto fold = [&h](std::uint64_t word) { h = splitmix64(h ^ word); };
+  fold(p.beta);
+  fold(p.leaf_target);
+  fold(p.g0_out_degree);
+  fold(p.level_degree);
+  // The two slack knobs are exact binary64 values set from code, not
+  // parsed text: hashing their bit patterns is deterministic.
+  std::uint64_t bits;
+  static_assert(sizeof(p.walk_slack) == sizeof(bits));
+  __builtin_memcpy(&bits, &p.walk_slack, sizeof(bits));
+  fold(bits);
+  __builtin_memcpy(&bits, &p.balance_slack, sizeof(bits));
+  fold(bits);
+  fold(p.tau_mix);
+  fold(p.max_retries);
+  fold(p.seed);
+  return h;
+}
+
+HierarchyCache::Lookup HierarchyCache::get_or_build(
+    const Graph& g, const HierarchyParams& params) {
+  const Key key{graph_fingerprint(g), params_fingerprint(params)};
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    ++hits_;
+    return Lookup{it->second.get(), false};
+  }
+  ++misses_;
+  auto entry = std::make_unique<CacheEntry>();
+  entry->graph_ = g;  // the entry owns its graph: no lifetime coupling
+  entry->graph_fp_ = key.first;
+  entry->params_fp_ = key.second;
+  RoundLedger build_ledger;
+  entry->hierarchy_.emplace(
+      Hierarchy::build(entry->graph_, params, build_ledger));
+  entry->build_rounds_ = build_ledger.total();
+  entry->build_phases_ = build_ledger.phases();
+  const CacheEntry* raw = entry.get();
+  entries_.emplace(key, std::move(entry));
+  return Lookup{raw, true};
+}
+
+const CacheEntry* HierarchyCache::find(const Graph& g,
+                                       const HierarchyParams& params) const {
+  const Key key{graph_fingerprint(g), params_fingerprint(params)};
+  const auto it = entries_.find(key);
+  return it != entries_.end() ? it->second.get() : nullptr;
+}
+
+std::size_t HierarchyCache::invalidate(const Graph& g) {
+  const std::uint64_t fp = graph_fingerprint(g);
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.first == fp) {
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace amix::engine

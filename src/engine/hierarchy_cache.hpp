@@ -1,0 +1,96 @@
+#pragma once
+
+// HierarchyCache: built hierarchies, keyed by (graph fingerprint,
+// HierarchyParams fingerprint), shared across queries and batches.
+//
+// The hierarchy of Lemmas 3.1–3.3 is the expensive reusable substrate:
+// every theorem runs on top of the same structure, so paying
+// Hierarchy::build once per (graph, params) and amortizing it across a
+// whole query stream is the engine's first-order saving. Entries are
+// self-contained: each one keeps its OWN copy of the graph and builds the
+// hierarchy against that copy, so a cached hierarchy never dangles when
+// the caller's graph goes away or churns.
+//
+// Invalidation: lookups key on the graph's CONTENT (a fingerprint over
+// the node count and edge list), so a churned topology naturally misses
+// and rebuilds. Explicit invalidation (invalidate / invalidate_all) is
+// for reclaiming memory and for forcing a rebuild of a graph that is
+// about to be mutated in place. See DESIGN.md §11.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hierarchy/hierarchy.hpp"
+
+namespace amix::engine {
+
+/// Fingerprint of a graph's topology: node count + edge list folded
+/// through splitmix64. Content-keyed, so a structurally identical copy
+/// hits the same cache entry.
+std::uint64_t graph_fingerprint(const Graph& g);
+
+/// Fingerprint of every field of HierarchyParams (two params structs
+/// collide only if they would build identical hierarchies).
+std::uint64_t params_fingerprint(const HierarchyParams& p);
+
+/// One cached build: the graph copy, the hierarchy on it, and what the
+/// build charged (so batches can report amortized construction cost
+/// without rebuilding).
+class CacheEntry {
+ public:
+  const Hierarchy& hierarchy() const { return *hierarchy_; }
+  const Graph& graph() const { return graph_; }
+  std::uint64_t build_rounds() const { return build_rounds_; }
+  const std::vector<std::pair<std::string, std::uint64_t>>& build_phases()
+      const {
+    return build_phases_;
+  }
+  std::uint64_t graph_fp() const { return graph_fp_; }
+  std::uint64_t params_fp() const { return params_fp_; }
+
+ private:
+  friend class HierarchyCache;
+  Graph graph_;
+  std::optional<Hierarchy> hierarchy_;
+  std::uint64_t build_rounds_ = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> build_phases_;
+  std::uint64_t graph_fp_ = 0;
+  std::uint64_t params_fp_ = 0;
+};
+
+class HierarchyCache {
+ public:
+  struct Lookup {
+    const CacheEntry* entry = nullptr;
+    bool built = false;  // true when this call paid for the build
+  };
+
+  /// The cached hierarchy for (g, params), building (and charging the
+  /// entry's recorded ledger) on first use.
+  Lookup get_or_build(const Graph& g, const HierarchyParams& params);
+
+  /// Lookup without building; nullptr when absent.
+  const CacheEntry* find(const Graph& g, const HierarchyParams& params) const;
+
+  /// Drop every entry built for a graph with this topology (any params).
+  /// Returns the number of entries dropped.
+  std::size_t invalidate(const Graph& g);
+  void invalidate_all() { entries_.clear(); }
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  using Key = std::pair<std::uint64_t, std::uint64_t>;  // (graph, params) fps
+  std::map<Key, std::unique_ptr<CacheEntry>> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace amix::engine

@@ -1,0 +1,107 @@
+#pragma once
+
+// Query specifications for the multi-query engine.
+//
+// A QuerySpec names one unit of work against a shared graph: an MST
+// computation, a batch of permutation-routing requests, one emulated
+// clique round, or a parallel-walk job. Every spec carries its own seed,
+// and ALL of a query's randomness is a pure function of that seed (via
+// query_seed below) — never of the submission order, the thread that
+// executes it, or the other queries in the batch. That independence is
+// what makes per-query round attribution under the multiplexer identical
+// to a standalone run of the same spec, which tests/test_engine.cpp pins.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "graph/spectral.hpp"  // WalkKind
+#include "graph/weighted_graph.hpp"
+#include "mst/hierarchical_boruvka.hpp"
+#include "routing/request.hpp"
+#include "util/rng.hpp"
+
+namespace amix {
+
+/// MST of the shared graph under `weights` (Theorem 1.1). The engine
+/// overrides `params.seed` with the spec's derived seed.
+struct MstQuery {
+  Weights weights;
+  MstParams params;
+};
+
+/// Permutation-routing batch (Theorem 1.2). `phases` as in
+/// HierarchicalRouter::route_in_phases (0 = pick K automatically).
+struct RouteQuery {
+  std::vector<RouteRequest> requests;
+  std::uint32_t phases = 1;
+};
+
+/// One emulated round of the congested clique (Theorem 1.3).
+/// `edge_expansion` feeds the reported lower bound only (<= 0 skips it).
+struct CliqueQuery {
+  double edge_expansion = 0.0;
+};
+
+/// Parallel random walks from `starts` for `steps` steps on the base
+/// graph (Lemma 2.5 accounting).
+struct WalkQuery {
+  std::vector<std::uint32_t> starts;
+  WalkKind kind = WalkKind::kLazy;
+  std::uint32_t steps = 0;
+};
+
+enum class QueryKind : std::uint8_t { kMst, kRoute, kClique, kWalks };
+
+struct QuerySpec {
+  std::variant<MstQuery, RouteQuery, CliqueQuery, WalkQuery> op;
+  /// The query's randomness root. Two specs with equal ops and equal
+  /// seeds produce bit-identical results and charges; give distinct
+  /// seeds to queries meant to be sampled independently.
+  std::uint64_t seed = 1;
+  /// Optional display name; defaults to "<kind>-<submission index>".
+  std::string label;
+};
+
+inline QueryKind query_kind(const QuerySpec& spec) {
+  return static_cast<QueryKind>(spec.op.index());
+}
+
+inline const char* query_kind_name(QueryKind k) {
+  switch (k) {
+    case QueryKind::kMst: return "mst";
+    case QueryKind::kRoute: return "route";
+    case QueryKind::kClique: return "clique";
+    case QueryKind::kWalks: return "walks";
+  }
+  return "?";
+}
+
+// Per-kind stream constants: a spec's effective seed is
+// splitmix64(spec.seed ^ stream), so the same numeric seed used for an
+// MST query and a route query still yields independent randomness.
+inline constexpr std::uint64_t kMstSeedStream = 0x6d73742d71756572ULL;
+inline constexpr std::uint64_t kRouteSeedStream = 0x726f7574652d7175ULL;
+inline constexpr std::uint64_t kCliqueSeedStream = 0x636c697175652d71ULL;
+inline constexpr std::uint64_t kWalkSeedStream = 0x77616c6b2d717565ULL;
+
+inline constexpr std::uint64_t seed_stream(QueryKind k) {
+  switch (k) {
+    case QueryKind::kMst: return kMstSeedStream;
+    case QueryKind::kRoute: return kRouteSeedStream;
+    case QueryKind::kClique: return kCliqueSeedStream;
+    case QueryKind::kWalks: return kWalkSeedStream;
+  }
+  return 0;
+}
+
+/// The effective seed a spec's algorithm runs with. Documented (and
+/// pinned by test) so a standalone run of the documented low-level API —
+/// e.g. `Rng rng(query_seed(spec)); router.route_in_phases(...)` — is
+/// bit-identical to the engine's execution of the same spec.
+inline std::uint64_t query_seed(const QuerySpec& spec) {
+  return splitmix64(spec.seed ^ seed_stream(query_kind(spec)));
+}
+
+}  // namespace amix

@@ -1,0 +1,113 @@
+#pragma once
+
+// QueryEngine: heterogeneous queries against one shared graph, executed
+// over a cached hierarchy with round-multiplexed batched transport.
+//
+// Usage:
+//   QueryEngine eng(g);
+//   eng.submit({.op = MstQuery{w}, .seed = 1});
+//   eng.submit({.op = RouteQuery{reqs}, .seed = 2});
+//   BatchReport b = eng.run();
+//
+// Cost model (DESIGN.md §11). Each submitted query is executed through
+// the unmodified algorithm stack against the batch's shared hierarchy,
+// charging its OWN RoundLedger — so every per-query report is
+// bit-identical to a standalone run of the same spec over a prebuilt
+// hierarchy (the equivalence the tests pin). A ScheduleProbe records each
+// query's transport schedule, and the batch is charged:
+//
+//   engine_rounds = hierarchy_build   (cache misses only, amortized)
+//                 + multiplex(schedules).rounds   (shared-graph traffic
+//                   co-scheduled up to per-arc capacity)
+//                 + serialized_rounds (each query's non-transport charges;
+//                   kernel work is not multiplexed)
+//
+// which is never more than running the queries back to back, and strictly
+// less whenever queries share transport steps or a hierarchy build.
+//
+// Determinism: queries draw all randomness from query_seed(spec), so
+// results are independent of batch composition and threading. run()
+// executes queries on opt.exec's pool with a deterministic ordered merge;
+// reports are byte-identical at any thread count. If an ambient congest
+// instrument or trace recorder is installed (SimHarness faults/audit, obs
+// tracing), run() drops to serial capture on the calling thread and
+// chains the ambient instrument behind each query's probe, so fault
+// plans, the conformance auditor and the tracer observe every event
+// exactly as in un-engined code.
+//
+// Fault injection: EngineOptions::fault_factory gives each query a
+// PRIVATE plan instance, reset from (fault_seed, spec.seed) — stateful
+// plans stay standalone-comparable because no query consumes another's
+// fault stream. Do not combine fault_factory with ambient harness faults;
+// both would charge extra slots for the same crossings.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "engine/hierarchy_cache.hpp"
+#include "engine/query.hpp"
+#include "engine/report.hpp"
+#include "engine/schedule.hpp"
+#include "sim/fault_plan.hpp"
+#include "util/thread_pool.hpp"
+
+namespace amix {
+
+struct EngineOptions {
+  HierarchyParams hierarchy;
+  /// Thread pool for query capture. Ignored (serial capture) while an
+  /// ambient instrument or trace recorder is installed.
+  ExecPolicy exec;
+  /// Per-query fault plans: called once per query per run(). Null = no
+  /// engine-injected faults.
+  std::function<std::unique_ptr<sim::FaultPlan>()> fault_factory;
+  /// Root of the per-query fault streams (folded with each spec's seed).
+  std::uint64_t fault_seed = 0x656e672d6661756cULL;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(const Graph& g, EngineOptions opt = {})
+      : graph_(&g), opt_(std::move(opt)) {}
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Enqueue a query for the next run(); returns its batch index.
+  std::uint32_t submit(QuerySpec spec);
+
+  /// Execute every pending query; clears the queue. Reports come back in
+  /// submission order regardless of execution threading.
+  BatchReport run();
+
+  /// Point the engine at (possibly churned) topology. The cache is
+  /// content-keyed, so a structurally identical graph still hits; a
+  /// changed topology misses and rebuilds. Old entries are kept until
+  /// invalidated — call cache().invalidate(old) to reclaim them.
+  void rebind(const Graph& g) { graph_ = &g; }
+
+  const Graph& graph() const { return *graph_; }
+  engine::HierarchyCache& cache() { return cache_; }
+  const engine::HierarchyCache& cache() const { return cache_; }
+  std::uint32_t epochs_run() const { return epoch_; }
+  std::size_t pending() const { return pending_.size(); }
+
+ private:
+  struct QueryExecution {
+    QueryReport report;
+    engine::QuerySchedule schedule;
+  };
+
+  QueryExecution run_one(const engine::CacheEntry& entry,
+                         const QuerySpec& spec, std::uint32_t index,
+                         congest::CongestInstrument* ambient) const;
+
+  const Graph* graph_;
+  EngineOptions opt_;
+  engine::HierarchyCache cache_;
+  std::vector<QuerySpec> pending_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace amix

@@ -1,0 +1,167 @@
+#include "engine/report.hpp"
+
+#include <cmath>
+
+#include "obs/metrics.hpp"
+
+namespace amix {
+namespace {
+
+// Scale a nonnegative double to an integer x1000, the same convention the
+// obs metrics use to keep JSON float-free.
+std::uint64_t x1000(double v) {
+  if (!(v > 0.0)) return 0;
+  return static_cast<std::uint64_t>(std::llround(v * 1000.0));
+}
+
+void emit_str(std::ostream& os, std::string_view key, std::string_view val,
+              bool& first) {
+  if (!first) os << ',';
+  first = false;
+  os << '"' << key << "\":\"";
+  obs::write_json_escaped(os, val);
+  os << '"';
+}
+
+void emit_u64(std::ostream& os, std::string_view key, std::uint64_t val,
+              bool& first) {
+  if (!first) os << ',';
+  first = false;
+  os << '"' << key << "\":" << val;
+}
+
+void emit_bool(std::ostream& os, std::string_view key, bool val,
+               bool& first) {
+  if (!first) os << ',';
+  first = false;
+  os << '"' << key << "\":" << (val ? "true" : "false");
+}
+
+void emit_u64_array(std::ostream& os, std::string_view key,
+                    const std::vector<std::uint64_t>& vals, bool& first) {
+  if (!first) os << ',';
+  first = false;
+  os << '"' << key << "\":[";
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    if (i != 0) os << ',';
+    os << vals[i];
+  }
+  os << ']';
+}
+
+void emit_phases(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, std::uint64_t>>& phases,
+    bool& first) {
+  if (!first) os << ',';
+  first = false;
+  os << "\"phases\":{";
+  bool inner_first = true;
+  for (const auto& [name, rounds] : phases) {
+    if (!inner_first) os << ',';
+    inner_first = false;
+    os << '"';
+    obs::write_json_escaped(os, name);
+    os << "\":" << rounds;
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void QueryReport::to_json(std::ostream& os, bool include_wall) const {
+  os << '{';
+  bool first = true;
+  emit_str(os, "label", label, first);
+  emit_str(os, "kind", query_kind_name(kind), first);
+  emit_u64(os, "seed", seed, first);
+  emit_bool(os, "ok", ok, first);
+  emit_u64(os, "rounds", rounds, first);
+  emit_u64(os, "transport_rounds", transport_rounds, first);
+  emit_u64(os, "token_moves", token_moves, first);
+  emit_u64(os, "output_digest", output_digest, first);
+  emit_phases(os, phases, first);
+  if (include_wall) emit_u64(os, "wall_ns", wall_ns, first);
+  if (mst.has_value()) {
+    os << ",\"mst\":{";
+    bool f = true;
+    emit_u64(os, "edges", mst->edges.size(), f);
+    emit_u64(os, "iterations", mst->iterations, f);
+    emit_u64(os, "routing_instances", mst->routing_instances, f);
+    emit_u64(os, "routed_packets", mst->routed_packets, f);
+    emit_u64(os, "max_tree_depth", mst->max_tree_depth, f);
+    emit_u64(os, "max_tree_indegree", mst->max_tree_indegree, f);
+    emit_u64(os, "max_indegree_over_degree_x1000",
+             x1000(mst->max_indegree_over_degree), f);
+    os << '}';
+  }
+  if (route.has_value()) {
+    os << ",\"route\":{";
+    bool f = true;
+    emit_u64(os, "prep_rounds", route->prep_rounds, f);
+    emit_u64(os, "hop_rounds", route->hop_rounds, f);
+    emit_u64(os, "leaf_rounds", route->leaf_rounds, f);
+    emit_u64(os, "packets", route->packets, f);
+    emit_u64(os, "delivered", route->delivered, f);
+    emit_u64(os, "max_vid_load", route->max_vid_load, f);
+    emit_u64(os, "leaf_phases", route->leaf_phases, f);
+    emit_u64(os, "route_phases", route->phases, f);
+    emit_u64_array(os, "hop_rounds_by_level", route->hop_rounds_by_level, f);
+    emit_u64_array(os, "cross_packets_by_level",
+                   route->cross_packets_by_level, f);
+    os << '}';
+  }
+  if (clique.has_value()) {
+    os << ",\"clique\":{";
+    bool f = true;
+    emit_u64(os, "clique_phases", clique->phases, f);
+    emit_u64(os, "messages", clique->messages, f);
+    emit_u64(os, "lower_bound_x1000", x1000(clique->lower_bound), f);
+    os << '}';
+  }
+  if (walks.has_value()) {
+    os << ",\"walks\":{";
+    bool f = true;
+    emit_u64(os, "graph_rounds", walks->graph_rounds, f);
+    emit_u64(os, "base_rounds", walks->base_rounds, f);
+    emit_u64(os, "max_node_load", walks->max_node_load, f);
+    emit_u64(os, "max_transport_residency", walks->max_transport_residency,
+             f);
+    emit_u64(os, "total_moves", walks->total_moves, f);
+    emit_u64(os, "steps", walks->steps, f);
+    os << '}';
+  }
+  os << '}';
+}
+
+void BatchReport::to_json(std::ostream& os, bool include_wall) const {
+  os << "{\"queries\":[";
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (i != 0) os << ',';
+    queries[i].to_json(os, include_wall);
+  }
+  os << ']';
+  bool first = false;
+  emit_u64(os, "engine_rounds", engine_rounds, first);
+  emit_u64(os, "hierarchy_build_rounds", hierarchy_build_rounds, first);
+  emit_u64(os, "multiplexed_transport_rounds", multiplexed_transport_rounds,
+           first);
+  emit_u64(os, "serialized_rounds", serialized_rounds, first);
+  emit_u64(os, "standalone_transport_rounds", standalone_transport_rounds,
+           first);
+  emit_u64(os, "standalone_query_rounds", standalone_query_rounds, first);
+  emit_u64(os, "standalone_total_rounds", standalone_total_rounds, first);
+  emit_u64(os, "merged_groups", merged_groups, first);
+  emit_u64(os, "merged_shared_groups", merged_shared_groups, first);
+  emit_u64(os, "merged_steps", merged_steps, first);
+  emit_u64(os, "cache_hits", cache_hits, first);
+  emit_u64(os, "cache_misses", cache_misses, first);
+  emit_u64(os, "saved_rounds",
+           standalone_total_rounds > engine_rounds
+               ? standalone_total_rounds - engine_rounds
+               : 0,
+           first);
+  os << '}';
+}
+
+}  // namespace amix

@@ -1,0 +1,94 @@
+#pragma once
+
+// Unified query reports.
+//
+// MstStats / RouteStats / CliqueEmulationStats / WalkStats each grew
+// their own fields and every consumer (amixctl, benches, tests) used to
+// hand-format them. QueryReport is the common envelope: the fields every
+// query has (charged rounds split by ledger phase, token volume, a
+// deterministic output digest, wall time) plus the kind-specific stats
+// carried along for callers that want the details. to_json() emits a
+// fixed field order with integers only (doubles are scaled to x1000
+// ints, matching the obs metrics convention), so serialized reports are
+// byte-stable across runs and platforms; wall_ns is opt-in because it is
+// the one nondeterministic field.
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/query.hpp"
+#include "randwalk/walk_engine.hpp"
+#include "routing/clique_emulation.hpp"
+#include "routing/hierarchical_router.hpp"
+
+namespace amix {
+
+struct QueryReport {
+  std::string label;
+  QueryKind kind = QueryKind::kMst;
+  std::uint64_t seed = 0;  // spec seed (query_seed derives from it)
+  bool ok = false;
+
+  // Common cost fields, identical in meaning across kinds.
+  std::uint64_t rounds = 0;  // total charged to the query's ledger
+  std::vector<std::pair<std::string, std::uint64_t>> phases;  // by phase
+  std::uint64_t transport_rounds = 0;  // token-transport share of rounds
+  std::uint64_t token_moves = 0;       // arc slots consumed (incl. faults)
+  /// Order-insensitive digest of the query's output (MST edge set, route
+  /// deliveries, clique totals, walk endpoints) — what the determinism
+  /// tests compare.
+  std::uint64_t output_digest = 0;
+  std::uint64_t wall_ns = 0;
+
+  // Kind-specific stats; exactly one is engaged.
+  std::optional<MstStats> mst;
+  std::optional<RouteStats> route;
+  std::optional<CliqueEmulationStats> clique;
+  std::optional<WalkStats> walks;
+
+  /// Deterministic JSON (fixed field order, integers only) unless
+  /// `include_wall` pulls in wall_ns.
+  void to_json(std::ostream& os, bool include_wall = false) const;
+};
+
+/// What one QueryEngine::run() charged, and how it relates to running the
+/// same queries standalone.
+struct BatchReport {
+  std::vector<QueryReport> queries;
+
+  /// Total base rounds the engine charged for the batch:
+  ///   hierarchy_build + multiplexed_transport + serialized.
+  std::uint64_t engine_rounds = 0;
+  std::uint64_t hierarchy_build_rounds = 0;     // cache misses only
+  std::uint64_t multiplexed_transport_rounds = 0;
+  std::uint64_t serialized_rounds = 0;          // non-transport charges
+
+  /// Standalone costs for comparison: sums of the queries' own ledgers
+  /// (identical to running each spec alone) and of per-query builds.
+  std::uint64_t standalone_transport_rounds = 0;
+  std::uint64_t standalone_query_rounds = 0;
+  std::uint64_t standalone_total_rounds = 0;  // queries + a build each
+
+  // Multiplexer shape.
+  std::uint64_t merged_groups = 0;
+  std::uint64_t merged_shared_groups = 0;
+  std::uint64_t merged_steps = 0;
+
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  bool all_ok() const {
+    for (const QueryReport& q : queries) {
+      if (!q.ok) return false;
+    }
+    return !queries.empty();
+  }
+
+  void to_json(std::ostream& os, bool include_wall = false) const;
+};
+
+}  // namespace amix

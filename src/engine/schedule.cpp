@@ -1,0 +1,110 @@
+#include "engine/schedule.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace amix::engine {
+
+std::uint32_t ScheduleProbe::on_token_move(const CommGraph& g,
+                                           std::uint64_t arc) {
+  const std::uint32_t extra =
+      inner_ != nullptr ? inner_->on_token_move(g, arc) : 0;
+  pending_[&g][arc] += 1 + extra;
+  out_.token_slots += 1 + extra;
+  return extra;
+}
+
+void ScheduleProbe::on_step_commit(const CommGraph& g, std::uint32_t charged) {
+  StepRecord step;
+  step.graph_key = resolver_.resolve(g);
+  step.cost = charged;
+  step.round_cost = g.round_cost();
+  if (const auto it = pending_.find(&g); it != pending_.end()) {
+    step.arc_loads.assign(it->second.begin(), it->second.end());
+    std::sort(step.arc_loads.begin(), step.arc_loads.end());
+    it->second.clear();
+  }
+  out_.transport_base_rounds +=
+      static_cast<std::uint64_t>(charged) * step.round_cost;
+  out_.steps.push_back(std::move(step));
+  if (inner_ != nullptr) inner_->on_step_commit(g, charged);
+}
+
+bool ScheduleProbe::on_kernel_deliver(NodeId from, NodeId to,
+                                      std::uint64_t round) {
+  return inner_ == nullptr || inner_->on_kernel_deliver(from, to, round);
+}
+
+void ScheduleProbe::on_kernel_round_order(std::uint64_t round,
+                                          std::span<NodeId> order) {
+  if (inner_ != nullptr) inner_->on_kernel_round_order(round, order);
+}
+
+MultiplexStats multiplex(std::span<const QuerySchedule> schedules) {
+  MultiplexStats mx;
+  std::vector<std::size_t> cursor(schedules.size(), 0);
+  for (const QuerySchedule& q : schedules) {
+    mx.standalone_rounds += q.transport_base_rounds;
+    mx.steps += q.steps.size();
+  }
+
+  // Scratch for merging one group's arc loads; reused across groups.
+  std::unordered_map<std::uint64_t, std::uint32_t> merged;
+  std::vector<std::size_t> group;
+
+  std::size_t remaining = mx.steps;
+  while (remaining > 0) {
+    // Leader: the lowest-indexed query with schedule left; its head step
+    // fixes the group's graph.
+    std::size_t lead = schedules.size();
+    for (std::size_t q = 0; q < schedules.size(); ++q) {
+      if (cursor[q] < schedules[q].steps.size()) {
+        lead = q;
+        break;
+      }
+    }
+    AMIX_CHECK(lead < schedules.size());
+    const StepRecord& head = schedules[lead].steps[cursor[lead]];
+    const std::uint32_t key = head.graph_key;
+
+    group.clear();
+    group.push_back(lead);
+    if (key != kUnsharedKey) {
+      for (std::size_t q = lead + 1; q < schedules.size(); ++q) {
+        if (cursor[q] < schedules[q].steps.size() &&
+            schedules[q].steps[cursor[q]].graph_key == key) {
+          group.push_back(q);
+        }
+      }
+    }
+
+    // Merged cost: per-arc loads add (the arcs are the same physical
+    // links), so the group needs max-arc-of-sums rounds of that graph.
+    // Never charge less than any member's standalone step cost.
+    std::uint32_t cost = 0;
+    std::uint64_t round_cost = head.round_cost;
+    if (group.size() == 1) {
+      cost = head.cost;
+    } else {
+      merged.clear();
+      for (const std::size_t q : group) {
+        const StepRecord& s = schedules[q].steps[cursor[q]];
+        AMIX_DCHECK(s.round_cost == round_cost);
+        cost = std::max(cost, s.cost);
+        for (const auto& [arc, load] : s.arc_loads) merged[arc] += load;
+      }
+      for (const auto& [arc, load] : merged) cost = std::max(cost, load);
+    }
+
+    mx.rounds += static_cast<std::uint64_t>(cost) * round_cost;
+    ++mx.groups;
+    if (group.size() > 1) ++mx.shared_groups;
+    for (const std::size_t q : group) ++cursor[q];
+    remaining -= group.size();
+  }
+  AMIX_CHECK(mx.rounds <= mx.standalone_rounds);
+  return mx;
+}
+
+}  // namespace amix::engine

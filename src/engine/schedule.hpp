@@ -1,0 +1,134 @@
+#pragma once
+
+// Token-schedule capture and round-multiplexed merging.
+//
+// The engine executes every query through the unmodified algorithm
+// classes; a ScheduleProbe sits on the congest instrumentation seam and
+// records the query's transport schedule — one StepRecord per committed
+// TokenTransport step, holding the per-arc slot loads of that step and
+// the graph it ran on. The query itself is charged exactly as standalone
+// (its own RoundLedger sees every commit unchanged); the probe only
+// *observes*.
+//
+// multiplex() then merges the captured schedules the way a CONGEST
+// network would actually carry them: queries are independent, so one
+// round of a shared communication graph can carry traffic from several
+// queries at once, up to the per-arc capacity of one message per arc per
+// round. Steps are co-scheduled head-of-line across queries when they run
+// on the SAME shared graph (the base network or a shared hierarchy
+// overlay); the merged step needs max over arcs of the SUMMED loads
+// rounds — at least any member's standalone cost, at most the sum. Steps
+// on private graphs (anything the resolver cannot identify as shared)
+// never share capacity and are serialized, which can only over-charge the
+// batch, never under-charge it. See DESIGN.md §11.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "congest/comm_graph.hpp"
+#include "congest/instrument.hpp"
+#include "hierarchy/hierarchy.hpp"
+
+namespace amix::engine {
+
+/// Graph key of steps that cannot share rounds with other queries.
+inline constexpr std::uint32_t kUnsharedKey = 0xffffffffu;
+
+/// One committed TokenTransport step of one query.
+struct StepRecord {
+  std::uint32_t graph_key = kUnsharedKey;  // shared-graph id, or kUnsharedKey
+  std::uint32_t cost = 0;                  // graph rounds charged (max load)
+  std::uint64_t round_cost = 1;            // base rounds per graph round
+  /// Per-arc slot loads of the step (token + fault slots), sorted by arc
+  /// index — deterministic regardless of move order.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> arc_loads;
+};
+
+/// A query's full transport schedule, in commit order.
+struct QuerySchedule {
+  std::vector<StepRecord> steps;
+  /// Sum over steps of cost * round_cost — the base rounds the query's
+  /// transports charged its ledger (its non-transport charges are the
+  /// remainder of the ledger total).
+  std::uint64_t transport_base_rounds = 0;
+  /// Total arc slots consumed (token moves + fault slots).
+  std::uint64_t token_slots = 0;
+};
+
+/// Maps CommGraphs to stable shared-graph keys. The base network and the
+/// shared hierarchy's overlays are the graphs every query communicates
+/// on; anything else (per-query scratch graphs) stays private.
+class GraphKeyResolver {
+ public:
+  GraphKeyResolver(const Graph* base, const Hierarchy* h)
+      : base_(base), h_(h) {}
+
+  /// 0 for the base network, 1 + level for hierarchy overlays,
+  /// kUnsharedKey otherwise.
+  std::uint32_t resolve(const CommGraph& g) const {
+    if (const auto* bc = dynamic_cast<const BaseComm*>(&g);
+        bc != nullptr && &bc->graph() == base_) {
+      return 0;
+    }
+    if (h_ != nullptr) {
+      for (std::uint32_t l = 0; l <= h_->depth(); ++l) {
+        if (&g == &h_->overlay(l)) return 1 + l;
+      }
+    }
+    return kUnsharedKey;
+  }
+
+ private:
+  const Graph* base_;
+  const Hierarchy* h_;
+};
+
+/// CongestInstrument that records a query's StepRecords while forwarding
+/// every callback to an optional inner instrument (per-query fault plans,
+/// the harness's audit/trace chain). Loads include fault-injected slots,
+/// matching what TokenTransport charges.
+class ScheduleProbe final : public congest::CongestInstrument {
+ public:
+  ScheduleProbe(const GraphKeyResolver& resolver,
+                congest::CongestInstrument* inner, QuerySchedule& out)
+      : resolver_(resolver), inner_(inner), out_(out) {}
+
+  std::uint32_t on_token_move(const CommGraph& g, std::uint64_t arc) override;
+  void on_step_commit(const CommGraph& g, std::uint32_t charged) override;
+  bool on_kernel_deliver(NodeId from, NodeId to,
+                         std::uint64_t round) override;
+  void on_kernel_round_order(std::uint64_t round,
+                             std::span<NodeId> order) override;
+
+ private:
+  const GraphKeyResolver& resolver_;
+  congest::CongestInstrument* inner_;
+  QuerySchedule& out_;
+  // Per-graph in-flight tallies of the current (uncommitted) step. Keyed
+  // by graph identity, like the conformance auditor: each live transport
+  // binds one CommGraph and steps on one graph never interleave.
+  std::unordered_map<const CommGraph*,
+                     std::unordered_map<std::uint64_t, std::uint32_t>>
+      pending_;
+};
+
+struct MultiplexStats {
+  /// Base rounds of the merged schedule (what the engine charges for all
+  /// transport traffic of the batch).
+  std::uint64_t rounds = 0;
+  /// Sum of the queries' standalone transport rounds (>= rounds, always).
+  std::uint64_t standalone_rounds = 0;
+  std::uint64_t groups = 0;         // co-scheduled slots emitted
+  std::uint64_t shared_groups = 0;  // slots that carried >= 2 queries
+  std::uint64_t steps = 0;          // total StepRecords consumed
+};
+
+/// Deterministic head-of-line merge of the queries' schedules (see the
+/// header comment). Queries are scanned in index order, so the merge is a
+/// pure function of the schedules — independent of capture threading.
+MultiplexStats multiplex(std::span<const QuerySchedule> schedules);
+
+}  // namespace amix::engine

@@ -1,0 +1,62 @@
+#include "engine/session.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace amix {
+
+QueryReport Session::run_call(QuerySpec spec) {
+  spec.seed = call_seed(options_.seed, calls_);
+  ++calls_;
+  engine_.submit(std::move(spec));
+  BatchReport b = engine_.run();
+  absorb(b);
+  AMIX_CHECK(b.queries.size() == 1);
+  return std::move(b.queries.front());
+}
+
+void Session::absorb(const BatchReport& b) {
+  if (b.hierarchy_build_rounds > 0) {
+    ledger_.charge("hierarchy-build", b.hierarchy_build_rounds);
+  }
+  const std::uint64_t query_rounds =
+      b.engine_rounds - b.hierarchy_build_rounds;
+  if (query_rounds > 0) ledger_.charge("queries", query_rounds);
+}
+
+QueryReport Session::mst(const Weights& w, MstParams params) {
+  QuerySpec spec;
+  spec.op = MstQuery{w, params};
+  return run_call(std::move(spec));
+}
+
+QueryReport Session::route(std::vector<RouteRequest> requests,
+                           std::uint32_t phases) {
+  QuerySpec spec;
+  spec.op = RouteQuery{std::move(requests), phases};
+  return run_call(std::move(spec));
+}
+
+QueryReport Session::clique_round(double edge_expansion) {
+  QuerySpec spec;
+  spec.op = CliqueQuery{edge_expansion};
+  return run_call(std::move(spec));
+}
+
+QueryReport Session::walks(std::vector<std::uint32_t> starts, WalkKind kind,
+                           std::uint32_t steps) {
+  QuerySpec spec;
+  spec.op = WalkQuery{std::move(starts), kind, steps};
+  return run_call(std::move(spec));
+}
+
+BatchReport Session::batch(std::vector<QuerySpec> specs) {
+  ++calls_;  // a batch is one session call; its specs keep their own seeds
+  for (QuerySpec& spec : specs) engine_.submit(std::move(spec));
+  BatchReport b = engine_.run();
+  absorb(b);
+  return b;
+}
+
+}  // namespace amix

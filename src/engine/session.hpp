@@ -1,0 +1,100 @@
+#pragma once
+
+// Session: the one-object entry point over the public API.
+//
+//   auto session = amix::Session::open(g);
+//   QueryReport mst = session.mst(weights);
+//   QueryReport routed = session.route(permutation_instance(g, rng));
+//   QueryReport clique = session.clique_round();
+//
+// A Session owns everything the explicit layer makes the caller thread
+// through by hand — the graph (a private copy, so the caller's graph may
+// go away), the hierarchy cache, the session RNG root and the running
+// RoundLedger — and exposes each theorem as a single call returning a
+// unified QueryReport. The first call pays the hierarchy build; later
+// calls hit the cache. batch() submits several specs at once and gets the
+// full round-multiplexing discount.
+//
+// Seeding is documented and pinned by test: call number k (0-based)
+// executes its spec with seed call_seed(options.seed, k), so a Session
+// run is reproducible from its options alone, and any single call can be
+// replayed on the explicit low-level layer (HierarchicalBoruvka /
+// HierarchicalRouter / CliqueEmulator + query_seed) with bit-identical
+// results and charges. The explicit classes remain the documented
+// low-level API; Session is sugar plus caching, not a new code path.
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/query_engine.hpp"
+
+namespace amix {
+
+struct SessionOptions {
+  /// Root of every per-call seed (see Session::call_seed).
+  std::uint64_t seed = 1;
+  HierarchyParams hierarchy;
+  ExecPolicy exec;
+};
+
+class Session {
+ public:
+  static Session open(const Graph& g, SessionOptions options = {}) {
+    return Session(g, std::move(options));
+  }
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// The spec seed of call number `call_index` under session seed root
+  /// `session_seed`. Public so tests and the low-level layer can replay
+  /// any session call exactly.
+  static std::uint64_t call_seed(std::uint64_t session_seed,
+                                 std::uint64_t call_index) {
+    return keyed_u64(session_seed, 0x73657373696f6e2dULL, call_index);
+  }
+
+  QueryReport mst(const Weights& w, MstParams params = {});
+  QueryReport route(std::vector<RouteRequest> requests,
+                    std::uint32_t phases = 1);
+  QueryReport clique_round(double edge_expansion = 0.0);
+  QueryReport walks(std::vector<std::uint32_t> starts, WalkKind kind,
+                    std::uint32_t steps);
+
+  /// Run several specs as one multiplexed batch. Specs keep their own
+  /// seeds (they are explicit, unlike the per-call sugar above), so a
+  /// batch is comparable to the same specs on a bare QueryEngine.
+  BatchReport batch(std::vector<QuerySpec> specs);
+
+  const Graph& graph() const { return graph_; }
+  /// Every base round this session has been charged, by phase
+  /// ("hierarchy-build" once per cache miss, "queries" for everything
+  /// else) — what a single CONGEST network executing the session's call
+  /// stream would spend.
+  const RoundLedger& ledger() const { return ledger_; }
+  QueryEngine& engine() { return engine_; }
+  std::uint64_t calls() const { return calls_; }
+
+ private:
+  static EngineOptions engine_options(const SessionOptions& o) {
+    EngineOptions e;
+    e.hierarchy = o.hierarchy;
+    e.exec = o.exec;
+    return e;
+  }
+
+  Session(const Graph& g, SessionOptions options)
+      : options_(std::move(options)),
+        graph_(g),
+        engine_(graph_, engine_options(options_)) {}
+
+  QueryReport run_call(QuerySpec spec);
+  void absorb(const BatchReport& b);
+
+  SessionOptions options_;
+  Graph graph_;  // declared before engine_: the engine points at it
+  QueryEngine engine_;
+  RoundLedger ledger_;
+  std::uint64_t calls_ = 0;
+};
+
+}  // namespace amix

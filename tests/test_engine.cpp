@@ -1,0 +1,409 @@
+// engine/: the multi-query engine — standalone-identical per-query
+// attribution under round multiplexing, thread-count invariance of the
+// ordered merge, engine-owned fault plans, the hierarchy cache, and
+// integration with the sim harness and the obs tracer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "amix/amix.hpp"
+
+namespace amix {
+namespace {
+
+std::vector<std::uint32_t> all_nodes(const Graph& g) {
+  std::vector<std::uint32_t> starts(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) starts[v] = v;
+  return starts;
+}
+
+/// A mixed batch over one graph: MST + two routing instances + walks,
+/// plus a clique round on the smaller graphs.
+std::vector<QuerySpec> mixed_batch(const Graph& g, Rng& rng,
+                                   bool with_clique) {
+  std::vector<QuerySpec> specs;
+  {
+    QuerySpec s;
+    s.op = MstQuery{distinct_random_weights(g, rng), MstParams{}};
+    s.seed = 11;
+    specs.push_back(std::move(s));
+  }
+  {
+    QuerySpec s;
+    s.op = RouteQuery{permutation_instance(g, rng), 1};
+    s.seed = 22;
+    specs.push_back(std::move(s));
+  }
+  {
+    QuerySpec s;
+    s.op = WalkQuery{all_nodes(g), WalkKind::kLazy, 6};
+    s.seed = 33;
+    specs.push_back(std::move(s));
+  }
+  {
+    QuerySpec s;
+    s.op = RouteQuery{permutation_instance(g, rng), 1};
+    s.seed = 44;
+    specs.push_back(std::move(s));
+  }
+  if (with_clique) {
+    QuerySpec s;
+    s.op = CliqueQuery{};
+    s.seed = 55;
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+struct StandaloneRun {
+  std::uint64_t rounds = 0;
+  std::uint64_t digest = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> phases;
+};
+
+/// Replays one spec on the documented low-level layer: prebuilt
+/// hierarchy, fresh ledger, the spec's query_seed. This is exactly what
+/// QueryReport promises to match.
+StandaloneRun run_standalone(const Graph& g, const Hierarchy& h,
+                             const QuerySpec& spec) {
+  StandaloneRun out;
+  RoundLedger ledger;
+  sim::Digest digest;
+  const std::uint64_t qseed = query_seed(spec);
+  if (const auto* q = std::get_if<MstQuery>(&spec.op)) {
+    MstParams params = q->params;
+    params.seed = qseed;
+    const MstStats s = HierarchicalBoruvka(h, q->weights).run(ledger, params);
+    std::vector<EdgeId> edges = s.edges;
+    std::sort(edges.begin(), edges.end());
+    digest.fold_range(edges);
+  } else if (const auto* q = std::get_if<RouteQuery>(&spec.op)) {
+    Rng rng(qseed);
+    const RouteStats s = HierarchicalRouter(h).route_in_phases(
+        q->requests, q->phases, ledger, rng);
+    digest.fold(s.packets);
+    digest.fold(s.delivered);
+    digest.fold(s.max_vid_load);
+  } else if (const auto* q = std::get_if<CliqueQuery>(&spec.op)) {
+    Rng rng(qseed);
+    const CliqueEmulationStats s =
+        CliqueEmulator(h).emulate_round(ledger, rng, q->edge_expansion);
+    digest.fold(s.messages);
+    digest.fold(s.phases);
+  } else if (const auto* q = std::get_if<WalkQuery>(&spec.op)) {
+    BaseComm base(g);
+    ParallelWalkEngine walker(base, Rng(qseed));
+    WalkStats s;
+    const auto ends = walker.run(q->starts, q->kind, q->steps, ledger, &s);
+    digest.fold_range(ends);
+  }
+  out.rounds = ledger.total();
+  out.digest = digest.value();
+  out.phases = ledger.phases();
+  return out;
+}
+
+std::string report_json(const BatchReport& b) {
+  std::ostringstream os;
+  b.to_json(os);
+  return os.str();
+}
+
+// ---- Per-query attribution ---------------------------------------------
+
+TEST(QueryEngine, AttributionMatchesStandaloneAcrossCorpus) {
+  for (const sim::Scenario& sc : sim::seeded_corpus(71)) {
+    Rng rng(sc.seed);
+    const std::vector<QuerySpec> specs =
+        mixed_batch(sc.graph, rng, sc.graph.num_nodes() <= 40);
+
+    QueryEngine eng(sc.graph);
+    for (const QuerySpec& s : specs) eng.submit(s);
+    const BatchReport b = eng.run();
+    ASSERT_EQ(b.queries.size(), specs.size()) << sc.name;
+    EXPECT_TRUE(b.all_ok()) << sc.name;
+
+    // The engine's hierarchy is content-determined: rebuilding from the
+    // same params on the same topology replays it exactly.
+    RoundLedger build_ledger;
+    const Hierarchy h =
+        Hierarchy::build(sc.graph, HierarchyParams{}, build_ledger);
+    EXPECT_EQ(b.hierarchy_build_rounds, build_ledger.total()) << sc.name;
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const StandaloneRun alone = run_standalone(sc.graph, h, specs[i]);
+      const QueryReport& rep = b.queries[i];
+      EXPECT_EQ(rep.rounds, alone.rounds) << sc.name << " query " << i;
+      EXPECT_EQ(rep.output_digest, alone.digest)
+          << sc.name << " query " << i;
+      EXPECT_EQ(rep.phases, alone.phases) << sc.name << " query " << i;
+    }
+  }
+}
+
+// ---- Multiplexing accounting -------------------------------------------
+
+TEST(QueryEngine, BatchedRunCostsLessThanStandaloneSum) {
+  for (const sim::Scenario& sc : sim::seeded_corpus(72)) {
+    Rng rng(sc.seed);
+    QueryEngine eng(sc.graph);
+    for (QuerySpec& s : mixed_batch(sc.graph, rng, false)) {
+      eng.submit(std::move(s));
+    }
+    const BatchReport b = eng.run();
+
+    EXPECT_EQ(b.engine_rounds, b.hierarchy_build_rounds +
+                                   b.multiplexed_transport_rounds +
+                                   b.serialized_rounds)
+        << sc.name;
+    EXPECT_LE(b.multiplexed_transport_rounds, b.standalone_transport_rounds)
+        << sc.name;
+    EXPECT_LT(b.engine_rounds, b.standalone_total_rounds) << sc.name;
+    EXPECT_GT(b.merged_shared_groups, 0u) << sc.name;
+  }
+}
+
+TEST(QueryEngine, SecondRunHitsHierarchyCache) {
+  const Graph g = sim::seeded_corpus(73)[0].graph;
+  Rng rng(5);
+  QueryEngine eng(g);
+
+  QuerySpec s;
+  s.op = RouteQuery{permutation_instance(g, rng), 1};
+  s.seed = 9;
+  eng.submit(s);
+  const BatchReport first = eng.run();
+  EXPECT_EQ(first.cache_misses, 1u);
+  EXPECT_GT(first.hierarchy_build_rounds, 0u);
+
+  eng.submit(s);
+  const BatchReport second = eng.run();
+  EXPECT_EQ(second.cache_hits, 1u);
+  EXPECT_EQ(second.hierarchy_build_rounds, 0u);
+  // Identical spec, warm cache: only the build charge differs.
+  EXPECT_EQ(second.engine_rounds + first.hierarchy_build_rounds,
+            first.engine_rounds);
+  EXPECT_EQ(second.queries[0].output_digest, first.queries[0].output_digest);
+}
+
+// ---- Determinism under threading ---------------------------------------
+
+TEST(QueryEngine, ThreadInvarianceReportsByteIdentical) {
+  const auto corpus = sim::seeded_corpus(74);
+  for (std::size_t which : {std::size_t{0}, std::size_t{3}}) {
+    const sim::Scenario& sc = corpus[which];
+    std::vector<std::string> jsons;
+    for (const std::uint32_t threads : {1u, 2u, 8u}) {
+      Rng rng(sc.seed);
+      EngineOptions opt;
+      opt.exec = ExecPolicy{threads};
+      QueryEngine eng(sc.graph, std::move(opt));
+      for (QuerySpec& s : mixed_batch(sc.graph, rng, false)) {
+        eng.submit(std::move(s));
+      }
+      jsons.push_back(report_json(eng.run()));
+    }
+    EXPECT_EQ(jsons[0], jsons[1]) << sc.name << ": 1 vs 2 threads";
+    EXPECT_EQ(jsons[0], jsons[2]) << sc.name << ": 1 vs 8 threads";
+  }
+}
+
+// ---- Engine-owned fault plans ------------------------------------------
+
+TEST(QueryEngine, FaultedQueriesKeepStandaloneAttribution) {
+  const auto corpus = sim::seeded_corpus(75);
+  for (std::size_t which : {std::size_t{0}, std::size_t{4}}) {
+    const sim::Scenario& sc = corpus[which];
+    Rng rng(sc.seed);
+    const std::vector<QuerySpec> specs = mixed_batch(sc.graph, rng, false);
+
+    EngineOptions faulty;
+    faulty.fault_factory = [] {
+      return std::make_unique<sim::MessageDropPlan>(0.05);
+    };
+
+    EngineOptions faulty_again = faulty;
+    QueryEngine batched(sc.graph, std::move(faulty));
+    for (const QuerySpec& s : specs) batched.submit(s);
+    const BatchReport b = batched.run();
+    EXPECT_TRUE(b.all_ok()) << sc.name;
+
+    // Each query's plan instance is private and seeded from the spec, so
+    // the same spec alone — in a different engine — charges identically.
+    QueryEngine solo(sc.graph, std::move(faulty_again));
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      solo.submit(specs[i]);
+      const BatchReport one = solo.run();
+      ASSERT_EQ(one.queries.size(), 1u);
+      const QueryReport& a = b.queries[i];
+      const QueryReport& c = one.queries[0];
+      EXPECT_EQ(a.rounds, c.rounds) << sc.name << " query " << i;
+      EXPECT_EQ(a.token_moves, c.token_moves) << sc.name << " query " << i;
+      EXPECT_EQ(a.output_digest, c.output_digest)
+          << sc.name << " query " << i;
+      EXPECT_EQ(a.phases, c.phases) << sc.name << " query " << i;
+    }
+
+    // Faults cost extra transport; the multiplexer must still never
+    // charge more than the faulted standalone sum.
+    EXPECT_LE(b.multiplexed_transport_rounds, b.standalone_transport_rounds)
+        << sc.name;
+  }
+}
+
+// ---- Hierarchy cache ----------------------------------------------------
+
+TEST(HierarchyCache, KeysOnContentAndParams) {
+  const auto corpus = sim::seeded_corpus(76);
+  const Graph& g = corpus[0].graph;
+  engine::HierarchyCache cache;
+
+  const auto first = cache.get_or_build(g, HierarchyParams{});
+  EXPECT_TRUE(first.built);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // A structurally identical copy hits: the key is content, not identity.
+  const Graph copy = g;
+  const auto again = cache.get_or_build(copy, HierarchyParams{});
+  EXPECT_FALSE(again.built);
+  EXPECT_EQ(again.entry, first.entry);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Different params rebuild.
+  HierarchyParams other;
+  other.seed ^= 1;
+  EXPECT_TRUE(cache.get_or_build(g, other).built);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // A churned topology misses.
+  Rng rng(3);
+  const Graph churned = gen::degree_preserving_rewire(g, 4, rng);
+  EXPECT_TRUE(cache.get_or_build(churned, HierarchyParams{}).built);
+  EXPECT_EQ(cache.size(), 3u);
+
+  // invalidate drops every entry of that topology, any params.
+  EXPECT_EQ(cache.invalidate(g), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.find(g, HierarchyParams{}), nullptr);
+  EXPECT_NE(cache.find(churned, HierarchyParams{}), nullptr);
+}
+
+TEST(HierarchyCache, EntriesOutliveTheCallersGraph) {
+  engine::HierarchyCache cache;
+  const engine::CacheEntry* entry = nullptr;
+  {
+    const Graph g = sim::seeded_corpus(77)[4].graph;
+    entry = cache.get_or_build(g, HierarchyParams{}).entry;
+  }  // caller's graph destroyed; the entry owns its copy
+  ASSERT_NE(entry, nullptr);
+  Rng rng(1);
+  RoundLedger ledger;
+  const auto reqs = permutation_instance(entry->graph(), rng);
+  const RouteStats s =
+      HierarchicalRouter(entry->hierarchy()).route(reqs, ledger, rng);
+  EXPECT_EQ(s.delivered, reqs.size());
+}
+
+// ---- Engine churn workflow ---------------------------------------------
+
+TEST(QueryEngine, RebindAfterChurnRebuildsAndOldGraphInvalidates) {
+  const Graph g0 = sim::seeded_corpus(78)[0].graph;
+  Rng rng(9);
+  const Graph g1 = gen::degree_preserving_rewire(g0, 8, rng);
+
+  QueryEngine eng(g0);
+  QuerySpec s;
+  s.op = WalkQuery{all_nodes(g0), WalkKind::kLazy, 4};
+  s.seed = 2;
+  eng.submit(s);
+  EXPECT_EQ(eng.run().cache_misses, 1u);
+
+  eng.rebind(g1);
+  eng.submit(s);
+  EXPECT_EQ(eng.run().cache_misses, 1u);
+  EXPECT_EQ(eng.cache().size(), 2u);
+  EXPECT_EQ(eng.cache().invalidate(g0), 1u);
+  EXPECT_EQ(eng.cache().size(), 1u);
+}
+
+// ---- Harness + obs integration -----------------------------------------
+
+TEST(QueryEngine, HarnessCertifiesEngineRunsUnderFaultsAndAudit) {
+  const sim::Scenario sc = sim::seeded_corpus(79)[1];
+  sim::MessageDropPlan drops(0.03);
+  sim::HarnessOptions opt;
+  opt.seed = sc.seed;
+  opt.faults = &drops;
+  opt.replays = 2;
+  const sim::HarnessResult res =
+      sim::SimHarness(opt).run([&sc](sim::SimRun& run) {
+        // Fresh engine per play: the cache must not leak state across
+        // replays, or the build charge would vanish from replay ledgers.
+        QueryEngine eng(sc.graph);
+        Rng rng(run.rng().split());
+        for (QuerySpec& s : mixed_batch(sc.graph, rng, false)) {
+          eng.submit(std::move(s));
+        }
+        const BatchReport b = eng.run();
+        run.ledger().charge("engine", b.engine_rounds);
+        for (const QueryReport& q : b.queries) run.fold(q.output_digest);
+        run.fold(b.engine_rounds);
+      });
+  EXPECT_TRUE(res.certified())
+      << res.mismatch_report << res.record.audit.first_violation;
+}
+
+TEST(QueryEngine, EmitsEpochAndPerQuerySpans) {
+  const sim::Scenario sc = sim::seeded_corpus(80)[4];
+  obs::TraceRecorder rec;
+  {
+    obs::ScopedRecorder scope(&rec);
+    Rng rng(sc.seed);
+    QueryEngine eng(sc.graph);
+    for (QuerySpec& s : mixed_batch(sc.graph, rng, false)) {
+      eng.submit(std::move(s));
+    }
+    EXPECT_TRUE(eng.run().all_ok());
+  }
+  EXPECT_TRUE(rec.all_closed());
+  std::size_t epoch_spans = 0, query_spans = 0;
+  for (const obs::SpanRecord& span : rec.spans()) {
+    if (span.name == "engine/epoch-0") ++epoch_spans;
+    if (span.name.rfind("engine/query-", 0) == 0) ++query_spans;
+  }
+  EXPECT_EQ(epoch_spans, 1u);
+  EXPECT_EQ(query_spans, 4u);
+}
+
+// ---- Report serialization ----------------------------------------------
+
+TEST(QueryReportJson, DeterministicAndFloatFree) {
+  const sim::Scenario sc = sim::seeded_corpus(81)[4];
+  const auto render = [&sc] {
+    Rng rng(sc.seed);
+    QueryEngine eng(sc.graph);
+    for (QuerySpec& s : mixed_batch(sc.graph, rng, true)) {
+      eng.submit(std::move(s));
+    }
+    return report_json(eng.run());
+  };
+  const std::string a = render();
+  EXPECT_EQ(a, render());
+  EXPECT_EQ(a.find("wall_ns"), std::string::npos);
+  EXPECT_EQ(a.find('.'), std::string::npos) << "floats leaked into JSON";
+  for (const char* key :
+       {"\"queries\":[", "\"kind\":\"mst\"", "\"kind\":\"route\"",
+        "\"kind\":\"walks\"", "\"kind\":\"clique\"", "\"engine_rounds\":",
+        "\"multiplexed_transport_rounds\":", "\"standalone_total_rounds\":",
+        "\"merged_shared_groups\":", "\"phases\":{"}) {
+    EXPECT_NE(a.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace amix

@@ -1,0 +1,124 @@
+// engine/: the Session facade — golden equivalence against the explicit
+// low-level API (same charges, same outputs, via the documented
+// call_seed/query_seed derivation), batch amortization, and the README
+// quickstart shape.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "amix/amix.hpp"
+
+namespace amix {
+namespace {
+
+TEST(Session, ChargesExactlyWhatTheExplicitApiCharges) {
+  const sim::Scenario sc = sim::seeded_corpus(91)[0];
+  const Graph& g = sc.graph;
+  Rng rng(sc.seed);
+  const Weights w = distinct_random_weights(g, rng);
+  const auto reqs = permutation_instance(g, rng);
+
+  SessionOptions so;
+  so.seed = 42;
+  auto session = Session::open(g, so);
+  const QueryReport routed = session.route(reqs);
+  const QueryReport mst = session.mst(w);
+  EXPECT_TRUE(routed.ok);
+  EXPECT_TRUE(mst.ok);
+
+  // Explicit layer, replaying the documented seed derivation: call 0 is
+  // the route, call 1 the MST.
+  RoundLedger build_ledger;
+  const Hierarchy h = Hierarchy::build(g, HierarchyParams{}, build_ledger);
+
+  QuerySpec route_spec;
+  route_spec.op = RouteQuery{reqs, 1};
+  route_spec.seed = Session::call_seed(42, 0);
+  RoundLedger route_ledger;
+  Rng route_rng(query_seed(route_spec));
+  const RouteStats rs = HierarchicalRouter(h).route_in_phases(
+      reqs, 1, route_ledger, route_rng);
+  EXPECT_EQ(rs.delivered, reqs.size());
+  EXPECT_EQ(routed.rounds, route_ledger.total());
+  ASSERT_TRUE(routed.route.has_value());
+  EXPECT_EQ(routed.route->max_vid_load, rs.max_vid_load);
+  EXPECT_EQ(routed.route->hop_rounds, rs.hop_rounds);
+
+  QuerySpec mst_spec;
+  mst_spec.op = MstQuery{w, MstParams{}};
+  mst_spec.seed = Session::call_seed(42, 1);
+  MstParams mp;
+  mp.seed = query_seed(mst_spec);
+  RoundLedger mst_ledger;
+  const MstStats ms = HierarchicalBoruvka(h, w).run(mst_ledger, mp);
+  EXPECT_TRUE(is_exact_mst(g, w, ms.edges));
+  EXPECT_EQ(mst.rounds, mst_ledger.total());
+  ASSERT_TRUE(mst.mst.has_value());
+  EXPECT_EQ(mst.mst->edges, ms.edges);
+
+  // Golden total: one hierarchy build plus exactly the two explicit runs.
+  EXPECT_EQ(session.ledger().total(),
+            build_ledger.total() + route_ledger.total() + mst_ledger.total());
+  EXPECT_EQ(session.ledger().phase_total("hierarchy-build"),
+            build_ledger.total());
+  EXPECT_EQ(session.calls(), 2u);
+}
+
+TEST(Session, SecondCallReusesTheCachedHierarchy) {
+  const sim::Scenario sc = sim::seeded_corpus(92)[4];
+  Rng rng(sc.seed);
+  const auto reqs = permutation_instance(sc.graph, rng);
+
+  auto session = Session::open(sc.graph);
+  const std::uint64_t after_first = [&] {
+    session.route(reqs);
+    return session.ledger().total();
+  }();
+  const QueryReport again = session.route(reqs);
+  // The second call adds only its own query rounds — no rebuild.
+  EXPECT_EQ(session.ledger().total(), after_first + again.rounds);
+  EXPECT_EQ(session.ledger().phase_total("hierarchy-build"),
+            session.engine().cache().find(sc.graph, HierarchyParams{})
+                ->build_rounds());
+}
+
+TEST(Session, BatchMultiplexesBelowSerialCallCost) {
+  const sim::Scenario sc = sim::seeded_corpus(93)[0];
+  Rng rng(sc.seed);
+
+  std::vector<QuerySpec> specs;
+  for (std::uint64_t seed : {7u, 8u, 9u, 10u}) {
+    QuerySpec s;
+    s.op = RouteQuery{permutation_instance(sc.graph, rng), 1};
+    s.seed = seed;
+    specs.push_back(std::move(s));
+  }
+
+  auto session = Session::open(sc.graph);
+  const BatchReport b = session.batch(std::move(specs));
+  EXPECT_TRUE(b.all_ok());
+  EXPECT_LT(b.engine_rounds, b.standalone_total_rounds);
+  EXPECT_GT(b.merged_shared_groups, 0u);
+  EXPECT_EQ(session.ledger().total(), b.engine_rounds);
+}
+
+TEST(Session, QuickstartShapeFromReadme) {
+  Rng rng(1);
+  const Graph g = gen::random_regular(64, 6, rng);
+  auto session = Session::open(g);
+
+  const QueryReport routed = session.route(permutation_instance(g, rng));
+  const QueryReport mst = session.mst(distinct_random_weights(g, rng));
+  const QueryReport clique = session.clique_round();
+
+  EXPECT_TRUE(routed.ok);
+  EXPECT_TRUE(mst.ok);
+  EXPECT_TRUE(clique.ok);
+  EXPECT_GT(session.ledger().total(), 0u);
+  EXPECT_EQ(session.calls(), 3u);
+}
+
+}  // namespace
+}  // namespace amix

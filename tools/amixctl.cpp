@@ -14,13 +14,26 @@
 //       runs the scenario under a TraceRecorder, writes the Chrome-trace
 //       and metrics artifacts, prints the span tree + bound-check report;
 //       exits nonzero if any paper-bound envelope is violated.
+//   amixctl workload <file> <mixfile> [--seed S] [--threads T]
+//           [--repeat R] [--json out.json]
+//       replays a query-mix file through the QueryEngine as one
+//       round-multiplexed batch per repeat. Mix lines (one query each,
+//       '#' comments):
+//           mst
+//           route perm|demand|a2a [phases]
+//           clique
+//           walks <count> <steps>
+//       prints the per-query table + amortization summary; --json writes
+//       the final BatchReport. Exits nonzero if any query failed.
 //
 // Instances are the text format of graph/io.hpp; `generate` always writes
 // distinct random weights so every instance is MST-ready.
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -43,6 +56,9 @@ struct Args {
   std::string metrics_out = "amix-metrics.json";
   std::string tree_out;
   bool wall = false;
+  std::uint32_t threads = 1;
+  std::uint32_t repeat = 1;
+  std::string json_out;
 };
 
 Args parse(int argc, char** argv) {
@@ -73,6 +89,12 @@ Args parse(int argc, char** argv) {
       a.tree_out = next();
     } else if (s == "--wall") {
       a.wall = true;
+    } else if (s == "--threads") {
+      a.threads = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (s == "--repeat") {
+      a.repeat = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (s == "--json") {
+      a.json_out = next();
     } else {
       a.positional.push_back(s);
     }
@@ -82,8 +104,8 @@ Args parse(int argc, char** argv) {
 
 int usage() {
   std::cerr << "usage: amixctl "
-               "{generate|info|route|mst|mincut|estimate-tau|trace} ... "
-               "(see the header of tools/amixctl.cpp)\n";
+               "{generate|info|route|mst|mincut|estimate-tau|trace|workload} "
+               "... (see the header of tools/amixctl.cpp)\n";
   return 2;
 }
 
@@ -149,21 +171,28 @@ int cmd_route(const Args& a) {
   AMIX_CHECK_MSG(a.positional.size() >= 2, "route needs <file>");
   const GraphFile f = load_graph(a.positional[1]);
   Rng rng(a.seed);
-  RoundLedger ledger;
-  HierarchyParams hp;
-  hp.seed = a.seed;
-  const Hierarchy h = Hierarchy::build(f.graph, hp, ledger);
-  std::cout << "hierarchy: beta=" << h.beta() << " depth=" << h.depth()
-            << " tau_mix=" << h.stats().tau_mix << " build_rounds="
-            << ledger.total() << "\n";
+  SessionOptions so;
+  so.seed = a.seed;
+  so.hierarchy.seed = a.seed;
+  auto session = Session::open(f.graph, so);
   const auto reqs = a.demand ? degree_demand_instance(f.graph, rng)
                              : permutation_instance(f.graph, rng);
-  HierarchicalRouter router(h);
-  RoundLedger rl;
-  const RouteStats rs = router.route_in_phases(reqs, 0, rl, rng);
-  std::cout << "routed " << rs.delivered << "/" << reqs.size() << " in "
-            << rs.total_rounds << " rounds (" << rs.phases << " phase(s))\n";
-  return rs.delivered == reqs.size() ? 0 : 1;
+  const QueryReport rep = session.route(reqs, 0);
+  const Hierarchy& h =
+      session.engine().cache().find(f.graph, so.hierarchy)->hierarchy();
+  std::cout << "hierarchy: beta=" << h.beta() << " depth=" << h.depth()
+            << " tau_mix=" << h.stats().tau_mix << " build_rounds="
+            << session.ledger().phase_total("hierarchy-build") << "\n";
+  std::cout << "routed " << rep.route->delivered << "/" << reqs.size()
+            << " in " << rep.rounds << " rounds (" << rep.route->phases
+            << " phase(s))\n";
+  if (!a.json_out.empty()) {
+    std::ofstream os(a.json_out);
+    AMIX_CHECK_MSG(os.good(), "cannot open --json file");
+    rep.to_json(os, a.wall);
+    os << "\n";
+  }
+  return rep.ok ? 0 : 1;
 }
 
 int cmd_mst(const Args& a) {
@@ -175,10 +204,19 @@ int cmd_mst(const Args& a) {
   RoundLedger ledger;
   std::vector<EdgeId> edges;
   if (a.engine == "hier") {
-    HierarchyParams hp;
-    hp.seed = a.seed;
-    const Hierarchy h = Hierarchy::build(g, hp, ledger);
-    edges = HierarchicalBoruvka(h, w).run(ledger).edges;
+    SessionOptions so;
+    so.seed = a.seed;
+    so.hierarchy.seed = a.seed;
+    auto session = Session::open(g, so);
+    const QueryReport rep = session.mst(w);
+    edges = rep.mst->edges;
+    ledger.charge(session.ledger().total());
+    if (!a.json_out.empty()) {
+      std::ofstream os(a.json_out);
+      AMIX_CHECK_MSG(os.good(), "cannot open --json file");
+      rep.to_json(os, a.wall);
+      os << "\n";
+    }
   } else if (a.engine == "flood") {
     edges = flood_boruvka(g, w, ledger).edges;
   } else if (a.engine == "kernel") {
@@ -295,6 +333,123 @@ int cmd_trace(const Args& a) {
   return report.ok() ? 0 : 1;
 }
 
+// One QuerySpec per mix-file line; the line number keys the spec's seed
+// (and its instance randomness), so a workload is reproducible from
+// (graph, mixfile, --seed) alone.
+QuerySpec parse_mix_line(const Graph& g, const GraphFile& f,
+                         const std::string& kind, std::istringstream& ls,
+                         std::uint64_t lineno, std::uint64_t seed) {
+  QuerySpec spec;
+  spec.seed = keyed_u64(seed, 0x776f726b6c6f6164ULL, lineno);
+  Rng rng(spec.seed);
+  if (kind == "mst") {
+    spec.op = MstQuery{
+        f.weights ? *f.weights : distinct_random_weights(g, rng),
+        MstParams{}};
+    spec.label = "mst@" + std::to_string(lineno);
+  } else if (kind == "route") {
+    std::string inst = "perm";
+    ls >> inst;
+    std::uint32_t phases = 1;
+    ls >> phases;
+    std::vector<RouteRequest> reqs;
+    if (inst == "perm") {
+      reqs = permutation_instance(g, rng);
+    } else if (inst == "demand") {
+      reqs = degree_demand_instance(g, rng);
+    } else if (inst == "a2a") {
+      reqs = all_to_all_instance(g);
+    } else {
+      AMIX_CHECK_MSG(false, "unknown route instance in mix file");
+    }
+    spec.op = RouteQuery{std::move(reqs), phases};
+    spec.label = "route-" + inst + "@" + std::to_string(lineno);
+  } else if (kind == "clique") {
+    spec.op = CliqueQuery{};
+    spec.label = "clique@" + std::to_string(lineno);
+  } else if (kind == "walks") {
+    std::uint32_t count = g.num_nodes();
+    std::uint32_t steps = 8;
+    ls >> count >> steps;
+    std::vector<std::uint32_t> starts(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      starts[i] = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    }
+    spec.op = WalkQuery{std::move(starts), WalkKind::kLazy, steps};
+    spec.label = "walks@" + std::to_string(lineno);
+  } else {
+    AMIX_CHECK_MSG(false, "unknown query kind in mix file");
+  }
+  return spec;
+}
+
+int cmd_workload(const Args& a) {
+  AMIX_CHECK_MSG(a.positional.size() >= 3, "workload needs <file> <mixfile>");
+  const GraphFile f = load_graph(a.positional[1]);
+  const Graph& g = f.graph;
+  std::ifstream mix(a.positional[2]);
+  AMIX_CHECK_MSG(mix.good(), "cannot open mix file");
+
+  std::vector<QuerySpec> specs;
+  std::string line;
+  std::uint64_t lineno = 0;
+  while (std::getline(mix, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;
+    specs.push_back(parse_mix_line(g, f, kind, ls, lineno, a.seed));
+  }
+  AMIX_CHECK_MSG(!specs.empty(), "mix file has no queries");
+
+  EngineOptions eo;
+  eo.hierarchy.seed = a.seed;
+  eo.exec = ExecPolicy{a.threads};
+  QueryEngine eng(g, std::move(eo));
+
+  BatchReport b;
+  for (std::uint32_t r = 0; r < std::max(a.repeat, 1u); ++r) {
+    for (const QuerySpec& s : specs) eng.submit(s);
+    b = eng.run();  // repeats after the first hit the hierarchy cache
+  }
+
+  Table table({"query", "kind", "ok", "rounds", "transport", "tokens",
+               "digest"});
+  for (const QueryReport& q : b.queries) {
+    table.row()
+        .add(q.label)
+        .add(query_kind_name(q.kind))
+        .add(q.ok ? "yes" : "NO")
+        .add(q.rounds)
+        .add(q.transport_rounds)
+        .add(q.token_moves)
+        .add(std::to_string(q.output_digest % 100000000));
+  }
+  table.print_report(std::cout, "workload: " + a.positional[2]);
+
+  std::cout << "engine_rounds=" << b.engine_rounds
+            << " (build=" << b.hierarchy_build_rounds
+            << " transport=" << b.multiplexed_transport_rounds
+            << " serialized=" << b.serialized_rounds << ")\n"
+            << "standalone_total=" << b.standalone_total_rounds
+            << " saved=" << b.standalone_total_rounds - b.engine_rounds
+            << " shared_groups=" << b.merged_shared_groups << "/"
+            << b.merged_groups << " cache=" << b.cache_hits << "h/"
+            << b.cache_misses << "m\n";
+
+  if (!a.json_out.empty()) {
+    std::ofstream os(a.json_out);
+    AMIX_CHECK_MSG(os.good(), "cannot open --json file");
+    b.to_json(os, a.wall);
+    os << "\n";
+    std::cout << "wrote " << a.json_out << "\n";
+  }
+  return b.all_ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -308,5 +463,6 @@ int main(int argc, char** argv) {
   if (cmd == "mincut") return cmd_mincut(a);
   if (cmd == "estimate-tau") return cmd_estimate_tau(a);
   if (cmd == "trace") return cmd_trace(a);
+  if (cmd == "workload") return cmd_workload(a);
   return usage();
 }

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Header self-containment check: every public header under src/ must
+# compile standalone (all of its includes stated, nothing leaning on what
+# a particular .cpp happened to include first). CI runs this as a matrix
+# over layer groups; locally, run with no arguments to check everything:
+#
+#   tools/check_headers.sh                # all of src/
+#   tools/check_headers.sh congest engine # only those subdirectories
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cxx="${CXX:-g++}"
+filters=("$@")
+
+fail=0
+checked=0
+while IFS= read -r hdr; do
+  rel="${hdr#"$root"/src/}"
+  if ((${#filters[@]} > 0)); then
+    keep=0
+    for f in "${filters[@]}"; do
+      [[ "$rel" == "$f"/* ]] && keep=1
+    done
+    ((keep)) || continue
+  fi
+  if ! "$cxx" -std=c++20 -Wall -Wextra -fsyntax-only -I"$root/src" \
+      -x c++-header "$hdr" 2>/tmp/check-headers-err.$$; then
+    echo "NOT SELF-CONTAINED: src/$rel"
+    cat /tmp/check-headers-err.$$
+    fail=1
+  fi
+  checked=$((checked + 1))
+done < <(find "$root/src" -name '*.hpp' | sort)
+rm -f /tmp/check-headers-err.$$
+
+echo "check_headers: $checked headers checked$([[ $fail == 0 ]] && echo ', all self-contained')"
+exit $fail
