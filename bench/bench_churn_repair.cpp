@@ -1,0 +1,86 @@
+// Churn economics: Hierarchy::apply_delta vs a full rebuild, in charged
+// CONGEST rounds (the simulated network's cost) and wall time (ours).
+//
+// Row (n, 0) is the acceptance case — one connectivity-preserving edge
+// delete — where repair_rounds must come in strictly under
+// rebuild_rounds; (n, s) rows rewire s random double-edge swaps to show
+// how the advantage shrinks as damage widens. Counters land in the JSON
+// output, so the committed BENCH_simulator.json records the ratio.
+
+#include <benchmark/benchmark.h>
+
+#include "amix/amix.hpp"
+
+namespace {
+
+using namespace amix;
+
+void BM_ChurnRepairVsRebuild(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const auto swaps = static_cast<std::uint32_t>(state.range(1));
+  Rng rng(57 + n);
+  const Graph g = gen::random_regular(n, 8, rng);
+  HierarchyParams hp;
+  hp.seed = 59;
+  hp.max_retries = 10;
+  RoundLedger build_ledger;
+  Hierarchy h = Hierarchy::build(g, hp, build_ledger);
+
+  // The mutated topology: one connectivity-preserving edge delete when
+  // swaps == 0 (the single-edge-delta acceptance case), otherwise
+  // `swaps` degree-preserving double-edge swaps.
+  Graph g2 = g;
+  if (swaps == 0) {
+    for (const auto& [u, v] : g.edges()) {
+      Graph cand = g.apply_delta({{u, v, false}});
+      if (is_connected(cand)) {
+        g2 = std::move(cand);
+        break;
+      }
+    }
+  } else {
+    g2 = gen::degree_preserving_rewire(g, swaps, rng);
+  }
+
+  // What the honest alternative charges: a fresh build on the mutated
+  // graph (not timed — the timed loop is the repair path).
+  RoundLedger rebuild_ledger;
+  const Hierarchy fresh = Hierarchy::build(g2, hp, rebuild_ledger);
+
+  std::uint64_t repair_rounds = 0;
+  std::uint64_t fallbacks = 0;
+  for (auto _ : state) {
+    RoundLedger rl;
+    const RepairOutcome out = h.apply_delta(g2, rl);
+    if (!out.applied) {
+      ++fallbacks;
+      continue;
+    }
+    repair_rounds = out.repair_rounds;
+    // Repair back so the next iteration starts from the same state.
+    RoundLedger rl_back;
+    const RepairOutcome back = h.apply_delta(g, rl_back);
+    AMIX_CHECK_MSG(back.applied, back.reason);
+  }
+
+  state.counters["repair_rounds"] = static_cast<double>(repair_rounds);
+  state.counters["rebuild_rounds"] =
+      static_cast<double>(rebuild_ledger.total());
+  state.counters["build_rounds"] = static_cast<double>(build_ledger.total());
+  state.counters["fallbacks"] = static_cast<double>(fallbacks);
+  if (repair_rounds > 0) {
+    state.counters["rebuild_over_repair"] =
+        static_cast<double>(rebuild_ledger.total()) /
+        static_cast<double>(repair_rounds);
+  }
+}
+BENCHMARK(BM_ChurnRepairVsRebuild)
+    ->Args({256, 0})
+    ->Args({256, 8})
+    ->Args({1024, 0})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -78,6 +78,7 @@
 #include "sim/scenario.hpp"
 
 // Engine: cached hierarchies, multiplexed batches, the Session facade.
+#include "engine/equivalence_oracle.hpp"
 #include "engine/hierarchy_cache.hpp"
 #include "engine/query.hpp"
 #include "engine/query_engine.hpp"

@@ -1,0 +1,120 @@
+#include "engine/equivalence_oracle.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/weighted_graph.hpp"
+#include "mst/hierarchical_boruvka.hpp"
+#include "mst/verify.hpp"
+#include "obs/bound_checker.hpp"
+#include "obs/trace.hpp"
+#include "routing/hierarchical_router.hpp"
+#include "routing/request.hpp"
+#include "util/rng.hpp"
+
+namespace amix::engine {
+namespace {
+
+struct ProbeResult {
+  std::vector<EdgeId> mst_edges;  // sorted
+  std::uint64_t mst_weight = 0;
+  bool mst_exact = false;
+  std::uint32_t packets = 0;
+  std::uint32_t delivered = 0;
+  bool portals_complete = false;
+  bool balanced = false;
+  std::uint64_t bound_violations = 0;
+};
+
+ProbeResult probe(const Hierarchy& h, const HierarchyParams& params,
+                  const Weights& w,
+                  const std::vector<RouteRequest>& reqs,
+                  std::uint64_t probe_seed) {
+  ProbeResult r;
+  obs::TraceRecorder rec;
+  {
+    const obs::ScopedRecorder scope(&rec);
+    RoundLedger ledger;
+
+    MstParams mp;
+    mp.seed = keyed_u64(probe_seed, 0x6d73742d70726f62ULL, 0);
+    const HierarchicalBoruvka algo(h, w);
+    MstStats mst = algo.run(ledger, mp);
+    r.mst_edges = std::move(mst.edges);
+    std::sort(r.mst_edges.begin(), r.mst_edges.end());
+    r.mst_weight = w.total(r.mst_edges);
+    r.mst_exact = is_exact_mst(h.graph(), w, r.mst_edges);
+
+    const HierarchicalRouter router(h);
+    Rng rng(keyed_u64(probe_seed, 0x726f7574652d7072ULL, 0));
+    const RouteStats route = router.route_in_phases(reqs, 1, ledger, rng);
+    r.packets = route.packets;
+    r.delivered = route.delivered;
+  }
+  r.portals_complete = h.portals().complete();
+  r.balanced = h.partition().balanced(params.balance_slack > 0
+                                          ? params.balance_slack
+                                          : HierarchyParams{}.balance_slack);
+  r.bound_violations =
+      obs::BoundChecker().check(rec.metrics()).violations();
+  return r;
+}
+
+}  // namespace
+
+EquivalenceReport check_full_rebuild_equivalence(const Hierarchy& repaired,
+                                                 const HierarchyParams& params,
+                                                 std::uint64_t probe_seed) {
+  EquivalenceReport rep;
+  const Graph& g = repaired.graph();
+
+  RoundLedger build_ledger;
+  const Hierarchy fresh = Hierarchy::build(g, params, build_ledger);
+  rep.rebuild_rounds = build_ledger.total();
+
+  const auto fail = [&rep](std::string detail) {
+    rep.ok = false;
+    rep.detail = std::move(detail);
+    return rep;
+  };
+
+  if (fresh.depth() != repaired.depth() || fresh.beta() != repaired.beta()) {
+    return fail("shape: repaired depth/beta differ from a fresh build");
+  }
+
+  // One shared probe workload: same weights and same routing instance on
+  // both sides, keyed entirely by probe_seed.
+  Rng wrng(keyed_u64(probe_seed, 0x77656967687473ULL, 0));
+  const Weights w = distinct_random_weights(g, wrng);
+  Rng irng(keyed_u64(probe_seed, 0x7065726d2d696e73ULL, 0));
+  const std::vector<RouteRequest> reqs = permutation_instance(g, irng);
+
+  const ProbeResult a = probe(repaired, params, w, reqs, probe_seed);
+  const ProbeResult b = probe(fresh, params, w, reqs, probe_seed);
+  rep.mst_weight_repaired = a.mst_weight;
+  rep.mst_weight_rebuilt = b.mst_weight;
+  rep.bound_violations = a.bound_violations + b.bound_violations;
+
+  if (!a.portals_complete) return fail("portals: repaired table incomplete");
+  if (!b.portals_complete) return fail("portals: rebuilt table incomplete");
+  if (!a.balanced) return fail("partition: repaired partition unbalanced");
+  if (!a.mst_exact) return fail("mst: repaired answer fails Kruskal oracle");
+  if (!b.mst_exact) return fail("mst: rebuilt answer fails Kruskal oracle");
+  if (a.mst_edges != b.mst_edges) {
+    return fail("mst: repaired edge set differs from fresh rebuild");
+  }
+  if (a.mst_weight != b.mst_weight) {
+    return fail("mst: weights differ");  // unreachable given edge equality
+  }
+  if (a.packets != b.packets || a.delivered != a.packets ||
+      b.delivered != b.packets) {
+    return fail("route: delivery differs from fresh rebuild");
+  }
+  if (a.bound_violations != 0 || b.bound_violations != 0) {
+    return fail("bounds: BoundChecker violations after repair");
+  }
+  rep.ok = true;
+  return rep;
+}
+
+}  // namespace amix::engine

@@ -1,0 +1,48 @@
+#pragma once
+
+// Full-rebuild equivalence oracle: the correctness backbone of delta
+// repair. A repaired hierarchy is a different object from the one a
+// fresh Hierarchy::build would produce (different randomness, different
+// overlay edges), so "repair is correct" cannot mean bit-identity. What
+// it must mean — and what this oracle enforces — is that the repaired
+// structure is *answer-equivalent*: every query a caller can ask gives
+// the same answer as on a hierarchy built from scratch on the mutated
+// graph, and both stay inside the paper's bound envelopes.
+//
+// Checked per probe (both hierarchies, under their own trace recorders):
+//   * MST: the edge set element-wise equals the fresh build's AND passes
+//     the exact Kruskal verifier (distinct weights => unique MST, so
+//     element-wise equality is the strongest possible check);
+//   * routing: a full permutation instance delivers every packet;
+//   * portals: completeness (every sibling pair reachable);
+//   * partition: P1 balance on the mutated virtual-node space;
+//   * observability: zero BoundChecker violations on either side.
+//
+// HierarchyCache runs this (sampled) behind AMIX_CHECK after repairs;
+// tests/test_incremental_hierarchy.cpp sweeps it across a churn corpus.
+
+#include <cstdint>
+#include <string>
+
+#include "hierarchy/hierarchy.hpp"
+
+namespace amix::engine {
+
+struct EquivalenceReport {
+  bool ok = false;
+  std::string detail;  // empty when ok; first failed check otherwise
+  std::uint64_t mst_weight_repaired = 0;
+  std::uint64_t mst_weight_rebuilt = 0;
+  std::uint64_t rebuild_rounds = 0;  // what the fresh build charged
+  std::uint64_t bound_violations = 0;  // both sides combined
+};
+
+/// Build a fresh hierarchy on `repaired.graph()` with `params` and probe
+/// both for answer equivalence. `probe_seed` keys the probe workload
+/// (weights, routing instance, query seeds); the same seed reproduces
+/// the same probe exactly.
+EquivalenceReport check_full_rebuild_equivalence(const Hierarchy& repaired,
+                                                 const HierarchyParams& params,
+                                                 std::uint64_t probe_seed);
+
+}  // namespace amix::engine

@@ -1,6 +1,9 @@
 #include "engine/hierarchy_cache.hpp"
 
+#include <unordered_set>
+
 #include "congest/round_ledger.hpp"
+#include "engine/equivalence_oracle.hpp"
 #include "util/rng.hpp"
 
 namespace amix::engine {
@@ -35,6 +38,31 @@ std::uint64_t params_fingerprint(const HierarchyParams& p) {
   return h;
 }
 
+std::optional<std::uint64_t> fingerprint_after_delta(std::uint64_t old_fp,
+                                                     const Graph& old_g,
+                                                     const GraphDelta& delta) {
+  std::uint64_t h = old_fp;
+  std::unordered_set<std::uint64_t> added;  // keys appended by this delta
+  for (const EdgeDelta& op : delta) {
+    if (op.u >= old_g.num_nodes() || op.v >= old_g.num_nodes() ||
+        op.u == op.v) {
+      continue;  // Graph::apply_delta skips these too
+    }
+    const NodeId u = std::min(op.u, op.v);
+    const NodeId v = std::max(op.u, op.v);
+    const std::uint64_t key = static_cast<std::uint64_t>(u) << 32 | v;
+    const bool present = old_g.has_edge(u, v) || added.contains(key);
+    if (!op.insert) {
+      if (present) return std::nullopt;  // effective delete: edges reorder
+      continue;                          // deleting an absent edge: no-op
+    }
+    if (present) continue;  // duplicate insert: no-op
+    added.insert(key);
+    h = splitmix64(h ^ key);  // appended at the end of the edge list
+  }
+  return h;
+}
+
 HierarchyCache::Lookup HierarchyCache::get_or_build(
     const Graph& g, const HierarchyParams& params) {
   const Key key{graph_fingerprint(g), params_fingerprint(params)};
@@ -44,14 +72,16 @@ HierarchyCache::Lookup HierarchyCache::get_or_build(
   }
   ++misses_;
   auto entry = std::make_unique<CacheEntry>();
-  entry->graph_ = g;  // the entry owns its graph: no lifetime coupling
+  entry->graph_ = std::make_unique<Graph>(g);  // the entry owns its graph
   entry->graph_fp_ = key.first;
   entry->params_fp_ = key.second;
+  entry->params_ = params;
   RoundLedger build_ledger;
   entry->hierarchy_.emplace(
-      Hierarchy::build(entry->graph_, params, build_ledger));
+      Hierarchy::build(*entry->graph_, params, build_ledger));
   entry->build_rounds_ = build_ledger.total();
   entry->build_phases_ = build_ledger.phases();
+  record_cost(*entry);
   const CacheEntry* raw = entry.get();
   entries_.emplace(key, std::move(entry));
   return Lookup{raw, true};
@@ -64,11 +94,82 @@ const CacheEntry* HierarchyCache::find(const Graph& g,
   return it != entries_.end() ? it->second.get() : nullptr;
 }
 
+HierarchyCache::PatchResult HierarchyCache::apply_delta(
+    const Graph& old_g, const Graph& new_g,
+    std::optional<std::uint64_t> new_fp_hint) {
+  PatchResult res;
+  const std::uint64_t old_fp = graph_fingerprint(old_g);
+  const std::uint64_t new_fp =
+      new_fp_hint ? *new_fp_hint : graph_fingerprint(new_g);
+  if (old_fp == new_fp) return res;  // structurally identical: nothing to do
+
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.first != old_fp) {
+      ++it;
+      continue;
+    }
+    const auto next = std::next(it);  // compute before extract invalidates it
+    auto node = entries_.extract(it);
+    CacheEntry& entry = *node.mapped();
+
+    // Repair against the entry's own copy of the mutated graph; the old
+    // copy stays alive (and the hierarchy valid) until the repair commits.
+    auto ng = std::make_unique<Graph>(new_g);
+    RoundLedger repair_ledger;
+    const RepairOutcome outcome =
+        entry.hierarchy_->apply_delta(*ng, repair_ledger);
+    res.repair_rounds += outcome.repair_rounds;
+
+    if (!outcome.applied) {
+      // Unrepairable: record what the entry cost, then let it go — the
+      // next lookup on the new topology rebuilds from scratch.
+      res.last_fallback = outcome.reason;
+      ++res.dropped;
+      entry.repair_rounds_ += outcome.repair_rounds;
+      record_cost(entry);
+      it = next;
+      continue;
+    }
+
+    entry.graph_ = std::move(ng);
+    entry.graph_fp_ = new_fp;
+    ++entry.repairs_;
+    entry.repair_rounds_ += outcome.repair_rounds;
+    record_cost(entry);
+
+    // Sampled full-rebuild equivalence oracle: the first repair of every
+    // verify_every_ window per entry is probed against a fresh build.
+    // verify_every_ defaults to 0 (off) in NDEBUG builds.
+    if (verify_every_ != 0 &&
+        entry.repairs_ % verify_every_ == 1 % verify_every_) {
+      ++res.oracle_checks;
+      const std::uint64_t probe_seed =
+          keyed_u64(entry.params_.seed, 0x6f7261636c65ULL, entry.repairs_);
+      const EquivalenceReport eq = check_full_rebuild_equivalence(
+          *entry.hierarchy_, entry.params_, probe_seed);
+      AMIX_CHECK_MSG(eq.ok, eq.detail.c_str());
+    }
+
+    node.key().first = new_fp;
+    // A patched duplicate (another old-topology entry already re-keyed to
+    // the same target, params equal) would collide; keep the incumbent.
+    const auto ins = entries_.insert(std::move(node));
+    if (ins.inserted) {
+      ++res.patched;
+    } else {
+      ++res.dropped;
+    }
+    it = next;
+  }
+  return res;
+}
+
 std::size_t HierarchyCache::invalidate(const Graph& g) {
   const std::uint64_t fp = graph_fingerprint(g);
   std::size_t dropped = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->first.first == fp) {
+      record_cost(*it->second);  // the build cost outlives the entry
       it = entries_.erase(it);
       ++dropped;
     } else {
@@ -76,6 +177,34 @@ std::size_t HierarchyCache::invalidate(const Graph& g) {
     }
   }
   return dropped;
+}
+
+void HierarchyCache::invalidate_all() {
+  for (const auto& [key, entry] : entries_) record_cost(*entry);
+  entries_.clear();
+}
+
+std::optional<std::uint64_t> HierarchyCache::recorded_build_rounds(
+    std::uint64_t graph_fp, std::uint64_t params_fp) const {
+  for (const CostRecord& r : history_) {
+    if (r.graph_fp == graph_fp && r.params_fp == params_fp) {
+      return r.build_rounds;
+    }
+  }
+  return std::nullopt;
+}
+
+void HierarchyCache::record_cost(const CacheEntry& e) {
+  for (CostRecord& r : history_) {
+    if (r.graph_fp == e.graph_fp_ && r.params_fp == e.params_fp_) {
+      r.build_rounds = e.build_rounds_;
+      r.repairs = e.repairs_;
+      r.repair_rounds = e.repair_rounds_;
+      return;
+    }
+  }
+  history_.push_back(CostRecord{e.graph_fp_, e.params_fp_, e.build_rounds_,
+                                e.repairs_, e.repair_rounds_});
 }
 
 }  // namespace amix::engine

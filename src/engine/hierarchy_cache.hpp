@@ -11,11 +11,20 @@
 // hierarchy against that copy, so a cached hierarchy never dangles when
 // the caller's graph goes away or churns.
 //
-// Invalidation: lookups key on the graph's CONTENT (a fingerprint over
-// the node count and edge list), so a churned topology naturally misses
-// and rebuilds. Explicit invalidation (invalidate / invalidate_all) is
-// for reclaiming memory and for forcing a rebuild of a graph that is
-// about to be mutated in place. See DESIGN.md §11.
+// Invalidation vs patching: lookups key on the graph's CONTENT (a
+// fingerprint over the node count and edge list), so a churned topology
+// naturally misses and rebuilds. Under edge churn that is all-or-nothing;
+// apply_delta() instead repairs every entry of the old topology in place
+// (Hierarchy::apply_delta) and RE-KEYS it to the mutated graph's
+// fingerprint, so interleaved query batches keep hitting. Entries that
+// cannot be repaired (see the fallback gates in src/hierarchy/delta.cpp)
+// are dropped and rebuild lazily on the next lookup.
+//
+// Cost history: dropping an entry — explicitly or on a failed patch — no
+// longer forgets what it cost to build. A CostRecord per (graph, params)
+// key survives in cost_history(), which is what the repair-vs-rebuild
+// decision and a future cost-aware LRU (ROADMAP item 1) consult.
+// See DESIGN.md §11 and §12.
 
 #include <cstdint>
 #include <map>
@@ -38,13 +47,24 @@ std::uint64_t graph_fingerprint(const Graph& g);
 /// collide only if they would build identical hierarchies).
 std::uint64_t params_fingerprint(const HierarchyParams& p);
 
+/// Incremental fingerprint update: the fingerprint the graph would have
+/// after `delta` is applied to `old_g`. The edge-list fold is order
+/// sensitive and appends-only can extend it in O(|delta|); any effective
+/// deletion reorders edge positions, so the answer is nullopt and the
+/// caller must refingerprint the mutated graph in O(m). Inapplicable ops
+/// (duplicate inserts, out-of-range, self-loops) are skipped exactly as
+/// Graph::apply_delta skips them.
+std::optional<std::uint64_t> fingerprint_after_delta(std::uint64_t old_fp,
+                                                     const Graph& old_g,
+                                                     const GraphDelta& delta);
+
 /// One cached build: the graph copy, the hierarchy on it, and what the
-/// build charged (so batches can report amortized construction cost
-/// without rebuilding).
+/// build (and any subsequent repairs) charged — so batches can report
+/// amortized construction cost without rebuilding.
 class CacheEntry {
  public:
   const Hierarchy& hierarchy() const { return *hierarchy_; }
-  const Graph& graph() const { return graph_; }
+  const Graph& graph() const { return *graph_; }
   std::uint64_t build_rounds() const { return build_rounds_; }
   const std::vector<std::pair<std::string, std::uint64_t>>& build_phases()
       const {
@@ -52,15 +72,34 @@ class CacheEntry {
   }
   std::uint64_t graph_fp() const { return graph_fp_; }
   std::uint64_t params_fp() const { return params_fp_; }
+  const HierarchyParams& params() const { return params_; }
+  std::uint32_t repairs() const { return repairs_; }
+  std::uint64_t repair_rounds() const { return repair_rounds_; }
 
  private:
   friend class HierarchyCache;
-  Graph graph_;
+  // The graph lives behind a stable address: the hierarchy points at it,
+  // and a patch must keep the OLD graph alive while the repair runs
+  // against the new one, then swap.
+  std::unique_ptr<Graph> graph_;
   std::optional<Hierarchy> hierarchy_;
   std::uint64_t build_rounds_ = 0;
   std::vector<std::pair<std::string, std::uint64_t>> build_phases_;
   std::uint64_t graph_fp_ = 0;
   std::uint64_t params_fp_ = 0;
+  HierarchyParams params_;
+  std::uint32_t repairs_ = 0;
+  std::uint64_t repair_rounds_ = 0;
+};
+
+/// What building (and repairing) one (graph, params) key cost. Kept even
+/// after the entry itself is dropped.
+struct CostRecord {
+  std::uint64_t graph_fp = 0;
+  std::uint64_t params_fp = 0;
+  std::uint64_t build_rounds = 0;
+  std::uint32_t repairs = 0;
+  std::uint64_t repair_rounds = 0;
 };
 
 class HierarchyCache {
@@ -70,6 +109,15 @@ class HierarchyCache {
     bool built = false;  // true when this call paid for the build
   };
 
+  /// Result of patching the cache across one topology mutation.
+  struct PatchResult {
+    std::size_t patched = 0;  // entries repaired + re-keyed in place
+    std::size_t dropped = 0;  // entries that fell back (rebuild on demand)
+    std::uint64_t repair_rounds = 0;  // total charged by the repairs
+    std::size_t oracle_checks = 0;    // sampled equivalence probes run
+    const char* last_fallback = "";   // reason of the last drop, if any
+  };
+
   /// The cached hierarchy for (g, params), building (and charging the
   /// entry's recorded ledger) on first use.
   Lookup get_or_build(const Graph& g, const HierarchyParams& params);
@@ -77,10 +125,33 @@ class HierarchyCache {
   /// Lookup without building; nullptr when absent.
   const CacheEntry* find(const Graph& g, const HierarchyParams& params) const;
 
-  /// Drop every entry built for a graph with this topology (any params).
-  /// Returns the number of entries dropped.
+  /// Repair every entry keyed to `old_g`'s topology so it describes
+  /// `new_g`, re-keying it under the new fingerprint (pass `new_fp_hint`
+  /// from fingerprint_after_delta to skip the O(m) refingerprint).
+  /// Entries whose repair falls back are dropped (their cost is recorded)
+  /// and rebuild lazily. Repairs are sampled-verified against a fresh
+  /// rebuild under AMIX_CHECK every `verify_every()` repairs.
+  PatchResult apply_delta(const Graph& old_g, const Graph& new_g,
+                          std::optional<std::uint64_t> new_fp_hint = {});
+
+  /// Drop every entry built for a graph with this topology (any params),
+  /// keeping their cost records. Returns the number of entries dropped.
   std::size_t invalidate(const Graph& g);
-  void invalidate_all() { entries_.clear(); }
+  void invalidate_all();
+
+  /// Build/repair costs of every key ever completed, including dropped
+  /// entries (newest last; one record per key, updated in place).
+  const std::vector<CostRecord>& cost_history() const { return history_; }
+  /// Recorded build cost for a key, live or dropped; nullopt if never
+  /// built.
+  std::optional<std::uint64_t> recorded_build_rounds(
+      std::uint64_t graph_fp, std::uint64_t params_fp) const;
+
+  /// Oracle sampling period: 0 disables, 1 verifies every repair, k
+  /// verifies the first of every k repairs per entry. Defaults to 16 in
+  /// debug builds and 0 (off) in NDEBUG builds.
+  void set_verify_every(std::uint32_t n) { verify_every_ = n; }
+  std::uint32_t verify_every() const { return verify_every_; }
 
   std::size_t size() const { return entries_.size(); }
   std::uint64_t hits() const { return hits_; }
@@ -88,9 +159,18 @@ class HierarchyCache {
 
  private:
   using Key = std::pair<std::uint64_t, std::uint64_t>;  // (graph, params) fps
+
+  void record_cost(const CacheEntry& e);
+
   std::map<Key, std::unique_ptr<CacheEntry>> entries_;
+  std::vector<CostRecord> history_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+#ifdef NDEBUG
+  std::uint32_t verify_every_ = 0;
+#else
+  std::uint32_t verify_every_ = 16;
+#endif
 };
 
 }  // namespace amix::engine

@@ -58,6 +58,18 @@ std::uint32_t QueryEngine::submit(QuerySpec spec) {
   return static_cast<std::uint32_t>(pending_.size() - 1);
 }
 
+engine::HierarchyCache::PatchResult QueryEngine::apply_delta(
+    const Graph& new_g, const GraphDelta* delta) {
+  std::optional<std::uint64_t> hint;
+  if (delta != nullptr) {
+    hint = engine::fingerprint_after_delta(engine::graph_fingerprint(*graph_),
+                                           *graph_, *delta);
+  }
+  const auto res = cache_.apply_delta(*graph_, new_g, hint);
+  graph_ = &new_g;
+  return res;
+}
+
 QueryEngine::QueryExecution QueryEngine::run_one(
     const engine::CacheEntry& entry, const QuerySpec& spec,
     std::uint32_t index, congest::CongestInstrument* ambient) const {

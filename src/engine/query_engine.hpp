@@ -87,6 +87,14 @@ class QueryEngine {
   /// invalidated — call cache().invalidate(old) to reclaim them.
   void rebind(const Graph& g) { graph_ = &g; }
 
+  /// Churn path: patch every cache entry of the CURRENT graph's topology
+  /// in place so it describes `new_g` (see HierarchyCache::apply_delta),
+  /// then rebind to `new_g`. Pass the delta that produced `new_g` to let
+  /// the cache re-key via an incremental fingerprint where possible.
+  /// `new_g` must outlive the engine (or the next rebind).
+  engine::HierarchyCache::PatchResult apply_delta(
+      const Graph& new_g, const GraphDelta* delta = nullptr);
+
   const Graph& graph() const { return *graph_; }
   engine::HierarchyCache& cache() { return cache_; }
   const engine::HierarchyCache& cache() const { return cache_; }

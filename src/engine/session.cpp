@@ -59,4 +59,20 @@ BatchReport Session::batch(std::vector<QuerySpec> specs) {
   return b;
 }
 
+Session::MutationReport Session::mutate(const GraphDelta& delta) {
+  ++calls_;  // mutations are session calls: replays must count them too
+  Graph next = graph_.apply_delta(delta);
+  // Patch the cache first (entries own their graph copies and repair
+  // against them), then swap the session graph and re-point the engine
+  // at its new address.
+  const auto patch = engine_.apply_delta(next, &delta);
+  graph_ = std::move(next);
+  engine_.rebind(graph_);
+  if (patch.repair_rounds > 0) {
+    ledger_.charge("hierarchy-repair", patch.repair_rounds);
+  }
+  return MutationReport{patch.patched, patch.dropped, patch.oracle_checks,
+                        patch.repair_rounds};
+}
+
 }  // namespace amix

@@ -65,6 +65,21 @@ class Session {
   /// batch is comparable to the same specs on a bare QueryEngine.
   BatchReport batch(std::vector<QuerySpec> specs);
 
+  /// What one topology mutation did to the session's cached state.
+  struct MutationReport {
+    std::size_t entries_patched = 0;  // hierarchies repaired in place
+    std::size_t entries_dropped = 0;  // fell back; rebuild on next query
+    std::size_t oracle_checks = 0;    // sampled equivalence probes run
+    std::uint64_t repair_rounds = 0;  // charged as "hierarchy-repair"
+  };
+
+  /// Apply an edge delta to the session graph and repair the cached
+  /// hierarchies in place (Hierarchy::apply_delta through the cache), so
+  /// subsequent queries reuse patched entries instead of rebuilding.
+  /// Counts as one session call; repair rounds land in ledger() under
+  /// "hierarchy-repair".
+  MutationReport mutate(const GraphDelta& delta);
+
   const Graph& graph() const { return graph_; }
   /// Every base round this session has been charged, by phase
   /// ("hierarchy-build" once per cache miss, "queries" for everything

@@ -1,9 +1,17 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace amix {
+namespace {
+
+std::uint64_t norm_key(NodeId a, NodeId b) {
+  return (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+}
+
+}  // namespace
 
 Graph Graph::from_edges(NodeId n,
                         const std::vector<std::pair<NodeId, NodeId>>& edges) {
@@ -44,6 +52,59 @@ Graph Graph::from_edges(NodeId n,
     g.edge_ports_[e] = {pu, pv};
   }
   return g;
+}
+
+Graph Graph::apply_delta(const GraphDelta& delta) const {
+  std::vector<std::pair<NodeId, NodeId>> edges = edge_endpoints_;
+  std::vector<char> alive(edges.size(), 1);
+  std::unordered_map<std::uint64_t, std::size_t> index;  // key -> position
+  index.reserve(2 * edges.size() + delta.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    index.emplace(norm_key(edges[i].first, edges[i].second), i);
+  }
+  for (const EdgeDelta& op : delta) {
+    if (op.u >= n_ || op.v >= n_ || op.u == op.v) continue;
+    const std::uint64_t key = norm_key(op.u, op.v);
+    const auto it = index.find(key);
+    if (op.insert) {
+      if (it != index.end()) continue;
+      index.emplace(key, edges.size());
+      edges.emplace_back(std::min(op.u, op.v), std::max(op.u, op.v));
+      alive.push_back(1);
+    } else {
+      if (it == index.end()) continue;
+      alive[it->second] = 0;
+      index.erase(it);
+    }
+  }
+  std::vector<std::pair<NodeId, NodeId>> kept;
+  kept.reserve(index.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (alive[i]) kept.push_back(edges[i]);
+  }
+  return from_edges(n_, kept);
+}
+
+GraphDelta delta_between(const Graph& from, const Graph& to) {
+  AMIX_CHECK(from.num_nodes() == to.num_nodes());
+  std::unordered_set<std::uint64_t> in_to;
+  in_to.reserve(2 * to.num_edges());
+  for (const auto& [u, v] : to.edges()) in_to.insert(norm_key(u, v));
+  std::unordered_set<std::uint64_t> in_from;
+  in_from.reserve(2 * from.num_edges());
+  GraphDelta delta;
+  for (const auto& [u, v] : from.edges()) {
+    in_from.insert(norm_key(u, v));
+    if (!in_to.contains(norm_key(u, v))) {
+      delta.push_back(EdgeDelta{u, v, /*insert=*/false});
+    }
+  }
+  for (const auto& [u, v] : to.edges()) {
+    if (!in_from.contains(norm_key(u, v))) {
+      delta.push_back(EdgeDelta{u, v, /*insert=*/true});
+    }
+  }
+  return delta;
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {

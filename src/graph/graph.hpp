@@ -31,6 +31,21 @@ struct Arc {
   EdgeId edge;
 };
 
+/// One edge mutation: insert (or delete) the undirected edge {u, v}.
+/// Inapplicable ops — self-loops, endpoints out of range, inserting a
+/// present edge, deleting an absent one — are no-ops, so delta streams
+/// from churn generators and fuzzers apply without pre-validation.
+struct EdgeDelta {
+  NodeId u = 0;
+  NodeId v = 0;
+  bool insert = true;
+};
+
+/// An ordered batch of edge mutations, applied left to right by
+/// Graph::apply_delta (so "delete then re-insert" moves an edge to the
+/// end of the edge list, while "insert then delete" is a net no-op).
+using GraphDelta = std::vector<EdgeDelta>;
+
 class Graph {
  public:
   Graph() = default;
@@ -94,6 +109,21 @@ class Graph {
   /// True if {u, v} is an edge. O(min degree) — fine for tests/oracles.
   bool has_edge(NodeId u, NodeId v) const;
 
+  /// The edge list (normalized u < v, in edge-id order). Ports are
+  /// assigned in edge-list order, so this IS the port assignment: node
+  /// v's port p belongs to the (p+1)-th edge of this list incident to v.
+  const std::vector<std::pair<NodeId, NodeId>>& edges() const {
+    return edge_endpoints_;
+  }
+
+  /// A new graph (same node count) with `delta` applied in order.
+  /// Surviving edges keep their relative edge-list position, and since
+  /// ports follow edge-list order, every surviving (node, port) slot
+  /// keeps its relative port order at its endpoint; inserted edges take
+  /// the highest ports of their endpoints. This key stability is what
+  /// makes the hierarchy's delta repair local (see src/hierarchy/).
+  Graph apply_delta(const GraphDelta& delta) const;
+
   /// Sum of degrees = 2m; the number of virtual nodes of Section 3.1.1.
   std::uint64_t num_arcs() const { return 2ULL * m_; }
 
@@ -106,5 +136,11 @@ class Graph {
   std::vector<std::pair<NodeId, NodeId>> edge_endpoints_;        // size m_
   std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_ports_;  // size m_
 };
+
+/// The delta transforming `from`'s edge set into `to`'s: deletions (in
+/// `from` edge-id order) followed by insertions (in `to` edge-id order).
+/// Requires equal node counts. Inverse of Graph::apply_delta up to edge
+/// order of the insertions.
+GraphDelta delta_between(const Graph& from, const Graph& to);
 
 }  // namespace amix

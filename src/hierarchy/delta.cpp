@@ -1,0 +1,488 @@
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "congest/primitives.hpp"
+#include "graph/traversal.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "obs/trace.hpp"
+#include "randwalk/walk_engine.hpp"
+
+// Delta repair (the dynamic-graph path). A mutated graph keeps most of
+// its (node, port) slots: Graph::apply_delta preserves the relative
+// edge-list order of surviving edges, so a surviving slot keeps its key
+// (owner, port) unless a deletion shifted later ports at its endpoint.
+// Since the partition hashes keys with the already-broadcast seed, a
+// key-stable slot keeps its exact leaf — so the damage of a small delta
+// is local: the added/removed slots, the few survivors whose port
+// shifted into a different leaf, and their incident overlay edges.
+//
+// The repair rebuilds exactly that damage, bottom-up, re-using the old
+// structure everywhere else and re-charging ONLY the repaired work:
+//   announce   one leader election + BFS broadcast of the changed edges
+//   g0         fresh tau_mix walks only for slots missing G0 edges
+//   levels     distinct-neighbor waves only for damaged/moved/new slots,
+//              plus a connectivity re-check of the parts they live in
+//   portals    Lemma 3.3 batches only for members of parts whose
+//              candidate sets could have changed
+// Round costs of untouched overlays are kept (their emulation schedules
+// did not change); walk lengths reuse the measured tau of the build.
+//
+// Everything is staged on locals and committed at the end, so a fallback
+// (returning applied == false) leaves the hierarchy untouched and valid
+// for the old graph. Correctness is not argued, it is checked: the
+// engine's equivalence oracle compares every repaired hierarchy against
+// a fresh build on the mutated graph (see src/engine/equivalence_oracle).
+
+namespace amix {
+namespace {
+
+constexpr std::uint64_t kRepairStream = 0x64656c74612d7270ULL;  // "delta-rp"
+constexpr Vid kNoVid = static_cast<Vid>(-1);
+
+std::uint64_t edge_key(std::uint32_t a, std::uint32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+RepairOutcome Hierarchy::apply_delta(const Graph& new_g, RoundLedger& ledger) {
+  const obs::Span repair_span(ledger, "hierarchy/delta-repair");
+  const std::uint64_t start_rounds = ledger.total();
+  RepairOutcome out;
+  const auto fallback = [&](const char* reason) {
+    out.applied = false;
+    out.reason = reason;
+    out.repair_rounds = ledger.total() - start_rounds;
+    return out;
+  };
+
+  // --- Gates that need no simulated work (local knowledge only). ---
+  if (new_g.num_nodes() != g_->num_nodes()) return fallback("node-count-changed");
+  if (new_g.num_nodes() < 2 || new_g.num_edges() == 0) {
+    return fallback("degenerate-graph");
+  }
+  if (!is_connected(new_g)) return fallback("disconnected");
+
+  const std::uint32_t depth = stats_.depth;
+  AMIX_CHECK(stats_.level_taus.size() == depth);
+  const HierarchyShape shape =
+      derive_hierarchy_shape(new_g.num_nodes(), new_g.num_arcs(), params_);
+  if (shape.beta != stats_.beta || shape.depth != depth) {
+    return fallback("shape-changed");
+  }
+
+  // Re-key the partition against the mutated virtual-node space. Pure
+  // local recompute (P2: labels are a function of key and the broadcast
+  // seed), but the balance invariant must be re-verified.
+  auto nvs = std::make_unique<VirtualNodeSpace>(new_g);
+  const Vid new_nv = nvs->num_virtual();
+  const Vid old_nv = vspace_->num_virtual();
+  auto npart =
+      std::make_unique<HierarchicalPartition>(partition_->rebound(*nvs));
+  if (!npart->balanced(params_.balance_slack)) {
+    return fallback("partition-imbalanced");
+  }
+
+  // --- Diff: match surviving slots between the graphs. ---
+  std::unordered_map<std::uint64_t, EdgeId> old_edges;
+  old_edges.reserve(2 * g_->num_edges());
+  for (EdgeId e = 0; e < g_->num_edges(); ++e) {
+    old_edges.emplace(edge_key(g_->edge_u(e), g_->edge_v(e)), e);
+  }
+  std::vector<Vid> old2new(old_nv, kNoVid);
+  std::vector<Vid> new2old(new_nv, kNoVid);
+  for (EdgeId e = 0; e < new_g.num_edges(); ++e) {
+    const NodeId u = new_g.edge_u(e);
+    const NodeId v = new_g.edge_v(e);
+    const auto it = old_edges.find(edge_key(u, v));
+    if (it == old_edges.end()) {
+      ++out.delta.edges_added;
+      continue;
+    }
+    const EdgeId eo = it->second;
+    for (const NodeId x : {u, v}) {
+      const Vid ov = vspace_->vid_of(x, g_->port_of(x, eo));
+      const Vid nv2 = nvs->vid_of(x, new_g.port_of(x, e));
+      old2new[ov] = nv2;
+      new2old[nv2] = ov;
+    }
+    old_edges.erase(it);
+  }
+  out.delta.edges_removed = static_cast<std::uint32_t>(old_edges.size());
+  out.delta.slots_added = 2 * out.delta.edges_added;
+  out.delta.slots_removed = 2 * out.delta.edges_removed;
+
+  std::vector<Vid> removed_old;
+  removed_old.reserve(out.delta.slots_removed);
+  for (Vid a = 0; a < old_nv; ++a) {
+    if (old2new[a] == kNoVid) removed_old.push_back(a);
+  }
+
+  // Leaf-divergence level of each surviving slot: the shallowest level
+  // where its old and new labels differ (divergence is monotone — once
+  // prefixes split they stay split). depth + 1 == never moved.
+  std::vector<std::uint32_t> div_level(new_nv, depth + 1);
+  for (Vid v = 0; v < new_nv; ++v) {
+    if (new2old[v] == kNoVid) continue;
+    const PartId lold = partition_->leaf(new2old[v]);
+    const PartId lnew = npart->leaf(v);
+    if (lold == lnew) continue;
+    ++out.delta.slots_moved;
+    std::uint32_t l = 1;
+    while (npart->prefix(lold, l) == npart->prefix(lnew, l)) ++l;
+    div_level[v] = l;
+  }
+
+  // Width gate: patching more than a quarter of the slots re-runs most
+  // of the construction anyway — a rebuild is at least as cheap and
+  // keeps the fresh-build distribution.
+  const std::uint64_t damage = static_cast<std::uint64_t>(out.delta.slots_added) +
+                               out.delta.slots_removed + out.delta.slots_moved;
+  if (damage > std::max<std::uint64_t>(64, new_nv / 4)) {
+    return fallback("damage-too-wide");
+  }
+
+  const std::uint32_t changed_edges =
+      out.delta.edges_added + out.delta.edges_removed;
+
+  // --- Announce: every node must learn the changed edges to re-derive
+  // shared state (slot keys shift only at the mutated endpoints, but
+  // remote nodes compute labels from keys, so the delta is broadcast).
+  if (changed_edges > 0) {
+    const obs::Span span(ledger, "hierarchy/delta-announce");
+    PhaseScope scope(ledger, "delta/announce");
+    congest::elect_leader_max_id(new_g, scope.ledger());
+    const BfsTree tree = congest::distributed_bfs_tree(new_g, 0, scope.ledger());
+    congest::broadcast_bits(tree, static_cast<std::uint64_t>(changed_edges) * 64,
+                            128, scope.ledger());
+  }
+
+  // Repair randomness: keyed on (seed, repair index) so a repair is a
+  // deterministic function of the build seed and the mutation history,
+  // independent of how many draws the build consumed.
+  Rng rng(keyed_u64(params_.seed, kRepairStream, stats_.repairs));
+
+  std::vector<OverlayComm> nov;  // repaired overlays, bottom-up
+  nov.reserve(depth + 1);
+  // touched[l]: vids whose level-l overlay adjacency changed (feeds the
+  // portal repair scope: level-(l+1) portals hop over overlay l).
+  std::vector<std::unordered_set<Vid>> touched(depth + 1);
+
+  // --- G0: keep surviving edges, top up slots that lost out-edges and
+  // give brand-new slots a full complement, via fresh tau_mix walks. ---
+  std::vector<std::pair<Vid, Vid>> g0_edges;
+  std::vector<std::uint32_t> g0_deficit(new_nv, 0);
+  for (Vid v = 0; v < new_nv; ++v) {
+    if (new2old[v] == kNoVid) g0_deficit[v] = stats_.g0_out_degree;
+  }
+  for (Vid a = 0; a < old_nv; ++a) {
+    for (const Vid b : overlays_[0].neighbors(a)) {
+      if (a >= b) continue;
+      const Vid na = old2new[a];
+      const Vid nb = old2new[b];
+      if (na != kNoVid && nb != kNoVid) {
+        g0_edges.emplace_back(na, nb);
+      } else if (na != kNoVid) {
+        ++g0_deficit[na];
+      } else if (nb != kNoVid) {
+        ++g0_deficit[nb];
+      }
+    }
+  }
+  const char* g0_fail = nullptr;
+  {
+    const obs::Span span(ledger, "hierarchy/delta-g0");
+    PhaseScope scope(ledger, "delta/g0");
+    std::vector<std::uint32_t> starts;
+    std::vector<Vid> start_vid;
+    const double slack = std::max(2.0, params_.walk_slack);
+    for (Vid v = 0; v < new_nv; ++v) {
+      if (g0_deficit[v] == 0) continue;
+      touched[0].insert(v);
+      const auto w = std::max<std::uint32_t>(
+          4, static_cast<std::uint32_t>(std::ceil(slack * g0_deficit[v])));
+      for (std::uint32_t i = 0; i < w; ++i) {
+        starts.push_back(nvs->owner(v));
+        start_vid.push_back(v);
+      }
+    }
+    if (!starts.empty()) {
+      BaseComm base(new_g);
+      ParallelWalkEngine engine(base, rng.split());
+      WalkStats wstats;
+      const auto ends =
+          engine.run(starts, WalkKind::kLazy, std::max(stats_.tau_mix, 1u),
+                     scope.ledger(), &wstats);
+      // Reverse + second forward traversal, as in the build.
+      ParallelWalkEngine::charge_rerun(wstats, scope.ledger());
+      ParallelWalkEngine::charge_rerun(wstats, scope.ledger());
+      std::size_t i = 0;
+      while (i < ends.size() && g0_fail == nullptr) {
+        const Vid v = start_vid[i];
+        const std::uint32_t need = g0_deficit[v];
+        std::uint32_t taken = 0;
+        std::size_t j = i;
+        for (; j < ends.size() && start_vid[j] == v; ++j) {
+          if (taken >= need) continue;
+          const NodeId land = ends[j];
+          const auto port =
+              static_cast<std::uint32_t>(rng.next_below(new_g.degree(land)));
+          const Vid nbr = nvs->vid_of(land, port);
+          if (nbr == v) continue;
+          g0_edges.emplace_back(v, nbr);
+          touched[0].insert(nbr);
+          ++taken;
+        }
+        if (2 * taken < need) g0_fail = "g0-walks-failed";
+        i = j;
+      }
+    }
+  }
+  if (g0_fail != nullptr) return fallback(g0_fail);
+  {
+    CsrBuilder builder(new_nv);
+    for (const auto& [a, b] : g0_edges) builder.add_edge(a, b);
+    // The emulation schedule of G0 is shaped by (nv, out_degree, tau),
+    // none of which changed: keep the measured round cost.
+    nov.push_back(std::move(builder).finish(overlays_[0].round_cost()));
+  }
+
+  // --- Levels 1..depth: drop edges touching removed/moved slots, refill
+  // the damaged slots with waves on the repaired parent, re-verify the
+  // connectivity of every part that lost or gained a member. ---
+  const auto repair_level = [&](std::uint32_t level) -> const char* {
+    const obs::Span span(ledger, obs::numbered("hierarchy/delta-level-", level));
+    PhaseScope scope(ledger, "delta/levels");
+    const OverlayComm& old_ov = overlays_[level];
+    const OverlayComm& parent = nov[level - 1];
+    const std::uint32_t tau = std::max<std::uint32_t>(stats_.level_taus[level - 1], 1);
+    const std::uint32_t beta = npart->beta();
+    const auto dropped_at = [&](Vid v) { return div_level[v] <= level; };
+
+    std::vector<std::pair<Vid, Vid>> edges;  // surviving + repaired
+    std::vector<std::uint32_t> kept_deg(new_nv, 0);
+    std::unordered_set<std::uint64_t> have;
+    std::unordered_set<Vid> wave;  // slots that need fresh walks
+    for (Vid a = 0; a < old_nv; ++a) {
+      for (const Vid b : old_ov.neighbors(a)) {
+        if (a >= b) continue;
+        const Vid na = old2new[a];
+        const Vid nb = old2new[b];
+        const bool da = na == kNoVid || dropped_at(na);
+        const bool db = nb == kNoVid || dropped_at(nb);
+        if (!da && !db) {
+          // Neither endpoint moved at this level, so both kept their old
+          // part label and the edge is still a same-part edge.
+          edges.emplace_back(na, nb);
+          have.insert(edge_key(na, nb));
+          ++kept_deg[na];
+          ++kept_deg[nb];
+        } else {
+          if (!da) wave.insert(na);  // survivor lost a neighbor
+          if (!db) wave.insert(nb);
+        }
+      }
+    }
+    for (Vid v = 0; v < new_nv; ++v) {
+      if (new2old[v] == kNoVid || dropped_at(v)) wave.insert(v);
+    }
+
+    // Demand under the NEW part sizes; same target/cap as the build.
+    std::vector<std::uint32_t> missing(new_nv, 0);
+    for (const Vid v : wave) {
+      const std::uint32_t sz =
+          npart->part_size(level, npart->part_of(v, level));
+      const std::uint32_t cap =
+          sz <= 1 ? 0 : std::max<std::uint32_t>(1, 2 * (sz - 1) / 3);
+      const std::uint32_t target = std::min(stats_.level_degree, cap);
+      missing[v] = target > kept_deg[v] ? target - kept_deg[v] : 0;
+    }
+
+    ParallelWalkEngine engine(parent, rng.split());
+    std::vector<std::uint32_t> starts;
+    const auto run_wave = [&]() {
+      if (starts.empty()) return false;
+      WalkStats wstats;
+      const auto ends = engine.run(starts, WalkKind::kRegular2Delta, tau,
+                                   scope.ledger(), &wstats);
+      ParallelWalkEngine::charge_rerun(wstats, scope.ledger());  // reverse
+      for (std::size_t i = 0; i < starts.size(); ++i) {
+        const Vid s = starts[i];
+        const Vid e = ends[i];
+        if (missing[s] == 0 || e == s) continue;
+        if (npart->part_of(s, level) != npart->part_of(e, level)) continue;
+        if (!have.insert(edge_key(s, e)).second) continue;
+        edges.emplace_back(s, e);
+        touched[level].insert(s);
+        touched[level].insert(e);
+        --missing[s];
+        if (missing[e] > 0) --missing[e];
+      }
+      return true;
+    };
+
+    for (std::uint32_t w = 0; w < 64; ++w) {
+      starts.clear();
+      for (Vid v = 0; v < new_nv; ++v) {
+        if (missing[v] == 0) continue;
+        const auto wn = static_cast<std::uint32_t>(
+            std::ceil(params_.walk_slack * beta * missing[v]));
+        for (std::uint32_t i = 0; i < wn; ++i) starts.push_back(v);
+      }
+      if (!run_wave()) break;
+    }
+    for (Vid v = 0; v < new_nv; ++v) {
+      if (missing[v] != 0) return "level-walks-did-not-converge";
+    }
+
+    // Parts whose connectivity the delta could have broken: those the
+    // wave slots live in now, and those removed/moved slots left.
+    std::vector<PartId> check;
+    for (const Vid v : wave) check.push_back(npart->part_of(v, level));
+    for (const Vid a : removed_old) check.push_back(partition_->part_of(a, level));
+    for (Vid v = 0; v < new_nv; ++v) {
+      if (new2old[v] != kNoVid && dropped_at(v)) {
+        check.push_back(npart->prefix(partition_->leaf(new2old[v]), level));
+      }
+    }
+    std::sort(check.begin(), check.end());
+    check.erase(std::unique(check.begin(), check.end()), check.end());
+
+    const auto bad_parts = [&]() {
+      std::vector<Vid> uf(new_nv);
+      for (Vid v = 0; v < new_nv; ++v) uf[v] = v;
+      const auto find = [&uf](Vid x) {
+        while (uf[x] != x) {
+          uf[x] = uf[uf[x]];
+          x = uf[x];
+        }
+        return x;
+      };
+      for (const auto& [a, b] : edges) {
+        const Vid ra = find(a);
+        const Vid rb = find(b);
+        if (ra != rb) uf[ra] = rb;
+      }
+      std::vector<PartId> bad;
+      const auto& order = npart->order();
+      for (const PartId p : check) {
+        const auto [lo, hi] = npart->range(level, p);
+        if (hi - lo <= 1) continue;
+        const Vid rep = find(order[lo]);
+        for (std::uint32_t i = lo + 1; i < hi; ++i) {
+          if (find(order[i]) != rep) {
+            bad.push_back(p);
+            break;
+          }
+        }
+      }
+      return bad;
+    };
+
+    std::vector<PartId> bad = bad_parts();
+    for (std::uint32_t attempt = 0; !bad.empty() && attempt < 8; ++attempt) {
+      // One extra distinct neighbor per member of each broken part.
+      std::fill(missing.begin(), missing.end(), 0);
+      const auto& order = npart->order();
+      for (const PartId p : bad) {
+        const auto [lo, hi] = npart->range(level, p);
+        for (std::uint32_t i = lo; i < hi; ++i) missing[order[i]] = 1;
+      }
+      starts.clear();
+      const auto wn = static_cast<std::uint32_t>(
+          std::ceil(params_.walk_slack * beta));
+      for (Vid v = 0; v < new_nv; ++v) {
+        if (missing[v] == 0) continue;
+        for (std::uint32_t i = 0; i < wn; ++i) starts.push_back(v);
+      }
+      run_wave();
+      bad = bad_parts();
+    }
+    if (!bad.empty()) return "level-reconnect-failed";
+
+    for (const Vid v : wave) touched[level].insert(v);
+    CsrBuilder builder(new_nv);
+    for (const auto& [a, b] : edges) builder.add_edge(a, b);
+    // Parent round costs are unchanged, so the measured emulation cost
+    // of this level still applies.
+    nov.push_back(std::move(builder).finish(old_ov.round_cost()));
+    return nullptr;
+  };
+
+  for (std::uint32_t level = 1; level <= depth; ++level) {
+    const char* fail = repair_level(level);
+    if (fail != nullptr) return fallback(fail);
+  }
+
+  // --- Portals: recompute candidate tables exactly (uncharged local
+  // scan, as in the build), re-charge Lemma 3.3 batches only for members
+  // of parts whose candidate sets could have changed. ---
+  PortalRepairScope pscope;
+  pscope.affected.assign(depth + 1, {});
+  for (std::uint32_t level = 1; level <= depth; ++level) {
+    std::unordered_set<PartId> parts;
+    for (const Vid v : touched[level - 1]) {
+      parts.insert(npart->part_of(v, level));
+    }
+    for (Vid v = 0; v < new_nv; ++v) {
+      if (new2old[v] == kNoVid) {
+        parts.insert(npart->part_of(v, level));
+      } else if (div_level[v] <= level) {
+        parts.insert(npart->part_of(v, level));
+        parts.insert(npart->prefix(partition_->leaf(new2old[v]), level));
+      }
+    }
+    for (const Vid a : removed_old) {
+      parts.insert(partition_->part_of(a, level));
+    }
+    auto& aff = pscope.affected[level];
+    const auto& order = npart->order();
+    for (const PartId p : parts) {
+      const auto [lo, hi] = npart->range(level, p);
+      for (std::uint32_t i = lo; i < hi; ++i) aff.push_back(order[i]);
+    }
+    std::sort(aff.begin(), aff.end());
+    aff.erase(std::unique(aff.begin(), aff.end()), aff.end());
+  }
+  std::unique_ptr<PortalTable> nportals;
+  {
+    const obs::Span span(ledger, "hierarchy/delta-portals");
+    PhaseScope scope(ledger, "delta/portals");
+    std::vector<const OverlayComm*> ptrs;
+    for (const auto& ov : nov) ptrs.push_back(&ov);
+    nportals = std::make_unique<PortalTable>(*npart, ptrs, rng, scope.ledger(),
+                                             &pscope);
+  }
+  if (!nportals->complete()) return fallback("portals-incomplete");
+
+  // --- Commit. Vector moves keep element addresses stable, so the
+  // portal table's overlay pointers stay valid. ---
+  g_ = &new_g;
+  vspace_ = std::move(nvs);
+  partition_ = std::move(npart);
+  overlays_ = std::move(nov);
+  portals_ = std::move(nportals);
+  ++stats_.repairs;
+  stats_.g0_round_cost = overlays_[0].round_cost();
+  stats_.deepest_round_cost = overlays_.back().round_cost();
+  out.applied = true;
+  out.repair_rounds = ledger.total() - start_rounds;
+  stats_.repair_rounds += out.repair_rounds;
+
+  if (obs::recorder() != nullptr) {
+    obs::metric_gauge_set("hierarchy/repairs", stats_.repairs);
+    obs::metric_gauge_set("hierarchy/repair/slots_added", out.delta.slots_added);
+    obs::metric_gauge_set("hierarchy/repair/slots_removed",
+                          out.delta.slots_removed);
+    obs::metric_gauge_set("hierarchy/repair/slots_moved", out.delta.slots_moved);
+    obs::metric_gauge_set("hierarchy/repair/rounds", out.repair_rounds);
+  }
+  return out;
+}
+
+}  // namespace amix

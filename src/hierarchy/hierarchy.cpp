@@ -18,31 +18,22 @@ std::uint32_t default_beta(std::uint64_t n) {
   return static_cast<std::uint32_t>(std::clamp<std::uint64_t>(beta, 4, 64));
 }
 
-Hierarchy Hierarchy::build(const Graph& g, const HierarchyParams& params,
-                           RoundLedger& ledger) {
-  AMIX_CHECK(g.num_nodes() >= 2);
-  // Spans bind the parent ledger: each closes AFTER the PhaseScope inside
-  // it folds its sub-ledger, so span round deltas equal the phase costs.
-  const obs::Span build_span(ledger, "hierarchy/build");
-  const std::uint64_t start_rounds = ledger.total();
+HierarchyShape derive_hierarchy_shape(NodeId n, std::uint64_t nv,
+                                      const HierarchyParams& params) {
+  HierarchyShape shape;
+  const double log2n = std::max(2.0, std::log2(static_cast<double>(n)));
 
-  Hierarchy h;
-  h.g_ = &g;
-  h.vspace_ = std::make_unique<VirtualNodeSpace>(g);
-  const Vid nv = h.vspace_->num_virtual();
-  const double log2n = std::max(2.0, std::log2(static_cast<double>(g.num_nodes())));
-
-  const std::uint32_t leaf_target =
+  shape.leaf_target =
       params.leaf_target != 0
           ? params.leaf_target
           : std::max<std::uint32_t>(
                 8, static_cast<std::uint32_t>(std::ceil(1.25 * log2n)));
-  std::uint32_t level_degree =
+  shape.level_degree =
       params.level_degree != 0
           ? params.level_degree
           : std::max<std::uint32_t>(
                 4, static_cast<std::uint32_t>(std::ceil(0.6 * log2n)));
-  std::uint32_t g0_degree =
+  shape.g0_degree =
       params.g0_out_degree != 0
           ? params.g0_out_degree
           : std::max<std::uint32_t>(
@@ -55,18 +46,19 @@ Hierarchy Hierarchy::build(const Graph& g, const HierarchyParams& params,
   // level 1 and the leaf density at level `depth`).
   std::uint32_t beta = params.beta;
   if (beta == 0) {
-    const std::uint32_t wanted = default_beta(g.num_nodes());
+    const std::uint32_t wanted = default_beta(n);
     beta = 4;
     const auto fits = [&](std::uint64_t b) {
-      const bool c1 = static_cast<std::uint64_t>(nv) * 2 * g0_degree >=
+      const bool c1 = nv * 2 * shape.g0_degree >=
                       12 * b * b;  // level-1 hop edges per sibling pair
-      const bool c2 = static_cast<std::uint64_t>(leaf_target) * 2 *
-                          level_degree >=
+      const bool c2 = static_cast<std::uint64_t>(shape.leaf_target) * 2 *
+                          shape.level_degree >=
                       8 * b;  // leaf-level hop edges per sibling pair
       return c1 && c2;
     };
     while (2 * beta <= wanted && fits(2ULL * beta)) beta *= 2;
   }
+  shape.beta = beta;
 
   // depth k: the deepest tree whose average leaf still holds >= leaf_target
   // virtual nodes (at least 1 level). Going one level further would leave
@@ -74,11 +66,38 @@ Hierarchy Hierarchy::build(const Graph& g, const HierarchyParams& params,
   std::uint32_t depth = 1;
   {
     double parts = static_cast<double>(beta) * beta;
-    while (static_cast<double>(nv) / parts >= leaf_target) {
+    while (static_cast<double>(nv) / parts >= shape.leaf_target) {
       parts *= beta;
       ++depth;
     }
   }
+  shape.depth = depth;
+
+  shape.w_independence =
+      static_cast<std::uint32_t>(std::max(8.0, std::ceil(2.0 * log2n)));
+  return shape;
+}
+
+Hierarchy Hierarchy::build(const Graph& g, const HierarchyParams& params,
+                           RoundLedger& ledger) {
+  AMIX_CHECK(g.num_nodes() >= 2);
+  // Spans bind the parent ledger: each closes AFTER the PhaseScope inside
+  // it folds its sub-ledger, so span round deltas equal the phase costs.
+  const obs::Span build_span(ledger, "hierarchy/build");
+  const std::uint64_t start_rounds = ledger.total();
+
+  Hierarchy h;
+  h.g_ = &g;
+  h.params_ = params;
+  h.vspace_ = std::make_unique<VirtualNodeSpace>(g);
+  const Vid nv = h.vspace_->num_virtual();
+  const double log2n = std::max(2.0, std::log2(static_cast<double>(g.num_nodes())));
+
+  const HierarchyShape shape = derive_hierarchy_shape(g.num_nodes(), nv, params);
+  std::uint32_t level_degree = shape.level_degree;
+  std::uint32_t g0_degree = shape.g0_degree;
+  const std::uint32_t beta = shape.beta;
+  const std::uint32_t depth = shape.depth;
 
   Rng rng(params.seed);
 
@@ -95,8 +114,7 @@ Hierarchy Hierarchy::build(const Graph& g, const HierarchyParams& params,
                             128, scope.ledger());
   };
 
-  const auto w_independence = static_cast<unsigned>(
-      std::max(8.0, std::ceil(2.0 * log2n)));
+  const std::uint32_t w_independence = shape.w_independence;
 
   for (std::uint32_t attempt = 0;; ++attempt) {
     AMIX_CHECK_MSG(attempt < params.max_retries,
@@ -127,6 +145,7 @@ Hierarchy Hierarchy::build(const Graph& g, const HierarchyParams& params,
     // Levels 1..depth.
     bool levels_ok = true;
     h.stats_.emul_parent_rounds.clear();
+    h.stats_.level_taus.clear();
     for (std::uint32_t level = 1; level <= depth; ++level) {
       const obs::Span span(ledger, obs::numbered("hierarchy/level-", level));
       PhaseScope scope(ledger, "levels");
@@ -140,6 +159,7 @@ Hierarchy Hierarchy::build(const Graph& g, const HierarchyParams& params,
         break;
       }
       h.stats_.emul_parent_rounds.push_back(lr.emul_parent_rounds);
+      h.stats_.level_taus.push_back(lr.tau);
       h.overlays_.push_back(std::move(lr.overlay));
     }
     if (!levels_ok) {
@@ -168,6 +188,8 @@ Hierarchy Hierarchy::build(const Graph& g, const HierarchyParams& params,
 
   h.stats_.depth = depth;
   h.stats_.beta = beta;
+  h.stats_.g0_out_degree = g0_degree;   // post-thickening, for delta repair
+  h.stats_.level_degree = level_degree;
   h.stats_.deepest_round_cost = h.overlays_.back().round_cost();
   h.stats_.build_rounds = ledger.total() - start_rounds;
 

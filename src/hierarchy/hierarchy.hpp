@@ -43,6 +43,23 @@ struct HierarchyParams {
 /// 2^ceil(sqrt(log2 n * log2 log2 n)) clamped to [4, 64] for simulation.
 std::uint32_t default_beta(std::uint64_t n);
 
+/// Everything Hierarchy::build derives from (n, nv = 2m) before its Las
+/// Vegas loop can thicken degrees. Exposed so the delta-repair path can
+/// detect when a mutation changes the tree shape: a different beta or
+/// depth means the partition tree itself changed, which repair cannot
+/// patch — that is a rebuild, not a repair.
+struct HierarchyShape {
+  std::uint32_t leaf_target = 0;
+  std::uint32_t level_degree = 0;  // initial, before retry thickening
+  std::uint32_t g0_degree = 0;     // initial, before retry thickening
+  std::uint32_t beta = 0;
+  std::uint32_t depth = 0;
+  std::uint32_t w_independence = 0;
+};
+
+HierarchyShape derive_hierarchy_shape(NodeId n, std::uint64_t nv,
+                                      const HierarchyParams& params);
+
 struct HierarchyStats {
   std::uint32_t retries = 0;
   std::uint32_t tau_mix = 0;      // base-graph mixing time used
@@ -52,6 +69,36 @@ struct HierarchyStats {
   std::vector<std::uint64_t> emul_parent_rounds;  // per level 1..depth
   std::uint64_t g0_round_cost = 0;
   std::uint64_t deepest_round_cost = 0;
+  // Repair context (recorded by build, consumed by apply_delta):
+  std::uint32_t g0_out_degree = 0;  // final (post-thickening) G0 out-degree
+  std::uint32_t level_degree = 0;   // final per-level target degree
+  std::vector<std::uint32_t> level_taus;  // walk length per level 1..depth
+  // Repair history:
+  std::uint32_t repairs = 0;        // delta repairs applied in place
+  std::uint64_t repair_rounds = 0;  // total charged repair rounds
+};
+
+/// Slot-level summary of a topology mutation, as the hierarchy sees it:
+/// each changed edge adds/removes one (node, port) virtual-node slot per
+/// endpoint, and surviving slots whose port shifted may land in a
+/// different leaf ("moved").
+struct HierarchyDelta {
+  std::uint32_t edges_removed = 0;
+  std::uint32_t edges_added = 0;
+  std::uint32_t slots_removed = 0;
+  std::uint32_t slots_added = 0;
+  std::uint32_t slots_moved = 0;  // surviving slots whose leaf changed
+};
+
+/// Result of Hierarchy::apply_delta. When `applied` is false the
+/// hierarchy is untouched (still valid for the OLD graph) and `reason`
+/// names the gate that failed; rounds charged before the repair aborted
+/// stand — the simulated network did that work before giving up.
+struct RepairOutcome {
+  bool applied = false;
+  const char* reason = "";
+  HierarchyDelta delta;
+  std::uint64_t repair_rounds = 0;  // charged to the ledger by this call
 };
 
 class Hierarchy {
@@ -77,6 +124,19 @@ class Hierarchy {
 
   const HierarchyStats& stats() const { return stats_; }
 
+  /// Incrementally repair this hierarchy so it describes `new_g` (the old
+  /// graph with an edge delta applied), rebuilding only affected G0 slots,
+  /// overlay subtrees and portal slots, and charging only the repaired
+  /// rounds to `ledger` (phases "delta/announce", "delta/g0",
+  /// "delta/levels", "delta/portals"). `new_g` must outlive the hierarchy.
+  ///
+  /// Falls back (returns applied == false, hierarchy untouched and still
+  /// valid for the OLD graph) when the mutation is not locally repairable:
+  /// node-count change, disconnection, a beta/depth shape change, a
+  /// partition imbalance after re-keying, or damage too wide to be worth
+  /// patching. Callers then rebuild from scratch.
+  RepairOutcome apply_delta(const Graph& new_g, RoundLedger& ledger);
+
  private:
   Hierarchy() = default;
 
@@ -86,6 +146,7 @@ class Hierarchy {
   std::vector<OverlayComm> overlays_;
   std::unique_ptr<PortalTable> portals_;
   HierarchyStats stats_;
+  HierarchyParams params_;  // as passed to build (for repair + oracle)
 };
 
 }  // namespace amix

@@ -79,6 +79,17 @@ class HierarchicalPartition {
   std::uint32_t min_leaf_size() const { return min_leaf_; }
   std::uint32_t max_leaf_size() const { return max_leaf_; }
 
+  /// The same partition function (same hash seed, beta, depth) re-applied
+  /// to a mutated virtual-node space: a pure local recompute — every node
+  /// already holds the broadcast hash seed, so no new shared randomness is
+  /// disseminated. Because keys are (owner, port) and the hash is fixed, a
+  /// surviving slot whose port survives a delta keeps its exact leaf; this
+  /// is what keeps delta repair local. The result must be re-checked with
+  /// balanced() (the repair falls back to a rebuild when it fails).
+  HierarchicalPartition rebound(const VirtualNodeSpace& vs) const {
+    return HierarchicalPartition(vs, hash_, beta_, depth_);
+  }
+
   /// P1 check: every leaf size in [avg/slack, avg*slack] (and nonempty).
   bool balanced(double slack) const;
 

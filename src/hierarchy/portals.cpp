@@ -9,9 +9,11 @@ namespace amix {
 
 PortalTable::PortalTable(const HierarchicalPartition& part,
                          const std::vector<const OverlayComm*>& overlays,
-                         Rng& rng, RoundLedger& ledger)
+                         Rng& rng, RoundLedger& ledger,
+                         const PortalRepairScope* repair)
     : part_(&part), overlays_(overlays) {
   AMIX_CHECK(overlays_.size() == part.depth() + 1);
+  AMIX_CHECK(repair == nullptr || repair->affected.size() == part.depth() + 1);
   AMIX_CHECK_MSG(part.beta() <= 64, "portal table assumes beta <= 64");
   const std::uint32_t nv = overlays_[0]->num_nodes();
 
@@ -61,26 +63,49 @@ PortalTable::PortalTable(const HierarchicalPartition& part,
 
   // Lemma 3.3 construction charge: per level, a beta-walks-per-node batch
   // on the level-l overlay, once per target sibling, forward and reverse.
+  // Under a repair scope only the affected vids re-run their batches —
+  // everyone else's portals (candidate hashes over unchanged candidate
+  // sets) are untouched, so no simulated work happens for them.
   for (std::uint32_t level = 1; level <= part.depth(); ++level) {
     const OverlayComm& ov = *overlays_[level];
     if (ov.num_arcs() == 0) continue;  // degenerate: all parts singletons
+    if (repair != nullptr && repair->affected[level].empty()) continue;
     Rng probe = rng.split();
     const std::uint32_t tau = std::min<std::uint32_t>(
         comm_mixing_time_sampled(ov, WalkKind::kRegular2Delta, 2, probe, 400),
         400);
     std::vector<std::uint32_t> starts;
-    starts.reserve(static_cast<std::size_t>(nv) * part.beta());
-    for (Vid v = 0; v < nv; ++v) {
-      if (ov.degree(v) == 0) continue;
-      for (std::uint32_t i = 0; i < part.beta(); ++i) starts.push_back(v);
+    if (repair == nullptr) {
+      starts.reserve(static_cast<std::size_t>(nv) * part.beta());
+      for (Vid v = 0; v < nv; ++v) {
+        if (ov.degree(v) == 0) continue;
+        for (std::uint32_t i = 0; i < part.beta(); ++i) starts.push_back(v);
+      }
+    } else {
+      starts.reserve(repair->affected[level].size() * part.beta());
+      for (const Vid v : repair->affected[level]) {
+        if (ov.degree(v) == 0) continue;
+        for (std::uint32_t i = 0; i < part.beta(); ++i) starts.push_back(v);
+      }
     }
+    if (starts.empty()) continue;
     RoundLedger scratch;
     WalkStats stats;
     ParallelWalkEngine engine(ov, rng.split());
     engine.run(starts, WalkKind::kRegular2Delta, std::max(tau, 1u), scratch,
                &stats);
-    // One batch per target part, each run forward and reverse.
-    ledger.charge(2ULL * stats.base_rounds * part.beta());
+    if (repair == nullptr) {
+      // One batch per target part, each run forward and reverse. The full
+      // build saturates the overlay (beta walkers per node), so the beta
+      // per-target batches serialize.
+      ledger.charge(2ULL * stats.base_rounds * part.beta());
+    } else {
+      // A repair batch is sparse: `starts` already carries the beta
+      // per-target walkers of the few affected vids, and their merged
+      // congestion stays below one full-density build batch, so all beta
+      // targets share a single tau-step run — forward and reverse.
+      ledger.charge(2ULL * stats.base_rounds);
+    }
   }
 }
 

@@ -22,14 +22,24 @@
 
 namespace amix {
 
+/// Restricts a PortalTable (re)build's charged work to the vids whose
+/// portal slots a delta repair damaged. `affected[l]` (l in [1, depth];
+/// index 0 unused) lists the vids at level l that must re-run their
+/// Lemma 3.3 walk batches; candidate tables are still recomputed exactly
+/// (an uncharged local scan, like the from-scratch build).
+struct PortalRepairScope {
+  std::vector<std::vector<Vid>> affected;  // size depth + 1, [0] unused
+};
+
 class PortalTable {
  public:
   /// `overlays[l]` is the level-l overlay (overlays[0] == G0), for l in
   /// [0, depth]. Builds candidate sets for every level and charges the
-  /// ledger per Lemma 3.3.
+  /// ledger per Lemma 3.3 — for every node, or (when `repair` is given)
+  /// only for the repair scope's affected vids per level.
   PortalTable(const HierarchicalPartition& part,
               const std::vector<const OverlayComm*>& overlays, Rng& rng,
-              RoundLedger& ledger);
+              RoundLedger& ledger, const PortalRepairScope* repair = nullptr);
 
   /// True if some node of part_a (level `level`) has a parent-overlay edge
   /// into the sibling with child index `target_child`.

@@ -1,0 +1,137 @@
+// Churn soak: a long interleaved stream of topology mutations and query
+// batches through one Session, driven by the sim-layer ChurnPlan. The
+// soak pins three contracts at once:
+//   * determinism — the same seeded call stream produces byte-identical
+//     ledger phases and output digests at any thread count;
+//   * liveness — every query after every repair still delivers/solves;
+//   * bounds — a fully recorded replay trips zero BoundChecker envelopes.
+// Depth is measured in simulated CONGEST rounds: one soak run charges
+// well over 10k rounds of interleaved repair + query work.
+
+#include <gtest/gtest.h>
+
+#include "amix/amix.hpp"
+
+namespace amix {
+namespace {
+
+constexpr std::uint64_t kSoakSeed = 0x736f616bULL;
+constexpr std::uint32_t kEpochs = 18;
+
+struct SoakOutcome {
+  std::vector<std::pair<std::string, std::uint64_t>> ledger_phases;
+  std::vector<std::uint64_t> digests;  // per query, in call order
+  std::uint64_t total_rounds = 0;
+  std::uint64_t bound_violations = 0;
+  std::size_t patched = 0;
+  std::size_t dropped = 0;
+  std::size_t oracle_checks = 0;
+  std::uint64_t mutations = 0;
+};
+
+/// One full soak run. Everything downstream of (threads, record) is a
+/// pure function of kSoakSeed, so two runs are comparable element-wise.
+SoakOutcome run_soak(std::uint32_t threads, bool record) {
+  obs::TraceRecorder rec;
+  std::optional<obs::ScopedRecorder> scope;
+  if (record) scope.emplace(&rec);
+
+  Rng rng(kSoakSeed);
+  Graph g0 = gen::random_regular(96, 6, rng);
+  SessionOptions opt;
+  opt.seed = kSoakSeed;
+  opt.hierarchy.seed = kSoakSeed + 7;
+  opt.hierarchy.max_retries = 10;
+  opt.exec = ExecPolicy{threads};
+  auto session = Session::open(g0, opt);
+  session.engine().cache().set_verify_every(512);
+
+  const sim::ChurnPlan plan(0.02);
+  SoakOutcome out;
+
+  for (std::uint32_t epoch = 0; epoch < kEpochs; ++epoch) {
+    // Query batch against the current topology. Specs carry explicit
+    // epoch-keyed seeds, so the stream replays bit-identically.
+    Rng erng(keyed_u64(kSoakSeed, 0x65706f6368ULL, epoch));
+    std::vector<QuerySpec> specs;
+    QuerySpec mst;
+    mst.op = MstQuery{distinct_random_weights(session.graph(), erng), {}};
+    mst.seed = keyed_u64(kSoakSeed, 0x6d7374ULL, epoch);
+    specs.push_back(std::move(mst));
+    QuerySpec route;
+    route.op = RouteQuery{permutation_instance(session.graph(), erng), 1};
+    route.seed = keyed_u64(kSoakSeed, 0x726f757465ULL, epoch);
+    specs.push_back(std::move(route));
+    const BatchReport b = session.batch(std::move(specs));
+    for (const QueryReport& q : b.queries) {
+      EXPECT_TRUE(q.ok) << "epoch " << epoch << " " << q.label;
+      out.digests.push_back(q.output_digest);
+    }
+
+    // Epoch churn, sized by the sim-layer plan (0 on the first epoch).
+    const std::uint32_t swaps = plan.churn_swaps(epoch, session.graph());
+    if (swaps == 0) continue;
+    Rng crng(keyed_u64(kSoakSeed, 0x636875726eULL, epoch));
+    const Graph next =
+        gen::degree_preserving_rewire(session.graph(), swaps, crng);
+    const auto rep = session.mutate(delta_between(session.graph(), next));
+    ++out.mutations;
+    out.patched += rep.entries_patched;
+    out.dropped += rep.entries_dropped;
+    out.oracle_checks += rep.oracle_checks;
+  }
+
+  out.ledger_phases = session.ledger().phases();
+  out.total_rounds = session.ledger().total();
+  if (record) {
+    out.bound_violations =
+        obs::BoundChecker().check(rec.metrics()).violations();
+  }
+  return out;
+}
+
+TEST(ChurnSoak, SerialReplayIsByteIdenticalAndDeepEnough) {
+  const SoakOutcome serial = run_soak(1, /*record=*/false);
+  const SoakOutcome replay = run_soak(1, /*record=*/false);
+  EXPECT_EQ(serial.ledger_phases, replay.ledger_phases);
+  EXPECT_EQ(serial.digests, replay.digests);
+  EXPECT_EQ(serial.total_rounds, replay.total_rounds);
+
+  // The soak actually soaks: ≥10k simulated rounds of interleaved
+  // repair + query work, with churn applied on (almost) every epoch.
+  EXPECT_GE(serial.total_rounds, 10000u);
+  EXPECT_EQ(serial.mutations, kEpochs - 1);
+  EXPECT_EQ(serial.digests.size(), 2u * kEpochs);
+  // Repair-in-place must carry most of the churn (fallbacks are legal
+  // but the corpus is tuned to keep them the exception).
+  EXPECT_EQ(serial.patched + serial.dropped, serial.mutations);
+  EXPECT_GE(serial.patched, serial.mutations / 2);
+}
+
+TEST(ChurnSoak, ParallelRunMatchesSerialReplayByteForByte) {
+  const SoakOutcome serial = run_soak(1, /*record=*/false);
+  const SoakOutcome parallel = run_soak(8, /*record=*/false);
+  // Byte-identical ledgers: same phase names, same order, same charges.
+  ASSERT_EQ(parallel.ledger_phases.size(), serial.ledger_phases.size());
+  for (std::size_t i = 0; i < serial.ledger_phases.size(); ++i) {
+    EXPECT_EQ(parallel.ledger_phases[i].first, serial.ledger_phases[i].first);
+    EXPECT_EQ(parallel.ledger_phases[i].second,
+              serial.ledger_phases[i].second);
+  }
+  EXPECT_EQ(parallel.digests, serial.digests);
+  EXPECT_EQ(parallel.total_rounds, serial.total_rounds);
+  EXPECT_EQ(parallel.patched, serial.patched);
+  EXPECT_EQ(parallel.dropped, serial.dropped);
+}
+
+TEST(ChurnSoak, RecordedReplayTripsNoBoundsAndMatchesLedger) {
+  const SoakOutcome serial = run_soak(1, /*record=*/false);
+  const SoakOutcome recorded = run_soak(1, /*record=*/true);
+  // Observability is read-only: recording must not change one charge.
+  EXPECT_EQ(recorded.ledger_phases, serial.ledger_phases);
+  EXPECT_EQ(recorded.digests, serial.digests);
+  EXPECT_EQ(recorded.bound_violations, 0u);
+}
+
+}  // namespace
+}  // namespace amix

@@ -125,5 +125,124 @@ TEST(AdversarialPatterns, AdversarialCostsMatchRandomPermutationCosts) {
   EXPECT_LT(ratio, 5.0);
 }
 
+// --- Delta-application fuzz ----------------------------------------------
+
+/// Append insert-edges to `delta` until `g.apply_delta(delta)` is
+/// connected: link a representative of every non-root component to node
+/// 0's component. Keeps fuzzed batches legal for the query layer (a
+/// hierarchy cannot build on a disconnected graph).
+void reconnect_in_batch(const Graph& g, GraphDelta& delta) {
+  for (int guard = 0; guard < 16; ++guard) {
+    const Graph cand = g.apply_delta(delta);
+    if (is_connected(cand)) return;
+    // Label components with a BFS from every unvisited node.
+    std::vector<std::uint32_t> comp(cand.num_nodes(),
+                                    ~std::uint32_t{0});
+    std::uint32_t ncomp = 0;
+    std::vector<NodeId> queue;
+    for (NodeId s = 0; s < cand.num_nodes(); ++s) {
+      if (comp[s] != ~std::uint32_t{0}) continue;
+      comp[s] = ncomp;
+      queue.assign(1, s);
+      while (!queue.empty()) {
+        const NodeId v = queue.back();
+        queue.pop_back();
+        for (std::uint32_t p = 0; p < cand.degree(v); ++p) {
+          const NodeId w = cand.neighbor(v, p);
+          if (comp[w] == ~std::uint32_t{0}) {
+            comp[w] = ncomp;
+            queue.push_back(w);
+          }
+        }
+      }
+      ++ncomp;
+    }
+    for (NodeId v = 1; v < cand.num_nodes(); ++v) {
+      if (comp[v] != comp[0]) {
+        delta.push_back({0, v, true});
+        comp[v] = comp[0];  // one bridge per component is enough
+      }
+    }
+  }
+}
+
+class DeltaFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeltaFuzz, RandomDeltaStreamsNeverCrashAndOracleHolds) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 5);
+  const Graph g0 = random_connected(48, 30 + rng.next_below(30), rng);
+  ASSERT_TRUE(is_connected(g0));
+
+  SessionOptions opt;
+  opt.seed = seed + 11;
+  opt.hierarchy.seed = seed + 13;
+  opt.hierarchy.max_retries = 10;
+  auto session = Session::open(g0, opt);
+  // Every successful in-place repair is oracle-checked against a fresh
+  // rebuild (AMIX_CHECK aborts the test on a mismatch).
+  session.engine().cache().set_verify_every(1);
+  // Prime the cache: entries exist only after the first query, and a
+  // mutate against an empty cache has nothing to patch.
+  EXPECT_TRUE(session.mst(distinct_random_weights(g0, rng)).ok);
+
+  for (std::uint32_t step = 0; step < 5; ++step) {
+    const Graph& cur = session.graph();
+    const NodeId n = cur.num_nodes();
+    GraphDelta delta;
+    const std::uint32_t ops = 1 + rng.next_below(6);
+    for (std::uint32_t k = 0; k < ops; ++k) {
+      const auto roll = rng.next_below(8);
+      if (roll == 0 && !delta.empty()) {
+        delta.push_back(delta.back());  // duplicate op
+      } else if (roll == 1) {
+        const auto v = static_cast<NodeId>(rng.next_below(n));
+        delta.push_back({v, v, rng.next_below(2) == 0});  // self-loop no-op
+      } else if (roll == 2) {
+        delta.push_back({static_cast<NodeId>(rng.next_below(n)),
+                         static_cast<NodeId>(n + 5), true});  // out of range
+      } else if (roll == 3 && cur.num_edges() > n) {
+        // Disconnect-then-reconnect inside one batch: cut a node's whole
+        // neighborhood, then restore part of it.
+        const auto v = static_cast<NodeId>(rng.next_below(n));
+        for (std::uint32_t p = 0; p < cur.degree(v); ++p) {
+          delta.push_back({v, cur.neighbor(v, p), false});
+        }
+        if (cur.degree(v) > 0) {
+          delta.push_back({v, cur.neighbor(v, 0), true});
+        }
+      } else {
+        const auto a = static_cast<NodeId>(rng.next_below(n));
+        const auto b = static_cast<NodeId>(rng.next_below(n));
+        delta.push_back({a, b, rng.next_below(3) != 0});
+      }
+    }
+    reconnect_in_batch(cur, delta);
+    ASSERT_TRUE(is_connected(cur.apply_delta(delta)));
+
+    // A batch whose effective ops cancel leaves the fingerprint alone and
+    // must patch nothing; anything else patches or drops the one entry.
+    const bool changes =
+        engine::graph_fingerprint(cur.apply_delta(delta)) !=
+        engine::graph_fingerprint(cur);
+    const auto rep = session.mutate(delta);
+    EXPECT_EQ(rep.entries_patched + rep.entries_dropped, changes ? 1u : 0u)
+        << "seed " << seed << " step " << step;
+
+    // The mutated topology still answers exactly (cache hit on a patched
+    // entry, or a lazy rebuild after a fallback — both must agree with
+    // the sequential oracle).
+    const Weights w = distinct_random_weights(session.graph(), rng);
+    const QueryReport mst = session.mst(w);
+    EXPECT_TRUE(mst.ok);
+    ASSERT_TRUE(mst.mst.has_value());
+    EXPECT_TRUE(is_exact_mst(session.graph(), w, mst.mst->edges))
+        << "seed " << seed << " step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaFuzz,
+                         ::testing::Range(std::uint64_t{1}, std::uint64_t{7}));
+
 }  // namespace
 }  // namespace amix

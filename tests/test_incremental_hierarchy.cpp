@@ -1,0 +1,470 @@
+// Incremental hierarchy repair: Graph::apply_delta / delta_between,
+// Hierarchy::apply_delta against the full-rebuild equivalence oracle
+// across a churn corpus, fallback gates, cache patching + cost history,
+// and Session::mutate thread invariance.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <set>
+
+#include "amix/amix.hpp"
+
+namespace amix {
+namespace {
+
+std::set<std::uint64_t> edge_set(const Graph& g) {
+  std::set<std::uint64_t> s;
+  for (const auto& [u, v] : g.edges()) {
+    s.insert((static_cast<std::uint64_t>(std::min(u, v)) << 32) |
+             std::max(u, v));
+  }
+  return s;
+}
+
+// --- Graph-layer delta semantics -----------------------------------------
+
+TEST(IncrementalHierarchy, GraphApplyDeltaInsertsAndDeletes) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const Graph h = g.apply_delta({{0, 3, true}, {1, 2, false}});
+  EXPECT_EQ(h.num_nodes(), 4u);
+  EXPECT_EQ(h.num_edges(), 3u);
+  EXPECT_TRUE(h.has_edge(0, 3));
+  EXPECT_FALSE(h.has_edge(1, 2));
+  EXPECT_TRUE(h.has_edge(0, 1));
+  EXPECT_TRUE(h.has_edge(2, 3));
+  // The source graph is untouched (apply_delta is const).
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(IncrementalHierarchy, GraphApplyDeltaSkipsInapplicableOps) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const Graph h = g.apply_delta({
+      {1, 1, true},    // self-loop
+      {0, 9, true},    // out of range
+      {0, 1, true},    // already present
+      {0, 2, false},   // absent
+      {2, 2, false},   // self-loop delete
+      {1, 0, true},    // already present (reversed endpoints)
+  });
+  EXPECT_EQ(edge_set(h), edge_set(g));
+}
+
+TEST(IncrementalHierarchy, GraphApplyDeltaIsOrderedLeftToRight) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  // insert-then-delete is a net no-op; delete-then-insert keeps the edge.
+  const Graph a = g.apply_delta({{0, 2, true}, {0, 2, false}});
+  EXPECT_FALSE(a.has_edge(0, 2));
+  const Graph b = g.apply_delta({{0, 1, false}, {0, 1, true}});
+  EXPECT_TRUE(b.has_edge(0, 1));
+  EXPECT_EQ(b.num_edges(), g.num_edges());
+}
+
+TEST(IncrementalHierarchy, GraphApplyDeltaKeepsSurvivingPortsStable) {
+  // Ports of surviving edges keep their relative order, so (owner, port)
+  // keys away from the mutation are unchanged — the locality property the
+  // whole repair path leans on.
+  Rng rng(41);
+  const Graph g = gen::random_regular(32, 4, rng);
+  const auto [du, dv] = g.edges()[5];
+  const Graph h = g.apply_delta({{du, dv, false}});
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == du || v == dv) continue;
+    ASSERT_EQ(h.degree(v), g.degree(v));
+    for (std::uint32_t p = 0; p < g.degree(v); ++p) {
+      EXPECT_EQ(h.neighbor(v, p), g.neighbor(v, p)) << "v=" << v;
+    }
+  }
+}
+
+TEST(IncrementalHierarchy, DeltaBetweenRoundTrips) {
+  Rng rng(43);
+  const Graph from = gen::connected_gnp(48, 0.2, rng);
+  const Graph to = gen::degree_preserving_rewire(from, 12, rng);
+  const GraphDelta d = delta_between(from, to);
+  const Graph replayed = from.apply_delta(d);
+  EXPECT_EQ(edge_set(replayed), edge_set(to));
+  // And the reverse direction.
+  const Graph back = to.apply_delta(delta_between(to, from));
+  EXPECT_EQ(edge_set(back), edge_set(from));
+  // Identical graphs produce an empty delta.
+  EXPECT_TRUE(delta_between(from, from).empty());
+}
+
+// --- Fingerprints ---------------------------------------------------------
+
+TEST(IncrementalHierarchy, FingerprintAfterDeltaMatchesOnAppends) {
+  Rng rng(47);
+  const Graph g = gen::connected_gnp(40, 0.15, rng);
+  const GraphDelta d = {{0, 20, true}, {3, 31, true}, {0, 20, true}};
+  const Graph h = g.apply_delta(d);
+  const auto hint =
+      engine::fingerprint_after_delta(engine::graph_fingerprint(g), g, d);
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(*hint, engine::graph_fingerprint(h));
+}
+
+TEST(IncrementalHierarchy, FingerprintAfterDeltaBailsOnDeletes) {
+  Rng rng(53);
+  const Graph g = gen::connected_gnp(40, 0.15, rng);
+  const auto [u, v] = g.edges()[0];
+  const auto hint = engine::fingerprint_after_delta(
+      engine::graph_fingerprint(g), g, {{u, v, false}});
+  EXPECT_FALSE(hint.has_value());
+  // An ineffective delete is skipped, so the hint survives.
+  const auto noop = engine::fingerprint_after_delta(
+      engine::graph_fingerprint(g), g, {{0, 0, false}, {1, 1, true}});
+  ASSERT_TRUE(noop.has_value());
+  EXPECT_EQ(*noop, engine::graph_fingerprint(g));
+}
+
+// --- Hierarchy repair vs the equivalence oracle ---------------------------
+
+class IncrementalHierarchyChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalHierarchyChurn, RepairedAnswersMatchFreshRebuild) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 3);
+  HierarchyParams hp;
+  hp.seed = seed + 101;
+  hp.max_retries = 10;
+
+  // The hierarchy only points at the CURRENT graph, but keeping every
+  // epoch alive in a deque makes the fallback path (hierarchy still bound
+  // to the previous epoch) safe by construction.
+  std::deque<Graph> epochs;
+  epochs.push_back(gen::random_regular(96, 6, rng));
+  RoundLedger ledger;
+  Hierarchy h = Hierarchy::build(epochs.back(), hp, ledger);
+
+  std::uint32_t applied = 0;
+  for (std::uint32_t step = 0; step < 4; ++step) {
+    const Graph& cur = h.graph();
+    Graph next = gen::degree_preserving_rewire(
+        cur, 1 + static_cast<std::uint32_t>(rng.next_below(2)), rng);
+    const GraphDelta delta = delta_between(cur, next);
+    epochs.push_back(std::move(next));
+    const RepairOutcome out = h.apply_delta(epochs.back(), ledger);
+    if (!out.applied) continue;  // fallback gates are legal under churn
+    ++applied;
+    EXPECT_GT(out.repair_rounds, 0u);
+    EXPECT_EQ(out.delta.edges_added, out.delta.edges_removed);
+    EXPECT_EQ(&h.graph(), &epochs.back());
+    const engine::EquivalenceReport eq = engine::check_full_rebuild_equivalence(
+        h, hp, keyed_u64(seed, 0x636875726e2d6571ULL, step));
+    EXPECT_TRUE(eq.ok) << "step " << step << ": " << eq.detail;
+    EXPECT_EQ(eq.mst_weight_repaired, eq.mst_weight_rebuilt);
+    EXPECT_EQ(eq.bound_violations, 0u);
+  }
+  EXPECT_EQ(h.stats().repairs, applied);
+  // The corpus is tuned so local repair actually exercises: at least one
+  // swap per seed must patch in place rather than fall back.
+  EXPECT_GE(applied, 1u) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalHierarchyChurn,
+                         ::testing::Range(std::uint64_t{1}, std::uint64_t{5}));
+
+TEST(IncrementalHierarchy, IrregularGraphSingleInsertRepairs) {
+  // Inserting a brand-new edge changes degrees (new slots on both
+  // endpoints) — the repair must top up G0 and every overlay level.
+  Rng rng(59);
+  HierarchyParams hp;
+  hp.seed = 61;
+  hp.max_retries = 10;
+  const Graph g = gen::connected_gnp(80, 0.12, rng);
+  RoundLedger ledger;
+  Hierarchy h = Hierarchy::build(g, hp, ledger);
+
+  NodeId a = 0, b = 0;
+  for (NodeId u = 0; u < g.num_nodes() && a == b; ++u) {
+    for (NodeId v = u + 2; v < g.num_nodes(); v += 7) {
+      if (!g.has_edge(u, v)) { a = u; b = v; break; }
+    }
+  }
+  ASSERT_NE(a, b);
+  const Graph g2 = g.apply_delta({{a, b, true}});
+  const RepairOutcome out = h.apply_delta(g2, ledger);
+  if (out.applied) {
+    EXPECT_EQ(out.delta.edges_added, 1u);
+    EXPECT_EQ(out.delta.slots_added, 2u);
+    const engine::EquivalenceReport eq =
+        engine::check_full_rebuild_equivalence(h, hp, 0xace5);
+    EXPECT_TRUE(eq.ok) << eq.detail;
+  } else {
+    // A shape flip (nv crossed a beta boundary) is the only legal excuse
+    // for one inserted edge on this corpus.
+    EXPECT_STREQ(out.reason, "shape-changed");
+  }
+}
+
+TEST(IncrementalHierarchy, DisconnectingDeltaFallsBackAndHierarchySurvives) {
+  Rng rng(67);
+  const Graph g = gen::random_regular(64, 4, rng);
+  HierarchyParams hp;
+  hp.seed = 71;
+  hp.max_retries = 10;
+  RoundLedger ledger;
+  Hierarchy h = Hierarchy::build(g, hp, ledger);
+
+  // Cut every edge at node 0: the graph disconnects, the gate fires.
+  GraphDelta cut;
+  for (const auto& [u, v] : g.edges()) {
+    if (u == 0 || v == 0) cut.push_back({u, v, false});
+  }
+  ASSERT_EQ(cut.size(), 4u);
+  const Graph g2 = g.apply_delta(cut);
+  ASSERT_FALSE(is_connected(g2));
+  const RepairOutcome out = h.apply_delta(g2, ledger);
+  EXPECT_FALSE(out.applied);
+  EXPECT_STREQ(out.reason, "disconnected");
+  EXPECT_EQ(h.stats().repairs, 0u);
+
+  // The untouched hierarchy still answers queries on the OLD graph.
+  EXPECT_EQ(&h.graph(), &g);
+  const Weights w = distinct_random_weights(g, rng);
+  RoundLedger ql;
+  const MstStats ms = HierarchicalBoruvka(h, w).run(ql);
+  EXPECT_TRUE(is_exact_mst(g, w, ms.edges));
+}
+
+TEST(IncrementalHierarchy, WideDamageFallsBack) {
+  Rng rng(73);
+  const Graph g = gen::random_regular(96, 6, rng);
+  HierarchyParams hp;
+  hp.seed = 79;
+  hp.max_retries = 10;
+  RoundLedger ledger;
+  Hierarchy h = Hierarchy::build(g, hp, ledger);
+  // Rewiring half the edges swamps the locality budget: the repair must
+  // refuse (whichever gate fires first) rather than limp through.
+  const Graph g2 =
+      gen::degree_preserving_rewire(g, g.num_edges() / 2, rng);
+  const RepairOutcome out = h.apply_delta(g2, ledger);
+  EXPECT_FALSE(out.applied);
+  EXPECT_STRNE(out.reason, "");
+  EXPECT_EQ(&h.graph(), &g);
+}
+
+// --- Cache patching + cost history ---------------------------------------
+
+TEST(IncrementalHierarchy, CacheCostHistorySurvivesInvalidate) {
+  Rng rng(83);
+  const Graph g = gen::random_regular(64, 4, rng);
+  HierarchyParams hp;
+  hp.seed = 89;
+  hp.max_retries = 10;
+
+  engine::HierarchyCache cache;
+  const auto lk = cache.get_or_build(g, hp);
+  ASSERT_TRUE(lk.built);
+  const std::uint64_t built = lk.entry->build_rounds();
+  ASSERT_GT(built, 0u);
+  const std::uint64_t gfp = lk.entry->graph_fp();
+  const std::uint64_t pfp = lk.entry->params_fp();
+
+  ASSERT_EQ(cache.invalidate(g), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  // The regression this pins: dropping the entry must NOT forget what it
+  // cost to build (cost-aware LRU feeds on this history).
+  const auto recorded = cache.recorded_build_rounds(gfp, pfp);
+  ASSERT_TRUE(recorded.has_value());
+  EXPECT_EQ(*recorded, built);
+  ASSERT_EQ(cache.cost_history().size(), 1u);
+  EXPECT_EQ(cache.cost_history()[0].build_rounds, built);
+
+  // Rebuilding the same key updates the record in place, not a duplicate.
+  (void)cache.get_or_build(g, hp);
+  EXPECT_EQ(cache.cost_history().size(), 1u);
+
+  cache.invalidate_all();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_TRUE(cache.recorded_build_rounds(gfp, pfp).has_value());
+}
+
+TEST(IncrementalHierarchy, CachePatchRekeysEntriesInPlace) {
+  Rng rng(97);
+  const Graph g = gen::random_regular(96, 6, rng);
+  HierarchyParams hp;
+  hp.seed = 101;
+  hp.max_retries = 10;
+
+  engine::HierarchyCache cache;
+  cache.set_verify_every(1);  // oracle on every repair
+  (void)cache.get_or_build(g, hp);
+
+  const Graph g2 = gen::degree_preserving_rewire(g, 1, rng);
+  const GraphDelta delta = delta_between(g, g2);
+  const auto hint = engine::fingerprint_after_delta(
+      engine::graph_fingerprint(g), g, delta);
+  const auto res = cache.apply_delta(g, g2, hint);
+  ASSERT_EQ(res.patched + res.dropped, 1u);
+  if (res.patched == 1) {
+    EXPECT_GT(res.repair_rounds, 0u);
+    EXPECT_EQ(res.oracle_checks, 1u);
+    // The patched entry now answers lookups for the NEW topology without
+    // a rebuild...
+    const auto lk = cache.get_or_build(g2, hp);
+    EXPECT_FALSE(lk.built);
+    EXPECT_EQ(lk.entry->repairs(), 1u);
+    EXPECT_EQ(lk.entry->graph_fp(), engine::graph_fingerprint(g2));
+    // ...and the old topology misses.
+    EXPECT_EQ(cache.find(g, hp), nullptr);
+  } else {
+    EXPECT_STRNE(res.last_fallback, "");
+    EXPECT_EQ(cache.size(), 0u);
+    // Even the failed patch kept the cost record.
+    EXPECT_TRUE(cache
+                    .recorded_build_rounds(engine::graph_fingerprint(g),
+                                           engine::params_fingerprint(hp))
+                    .has_value());
+  }
+}
+
+TEST(IncrementalHierarchy, CacheNoOpDeltaIsFree) {
+  Rng rng(103);
+  const Graph g = gen::random_regular(64, 4, rng);
+  HierarchyParams hp;
+  hp.seed = 107;
+  engine::HierarchyCache cache;
+  (void)cache.get_or_build(g, hp);
+  const Graph same = g;  // structurally identical copy
+  const auto res = cache.apply_delta(g, same);
+  EXPECT_EQ(res.patched, 0u);
+  EXPECT_EQ(res.dropped, 0u);
+  EXPECT_EQ(res.repair_rounds, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// --- Session: churn interleaved with queries ------------------------------
+
+TEST(IncrementalHierarchy, SessionMutateInterleavesWithQueries) {
+  Rng rng(109);
+  Graph g0 = gen::random_regular(96, 6, rng);
+  SessionOptions opt;
+  opt.seed = 113;
+  opt.hierarchy.seed = 113;
+  opt.hierarchy.max_retries = 10;
+  auto session = Session::open(g0);
+
+  const QueryReport m0 = session.mst(distinct_random_weights(g0, rng));
+  EXPECT_TRUE(m0.ok);
+
+  const Graph g1 = gen::degree_preserving_rewire(session.graph(), 1, rng);
+  const auto rep = session.mutate(delta_between(session.graph(), g1));
+  EXPECT_EQ(rep.entries_patched + rep.entries_dropped, 1u);
+  EXPECT_EQ(edge_set(session.graph()), edge_set(g1));
+
+  // Queries after the mutation run against the mutated topology, and the
+  // answers are exact.
+  const Weights w1 = distinct_random_weights(session.graph(), rng);
+  const QueryReport m1 = session.mst(w1);
+  EXPECT_TRUE(m1.ok);
+  ASSERT_TRUE(m1.mst.has_value());
+  EXPECT_TRUE(is_exact_mst(session.graph(), w1, m1.mst->edges));
+
+  const QueryReport r1 = session.route(
+      permutation_instance(session.graph(), rng));
+  EXPECT_TRUE(r1.ok);
+
+  if (rep.entries_patched == 1) {
+    EXPECT_GT(rep.repair_rounds, 0u);
+    bool charged = false;
+    for (const auto& [phase, rounds] : session.ledger().phases()) {
+      if (phase == "hierarchy-repair") charged = rounds > 0;
+    }
+    EXPECT_TRUE(charged);
+  }
+}
+
+TEST(IncrementalHierarchy, SessionThreadInvarianceUnderChurn) {
+  // The same seeded call stream — batches interleaved with mutations —
+  // must produce bit-identical digests and charges at any thread count.
+  std::vector<std::vector<std::uint64_t>> digests;
+  std::vector<std::uint64_t> totals;
+  for (const std::uint32_t threads : {1u, 2u, 8u}) {
+    Rng rng(127);
+    Graph g0 = gen::random_regular(96, 6, rng);
+    SessionOptions opt;
+    opt.seed = 131;
+    opt.hierarchy.seed = 131;
+    opt.hierarchy.max_retries = 10;
+    opt.exec = ExecPolicy{threads};
+    auto session = Session::open(g0, opt);
+    std::vector<std::uint64_t> ds;
+
+    for (std::uint32_t epoch = 0; epoch < 3; ++epoch) {
+      std::vector<QuerySpec> specs;
+      QuerySpec mst;
+      mst.op = MstQuery{distinct_random_weights(session.graph(), rng), {}};
+      mst.seed = 1000 + epoch;
+      specs.push_back(std::move(mst));
+      QuerySpec route;
+      route.op = RouteQuery{permutation_instance(session.graph(), rng), 1};
+      route.seed = 2000 + epoch;
+      specs.push_back(std::move(route));
+      const BatchReport b = session.batch(std::move(specs));
+      for (const QueryReport& q : b.queries) {
+        EXPECT_TRUE(q.ok);
+        ds.push_back(q.output_digest);
+      }
+      const Graph next =
+          gen::degree_preserving_rewire(session.graph(), 1, rng);
+      (void)session.mutate(delta_between(session.graph(), next));
+    }
+    ds.push_back(session.ledger().total());
+    digests.push_back(std::move(ds));
+    totals.push_back(session.ledger().total());
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[0], digests[2]);
+  EXPECT_EQ(totals[0], totals[1]);
+  EXPECT_EQ(totals[0], totals[2]);
+}
+
+// --- Repair is cheaper than rebuild (round-charged) -----------------------
+
+TEST(RepairCost, SingleEdgeDeleteChargesFewerRoundsThanRebuild) {
+  // The economic point of the whole subsystem, pinned at a size where the
+  // asymptotics already bite (the bench records the n=1024 version).
+  Rng rng(137);
+  const Graph g = gen::random_regular(256, 8, rng);
+  HierarchyParams hp;
+  hp.seed = 139;
+  hp.max_retries = 10;
+  RoundLedger build_ledger;
+  Hierarchy h = Hierarchy::build(g, hp, build_ledger);
+  const std::uint64_t build_rounds = build_ledger.total();
+
+  // Delete one edge that keeps the graph connected.
+  Graph g2 = g;
+  bool found = false;
+  for (const auto& [u, v] : g.edges()) {
+    Graph cand = g.apply_delta({{u, v, false}});
+    if (is_connected(cand)) {
+      g2 = std::move(cand);
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  RoundLedger repair_ledger;
+  const RepairOutcome out = h.apply_delta(g2, repair_ledger);
+  ASSERT_TRUE(out.applied) << out.reason;
+  EXPECT_EQ(out.delta.edges_removed, 1u);
+  EXPECT_EQ(out.delta.slots_removed, 2u);
+
+  RoundLedger rebuild_ledger;
+  const Hierarchy fresh = Hierarchy::build(g2, hp, rebuild_ledger);
+  EXPECT_LT(out.repair_rounds, rebuild_ledger.total());
+  EXPECT_LT(out.repair_rounds, build_rounds);
+
+  const engine::EquivalenceReport eq =
+      engine::check_full_rebuild_equivalence(h, hp, 0xbead);
+  EXPECT_TRUE(eq.ok) << eq.detail;
+}
+
+}  // namespace
+}  // namespace amix
