@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "amix/amix.hpp"
+#include "bench_common.hpp"
 
 namespace {
 
@@ -73,6 +74,7 @@ void BM_ChurnRepairVsRebuild(benchmark::State& state) {
         static_cast<double>(rebuild_ledger.total()) /
         static_cast<double>(repair_rounds);
   }
+  amix::bench::set_memory_counters(state, g.num_edges());
 }
 BENCHMARK(BM_ChurnRepairVsRebuild)
     ->Args({256, 0})

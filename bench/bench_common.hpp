@@ -13,9 +13,46 @@
 #include <memory>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "amix/amix.hpp"
 
 namespace amix::bench {
+
+/// Peak resident set size of this process in bytes (0 where unsupported).
+/// Monotone over the process lifetime — a row's value reflects the
+/// high-water mark up to that row, which is the honest figure for "does
+/// this configuration fit in memory".
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// Attach the standard memory counters to a google-benchmark row:
+/// peak_rss_mb on every row, plus edges and bytes_per_edge when the row
+/// has a graph (`edges` > 0). Templated on the state type so this header
+/// stays benchmark-library-agnostic (the experiment binaries include it
+/// too).
+template <typename BenchState>
+void set_memory_counters(BenchState& state, std::uint64_t edges = 0) {
+  const double rss = static_cast<double>(peak_rss_bytes());
+  state.counters["peak_rss_mb"] = rss / (1024.0 * 1024.0);
+  if (edges > 0) {
+    state.counters["edges"] = static_cast<double>(edges);
+    state.counters["bytes_per_edge"] = rss / static_cast<double>(edges);
+  }
+}
 
 inline bool large_mode() {
   const char* v = std::getenv("AMIX_BENCH_LARGE");

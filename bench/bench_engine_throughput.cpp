@@ -18,6 +18,7 @@
 #include <benchmark/benchmark.h>
 
 #include "amix/amix.hpp"
+#include "bench_common.hpp"
 
 namespace {
 
@@ -104,6 +105,7 @@ void BM_EngineThroughput(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(specs.size()));
+  amix::bench::set_memory_counters(state, g.num_edges());
 }
 BENCHMARK(BM_EngineThroughput)
     ->Arg(0)

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "amix/amix.hpp"
+#include "bench_common.hpp"
 
 namespace {
 
@@ -27,6 +28,7 @@ void BM_WalkEngineSteps(benchmark::State& state) {
     benchmark::DoNotOptimize(ledger.total());
   }
   state.SetItemsProcessed(state.iterations() * starts.size() * state.range(0));
+  amix::bench::set_memory_counters(state, g.num_edges());
 }
 BENCHMARK(BM_WalkEngineSteps)->Arg(8)->Arg(32);
 
@@ -52,6 +54,7 @@ void BM_WalkEngineStepsThreaded(benchmark::State& state) {
     benchmark::DoNotOptimize(ledger.total());
   }
   state.SetItemsProcessed(state.iterations() * starts.size() * state.range(0));
+  amix::bench::set_memory_counters(state, g.num_edges());
 }
 BENCHMARK(BM_WalkEngineStepsThreaded)
     ->ArgsProduct({{32}, {1, 2, 4, 8}});
@@ -86,6 +89,7 @@ void BM_TokenTransportCommit(benchmark::State& state) {
     }
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  amix::bench::set_memory_counters(state, g.num_edges());
 }
 BENCHMARK(BM_TokenTransportCommit)
     ->ArgsProduct({{1 << 15}, {0, 1, 2, 8}});
@@ -118,6 +122,7 @@ void BM_SyncNetworkRound(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * g.num_nodes() *
                           state.range(0));
+  amix::bench::set_memory_counters(state, g.num_edges());
 }
 BENCHMARK(BM_SyncNetworkRound)->Arg(32);
 
@@ -136,6 +141,7 @@ void BM_KernelRounds(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * g.num_nodes() *
                           state.range(0));
+  amix::bench::set_memory_counters(state, g.num_edges());
 }
 BENCHMARK(BM_KernelRounds)->Arg(16);
 
@@ -165,6 +171,7 @@ void BM_KernelRoundsThreaded(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * g.num_nodes() *
                           state.range(0));
+  amix::bench::set_memory_counters(state, g.num_edges());
 }
 BENCHMARK(BM_KernelRoundsThreaded)->ArgsProduct({{16}, {1, 2, 4, 8}});
 
@@ -179,6 +186,7 @@ void BM_HierarchyBuild(benchmark::State& state) {
     const Hierarchy h = Hierarchy::build(g, hp, ledger);
     benchmark::DoNotOptimize(h.depth());
   }
+  amix::bench::set_memory_counters(state, g.num_edges());
 }
 BENCHMARK(BM_HierarchyBuild)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 
@@ -198,6 +206,7 @@ void BM_RoutePermutation(benchmark::State& state) {
     benchmark::DoNotOptimize(stats.total_rounds);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  amix::bench::set_memory_counters(state, g.num_edges());
 }
 BENCHMARK(BM_RoutePermutation)->Arg(512)->Unit(benchmark::kMillisecond);
 
@@ -209,6 +218,7 @@ void BM_KruskalOracle(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(kruskal_mst(g, w).size());
   }
+  amix::bench::set_memory_counters(state, g.num_edges());
 }
 BENCHMARK(BM_KruskalOracle)->Arg(4096);
 

@@ -40,6 +40,10 @@ struct CommView {
   std::uint64_t round_cost = 1;
 
   std::uint32_t degree(std::uint32_t v) const {
+    // Offsets are 64-bit (num_arcs can exceed 4B) but a single node's
+    // degree must fit the 32-bit port space; catch truncation in debug
+    // builds without taxing the release hot path.
+    AMIX_DCHECK(offsets[v + 1] - offsets[v] <= UINT32_MAX);
     return static_cast<std::uint32_t>(offsets[v + 1] - offsets[v]);
   }
   std::uint32_t neighbor(std::uint32_t v, std::uint32_t port) const {
@@ -138,6 +142,11 @@ class OverlayComm final : public CommGraph {
   OverlayComm() = default;
 
   /// From per-node adjacency lists; port numbering is the list order.
+  /// Test-only reference path: the nested-vector intermediate costs one
+  /// allocation per node, which the scale builds cannot afford — all
+  /// production construction goes through CsrBuilder (or the flat-CSR
+  /// constructor below). Kept so conformance tests can pin the CSR paths
+  /// against the naive construction.
   OverlayComm(const std::vector<std::vector<std::uint32_t>>& adj,
               std::uint64_t round_cost)
       : round_cost_(round_cost) {

@@ -36,6 +36,8 @@ SyncNetwork::SyncNetwork(const Graph& g, RoundLedger& ledger, ExecPolicy exec)
       peer_slot_[offsets_[w] + q] = offsets_[v] + g.port_of(v, arcs[q].edge);
     }
   }
+  shard_bounds_ =
+      weighted_shard_bounds(offsets_.data(), g.num_nodes(), exec_.shards());
 }
 
 void SyncNetwork::invoke_handler(const Handler& h, NodeId v,
@@ -66,8 +68,10 @@ bool SyncNetwork::step(const Handler& h) {
   std::vector<SentFlag> sent(num_shards);
 
   // Phase 1: handler sweep. Outboxes are disjoint per node, inboxes are
-  // read-only — node shards are race-free by construction.
-  parallel_for_shards(exec_, g_.num_nodes(),
+  // read-only — node shards are race-free by construction. Shard cuts are
+  // arc-balanced (per-node work tracks degree); the sent-flag OR-merge is
+  // boundary-independent, so results match the equal-count cuts exactly.
+  parallel_for_bounds(exec_, shard_bounds_,
                       [&](std::uint32_t s, std::size_t lo, std::size_t hi) {
                         for (std::size_t v = lo; v < hi; ++v) {
                           invoke_handler(h, static_cast<NodeId>(v), cur,
@@ -88,8 +92,8 @@ bool SyncNetwork::step(const Handler& h) {
   // epoch — they start at 1), and its garbage message bytes are
   // unreachable through the Inbox API. The round's outboxes expire
   // wholesale when the epoch advances — no clearing pass.
-  parallel_for_shards(
-      exec_, g_.num_nodes(),
+  parallel_for_bounds(
+      exec_, shard_bounds_,
       [&](std::uint32_t, std::size_t lo, std::size_t hi) {
         for (std::size_t w = lo; w < hi; ++w) {
           const std::uint32_t base = offsets_[w];

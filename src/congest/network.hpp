@@ -163,6 +163,11 @@ class SyncNetwork {
   RoundLedger& ledger_;
   ExecPolicy exec_;
   std::vector<std::uint32_t> offsets_;       // node -> first slot
+  // Arc-balanced node-shard cut points (weighted_shard_bounds over
+  // offsets_): per-node sweep work is proportional to degree, so equal-arc
+  // shards keep threads busy on degree-skewed graphs. Computed once — the
+  // exec policy and topology are fixed for the network's lifetime.
+  std::vector<std::size_t> shard_bounds_;
   // SoA slot storage: payloads + presence stamps, per directed arc slot.
   // Round r's epoch is r+1; a slot holds a live message iff its stamp
   // equals the epoch it is read under (inbox: r+1 written during round r's

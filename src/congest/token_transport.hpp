@@ -129,6 +129,17 @@ class TokenTransport {
   /// Lemma 2.4 `O(k d(v) + log n)` quantity for the whole run.
   std::uint32_t max_node_residency() const { return max_node_residency_; }
 
+  /// Zero the cross-step accumulators (total_graph_rounds, residency max)
+  /// so one transport — and its O(num_arcs) tally arrays — can be reused
+  /// across runs instead of reallocated per run (the walk engine keeps a
+  /// persistent transport; at 10^7-node scale the per-run allocation was
+  /// the dominant setup cost). Per-step tallies are already zero between
+  /// steps (commit clears them), so this is two scalar stores.
+  void reset_run_stats() {
+    total_graph_rounds_ = 0;
+    max_node_residency_ = 0;
+  }
+
   const CommGraph& graph() const { return g_; }
 
   /// Thread-private move accumulator for one shard of a parallel step.

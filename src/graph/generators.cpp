@@ -40,50 +40,204 @@ bool repair_to_simple(EdgeList& edges, Rng& rng, int max_passes = 200) {
   return false;
 }
 
-}  // namespace
-
-Graph gnp(NodeId n, double p, Rng& rng) {
-  AMIX_CHECK(p >= 0.0 && p <= 1.0);
-  EdgeList edges;
-  if (p <= 0.0 || n < 2) return Graph::from_edges(n, edges);
-  if (p >= 1.0) return complete(n);
-  // Skip sampling (geometric jumps) over the n*(n-1)/2 pair indices.
+/// Geometric skip walk over `total` Bernoulli(p) trials, 0 < p < 1:
+/// calls emit(idx) for each selected index, strictly increasing. One
+/// rng.next_double() per SELECTED index — O(nnz), not O(total).
+template <typename Emit>
+void skip_sample(std::uint64_t total, double p, Rng& rng, Emit&& emit) {
   const double log1mp = std::log1p(-p);
-  const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
   std::uint64_t idx = 0;
   while (true) {
     const double r = rng.next_double();  // uniform [0, 1)
-    // Geometric gap: #pairs skipped before the next edge = floor(ln(1-r)/ln(1-p)).
+    // Geometric gap: #trials skipped before the next hit = floor(ln(1-r)/ln(1-p)).
     const double skip = std::floor(std::log1p(-r) / log1mp);
     idx += static_cast<std::uint64_t>(std::max(0.0, skip)) + 1;
     if (idx > total) break;
-    // Decode pair index (idx-1) into (u, v), u < v: row-major over rows u
-    // with lengths n-1-u.
-    const std::uint64_t k = idx - 1;
-    // Solve for u: k - u*n + u*(u+1)/2 in [0, n-1-u).
-    const double nn = static_cast<double>(n);
-    auto u = static_cast<std::uint64_t>(
-        std::floor(nn - 0.5 - std::sqrt((nn - 0.5) * (nn - 0.5) -
-                                        2.0 * static_cast<double>(k))));
-    // Guard against floating-point boundary error.
-    auto row_start = [&](std::uint64_t uu) {
-      return uu * n - uu * (uu + 1) / 2;
-    };
-    while (u > 0 && row_start(u) > k) --u;
-    while (row_start(u + 1) <= k) ++u;
-    const std::uint64_t v = u + 1 + (k - row_start(u));
-    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    emit(idx - 1);
   }
-  return Graph::from_edges(n, edges);
+}
+
+/// Decode pair index k of the upper triangle over `n` nodes into (u, v),
+/// u < v: row-major over rows u with lengths n-1-u.
+std::pair<std::uint64_t, std::uint64_t> decode_tri_pair(std::uint64_t n,
+                                                        std::uint64_t k) {
+  // Solve for u: k - u*n + u*(u+1)/2 in [0, n-1-u).
+  const double nn = static_cast<double>(n);
+  auto u = static_cast<std::uint64_t>(
+      std::floor(nn - 0.5 - std::sqrt((nn - 0.5) * (nn - 0.5) -
+                                      2.0 * static_cast<double>(k))));
+  // Guard against floating-point boundary error.
+  auto row_start = [&](std::uint64_t uu) { return uu * n - uu * (uu + 1) / 2; };
+  while (u > 0 && row_start(u) > k) --u;
+  while (row_start(u + 1) <= k) ++u;
+  return {u, u + 1 + (k - row_start(u))};
+}
+
+/// Append one G(n, p) sample to `edges` (shared by gnp / connected_gnp so
+/// the rejection loop can reuse one buffer). Draw-for-draw identical to
+/// the historical gnp sampler: one next_double per selected edge (kSkip)
+/// or one next_bool per pair in (u, v) row-major order (kExact).
+void sample_gnp_edges(NodeId n, double p, Rng& rng, SampleMode mode,
+                      EdgeList& edges) {
+  AMIX_CHECK(p >= 0.0 && p <= 1.0);
+  if (p <= 0.0 || n < 2) return;
+  if (mode == SampleMode::kExact && p < 1.0) {
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        if (rng.next_bool(p)) edges.emplace_back(u, v);
+      }
+    }
+    return;
+  }
+  if (p >= 1.0) {
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+    }
+    return;
+  }
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  skip_sample(total, p, rng, [&](std::uint64_t k) {
+    const auto [u, v] = decode_tri_pair(n, k);
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  });
+}
+
+/// Union-find connectivity of an edge list over n nodes — O(m alpha) on
+/// the flat sample, no CSR build, no BFS queue. `parent` is caller-owned
+/// scratch so the rejection loops allocate nothing per attempt.
+bool edge_list_connected(NodeId n, const EdgeList& edges,
+                         std::vector<NodeId>& parent) {
+  if (n <= 1) return true;
+  parent.resize(n);
+  for (NodeId v = 0; v < n; ++v) parent[v] = v;
+  auto find = [&](NodeId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];  // path halving
+      v = parent[v];
+    }
+    return v;
+  };
+  NodeId components = n;
+  for (const auto& [a, b] : edges) {
+    const NodeId ra = find(a);
+    const NodeId rb = find(b);
+    if (ra != rb) {
+      parent[ra] = rb;
+      --components;
+    }
+  }
+  return components == 1;
+}
+
+}  // namespace
+
+Graph gnp(NodeId n, double p, Rng& rng, SampleMode mode) {
+  EdgeList edges;
+  sample_gnp_edges(n, p, rng, mode, edges);
+  return Graph::from_edge_stream(n, std::move(edges));
 }
 
 Graph connected_gnp(NodeId n, double p, Rng& rng, int max_attempts) {
+  EdgeList edges;
+  std::vector<NodeId> uf_scratch;
   for (int i = 0; i < max_attempts; ++i) {
-    Graph g = gnp(n, p, rng);
-    if (is_connected(g)) return g;
+    edges.clear();
+    sample_gnp_edges(n, p, rng, SampleMode::kSkip, edges);
+    if (edge_list_connected(n, edges, uf_scratch)) {
+      return Graph::from_edge_stream(n, std::move(edges));
+    }
   }
   AMIX_CHECK_MSG(false, "connected_gnp: exceeded attempts (p too small?)");
   return {};
+}
+
+std::vector<NodeId> sbm_block_starts(NodeId n, std::uint32_t k) {
+  AMIX_CHECK(k >= 1 && k <= n);
+  std::vector<NodeId> starts(k + 1, 0);
+  const NodeId base = n / k;
+  const NodeId extra = n % k;
+  for (std::uint32_t b = 0; b < k; ++b) {
+    starts[b + 1] = starts[b] + base + (b < extra ? 1 : 0);
+  }
+  return starts;
+}
+
+Graph sbm(NodeId n, std::uint32_t k, double p_in, double p_out, Rng& rng,
+          SampleMode mode) {
+  AMIX_CHECK(p_in >= 0.0 && p_in <= 1.0 && p_out >= 0.0 && p_out <= 1.0);
+  const std::vector<NodeId> starts = sbm_block_starts(n, k);
+  EdgeList edges;
+  // Expected edge count, reserved up front so the emit path never
+  // reallocates mid-block: sum over block pairs of pairs * prob.
+  double expected = 0.0;
+  for (std::uint32_t a = 0; a < k; ++a) {
+    const double sa = starts[a + 1] - starts[a];
+    expected += p_in * sa * (sa - 1.0) / 2.0;
+    for (std::uint32_t b = a + 1; b < k; ++b) {
+      expected += p_out * sa * static_cast<double>(starts[b + 1] - starts[b]);
+    }
+  }
+  edges.reserve(static_cast<std::size_t>(expected * 1.05) + 64);
+
+  // Block-pair sweep, fixed (a, a), (a, a+1), ..., (a, k-1) order so a
+  // seed replays to the same graph in either mode. Within-block pairs use
+  // the triangular decode; cross-block pairs decode row-major over the
+  // s_a x s_b grid.
+  for (std::uint32_t a = 0; a < k; ++a) {
+    const NodeId base_a = starts[a];
+    const std::uint64_t sa = starts[a + 1] - starts[a];
+    if (sa >= 2 && p_in > 0.0) {
+      const std::uint64_t total = sa * (sa - 1) / 2;
+      if (mode == SampleMode::kExact && p_in < 1.0) {
+        for (std::uint64_t u = 0; u < sa; ++u) {
+          for (std::uint64_t v = u + 1; v < sa; ++v) {
+            if (rng.next_bool(p_in)) {
+              edges.emplace_back(base_a + u, base_a + v);
+            }
+          }
+        }
+      } else if (p_in >= 1.0) {
+        for (std::uint64_t u = 0; u < sa; ++u) {
+          for (std::uint64_t v = u + 1; v < sa; ++v) {
+            edges.emplace_back(base_a + u, base_a + v);
+          }
+        }
+      } else {
+        skip_sample(total, p_in, rng, [&](std::uint64_t idx) {
+          const auto [u, v] = decode_tri_pair(sa, idx);
+          edges.emplace_back(static_cast<NodeId>(base_a + u),
+                             static_cast<NodeId>(base_a + v));
+        });
+      }
+    }
+    for (std::uint32_t b = a + 1; b < k; ++b) {
+      if (p_out <= 0.0) continue;
+      const NodeId base_b = starts[b];
+      const std::uint64_t sb = starts[b + 1] - starts[b];
+      if (sb == 0 || sa == 0) continue;
+      if (mode == SampleMode::kExact && p_out < 1.0) {
+        for (std::uint64_t u = 0; u < sa; ++u) {
+          for (std::uint64_t v = 0; v < sb; ++v) {
+            if (rng.next_bool(p_out)) {
+              edges.emplace_back(base_a + u, base_b + v);
+            }
+          }
+        }
+      } else if (p_out >= 1.0) {
+        for (std::uint64_t u = 0; u < sa; ++u) {
+          for (std::uint64_t v = 0; v < sb; ++v) {
+            edges.emplace_back(base_a + u, base_b + v);
+          }
+        }
+      } else {
+        skip_sample(sa * sb, p_out, rng, [&](std::uint64_t idx) {
+          edges.emplace_back(static_cast<NodeId>(base_a + idx / sb),
+                             static_cast<NodeId>(base_b + idx % sb));
+        });
+      }
+    }
+  }
+  return Graph::from_edge_stream(n, std::move(edges));
 }
 
 Graph random_regular(NodeId n, std::uint32_t d, Rng& rng) {

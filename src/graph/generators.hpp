@@ -15,13 +15,40 @@
 
 namespace amix::gen {
 
+/// Edge-sampling strategy for the Bernoulli-family generators (G(n,p),
+/// SBM). kSkip draws a geometric gap per SELECTED edge — O(nnz) work and
+/// rng draws, the only mode that scales to 10^7-node instances (STAG's
+/// "approximate sampling" technique; here the skip walk is distribution-
+/// exact, the approximation budget is spent nowhere). kExact flips one
+/// Bernoulli coin per node pair — O(n^2) — and exists as the reference
+/// the distribution-agreement tests hold kSkip against on small n.
+enum class SampleMode {
+  kSkip,
+  kExact,
+};
+
 /// Erdos-Renyi G(n, p). Not guaranteed connected; use
 /// `connected_gnp` for a connected sample.
-Graph gnp(NodeId n, double p, Rng& rng);
+Graph gnp(NodeId n, double p, Rng& rng, SampleMode mode = SampleMode::kSkip);
 
 /// G(n, p) resampled until connected (p should be above the ~ln n / n
 /// threshold or this will loop for a long time; checked with a cap).
+/// Rejection runs on the flat edge sample via union-find — a failed
+/// attempt never pays the CSR build or a BFS, and the scratch arrays are
+/// reused across attempts.
 Graph connected_gnp(NodeId n, double p, Rng& rng, int max_attempts = 64);
+
+/// Stochastic block model: `k` near-equal blocks (the first n % k blocks
+/// get the extra node), edge probability `p_in` within a block and
+/// `p_out` across. Block membership is by node-id range — see
+/// `sbm_block_starts`. kSkip samples each of the O(k^2) block pairs with
+/// geometric jumps, so the cost is O(k^2 + nnz) regardless of n.
+Graph sbm(NodeId n, std::uint32_t k, double p_in, double p_out, Rng& rng,
+          SampleMode mode = SampleMode::kSkip);
+
+/// Block boundaries of `sbm(n, k, ...)`: k+1 entries; block b is the
+/// node-id range [starts[b], starts[b+1]).
+std::vector<NodeId> sbm_block_starts(NodeId n, std::uint32_t k);
 
 /// Random d-regular graph via the configuration model with rejection and
 /// local repair (switches) of self-loops / parallel edges. Requires

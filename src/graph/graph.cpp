@@ -13,15 +13,40 @@ std::uint64_t norm_key(NodeId a, NodeId b) {
 
 }  // namespace
 
+void Graph::build_csr_from_endpoints() {
+  const NodeId n = n_;
+  offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : edge_endpoints_) {
+    ++offsets_[u + 1];
+    ++offsets_[v + 1];
+  }
+  max_degree_ = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    offsets_[v + 1] += offsets_[v];
+    max_degree_ = std::max(max_degree_, offsets_[v + 1] - offsets_[v]);
+  }
+
+  adj_.resize(2ULL * m_);
+  edge_ports_.resize(m_);
+  std::vector<std::uint32_t> fill(n, 0);
+  for (EdgeId e = 0; e < m_; ++e) {
+    const auto [u, v] = edge_endpoints_[e];
+    const std::uint32_t pu = fill[u]++;
+    const std::uint32_t pv = fill[v]++;
+    adj_[offsets_[u] + pu] = Arc{v, e};
+    adj_[offsets_[v] + pv] = Arc{u, e};
+    edge_ports_[e] = {pu, pv};
+  }
+}
+
 Graph Graph::from_edges(NodeId n,
                         const std::vector<std::pair<NodeId, NodeId>>& edges) {
   Graph g;
   g.n_ = n;
   g.m_ = static_cast<EdgeId>(edges.size());
-  g.offsets_.assign(n + 1, 0);
   g.edge_endpoints_.reserve(edges.size());
 
-  // Validate and normalize endpoints; count degrees.
+  // Validate and normalize endpoints.
   std::unordered_set<std::uint64_t> seen;
   seen.reserve(edges.size() * 2);
   for (const auto& [a, b] : edges) {
@@ -32,25 +57,27 @@ Graph Graph::from_edges(NodeId n,
     const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
     AMIX_CHECK_MSG(seen.insert(key).second, "parallel edge in edge list");
     g.edge_endpoints_.emplace_back(u, v);
-    ++g.offsets_[u + 1];
-    ++g.offsets_[v + 1];
   }
-  for (NodeId v = 0; v < n; ++v) {
-    g.offsets_[v + 1] += g.offsets_[v];
-    g.max_degree_ = std::max(g.max_degree_, g.offsets_[v + 1] - g.offsets_[v]);
-  }
+  g.build_csr_from_endpoints();
+  return g;
+}
 
-  g.adj_.resize(2ULL * g.m_);
-  g.edge_ports_.resize(g.m_);
-  std::vector<std::uint32_t> fill(n, 0);
-  for (EdgeId e = 0; e < g.m_; ++e) {
-    const auto [u, v] = g.edge_endpoints_[e];
-    const std::uint32_t pu = fill[u]++;
-    const std::uint32_t pv = fill[v]++;
-    g.adj_[g.offsets_[u] + pu] = Arc{v, e};
-    g.adj_[g.offsets_[v] + pv] = Arc{u, e};
-    g.edge_ports_[e] = {pu, pv};
+Graph Graph::from_edge_stream(NodeId n,
+                              std::vector<std::pair<NodeId, NodeId>>&& edges) {
+  Graph g;
+  g.n_ = n;
+  g.m_ = static_cast<EdgeId>(edges.size());
+  // Normalize in place and adopt the list as the endpoint array — the
+  // only per-edge state beyond the CSR arrays themselves. No hash-set
+  // duplicate probe (the caller's contract); range/self-loop violations
+  // still abort.
+  for (auto& [a, b] : edges) {
+    AMIX_CHECK_MSG(a < n && b < n, "edge endpoint out of range");
+    AMIX_CHECK_MSG(a != b, "self-loops not supported in the base graph");
+    if (a > b) std::swap(a, b);
   }
+  g.edge_endpoints_ = std::move(edges);
+  g.build_csr_from_endpoints();
   return g;
 }
 

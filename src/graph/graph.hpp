@@ -56,6 +56,20 @@ class Graph {
   static Graph from_edges(NodeId n,
                           const std::vector<std::pair<NodeId, NodeId>>& edges);
 
+  /// Streaming build path for huge instances: takes ownership of the edge
+  /// list (which becomes the endpoint array in place — no copy) and
+  /// counting-sorts it straight into the flat CSR arrays, exactly like
+  /// from_edges but WITHOUT the per-edge hash-set duplicate probe — the
+  /// dominant allocation and the dominant cache-miss source at 10^7+
+  /// edges. The caller warrants the list is simple (no self-loops, no
+  /// parallel edges); range and self-loop violations still abort, and the
+  /// skip-sampling generators satisfy the no-duplicate contract by
+  /// construction (they enumerate strictly increasing pair indices).
+  /// Port numbering is identical to from_edges on the same list
+  /// (tests/test_generators_scale.cpp pins element-wise identity).
+  static Graph from_edge_stream(NodeId n,
+                                std::vector<std::pair<NodeId, NodeId>>&& edges);
+
   NodeId num_nodes() const { return n_; }
   EdgeId num_edges() const { return m_; }
 
@@ -127,7 +141,21 @@ class Graph {
   /// Sum of degrees = 2m; the number of virtual nodes of Section 3.1.1.
   std::uint64_t num_arcs() const { return 2ULL * m_; }
 
+  /// Heap bytes held by the CSR arrays (capacity, not size — what the
+  /// process actually pays). Feeds the bytes-per-edge counters of the
+  /// scale benches and the DESIGN.md Section 13 memory budget.
+  std::uint64_t memory_bytes() const {
+    return offsets_.capacity() * sizeof(std::uint32_t) +
+           adj_.capacity() * sizeof(Arc) +
+           edge_endpoints_.capacity() * sizeof(edge_endpoints_[0]) +
+           edge_ports_.capacity() * sizeof(edge_ports_[0]);
+  }
+
  private:
+  /// Counting-sort edge_endpoints_ (already normalized u < v, n_/m_ set)
+  /// into offsets_/adj_/edge_ports_; the shared tail of both build paths.
+  void build_csr_from_endpoints();
+
   NodeId n_ = 0;
   EdgeId m_ = 0;
   std::uint32_t max_degree_ = 0;

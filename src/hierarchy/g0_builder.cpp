@@ -78,18 +78,20 @@ G0Result build_g0(const VirtualNodeSpace& vs, const G0Params& params,
 
   // Emulation-cost probe: a fresh batch shaped like the selected walks
   // (out_degree per vid, same length) measured on a scratch ledger; one
-  // G0 round re-runs those walks forward and backward.
+  // G0 round re-runs those walks forward and backward. The probe batch is
+  // never larger than the selection batch (out_degree <= walks_per_vid),
+  // so it refills the `starts` buffer in place — at 10^7 virtual nodes
+  // that second nv * walks-sized allocation was the G0 build's largest.
   RoundLedger scratch;
-  std::vector<std::uint32_t> probe_starts;
-  probe_starts.reserve(static_cast<std::size_t>(nv) * res.out_degree);
+  starts.clear();
   for (Vid vid = 0; vid < nv; ++vid) {
     for (std::uint32_t i = 0; i < res.out_degree; ++i) {
-      probe_starts.push_back(vs.owner(vid));
+      starts.push_back(vs.owner(vid));
     }
   }
   WalkStats probe_stats;
   ParallelWalkEngine probe_engine(base, rng.split());
-  probe_engine.run(probe_starts, WalkKind::kLazy, res.tau_mix, scratch,
+  probe_engine.run(starts, WalkKind::kLazy, res.tau_mix, scratch,
                    &probe_stats);
   const std::uint64_t round_cost = 2 * std::max<std::uint64_t>(
                                            1, probe_stats.graph_rounds);

@@ -33,38 +33,16 @@ std::uint64_t lemma24_envelope(const CommGraph& g,
 
 namespace {
 
-/// Epoch-stamped sparse per-node counter (avoids O(n) clears per step).
-/// One instance per shard during the sweep, one for the ordered merge.
-struct NodeLoadCounter {
-  std::vector<std::uint32_t> count;
-  std::vector<std::uint32_t> stamp;
-  std::vector<std::uint32_t> touched;
-  std::uint32_t epoch = 0;
+using randwalk_detail::NodeLoadCounter;
 
-  void init(std::uint32_t n) {
-    count.assign(n, 0);
-    stamp.assign(n, 0);
-  }
-  void begin_step() {
-    ++epoch;
-    touched.clear();
-  }
-  /// No max tracking here: add() sits on the per-walk sweep path, and the
-  /// step maximum is a one-pass scan of `touched` after the sums settle.
-  void add(std::uint32_t v, std::uint32_t by) {
-    if (stamp[v] != epoch) {
-      stamp[v] = epoch;
-      count[v] = 0;
-      touched.push_back(v);
-    }
-    count[v] += by;
-  }
-  std::uint32_t max_over_touched() const {
-    std::uint32_t mx = 0;
-    for (const std::uint32_t v : touched) mx = std::max(mx, count[v]);
-    return mx;
-  }
-};
+/// Portable read-prefetch hint (no-op off GCC/Clang). The sweep's latency
+/// is bound by the offsets[pos] gather — positions after a few steps are
+/// near-random node ids, so every walk's degree lookup is a cold line.
+inline void prefetch_ro(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/1);
+#endif
+}
 
 /// Everything one step's sweep reads, passed BY VALUE. The sweep is a
 /// free function over this struct rather than a capturing lambda on
@@ -86,6 +64,11 @@ struct SweepCtx {
   bool log_moves;
 };
 
+/// Walks per SoA block of the sweep below: enough in flight to cover the
+/// offsets-gather latency with prefetches, small enough that the three
+/// block arrays (~3 KB) live in L1.
+constexpr std::size_t kSweepBlock = 256;
+
 void sweep_shard(const SweepCtx c, std::uint32_t s, std::size_t lo,
                  std::size_t hi) {
   TokenTransport::Shard& shard = c.shards[s];
@@ -93,33 +76,59 @@ void sweep_shard(const SweepCtx c, std::uint32_t s, std::size_t lo,
   NodeLoadCounter* const lc =
       c.shard_load == nullptr ? nullptr : c.shard_load + s;
   if (lc != nullptr) lc->begin_step();
-  for (std::size_t i = lo; i < hi; ++i) {
-    std::uint32_t p = c.pos[i];
-    const std::uint32_t deg = c.cv.degree(p);
-    if (deg == 0) {
-      // Isolated in this overlay; the walk is stuck (a stay).
-      if (lc != nullptr) lc->add(p, 1);
-      continue;
+
+  // Blocked SoA sweep. Per block of up to kSweepBlock walks:
+  //   pass 1 gathers positions and prefetches each walk's offsets row —
+  //     the random-access load the whole step serializes on;
+  //   pass 2 reads the (now resident) degrees, draws, and picks the port
+  //     branchlessly (port = r < deg ? r : MAX compiles to a cmov — the
+  //     stay/move decision is a per-walk coin flip no predictor learns),
+  //     prefetching the neighbor entry movers will read;
+  //   pass 3 applies moves in walk order, preserving the shard.move()
+  //     sequence — and hence the instrument-mode log replay — exactly.
+  // Trajectory equivalence with the scalar loop: keyed draws are pure
+  // functions of (run_key, i, t), so restructuring the iteration cannot
+  // shift any walk's randomness. deg == 0 walks burn one keyed draw here
+  // (bound clamped to 2) that the scalar loop skipped — discarded keyed
+  // draws are invisible to every other draw, and r < 0 never moves them.
+  std::uint32_t bpos[kSweepBlock];
+  std::uint64_t boff[kSweepBlock];
+  std::uint32_t bport[kSweepBlock];
+  const bool lazy = c.kind == WalkKind::kLazy;
+  for (std::size_t blo = lo; blo < hi; blo += kSweepBlock) {
+    const std::size_t bn = std::min(kSweepBlock, hi - blo);
+    for (std::size_t j = 0; j < bn; ++j) {
+      const std::uint32_t p = c.pos[blo + j];
+      bpos[j] = p;
+      prefetch_ro(&c.cv.offsets[p]);
     }
-    std::uint32_t port = UINT32_MAX;
-    if (c.kind == WalkKind::kLazy) {
-      // Stay w.p. 1/2, else uniform incident arc.
-      const std::uint64_t r = keyed_below(c.run_key, i, c.t, 2ULL * deg);
-      if (r < deg) port = static_cast<std::uint32_t>(r);
-    } else {
-      // 2Delta-regular: cross each incident arc w.p. 1/(2*Delta).
-      const std::uint64_t r = keyed_below(c.run_key, i, c.t, c.two_delta);
-      if (r < deg) port = static_cast<std::uint32_t>(r);
+    for (std::size_t j = 0; j < bn; ++j) {
+      const std::uint32_t p = bpos[j];
+      const std::uint64_t off = c.cv.offsets[p];
+      const std::uint32_t deg =
+          static_cast<std::uint32_t>(c.cv.offsets[p + 1] - off);
+      const std::uint64_t bound =
+          lazy ? 2ULL * std::max(1u, deg) : c.two_delta;
+      const std::uint64_t r = keyed_below(c.run_key, blo + j, c.t, bound);
+      const std::uint32_t port =
+          r < deg ? static_cast<std::uint32_t>(r) : UINT32_MAX;
+      boff[j] = off;
+      bport[j] = port;
+      if (port != UINT32_MAX) prefetch_ro(&c.cv.nbrs[off + port]);
     }
-    if (port != UINT32_MAX) {
-      shard.move(p, port);
-      p = c.cv.neighbor(p, port);
-      c.pos[i] = p;
-      // Logging shards defer tallies to the replay, so the merge cannot
-      // read arrivals from them; count movers here.
-      if (lc != nullptr && c.log_moves) lc->add(p, 1);
-    } else if (lc != nullptr) {
-      lc->add(p, 1);
+    for (std::size_t j = 0; j < bn; ++j) {
+      const std::uint32_t port = bport[j];
+      std::uint32_t p = bpos[j];
+      if (port != UINT32_MAX) {
+        shard.move(p, port);
+        p = c.cv.nbrs[boff[j] + port];
+        c.pos[blo + j] = p;
+        // Logging shards defer tallies to the replay, so the merge cannot
+        // read arrivals from them; count movers here.
+        if (lc != nullptr && c.log_moves) lc->add(p, 1);
+      } else if (lc != nullptr) {
+        lc->add(p, 1);
+      }
     }
   }
 }
@@ -128,7 +137,15 @@ void sweep_shard(const SweepCtx c, std::uint32_t s, std::size_t lo,
 
 ParallelWalkEngine::ParallelWalkEngine(const CommGraph& g, Rng rng,
                                        ExecPolicy exec)
-    : g_(g), rng_(rng), exec_(exec) {}
+    : g_(g),
+      rng_(rng),
+      exec_(exec),
+      // The sweep runs on the flat CSR view: degree/neighbor inside the
+      // per-walk loop are array reads off one contiguous block, no
+      // dispatch.
+      cv_(g.view()),
+      transport_(g),
+      shards_(transport_.make_shards(exec_.shards())) {}
 
 std::vector<std::uint32_t> ParallelWalkEngine::run(
     std::span<const std::uint32_t> starts, WalkKind kind, std::uint32_t steps,
@@ -139,7 +156,11 @@ std::vector<std::uint32_t> ParallelWalkEngine::run(
     AMIX_CHECK(s < g_.num_nodes());
   }
 
-  TokenTransport transport(g_);
+  // Persistent scratch: the transport (and its O(num_arcs) tallies) and
+  // the shard accumulators are engine members; per-step tallies are
+  // already clean (each commit clears them), only the cross-run stats
+  // need zeroing for this run's figures to be per-run.
+  transport_.reset_run_stats();
   WalkStats local{};
   local.steps = steps;
 
@@ -147,12 +168,10 @@ std::vector<std::uint32_t> ParallelWalkEngine::run(
   // (run_key, i, t), so sharding the sweep cannot change any trajectory.
   const std::uint64_t run_key = rng_();
 
-  // The sweep runs on the flat CSR view: degree/neighbor inside the
-  // per-walk loop are array reads off one contiguous block, no dispatch.
-  const CommView cv = g_.view();
+  const CommView cv = cv_;
 
   const std::uint32_t num_shards = exec_.shards();
-  std::vector<TokenTransport::Shard> shards = transport.make_shards(num_shards);
+  std::vector<TokenTransport::Shard>& shards = shards_;
 
   const std::uint32_t two_delta = 2 * std::max(1u, cv.max_degree);
 
@@ -162,11 +181,17 @@ std::vector<std::uint32_t> ParallelWalkEngine::run(
   // it IS tracked, the sweep only counts walks that STAY — movers are
   // already tallied per node by the transport shards, and the merge sums
   // stays + arrivals before the commit clears the shard tallies.
+  // Counters are lazily sized on the first observed run and reused after
+  // (their epoch stamps stay valid across runs by monotone increment).
   const bool need_node_load = stats != nullptr || obs::recorder() != nullptr;
-  std::vector<NodeLoadCounter> shard_load(need_node_load ? num_shards : 0);
-  for (auto& lc : shard_load) lc.init(cv.num_nodes);
-  NodeLoadCounter merged_load;
-  if (need_node_load) merged_load.init(cv.num_nodes);
+  if (need_node_load && !node_load_ready_) {
+    shard_load_.resize(num_shards);
+    for (auto& lc : shard_load_) lc.init(cv.num_nodes);
+    merged_load_.init(cv.num_nodes);
+    node_load_ready_ = true;
+  }
+  std::vector<NodeLoadCounter>& shard_load = shard_load_;
+  NodeLoadCounter& merged_load = merged_load_;
 
   for (std::uint32_t t = 0; t < steps; ++t) {
     // Instrument callbacks only fire on the committing thread: shards log
@@ -220,12 +245,12 @@ std::vector<std::uint32_t> ParallelWalkEngine::run(
           std::max(local.max_node_load, merged_load.max_over_touched());
     }
 
-    transport.commit_step_shards(shards, ledger);
+    transport_.commit_step_shards(shards, ledger);
   }
 
-  local.graph_rounds = transport.total_graph_rounds();
+  local.graph_rounds = transport_.total_graph_rounds();
   local.base_rounds = local.graph_rounds * cv.round_cost;
-  local.max_transport_residency = transport.max_node_residency();
+  local.max_transport_residency = transport_.max_node_residency();
   if (obs::recorder() != nullptr && !pos.empty() && steps > 0) {
     obs::metric_counter_add("walk/moves", local.total_moves);
     obs::metric_gauge_max("walk/max_node_load", local.max_node_load);

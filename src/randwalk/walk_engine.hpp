@@ -30,6 +30,46 @@
 
 namespace amix {
 
+namespace randwalk_detail {
+
+/// Epoch-stamped sparse per-node counter (avoids O(n) clears per step).
+/// One instance per shard during the sweep, one for the ordered merge.
+/// The epoch survives across runs — reusing a counter only needs the
+/// stamps to never equal a future epoch, which monotone increment gives —
+/// so the engine keeps these as persistent scratch.
+struct NodeLoadCounter {
+  std::vector<std::uint32_t> count;
+  std::vector<std::uint32_t> stamp;
+  std::vector<std::uint32_t> touched;
+  std::uint32_t epoch = 0;
+
+  void init(std::uint32_t n) {
+    count.assign(n, 0);
+    stamp.assign(n, 0);
+  }
+  void begin_step() {
+    ++epoch;
+    touched.clear();
+  }
+  /// No max tracking here: add() sits on the per-walk sweep path, and the
+  /// step maximum is a one-pass scan of `touched` after the sums settle.
+  void add(std::uint32_t v, std::uint32_t by) {
+    if (stamp[v] != epoch) {
+      stamp[v] = epoch;
+      count[v] = 0;
+      touched.push_back(v);
+    }
+    count[v] += by;
+  }
+  std::uint32_t max_over_touched() const {
+    std::uint32_t mx = 0;
+    for (const std::uint32_t v : touched) mx = std::max(mx, count[v]);
+    return mx;
+  }
+};
+
+}  // namespace randwalk_detail
+
 struct WalkStats {
   std::uint64_t graph_rounds = 0;    // rounds of the walked graph
   std::uint64_t base_rounds = 0;     // graph_rounds * round_cost
@@ -47,6 +87,12 @@ class ParallelWalkEngine {
 
   /// Advance walks starting at `starts` for `steps` parallel steps.
   /// Returns final positions (same order as starts). Charges the ledger.
+  ///
+  /// Callable repeatedly: the transport tallies, shard accumulators, and
+  /// occupancy counters are engine members sized once at construction and
+  /// reused across runs — a hierarchy build issuing thousands of runs on
+  /// one overlay pays the O(num_arcs) allocations once, and stats still
+  /// report per-run figures (cross-run accumulators reset on entry).
   std::vector<std::uint32_t> run(std::span<const std::uint32_t> starts,
                                  WalkKind kind, std::uint32_t steps,
                                  RoundLedger& ledger,
@@ -63,6 +109,17 @@ class ParallelWalkEngine {
   const CommGraph& g_;
   Rng rng_;
   ExecPolicy exec_;
+  // Persistent per-engine scratch (see run()). cv_ is the flat CSR view
+  // the sweeps run on; valid as long as g_ — which the engine already
+  // references — is alive and unmodified.
+  CommView cv_;
+  TokenTransport transport_;
+  std::vector<TokenTransport::Shard> shards_;
+  // Occupancy counters are Lemma 2.4 telemetry only; allocated lazily on
+  // the first run that observes them (stats out-param or trace recorder).
+  std::vector<randwalk_detail::NodeLoadCounter> shard_load_;
+  randwalk_detail::NodeLoadCounter merged_load_;
+  bool node_load_ready_ = false;
 };
 
 }  // namespace amix

@@ -25,8 +25,11 @@
 // ...) by making per-item work order-free (counter-keyed RNG, disjoint
 // writes) and merges order-fixed. See DESIGN.md Section 8.
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <span>
+#include <vector>
 
 #include "util/check.hpp"
 
@@ -80,6 +83,62 @@ inline std::pair<std::size_t, std::size_t> shard_range(std::size_t n,
   const std::size_t chunk = (n + num_shards - 1) / num_shards;
   const std::size_t begin = std::min(n, s * chunk);
   return {begin, std::min(n, begin + chunk)};
+}
+
+/// Weight-balanced shard boundaries over a CSR-style prefix-sum array:
+/// cuts [0, n) into `num_shards` contiguous ranges so each carries ~equal
+/// total weight, where item i's weight is offsets[i+1] - offsets[i] (a
+/// graph's offsets array fits directly, making the per-shard work
+/// proportional to arcs rather than nodes — the cache-aware cut for
+/// degree-skewed instances). Returns num_shards + 1 cut points with
+/// bounds[0] == 0 and bounds[num_shards] == n; shards may be empty.
+/// A pure function of (offsets, num_shards) — never of thread timing —
+/// so consumers whose merges are boundary-independent (disjoint writes,
+/// sums-then-max folds) stay bit-identical at any shard count.
+template <typename Offset>
+std::vector<std::size_t> weighted_shard_bounds(const Offset* offsets,
+                                               std::size_t n,
+                                               std::uint32_t num_shards) {
+  AMIX_DCHECK(num_shards > 0);
+  std::vector<std::size_t> bounds(num_shards + 1, n);
+  bounds[0] = 0;
+  if (n == 0) return bounds;
+  const std::uint64_t total = static_cast<std::uint64_t>(offsets[n]) -
+                              static_cast<std::uint64_t>(offsets[0]);
+  for (std::uint32_t s = 1; s < num_shards; ++s) {
+    // First index whose prefix weight reaches s/num_shards of the total;
+    // clamped monotone so ranges stay disjoint and ordered.
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(offsets[0]) + total * s / num_shards;
+    const Offset* cut = std::lower_bound(
+        offsets + bounds[s - 1], offsets + n, target,
+        [](const Offset& o, std::uint64_t t) {
+          return static_cast<std::uint64_t>(o) < t;
+        });
+    bounds[s] = static_cast<std::size_t>(cut - offsets);
+  }
+  return bounds;
+}
+
+/// parallel_for_shards over precomputed cut points (e.g. from
+/// weighted_shard_bounds): invokes body(s, bounds[s], bounds[s+1]) for
+/// each shard. Serial policies run inline in shard order; parallel
+/// policies dispatch through ThreadPool::global(). The shard→range
+/// mapping is identical either way.
+template <typename Body>
+void parallel_for_bounds(const ExecPolicy& exec,
+                         std::span<const std::size_t> bounds,
+                         const Body& body) {
+  const std::uint32_t num_shards = static_cast<std::uint32_t>(bounds.size() - 1);
+  if (!exec.parallel() || bounds.back() <= 1) {
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      body(s, bounds[s], bounds[s + 1]);
+    }
+    return;
+  }
+  ThreadPool::global().run_shards(num_shards, [&](std::uint32_t s) {
+    body(s, bounds[s], bounds[s + 1]);
+  });
 }
 
 /// Static range sharding of [0, n): invokes

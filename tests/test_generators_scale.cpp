@@ -1,0 +1,225 @@
+// The scale-substrate generator contracts: skip sampling (the O(nnz)
+// mode) agrees with per-pair Bernoulli sampling (the O(n^2) reference) in
+// distribution, replays deterministically, and the streaming CSR build
+// path is element-wise identical to the validated from_edges path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "amix/amix.hpp"
+
+namespace amix {
+namespace {
+
+double mean_edges(NodeId n, double p, gen::SampleMode mode, int trials,
+                  std::uint64_t seed0) {
+  double sum = 0;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(seed0 + t);
+    sum += gen::gnp(n, p, rng, mode).num_edges();
+  }
+  return sum / trials;
+}
+
+double mean_degree_sq(NodeId n, double p, gen::SampleMode mode, int trials,
+                      std::uint64_t seed0) {
+  double sum = 0;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(seed0 + t);
+    const Graph g = gen::gnp(n, p, rng, mode);
+    for (NodeId v = 0; v < n; ++v) {
+      sum += static_cast<double>(g.degree(v)) * g.degree(v);
+    }
+  }
+  return sum / trials;
+}
+
+// Skip sampling is distribution-exact, not approximate: per-seed graphs
+// differ between modes (different draw structure), but edge-count and
+// degree-moment means over seeds must agree within sampling noise.
+TEST(GnpSampling, SkipMatchesExactInDistribution) {
+  const NodeId n = 64;
+  const double p = 0.1;
+  const int trials = 300;
+  const double expected = p * (static_cast<double>(n) * (n - 1) / 2);
+
+  const double skip = mean_edges(n, p, gen::SampleMode::kSkip, trials, 1000);
+  const double exact = mean_edges(n, p, gen::SampleMode::kExact, trials, 5000);
+  EXPECT_NEAR(skip, expected, 0.05 * expected);
+  EXPECT_NEAR(exact, expected, 0.05 * expected);
+  EXPECT_NEAR(skip, exact, 0.05 * expected);
+
+  // Second degree moment: E[d^2] = Var + E[d]^2 per node, summed. Holding
+  // the two modes within 7% of each other catches a decode bias (wrong
+  // triangular decode piles edges onto low rows, inflating the moment).
+  const double m2_skip =
+      mean_degree_sq(n, p, gen::SampleMode::kSkip, trials, 1000);
+  const double m2_exact =
+      mean_degree_sq(n, p, gen::SampleMode::kExact, trials, 5000);
+  EXPECT_NEAR(m2_skip, m2_exact, 0.07 * m2_exact);
+}
+
+TEST(GnpSampling, ReplayIsDeterministic) {
+  for (const std::uint64_t seed : {3uL, 17uL, 99uL}) {
+    Rng a(seed);
+    Rng b(seed);
+    const Graph ga = gen::gnp(200, 0.03, a);
+    const Graph gb = gen::gnp(200, 0.03, b);
+    EXPECT_EQ(ga.edges(), gb.edges());
+  }
+}
+
+TEST(GnpSampling, EdgeCasesMatchAcrossModes) {
+  Rng rng(5);
+  EXPECT_EQ(gen::gnp(10, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(gen::gnp(10, 0.0, rng, gen::SampleMode::kExact).num_edges(), 0u);
+  // p = 1 must be the complete graph in both modes, identically ordered.
+  const Graph c1 = gen::gnp(12, 1.0, rng);
+  const Graph c2 = gen::gnp(12, 1.0, rng, gen::SampleMode::kExact);
+  EXPECT_EQ(c1.edges(), gen::complete(12).edges());
+  EXPECT_EQ(c2.edges(), gen::complete(12).edges());
+}
+
+TEST(SbmGenerator, BlockStartsPartitionNodes) {
+  const auto starts = gen::sbm_block_starts(103, 7);
+  ASSERT_EQ(starts.size(), 8u);
+  EXPECT_EQ(starts.front(), 0u);
+  EXPECT_EQ(starts.back(), 103u);
+  for (std::size_t b = 0; b + 1 < starts.size(); ++b) {
+    const NodeId size = starts[b + 1] - starts[b];
+    EXPECT_TRUE(size == 103 / 7 || size == 103 / 7 + 1);
+  }
+}
+
+TEST(SbmGenerator, BlockDensityStructure) {
+  Rng rng(7);
+  const NodeId n = 400;
+  const std::uint32_t k = 4;
+  const Graph g = gen::sbm(n, k, 0.2, 0.005, rng);
+  const auto starts = gen::sbm_block_starts(n, k);
+  auto block_of = [&](NodeId v) {
+    std::uint32_t b = 0;
+    while (starts[b + 1] <= v) ++b;
+    return b;
+  };
+  std::uint64_t within = 0;
+  std::uint64_t across = 0;
+  for (const auto& [u, v] : g.edges()) {
+    (block_of(u) == block_of(v) ? within : across) += 1;
+  }
+  // Expected within ≈ 0.2 * 4 * C(100,2) = 3960, across ≈ 0.005 * 6 *
+  // 100 * 100 = 300; a 4x separation test has enormous margin.
+  EXPECT_GT(within, 4 * across);
+  EXPECT_GT(across, 0u);
+}
+
+TEST(SbmGenerator, SkipMatchesExactInDistribution) {
+  const NodeId n = 96;
+  const std::uint32_t k = 4;
+  const double p_in = 0.15;
+  const double p_out = 0.02;
+  const int trials = 200;
+  const auto starts = gen::sbm_block_starts(n, k);
+  double e_expected = 0;
+  for (std::uint32_t a = 0; a < k; ++a) {
+    const double sa = starts[a + 1] - starts[a];
+    e_expected += p_in * sa * (sa - 1) / 2;
+    for (std::uint32_t b = a + 1; b < k; ++b) {
+      e_expected += p_out * sa * (starts[b + 1] - starts[b]);
+    }
+  }
+  auto mean_m = [&](gen::SampleMode mode, std::uint64_t seed0) {
+    double sum = 0;
+    for (int t = 0; t < trials; ++t) {
+      Rng rng(seed0 + t);
+      sum += gen::sbm(n, k, p_in, p_out, rng, mode).num_edges();
+    }
+    return sum / trials;
+  };
+  const double skip = mean_m(gen::SampleMode::kSkip, 2000);
+  const double exact = mean_m(gen::SampleMode::kExact, 6000);
+  EXPECT_NEAR(skip, e_expected, 0.05 * e_expected);
+  EXPECT_NEAR(exact, e_expected, 0.05 * e_expected);
+}
+
+TEST(SbmGenerator, ReplayIsDeterministic) {
+  Rng a(13);
+  Rng b(13);
+  EXPECT_EQ(gen::sbm(300, 5, 0.1, 0.01, a).edges(),
+            gen::sbm(300, 5, 0.1, 0.01, b).edges());
+}
+
+// The streaming constructor must reproduce from_edges bit for bit on the
+// same list: same CSR offsets, same arc order (= same port numbering),
+// same edge endpoints and port inverses. Pinned over a corpus spanning
+// the generator families.
+TEST(FromEdgeStream, ElementWiseIdenticalToFromEdges) {
+  Rng rng(23);
+  std::vector<Graph> corpus;
+  corpus.push_back(gen::random_regular(128, 6, rng));
+  corpus.push_back(gen::torus2d(12));
+  corpus.push_back(gen::connected_gnp(200, 0.05, rng));
+  corpus.push_back(gen::sbm(150, 3, 0.15, 0.02, rng));
+  corpus.push_back(gen::barbell(40));
+
+  for (const Graph& ref : corpus) {
+    auto edges = ref.edges();  // copy: stream ctor consumes its input
+    const Graph streamed =
+        Graph::from_edge_stream(ref.num_nodes(), std::move(edges));
+    ASSERT_EQ(streamed.num_nodes(), ref.num_nodes());
+    ASSERT_EQ(streamed.num_edges(), ref.num_edges());
+    EXPECT_EQ(streamed.edges(), ref.edges());
+    EXPECT_EQ(streamed.max_degree(), ref.max_degree());
+    for (NodeId v = 0; v < ref.num_nodes(); ++v) {
+      ASSERT_EQ(streamed.degree(v), ref.degree(v));
+      const auto sa = streamed.arcs(v);
+      const auto ra = ref.arcs(v);
+      for (std::uint32_t p = 0; p < ref.degree(v); ++p) {
+        EXPECT_EQ(sa[p].to, ra[p].to);
+        EXPECT_EQ(sa[p].edge, ra[p].edge);
+      }
+    }
+    for (EdgeId e = 0; e < ref.num_edges(); ++e) {
+      EXPECT_EQ(streamed.port_of(streamed.edge_u(e), e),
+                ref.port_of(ref.edge_u(e), e));
+      EXPECT_EQ(streamed.port_of(streamed.edge_v(e), e),
+                ref.port_of(ref.edge_v(e), e));
+    }
+  }
+}
+
+TEST(FromEdgeStream, NormalizesReversedEndpoints) {
+  std::vector<std::pair<NodeId, NodeId>> edges{{2, 0}, {1, 2}, {0, 1}};
+  const Graph g = Graph::from_edge_stream(3, std::move(edges));
+  EXPECT_EQ(g.num_edges(), 3u);
+  for (EdgeId e = 0; e < 3; ++e) EXPECT_LT(g.edge_u(e), g.edge_v(e));
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(ConnectedGnp, ProducesConnectedGraphDeterministically) {
+  Rng a(31);
+  Rng b(31);
+  const Graph ga = gen::connected_gnp(150, 0.05, a);
+  const Graph gb = gen::connected_gnp(150, 0.05, b);
+  EXPECT_TRUE(is_connected(ga));
+  EXPECT_EQ(ga.edges(), gb.edges());
+}
+
+TEST(GraphMemory, MemoryBytesCoversTheCsrArrays) {
+  Rng rng(3);
+  const Graph g = gen::random_regular(256, 8, rng);
+  // Lower bound: offsets + adj + endpoints + ports at exact size.
+  const std::uint64_t floor_bytes =
+      (g.num_nodes() + 1) * sizeof(std::uint32_t) +
+      g.num_arcs() * sizeof(Arc) +
+      g.num_edges() * (sizeof(std::pair<NodeId, NodeId>) +
+                       sizeof(std::pair<std::uint32_t, std::uint32_t>));
+  EXPECT_GE(g.memory_bytes(), floor_bytes);
+  EXPECT_LT(g.memory_bytes(), 4 * floor_bytes);
+}
+
+}  // namespace
+}  // namespace amix

@@ -201,6 +201,47 @@ TEST(ThreadInvariance, WalkEngineTrajectoriesAndStats) {
   EXPECT_EQ(run_regular(8), run_regular(1));
 }
 
+// The blocked SoA sweep + persistent engine scratch, on a degree-skewed
+// SBM instance (block boundaries fall mid-shard, exercising partial
+// blocks): trajectories, charges, and stats must be bit-identical at 1,
+// 2, and 8 shards, AND across back-to-back run() calls on one engine —
+// scratch reuse (transport tallies, occupancy epochs) must leak nothing
+// from the previous run.
+TEST(ThreadInvariance, SbmSweepAndEngineReuse) {
+  Rng rng(41);
+  const Graph g = gen::sbm(600, 5, 0.05, 0.004, rng);
+  BaseComm base(g);
+  std::vector<std::uint32_t> starts;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    starts.push_back(v);
+    if (v % 3 == 0) starts.push_back(v);  // uneven load
+  }
+  const auto run_twice = [&](std::uint32_t threads, WalkKind kind) {
+    ParallelWalkEngine engine(base, Rng(4242), ExecPolicy{threads});
+    RoundLedger ledger;
+    WalkStats s1;
+    WalkStats s2;
+    const auto e1 = engine.run(starts, kind, 17, ledger, &s1);
+    const auto e2 = engine.run(e1, kind, 17, ledger, &s2);
+    return std::tuple{e1,
+                      e2,
+                      ledger.total(),
+                      s1.total_moves,
+                      s2.total_moves,
+                      s1.max_node_load,
+                      s2.max_node_load,
+                      s1.graph_rounds,
+                      s2.graph_rounds,
+                      s1.max_transport_residency,
+                      s2.max_transport_residency};
+  };
+  for (const WalkKind kind : {WalkKind::kLazy, WalkKind::kRegular2Delta}) {
+    const auto serial = run_twice(1, kind);
+    EXPECT_EQ(run_twice(2, kind), serial);
+    EXPECT_EQ(run_twice(8, kind), serial);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Parallel kernel rounds
 // ---------------------------------------------------------------------------
