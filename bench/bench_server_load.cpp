@@ -1,0 +1,168 @@
+// amixd under closed-loop load (google-benchmark): N concurrent client
+// connections, each issuing query requests back-to-back against one
+// live daemon on loopback. After the first request the hierarchy is
+// cached, so the steady state this measures is the server's cache-HIT
+// path end to end: socket framing, header parse, admission, the shared
+// cache's lock-free lookup, execute_query/fold_batch, response write.
+//
+//   BM_ServerQueryLoad/<clients>  — closed loop, requests/sec in
+//                                   items_per_second, request latency
+//                                   percentiles in p50_us / p99_us.
+//
+// Manual timing: one benchmark iteration = every client completes a
+// fixed burst of requests; the measured time is the wall-clock of the
+// whole fan-out (IO wait included — that's the product being measured,
+// so the perf guard gates these rows on real_time, not cpu_time).
+// Latencies are recorded per request across ALL iterations and the
+// percentiles attached as counters at the end.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "amix/amix.hpp"
+#include "bench_common.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+using namespace amix;
+
+constexpr int kRequestsPerClientPerIter = 8;
+
+// Cheap specs: the hierarchy is cached and walks are a few simulated
+// rounds, so the row measures server overhead, not algorithm runtime.
+const std::vector<std::string> kLoadMix = {"walks 16 8"};
+
+void BM_ServerQueryLoad(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+
+  server::ServerOptions opt;
+  // A worker owns its connection for the connection's lifetime (see
+  // server.hpp), so a closed loop over N persistent connections needs N
+  // workers — fewer would measure idle-timeout head-of-line blocking,
+  // not the serving path.
+  opt.workers = static_cast<std::size_t>(clients);
+  opt.queue_capacity = 64;
+  opt.tenant_inflight = 0;  // measure throughput, not admission control
+  opt.hierarchy.seed = bench::bench_seed();
+  server::Server srv(opt);
+  {
+    Rng rng(17);
+    srv.register_graph("g0", gen::random_regular(96, 6, rng));
+  }
+  std::string err;
+  if (!srv.start(&err)) {
+    state.SkipWithError(("server start: " + err).c_str());
+    return;
+  }
+
+  server::RequestHeader hdr;
+  hdr.verb = server::Verb::kQuery;
+  hdr.graph = "g0";
+  hdr.seed = bench::bench_seed();
+  hdr.base = 0;
+
+  // Warm the cache so every measured request is a hit.
+  {
+    server::Client c;
+    server::ResponseHeader resp;
+    std::string body;
+    if (!c.connect_to(srv.port(), &err) ||
+        !c.request(hdr, kLoadMix, &resp, &body, &err) || !resp.ok) {
+      state.SkipWithError("warmup request failed");
+      return;
+    }
+  }
+
+  // One long-lived connection per client, reused across iterations —
+  // the daemon's intended usage (amixctl client does the same).
+  std::vector<server::Client> conns(static_cast<std::size_t>(clients));
+  for (auto& c : conns) {
+    if (!c.connect_to(srv.port(), &err)) {
+      state.SkipWithError(("connect: " + err).c_str());
+      return;
+    }
+  }
+
+  std::mutex mu;
+  std::vector<double> latencies_us;  // every request, all iterations
+  std::atomic<bool> failed{false};
+
+  for (auto _ : state) {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(clients));
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int t = 0; t < clients; ++t) {
+      pool.emplace_back([&, t] {
+        std::vector<double> local;
+        local.reserve(kRequestsPerClientPerIter);
+        for (int r = 0; r < kRequestsPerClientPerIter; ++r) {
+          server::ResponseHeader resp;
+          std::string body, rerr;
+          const auto q0 = std::chrono::steady_clock::now();
+          if (!conns[static_cast<std::size_t>(t)].request(hdr, kLoadMix, &resp,
+                                                          &body, &rerr) ||
+              !resp.ok) {
+            failed = true;
+            return;
+          }
+          const auto q1 = std::chrono::steady_clock::now();
+          local.push_back(
+              std::chrono::duration<double, std::micro>(q1 - q0).count());
+        }
+        const std::lock_guard lock(mu);
+        latencies_us.insert(latencies_us.end(), local.begin(), local.end());
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    const auto t1 = std::chrono::steady_clock::now();
+    if (failed) {
+      state.SkipWithError("request failed under load");
+      return;
+    }
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+  }
+
+  state.SetItemsProcessed(state.iterations() * clients *
+                          kRequestsPerClientPerIter);
+  if (!latencies_us.empty()) {
+    std::sort(latencies_us.begin(), latencies_us.end());
+    auto pct = [&](double p) {
+      const auto idx = static_cast<std::size_t>(
+          p * static_cast<double>(latencies_us.size() - 1));
+      return latencies_us[idx];
+    };
+    state.counters["p50_us"] = pct(0.50);
+    state.counters["p99_us"] = pct(0.99);
+  }
+  state.counters["clients"] = clients;
+  const server::SharedHierarchyCache::Stats cs = srv.cache().stats();
+  state.counters["cache_hit_rate"] =
+      cs.hits + cs.misses == 0
+          ? 0.0
+          : static_cast<double>(cs.hits) /
+                static_cast<double>(cs.hits + cs.misses);
+  bench::set_memory_counters(state);
+  srv.shutdown();
+}
+
+BENCHMARK(BM_ServerQueryLoad)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

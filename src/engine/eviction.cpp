@@ -1,0 +1,43 @@
+#include "engine/eviction.hpp"
+
+#include "util/check.hpp"
+
+namespace amix::engine {
+namespace {
+
+// Idle age of a candidate at clock `now`, saturating at 1 so a candidate
+// stamped "now" (or carrying a stale future tick) still has a defined,
+// maximal score rather than a divide-by-zero.
+std::uint64_t age(const EvictionCandidate& c, std::uint64_t now) {
+  return now > c.last_use ? now - c.last_use + 1 : 1;
+}
+
+}  // namespace
+
+bool better_victim(const EvictionCandidate& a, const EvictionCandidate& b,
+                   std::uint64_t now) {
+  // score(a) < score(b)
+  //   <=> (cost_a + 1) / age_a < (cost_b + 1) / age_b
+  //   <=> (cost_a + 1) * age_b < (cost_b + 1) * age_a
+  // in exact 128-bit arithmetic (cost and age are both u64).
+  const unsigned __int128 lhs =
+      static_cast<unsigned __int128>(a.cost_rounds + 1) * age(b, now);
+  const unsigned __int128 rhs =
+      static_cast<unsigned __int128>(b.cost_rounds + 1) * age(a, now);
+  if (lhs != rhs) return lhs < rhs;
+  if (a.last_use != b.last_use) return a.last_use < b.last_use;
+  if (a.graph_fp != b.graph_fp) return a.graph_fp < b.graph_fp;
+  return a.params_fp < b.params_fp;
+}
+
+std::optional<std::size_t> pick_victim(
+    std::span<const EvictionCandidate> candidates, std::uint64_t now) {
+  if (candidates.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (better_victim(candidates[i], candidates[best], now)) best = i;
+  }
+  return best;
+}
+
+}  // namespace amix::engine

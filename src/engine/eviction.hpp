@@ -1,0 +1,53 @@
+#pragma once
+
+// Cost-aware LRU eviction: the ONE victim-selection implementation shared
+// by the in-process HierarchyCache and the amixd server's
+// SharedHierarchyCache (ROADMAP item 1).
+//
+// A hierarchy is the worked example of a cache entry whose entries have
+// wildly different replacement costs: rebuilding a big entry charges
+// 2^O(sqrt(log n log log n)) rounds, rebuilding a small one is almost
+// free. Plain LRU would evict by recency alone and happily drop the
+// expensive entry to keep three cheap hot ones. The policy here ranks
+// candidates by *rebuild cost per idle tick*:
+//
+//     score(c) = (cost_rounds + 1) / (now - last_use + 1)
+//
+// and evicts the minimum — the entry that is cheapest to bring back
+// relative to how long it has sat unused. Cost comes from the per-key
+// CostRecord history (build + repair rounds), which survives drops and
+// failed patches, so even an entry that was evicted and rebuilt keeps an
+// honest price tag. Recency comes from a logical tick the caches stamp on
+// every hit/insert.
+//
+// Scores are compared by exact 128-bit cross-multiplication — no floats,
+// so victim choice is deterministic across platforms, and ties break
+// first to the older entry, then to the smaller key.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace amix::engine {
+
+/// One eviction candidate: a cache key with its recorded rebuild cost and
+/// the logical tick of its last use.
+struct EvictionCandidate {
+  std::uint64_t graph_fp = 0;
+  std::uint64_t params_fp = 0;
+  std::uint64_t cost_rounds = 0;  // recorded build + repair rounds
+  std::uint64_t last_use = 0;     // logical tick of last hit/insert
+};
+
+/// True when `a` is a strictly better victim than `b` at clock `now`:
+/// lower cost-per-idle-tick score, ties broken by older last_use, then by
+/// smaller (graph_fp, params_fp) key. A strict weak ordering, so victim
+/// choice is a pure function of the candidate set and the clock.
+bool better_victim(const EvictionCandidate& a, const EvictionCandidate& b,
+                   std::uint64_t now);
+
+/// Index of the candidate to evict at clock `now` (nullopt when empty).
+std::optional<std::size_t> pick_victim(
+    std::span<const EvictionCandidate> candidates, std::uint64_t now);
+
+}  // namespace amix::engine

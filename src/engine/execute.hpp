@@ -1,0 +1,71 @@
+#pragma once
+
+// engine::execute_query — the ONE per-spec execution path.
+//
+// QueryEngine::run() and the amixd server workers both execute specs
+// through this free function, so "a server response is byte-identical to
+// a serial replay" is a structural property, not a parallel
+// implementation kept in sync by tests: there is only one implementation.
+//
+// execute_query runs a spec through the unmodified algorithm stack
+// against a prebuilt hierarchy, charging the spec's own RoundLedger and
+// capturing its transport schedule via a ScheduleProbe (see
+// schedule.hpp). All randomness derives from query_seed(spec), so the
+// result is a pure function of (graph, hierarchy, spec, index) — never of
+// the calling thread, the batch composition, or wall time (wall_ns is the
+// one nondeterministic report field, and JSON export omits it by
+// default).
+//
+// fold_batch is the deterministic merge half: it moves a batch's
+// executions into a BatchReport, multiplexing the captured schedules
+// (head-of-line, shared-graph co-scheduling) exactly as
+// DESIGN.md §11 specifies. Cache/build accounting fields are left to the
+// caller — QueryEngine charges its epoch ledger, the server charges the
+// tenant ledger.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "congest/instrument.hpp"
+#include "engine/query.hpp"
+#include "engine/report.hpp"
+#include "engine/schedule.hpp"
+#include "sim/fault_plan.hpp"
+
+namespace amix::engine {
+
+/// One executed spec: its standalone-equivalent report plus the captured
+/// transport schedule the multiplexer merges.
+struct QueryExecution {
+  QueryReport report;
+  QuerySchedule schedule;
+};
+
+/// Per-query fault injection (see EngineOptions::fault_factory): each
+/// query gets a PRIVATE plan instance, reset from (seed, spec.seed).
+struct QueryFaults {
+  const std::function<std::unique_ptr<sim::FaultPlan>()>* factory = nullptr;
+  std::uint64_t seed = 0;
+};
+
+/// Execute `spec` against the prebuilt hierarchy `h` on `g` (the graph
+/// `h` was built against). `index` names the execution inside its batch
+/// (default labels, span names). `ambient` is chained behind the
+/// schedule probe so harness faults / audits / tracing observe every
+/// event exactly as in un-engined code; pass the current thread's
+/// congest::instrument() or nullptr.
+QueryExecution execute_query(const Graph& g, const Hierarchy& h,
+                             const QuerySpec& spec, std::uint32_t index,
+                             congest::CongestInstrument* ambient,
+                             const QueryFaults* faults = nullptr);
+
+/// Move `execs` into `out.queries` (in order) and fill every field the
+/// executions determine: standalone sums, the multiplexed transport
+/// rounds, serialized rounds, and the merge-shape counters. The caller
+/// owns the cache fields (hits/misses, hierarchy_build_rounds,
+/// engine_rounds, standalone_total_rounds).
+void fold_batch(std::vector<QueryExecution> execs, BatchReport& out);
+
+}  // namespace amix::engine

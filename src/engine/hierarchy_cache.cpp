@@ -63,28 +63,104 @@ std::optional<std::uint64_t> fingerprint_after_delta(std::uint64_t old_fp,
   return h;
 }
 
-HierarchyCache::Lookup HierarchyCache::get_or_build(
-    const Graph& g, const HierarchyParams& params) {
-  const Key key{graph_fingerprint(g), params_fingerprint(params)};
-  if (const auto it = entries_.find(key); it != entries_.end()) {
-    ++hits_;
-    return Lookup{it->second.get(), false};
-  }
-  ++misses_;
-  auto entry = std::make_unique<CacheEntry>();
+std::unique_ptr<CacheEntry> CacheEntry::build(const Graph& g,
+                                              const HierarchyParams& params,
+                                              std::uint64_t graph_fp,
+                                              std::uint64_t params_fp) {
+  std::unique_ptr<CacheEntry> entry(new CacheEntry());
   entry->graph_ = std::make_unique<Graph>(g);  // the entry owns its graph
-  entry->graph_fp_ = key.first;
-  entry->params_fp_ = key.second;
+  entry->graph_fp_ = graph_fp;
+  entry->params_fp_ = params_fp;
   entry->params_ = params;
   RoundLedger build_ledger;
   entry->hierarchy_.emplace(
       Hierarchy::build(*entry->graph_, params, build_ledger));
   entry->build_rounds_ = build_ledger.total();
   entry->build_phases_ = build_ledger.phases();
+  return entry;
+}
+
+CacheEntry::RepairResult CacheEntry::repair_to(const Graph& new_g,
+                                               std::uint64_t new_fp,
+                                               std::uint32_t verify_every) {
+  RepairResult res;
+  // Repair against the entry's own copy of the mutated graph; the old
+  // copy stays alive (and the hierarchy valid) until the repair commits.
+  auto ng = std::make_unique<Graph>(new_g);
+  RoundLedger repair_ledger;
+  res.outcome = hierarchy_->apply_delta(*ng, repair_ledger);
+  if (!res.outcome.applied) {
+    // Unrepairable: the attempt's charges stand, the entry still
+    // describes its old graph.
+    repair_rounds_ += res.outcome.repair_rounds;
+    return res;
+  }
+
+  graph_ = std::move(ng);
+  graph_fp_ = new_fp;
+  ++repairs_;
+  repair_rounds_ += res.outcome.repair_rounds;
+
+  // Sampled full-rebuild equivalence oracle: the first repair of every
+  // verify_every window is probed against a fresh build. verify_every
+  // defaults to 0 (off) in NDEBUG builds.
+  if (verify_every != 0 && repairs_ % verify_every == 1 % verify_every) {
+    res.oracle_checked = true;
+    const std::uint64_t probe_seed =
+        keyed_u64(params_.seed, 0x6f7261636c65ULL, repairs_);
+    const EquivalenceReport eq =
+        check_full_rebuild_equivalence(*hierarchy_, params_, probe_seed);
+    AMIX_CHECK_MSG(eq.ok, eq.detail.c_str());
+  }
+  return res;
+}
+
+HierarchyCache::Lookup HierarchyCache::get_or_build(
+    const Graph& g, const HierarchyParams& params) {
+  const Key key{graph_fingerprint(g), params_fingerprint(params)};
+  ++tick_;
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    ++hits_;
+    it->second->touch(tick_);
+    return Lookup{it->second.get(), false};
+  }
+  ++misses_;
+  auto entry = CacheEntry::build(g, params, key.first, key.second);
+  entry->touch(tick_);
   record_cost(*entry);
   const CacheEntry* raw = entry.get();
   entries_.emplace(key, std::move(entry));
+  evict_over_capacity(key);
   return Lookup{raw, true};
+}
+
+void HierarchyCache::set_capacity(std::size_t max_entries) {
+  capacity_ = max_entries;
+  // Shrinking below the current size evicts immediately; the synthetic
+  // "protect" key matches no entry.
+  evict_over_capacity(Key{0, 0});
+}
+
+void HierarchyCache::evict_over_capacity(const Key& protect) {
+  if (capacity_ == 0) return;
+  while (entries_.size() > capacity_) {
+    std::vector<EvictionCandidate> candidates;
+    candidates.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) {
+      if (key == protect) continue;  // never evict the entry being returned
+      candidates.push_back(EvictionCandidate{key.first, key.second,
+                                             entry->cost_rounds(),
+                                             entry->last_use()});
+    }
+    const auto victim = pick_victim(candidates, tick_);
+    if (!victim) return;  // only the protected entry remains
+    const Key vkey{candidates[*victim].graph_fp, candidates[*victim].params_fp};
+    const auto it = entries_.find(vkey);
+    AMIX_CHECK(it != entries_.end());
+    record_cost(*it->second);  // the build cost outlives the entry
+    entries_.erase(it);
+    ++evictions_;
+  }
 }
 
 const CacheEntry* HierarchyCache::find(const Graph& g,
@@ -112,43 +188,21 @@ HierarchyCache::PatchResult HierarchyCache::apply_delta(
     auto node = entries_.extract(it);
     CacheEntry& entry = *node.mapped();
 
-    // Repair against the entry's own copy of the mutated graph; the old
-    // copy stays alive (and the hierarchy valid) until the repair commits.
-    auto ng = std::make_unique<Graph>(new_g);
-    RoundLedger repair_ledger;
-    const RepairOutcome outcome =
-        entry.hierarchy_->apply_delta(*ng, repair_ledger);
-    res.repair_rounds += outcome.repair_rounds;
+    const CacheEntry::RepairResult rr =
+        entry.repair_to(new_g, new_fp, verify_every_);
+    res.repair_rounds += rr.outcome.repair_rounds;
+    if (rr.oracle_checked) ++res.oracle_checks;
 
-    if (!outcome.applied) {
+    if (!rr.outcome.applied) {
       // Unrepairable: record what the entry cost, then let it go — the
       // next lookup on the new topology rebuilds from scratch.
-      res.last_fallback = outcome.reason;
+      res.last_fallback = rr.outcome.reason;
       ++res.dropped;
-      entry.repair_rounds_ += outcome.repair_rounds;
       record_cost(entry);
       it = next;
       continue;
     }
-
-    entry.graph_ = std::move(ng);
-    entry.graph_fp_ = new_fp;
-    ++entry.repairs_;
-    entry.repair_rounds_ += outcome.repair_rounds;
     record_cost(entry);
-
-    // Sampled full-rebuild equivalence oracle: the first repair of every
-    // verify_every_ window per entry is probed against a fresh build.
-    // verify_every_ defaults to 0 (off) in NDEBUG builds.
-    if (verify_every_ != 0 &&
-        entry.repairs_ % verify_every_ == 1 % verify_every_) {
-      ++res.oracle_checks;
-      const std::uint64_t probe_seed =
-          keyed_u64(entry.params_.seed, 0x6f7261636c65ULL, entry.repairs_);
-      const EquivalenceReport eq = check_full_rebuild_equivalence(
-          *entry.hierarchy_, entry.params_, probe_seed);
-      AMIX_CHECK_MSG(eq.ok, eq.detail.c_str());
-    }
 
     node.key().first = new_fp;
     // A patched duplicate (another old-topology entry already re-keyed to

@@ -20,12 +20,20 @@
 // cannot be repaired (see the fallback gates in src/hierarchy/delta.cpp)
 // are dropped and rebuild lazily on the next lookup.
 //
-// Cost history: dropping an entry — explicitly or on a failed patch — no
-// longer forgets what it cost to build. A CostRecord per (graph, params)
-// key survives in cost_history(), which is what the repair-vs-rebuild
-// decision and a future cost-aware LRU (ROADMAP item 1) consult.
-// See DESIGN.md §11 and §12.
+// Cost history: dropping an entry — explicitly, on a failed patch, or by
+// eviction — never forgets what it cost to build. A CostRecord per
+// (graph, params) key survives in cost_history(), which is what the
+// repair-vs-rebuild decision and the cost-aware LRU below consult.
+//
+// Eviction: set_capacity(k) bounds the cache to k entries; overflow
+// evicts by the shared cost-aware LRU policy (engine/eviction.hpp —
+// lowest rebuild-cost-per-idle-tick goes first). The amixd server's
+// SharedHierarchyCache keys, builds, repairs and evicts through the same
+// CacheEntry::build / CacheEntry::repair_to / pick_victim primitives, so
+// both caches have ONE implementation of every policy decision.
+// See DESIGN.md §11, §12 and §14.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -34,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/eviction.hpp"
 #include "hierarchy/hierarchy.hpp"
 
 namespace amix::engine {
@@ -63,6 +72,31 @@ std::optional<std::uint64_t> fingerprint_after_delta(std::uint64_t old_fp,
 /// amortized construction cost without rebuilding.
 class CacheEntry {
  public:
+  /// Build a self-contained entry for (g, params): the entry copies `g`,
+  /// builds the hierarchy against its own copy, and records the build
+  /// ledger (rounds + phases). `graph_fp`/`params_fp` are the
+  /// fingerprints the caller keys the entry under (passed in so callers
+  /// that already know them skip the O(m) refingerprint).
+  static std::unique_ptr<CacheEntry> build(const Graph& g,
+                                           const HierarchyParams& params,
+                                           std::uint64_t graph_fp,
+                                           std::uint64_t params_fp);
+
+  /// Repair this entry in place so it describes `new_g` (fingerprint
+  /// `new_fp`): copies `new_g`, runs Hierarchy::apply_delta against the
+  /// copy, and on success swaps the copy in and re-stamps graph_fp. On
+  /// fallback the entry is untouched (still valid for its old graph) and
+  /// the charged rounds are recorded. When `verify_every` != 0, the first
+  /// repair of every verify_every window is probed against a fresh
+  /// rebuild (AMIX_CHECK-fatal on divergence); a run probe is reported in
+  /// the outcome's `oracle_checked`.
+  struct RepairResult {
+    RepairOutcome outcome;
+    bool oracle_checked = false;
+  };
+  RepairResult repair_to(const Graph& new_g, std::uint64_t new_fp,
+                         std::uint32_t verify_every);
+
   const Hierarchy& hierarchy() const { return *hierarchy_; }
   const Graph& graph() const { return *graph_; }
   std::uint64_t build_rounds() const { return build_rounds_; }
@@ -76,8 +110,23 @@ class CacheEntry {
   std::uint32_t repairs() const { return repairs_; }
   std::uint64_t repair_rounds() const { return repair_rounds_; }
 
+  /// Recency stamp for the cost-aware LRU (a logical tick, not wall
+  /// time). Relaxed atomic so the server's lock-free readers may stamp
+  /// hits while an evicting writer reads — the stamp is a heuristic
+  /// input, and no ordering is derived from it.
+  void touch(std::uint64_t tick) {
+    last_use_.store(tick, std::memory_order_relaxed);
+  }
+  std::uint64_t last_use() const {
+    return last_use_.load(std::memory_order_relaxed);
+  }
+  /// The entry's rebuild price as the eviction policy sees it.
+  std::uint64_t cost_rounds() const { return build_rounds_ + repair_rounds_; }
+
  private:
   friend class HierarchyCache;
+  CacheEntry() = default;
+
   // The graph lives behind a stable address: the hierarchy points at it,
   // and a patch must keep the OLD graph alive while the repair runs
   // against the new one, then swap.
@@ -90,6 +139,7 @@ class CacheEntry {
   HierarchyParams params_;
   std::uint32_t repairs_ = 0;
   std::uint64_t repair_rounds_ = 0;
+  std::atomic<std::uint64_t> last_use_{0};
 };
 
 /// What building (and repairing) one (graph, params) key cost. Kept even
@@ -153,6 +203,15 @@ class HierarchyCache {
   void set_verify_every(std::uint32_t n) { verify_every_ = n; }
   std::uint32_t verify_every() const { return verify_every_; }
 
+  /// Bound the cache to `max_entries` (0 = unbounded, the default). When
+  /// an insert overflows the bound, the cost-aware LRU policy
+  /// (engine/eviction.hpp) evicts lowest rebuild-cost-per-idle-tick
+  /// first; the just-built entry is never the victim of its own insert.
+  /// Evicted entries keep their cost records.
+  void set_capacity(std::size_t max_entries);
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t evictions() const { return evictions_; }
+
   std::size_t size() const { return entries_.size(); }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
@@ -161,11 +220,15 @@ class HierarchyCache {
   using Key = std::pair<std::uint64_t, std::uint64_t>;  // (graph, params) fps
 
   void record_cost(const CacheEntry& e);
+  void evict_over_capacity(const Key& protect);
 
   std::map<Key, std::unique_ptr<CacheEntry>> entries_;
   std::vector<CostRecord> history_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::size_t capacity_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t tick_ = 0;
 #ifdef NDEBUG
   std::uint32_t verify_every_ = 0;
 #else

@@ -1,57 +1,12 @@
 #include "engine/query_engine.hpp"
 
-#include <algorithm>
-#include <chrono>
-#include <optional>
-#include <string>
+#include <utility>
 
-#include "congest/comm_graph.hpp"
 #include "obs/trace.hpp"
-#include "randwalk/walk_engine.hpp"
-#include "routing/clique_emulation.hpp"
-#include "routing/hierarchical_router.hpp"
-#include "sim/harness.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace amix {
-namespace {
-
-// Chains a per-query fault plan in front of the ambient instrument. The
-// plan's extra slots are invisible to an ambient auditor (it has no hook
-// for third-party slots), which is why fault_factory must not be combined
-// with an auditing/fault-injecting ambient chain — see the header.
-class FaultChain final : public congest::CongestInstrument {
- public:
-  FaultChain(sim::FaultPlan* plan, congest::CongestInstrument* next)
-      : plan_(plan), next_(next) {}
-
-  std::uint32_t on_token_move(const CommGraph& g, std::uint64_t arc) override {
-    std::uint32_t extra = plan_->extra_arc_slots(g, arc);
-    if (next_ != nullptr) extra += next_->on_token_move(g, arc);
-    return extra;
-  }
-  void on_step_commit(const CommGraph& g, std::uint32_t charged) override {
-    if (next_ != nullptr) next_->on_step_commit(g, charged);
-  }
-  bool on_kernel_deliver(NodeId from, NodeId to,
-                         std::uint64_t round) override {
-    const bool keep = plan_->deliver(from, to, round);
-    return (next_ == nullptr || next_->on_kernel_deliver(from, to, round)) &&
-           keep;
-  }
-  void on_kernel_round_order(std::uint64_t round,
-                             std::span<NodeId> order) override {
-    plan_->permute_order(round, order);
-    if (next_ != nullptr) next_->on_kernel_round_order(round, order);
-  }
-
- private:
-  sim::FaultPlan* plan_;
-  congest::CongestInstrument* next_;
-};
-
-}  // namespace
 
 std::uint32_t QueryEngine::submit(QuerySpec spec) {
   pending_.push_back(std::move(spec));
@@ -70,89 +25,12 @@ engine::HierarchyCache::PatchResult QueryEngine::apply_delta(
   return res;
 }
 
-QueryEngine::QueryExecution QueryEngine::run_one(
+engine::QueryExecution QueryEngine::run_one(
     const engine::CacheEntry& entry, const QuerySpec& spec,
     std::uint32_t index, congest::CongestInstrument* ambient) const {
-  QueryExecution ex;
-  QueryReport& rep = ex.report;
-  rep.kind = query_kind(spec);
-  rep.seed = spec.seed;
-  rep.label = spec.label.empty()
-                  ? std::string(query_kind_name(rep.kind)) + '-' +
-                        std::to_string(index)
-                  : spec.label;
-
-  // Per-query fault plan (private instance, private stream) chained in
-  // front of whatever is ambient.
-  std::unique_ptr<sim::FaultPlan> plan;
-  std::optional<FaultChain> chain;
-  congest::CongestInstrument* inner = ambient;
-  if (opt_.fault_factory) {
-    plan = opt_.fault_factory();
-    plan->reset(keyed_u64(opt_.fault_seed, spec.seed, 0));
-    chain.emplace(plan.get(), ambient);
-    inner = &*chain;
-  }
-
-  engine::GraphKeyResolver resolver(&entry.graph(), &entry.hierarchy());
-  engine::ScheduleProbe probe(resolver, inner, ex.schedule);
-  congest::ScopedInstrument scope(&probe);
-
-  RoundLedger ledger;
-  obs::Span span(ledger, obs::numbered("engine/query-", index));
-  sim::Digest digest;
-  const std::uint64_t qseed = query_seed(spec);
-  const auto t0 = std::chrono::steady_clock::now();
-
-  if (const auto* q = std::get_if<MstQuery>(&spec.op)) {
-    MstParams params = q->params;
-    params.seed = qseed;
-    HierarchicalBoruvka algo(entry.hierarchy(), q->weights);
-    MstStats s = algo.run(ledger, params);
-    std::vector<EdgeId> edges = s.edges;
-    std::sort(edges.begin(), edges.end());
-    digest.fold_range(edges);
-    rep.ok = entry.graph().num_nodes() == 0 ||
-             s.edges.size() + 1 == entry.graph().num_nodes();
-    rep.mst = std::move(s);
-  } else if (const auto* q = std::get_if<RouteQuery>(&spec.op)) {
-    HierarchicalRouter router(entry.hierarchy());
-    Rng rng(qseed);
-    RouteStats s = router.route_in_phases(q->requests, q->phases, ledger, rng);
-    digest.fold(s.packets);
-    digest.fold(s.delivered);
-    digest.fold(s.max_vid_load);
-    rep.ok = s.delivered == s.packets;
-    rep.route = std::move(s);
-  } else if (const auto* q = std::get_if<CliqueQuery>(&spec.op)) {
-    CliqueEmulator emu(entry.hierarchy());
-    Rng rng(qseed);
-    CliqueEmulationStats s = emu.emulate_round(ledger, rng, q->edge_expansion);
-    digest.fold(s.messages);
-    digest.fold(s.phases);
-    rep.ok = entry.graph().num_nodes() <= 1 || s.messages > 0;
-    rep.clique = s;
-  } else if (const auto* q = std::get_if<WalkQuery>(&spec.op)) {
-    BaseComm base(entry.graph());
-    ParallelWalkEngine walker(base, Rng(qseed));
-    WalkStats s;
-    const std::vector<std::uint32_t> ends =
-        walker.run(q->starts, q->kind, q->steps, ledger, &s);
-    digest.fold_range(ends);
-    rep.ok = ends.size() == q->starts.size();
-    rep.walks = s;
-  }
-
-  rep.wall_ns = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - t0)
-          .count());
-  rep.rounds = ledger.total();
-  rep.phases = ledger.phases();
-  rep.transport_rounds = ex.schedule.transport_base_rounds;
-  rep.token_moves = ex.schedule.token_slots;
-  rep.output_digest = digest.value();
-  return ex;
+  const engine::QueryFaults faults{&opt_.fault_factory, opt_.fault_seed};
+  return engine::execute_query(entry.graph(), entry.hierarchy(), spec, index,
+                               ambient, opt_.fault_factory ? &faults : nullptr);
 }
 
 BatchReport QueryEngine::run() {
@@ -170,7 +48,7 @@ BatchReport QueryEngine::run() {
   }
 
   const std::size_t n = pending_.size();
-  std::vector<QueryExecution> execs(n);
+  std::vector<engine::QueryExecution> execs(n);
   congest::CongestInstrument* ambient = congest::instrument();
   // Ambient instruments and recorders are stateful and thread-local:
   // capture serially on this thread so they observe every event, in a
@@ -195,22 +73,10 @@ BatchReport QueryEngine::run() {
                         });
   }
 
-  std::vector<engine::QuerySchedule> schedules;
-  schedules.reserve(n);
-  for (QueryExecution& ex : execs) {
-    out.standalone_query_rounds += ex.report.rounds;
-    out.standalone_transport_rounds += ex.schedule.transport_base_rounds;
-    schedules.push_back(std::move(ex.schedule));
+  engine::fold_batch(std::move(execs), out);
+  if (out.multiplexed_transport_rounds > 0) {
+    bledger.charge("engine/transport", out.multiplexed_transport_rounds);
   }
-
-  const engine::MultiplexStats mx = engine::multiplex(schedules);
-  out.multiplexed_transport_rounds = mx.rounds;
-  out.serialized_rounds =
-      out.standalone_query_rounds - out.standalone_transport_rounds;
-  out.merged_groups = mx.groups;
-  out.merged_shared_groups = mx.shared_groups;
-  out.merged_steps = mx.steps;
-  if (mx.rounds > 0) bledger.charge("engine/transport", mx.rounds);
   if (out.serialized_rounds > 0) {
     bledger.charge("engine/serialized", out.serialized_rounds);
   }
@@ -222,8 +88,6 @@ BatchReport QueryEngine::run() {
                                       out.multiplexed_transport_rounds +
                                       out.serialized_rounds);
 
-  out.queries.reserve(n);
-  for (QueryExecution& ex : execs) out.queries.push_back(std::move(ex.report));
   pending_.clear();
   ++epoch_;
   return out;

@@ -46,6 +46,7 @@
 #include <memory>
 #include <vector>
 
+#include "engine/execute.hpp"
 #include "engine/hierarchy_cache.hpp"
 #include "engine/query.hpp"
 #include "engine/report.hpp"
@@ -102,14 +103,11 @@ class QueryEngine {
   std::size_t pending() const { return pending_.size(); }
 
  private:
-  struct QueryExecution {
-    QueryReport report;
-    engine::QuerySchedule schedule;
-  };
-
-  QueryExecution run_one(const engine::CacheEntry& entry,
-                         const QuerySpec& spec, std::uint32_t index,
-                         congest::CongestInstrument* ambient) const;
+  /// Thin wrapper over engine::execute_query (the shared per-spec path)
+  /// that plugs in this engine's fault configuration.
+  engine::QueryExecution run_one(const engine::CacheEntry& entry,
+                                 const QuerySpec& spec, std::uint32_t index,
+                                 congest::CongestInstrument* ambient) const;
 
   const Graph* graph_;
   EngineOptions opt_;

@@ -1,0 +1,138 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace amix::server {
+
+namespace {
+
+bool fail(std::string* err, std::string msg) {
+  if (err != nullptr) *err = std::move(msg);
+  return false;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), inbuf_(std::move(other.inbuf_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    inbuf_ = std::move(other.inbuf_);
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inbuf_.clear();
+}
+
+bool Client::connect_to(std::uint16_t port, std::string* err) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return fail(err, std::string("socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const std::string msg = std::string("connect: ") + std::strerror(errno);
+    close();
+    return fail(err, msg);
+  }
+  return true;
+}
+
+bool Client::send_raw(const std::string& bytes, std::string* err) {
+  if (fd_ < 0) return fail(err, "not connected");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail(err, std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Client::read_line(std::string* line, std::string* err) {
+  for (;;) {
+    if (const auto pos = inbuf_.find('\n'); pos != std::string::npos) {
+      line->assign(inbuf_, 0, pos);
+      inbuf_.erase(0, pos + 1);
+      return true;
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n == 0) return fail(err, "connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail(err, std::string("recv: ") + std::strerror(errno));
+    }
+    inbuf_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+bool Client::read_exact(std::size_t n, std::string* out, std::string* err) {
+  while (inbuf_.size() < n) {
+    char buf[4096];
+    const ssize_t r = ::recv(fd_, buf, sizeof buf, 0);
+    if (r == 0) return fail(err, "connection closed mid-body");
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return fail(err, std::string("recv: ") + std::strerror(errno));
+    }
+    inbuf_.append(buf, static_cast<std::size_t>(r));
+  }
+  out->assign(inbuf_, 0, n);
+  inbuf_.erase(0, n);
+  return true;
+}
+
+bool Client::read_response(ResponseHeader* resp, std::string* body,
+                           std::string* err) {
+  if (fd_ < 0) return fail(err, "not connected");
+  std::string line;
+  if (!read_line(&line, err)) return false;
+  std::string perr;
+  if (!parse_response_header(line, resp, &perr)) return fail(err, perr);
+  if (!resp->ok) return true;  // typed error: no body follows
+  if (!read_exact(resp->body_bytes, body, err)) return false;
+  std::string nl;
+  if (!read_exact(1, &nl, err)) return false;
+  if (nl != "\n") return fail(err, "missing body terminator");
+  return true;
+}
+
+bool Client::request(const RequestHeader& hdr,
+                     const std::vector<std::string>& body_lines,
+                     ResponseHeader* resp, std::string* body,
+                     std::string* err) {
+  RequestHeader h = hdr;
+  h.lines = static_cast<std::uint32_t>(body_lines.size());
+  std::string wire = format_request_header(h) + "\n";
+  for (const std::string& line : body_lines) wire += line + "\n";
+  if (!send_raw(wire, err)) return false;
+  return read_response(resp, body, err);
+}
+
+}  // namespace amix::server

@@ -1,0 +1,53 @@
+#pragma once
+
+// Blocking amixd client: one TCP connection, request/response in lock
+// step. Used by `amixctl client`, the protocol tests, the soak test and
+// the server load bench — anything that talks to a live daemon.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hpp"
+
+namespace amix::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connect to 127.0.0.1:port (amixd is loopback-only). False => *err.
+  bool connect_to(std::uint16_t port, std::string* err);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// One request/response round trip. Returns false ONLY on transport
+  /// failure (connect/send/recv/parse); a typed server error is a
+  /// successful round trip with resp->ok == false. On ok, *body holds
+  /// exactly resp->body_bytes bytes of JSON.
+  bool request(const RequestHeader& hdr,
+               const std::vector<std::string>& body_lines,
+               ResponseHeader* resp, std::string* body, std::string* err);
+
+  /// Raw-wire escape hatch for protocol-robustness tests: send exactly
+  /// `bytes` (malformed, truncated, oversized — whatever the test
+  /// needs), no framing added.
+  bool send_raw(const std::string& bytes, std::string* err);
+  /// Read one response line + body (if ok) after send_raw.
+  bool read_response(ResponseHeader* resp, std::string* body,
+                     std::string* err);
+
+ private:
+  bool read_line(std::string* line, std::string* err);
+  bool read_exact(std::size_t n, std::string* out, std::string* err);
+
+  int fd_ = -1;
+  std::string inbuf_;
+};
+
+}  // namespace amix::server

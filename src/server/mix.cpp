@@ -1,0 +1,69 @@
+#include "server/mix.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "routing/request.hpp"
+#include "util/rng.hpp"
+
+namespace amix::server {
+
+MixParse parse_mix_line(const Graph& g, const Weights* w,
+                        const std::string& line, std::uint64_t lineno,
+                        std::uint64_t spec_seed, QuerySpec* out,
+                        std::string* err) {
+  std::string body = line;
+  if (const auto hash = body.find('#'); hash != std::string::npos) {
+    body.erase(hash);
+  }
+  std::istringstream ls(body);
+  std::string kind;
+  if (!(ls >> kind)) return MixParse::kBlank;
+
+  QuerySpec spec;
+  spec.seed = spec_seed;
+  Rng rng(spec.seed);
+  if (kind == "mst") {
+    spec.op = MstQuery{w != nullptr ? *w : distinct_random_weights(g, rng),
+                       MstParams{}};
+    spec.label = "mst@" + std::to_string(lineno);
+  } else if (kind == "route") {
+    std::string inst = "perm";
+    ls >> inst;
+    std::uint32_t phases = 1;
+    ls >> phases;
+    std::vector<RouteRequest> reqs;
+    if (inst == "perm") {
+      reqs = permutation_instance(g, rng);
+    } else if (inst == "demand") {
+      reqs = degree_demand_instance(g, rng);
+    } else if (inst == "a2a") {
+      reqs = all_to_all_instance(g);
+    } else {
+      if (err != nullptr) *err = "unknown route instance '" + inst + "'";
+      return MixParse::kError;
+    }
+    spec.op = RouteQuery{std::move(reqs), phases};
+    spec.label = "route-" + inst + "@" + std::to_string(lineno);
+  } else if (kind == "clique") {
+    spec.op = CliqueQuery{};
+    spec.label = "clique@" + std::to_string(lineno);
+  } else if (kind == "walks") {
+    std::uint32_t count = g.num_nodes();
+    std::uint32_t steps = 8;
+    ls >> count >> steps;
+    std::vector<std::uint32_t> starts(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      starts[i] = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    }
+    spec.op = WalkQuery{std::move(starts), WalkKind::kLazy, steps};
+    spec.label = "walks@" + std::to_string(lineno);
+  } else {
+    if (err != nullptr) *err = "unknown query kind '" + kind + "'";
+    return MixParse::kError;
+  }
+  *out = std::move(spec);
+  return MixParse::kQuery;
+}
+
+}  // namespace amix::server

@@ -1,0 +1,53 @@
+#pragma once
+
+// The workload-mix grammar as a library.
+//
+// One query per line, '#' starts a comment, blank lines are skipped:
+//
+//   mst
+//   route perm|demand|a2a [phases]
+//   clique
+//   walks [count] [steps]
+//
+// This grammar is both amixctl's mix-file format AND the amixd wire
+// format (a query request's body is mix lines, see server/protocol.hpp),
+// so parsing lives here, shared by the workload subcommand, the daemon,
+// and the client's serial-replay verifier — one grammar, one parser.
+//
+// Seeding stays with the caller: each parsed query runs with the
+// `spec_seed` the caller supplies (amixctl workload keys it by line
+// number, the server by the tenant's (session_seed, call index) — the
+// determinism contract of DESIGN.md §14). ALL of a line's instance
+// randomness (MST weights when the graph has none, route endpoints, walk
+// starts) derives from that seed alone, so a spec is reproducible from
+// (graph, line, seed) regardless of who parsed it.
+//
+// Unlike the original amixctl-internal parser this one REPORTS errors
+// instead of aborting — a daemon must answer a malformed line with a
+// typed error, not die.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/query.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace amix::server {
+
+enum class MixParse : std::uint8_t {
+  kQuery,  // *out is a parsed spec
+  kBlank,  // comment / blank line, nothing parsed
+  kError,  // malformed; *err names the problem
+};
+
+/// Parse one mix line against `g` (weights `w` may be null: mst lines
+/// then draw distinct random weights from the spec seed). `lineno` only
+/// labels the spec ("mst@3"); `spec_seed` is the seed the query will run
+/// with.
+MixParse parse_mix_line(const Graph& g, const Weights* w,
+                        const std::string& line, std::uint64_t lineno,
+                        std::uint64_t spec_seed, QuerySpec* out,
+                        std::string* err);
+
+}  // namespace amix::server

@@ -1,0 +1,256 @@
+#include "server/protocol.hpp"
+
+#include <array>
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+namespace amix::server {
+namespace {
+
+struct CodeName {
+  ErrorCode code;
+  std::string_view name;
+};
+
+constexpr std::array<CodeName, 8> kCodeNames{{
+    {ErrorCode::kBadRequest, "bad-request"},
+    {ErrorCode::kTooLarge, "too-large"},
+    {ErrorCode::kUnknownGraph, "unknown-graph"},
+    {ErrorCode::kOverloaded, "overloaded"},
+    {ErrorCode::kTenantOverloaded, "tenant-overloaded"},
+    {ErrorCode::kTimeout, "timeout"},
+    {ErrorCode::kShuttingDown, "shutting-down"},
+    {ErrorCode::kInternal, "internal"},
+}};
+
+std::vector<std::string_view> split_ws(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (j > i) tokens.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t* out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+bool valid_name(std::string_view name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool fail(std::string* err, std::string msg) {
+  if (err != nullptr) *err = std::move(msg);
+  return false;
+}
+
+/// Quote `msg` for the wire: one line, '"'-delimited, with '\\', '"'
+/// and control bytes escaped so the error line stays parseable.
+std::string quote(std::string_view msg) {
+  std::string out = "\"";
+  for (const char c : msg) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += '?';
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+bool unquote(std::string_view text, std::string* out) {
+  if (text.size() < 2 || text.front() != '"' || text.back() != '"') {
+    return false;
+  }
+  text = text.substr(1, text.size() - 2);
+  out->clear();
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\') {
+      *out += text[i];
+      continue;
+    }
+    if (++i == text.size()) return false;
+    switch (text[i]) {
+      case '"': *out += '"'; break;
+      case '\\': *out += '\\'; break;
+      case 'n': *out += '\n'; break;
+      case 'r': *out += '\r'; break;
+      case 't': *out += '\t'; break;
+      default: return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+  for (const CodeName& cn : kCodeNames) {
+    if (cn.code == code) return cn.name.data();
+  }
+  return "internal";
+}
+
+bool parse_error_code(std::string_view name, ErrorCode* out) {
+  for (const CodeName& cn : kCodeNames) {
+    if (cn.name == name) {
+      *out = cn.code;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_request_header(std::string_view line, RequestHeader* out,
+                          std::string* err) {
+  const auto tokens = split_ws(line);
+  if (tokens.size() < 2) return fail(err, "header needs 'amix/1 <verb>'");
+  if (tokens[0] != kProtoTag) {
+    return fail(err, "unknown protocol tag '" + std::string(tokens[0]) + "'");
+  }
+  RequestHeader h;
+  if (tokens[1] == "query") {
+    h.verb = Verb::kQuery;
+  } else if (tokens[1] == "mutate") {
+    h.verb = Verb::kMutate;
+  } else if (tokens[1] == "ping") {
+    h.verb = Verb::kPing;
+  } else if (tokens[1] == "stats") {
+    h.verb = Verb::kStats;
+  } else {
+    return fail(err, "unknown verb '" + std::string(tokens[1]) + "'");
+  }
+
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const std::string_view tok = tokens[i];
+    const auto eq = tok.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return fail(err, "expected key=value, got '" + std::string(tok) + "'");
+    }
+    const std::string_view key = tok.substr(0, eq);
+    const std::string_view val = tok.substr(eq + 1);
+    if (key == "graph" || key == "tenant") {
+      if (!valid_name(val)) {
+        return fail(err, std::string(key) + " must be [A-Za-z0-9_.-]{1,64}");
+      }
+      (key == "graph" ? h.graph : h.tenant) = std::string(val);
+      continue;
+    }
+    std::uint64_t num = 0;
+    if (!parse_u64(val, &num)) {
+      return fail(err, "bad integer for " + std::string(key));
+    }
+    if (key == "seed") {
+      h.seed = num;
+    } else if (key == "base") {
+      h.base = num;
+    } else if (key == "lines") {
+      if (num > 0xffffffffULL) return fail(err, "lines out of range");
+      h.lines = static_cast<std::uint32_t>(num);
+    } else if (key == "threads") {
+      // Advisory (the server schedules per-connection, not per-request);
+      // accepted so clients can pass their --threads flag through.
+    } else {
+      return fail(err, "unknown header key '" + std::string(key) + "'");
+    }
+  }
+
+  if ((h.verb == Verb::kQuery || h.verb == Verb::kMutate) && h.graph.empty()) {
+    return fail(err, std::string(tokens[1]) + " requires graph=<name>");
+  }
+  *out = std::move(h);
+  return true;
+}
+
+std::string format_request_header(const RequestHeader& h) {
+  std::ostringstream os;
+  os << kProtoTag << ' ';
+  switch (h.verb) {
+    case Verb::kQuery: os << "query"; break;
+    case Verb::kMutate: os << "mutate"; break;
+    case Verb::kPing: os << "ping"; break;
+    case Verb::kStats: os << "stats"; break;
+  }
+  if (!h.graph.empty()) os << " graph=" << h.graph;
+  if (h.tenant != "default") os << " tenant=" << h.tenant;
+  if (h.verb == Verb::kQuery) os << " seed=" << h.seed << " base=" << h.base;
+  if (h.verb == Verb::kQuery || h.verb == Verb::kMutate) {
+    os << " lines=" << h.lines;
+  }
+  return os.str();
+}
+
+std::string format_ok_header(std::size_t body_bytes) {
+  std::ostringstream os;
+  os << kProtoTag << " ok bytes=" << body_bytes;
+  return os.str();
+}
+
+std::string format_error(ErrorCode code, std::string_view msg) {
+  std::ostringstream os;
+  os << kProtoTag << " err code=" << error_code_name(code)
+     << " msg=" << quote(msg);
+  return os.str();
+}
+
+bool parse_response_header(std::string_view line, ResponseHeader* out,
+                           std::string* err) {
+  ResponseHeader h;
+  const auto tokens = split_ws(line);
+  if (tokens.size() < 2 || tokens[0] != kProtoTag) {
+    return fail(err, "not an amix/1 response: '" + std::string(line) + "'");
+  }
+  if (tokens[1] == "ok") {
+    h.ok = true;
+    if (tokens.size() != 3 || tokens[2].substr(0, 6) != "bytes=") {
+      return fail(err, "ok header needs bytes=<n>");
+    }
+    std::uint64_t n = 0;
+    if (!parse_u64(tokens[2].substr(6), &n)) {
+      return fail(err, "bad bytes count");
+    }
+    h.body_bytes = static_cast<std::size_t>(n);
+    *out = std::move(h);
+    return true;
+  }
+  if (tokens[1] != "err") {
+    return fail(err, "response verb must be ok|err");
+  }
+  if (tokens.size() < 3 || tokens[2].substr(0, 5) != "code=" ||
+      !parse_error_code(tokens[2].substr(5), &h.code)) {
+    return fail(err, "err header needs code=<known-code>");
+  }
+  // msg="..." may contain spaces: take everything after ' msg=' verbatim.
+  if (const auto pos = line.find(" msg="); pos != std::string_view::npos) {
+    if (!unquote(line.substr(pos + 5), &h.error_msg)) {
+      return fail(err, "unparseable err msg");
+    }
+  }
+  *out = std::move(h);
+  return true;
+}
+
+}  // namespace amix::server

@@ -1,0 +1,106 @@
+#pragma once
+
+// The amixd wire protocol: line-oriented, plain TCP, version-tagged.
+//
+// A request is one header line followed by `lines` body lines; a
+// response is one header line followed (on success) by a JSON body of
+// exactly `bytes` bytes plus a trailing newline:
+//
+//   -> amix/1 query graph=g0 tenant=acme seed=7 base=12 lines=3\n
+//      mst\n
+//      route perm\n
+//      walks 64 8\n
+//   <- amix/1 ok bytes=412\n
+//      {...412 bytes of JSON...}\n
+//
+//   -> amix/1 mutate graph=g0 tenant=acme lines=2\n
+//      insert 3 9\n
+//      delete 0 1\n
+//   <- amix/1 ok bytes=96\n
+//      {...}\n
+//
+//   -> amix/1 ping\n            <- amix/1 ok bytes=2\n{}\n
+//   -> amix/1 stats\n           <- amix/1 ok bytes=...\n{...}\n
+//
+// Errors are TYPED, single-line, and never followed by a body:
+//
+//   <- amix/1 err code=tenant-overloaded msg="tenant 'acme' at ..."\n
+//
+// Query bodies reuse the amixctl mix-file grammar verbatim (server/mix.hpp);
+// mutate bodies are `insert <u> <v>` / `delete <u> <v>` lines.
+//
+// Determinism contract (DESIGN.md §14): query line i of a request runs
+// with spec seed Session::call_seed(seed, base + i) — the SAME derivation
+// an in-process Session uses for its call stream — so every per-request
+// QueryReport is byte-identical to a serial replay of the same
+// (session_seed, call index) against the same graph content. The
+// response echoes graph_fp so a replayer can prove it held the same
+// topology.
+//
+// Header values: graph/tenant names are [A-Za-z0-9_.-]{1,64}; integers
+// are decimal u64. Unknown keys are an error (fail loud, not silently
+// ignore a typo'd limit).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace amix::server {
+
+inline constexpr std::string_view kProtoTag = "amix/1";
+
+enum class Verb : std::uint8_t { kQuery, kMutate, kPing, kStats };
+
+enum class ErrorCode : std::uint8_t {
+  kBadRequest,        // malformed header / body line / unknown key
+  kTooLarge,          // over Limits (line length, line count, body bytes)
+  kUnknownGraph,      // graph= names nothing the server serves
+  kOverloaded,        // global admission queue full: request was shed
+  kTenantOverloaded,  // per-tenant in-flight bound hit: request was shed
+  kTimeout,           // peer stopped making progress (read or write side)
+  kShuttingDown,      // server is draining
+  kInternal,          // anything else; the daemon logs details
+};
+
+const char* error_code_name(ErrorCode code);  // kebab-case wire token
+bool parse_error_code(std::string_view name, ErrorCode* out);
+
+struct RequestHeader {
+  Verb verb = Verb::kPing;
+  std::string graph;              // query/mutate: required
+  std::string tenant = "default";
+  std::uint64_t seed = 1;         // query: session seed root
+  std::uint64_t base = 0;         // query: call index of body line 0
+  std::uint32_t lines = 0;        // body line count
+};
+
+/// Hard ceilings a connection may not exceed; crossing one is a typed
+/// `too-large` error (and usually a close — framing can no longer be
+/// trusted).
+struct Limits {
+  std::size_t max_line_bytes = 4096;    // header or body line, incl. '\n'
+  std::uint32_t max_lines = 4096;       // body lines per request
+};
+
+/// Parse one request header line (no trailing newline). False => *err.
+bool parse_request_header(std::string_view line, RequestHeader* out,
+                          std::string* err);
+std::string format_request_header(const RequestHeader& h);
+
+/// Response headers.
+std::string format_ok_header(std::size_t body_bytes);
+std::string format_error(ErrorCode code, std::string_view msg);
+
+struct ResponseHeader {
+  bool ok = false;
+  std::size_t body_bytes = 0;   // when ok
+  ErrorCode code = ErrorCode::kInternal;
+  std::string error_msg;        // when !ok
+};
+
+/// Parse one response header line (no trailing newline). False only on a
+/// line that is not a well-formed amix/1 response at all.
+bool parse_response_header(std::string_view line, ResponseHeader* out,
+                           std::string* err);
+
+}  // namespace amix::server

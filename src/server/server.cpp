@@ -1,0 +1,587 @@
+#include "server/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "congest/instrument.hpp"
+#include "engine/execute.hpp"
+#include "engine/session.hpp"
+#include "server/mix.hpp"
+
+namespace amix::server {
+
+namespace {
+constexpr int kPollSliceMs = 100;  // stop-flag check granularity
+}
+
+/// One worker-owned connection: a non-blocking fd plus a line buffer.
+/// Every operation polls with a progress deadline, so a stalled peer
+/// (half-sent request, unread response) costs at most io_timeout_ms.
+class Conn {
+ public:
+  enum class Read : std::uint8_t {
+    kLine,     // *line filled (newline stripped)
+    kEof,      // peer closed cleanly at a line boundary
+    kTimeout,  // no progress within the deadline
+    kTooLong,  // line exceeds Limits::max_line_bytes: framing is lost
+    kStopped,  // idle and the server is draining
+    kError,    // transport error
+  };
+
+  Conn(int fd, const Limits& limits, int timeout_ms,
+       const std::atomic<bool>& stopping)
+      : fd_(fd), limits_(limits), timeout_ms_(timeout_ms),
+        stopping_(stopping) {
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  }
+  ~Conn() { ::close(fd_); }
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  /// Read one '\n'-terminated line. With `idle` (waiting for the next
+  /// request header with an empty buffer) the wait also watches the
+  /// server's stop flag.
+  Read read_line(std::string* line, bool idle) {
+    int waited_ms = 0;
+    for (;;) {
+      if (const auto pos = inbuf_.find('\n'); pos != std::string::npos) {
+        if (pos + 1 > limits_.max_line_bytes) return Read::kTooLong;
+        line->assign(inbuf_, 0, pos);
+        inbuf_.erase(0, pos + 1);
+        return Read::kLine;
+      }
+      if (inbuf_.size() >= limits_.max_line_bytes) return Read::kTooLong;
+      if (idle && inbuf_.empty() &&
+          stopping_.load(std::memory_order_relaxed)) {
+        return Read::kStopped;
+      }
+      if (waited_ms >= timeout_ms_) return Read::kTimeout;
+
+      pollfd p{fd_, POLLIN, 0};
+      const int pr = ::poll(&p, 1, kPollSliceMs);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return Read::kError;
+      }
+      if (pr == 0) {
+        waited_ms += kPollSliceMs;
+        continue;
+      }
+      char buf[4096];
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n == 0) return inbuf_.empty() ? Read::kEof : Read::kError;
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+          continue;
+        }
+        return Read::kError;
+      }
+      inbuf_.append(buf, static_cast<std::size_t>(n));
+      waited_ms = 0;  // progress resets the deadline
+    }
+  }
+
+  /// Write everything or fail; timed_out() says whether the failure was
+  /// a peer that stopped reading.
+  bool write_all(std::string_view data) {
+    std::size_t off = 0;
+    int waited_ms = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        waited_ms = 0;
+        continue;
+      }
+      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+          errno != EINTR) {
+        return false;
+      }
+      if (waited_ms >= timeout_ms_) {
+        timed_out_ = true;
+        return false;
+      }
+      pollfd p{fd_, POLLOUT, 0};
+      if (::poll(&p, 1, kPollSliceMs) < 0 && errno != EINTR) return false;
+      waited_ms += kPollSliceMs;
+    }
+    return true;
+  }
+
+  bool timed_out() const { return timed_out_; }
+
+ private:
+  int fd_;
+  Limits limits_;
+  int timeout_ms_;
+  const std::atomic<bool>& stopping_;
+  std::string inbuf_;
+  bool timed_out_ = false;
+};
+
+namespace {
+
+/// Best-effort single-shot error on a socket we are about to close
+/// (shed paths — never block the accept loop for a victim).
+void shed_notice(int fd, ErrorCode code, std::string_view msg) {
+  const std::string line = format_error(code, msg) + "\n";
+  (void)::send(fd, line.data(), line.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opt)
+    : opt_(std::move(opt)), cache_(opt_.hierarchy, opt_.cache_capacity) {}
+
+Server::~Server() { shutdown(); }
+
+void Server::register_graph(const std::string& name, Graph g,
+                            std::optional<Weights> w) {
+  cache_.register_graph(name, std::move(g), std::move(w));
+}
+
+bool Server::start(std::string* err) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    if (err != nullptr) *err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opt_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0 ||
+      ::listen(listen_fd_, 128) < 0) {
+    if (err != nullptr) *err = std::string("bind: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  running_ = true;
+  accept_thread_ = std::thread(&Server::accept_loop, this);
+  const std::size_t n = opt_.workers > 0 ? opt_.workers : 1;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back(&Server::worker_loop, this);
+  }
+  return true;
+}
+
+void Server::shutdown() {
+  std::lock_guard guard(shutdown_mu_);
+  if (!running_) return;
+  stopping_ = true;
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // Workers drain the queue before exiting, but a worker that saw the
+  // queue empty may have exited before the accept thread's final push.
+  for (const int fd : queue_) {
+    shed_notice(fd, ErrorCode::kShuttingDown, "server is draining");
+    ::close(fd);
+  }
+  queue_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_ = false;
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&p, 1, kPollSliceMs);
+    if (pr <= 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    bool enqueued = false;
+    {
+      std::lock_guard lock(queue_mu_);
+      if (stopping_) {
+        shed_notice(fd, ErrorCode::kShuttingDown, "server is draining");
+        ::close(fd);
+        continue;
+      }
+      if (queue_.size() >= opt_.queue_capacity) {
+        // Shed, never block: the accept loop's only job is to keep the
+        // listen backlog drained and answer overload with a typed error.
+        shed_overloaded_.fetch_add(1, std::memory_order_relaxed);
+        shed_notice(fd, ErrorCode::kOverloaded, "connection queue full");
+        ::close(fd);
+      } else {
+        queue_.push_back(fd);
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        enqueued = true;
+      }
+    }
+    if (enqueued) queue_cv_.notify_one();
+  }
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_relaxed) || !queue_.empty();
+      });
+      if (queue_.empty()) return;  // stopping and drained
+      fd = queue_.front();
+      queue_.pop_front();
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      // Draining: queued-but-unserved connections are answered, not
+      // served.
+      shed_notice(fd, ErrorCode::kShuttingDown, "server is draining");
+      ::close(fd);
+      continue;
+    }
+    serve_connection(fd);
+  }
+}
+
+void Server::serve_connection(int fd) {
+  Conn conn(fd, opt_.limits, opt_.io_timeout_ms, stopping_);
+  for (;;) {
+    std::string line;
+    switch (conn.read_line(&line, /*idle=*/true)) {
+      case Conn::Read::kLine: break;
+      case Conn::Read::kStopped:
+        conn.write_all(format_error(ErrorCode::kShuttingDown,
+                                    "server is draining") + "\n");
+        return;
+      case Conn::Read::kTooLong:
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        conn.write_all(format_error(ErrorCode::kTooLarge,
+                                    "header line too long") + "\n");
+        return;
+      case Conn::Read::kTimeout:
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        return;  // idle or mid-line stall: quiet close
+      case Conn::Read::kEof:
+      case Conn::Read::kError:
+        return;
+    }
+
+    RequestHeader hdr;
+    std::string perr;
+    if (!parse_request_header(line, &hdr, &perr)) {
+      // A malformed header leaves the body length unknown, so framing is
+      // lost: answer and close.
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      conn.write_all(format_error(ErrorCode::kBadRequest, perr) + "\n");
+      return;
+    }
+    if (!serve_request(conn, hdr)) return;
+    if (stopping_.load(std::memory_order_relaxed)) return;
+  }
+}
+
+bool Server::serve_request(Conn& conn, const RequestHeader& hdr) {
+  if (hdr.lines > opt_.limits.max_lines) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    conn.write_all(format_error(ErrorCode::kTooLarge,
+                                "lines exceeds max_lines") + "\n");
+    return false;  // refusing to read the body loses framing
+  }
+
+  // Admission happens at header time, BEFORE the body is read: a tenant
+  // holds its in-flight slot for the whole request (including a stalled
+  // body upload, bounded by the IO deadline), and an over-limit tenant
+  // is shed immediately with a typed error instead of queueing.
+  const bool needs_admission =
+      hdr.verb == Verb::kQuery || hdr.verb == Verb::kMutate;
+  if (needs_admission && !tenant_acquire(hdr.tenant)) {
+    shed_tenant_.fetch_add(1, std::memory_order_relaxed);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    conn.write_all(format_error(ErrorCode::kTenantOverloaded,
+                                "tenant '" + hdr.tenant +
+                                    "' at in-flight limit") + "\n");
+    return false;  // the unread body cannot be reframed: close
+  }
+
+  std::vector<std::string> body;
+  body.reserve(hdr.lines);
+  for (std::uint32_t i = 0; i < hdr.lines; ++i) {
+    std::string bline;
+    switch (conn.read_line(&bline, /*idle=*/false)) {
+      case Conn::Read::kLine:
+        body.push_back(std::move(bline));
+        continue;
+      case Conn::Read::kTooLong:
+        if (needs_admission) tenant_release(hdr.tenant, 0, 0);
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        conn.write_all(format_error(ErrorCode::kTooLarge,
+                                    "body line too long") + "\n");
+        return false;
+      case Conn::Read::kTimeout:
+        if (needs_admission) tenant_release(hdr.tenant, 0, 0);
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        conn.write_all(format_error(ErrorCode::kTimeout,
+                                    "request body stalled") + "\n");
+        return false;
+      default:  // kEof mid-body, kError, kStopped (not idle)
+        if (needs_admission) tenant_release(hdr.tenant, 0, 0);
+        return false;
+    }
+  }
+
+  std::string ok_body;
+  ErrorCode code = ErrorCode::kInternal;
+  std::string emsg;
+  std::uint64_t queries = 0;
+  std::uint64_t rounds = 0;
+  switch (hdr.verb) {
+    case Verb::kPing:
+      ok_body = "{}";
+      break;
+    case Verb::kStats:
+      ok_body = run_stats();
+      break;
+    case Verb::kQuery: {
+      const std::shared_ptr<const GraphState> gs = cache_.graph(hdr.graph);
+      if (gs == nullptr) {
+        code = ErrorCode::kUnknownGraph;
+        emsg = "no graph named '" + hdr.graph + "'";
+      } else {
+        ok_body = run_query(hdr, *gs, body, &queries, &rounds, &code, &emsg);
+      }
+      tenant_release(hdr.tenant, queries, rounds);
+      break;
+    }
+    case Verb::kMutate:
+      ok_body = run_mutate(hdr, body, &rounds, &code, &emsg);
+      tenant_release(hdr.tenant, 0, rounds);
+      break;
+  }
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (ok_body.empty()) {
+    if (code == ErrorCode::kBadRequest || code == ErrorCode::kUnknownGraph) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Body fully consumed: framing is intact, the connection survives a
+    // typed error and may send its next request.
+    return conn.write_all(format_error(code, emsg) + "\n");
+  }
+  const std::string resp =
+      format_ok_header(ok_body.size()) + "\n" + ok_body + "\n";
+  if (!conn.write_all(resp)) {
+    if (conn.timed_out()) timeouts_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+bool Server::tenant_acquire(const std::string& tenant) {
+  std::lock_guard lock(tenants_mu_);
+  Tenant& t = tenants_[tenant];
+  if (opt_.tenant_inflight != 0 && t.inflight >= opt_.tenant_inflight) {
+    ++t.stats.shed;
+    return false;
+  }
+  ++t.inflight;
+  ++t.stats.requests;
+  return true;
+}
+
+void Server::tenant_release(const std::string& tenant, std::uint64_t queries,
+                            std::uint64_t rounds) {
+  std::lock_guard lock(tenants_mu_);
+  Tenant& t = tenants_[tenant];
+  --t.inflight;
+  t.stats.queries += queries;
+  t.stats.rounds += rounds;
+}
+
+std::string Server::run_query(const RequestHeader& hdr, const GraphState& gs,
+                              const std::vector<std::string>& body,
+                              std::uint64_t* queries, std::uint64_t* rounds,
+                              ErrorCode* code, std::string* err) {
+  // Parse every line before building anything: cheap errors come first.
+  // Body line i is session call base+i — its seed, its instance
+  // randomness, and its label all derive from that index, which is the
+  // whole determinism contract (blank lines consume an index and produce
+  // no query).
+  std::vector<std::pair<std::uint32_t, QuerySpec>> specs;
+  for (std::uint32_t i = 0; i < body.size(); ++i) {
+    QuerySpec spec;
+    std::string perr;
+    const Weights* w = gs.weights ? &*gs.weights : nullptr;
+    const MixParse mp = parse_mix_line(
+        gs.graph, w, body[i], hdr.base + i,
+        Session::call_seed(hdr.seed, hdr.base + i), &spec, &perr);
+    if (mp == MixParse::kError) {
+      *code = ErrorCode::kBadRequest;
+      *err = "body line " + std::to_string(i) + ": " + perr;
+      return {};
+    }
+    if (mp == MixParse::kQuery) specs.emplace_back(i, std::move(spec));
+  }
+  if (specs.empty()) {
+    *code = ErrorCode::kBadRequest;
+    *err = "query request has no query lines";
+    return {};
+  }
+
+  const SharedHierarchyCache::Lookup lk = cache_.get_or_build(gs);
+  const engine::QueryFaults faults{&opt_.fault_factory, opt_.fault_seed};
+  const engine::QueryFaults* fp = opt_.fault_factory ? &faults : nullptr;
+  std::vector<engine::QueryExecution> execs;
+  execs.reserve(specs.size());
+  for (const auto& [index, spec] : specs) {
+    execs.push_back(engine::execute_query(lk.entry->graph(),
+                                          lk.entry->hierarchy(), spec, index,
+                                          congest::instrument(), fp));
+  }
+  BatchReport b;
+  engine::fold_batch(std::move(execs), b);
+
+  const std::uint64_t build = lk.built ? lk.entry->build_rounds() : 0;
+  const std::uint64_t batch_rounds =
+      b.multiplexed_transport_rounds + b.serialized_rounds;
+  *queries = specs.size();
+  *rounds = build + batch_rounds;
+
+  // Everything from "batch_rounds" on is a pure function of
+  // (graph content, params, seed, base, body): the replayable tail the
+  // client's --verify compares byte-for-byte. cache_hit/build_rounds
+  // come first because they legitimately differ between a cold and a
+  // warm request.
+  std::ostringstream os;
+  os << "{\"graph\":\"" << hdr.graph << "\",\"tenant\":\"" << hdr.tenant
+     << "\",\"graph_fp\":" << gs.fp << ",\"cache_hit\":" << (lk.built ? 0 : 1)
+     << ",\"build_rounds\":" << build << ",\"batch_rounds\":" << batch_rounds
+     << ",\"multiplexed_transport_rounds\":" << b.multiplexed_transport_rounds
+     << ",\"serialized_rounds\":" << b.serialized_rounds
+     << ",\"standalone_query_rounds\":" << b.standalone_query_rounds
+     << ",\"queries\":[";
+  for (std::size_t i = 0; i < b.queries.size(); ++i) {
+    if (i != 0) os << ',';
+    b.queries[i].to_json(os);
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Server::run_mutate(const RequestHeader& hdr,
+                               const std::vector<std::string>& body,
+                               std::uint64_t* rounds, ErrorCode* code,
+                               std::string* err) {
+  GraphDelta delta;
+  delta.reserve(body.size());
+  for (std::uint32_t i = 0; i < body.size(); ++i) {
+    std::istringstream ls(body[i]);
+    std::string op;
+    if (!(ls >> op)) continue;  // blank mutate lines are no-ops
+    EdgeDelta d;
+    if (op == "insert") {
+      d.insert = true;
+    } else if (op == "delete") {
+      d.insert = false;
+    } else {
+      *code = ErrorCode::kBadRequest;
+      *err = "body line " + std::to_string(i) +
+             ": expected insert|delete <u> <v>";
+      return {};
+    }
+    if (!(ls >> d.u >> d.v)) {
+      *code = ErrorCode::kBadRequest;
+      *err = "body line " + std::to_string(i) + ": bad endpoints";
+      return {};
+    }
+    delta.push_back(d);
+  }
+
+  const SharedHierarchyCache::MutateResult res =
+      cache_.mutate(hdr.graph, delta);
+  if (!res.ok) {
+    *code = ErrorCode::kUnknownGraph;
+    *err = res.error;
+    return {};
+  }
+  *rounds = res.repair_rounds;
+  std::ostringstream os;
+  os << "{\"graph\":\"" << hdr.graph << "\",\"old_fp\":" << res.old_fp
+     << ",\"new_fp\":" << res.new_fp << ",\"noop\":" << (res.noop ? 1 : 0)
+     << ",\"patched\":" << (res.patched ? 1 : 0)
+     << ",\"dropped_busy\":" << (res.dropped_busy ? 1 : 0)
+     << ",\"dropped_fallback\":" << (res.dropped_fallback ? 1 : 0)
+     << ",\"oracle_checked\":" << (res.oracle_checked ? 1 : 0)
+     << ",\"repair_rounds\":" << res.repair_rounds
+     << ",\"num_edges\":" << res.num_edges << "}";
+  return os.str();
+}
+
+std::string Server::run_stats() {
+  const SharedHierarchyCache::Stats cs = cache_.stats();
+  const Stats ss = stats();
+  std::ostringstream os;
+  os << "{\"graphs\":" << cache_.graph_names().size()
+     << ",\"cache_hits\":" << cs.hits << ",\"cache_misses\":" << cs.misses
+     << ",\"evictions\":" << cs.evictions << ",\"patched\":" << cs.patched
+     << ",\"busy_drops\":" << cs.busy_drops
+     << ",\"fallback_drops\":" << cs.fallback_drops
+     << ",\"entries\":" << cs.entries << ",\"capacity\":" << cs.capacity
+     << ",\"build_rounds\":" << cs.build_rounds
+     << ",\"repair_rounds\":" << cs.repair_rounds
+     << ",\"accepted\":" << ss.accepted << ",\"requests\":" << ss.requests
+     << ",\"shed_overloaded\":" << ss.shed_overloaded
+     << ",\"shed_tenant\":" << ss.shed_tenant
+     << ",\"bad_requests\":" << ss.bad_requests
+     << ",\"timeouts\":" << ss.timeouts << ",\"tenants\":[";
+  bool first = true;
+  for (const auto& [name, ts] : tenant_stats()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"tenant\":\"" << name << "\",\"requests\":" << ts.requests
+       << ",\"queries\":" << ts.queries << ",\"rounds\":" << ts.rounds
+       << ",\"shed\":" << ts.shed << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.shed_overloaded = shed_overloaded_.load(std::memory_order_relaxed);
+  s.shed_tenant = shed_tenant_.load(std::memory_order_relaxed);
+  s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::map<std::string, Server::TenantStats> Server::tenant_stats() const {
+  std::lock_guard lock(tenants_mu_);
+  std::map<std::string, TenantStats> out;
+  for (const auto& [name, t] : tenants_) out[name] = t.stats;
+  return out;
+}
+
+}  // namespace amix::server

@@ -1,0 +1,167 @@
+#pragma once
+
+// amixd's server core: accept loop, worker pool, admission control.
+//
+// Threading model (DESIGN.md §14):
+//
+//  * One accept thread owns the listening socket. Accepted connections
+//    go into a bounded queue; when the queue is full the connection is
+//    SHED — a best-effort `overloaded` error and an immediate close —
+//    so the accept loop never blocks behind slow workers.
+//
+//  * N workers each own one connection at a time and run its requests
+//    serially; concurrency comes from connections, not from splitting a
+//    request (a request's specs execute in submit order, which is what
+//    makes its response replayable byte-for-byte). All IO is
+//    poll-with-deadline: a peer that stalls mid-request (half-sent body)
+//    or stops reading its response is timed out and closed, so a
+//    misbehaving client can never wedge a worker for good or leak its
+//    queue slot.
+//
+//  * Admission is per tenant and happens at header-parse time, before
+//    the body is read: `tenant_inflight` concurrent requests per tenant,
+//    over that the request is shed with `tenant-overloaded`. Sheds are
+//    typed wire errors, never silent drops, never blocking.
+//
+//  * shutdown() drains: the accept thread stops, queued-but-unserved
+//    connections get `shutting-down`, workers finish the request they
+//    are on (in-flight work completes; the connection closes after it)
+//    and exit. Safe to call from a signal-watching thread; idempotent.
+//
+// Execution reuses engine::execute_query / fold_batch — the exact
+// functions QueryEngine::run uses — against entries of the shared
+// cross-tenant SharedHierarchyCache. Query line i of a request runs with
+// spec seed Session::call_seed(header.seed, header.base + i); see
+// protocol.hpp for the wire grammar.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.hpp"
+#include "server/shared_cache.hpp"
+#include "sim/fault_plan.hpp"
+
+namespace amix::server {
+
+struct ServerOptions {
+  std::uint16_t port = 0;        // 0: pick an ephemeral port (see port())
+  std::size_t workers = 4;
+  std::size_t queue_capacity = 64;   // accepted, not-yet-served connections
+  std::uint32_t tenant_inflight = 8;  // concurrent requests/tenant; 0 = off
+  Limits limits;
+  int io_timeout_ms = 5000;  // per read/write progress deadline
+  HierarchyParams hierarchy;
+  std::size_t cache_capacity = 0;  // shared cache entries; 0 = unbounded
+
+  /// Optional per-query fault injection (soak tests): same semantics as
+  /// EngineOptions::fault_factory — each query gets a private plan reset
+  /// from (fault_seed, spec.seed).
+  std::function<std::unique_ptr<sim::FaultPlan>()> fault_factory;
+  std::uint64_t fault_seed = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opt);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Register a named graph to serve (before or after start()).
+  void register_graph(const std::string& name, Graph g,
+                      std::optional<Weights> w = std::nullopt);
+
+  /// Bind 127.0.0.1:<port>, spawn the accept thread and workers.
+  bool start(std::string* err);
+  std::uint16_t port() const { return port_; }
+  bool running() const { return running_; }
+
+  /// Drain and stop (see file comment). Idempotent, join-safe.
+  void shutdown();
+
+  SharedHierarchyCache& cache() { return cache_; }
+
+  struct Stats {
+    std::uint64_t accepted = 0;         // connections handed to workers
+    std::uint64_t requests = 0;         // responses written (ok or err)
+    std::uint64_t shed_overloaded = 0;  // connections shed at the queue
+    std::uint64_t shed_tenant = 0;      // requests shed by tenant bound
+    std::uint64_t bad_requests = 0;
+    std::uint64_t timeouts = 0;         // stalled peers closed
+  };
+  Stats stats() const;
+
+  struct TenantStats {
+    std::uint64_t requests = 0;  // admitted
+    std::uint64_t queries = 0;   // specs executed
+    std::uint64_t rounds = 0;    // build + batch rounds charged
+    std::uint64_t shed = 0;
+  };
+  std::map<std::string, TenantStats> tenant_stats() const;
+
+ private:
+  struct Tenant {
+    std::uint32_t inflight = 0;
+    TenantStats stats;
+  };
+
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+
+  /// One request: reads body, dispatches, writes the response. Returns
+  /// false when the connection must close (IO error, framing lost).
+  bool serve_request(class Conn& conn, const RequestHeader& hdr);
+
+  bool tenant_acquire(const std::string& tenant);
+  void tenant_release(const std::string& tenant, std::uint64_t queries,
+                      std::uint64_t rounds);
+
+  std::string run_query(const RequestHeader& hdr, const GraphState& gs,
+                        const std::vector<std::string>& body,
+                        std::uint64_t* queries, std::uint64_t* rounds,
+                        ErrorCode* code, std::string* err);
+  std::string run_mutate(const RequestHeader& hdr,
+                         const std::vector<std::string>& body,
+                         std::uint64_t* rounds, ErrorCode* code,
+                         std::string* err);
+  std::string run_stats();
+
+  const ServerOptions opt_;
+  SharedHierarchyCache cache_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;
+
+  mutable std::mutex tenants_mu_;
+  std::map<std::string, Tenant> tenants_;
+
+  std::mutex shutdown_mu_;  // serializes shutdown() callers
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> shed_overloaded_{0};
+  std::atomic<std::uint64_t> shed_tenant_{0};
+  std::atomic<std::uint64_t> bad_requests_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+};
+
+}  // namespace amix::server

@@ -1,0 +1,255 @@
+#include "server/shared_cache.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace amix::server {
+
+GraphState::GraphState(Graph g, std::optional<Weights> w)
+    : graph(std::move(g)),
+      weights(std::move(w)),
+      fp(engine::graph_fingerprint(graph)) {}
+
+SharedHierarchyCache::SharedHierarchyCache(HierarchyParams params,
+                                           std::size_t capacity)
+    : params_(params),
+      params_fp_(engine::params_fingerprint(params)),
+      capacity_(capacity) {
+  snapshot_.store(std::make_shared<const Snapshot>());
+  graphs_.store(std::make_shared<const GraphMap>());
+}
+
+void SharedHierarchyCache::register_graph(const std::string& name, Graph g,
+                                          std::optional<Weights> w) {
+  auto state = std::make_shared<const GraphState>(std::move(g), std::move(w));
+  std::lock_guard lock(write_mu_);
+  auto next = std::make_shared<GraphMap>(*graphs_.load());
+  (*next)[name] = std::move(state);
+  graphs_.store(std::shared_ptr<const GraphMap>(std::move(next)));
+}
+
+std::shared_ptr<const GraphState> SharedHierarchyCache::graph(
+    const std::string& name) const {
+  const auto map = graphs_.load();
+  const auto it = map->find(name);
+  return it != map->end() ? it->second : nullptr;
+}
+
+std::vector<std::string> SharedHierarchyCache::graph_names() const {
+  const auto map = graphs_.load();
+  std::vector<std::string> names;
+  names.reserve(map->size());
+  for (const auto& [name, state] : *map) names.push_back(name);
+  return names;
+}
+
+namespace {
+
+/// A reader handle: keeps the entry alive AND holds one pin; the pin is
+/// released (memory_order_release — it pairs with the mutating writer's
+/// acquire load of the pin count) when the last handle copy goes away.
+SharedHierarchyCache::Lookup make_lookup(
+    const std::shared_ptr<engine::CacheEntry>& entry,
+    const std::shared_ptr<std::atomic<std::int64_t>>& pins, bool built) {
+  std::shared_ptr<const engine::CacheEntry> handle(
+      entry.get(),
+      [keep = entry, pins](const engine::CacheEntry*) {
+        pins->fetch_sub(1, std::memory_order_release);
+      });
+  return SharedHierarchyCache::Lookup{std::move(handle), built};
+}
+
+}  // namespace
+
+SharedHierarchyCache::Lookup SharedHierarchyCache::get_or_build(
+    const GraphState& gs) {
+  const Key key{gs.fp, params_fp_};
+  const std::uint64_t now = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // Hot path: wait-free hit. Pin-then-revalidate (hazard-pointer style):
+  // a reader that pinned an entry re-checks that the snapshot it found
+  // the entry in is still the published one. A mutating writer
+  // unpublishes the entry FIRST and only patches when the pin count is
+  // zero, so either the reader revalidates successfully (writer will see
+  // its pin and busy-drop instead of patching) or the reader retries and
+  // can no longer find the entry. Both loads/RMWs are seq_cst so the
+  // store-buffering interleaving (reader sees old snapshot AND writer
+  // sees zero pins) is impossible.
+  for (;;) {
+    auto snap = snapshot_.load();
+    const auto it = snap->entries.find(key);
+    if (it == snap->entries.end()) break;  // cold: take the writer path
+    const Slot slot = it->second;
+    slot.pins->fetch_add(1);
+    if (snapshot_.load() == snap) {
+      slot.entry->touch(now);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return make_lookup(slot.entry, slot.pins, false);
+    }
+    slot.pins->fetch_sub(1, std::memory_order_release);  // raced: retry
+  }
+
+  std::lock_guard lock(write_mu_);
+  // Double-check: another worker may have built while we waited.
+  {
+    auto snap = snapshot_.load();
+    if (const auto it = snap->entries.find(key); it != snap->entries.end()) {
+      const Slot& slot = it->second;
+      slot.pins->fetch_add(1);  // holding write_mu_: no unpublish can race
+      slot.entry->touch(now);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return make_lookup(slot.entry, slot.pins, false);
+    }
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Slot slot;
+  slot.entry = engine::CacheEntry::build(gs.graph, params_, gs.fp, params_fp_);
+  slot.pins = std::make_shared<std::atomic<std::int64_t>>(0);
+  slot.entry->touch(now);
+  record_cost_locked(*slot.entry);
+  slot.pins->fetch_add(1);  // the returned handle's pin
+
+  auto next = std::make_shared<Snapshot>(*snapshot_.load());
+  next->entries[key] = slot;
+  evict_over_capacity_locked(*next, key);
+  snapshot_.store(std::shared_ptr<const Snapshot>(std::move(next)));
+  return make_lookup(slot.entry, slot.pins, true);
+}
+
+SharedHierarchyCache::MutateResult SharedHierarchyCache::mutate(
+    const std::string& name, const GraphDelta& delta) {
+  MutateResult res;
+  std::lock_guard lock(write_mu_);
+
+  const auto gmap = graphs_.load();
+  const auto git = gmap->find(name);
+  if (git == gmap->end()) {
+    res.error = "unknown graph '" + name + "'";
+    return res;
+  }
+  const std::shared_ptr<const GraphState>& old_state = git->second;
+  res.ok = true;
+  res.old_fp = old_state->fp;
+
+  // Weights are per-edge and do not survive a topology change: mst lines
+  // against the mutated graph re-derive seeded weights (still a pure
+  // function of the spec seed, so still replayable).
+  auto new_state = std::make_shared<const GraphState>(
+      old_state->graph.apply_delta(delta), std::nullopt);
+  res.new_fp = new_state->fp;
+  res.num_edges = new_state->graph.num_edges();
+  if (new_state->fp == old_state->fp) {
+    res.noop = true;  // delta was all no-ops: nothing to publish
+    return res;
+  }
+
+  const Key old_key{old_state->fp, params_fp_};
+  auto snap = snapshot_.load();
+  if (const auto it = snap->entries.find(old_key); it != snap->entries.end()) {
+    const Slot slot = it->second;
+    // Unpublish FIRST: after this store no reader can newly pin the
+    // entry (the pin-then-revalidate handshake in get_or_build).
+    auto next = std::make_shared<Snapshot>(*snap);
+    next->entries.erase(old_key);
+    snapshot_.store(std::shared_ptr<const Snapshot>(std::move(next)));
+    snap.reset();
+
+    if (slot.pins->load() == 0) {
+      // No reader holds the entry and none can appear: safe to patch the
+      // hierarchy in place and re-key it to the mutated topology.
+      const engine::CacheEntry::RepairResult rr =
+          slot.entry->repair_to(new_state->graph, new_state->fp,
+                                verify_every_);
+      res.repair_rounds = rr.outcome.repair_rounds;
+      res.oracle_checked = rr.oracle_checked;
+      record_cost_locked(*slot.entry);
+      if (rr.outcome.applied) {
+        res.patched = true;
+        patched_.fetch_add(1, std::memory_order_relaxed);
+        const Key new_key{new_state->fp, params_fp_};
+        auto republished = std::make_shared<Snapshot>(*snapshot_.load());
+        republished->entries[new_key] = slot;
+        evict_over_capacity_locked(*republished, new_key);
+        snapshot_.store(
+            std::shared_ptr<const Snapshot>(std::move(republished)));
+      } else {
+        res.dropped_fallback = true;  // rebuild lazily on next lookup
+        fallback_drops_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      // Readers in flight: dropping is the only race-free move. The
+      // entry stays alive (their handles own it) but is gone from the
+      // snapshot; the next lookup on the new topology rebuilds.
+      res.dropped_busy = true;
+      busy_drops_.fetch_add(1, std::memory_order_relaxed);
+      record_cost_locked(*slot.entry);
+    }
+  }
+
+  auto gnext = std::make_shared<GraphMap>(*gmap);
+  (*gnext)[name] = std::move(new_state);
+  graphs_.store(std::shared_ptr<const GraphMap>(std::move(gnext)));
+  return res;
+}
+
+void SharedHierarchyCache::record_cost_locked(const engine::CacheEntry& e) {
+  for (engine::CostRecord& r : history_) {
+    if (r.graph_fp == e.graph_fp() && r.params_fp == e.params_fp()) {
+      r.build_rounds = e.build_rounds();
+      r.repairs = e.repairs();
+      r.repair_rounds = e.repair_rounds();
+      return;
+    }
+  }
+  history_.push_back(engine::CostRecord{e.graph_fp(), e.params_fp(),
+                                        e.build_rounds(), e.repairs(),
+                                        e.repair_rounds()});
+}
+
+void SharedHierarchyCache::evict_over_capacity_locked(Snapshot& next,
+                                                      const Key& protect) {
+  if (capacity_ == 0) return;
+  const std::uint64_t now = tick_.load(std::memory_order_relaxed);
+  while (next.entries.size() > capacity_) {
+    std::vector<engine::EvictionCandidate> candidates;
+    candidates.reserve(next.entries.size());
+    for (const auto& [key, slot] : next.entries) {
+      if (key == protect) continue;
+      candidates.push_back(engine::EvictionCandidate{
+          key.first, key.second, slot.entry->cost_rounds(),
+          slot.entry->last_use()});
+    }
+    const auto victim = engine::pick_victim(candidates, now);
+    if (!victim) return;
+    const Key vkey{candidates[*victim].graph_fp, candidates[*victim].params_fp};
+    const auto it = next.entries.find(vkey);
+    AMIX_CHECK(it != next.entries.end());
+    record_cost_locked(*it->second.entry);
+    next.entries.erase(it);  // reader handles, if any, keep it alive
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+SharedHierarchyCache::Stats SharedHierarchyCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.patched = patched_.load(std::memory_order_relaxed);
+  s.busy_drops = busy_drops_.load(std::memory_order_relaxed);
+  s.fallback_drops = fallback_drops_.load(std::memory_order_relaxed);
+  s.entries = snapshot_.load()->entries.size();
+  s.capacity = capacity_;
+  {
+    std::lock_guard lock(write_mu_);
+    for (const engine::CostRecord& r : history_) {
+      s.build_rounds += r.build_rounds;
+      s.repair_rounds += r.repair_rounds;
+    }
+  }
+  return s;
+}
+
+}  // namespace amix::server

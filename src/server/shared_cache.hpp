@@ -1,0 +1,168 @@
+#pragma once
+
+// SharedHierarchyCache: the amixd daemon's cross-tenant hierarchy cache.
+//
+// The engine's HierarchyCache is single-owner (one QueryEngine, one
+// thread at a time); the server needs MANY worker threads hitting the
+// same cache with reads vastly outnumbering writes. Discipline
+// (DESIGN.md §14):
+//
+//  * Readers are lock-free. The entry map lives in an immutable Snapshot
+//    published through std::atomic<std::shared_ptr<const Snapshot>>; a
+//    hit is one atomic load + map find + relaxed recency stamp
+//    (CacheEntry::touch). Readers hold the entry via shared_ptr, so an
+//    entry stays alive for as long as any in-flight request uses it even
+//    if a writer evicts or re-keys it concurrently.
+//
+//  * Writers (cache miss, mutate, eviction) serialize on one mutex and
+//    publish copy-on-write snapshots. Builds run under the mutex — a
+//    hierarchy build is the expensive path by definition, and serializing
+//    it also collapses the thundering herd on a cold key (second requester
+//    blocks, then hits).
+//
+//  * Mutation never patches an entry readers can still see. mutate()
+//    first publishes a snapshot WITHOUT the affected entry (new readers
+//    can no longer find it), then checks use_count(): exactly one owner —
+//    the writer — means no in-flight reader and no live old snapshot, so
+//    the entry is patched in place (CacheEntry::repair_to) and re-keyed.
+//    Otherwise it is a busy-drop: the cost is recorded and the next
+//    lookup rebuilds. Both paths are exercised by the soak test.
+//
+// Policy is SHARED with the engine cache, not reimplemented: entries are
+// built by CacheEntry::build, repaired by CacheEntry::repair_to (same
+// sampled full-rebuild oracle), keyed by the same content fingerprints,
+// and evicted by the same cost-aware LRU (engine/eviction.hpp) over the
+// same CostRecord history.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/hierarchy_cache.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace amix::server {
+
+/// One served graph: an immutable named topology snapshot. Mutations
+/// publish a NEW GraphState; requests that already resolved the old one
+/// keep computing against it (and its fingerprint says so on the wire).
+struct GraphState {
+  Graph graph;
+  std::optional<Weights> weights;  // mst lines use these when present
+  std::uint64_t fp = 0;            // engine::graph_fingerprint(graph)
+
+  GraphState(Graph g, std::optional<Weights> w);
+};
+
+class SharedHierarchyCache {
+ public:
+  /// One HierarchyParams for the whole daemon: entries differ by graph
+  /// content only, so the params fingerprint is computed once.
+  explicit SharedHierarchyCache(HierarchyParams params,
+                                std::size_t capacity = 0);
+
+  SharedHierarchyCache(const SharedHierarchyCache&) = delete;
+  SharedHierarchyCache& operator=(const SharedHierarchyCache&) = delete;
+
+  /// Register / replace a named graph (startup path; also safe while
+  /// serving). Does not build the hierarchy — first query pays that.
+  void register_graph(const std::string& name, Graph g,
+                      std::optional<Weights> w = std::nullopt);
+
+  /// Lock-free name resolution; nullptr when unknown.
+  std::shared_ptr<const GraphState> graph(const std::string& name) const;
+  std::vector<std::string> graph_names() const;
+
+  struct Lookup {
+    std::shared_ptr<const engine::CacheEntry> entry;
+    bool built = false;  // this call paid for the build
+  };
+  /// The cached hierarchy for `gs`, building under the writer mutex on
+  /// miss. Hot path (hit): one atomic snapshot load, no locks.
+  Lookup get_or_build(const GraphState& gs);
+
+  struct MutateResult {
+    bool ok = false;
+    std::string error;  // when !ok (unknown graph)
+    std::uint64_t old_fp = 0;
+    std::uint64_t new_fp = 0;
+    bool noop = false;         // delta didn't change the topology
+    bool patched = false;      // entry repaired in place + re-keyed
+    bool dropped_busy = false;      // readers in flight: entry dropped
+    bool dropped_fallback = false;  // repair refused: entry dropped
+    bool oracle_checked = false;
+    std::uint64_t repair_rounds = 0;
+    std::uint32_t num_edges = 0;  // of the mutated graph
+  };
+  /// Apply `delta` to the named graph and reconcile the cache per the
+  /// discipline above. Serializes with other writers; readers are never
+  /// blocked and never observe a half-patched entry.
+  MutateResult mutate(const std::string& name, const GraphDelta& delta);
+
+  void set_verify_every(std::uint32_t n) { verify_every_ = n; }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t patched = 0;
+    std::uint64_t busy_drops = 0;
+    std::uint64_t fallback_drops = 0;
+    std::uint64_t build_rounds = 0;   // lifetime, incl. evicted entries
+    std::uint64_t repair_rounds = 0;  // lifetime
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+  };
+  Stats stats() const;
+
+ private:
+  using Key = std::pair<std::uint64_t, std::uint64_t>;
+  /// One published entry plus its reader pin count. The pin count (not
+  /// shared_ptr::use_count, whose reads don't synchronize) is what makes
+  /// the pin-then-revalidate handshake TSan-provable: readers fetch_add
+  /// before touching the entry and fetch_sub(release) when their handle
+  /// dies; the mutating writer acquires-loads it after unpublishing.
+  struct Slot {
+    std::shared_ptr<engine::CacheEntry> entry;
+    std::shared_ptr<std::atomic<std::int64_t>> pins;
+  };
+  struct Snapshot {
+    std::map<Key, Slot> entries;
+  };
+  using GraphMap = std::map<std::string, std::shared_ptr<const GraphState>>;
+
+  void record_cost_locked(const engine::CacheEntry& e);
+  /// Evict from `next` (a snapshot being prepared under write_mu_) until
+  /// it fits capacity_; `protect` is never the victim.
+  void evict_over_capacity_locked(Snapshot& next, const Key& protect);
+
+  const HierarchyParams params_;
+  const std::uint64_t params_fp_;
+  const std::size_t capacity_;
+#ifdef NDEBUG
+  std::uint32_t verify_every_ = 0;
+#else
+  std::uint32_t verify_every_ = 16;
+#endif
+
+  std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
+  std::atomic<std::shared_ptr<const GraphMap>> graphs_;
+
+  mutable std::mutex write_mu_;  // builders, mutators, eviction, history
+  std::vector<engine::CostRecord> history_;
+
+  std::atomic<std::uint64_t> tick_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> patched_{0};
+  std::atomic<std::uint64_t> busy_drops_{0};
+  std::atomic<std::uint64_t> fallback_drops_{0};
+};
+
+}  // namespace amix::server

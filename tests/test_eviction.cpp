@@ -1,0 +1,172 @@
+// The cost-aware LRU eviction policy (engine/eviction.hpp) and its use
+// by HierarchyCache::set_capacity. The policy unit is shared with the
+// server's SharedHierarchyCache (tested in test_server.cpp), so these
+// tests pin its semantics once: victim = lowest rebuild-cost per idle
+// tick, exact 128-bit cross-multiplication, deterministic tie-breaks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "engine/eviction.hpp"
+#include "engine/hierarchy_cache.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace amix::engine {
+namespace {
+
+EvictionCandidate cand(std::uint64_t graph_fp, std::uint64_t cost,
+                       std::uint64_t last_use) {
+  return EvictionCandidate{graph_fp, /*params_fp=*/1, cost, last_use};
+}
+
+TEST(EvictionPolicy, EmptyAndSingleton) {
+  EXPECT_FALSE(pick_victim({}, 10).has_value());
+  const std::vector<EvictionCandidate> one{cand(1, 100, 5)};
+  ASSERT_TRUE(pick_victim(one, 10).has_value());
+  EXPECT_EQ(*pick_victim(one, 10), 0u);
+}
+
+TEST(EvictionPolicy, CheaperEntryEvictsFirstAtEqualAge) {
+  const std::vector<EvictionCandidate> c{cand(1, 1000, 50), cand(2, 10, 50)};
+  EXPECT_EQ(*pick_victim(c, 100), 1u);  // same idle age: cheap one goes
+}
+
+TEST(EvictionPolicy, StalerEntryEvictsFirstAtEqualCost) {
+  const std::vector<EvictionCandidate> c{cand(1, 500, 90), cand(2, 500, 10)};
+  EXPECT_EQ(*pick_victim(c, 100), 1u);  // same cost: stale one goes
+}
+
+TEST(EvictionPolicy, CostPerIdleTickTradesCostAgainstRecency) {
+  // A: expensive but idle 92 ticks — score (1000+1)/92 ≈ 10.9.  B: cheap
+  // but used THIS tick — score (10+1)/1 = 11.  A's score is smaller, so
+  // the EXPENSIVE entry is the victim: cost only protects an entry while
+  // it keeps getting hit.
+  const std::vector<EvictionCandidate> c{cand(1, 1000, 9), cand(2, 10, 100)};
+  EXPECT_EQ(*pick_victim(c, 100), 0u);
+  // One tick of idleness later B's age doubles and its score halves;
+  // now A survives — recency decays protection smoothly, not in cliffs.
+  const std::vector<EvictionCandidate> c2{cand(1, 1000, 9), cand(2, 10, 99)};
+  EXPECT_EQ(*pick_victim(c2, 100), 1u);
+}
+
+TEST(EvictionPolicy, AgeSaturatesSoFreshEntriesCompareByCost) {
+  // now == last_use (age clamps to 1 rather than dividing by zero);
+  // both fresh, the cheap one goes first.
+  const std::vector<EvictionCandidate> c{cand(1, 70, 100), cand(2, 30, 100)};
+  EXPECT_EQ(*pick_victim(c, 100), 1u);
+  // A stamp from a racing reader may even exceed `now`; still saturated.
+  const std::vector<EvictionCandidate> f{cand(1, 70, 150), cand(2, 30, 150)};
+  EXPECT_EQ(*pick_victim(f, 100), 1u);
+}
+
+TEST(EvictionPolicy, ExactCompareSurvivesHugeValues) {
+  // (cost_a+1) * age_b would overflow u64; the __int128 cross product
+  // must still rank correctly: a's score ~2^63/1 vs b's ~1/2^62.
+  const std::vector<EvictionCandidate> c{
+      cand(1, 1ULL << 63, 1ULL << 62),  // expensive, fresh-ish
+      cand(2, 0, 1),                    // free to rebuild, ancient
+  };
+  EXPECT_EQ(*pick_victim(c, (1ULL << 62) + 2), 1u);
+}
+
+TEST(EvictionPolicy, TieBreaksAreTotalAndDeterministic) {
+  // Identical (cost, last_use): smaller graph_fp wins the victim slot.
+  const std::vector<EvictionCandidate> c{cand(7, 50, 10), cand(3, 50, 10),
+                                         cand(9, 50, 10)};
+  EXPECT_EQ(c[*pick_victim(c, 20)].graph_fp, 3u);
+}
+
+TEST(EvictionPolicy, VictimIsByValueNotByPosition) {
+  std::vector<EvictionCandidate> c{cand(1, 1000, 90), cand(2, 5, 10),
+                                   cand(3, 400, 50)};
+  const std::uint64_t victim_fp = c[*pick_victim(c, 100)].graph_fp;
+  std::reverse(c.begin(), c.end());
+  EXPECT_EQ(c[*pick_victim(c, 100)].graph_fp, victim_fp);
+}
+
+// ---- HierarchyCache capacity wiring -------------------------------------
+
+TEST(HierarchyCacheEviction, CapacityBoundsEntriesAndKeepsCostHistory) {
+  Rng rng(11);
+  const Graph g1 = gen::random_regular(32, 4, rng);
+  const Graph g2 = gen::random_regular(40, 4, rng);
+  const Graph g3 = gen::random_regular(48, 4, rng);
+  const HierarchyParams hp;
+
+  HierarchyCache cache;
+  cache.set_capacity(2);
+  cache.get_or_build(g1, hp);
+  cache.get_or_build(g2, hp);
+  cache.get_or_build(g3, hp);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+
+  // g1 was the stalest at the overflow: it is the one gone.
+  EXPECT_EQ(cache.find(g1, hp), nullptr);
+  EXPECT_NE(cache.find(g3, hp), nullptr);
+
+  // The evicted key's build cost survives in the history.
+  const auto recorded =
+      cache.recorded_build_rounds(graph_fingerprint(g1), params_fingerprint(hp));
+  ASSERT_TRUE(recorded.has_value());
+  EXPECT_GT(*recorded, 0u);
+
+  // Rebuilding the evicted key is a fresh miss, then a hit.
+  EXPECT_TRUE(cache.get_or_build(g1, hp).built);
+  EXPECT_FALSE(cache.get_or_build(g1, hp).built);
+}
+
+TEST(HierarchyCacheEviction, JustBuiltEntryIsNeverItsOwnVictim) {
+  Rng rng(12);
+  const Graph g1 = gen::random_regular(32, 4, rng);
+  const Graph g2 = gen::random_regular(40, 4, rng);
+  const HierarchyParams hp;
+
+  HierarchyCache cache;
+  cache.set_capacity(1);
+  cache.get_or_build(g1, hp);
+  cache.get_or_build(g2, hp);  // overflow: must evict g1, not itself
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.find(g1, hp), nullptr);
+  EXPECT_NE(cache.find(g2, hp), nullptr);
+}
+
+TEST(HierarchyCacheEviction, RecentlyHitEntrySurvivesOverflow) {
+  Rng rng(13);
+  const Graph g1 = gen::random_regular(32, 4, rng);
+  const Graph g2 = gen::random_regular(40, 4, rng);
+  const Graph g3 = gen::random_regular(48, 4, rng);
+  const HierarchyParams hp;
+
+  HierarchyCache cache;
+  cache.set_capacity(2);
+  cache.get_or_build(g1, hp);
+  cache.get_or_build(g2, hp);
+  // Keep g1 hot: its idle age at the overflow is smaller than g2's.
+  cache.get_or_build(g1, hp);
+  cache.get_or_build(g1, hp);
+  cache.get_or_build(g3, hp);
+  EXPECT_NE(cache.find(g1, hp), nullptr);
+  EXPECT_EQ(cache.find(g2, hp), nullptr);
+}
+
+TEST(HierarchyCacheEviction, ShrinkingCapacityEvictsImmediately) {
+  Rng rng(14);
+  const Graph g1 = gen::random_regular(32, 4, rng);
+  const Graph g2 = gen::random_regular(40, 4, rng);
+  const HierarchyParams hp;
+
+  HierarchyCache cache;  // unbounded by default
+  cache.get_or_build(g1, hp);
+  cache.get_or_build(g2, hp);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+}  // namespace
+}  // namespace amix::engine

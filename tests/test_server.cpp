@@ -1,0 +1,628 @@
+// amixd server core: wire protocol robustness, admission shedding, the
+// shared cross-tenant cache's mutate discipline, and the determinism
+// contract — every query response's replayable tail byte-identical to a
+// serial in-process replay of the same (session_seed, call index) stream.
+//
+// All tests run a real Server on an ephemeral loopback port and talk to
+// it over real sockets via server::Client; nothing is mocked.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/execute.hpp"
+#include "engine/session.hpp"
+#include "graph/generators.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "server/client.hpp"
+#include "server/mix.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "util/rng.hpp"
+
+namespace amix::server {
+namespace {
+
+Graph test_graph(std::uint32_t n = 48, std::uint32_t d = 4,
+                 std::uint64_t seed = 5) {
+  Rng rng(seed);
+  return gen::random_regular(n, d, rng);
+}
+
+/// A started server on an ephemeral port, serving `g0` = test_graph().
+struct TestDaemon {
+  explicit TestDaemon(ServerOptions opt = {}, Graph g = test_graph())
+      : graph(std::move(g)), srv(std::move(opt)) {
+    srv.register_graph("g0", graph);
+    std::string err;
+    EXPECT_TRUE(srv.start(&err)) << err;
+  }
+  ~TestDaemon() { srv.shutdown(); }
+
+  Client connect() {
+    Client c;
+    std::string err;
+    EXPECT_TRUE(c.connect_to(srv.port(), &err)) << err;
+    return c;
+  }
+
+  Graph graph;
+  Server srv;
+};
+
+RequestHeader query_header(std::uint64_t seed = 7, std::uint64_t base = 0,
+                           const std::string& tenant = "default") {
+  RequestHeader h;
+  h.verb = Verb::kQuery;
+  h.graph = "g0";
+  h.tenant = tenant;
+  h.seed = seed;
+  h.base = base;
+  return h;
+}
+
+/// The replayable suffix of a query-response body (see Server::run_query):
+/// everything from "batch_rounds" on.
+std::string tail_of(const std::string& body) {
+  const auto pos = body.find("\"batch_rounds\"");
+  EXPECT_NE(pos, std::string::npos) << body;
+  return pos == std::string::npos ? body : body.substr(pos);
+}
+
+/// Serial in-process replay of a query request: the same grammar, call
+/// seeds, execute_query and fold_batch the server workers use, formatted
+/// exactly as Server::run_query formats the tail.
+std::string replay_tail(const Graph& g, const HierarchyParams& hp,
+                        std::uint64_t seed, std::uint64_t base,
+                        const std::vector<std::string>& lines) {
+  RoundLedger build_ledger;
+  const Hierarchy h = Hierarchy::build(g, hp, build_ledger);
+  std::vector<engine::QueryExecution> execs;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    QuerySpec spec;
+    std::string perr;
+    const MixParse mp = parse_mix_line(
+        g, nullptr, lines[i], base + i,
+        Session::call_seed(seed, base + i), &spec, &perr);
+    EXPECT_NE(mp, MixParse::kError) << perr;
+    if (mp != MixParse::kQuery) continue;
+    execs.push_back(engine::execute_query(g, h, spec,
+                                          static_cast<std::uint32_t>(i),
+                                          nullptr));
+  }
+  BatchReport b;
+  engine::fold_batch(std::move(execs), b);
+  std::ostringstream os;
+  os << "\"batch_rounds\":"
+     << b.multiplexed_transport_rounds + b.serialized_rounds
+     << ",\"multiplexed_transport_rounds\":" << b.multiplexed_transport_rounds
+     << ",\"serialized_rounds\":" << b.serialized_rounds
+     << ",\"standalone_query_rounds\":" << b.standalone_query_rounds
+     << ",\"queries\":[";
+  for (std::size_t i = 0; i < b.queries.size(); ++i) {
+    if (i != 0) os << ',';
+    b.queries[i].to_json(os);
+  }
+  os << "]}";
+  return os.str();
+}
+
+/// Like replay_tail, but reproducing a PATCHED entry's history: build on
+/// `old_g`, repair in place to `new_g` (exactly what CacheEntry::repair_to
+/// does on the server), then execute. A repaired hierarchy is
+/// rebuild-EQUIVALENT (same outputs/digests), not round-identical to a
+/// fresh build, so replaying a patched cache means replaying the patch.
+std::string replay_tail_patched(const Graph& old_g, const Graph& new_g,
+                                const HierarchyParams& hp, std::uint64_t seed,
+                                std::uint64_t base,
+                                const std::vector<std::string>& lines) {
+  RoundLedger ledger;
+  Hierarchy h = Hierarchy::build(old_g, hp, ledger);
+  const RepairOutcome ro = h.apply_delta(new_g, ledger);
+  EXPECT_TRUE(ro.applied) << ro.reason;
+  std::vector<engine::QueryExecution> execs;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    QuerySpec spec;
+    std::string perr;
+    const MixParse mp = parse_mix_line(
+        new_g, nullptr, lines[i], base + i, Session::call_seed(seed, base + i),
+        &spec, &perr);
+    EXPECT_NE(mp, MixParse::kError) << perr;
+    if (mp != MixParse::kQuery) continue;
+    execs.push_back(engine::execute_query(new_g, h, spec,
+                                          static_cast<std::uint32_t>(i),
+                                          nullptr));
+  }
+  BatchReport b;
+  engine::fold_batch(std::move(execs), b);
+  std::ostringstream os;
+  os << "\"batch_rounds\":"
+     << b.multiplexed_transport_rounds + b.serialized_rounds
+     << ",\"multiplexed_transport_rounds\":" << b.multiplexed_transport_rounds
+     << ",\"serialized_rounds\":" << b.serialized_rounds
+     << ",\"standalone_query_rounds\":" << b.standalone_query_rounds
+     << ",\"queries\":[";
+  for (std::size_t i = 0; i < b.queries.size(); ++i) {
+    if (i != 0) os << ',';
+    b.queries[i].to_json(os);
+  }
+  os << "]}";
+  return os.str();
+}
+
+/// An edge of `g` at node 0 and a non-edge at node 0, as mutate lines.
+std::string delete_line(const Graph& g) {
+  std::ostringstream os;
+  os << "delete 0 " << g.neighbor(0, 0);
+  return os.str();
+}
+
+const std::vector<std::string> kMix = {"mst", "route perm", "walks 8 4"};
+
+TEST(Server, PingAndStatsRoundTrip) {
+  TestDaemon d;
+  Client c = d.connect();
+  ResponseHeader resp;
+  std::string body, err;
+  RequestHeader ping;
+  ping.verb = Verb::kPing;
+  ASSERT_TRUE(c.request(ping, {}, &resp, &body, &err)) << err;
+  EXPECT_TRUE(resp.ok);
+  EXPECT_EQ(body, "{}");
+
+  RequestHeader stats;
+  stats.verb = Verb::kStats;
+  ASSERT_TRUE(c.request(stats, {}, &resp, &body, &err)) << err;
+  EXPECT_TRUE(resp.ok);
+  EXPECT_NE(body.find("\"requests\":1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"tenants\":["), std::string::npos) << body;
+}
+
+TEST(Server, ResponseMatchesSerialReplayByteForByte) {
+  ServerOptions opt;
+  opt.hierarchy.seed = 7;
+  TestDaemon d(opt);
+
+  Client c = d.connect();
+  ResponseHeader resp;
+  std::string body, err;
+  ASSERT_TRUE(c.request(query_header(7), kMix, &resp, &body, &err)) << err;
+  ASSERT_TRUE(resp.ok) << resp.error_msg;
+  EXPECT_EQ(body.size(), resp.body_bytes);
+  EXPECT_NE(body.find("\"cache_hit\":0"), std::string::npos) << body;
+
+  // The wire tail equals the serial in-process replay, byte for byte.
+  EXPECT_EQ(tail_of(body), replay_tail(d.graph, opt.hierarchy, 7, 0, kMix));
+
+  // A second request on a NEW connection hits the cache; the tail is
+  // unchanged (cache_hit/build_rounds legitimately differ and sit in
+  // front of it).
+  Client c2 = d.connect();
+  std::string body2;
+  ASSERT_TRUE(c2.request(query_header(7), kMix, &resp, &body2, &err)) << err;
+  ASSERT_TRUE(resp.ok);
+  EXPECT_NE(body2.find("\"cache_hit\":1"), std::string::npos) << body2;
+  EXPECT_EQ(tail_of(body2), tail_of(body));
+}
+
+TEST(Server, BaseOffsetShiftsCallSeeds) {
+  ServerOptions opt;
+  opt.hierarchy.seed = 7;
+  TestDaemon d(opt);
+  Client c = d.connect();
+  ResponseHeader resp;
+  std::string body, err;
+  ASSERT_TRUE(c.request(query_header(7, /*base=*/12), kMix, &resp, &body,
+                        &err))
+      << err;
+  ASSERT_TRUE(resp.ok) << resp.error_msg;
+  EXPECT_EQ(tail_of(body), replay_tail(d.graph, opt.hierarchy, 7, 12, kMix));
+  // A different base is a different call-index stream: tails differ.
+  std::string body0;
+  ASSERT_TRUE(c.request(query_header(7, 0), kMix, &resp, &body0, &err)) << err;
+  ASSERT_TRUE(resp.ok);
+  EXPECT_NE(tail_of(body0), tail_of(body));
+}
+
+TEST(Server, EightConcurrentClientsAgreeWithSerialReplay) {
+  ServerOptions opt;
+  opt.workers = 4;
+  opt.hierarchy.seed = 9;
+  TestDaemon d(opt);
+
+  constexpr int kClients = 8;
+  constexpr int kRepeats = 3;
+  std::mutex mu;
+  std::vector<std::string> tails;
+  std::vector<std::string> errors;
+  std::vector<std::thread> pool;
+  pool.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    pool.emplace_back([&] {
+      Client c;
+      std::string err;
+      if (!c.connect_to(d.srv.port(), &err)) {
+        const std::lock_guard lock(mu);
+        errors.push_back(err);
+        return;
+      }
+      for (int r = 0; r < kRepeats; ++r) {
+        ResponseHeader resp;
+        std::string body;
+        if (!c.request(query_header(9), kMix, &resp, &body, &err) ||
+            !resp.ok) {
+          const std::lock_guard lock(mu);
+          errors.push_back(resp.ok ? err : resp.error_msg);
+          return;
+        }
+        const std::lock_guard lock(mu);
+        tails.push_back(tail_of(body));
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  ASSERT_TRUE(errors.empty()) << errors.front();
+  ASSERT_EQ(tails.size(), kClients * kRepeats);
+  const std::string expect = replay_tail(d.graph, opt.hierarchy, 9, 0, kMix);
+  for (const std::string& t : tails) EXPECT_EQ(t, expect);
+
+  // Exactly one build: every other request shared the cached hierarchy.
+  const SharedHierarchyCache::Stats cs = d.srv.cache().stats();
+  EXPECT_EQ(cs.misses, 1u);
+  EXPECT_EQ(cs.hits, kClients * kRepeats - 1u);
+}
+
+// ---- typed errors that keep the connection open --------------------------
+
+TEST(Server, UnknownGraphKeepsConnectionUsable) {
+  TestDaemon d;
+  Client c = d.connect();
+  RequestHeader h = query_header();
+  h.graph = "nope";
+  ResponseHeader resp;
+  std::string body, err;
+  ASSERT_TRUE(c.request(h, {"mst"}, &resp, &body, &err)) << err;
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, ErrorCode::kUnknownGraph);
+
+  // Framing survived (the body was consumed before the error): the same
+  // connection serves the corrected request.
+  ASSERT_TRUE(c.request(query_header(), {"mst"}, &resp, &body, &err)) << err;
+  EXPECT_TRUE(resp.ok) << resp.error_msg;
+}
+
+TEST(Server, BadMixLineIsTypedAndKeepsConnectionUsable) {
+  TestDaemon d;
+  Client c = d.connect();
+  ResponseHeader resp;
+  std::string body, err;
+  ASSERT_TRUE(c.request(query_header(), {"mst", "frobnicate 3"}, &resp, &body,
+                        &err))
+      << err;
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, ErrorCode::kBadRequest);
+  EXPECT_NE(resp.error_msg.find("line 1"), std::string::npos)
+      << resp.error_msg;
+
+  ASSERT_TRUE(c.request(query_header(), {"mst"}, &resp, &body, &err)) << err;
+  EXPECT_TRUE(resp.ok) << resp.error_msg;
+}
+
+TEST(Server, BlankOnlyQueryIsBadRequest) {
+  TestDaemon d;
+  Client c = d.connect();
+  ResponseHeader resp;
+  std::string body, err;
+  ASSERT_TRUE(c.request(query_header(), {"# nothing", ""}, &resp, &body,
+                        &err))
+      << err;
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, ErrorCode::kBadRequest);
+}
+
+// ---- malformed framing closes the connection -----------------------------
+
+TEST(Server, MalformedHeaderIsRejectedAndClosed) {
+  TestDaemon d;
+  Client c = d.connect();
+  ResponseHeader resp;
+  std::string body, err;
+  ASSERT_TRUE(c.send_raw("amix/9 query graph=g0 lines=0\n", &err)) << err;
+  ASSERT_TRUE(c.read_response(&resp, &body, &err)) << err;
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, ErrorCode::kBadRequest);
+  // Framing is untrusted after a bad header: the server closed on us.
+  EXPECT_FALSE(c.read_response(&resp, &body, &err));
+}
+
+TEST(Server, UnknownHeaderKeyIsRejected) {
+  TestDaemon d;
+  Client c = d.connect();
+  ResponseHeader resp;
+  std::string body, err;
+  ASSERT_TRUE(
+      c.send_raw("amix/1 query graph=g0 sede=7 lines=1\nmst\n", &err))
+      << err;
+  ASSERT_TRUE(c.read_response(&resp, &body, &err)) << err;
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, ErrorCode::kBadRequest);
+}
+
+TEST(Server, OversizedHeaderLineIsTooLarge) {
+  ServerOptions opt;
+  opt.limits.max_line_bytes = 128;
+  TestDaemon d(opt);
+  Client c = d.connect();
+  ResponseHeader resp;
+  std::string body, err;
+  const std::string huge(256, 'x');
+  ASSERT_TRUE(c.send_raw("amix/1 query graph=g0 tenant=" + huge + "\n", &err))
+      << err;
+  ASSERT_TRUE(c.read_response(&resp, &body, &err)) << err;
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, ErrorCode::kTooLarge);
+  EXPECT_FALSE(c.read_response(&resp, &body, &err));  // closed
+}
+
+TEST(Server, TooManyBodyLinesIsTooLarge) {
+  ServerOptions opt;
+  opt.limits.max_lines = 4;
+  TestDaemon d(opt);
+  Client c = d.connect();
+  ResponseHeader resp;
+  std::string body, err;
+  ASSERT_TRUE(c.send_raw("amix/1 query graph=g0 seed=1 base=0 lines=5\n",
+                         &err))
+      << err;
+  ASSERT_TRUE(c.read_response(&resp, &body, &err)) << err;
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, ErrorCode::kTooLarge);
+}
+
+// ---- stalled peers time out and free their worker ------------------------
+
+TEST(Server, TruncatedBodyTimesOutAndFreesTheWorker) {
+  ServerOptions opt;
+  opt.workers = 1;  // the stalled request must release the ONLY worker
+  opt.io_timeout_ms = 200;
+  TestDaemon d(opt);
+
+  Client staller = d.connect();
+  std::string err;
+  // Header promises 2 body lines; send one and stall.
+  ASSERT_TRUE(staller.send_raw(
+      "amix/1 query graph=g0 seed=1 base=0 lines=2\nmst\n", &err))
+      << err;
+  ResponseHeader resp;
+  std::string body;
+  ASSERT_TRUE(staller.read_response(&resp, &body, &err)) << err;
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, ErrorCode::kTimeout);
+
+  // The worker is free again: a well-formed request completes.
+  Client c = d.connect();
+  ASSERT_TRUE(c.request(query_header(), {"mst"}, &resp, &body, &err)) << err;
+  EXPECT_TRUE(resp.ok) << resp.error_msg;
+  EXPECT_GE(d.srv.stats().timeouts, 1u);
+}
+
+// ---- admission control ---------------------------------------------------
+
+TEST(Server, TenantInflightBoundShedsWithTypedError) {
+  ServerOptions opt;
+  opt.workers = 2;  // both requests get a worker; the TENANT bound sheds
+  opt.tenant_inflight = 1;
+  TestDaemon d(opt);
+
+  // Request 1 admits tenant `acme` and then stalls mid-body: its
+  // admission slot stays held while the server waits for the body.
+  Client staller = d.connect();
+  std::string err;
+  ASSERT_TRUE(staller.send_raw(
+      "amix/1 query graph=g0 tenant=acme seed=1 base=0 lines=1\n", &err))
+      << err;
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Request 2 for the same tenant is shed at header-parse time.
+  Client c2 = d.connect();
+  ResponseHeader resp;
+  std::string body;
+  ASSERT_TRUE(c2.request(query_header(1, 0, "acme"), {"mst"}, &resp, &body,
+                         &err))
+      << err;
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, ErrorCode::kTenantOverloaded);
+
+  // A DIFFERENT tenant is admitted: the bound is per tenant, not global.
+  Client c3 = d.connect();
+  ASSERT_TRUE(c3.request(query_header(1, 0, "other"), {"mst"}, &resp, &body,
+                         &err))
+      << err;
+  EXPECT_TRUE(resp.ok) << resp.error_msg;
+
+  // The stalled request completes once its body arrives — the slot was
+  // held, not leaked.
+  ASSERT_TRUE(staller.send_raw("mst\n", &err)) << err;
+  ASSERT_TRUE(staller.read_response(&resp, &body, &err)) << err;
+  EXPECT_TRUE(resp.ok) << resp.error_msg;
+
+  EXPECT_EQ(d.srv.stats().shed_tenant, 1u);
+  EXPECT_EQ(d.srv.tenant_stats()["acme"].shed, 1u);
+}
+
+TEST(Server, FullQueueShedsConnectionsWithOverloaded) {
+  ServerOptions opt;
+  opt.workers = 1;
+  opt.queue_capacity = 1;
+  TestDaemon d(opt);
+
+  // Occupy the only worker with a stalled request...
+  Client staller = d.connect();
+  std::string err;
+  ASSERT_TRUE(staller.send_raw(
+      "amix/1 query graph=g0 seed=1 base=0 lines=1\n", &err))
+      << err;
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // ...fill the accept queue...
+  Client queued = d.connect();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // ...and the next connection is shed by the ACCEPT loop, which never
+  // blocks behind the slow worker.
+  Client shed = d.connect();
+  ResponseHeader resp;
+  std::string body;
+  ASSERT_TRUE(shed.read_response(&resp, &body, &err)) << err;
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, ErrorCode::kOverloaded);
+  EXPECT_GE(d.srv.stats().shed_overloaded, 1u);
+
+  // Unblock the worker; the queued connection is then served normally.
+  ASSERT_TRUE(staller.send_raw("mst\n", &err)) << err;
+  ASSERT_TRUE(staller.read_response(&resp, &body, &err)) << err;
+  EXPECT_TRUE(resp.ok) << resp.error_msg;
+  ASSERT_TRUE(queued.request(query_header(), {"mst"}, &resp, &body, &err))
+      << err;
+  EXPECT_TRUE(resp.ok) << resp.error_msg;
+}
+
+// ---- mutate + shared-cache discipline ------------------------------------
+
+TEST(Server, MutatePatchesCachedHierarchyAndTailTracksNewTopology) {
+  ServerOptions opt;
+  opt.hierarchy.seed = 7;
+  TestDaemon d(opt);
+  Client c = d.connect();
+  ResponseHeader resp;
+  std::string body, err;
+
+  // Warm the cache.
+  ASSERT_TRUE(c.request(query_header(7), kMix, &resp, &body, &err)) << err;
+  ASSERT_TRUE(resp.ok);
+  const std::string before = tail_of(body);
+
+  // Mutate a real edge: with no readers in flight the entry is patched
+  // in place.
+  RequestHeader mut;
+  mut.verb = Verb::kMutate;
+  mut.graph = "g0";
+  ASSERT_TRUE(c.request(mut, {delete_line(d.graph)}, &resp, &body, &err))
+      << err;
+  ASSERT_TRUE(resp.ok) << resp.error_msg;
+  EXPECT_NE(body.find("\"patched\":1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"noop\":0"), std::string::npos) << body;
+
+  // The same query stream now answers against the mutated topology: the
+  // tail changes, and it matches a serial replay of the same HISTORY —
+  // build on the old graph, repair to the new one. (A fresh build on
+  // the new graph is rebuild-equivalent but not round-identical.)
+  ASSERT_TRUE(c.request(query_header(7), kMix, &resp, &body, &err)) << err;
+  ASSERT_TRUE(resp.ok) << resp.error_msg;
+  EXPECT_NE(tail_of(body), before);
+  const std::shared_ptr<const GraphState> gs = d.srv.cache().graph("g0");
+  ASSERT_NE(gs, nullptr);
+  EXPECT_EQ(tail_of(body), replay_tail_patched(d.graph, gs->graph,
+                                               opt.hierarchy, 7, 0, kMix));
+  EXPECT_EQ(d.srv.cache().stats().patched, 1u);
+}
+
+TEST(Server, MutateWithPinnedReaderBusyDropsInsteadOfPatching) {
+  ServerOptions opt;
+  opt.hierarchy.seed = 7;
+  TestDaemon d(opt);
+  Client c = d.connect();
+  ResponseHeader resp;
+  std::string body, err;
+  ASSERT_TRUE(c.request(query_header(7), {"mst"}, &resp, &body, &err)) << err;
+  ASSERT_TRUE(resp.ok);
+
+  RequestHeader mut;
+  mut.verb = Verb::kMutate;
+  mut.graph = "g0";
+  const std::string del = delete_line(d.graph);
+  {
+    // Pin the entry the way an in-flight reader does: the writer must
+    // not patch under it, so the mutate is a busy-drop.
+    const std::shared_ptr<const GraphState> gs = d.srv.cache().graph("g0");
+    ASSERT_NE(gs, nullptr);
+    const SharedHierarchyCache::Lookup pin = d.srv.cache().get_or_build(*gs);
+    ASSERT_NE(pin.entry, nullptr);
+
+    ASSERT_TRUE(c.request(mut, {del}, &resp, &body, &err)) << err;
+    ASSERT_TRUE(resp.ok) << resp.error_msg;
+    EXPECT_NE(body.find("\"dropped_busy\":1"), std::string::npos) << body;
+    EXPECT_NE(body.find("\"patched\":0"), std::string::npos) << body;
+
+    // The pinned handle stays fully usable after the drop: it still
+    // describes the PRE-mutate topology it was resolved against.
+    EXPECT_EQ(pin.entry->graph().num_edges(), d.graph.num_edges());
+  }
+  EXPECT_EQ(d.srv.cache().stats().busy_drops, 1u);
+
+  // The dropped entry rebuilds lazily against the mutated topology — a
+  // FRESH build, so the wire tail equals a fresh-build serial replay.
+  ASSERT_TRUE(c.request(query_header(7), {"mst"}, &resp, &body, &err)) << err;
+  ASSERT_TRUE(resp.ok) << resp.error_msg;
+  EXPECT_NE(body.find("\"cache_hit\":0"), std::string::npos) << body;
+  const std::shared_ptr<const GraphState> mutated = d.srv.cache().graph("g0");
+  ASSERT_NE(mutated, nullptr);
+  EXPECT_EQ(tail_of(body),
+            replay_tail(mutated->graph, opt.hierarchy, 7, 0, {"mst"}));
+
+  // With the pin gone the next mutate patches in place again.
+  const std::string ins = "insert" + del.substr(6);  // re-insert same edge
+  ASSERT_TRUE(c.request(mut, {ins}, &resp, &body, &err)) << err;
+  ASSERT_TRUE(resp.ok) << resp.error_msg;
+  EXPECT_NE(body.find("\"patched\":1"), std::string::npos) << body;
+}
+
+TEST(Server, MutateNoopWhenDeltaDoesNotChangeTopology) {
+  TestDaemon d;
+  Client c = d.connect();
+  ResponseHeader resp;
+  std::string body, err;
+  RequestHeader mut;
+  mut.verb = Verb::kMutate;
+  mut.graph = "g0";
+  // Inserting an edge that already exists changes nothing.
+  const NodeId u = d.graph.neighbor(0, 0);
+  std::ostringstream line;
+  line << "insert 0 " << u;
+  ASSERT_TRUE(c.request(mut, {line.str()}, &resp, &body, &err)) << err;
+  ASSERT_TRUE(resp.ok) << resp.error_msg;
+  EXPECT_NE(body.find("\"noop\":1"), std::string::npos) << body;
+}
+
+// ---- shutdown ------------------------------------------------------------
+
+TEST(Server, ShutdownDrainsPromptlyWithIdleConnections) {
+  auto opt = ServerOptions{};
+  auto d = std::make_unique<TestDaemon>(opt);
+  Client idle = d->connect();  // connected, never sends a request
+  ResponseHeader resp;
+  std::string body, err;
+  Client busy = d->connect();
+  ASSERT_TRUE(busy.request(query_header(), {"mst"}, &resp, &body, &err))
+      << err;
+  ASSERT_TRUE(resp.ok);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  d->srv.shutdown();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // Drain must not wait out the full io timeout on the idle connection.
+  EXPECT_LT(elapsed, std::chrono::seconds(3));
+  EXPECT_FALSE(d->srv.running());
+
+  // The drained server refuses new connections.
+  Client late;
+  EXPECT_FALSE(late.connect_to(d->srv.port(), &err));
+}
+
+}  // namespace
+}  // namespace amix::server

@@ -1,0 +1,239 @@
+// amixd soak: concurrent query traffic interleaved with fault-injected
+// mutate traffic against one live daemon. This is the test the TSan CI
+// job runs against the server subsystem — it exists to put the shared
+// cache's lock-free read path, the pin-then-revalidate handshake, and
+// the mutate unpublish/patch/drop discipline under real contention, with
+// transport faults active so retransmission state is churning too.
+//
+// Assertions are about invariants, not exact interleavings: every
+// round trip either succeeds or fails with a TYPED error, responses for
+// the same (seed, base, body, graph_fp) agree byte-for-byte, and the
+// daemon drains cleanly with every request accounted for.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "sim/fault_plan.hpp"
+#include "util/rng.hpp"
+
+namespace amix::server {
+namespace {
+
+std::string tail_of(const std::string& body) {
+  const auto pos = body.find("\"batch_rounds\"");
+  return pos == std::string::npos ? body : body.substr(pos);
+}
+
+std::uint64_t graph_fp_of(const std::string& body) {
+  const auto pos = body.find("\"graph_fp\":");
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(body.c_str() + pos + 11, nullptr, 10);
+}
+
+TEST(ServerSoak, ConcurrentQueriesAndFaultyMutatesStayCoherent) {
+  ServerOptions opt;
+  opt.workers = 4;
+  opt.tenant_inflight = 0;  // soak contention, not admission control
+  opt.hierarchy.seed = 3;
+  // Transport faults on every query: drops + retransmissions churn the
+  // per-query fault state while the cache churns underneath.
+  opt.fault_factory = [] {
+    return std::make_unique<sim::MessageDropPlan>(0.05);
+  };
+  opt.fault_seed = 99;
+
+  Rng rng(21);
+  Server srv(opt);
+  srv.register_graph("g0", gen::random_regular(48, 4, rng));
+  std::string err;
+  ASSERT_TRUE(srv.start(&err)) << err;
+
+  constexpr int kQueryThreads = 6;
+  constexpr int kQueriesPerThread = 12;
+  constexpr int kMutates = 24;
+  const std::vector<std::string> mix = {"mst", "route perm", "walks 6 4"};
+
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::vector<std::string> problems;
+  // Responses keyed by the topology they were computed against: same
+  // graph_fp must mean same replayable tail, mutate storm or not.
+  std::map<std::uint64_t, std::string> tails_by_fp;
+  std::atomic<std::uint64_t> ok_queries{0};
+
+  auto complain = [&](std::string what) {
+    failed = true;
+    const std::lock_guard lock(mu);
+    problems.push_back(std::move(what));
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(kQueryThreads + 1);
+  for (int t = 0; t < kQueryThreads; ++t) {
+    pool.emplace_back([&, t] {
+      Client c;
+      std::string cerr;
+      if (!c.connect_to(srv.port(), &cerr)) {
+        complain("connect: " + cerr);
+        return;
+      }
+      RequestHeader h;
+      h.verb = Verb::kQuery;
+      h.graph = "g0";
+      h.tenant = "t" + std::to_string(t % 3);  // 3 tenants share the cache
+      h.seed = 3;
+      h.base = 0;
+      for (int q = 0; q < kQueriesPerThread && !failed; ++q) {
+        ResponseHeader resp;
+        std::string body;
+        if (!c.request(h, mix, &resp, &body, &cerr)) {
+          complain("query transport: " + cerr);
+          return;
+        }
+        if (!resp.ok) {
+          // Typed errors are allowed under churn; silent nonsense is not.
+          continue;
+        }
+        ++ok_queries;
+        const std::uint64_t fp = graph_fp_of(body);
+        const std::string tail = tail_of(body);
+        const std::lock_guard lock(mu);
+        const auto [it, inserted] = tails_by_fp.emplace(fp, tail);
+        if (!inserted && it->second != tail) {
+          complain("determinism violation at fp " + std::to_string(fp));
+          return;
+        }
+      }
+    });
+  }
+
+  pool.emplace_back([&] {
+    Client c;
+    std::string cerr;
+    if (!c.connect_to(srv.port(), &cerr)) {
+      complain("mutator connect: " + cerr);
+      return;
+    }
+    RequestHeader h;
+    h.verb = Verb::kMutate;
+    h.graph = "g0";
+    h.tenant = "mutator";
+    Rng mrng(77);
+    for (int m = 0; m < kMutates && !failed; ++m) {
+      // Toggle a pseudo-random edge: half the deltas are inapplicable
+      // no-ops, the rest force patch / busy-drop / rebuild races.
+      const auto u = static_cast<std::uint32_t>(mrng.next_below(48));
+      const auto v = static_cast<std::uint32_t>(mrng.next_below(48));
+      if (u == v) continue;
+      std::ostringstream line;
+      line << (m % 2 == 0 ? "insert " : "delete ") << u << ' ' << v;
+      ResponseHeader resp;
+      std::string body;
+      if (!c.request(h, {line.str()}, &resp, &body, &cerr)) {
+        complain("mutate transport: " + cerr);
+        return;
+      }
+      if (!resp.ok) {
+        complain("mutate error: " + resp.error_msg);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  for (std::thread& t : pool) t.join();
+  ASSERT_TRUE(problems.empty()) << problems.front();
+  // The fault plans dropped messages but every query still completed:
+  // retransmission is part of the simulated transport, not an error.
+  EXPECT_EQ(ok_queries.load(), kQueryThreads * kQueriesPerThread);
+
+  // The cache actually churned: queries hit, mutates reconciled. Which
+  // reconcile path each mutate took is timing-dependent; their SUM is
+  // every topology-changing mutate.
+  const SharedHierarchyCache::Stats cs = srv.cache().stats();
+  EXPECT_GT(cs.hits, 0u);
+  EXPECT_GT(cs.misses, 0u);
+  EXPECT_GT(cs.patched + cs.busy_drops + cs.fallback_drops, 0u);
+
+  srv.shutdown();
+  const Server::Stats ss = srv.stats();
+  EXPECT_GE(ss.requests,
+            static_cast<std::uint64_t>(kQueryThreads * kQueriesPerThread));
+  EXPECT_EQ(ss.shed_overloaded, 0u);  // queue never filled at this load
+}
+
+TEST(ServerSoak, StatsRequestsInterleaveWithTraffic) {
+  ServerOptions opt;
+  opt.workers = 3;
+  opt.hierarchy.seed = 5;
+  Rng rng(22);
+  Server srv(opt);
+  srv.register_graph("g0", gen::random_regular(40, 4, rng));
+  std::string err;
+  ASSERT_TRUE(srv.start(&err)) << err;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::string> problems;
+  std::mutex mu;
+  std::thread querier([&] {
+    Client c;
+    std::string cerr;
+    if (!c.connect_to(srv.port(), &cerr)) return;
+    RequestHeader h;
+    h.verb = Verb::kQuery;
+    h.graph = "g0";
+    h.seed = 5;
+    for (int q = 0; q < 10; ++q) {
+      ResponseHeader resp;
+      std::string body;
+      if (!c.request(h, {"mst", "walks 4 4"}, &resp, &body, &cerr) ||
+          !resp.ok) {
+        const std::lock_guard lock(mu);
+        problems.push_back("query: " + (resp.ok ? cerr : resp.error_msg));
+        return;
+      }
+    }
+    stop = true;
+  });
+  std::thread statser([&] {
+    Client c;
+    std::string cerr;
+    if (!c.connect_to(srv.port(), &cerr)) return;
+    RequestHeader h;
+    h.verb = Verb::kStats;
+    while (!stop) {
+      ResponseHeader resp;
+      std::string body;
+      if (!c.request(h, {}, &resp, &body, &cerr) || !resp.ok) {
+        const std::lock_guard lock(mu);
+        problems.push_back("stats: " + (resp.ok ? cerr : resp.error_msg));
+        return;
+      }
+      if (body.find("\"tenants\":[") == std::string::npos) {
+        const std::lock_guard lock(mu);
+        problems.push_back("stats body malformed: " + body);
+        return;
+      }
+    }
+  });
+  querier.join();
+  stop = true;
+  statser.join();
+  ASSERT_TRUE(problems.empty()) << problems.front();
+}
+
+}  // namespace
+}  // namespace amix::server

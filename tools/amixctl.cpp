@@ -25,6 +25,18 @@
 //           walks <count> <steps>
 //       prints the per-query table + amortization summary; --json writes
 //       the final BatchReport. Exits nonzero if any query failed.
+//   amixctl client <mixfile> --port P [--graph NAME] [--tenant NAME]
+//           [--seed S] [--threads T] [--repeat R] [--json out.json]
+//           [--verify <instance-file>]
+//       ships the mix file to a running amixd (see tools/amixd.cpp) as
+//       one query request per repeat over T concurrent connections,
+//       asserts every response's replayable tail is byte-identical
+//       across all threads x repeats, and prints the last response's
+//       JSON body. --verify additionally replays the request serially
+//       in-process against the instance file (which must be the same
+//       instance amixd serves, built with the same --seed) and compares
+//       the wire bytes against the local replay. Exits nonzero on any
+//       typed server error, determinism mismatch, or failed query.
 //
 // Instances are the text format of graph/io.hpp; `generate` always writes
 // distinct random weights so every instance is MST-ready.
@@ -33,12 +45,17 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "amix/amix.hpp"
+#include "engine/execute.hpp"
 #include "graph/io.hpp"
+#include "server/client.hpp"
+#include "server/mix.hpp"
 
 namespace {
 
@@ -59,6 +76,10 @@ struct Args {
   std::uint32_t threads = 1;
   std::uint32_t repeat = 1;
   std::string json_out;
+  std::uint16_t port = 0;
+  std::string graph_name = "g0";
+  std::string tenant = "default";
+  std::string verify_file;
 };
 
 Args parse(int argc, char** argv) {
@@ -95,6 +116,14 @@ Args parse(int argc, char** argv) {
       a.repeat = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (s == "--json") {
       a.json_out = next();
+    } else if (s == "--port") {
+      a.port = static_cast<std::uint16_t>(std::stoul(next()));
+    } else if (s == "--graph") {
+      a.graph_name = next();
+    } else if (s == "--tenant") {
+      a.tenant = next();
+    } else if (s == "--verify") {
+      a.verify_file = next();
     } else {
       a.positional.push_back(s);
     }
@@ -103,8 +132,8 @@ Args parse(int argc, char** argv) {
 }
 
 int usage() {
-  std::cerr << "usage: amixctl "
-               "{generate|info|route|mst|mincut|estimate-tau|trace|workload} "
+  std::cerr << "usage: amixctl {generate|info|route|mst|mincut|estimate-tau|"
+               "trace|workload|client} "
                "... (see the header of tools/amixctl.cpp)\n";
   return 2;
 }
@@ -333,56 +362,6 @@ int cmd_trace(const Args& a) {
   return report.ok() ? 0 : 1;
 }
 
-// One QuerySpec per mix-file line; the line number keys the spec's seed
-// (and its instance randomness), so a workload is reproducible from
-// (graph, mixfile, --seed) alone.
-QuerySpec parse_mix_line(const Graph& g, const GraphFile& f,
-                         const std::string& kind, std::istringstream& ls,
-                         std::uint64_t lineno, std::uint64_t seed) {
-  QuerySpec spec;
-  spec.seed = keyed_u64(seed, 0x776f726b6c6f6164ULL, lineno);
-  Rng rng(spec.seed);
-  if (kind == "mst") {
-    spec.op = MstQuery{
-        f.weights ? *f.weights : distinct_random_weights(g, rng),
-        MstParams{}};
-    spec.label = "mst@" + std::to_string(lineno);
-  } else if (kind == "route") {
-    std::string inst = "perm";
-    ls >> inst;
-    std::uint32_t phases = 1;
-    ls >> phases;
-    std::vector<RouteRequest> reqs;
-    if (inst == "perm") {
-      reqs = permutation_instance(g, rng);
-    } else if (inst == "demand") {
-      reqs = degree_demand_instance(g, rng);
-    } else if (inst == "a2a") {
-      reqs = all_to_all_instance(g);
-    } else {
-      AMIX_CHECK_MSG(false, "unknown route instance in mix file");
-    }
-    spec.op = RouteQuery{std::move(reqs), phases};
-    spec.label = "route-" + inst + "@" + std::to_string(lineno);
-  } else if (kind == "clique") {
-    spec.op = CliqueQuery{};
-    spec.label = "clique@" + std::to_string(lineno);
-  } else if (kind == "walks") {
-    std::uint32_t count = g.num_nodes();
-    std::uint32_t steps = 8;
-    ls >> count >> steps;
-    std::vector<std::uint32_t> starts(count);
-    for (std::uint32_t i = 0; i < count; ++i) {
-      starts[i] = static_cast<NodeId>(rng.next_below(g.num_nodes()));
-    }
-    spec.op = WalkQuery{std::move(starts), WalkKind::kLazy, steps};
-    spec.label = "walks@" + std::to_string(lineno);
-  } else {
-    AMIX_CHECK_MSG(false, "unknown query kind in mix file");
-  }
-  return spec;
-}
-
 int cmd_workload(const Args& a) {
   AMIX_CHECK_MSG(a.positional.size() >= 3, "workload needs <file> <mixfile>");
   const GraphFile f = load_graph(a.positional[1]);
@@ -390,18 +369,25 @@ int cmd_workload(const Args& a) {
   std::ifstream mix(a.positional[2]);
   AMIX_CHECK_MSG(mix.good(), "cannot open mix file");
 
+  // One QuerySpec per mix-file line through the shared grammar
+  // (server/mix.hpp — amixd parses request bodies with the same
+  // function). The 1-based line number keys the spec's seed and its
+  // instance randomness, so a workload is reproducible from
+  // (graph, mixfile, --seed) alone.
   std::vector<QuerySpec> specs;
   std::string line;
   std::uint64_t lineno = 0;
   while (std::getline(mix, line)) {
     ++lineno;
-    if (const auto hash = line.find('#'); hash != std::string::npos) {
-      line.erase(hash);
-    }
-    std::istringstream ls(line);
-    std::string kind;
-    if (!(ls >> kind)) continue;
-    specs.push_back(parse_mix_line(g, f, kind, ls, lineno, a.seed));
+    QuerySpec spec;
+    std::string perr;
+    const server::MixParse mp = server::parse_mix_line(
+        g, f.weights ? &*f.weights : nullptr, line, lineno,
+        keyed_u64(a.seed, 0x776f726b6c6f6164ULL, lineno), &spec, &perr);
+    AMIX_CHECK_MSG(mp != server::MixParse::kError,
+                   ("mix line " + std::to_string(lineno) + ": " + perr)
+                       .c_str());
+    if (mp == server::MixParse::kQuery) specs.push_back(std::move(spec));
   }
   AMIX_CHECK_MSG(!specs.empty(), "mix file has no queries");
 
@@ -450,6 +436,143 @@ int cmd_workload(const Args& a) {
   return b.all_ok() ? 0 : 1;
 }
 
+// The replayable tail of an amixd query-response body: everything from
+// "batch_rounds" on is a pure function of (graph content, hierarchy
+// params, seed, base, body lines) — see Server::run_query.
+std::string response_tail(const std::string& body) {
+  const auto pos = body.find("\"batch_rounds\"");
+  AMIX_CHECK_MSG(pos != std::string::npos,
+                 "response body has no batch_rounds field");
+  return body.substr(pos);
+}
+
+int cmd_client(const Args& a) {
+  AMIX_CHECK_MSG(a.positional.size() >= 2, "client needs <mixfile>");
+  AMIX_CHECK_MSG(a.port != 0, "client needs --port");
+  std::ifstream mix(a.positional[1]);
+  AMIX_CHECK_MSG(mix.good(), "cannot open mix file");
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(mix, line)) lines.push_back(line);
+  AMIX_CHECK_MSG(!lines.empty(), "mix file is empty");
+
+  server::RequestHeader hdr;
+  hdr.verb = server::Verb::kQuery;
+  hdr.graph = a.graph_name;
+  hdr.tenant = a.tenant;
+  hdr.seed = a.seed;
+  hdr.base = 0;  // body line i is session call i
+
+  // --threads concurrent connections, each sending the mix --repeat
+  // times. Identical (seed, base) means every response must carry the
+  // same replayable tail — asserted below.
+  const std::uint32_t threads = std::max(a.threads, 1u);
+  const std::uint32_t repeat = std::max(a.repeat, 1u);
+  std::mutex mu;
+  std::vector<std::string> bodies;
+  std::vector<std::string> errors;
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      server::Client c;
+      std::string err;
+      if (!c.connect_to(a.port, &err)) {
+        const std::lock_guard lock(mu);
+        errors.push_back(err);
+        return;
+      }
+      for (std::uint32_t r = 0; r < repeat; ++r) {
+        server::ResponseHeader resp;
+        std::string body;
+        if (!c.request(hdr, lines, &resp, &body, &err)) {
+          const std::lock_guard lock(mu);
+          errors.push_back(err);
+          return;
+        }
+        if (!resp.ok) {
+          const std::lock_guard lock(mu);
+          errors.push_back(std::string(server::error_code_name(resp.code)) +
+                           ": " + resp.error_msg);
+          return;
+        }
+        const std::lock_guard lock(mu);
+        bodies.push_back(std::move(body));
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  if (!errors.empty()) {
+    std::cerr << "client: " << errors.front() << "\n";
+    return 1;
+  }
+
+  const std::string tail = response_tail(bodies.front());
+  for (const std::string& b : bodies) {
+    if (response_tail(b) != tail) {
+      std::cerr << "client: determinism violation — responses differ "
+                   "across threads/repeats\n";
+      return 1;
+    }
+  }
+  std::cout << bodies.back() << "\n";
+  if (!a.json_out.empty()) {
+    std::ofstream os(a.json_out);
+    AMIX_CHECK_MSG(os.good(), "cannot open --json file");
+    os << bodies.back() << "\n";
+    std::cerr << "wrote " << a.json_out << "\n";
+  }
+
+  if (!a.verify_file.empty()) {
+    // Serial in-process replay: same grammar, same per-line call seeds,
+    // same execute_query/fold_batch the server workers use. The formatted
+    // tail must match the wire bytes exactly.
+    const GraphFile f = load_graph(a.verify_file);
+    HierarchyParams hp;
+    hp.seed = a.seed;
+    RoundLedger build_ledger;
+    const Hierarchy h = Hierarchy::build(f.graph, hp, build_ledger);
+    std::vector<engine::QueryExecution> execs;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      QuerySpec spec;
+      std::string perr;
+      const server::MixParse mp = server::parse_mix_line(
+          f.graph, f.weights ? &*f.weights : nullptr, lines[i], i,
+          Session::call_seed(a.seed, i), &spec, &perr);
+      AMIX_CHECK_MSG(mp != server::MixParse::kError, perr.c_str());
+      if (mp != server::MixParse::kQuery) continue;
+      execs.push_back(engine::execute_query(
+          f.graph, h, spec, static_cast<std::uint32_t>(i), nullptr));
+    }
+    BatchReport b;
+    engine::fold_batch(std::move(execs), b);
+    std::ostringstream os;
+    os << "\"batch_rounds\":"
+       << b.multiplexed_transport_rounds + b.serialized_rounds
+       << ",\"multiplexed_transport_rounds\":"
+       << b.multiplexed_transport_rounds
+       << ",\"serialized_rounds\":" << b.serialized_rounds
+       << ",\"standalone_query_rounds\":" << b.standalone_query_rounds
+       << ",\"queries\":[";
+    for (std::size_t i = 0; i < b.queries.size(); ++i) {
+      if (i != 0) os << ',';
+      b.queries[i].to_json(os);
+    }
+    os << "]}";
+    if (os.str() != tail) {
+      std::cerr << "client: VERIFY FAILED — wire response differs from "
+                   "serial replay\n  wire:   "
+                << tail.substr(0, 200) << "...\n  replay: "
+                << os.str().substr(0, 200) << "...\n";
+      return 1;
+    }
+    std::cout << "verify: OK — " << bodies.size()
+              << " response(s) byte-identical to serial replay ("
+              << tail.size() << " bytes)\n";
+  }
+  return tail.find("\"ok\":false") == std::string::npos ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -464,5 +587,6 @@ int main(int argc, char** argv) {
   if (cmd == "estimate-tau") return cmd_estimate_tau(a);
   if (cmd == "trace") return cmd_trace(a);
   if (cmd == "workload") return cmd_workload(a);
+  if (cmd == "client") return cmd_client(a);
   return usage();
 }

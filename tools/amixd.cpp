@@ -1,0 +1,151 @@
+// amixd — the amix query daemon.
+//
+//   amixd --graph <name>=<instance-file> [--graph <name>=<file> ...]
+//         [--port P] [--port-file F] [--workers N] [--queue-capacity Q]
+//         [--tenant-inflight M] [--cache-capacity K] [--io-timeout-ms T]
+//         [--seed S]
+//
+// Serves the named graph instances over the amix/1 line protocol on
+// 127.0.0.1 (see src/server/protocol.hpp for the wire grammar and
+// src/server/server.hpp for the concurrency model). Port 0 (the
+// default) binds an ephemeral port; the bound port is printed on stdout
+// and, with --port-file, written to a file for scripts to pick up.
+//
+// --seed seeds the hierarchy parameters. A client replaying responses
+// (`amixctl client --verify`) must build with the same seed.
+//
+// SIGTERM/SIGINT drain cleanly: stop accepting, answer queued
+// connections with `shutting-down`, finish in-flight requests, exit 0.
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/io.hpp"
+#include "server/server.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 1;
+  // Self-pipe: the only async-signal-safe way to hand the event to the
+  // poll loop below.
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+int usage() {
+  std::cerr << "usage: amixd --graph <name>=<instance-file> [--graph ...]\n"
+               "             [--port P] [--port-file F] [--workers N]\n"
+               "             [--queue-capacity Q] [--tenant-inflight M]\n"
+               "             [--cache-capacity K] [--io-timeout-ms T]\n"
+               "             [--seed S]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace amix;
+
+  server::ServerOptions opt;
+  std::vector<std::pair<std::string, std::string>> graphs;  // name -> file
+  std::string port_file;
+  std::uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    auto next = [&]() -> std::string {
+      AMIX_CHECK_MSG(i + 1 < argc, "missing value for flag");
+      return argv[++i];
+    };
+    if (s == "--graph") {
+      const std::string spec = next();
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        std::cerr << "amixd: --graph needs <name>=<instance-file>\n";
+        return 2;
+      }
+      graphs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (s == "--port") {
+      opt.port = static_cast<std::uint16_t>(std::stoul(next()));
+    } else if (s == "--port-file") {
+      port_file = next();
+    } else if (s == "--workers") {
+      opt.workers = std::stoul(next());
+    } else if (s == "--queue-capacity") {
+      opt.queue_capacity = std::stoul(next());
+    } else if (s == "--tenant-inflight") {
+      opt.tenant_inflight = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (s == "--cache-capacity") {
+      opt.cache_capacity = std::stoul(next());
+    } else if (s == "--io-timeout-ms") {
+      opt.io_timeout_ms = std::stoi(next());
+    } else if (s == "--seed") {
+      seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+  if (graphs.empty()) return usage();
+  opt.hierarchy.seed = seed;
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::cerr << "amixd: pipe: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  server::Server daemon(opt);
+  for (const auto& [name, file] : graphs) {
+    const GraphFile f = load_graph(file);
+    std::cout << "amixd: graph " << name << ": n=" << f.graph.num_nodes()
+              << " m=" << f.graph.num_edges()
+              << " weighted=" << (f.weights ? "yes" : "no") << "\n";
+    daemon.register_graph(name, f.graph, f.weights);
+  }
+
+  std::string err;
+  if (!daemon.start(&err)) {
+    std::cerr << "amixd: " << err << "\n";
+    return 1;
+  }
+  std::cout << "amixd: listening on 127.0.0.1:" << daemon.port()
+            << " (workers=" << (opt.workers > 0 ? opt.workers : 1)
+            << " queue=" << opt.queue_capacity
+            << " tenant-inflight=" << opt.tenant_inflight
+            << " cache-capacity=" << opt.cache_capacity << ")" << std::endl;
+  if (!port_file.empty()) {
+    std::ofstream pf(port_file);
+    AMIX_CHECK_MSG(pf.good(), "cannot open --port-file");
+    pf << daemon.port() << "\n";
+  }
+
+  // Block until SIGTERM/SIGINT.
+  pollfd p{g_signal_pipe[0], POLLIN, 0};
+  for (;;) {
+    const int pr = ::poll(&p, 1, -1);
+    if (pr > 0 || (pr < 0 && errno != EINTR)) break;
+  }
+
+  std::cout << "amixd: draining" << std::endl;
+  daemon.shutdown();
+  const server::Server::Stats s = daemon.stats();
+  std::cout << "amixd: served " << s.requests << " request(s), accepted "
+            << s.accepted << " connection(s), shed " << s.shed_overloaded
+            << " overloaded + " << s.shed_tenant << " tenant, "
+            << s.bad_requests << " bad, " << s.timeouts << " timeout(s)"
+            << std::endl;
+  return 0;
+}

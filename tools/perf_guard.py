@@ -24,8 +24,10 @@ flags; repeat the flag to gate several benchmark families in one run).
 When the current file holds repetition aggregates, the `_median` rows are
 used and the suffix is stripped for matching — medians are what make a
 tight tolerance meaningful on shared runners. Exits 1 when any matched
-row's cpu_time exceeds baseline * (1 + tolerance); missing rows are an
-error (a silently renamed benchmark must not disable the guard).
+row's gated time (--metric: cpu_time by default, real_time for IO-bound
+rows like BM_ServerQueryLoad) exceeds baseline * (1 + tolerance);
+missing rows are an error (a silently renamed benchmark must not
+disable the guard).
 --report additionally writes the comparison table to a file so CI can
 archive it as an artifact next to the raw JSON.
 
@@ -37,7 +39,7 @@ import json
 import sys
 
 
-def load_rows(path, prefixes):
+def load_rows(path, prefixes, metric):
     with open(path) as f:
         doc = json.load(f)
     rows = {}
@@ -52,7 +54,7 @@ def load_rows(path, prefixes):
             name = name[: -len("_median")]
         if not any(name.startswith(p) for p in prefixes):
             continue
-        rows[name] = float(b["cpu_time"])
+        rows[name] = float(b[metric])
     return rows
 
 
@@ -68,13 +70,21 @@ def main():
     )
     ap.add_argument("--tolerance", type=float, default=0.03)
     ap.add_argument(
+        "--metric",
+        choices=["cpu_time", "real_time"],
+        default="cpu_time",
+        help="which benchmark time to gate (real_time for IO-bound rows "
+        "like the amixd server load bench, where the product is "
+        "wall-clock request latency, not CPU burn)",
+    )
+    ap.add_argument(
         "--report", default=None, help="also write the comparison table here"
     )
     args = ap.parse_args()
     prefixes = args.benchmark if args.benchmark else [""]
 
-    base = load_rows(args.baseline, prefixes)
-    cur = load_rows(args.current, prefixes)
+    base = load_rows(args.baseline, prefixes, args.metric)
+    cur = load_rows(args.current, prefixes, args.metric)
     if not base:
         print(f"perf_guard: no baseline rows match {prefixes}")
         return 1
@@ -91,7 +101,7 @@ def main():
         verdict = "ok" if delta <= args.tolerance else "REGRESSION"
         failed |= delta > args.tolerance
         lines.append(
-            f"{name:<44} {b:>10.0f}ns {c:>10.0f}ns {delta:>+7.1%} {verdict}"
+            f"{name:<44} {b:>12.4g} {c:>12.4g} {delta:>+7.1%} {verdict}"
         )
     if failed:
         lines.append(
