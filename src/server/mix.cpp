@@ -1,5 +1,6 @@
 #include "server/mix.hpp"
 
+#include <charconv>
 #include <sstream>
 #include <utility>
 
@@ -7,6 +8,22 @@
 #include "util/rng.hpp"
 
 namespace amix::server {
+
+namespace {
+
+/// Read the next whitespace-separated token as a decimal u32. An absent
+/// token leaves *out at its default and succeeds; a present token that
+/// is not a full decimal u32 (junk, sign, overflow) fails — a daemon
+/// must reject it, not silently zero it the way stream extraction does.
+bool next_u32(std::istringstream& ls, std::uint32_t* out) {
+  std::string tok;
+  if (!(ls >> tok)) return true;
+  const char* const end = tok.data() + tok.size();
+  const auto [p, ec] = std::from_chars(tok.data(), end, *out);
+  return ec == std::errc() && p == end;
+}
+
+}  // namespace
 
 MixParse parse_mix_line(const Graph& g, const Weights* w,
                         const std::string& line, std::uint64_t lineno,
@@ -31,7 +48,17 @@ MixParse parse_mix_line(const Graph& g, const Weights* w,
     std::string inst = "perm";
     ls >> inst;
     std::uint32_t phases = 1;
-    ls >> phases;
+    if (!next_u32(ls, &phases)) {
+      if (err != nullptr) *err = "route phases must be a decimal u32";
+      return MixParse::kError;
+    }
+    if (phases > kMaxRoutePhases) {
+      if (err != nullptr) {
+        *err = "route phases " + std::to_string(phases) + " exceeds max " +
+               std::to_string(kMaxRoutePhases);
+      }
+      return MixParse::kError;
+    }
     std::vector<RouteRequest> reqs;
     if (inst == "perm") {
       reqs = permutation_instance(g, rng);
@@ -51,7 +78,24 @@ MixParse parse_mix_line(const Graph& g, const Weights* w,
   } else if (kind == "walks") {
     std::uint32_t count = g.num_nodes();
     std::uint32_t steps = 8;
-    ls >> count >> steps;
+    if (!next_u32(ls, &count) || !next_u32(ls, &steps)) {
+      if (err != nullptr) *err = "walks count/steps must be decimal u32";
+      return MixParse::kError;
+    }
+    if (count > g.num_nodes()) {
+      if (err != nullptr) {
+        *err = "walks count " + std::to_string(count) +
+               " exceeds graph nodes " + std::to_string(g.num_nodes());
+      }
+      return MixParse::kError;
+    }
+    if (steps > kMaxWalkSteps) {
+      if (err != nullptr) {
+        *err = "walks steps " + std::to_string(steps) + " exceeds max " +
+               std::to_string(kMaxWalkSteps);
+      }
+      return MixParse::kError;
+    }
     std::vector<std::uint32_t> starts(count);
     for (std::uint32_t i = 0; i < count; ++i) {
       starts[i] = static_cast<NodeId>(rng.next_below(g.num_nodes()));

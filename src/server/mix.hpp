@@ -35,6 +35,16 @@
 
 namespace amix::server {
 
+/// Grammar-level hard ceilings on wire-controlled sizes: walk step
+/// counts and route phase counts (walk count is bounded by the graph's
+/// own node count, so it needs no constant). These are part of the
+/// grammar, NOT server configuration — every parser (amixctl workload,
+/// the daemon, the client's serial-replay verifier) must agree on what
+/// is well-formed, and a daemon must never let a one-line request buy
+/// unbounded memory or CPU.
+inline constexpr std::uint32_t kMaxWalkSteps = 4096;
+inline constexpr std::uint32_t kMaxRoutePhases = 4096;
+
 enum class MixParse : std::uint8_t {
   kQuery,  // *out is a parsed spec
   kBlank,  // comment / blank line, nothing parsed

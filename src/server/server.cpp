@@ -8,7 +8,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <exception>
 #include <sstream>
 #include <utility>
 
@@ -24,35 +26,48 @@ constexpr int kPollSliceMs = 100;  // stop-flag check granularity
 }
 
 /// One worker-owned connection: a non-blocking fd plus a line buffer.
-/// Every operation polls with a progress deadline, so a stalled peer
-/// (half-sent request, unread response) costs at most io_timeout_ms.
+/// Every operation polls under TWO deadlines: a progress deadline (no
+/// bytes for io_timeout_ms) and a cumulative per-request IO budget
+/// (request_timeout_ms of total wait, which progress does NOT reset).
+/// The first catches a peer that stalls outright; the second catches a
+/// peer that trickles just often enough to keep resetting the first.
+/// Either way a misbehaving peer costs a bounded slice of one worker.
 class Conn {
  public:
   enum class Read : std::uint8_t {
     kLine,     // *line filled (newline stripped)
     kEof,      // peer closed cleanly at a line boundary
-    kTimeout,  // no progress within the deadline
+    kTimeout,  // progress deadline or request budget exhausted
     kTooLong,  // line exceeds Limits::max_line_bytes: framing is lost
     kStopped,  // idle and the server is draining
     kError,    // transport error
   };
 
-  Conn(int fd, const Limits& limits, int timeout_ms,
+  Conn(int fd, const Limits& limits, int timeout_ms, int request_timeout_ms,
        const std::atomic<bool>& stopping)
       : fd_(fd), limits_(limits), timeout_ms_(timeout_ms),
-        stopping_(stopping) {
+        request_timeout_ms_(request_timeout_ms), stopping_(stopping) {
     const int flags = ::fcntl(fd_, F_GETFL, 0);
     ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    begin_request();
   }
   ~Conn() { ::close(fd_); }
   Conn(const Conn&) = delete;
   Conn& operator=(const Conn&) = delete;
 
+  /// Reset the cumulative IO budget for the next request. Idle waits
+  /// (keep-alive gap before a request's first byte) are never charged,
+  /// so long-lived quiet connections don't erode their next request.
+  void begin_request() {
+    budget_left_ = std::chrono::milliseconds(
+        request_timeout_ms_ > 0 ? request_timeout_ms_ : 0);
+  }
+
   /// Read one '\n'-terminated line. With `idle` (waiting for the next
   /// request header with an empty buffer) the wait also watches the
   /// server's stop flag.
   Read read_line(std::string* line, bool idle) {
-    int waited_ms = 0;
+    Clock::time_point last_progress = Clock::now();
     for (;;) {
       if (const auto pos = inbuf_.find('\n'); pos != std::string::npos) {
         if (pos + 1 > limits_.max_line_bytes) return Read::kTooLong;
@@ -65,18 +80,26 @@ class Conn {
           stopping_.load(std::memory_order_relaxed)) {
         return Read::kStopped;
       }
-      if (waited_ms >= timeout_ms_) return Read::kTimeout;
+      if (Clock::now() - last_progress >=
+          std::chrono::milliseconds(timeout_ms_)) {
+        return Read::kTimeout;
+      }
 
+      const Clock::time_point wait_start = Clock::now();
       pollfd p{fd_, POLLIN, 0};
       const int pr = ::poll(&p, 1, kPollSliceMs);
+      // The budget starts at the request's first byte: a genuinely idle
+      // keep-alive wait is free, everything after is charged whether or
+      // not the poll produced data.
+      if (!(idle && inbuf_.empty()) &&
+          !charge(Clock::now() - wait_start)) {
+        return Read::kTimeout;
+      }
       if (pr < 0) {
         if (errno == EINTR) continue;
         return Read::kError;
       }
-      if (pr == 0) {
-        waited_ms += kPollSliceMs;
-        continue;
-      }
+      if (pr == 0) continue;
       char buf[4096];
       const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
       if (n == 0) return inbuf_.empty() ? Read::kEof : Read::kError;
@@ -87,34 +110,39 @@ class Conn {
         return Read::kError;
       }
       inbuf_.append(buf, static_cast<std::size_t>(n));
-      waited_ms = 0;  // progress resets the deadline
+      last_progress = Clock::now();  // progress resets the deadline only
     }
   }
 
   /// Write everything or fail; timed_out() says whether the failure was
-  /// a peer that stopped reading.
+  /// a peer that stopped (or trickled) reading.
   bool write_all(std::string_view data) {
     std::size_t off = 0;
-    int waited_ms = 0;
+    Clock::time_point last_progress = Clock::now();
     while (off < data.size()) {
       const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
                                MSG_NOSIGNAL);
       if (n > 0) {
         off += static_cast<std::size_t>(n);
-        waited_ms = 0;
+        last_progress = Clock::now();
         continue;
       }
       if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
           errno != EINTR) {
         return false;
       }
-      if (waited_ms >= timeout_ms_) {
+      if (Clock::now() - last_progress >=
+          std::chrono::milliseconds(timeout_ms_)) {
         timed_out_ = true;
         return false;
       }
+      const Clock::time_point wait_start = Clock::now();
       pollfd p{fd_, POLLOUT, 0};
       if (::poll(&p, 1, kPollSliceMs) < 0 && errno != EINTR) return false;
-      waited_ms += kPollSliceMs;
+      if (!charge(Clock::now() - wait_start)) {
+        timed_out_ = true;
+        return false;
+      }
     }
     return true;
   }
@@ -122,11 +150,22 @@ class Conn {
   bool timed_out() const { return timed_out_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Deduct waited time from the request budget; false once exhausted.
+  bool charge(Clock::duration waited) {
+    if (request_timeout_ms_ <= 0) return true;  // unlimited
+    budget_left_ -= waited;
+    return budget_left_ > Clock::duration::zero();
+  }
+
   int fd_;
   Limits limits_;
   int timeout_ms_;
+  int request_timeout_ms_;
   const std::atomic<bool>& stopping_;
   std::string inbuf_;
+  Clock::duration budget_left_{};
   bool timed_out_ = false;
 };
 
@@ -260,13 +299,23 @@ void Server::worker_loop() {
       ::close(fd);
       continue;
     }
-    serve_connection(fd);
+    try {
+      serve_connection(fd);
+    } catch (const std::exception&) {
+      // Last-resort barrier: an exception that escapes per-request
+      // handling (e.g. bad_alloc in a parse path) costs its connection
+      // (the Conn destructor closed the fd during unwinding), never the
+      // daemon — a one-line request must not be a cross-tenant crash.
+      internal_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
 void Server::serve_connection(int fd) {
-  Conn conn(fd, opt_.limits, opt_.io_timeout_ms, stopping_);
+  Conn conn(fd, opt_.limits, opt_.io_timeout_ms, opt_.request_timeout_ms,
+            stopping_);
   for (;;) {
+    conn.begin_request();
     std::string line;
     switch (conn.read_line(&line, /*idle=*/true)) {
       case Conn::Read::kLine: break;
@@ -320,7 +369,7 @@ bool Server::serve_request(Conn& conn, const RequestHeader& hdr) {
     requests_.fetch_add(1, std::memory_order_relaxed);
     conn.write_all(format_error(ErrorCode::kTenantOverloaded,
                                 "tenant '" + hdr.tenant +
-                                    "' at in-flight limit") + "\n");
+                                    "' over admission limit") + "\n");
     return false;  // the unread body cannot be reframed: close
   }
 
@@ -368,13 +417,32 @@ bool Server::serve_request(Conn& conn, const RequestHeader& hdr) {
         code = ErrorCode::kUnknownGraph;
         emsg = "no graph named '" + hdr.graph + "'";
       } else {
-        ok_body = run_query(hdr, *gs, body, &queries, &rounds, &code, &emsg);
+        // Exception barrier: execution that throws (bad_alloc on an
+        // instance the limits under-estimated, a CHECK-turned-throw)
+        // answers `internal` and releases the tenant slot — it must
+        // never unwind past the worker and kill the daemon.
+        try {
+          ok_body = run_query(hdr, *gs, body, &queries, &rounds, &code,
+                              &emsg);
+        } catch (const std::exception& e) {
+          ok_body.clear();
+          code = ErrorCode::kInternal;
+          emsg = std::string("query failed: ") + e.what();
+          internal_errors_.fetch_add(1, std::memory_order_relaxed);
+        }
       }
       tenant_release(hdr.tenant, queries, rounds);
       break;
     }
     case Verb::kMutate:
-      ok_body = run_mutate(hdr, body, &rounds, &code, &emsg);
+      try {
+        ok_body = run_mutate(hdr, body, &rounds, &code, &emsg);
+      } catch (const std::exception& e) {
+        ok_body.clear();
+        code = ErrorCode::kInternal;
+        emsg = std::string("mutate failed: ") + e.what();
+        internal_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
       tenant_release(hdr.tenant, 0, rounds);
       break;
   }
@@ -399,11 +467,32 @@ bool Server::serve_request(Conn& conn, const RequestHeader& hdr) {
 
 bool Server::tenant_acquire(const std::string& tenant) {
   std::lock_guard lock(tenants_mu_);
-  Tenant& t = tenants_[tenant];
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    // Tenant names are wire-supplied, so the table must be bounded or a
+    // name-churning client grows it (and the stats body) without limit.
+    // At the cap, recycle the longest-idle zero-inflight entry; if every
+    // slot is busy the newcomer is shed with a typed error.
+    if (opt_.max_tenants != 0 && tenants_.size() >= opt_.max_tenants) {
+      auto victim = tenants_.end();
+      for (auto i = tenants_.begin(); i != tenants_.end(); ++i) {
+        if (i->second.inflight != 0) continue;
+        if (victim == tenants_.end() ||
+            i->second.last_admit < victim->second.last_admit) {
+          victim = i;
+        }
+      }
+      if (victim == tenants_.end()) return false;
+      tenants_.erase(victim);
+    }
+    it = tenants_.try_emplace(tenant).first;
+  }
+  Tenant& t = it->second;
   if (opt_.tenant_inflight != 0 && t.inflight >= opt_.tenant_inflight) {
     ++t.stats.shed;
     return false;
   }
+  t.last_admit = ++tenant_seq_;
   ++t.inflight;
   ++t.stats.requests;
   return true;
@@ -412,7 +501,9 @@ bool Server::tenant_acquire(const std::string& tenant) {
 void Server::tenant_release(const std::string& tenant, std::uint64_t queries,
                             std::uint64_t rounds) {
   std::lock_guard lock(tenants_mu_);
-  Tenant& t = tenants_[tenant];
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;  // entries with inflight>0 never recycle
+  Tenant& t = it->second;
   --t.inflight;
   t.stats.queries += queries;
   t.stats.rounds += rounds;
@@ -553,7 +644,8 @@ std::string Server::run_stats() {
      << ",\"shed_overloaded\":" << ss.shed_overloaded
      << ",\"shed_tenant\":" << ss.shed_tenant
      << ",\"bad_requests\":" << ss.bad_requests
-     << ",\"timeouts\":" << ss.timeouts << ",\"tenants\":[";
+     << ",\"timeouts\":" << ss.timeouts
+     << ",\"internal_errors\":" << ss.internal_errors << ",\"tenants\":[";
   bool first = true;
   for (const auto& [name, ts] : tenant_stats()) {
     if (!first) os << ',';
@@ -574,6 +666,7 @@ Server::Stats Server::stats() const {
   s.shed_tenant = shed_tenant_.load(std::memory_order_relaxed);
   s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
   s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.internal_errors = internal_errors_.load(std::memory_order_relaxed);
   return s;
 }
 

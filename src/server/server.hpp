@@ -13,10 +13,12 @@
 //    serially; concurrency comes from connections, not from splitting a
 //    request (a request's specs execute in submit order, which is what
 //    makes its response replayable byte-for-byte). All IO is
-//    poll-with-deadline: a peer that stalls mid-request (half-sent body)
-//    or stops reading its response is timed out and closed, so a
-//    misbehaving client can never wedge a worker for good or leak its
-//    queue slot.
+//    poll-with-deadline, twice over: a progress deadline (io_timeout_ms
+//    without a byte) catches a peer that stalls mid-request or stops
+//    reading its response, and a cumulative per-request IO budget
+//    (request_timeout_ms) catches a peer that trickles one byte per
+//    slice to keep resetting the first. Either way a misbehaving client
+//    can never wedge a worker for good or leak its queue slot.
 //
 //  * Admission is per tenant and happens at header-parse time, before
 //    the body is read: `tenant_inflight` concurrent requests per tenant,
@@ -57,8 +59,14 @@ struct ServerOptions {
   std::size_t workers = 4;
   std::size_t queue_capacity = 64;   // accepted, not-yet-served connections
   std::uint32_t tenant_inflight = 8;  // concurrent requests/tenant; 0 = off
+  std::size_t max_tenants = 64;  // distinct tenant-table entries; 0 = off
   Limits limits;
   int io_timeout_ms = 5000;  // per read/write progress deadline
+  /// Cumulative IO-wait budget per request (header + body reads plus the
+  /// response write; compute is free). The progress deadline alone is
+  /// defeated by a peer trickling one byte per slice — this is the
+  /// backstop that cuts such a peer off. 0 = unlimited.
+  int request_timeout_ms = 30000;
   HierarchyParams hierarchy;
   std::size_t cache_capacity = 0;  // shared cache entries; 0 = unbounded
 
@@ -97,6 +105,7 @@ class Server {
     std::uint64_t shed_tenant = 0;      // requests shed by tenant bound
     std::uint64_t bad_requests = 0;
     std::uint64_t timeouts = 0;         // stalled peers closed
+    std::uint64_t internal_errors = 0;  // exceptions answered `internal`
   };
   Stats stats() const;
 
@@ -111,6 +120,7 @@ class Server {
  private:
   struct Tenant {
     std::uint32_t inflight = 0;
+    std::uint64_t last_admit = 0;  // admission sequence, for idle recycling
     TenantStats stats;
   };
 
@@ -153,6 +163,7 @@ class Server {
 
   mutable std::mutex tenants_mu_;
   std::map<std::string, Tenant> tenants_;
+  std::uint64_t tenant_seq_ = 0;  // guarded by tenants_mu_
 
   std::mutex shutdown_mu_;  // serializes shutdown() callers
 
@@ -162,6 +173,7 @@ class Server {
   std::atomic<std::uint64_t> shed_tenant_{0};
   std::atomic<std::uint64_t> bad_requests_{0};
   std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> internal_errors_{0};
 };
 
 }  // namespace amix::server

@@ -385,6 +385,47 @@ TEST(Server, TooManyBodyLinesIsTooLarge) {
   EXPECT_EQ(resp.code, ErrorCode::kTooLarge);
 }
 
+// ---- wire-controlled sizes are bounded at parse time ---------------------
+
+TEST(Server, OversizedMixParamsAreTypedErrorsNotAllocations) {
+  TestDaemon d;  // g0 has 48 nodes
+  Client c = d.connect();
+  ResponseHeader resp;
+  std::string body, err;
+
+  // Each of these, pre-fix, bought an allocation or CPU proportional to
+  // a wire-supplied u32 (up to 2^32-1) and could kill the daemon with
+  // std::bad_alloc. All must be typed bad-requests now.
+  const std::vector<std::string> oversized = {
+      "walks 4294967295 8",       // starts(count): ~16 GiB
+      "walks 8 4294967295",       // unbounded CPU per walk
+      "route perm 4294967295",    // buckets(phases): ~100 GiB
+  };
+  for (const std::string& line : oversized) {
+    ASSERT_TRUE(c.request(query_header(), {line}, &resp, &body, &err))
+        << line << ": " << err;
+    EXPECT_FALSE(resp.ok) << line;
+    EXPECT_EQ(resp.code, ErrorCode::kBadRequest) << line;
+  }
+
+  // Non-numeric params are rejected, not silently zeroed.
+  ASSERT_TRUE(c.request(query_header(), {"walks eight 4"}, &resp, &body,
+                        &err))
+      << err;
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, ErrorCode::kBadRequest);
+
+  // Defaults still work: bare `walks` is one walk per node.
+  ASSERT_TRUE(c.request(query_header(), {"walks"}, &resp, &body, &err))
+      << err;
+  EXPECT_TRUE(resp.ok) << resp.error_msg;
+
+  // The daemon survived all of it on the same connection.
+  ASSERT_TRUE(c.request(query_header(), {"mst"}, &resp, &body, &err)) << err;
+  EXPECT_TRUE(resp.ok) << resp.error_msg;
+  EXPECT_EQ(d.srv.stats().internal_errors, 0u);
+}
+
 // ---- stalled peers time out and free their worker ------------------------
 
 TEST(Server, TruncatedBodyTimesOutAndFreesTheWorker) {
@@ -404,6 +445,38 @@ TEST(Server, TruncatedBodyTimesOutAndFreesTheWorker) {
   ASSERT_TRUE(staller.read_response(&resp, &body, &err)) << err;
   EXPECT_FALSE(resp.ok);
   EXPECT_EQ(resp.code, ErrorCode::kTimeout);
+
+  // The worker is free again: a well-formed request completes.
+  Client c = d.connect();
+  ASSERT_TRUE(c.request(query_header(), {"mst"}, &resp, &body, &err)) << err;
+  EXPECT_TRUE(resp.ok) << resp.error_msg;
+  EXPECT_GE(d.srv.stats().timeouts, 1u);
+}
+
+TEST(Server, TrickledRequestIsCutOffByCumulativeBudget) {
+  ServerOptions opt;
+  opt.workers = 1;             // the trickler must not pin the only worker
+  opt.io_timeout_ms = 2000;    // progress deadline alone would allow ~90 s
+  opt.request_timeout_ms = 300;  // the cumulative budget ends it fast
+  TestDaemon d(opt);
+
+  // Trickle a header one byte every 50 ms: every byte is "progress", so
+  // only the cumulative per-request budget can cut this off.
+  Client trickler = d.connect();
+  std::string err;
+  const std::string header =
+      "amix/1 query graph=g0 seed=1 base=0 lines=1\n";
+  std::size_t sent = 0;
+  for (; sent < header.size(); ++sent) {
+    if (!trickler.send_raw(std::string(1, header[sent]), &err)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // The server closed on us long before the header completed (the send
+  // loop alone would take ~2.2 s against a 300 ms budget).
+  EXPECT_LT(sent, header.size());
+  ResponseHeader resp;
+  std::string body;
+  EXPECT_FALSE(trickler.read_response(&resp, &body, &err));
 
   // The worker is free again: a well-formed request completes.
   Client c = d.connect();
@@ -490,6 +563,26 @@ TEST(Server, FullQueueShedsConnectionsWithOverloaded) {
   ASSERT_TRUE(queued.request(query_header(), {"mst"}, &resp, &body, &err))
       << err;
   EXPECT_TRUE(resp.ok) << resp.error_msg;
+}
+
+TEST(Server, TenantTableIsBoundedUnderChurnedNames) {
+  ServerOptions opt;
+  opt.max_tenants = 4;
+  TestDaemon d(opt);
+
+  // 12 distinct wire-supplied tenant names, sequential so each entry is
+  // idle when the next arrives: idle entries recycle, nobody is shed.
+  for (int i = 0; i < 12; ++i) {
+    Client c = d.connect();
+    ResponseHeader resp;
+    std::string body, err;
+    ASSERT_TRUE(c.request(query_header(1, 0, "t" + std::to_string(i)),
+                          {"mst"}, &resp, &body, &err))
+        << err;
+    EXPECT_TRUE(resp.ok) << resp.error_msg;
+  }
+  // The table (and therefore the stats body) stayed bounded.
+  EXPECT_LE(d.srv.tenant_stats().size(), 4u);
 }
 
 // ---- mutate + shared-cache discipline ------------------------------------

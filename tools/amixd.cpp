@@ -21,6 +21,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <charconv>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -46,9 +47,20 @@ int usage() {
   std::cerr << "usage: amixd --graph <name>=<instance-file> [--graph ...]\n"
                "             [--port P] [--port-file F] [--workers N]\n"
                "             [--queue-capacity Q] [--tenant-inflight M]\n"
-               "             [--cache-capacity K] [--io-timeout-ms T]\n"
+               "             [--max-tenants T] [--cache-capacity K]\n"
+               "             [--io-timeout-ms T] [--request-timeout-ms T]\n"
                "             [--seed S]\n";
   return 2;
+}
+
+/// Whole-string decimal parse; the type of *out bounds the range (so
+/// --port rejects 70000 and negatives without extra checks). A bad
+/// value is a usage error, not an uncaught std::stoul abort.
+template <typename T>
+bool parse_num(const std::string& text, T* out) {
+  const char* const end = text.data() + text.size();
+  const auto [p, ec] = std::from_chars(text.data(), end, *out);
+  return ec == std::errc() && p == end;
 }
 
 }  // namespace
@@ -67,6 +79,12 @@ int main(int argc, char** argv) {
       AMIX_CHECK_MSG(i + 1 < argc, "missing value for flag");
       return argv[++i];
     };
+    auto num = [&](auto* out) -> bool {
+      const std::string v = next();
+      if (parse_num(v, out)) return true;
+      std::cerr << "amixd: bad value '" << v << "' for " << s << "\n";
+      return false;
+    };
     if (s == "--graph") {
       const std::string spec = next();
       const auto eq = spec.find('=');
@@ -76,21 +94,31 @@ int main(int argc, char** argv) {
       }
       graphs.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
     } else if (s == "--port") {
-      opt.port = static_cast<std::uint16_t>(std::stoul(next()));
+      if (!num(&opt.port)) return usage();
     } else if (s == "--port-file") {
       port_file = next();
     } else if (s == "--workers") {
-      opt.workers = std::stoul(next());
+      if (!num(&opt.workers)) return usage();
     } else if (s == "--queue-capacity") {
-      opt.queue_capacity = std::stoul(next());
+      if (!num(&opt.queue_capacity)) return usage();
     } else if (s == "--tenant-inflight") {
-      opt.tenant_inflight = static_cast<std::uint32_t>(std::stoul(next()));
+      if (!num(&opt.tenant_inflight)) return usage();
+    } else if (s == "--max-tenants") {
+      if (!num(&opt.max_tenants)) return usage();
     } else if (s == "--cache-capacity") {
-      opt.cache_capacity = std::stoul(next());
+      if (!num(&opt.cache_capacity)) return usage();
     } else if (s == "--io-timeout-ms") {
-      opt.io_timeout_ms = std::stoi(next());
+      if (!num(&opt.io_timeout_ms) || opt.io_timeout_ms <= 0) {
+        std::cerr << "amixd: --io-timeout-ms must be positive\n";
+        return usage();
+      }
+    } else if (s == "--request-timeout-ms") {
+      if (!num(&opt.request_timeout_ms) || opt.request_timeout_ms < 0) {
+        std::cerr << "amixd: --request-timeout-ms must be >= 0\n";
+        return usage();
+      }
     } else if (s == "--seed") {
-      seed = std::strtoull(next().c_str(), nullptr, 10);
+      if (!num(&seed)) return usage();
     } else {
       return usage();
     }
