@@ -64,6 +64,42 @@ inline std::uint64_t bench_seed() {
   return v != nullptr ? std::strtoull(v, nullptr, 10) : 1;
 }
 
+/// The hierarchy scale profile (DESIGN.md §15.4), shared by the scale
+/// rows of bench_substrate_scale and bench_mst_scaling. Default
+/// HierarchyParams measure per-overlay mixing times (Theta(log n) walk
+/// lengths with ~10-100x constants) — paper-faithful, but super-linear
+/// wall time that caps builds near n = 10^4. The profile pins every walk
+/// length, takes the minimum beta/degrees, and caps portal candidate
+/// lists; all Las Vegas gates (balance, per-part connectivity, portal
+/// completeness) still verify, and the MST rows still check exactness,
+/// so a profile build that *finishes* is a correct hierarchy — the rows
+/// measure the construction substrate, not the mixing-time measurement.
+///   leaf_target=2000 keeps the tree shallow (build-cost optimal);
+///   leaf_target=25 keeps leaf BFS delivery cheap (pipeline rows).
+inline HierarchyParams scale_profile(std::uint32_t threads,
+                                     std::uint32_t leaf_target) {
+  HierarchyParams hp;
+  hp.seed = bench_seed() + 0x686965ULL;
+  hp.beta = 4;
+  hp.leaf_target = leaf_target;
+  hp.level_degree = 4;
+  hp.g0_out_degree = 4;
+  hp.tau_mix = 16;
+  hp.level_tau = 40;
+  // Half-slack waves: ~8 walks per virtual node per wave instead of 24.
+  // Convergence takes a few more (geometrically shrinking) waves but the
+  // peak walk state shrinks proportionally; together with the degree-3
+  // base graph (nv = 3n) this keeps the n=10^6 build inside CI's 2 GB
+  // RSS gate.
+  hp.walk_slack = 0.5;
+  // The portal table stores O(nv * degree * depth) candidate vids
+  // uncapped — the largest single structure at n >= 10^6. 64 per slot is
+  // comfortably Omega(log n) at every bench size.
+  hp.portal_candidate_cap = 64;
+  hp.exec = ExecPolicy{threads};
+  return hp;
+}
+
 /// The standard graph families of the evaluation, keyed by name.
 inline Graph make_family(const std::string& family, NodeId n, Rng& rng) {
   if (family == "regular8") return gen::random_regular(n, 8, rng);

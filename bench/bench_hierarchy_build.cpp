@@ -3,9 +3,25 @@
 // Per size: the build's round breakdown (leader+seed / G0 / levels /
 // portals), the measured per-level emulation overheads (Lemma 3.1's
 // O(log^2 n) factors), Las Vegas retries, and the deepest overlay's total
-// round cost (the compounding Lemma 3.2 warns about).
+// round cost (the compounding Lemma 3.2 warns about). Every row also
+// carries the standard memory counters (peak_rss_mb, bytes_per_edge via
+// bench_common.hpp set_memory_counters) so build-memory trends land in
+// the committed bench artifacts alongside the round counts.
+
+#include <map>
 
 #include "bench_common.hpp"
+
+namespace {
+
+/// Minimal counter sink for bench::set_memory_counters (the helper is
+/// templated on the state type precisely so non-google-benchmark
+/// binaries like this one can reuse it).
+struct MemCounters {
+  std::map<std::string, double> counters;
+};
+
+}  // namespace
 
 int main() {
   using namespace amix;
@@ -17,7 +33,8 @@ int main() {
 
   Table t({"n", "beta", "depth", "tau_mix", "retries", "total_rounds",
            "seed_bits_phase", "g0_phase", "levels_phase", "portals_phase",
-           "g0_round_cost", "deepest_round_cost"});
+           "g0_round_cost", "deepest_round_cost", "peak_rss_mb",
+           "bytes_per_edge"});
   Table emul({"n", "level", "emul_parent_rounds", "log2n^2"});
 
   for (const NodeId n : sizes) {
@@ -28,6 +45,8 @@ int main() {
     hp.seed = bench::bench_seed() + 3 * n;
     const Hierarchy h = Hierarchy::build(g, hp, ledger);
     const auto& s = h.stats();
+    MemCounters mem;
+    bench::set_memory_counters(mem, g.num_edges());
 
     t.row()
         .add(std::uint64_t{n})
@@ -41,7 +60,9 @@ int main() {
         .add(ledger.phase_total("levels"))
         .add(ledger.phase_total("portals"))
         .add(s.g0_round_cost)
-        .add(s.deepest_round_cost);
+        .add(s.deepest_round_cost)
+        .add(mem.counters["peak_rss_mb"], 1)
+        .add(mem.counters["bytes_per_edge"], 1);
 
     const double l2 = std::log2(static_cast<double>(n));
     for (std::size_t i = 0; i < s.emul_parent_rounds.size(); ++i) {

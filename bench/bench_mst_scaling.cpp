@@ -4,6 +4,13 @@
 // Boruvka, verify against Kruskal, and report rounds, rounds/tau_mix,
 // iteration counts, and the Lemma 4.1 telemetry. The shape table reports
 // the log-log slope of rounds/tau_mix against n.
+//
+// The E2.scale table runs the pipeline at substrate scale (10^5 nodes;
+// 10^6 under AMIX_BENCH_LARGE=1) with the DESIGN.md §15.4 scale profile —
+// pinned walk lengths, degree-4 overlays, capped portal candidate lists —
+// and still verifies exactness against Kruskal. Those are the same
+// settings as bench_substrate_scale's BM_PipelineMst rows; here they get
+// the E-table treatment (round counts + memory) instead of wall time.
 
 #include <map>
 
@@ -76,5 +83,45 @@ int main(int argc, char** argv) {
         .add(slope < 1.3 ? "subpolynomial-consistent" : "SUSPICIOUS");
   }
   shape.print_report(std::cout, "E2.shape");
+
+  // --- E2.scale: the pipeline at substrate scale, scale profile. ---
+  {
+    std::vector<NodeId> big = {100000};
+    if (bench::large_mode()) big.push_back(1000000);
+
+    Table ts({"n", "hdepth", "tau", "build_rounds", "mst_rounds", "iters",
+              "peak_rss_mb", "verified"});
+    for (const NodeId n : big) {
+      Rng rng(bench::bench_seed() * 29 + n);
+      const Graph g = gen::random_regular(n, 3, rng);
+      const Weights w = distinct_random_weights(g, rng);
+
+      RoundLedger ledger;
+      HierarchyParams hp = bench::scale_profile(/*threads=*/1,
+                                                /*leaf_target=*/25);
+      hp.seed = bench::bench_seed() + 17 * n;
+      const Hierarchy h = Hierarchy::build(g, hp, ledger);
+      const std::uint64_t build_rounds = ledger.total();
+
+      const MstStats stats = HierarchicalBoruvka(h, w).run(ledger);
+      const bool ok = is_exact_mst(g, w, stats.edges);
+      AMIX_CHECK(ok);
+
+      struct {
+        std::map<std::string, double> counters;
+      } mem;
+      bench::set_memory_counters(mem, g.num_edges());
+      ts.row()
+          .add(std::uint64_t{n})
+          .add(std::uint64_t{h.depth()})
+          .add(std::uint64_t{h.stats().tau_mix})
+          .add(build_rounds)
+          .add(stats.rounds)
+          .add(std::uint64_t{stats.iterations})
+          .add(mem.counters["peak_rss_mb"], 1)
+          .add(ok ? "yes" : "NO");
+    }
+    ts.print_report(std::cout, "E2.scale");
+  }
   return 0;
 }

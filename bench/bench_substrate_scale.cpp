@@ -11,6 +11,18 @@
 //                     sharding overhead, not speedup; the row exists so
 //                     regressions in either direction are visible.
 //
+// Hierarchy rows (PR 9), same n ladder:
+//   BM_HierarchyBuild — a full hierarchy build (G0 + levels + portals)
+//                     under the documented scale profile (DESIGN.md
+//                     §15.4: degree-3 regular base, beta=4, pinned walk
+//                     lengths), at 1, 2, and 8 build shards. As with
+//                     BM_WalkSweep*, single-core machines record the
+//                     sharding overhead, not a speedup — the 1/2/8 rows
+//                     exist so multi-core runs can hold the >=3x-at-8
+//                     contract and so overhead regressions are visible.
+//   BM_PipelineMst  — the full paper pipeline: build (small-leaf scale
+//                     profile) + hierarchical Boruvka + exact-MST verify.
+//
 // Every row carries peak_rss_mb / edges / bytes_per_edge counters (see
 // bench_common.hpp). The 1e7 rows are the acceptance gate of the scale
 // work; keep them last so smaller rows report pre-spike RSS.
@@ -98,6 +110,62 @@ void BM_WalkSweepSbm(benchmark::State& state) {
   BM_WalkSweep<make_sbm>(state);
 }
 
+// Degree-3 regular base: nv = 2m = 3n virtual nodes. The hierarchy's
+// resident set — overlays, partitions, walk waves, portal table — all
+// scale with nv, so the sparsest connected regular family is what keeps
+// the n=1e6 build row inside CI's 2 GB RSS gate (DESIGN.md §15.4).
+Graph make_regular3(NodeId n, Rng& rng) {
+  return gen::random_regular(n, 3, rng);
+}
+
+void BM_HierarchyBuild(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const auto threads = static_cast<std::uint32_t>(state.range(1));
+  Rng rng(amix::bench::bench_seed() + n);
+  const Graph g = make_regular3(n, rng);
+  const HierarchyParams hp = amix::bench::scale_profile(threads, /*leaf_target=*/2000);
+  std::uint64_t rounds = 0;
+  std::uint32_t depth = 0, retries = 0;
+  for (auto _ : state) {
+    RoundLedger ledger;
+    const Hierarchy h = Hierarchy::build(g, hp, ledger);
+    benchmark::DoNotOptimize(h.stats().build_rounds);
+    rounds = ledger.total();
+    depth = h.depth();
+    retries = h.stats().retries;
+  }
+  amix::bench::set_memory_counters(state, g.num_edges());
+  state.counters["build_rounds"] = static_cast<double>(rounds);
+  state.counters["depth"] = static_cast<double>(depth);
+  state.counters["retries"] = static_cast<double>(retries);
+}
+
+void BM_PipelineMst(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const auto threads = static_cast<std::uint32_t>(state.range(1));
+  Rng rng(amix::bench::bench_seed() + n);
+  const Graph g = make_regular3(n, rng);
+  Rng wrng(amix::bench::bench_seed() + 2 * n + 1);
+  const Weights w = distinct_random_weights(g, wrng);
+  const HierarchyParams hp = amix::bench::scale_profile(threads, /*leaf_target=*/25);
+  std::uint64_t mst_rounds = 0, build_rounds = 0;
+  std::uint32_t iters = 0;
+  for (auto _ : state) {
+    RoundLedger ledger;
+    const Hierarchy h = Hierarchy::build(g, hp, ledger);
+    build_rounds = ledger.total();
+    const MstStats stats = HierarchicalBoruvka(h, w).run(ledger);
+    AMIX_CHECK(is_exact_mst(g, w, stats.edges));
+    benchmark::DoNotOptimize(stats.rounds);
+    mst_rounds = stats.rounds;
+    iters = stats.iterations;
+  }
+  amix::bench::set_memory_counters(state, g.num_edges());
+  state.counters["build_rounds"] = static_cast<double>(build_rounds);
+  state.counters["mst_rounds"] = static_cast<double>(mst_rounds);
+  state.counters["mst_iterations"] = static_cast<double>(iters);
+}
+
 // n = 1e7 rows run once (a single build at that size is seconds, and
 // variance is dominated by the allocator's first touch anyway); smaller
 // rows let google-benchmark pick iteration counts. The 1e7 registrations
@@ -130,6 +198,43 @@ BENCHMARK(BM_WalkSweepSbm)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_WalkSweepSbm)->Name("BM_WalkSweepSbmXL")->Args({10'000'000, 1})
     ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// Hierarchy rows run once per configuration: a single build is seconds
+// to minutes, and the Las Vegas retry count (not iteration noise) is the
+// variance that matters. CI's large-n-smoke runs and perf-guards only
+// the serial n=1e6 row (filter `BM_HierarchyBuild/1000000/1/`, where
+// the trailing slash is the `/iterations:1` suffix of a fixed-iteration
+// row); the thread rows and the XL rows are recorded on the bench
+// machine. Note bench_simulator_perf has a small-n `BM_HierarchyBuild/
+// <n>` family of its own; the arg arity keeps the row names disjoint.
+BENCHMARK(BM_HierarchyBuild)
+    ->Args({100'000, 1})
+    ->Args({100'000, 2})
+    ->Args({100'000, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_HierarchyBuild)
+    ->Args({1'000'000, 1})
+    ->Args({1'000'000, 2})
+    ->Args({1'000'000, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_HierarchyBuild)
+    ->Name("BM_HierarchyBuildXL")
+    ->Args({10'000'000, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(BM_PipelineMst)
+    ->Args({100'000, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_PipelineMst)
+    ->Name("BM_PipelineMstXL")
+    ->Args({1'000'000, 1})
+    ->Args({10'000'000, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 }  // namespace
 

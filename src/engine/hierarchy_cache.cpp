@@ -18,6 +18,9 @@ std::uint64_t graph_fingerprint(const Graph& g) {
 }
 
 std::uint64_t params_fingerprint(const HierarchyParams& p) {
+  // p.exec is deliberately NOT folded: builds are bit-identical at any
+  // thread count, so a cache keyed on exec would split identical
+  // hierarchies across entries.
   std::uint64_t h = splitmix64(0x706172616d732d66ULL);
   const auto fold = [&h](std::uint64_t word) { h = splitmix64(h ^ word); };
   fold(p.beta);
@@ -33,6 +36,8 @@ std::uint64_t params_fingerprint(const HierarchyParams& p) {
   __builtin_memcpy(&bits, &p.balance_slack, sizeof(bits));
   fold(bits);
   fold(p.tau_mix);
+  fold(p.level_tau);
+  fold(p.portal_candidate_cap);
   fold(p.max_retries);
   fold(p.seed);
   return h;

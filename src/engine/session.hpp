@@ -94,6 +94,9 @@ class Session {
     EngineOptions e;
     e.hierarchy = o.hierarchy;
     e.exec = o.exec;
+    // The session's exec also drives hierarchy builds (cache misses and
+    // repairs) unless the caller pinned one explicitly on the params.
+    if (!e.hierarchy.exec.parallel()) e.hierarchy.exec = o.exec;
     return e;
   }
 

@@ -82,8 +82,8 @@ RepairOutcome Hierarchy::apply_delta(const Graph& new_g, RoundLedger& ledger) {
   auto nvs = std::make_unique<VirtualNodeSpace>(new_g);
   const Vid new_nv = nvs->num_virtual();
   const Vid old_nv = vspace_->num_virtual();
-  auto npart =
-      std::make_unique<HierarchicalPartition>(partition_->rebound(*nvs));
+  auto npart = std::make_unique<HierarchicalPartition>(
+      partition_->rebound(*nvs, params_.exec));
   if (!npart->balanced(params_.balance_slack)) {
     return fallback("partition-imbalanced");
   }
@@ -213,7 +213,7 @@ RepairOutcome Hierarchy::apply_delta(const Graph& new_g, RoundLedger& ledger) {
     }
     if (!starts.empty()) {
       BaseComm base(new_g);
-      ParallelWalkEngine engine(base, rng.split());
+      ParallelWalkEngine engine(base, rng.split(), params_.exec);
       WalkStats wstats;
       const auto ends =
           engine.run(starts, WalkKind::kLazy, std::max(stats_.tau_mix, 1u),
@@ -221,6 +221,9 @@ RepairOutcome Hierarchy::apply_delta(const Graph& new_g, RoundLedger& ledger) {
       // Reverse + second forward traversal, as in the build.
       ParallelWalkEngine::charge_rerun(wstats, scope.ledger());
       ParallelWalkEngine::charge_rerun(wstats, scope.ledger());
+      // Port draws are keyed on (key, vid, walk index), matching the
+      // build's G0 selection scheme.
+      const std::uint64_t select_key = rng();
       std::size_t i = 0;
       while (i < ends.size() && g0_fail == nullptr) {
         const Vid v = start_vid[i];
@@ -230,8 +233,8 @@ RepairOutcome Hierarchy::apply_delta(const Graph& new_g, RoundLedger& ledger) {
         for (; j < ends.size() && start_vid[j] == v; ++j) {
           if (taken >= need) continue;
           const NodeId land = ends[j];
-          const auto port =
-              static_cast<std::uint32_t>(rng.next_below(new_g.degree(land)));
+          const auto port = static_cast<std::uint32_t>(
+              keyed_below(select_key, v, j - i, new_g.degree(land)));
           const Vid nbr = nvs->vid_of(land, port);
           if (nbr == v) continue;
           g0_edges.emplace_back(v, nbr);
@@ -303,7 +306,7 @@ RepairOutcome Hierarchy::apply_delta(const Graph& new_g, RoundLedger& ledger) {
       missing[v] = target > kept_deg[v] ? target - kept_deg[v] : 0;
     }
 
-    ParallelWalkEngine engine(parent, rng.split());
+    ParallelWalkEngine engine(parent, rng.split(), params_.exec);
     std::vector<std::uint32_t> starts;
     const auto run_wave = [&]() {
       if (starts.empty()) return false;
@@ -456,7 +459,9 @@ RepairOutcome Hierarchy::apply_delta(const Graph& new_g, RoundLedger& ledger) {
     std::vector<const OverlayComm*> ptrs;
     for (const auto& ov : nov) ptrs.push_back(&ov);
     nportals = std::make_unique<PortalTable>(*npart, ptrs, rng, scope.ledger(),
-                                             &pscope);
+                                             &pscope, params_.exec,
+                                             params_.level_tau,
+                                             params_.portal_candidate_cap);
   }
   if (!nportals->complete()) return fallback("portals-incomplete");
 

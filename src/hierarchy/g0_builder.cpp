@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "graph/spectral.hpp"
 
@@ -37,15 +38,21 @@ G0Result build_g0(const VirtualNodeSpace& vs, const G0Params& params,
 
   // Walks start at the owner node of each virtual node (tokens live on the
   // base graph); walk i of vid v occupies starts[v * walks_per_vid + i].
-  std::vector<std::uint32_t> starts;
-  starts.reserve(static_cast<std::size_t>(nv) * walks_per_vid);
-  for (Vid vid = 0; vid < nv; ++vid) {
-    for (std::uint32_t i = 0; i < walks_per_vid; ++i) {
-      starts.push_back(vs.owner(vid));
-    }
-  }
+  // The fill is a pure function of vid, so it shards freely.
+  std::vector<std::uint32_t> starts(static_cast<std::size_t>(nv) *
+                                    walks_per_vid);
+  parallel_for_shards(params.exec, nv,
+                      [&](std::uint32_t, std::size_t lo, std::size_t hi) {
+                        for (std::size_t vid = lo; vid < hi; ++vid) {
+                          const NodeId owner = vs.owner(static_cast<Vid>(vid));
+                          const std::size_t base_i = vid * walks_per_vid;
+                          for (std::uint32_t i = 0; i < walks_per_vid; ++i) {
+                            starts[base_i + i] = owner;
+                          }
+                        }
+                      });
 
-  ParallelWalkEngine engine(base, rng.split());
+  ParallelWalkEngine engine(base, rng.split(), params.exec);
   const auto ends = engine.run(starts, WalkKind::kLazy, res.tau_mix, ledger,
                                &res.forward_stats);
   // Reverse traversal (neighbors learn the walk sources) + second forward
@@ -56,24 +63,47 @@ G0Result build_g0(const VirtualNodeSpace& vs, const G0Params& params,
   // Out-neighbor selection: the endpoint node assigns each token to a
   // uniform port, making endpoints ~uniform over virtual nodes. Take the
   // first out_degree endpoints distinct from self (multi-edges allowed, as
-  // in a directed-pick Erdos-Renyi overlay). Arcs accumulate straight into
-  // CSR form; per-vid arrival order is the port numbering, matching the
-  // old nested-vector construction exactly.
-  CsrBuilder builder(nv);
-  for (Vid vid = 0; vid < nv; ++vid) {
-    std::uint32_t taken = 0;
-    for (std::uint32_t i = 0; i < walks_per_vid && taken < res.out_degree;
-         ++i) {
-      const NodeId land = ends[static_cast<std::size_t>(vid) * walks_per_vid + i];
-      const std::uint32_t port =
-          static_cast<std::uint32_t>(rng.next_below(g.degree(land)));
-      const Vid nbr = vs.vid_of(land, port);
-      if (nbr == vid) continue;
-      builder.add_edge(vid, nbr);  // edge becomes undirected
-      ++taken;
-    }
-    AMIX_CHECK_MSG(taken >= res.out_degree / 2,
+  // in a directed-pick Erdos-Renyi overlay). The port draw is keyed on
+  // (select_key, vid, i) — a pure function of the walk's identity, never
+  // of how many draws other vids made — so the selection shards over
+  // contiguous vid ranges and the per-shard picks concatenate in shard
+  // order into exactly the serial arrival order. Arcs then accumulate
+  // straight into CSR form; per-vid arrival order is the port numbering.
+  const std::uint64_t select_key = rng();
+  const std::uint32_t nshards = params.exec.shards();
+  std::vector<std::vector<std::pair<Vid, Vid>>> picked(nshards);
+  std::vector<Vid> first_starved(nshards, nv);  // per shard: first bad vid
+  parallel_for_shards(
+      params.exec, nv, [&](std::uint32_t s, std::size_t lo, std::size_t hi) {
+        auto& out = picked[s];
+        out.reserve((hi - lo) * res.out_degree);
+        for (std::size_t v = lo; v < hi; ++v) {
+          const Vid vid = static_cast<Vid>(v);
+          std::uint32_t taken = 0;
+          for (std::uint32_t i = 0;
+               i < walks_per_vid && taken < res.out_degree; ++i) {
+            const NodeId land = ends[v * walks_per_vid + i];
+            const std::uint32_t port = static_cast<std::uint32_t>(
+                keyed_below(select_key, vid, i, g.degree(land)));
+            const Vid nbr = vs.vid_of(land, port);
+            if (nbr == vid) continue;
+            out.emplace_back(vid, nbr);
+            ++taken;
+          }
+          if (taken < res.out_degree / 2 && first_starved[s] == nv) {
+            first_starved[s] = vid;
+          }
+        }
+      });
+  for (std::uint32_t s = 0; s < nshards; ++s) {
+    AMIX_CHECK_MSG(first_starved[s] == nv,
                    "G0: too many self-landings; increase walk_slack");
+  }
+  CsrBuilder builder(nv);
+  for (std::uint32_t s = 0; s < nshards; ++s) {
+    for (const auto& [vid, nbr] : picked[s]) {
+      builder.add_edge(vid, nbr);  // edge becomes undirected
+    }
   }
 
   // Emulation-cost probe: a fresh batch shaped like the selected walks
@@ -83,14 +113,19 @@ G0Result build_g0(const VirtualNodeSpace& vs, const G0Params& params,
   // so it refills the `starts` buffer in place — at 10^7 virtual nodes
   // that second nv * walks-sized allocation was the G0 build's largest.
   RoundLedger scratch;
-  starts.clear();
-  for (Vid vid = 0; vid < nv; ++vid) {
-    for (std::uint32_t i = 0; i < res.out_degree; ++i) {
-      starts.push_back(vs.owner(vid));
-    }
-  }
+  starts.resize(static_cast<std::size_t>(nv) * res.out_degree);
+  parallel_for_shards(params.exec, nv,
+                      [&](std::uint32_t, std::size_t lo, std::size_t hi) {
+                        for (std::size_t vid = lo; vid < hi; ++vid) {
+                          const NodeId owner = vs.owner(static_cast<Vid>(vid));
+                          const std::size_t base_i = vid * res.out_degree;
+                          for (std::uint32_t i = 0; i < res.out_degree; ++i) {
+                            starts[base_i + i] = owner;
+                          }
+                        }
+                      });
   WalkStats probe_stats;
-  ParallelWalkEngine probe_engine(base, rng.split());
+  ParallelWalkEngine probe_engine(base, rng.split(), params.exec);
   probe_engine.run(starts, WalkKind::kLazy, res.tau_mix, scratch,
                    &probe_stats);
   const std::uint64_t round_cost = 2 * std::max<std::uint64_t>(

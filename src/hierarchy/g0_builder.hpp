@@ -31,6 +31,7 @@ struct G0Params {
   std::uint32_t tau_mix = 0;      // 0 = measure (sampled, Definition 2.1)
   std::uint32_t tau_samples = 4;  // starts probed when measuring tau_mix
   std::uint32_t max_tau = 2'000'000;
+  ExecPolicy exec;                // walk engines + assembly sweeps
 };
 
 struct G0Result {

@@ -116,6 +116,11 @@ Hierarchy Hierarchy::build(const Graph& g, const HierarchyParams& params,
 
   const std::uint32_t w_independence = shape.w_independence;
 
+  // One set of level-build buffers for the whole build: every level (and
+  // every Las Vegas retry) reuses the same walk-start, candidate and
+  // dedup storage.
+  LevelScratch level_scratch;
+
   for (std::uint32_t attempt = 0;; ++attempt) {
     AMIX_CHECK_MSG(attempt < params.max_retries,
                    "hierarchy build exceeded max_retries");
@@ -124,7 +129,7 @@ Hierarchy Hierarchy::build(const Graph& g, const HierarchyParams& params,
     charge_seed_dissemination(w_independence);
     KWiseHash hash(w_independence, rng);
     h.partition_ = std::make_unique<HierarchicalPartition>(
-        *h.vspace_, std::move(hash), beta, depth);
+        *h.vspace_, std::move(hash), beta, depth, params.exec);
     if (!h.partition_->balanced(params.balance_slack)) continue;  // resample
 
     // G0.
@@ -136,6 +141,7 @@ Hierarchy Hierarchy::build(const Graph& g, const HierarchyParams& params,
       g0p.out_degree = g0_degree;
       g0p.walk_slack = std::max(2.0, params.walk_slack);
       g0p.tau_mix = params.tau_mix != 0 ? params.tau_mix : h.stats_.tau_mix;
+      g0p.exec = params.exec;
       G0Result g0 = build_g0(*h.vspace_, g0p, rng, scope.ledger());
       h.stats_.tau_mix = g0.tau_mix;  // reuse the measurement on retries
       h.stats_.g0_round_cost = g0.overlay.round_cost();
@@ -152,8 +158,11 @@ Hierarchy Hierarchy::build(const Graph& g, const HierarchyParams& params,
       LevelParams lp;
       lp.target_degree = level_degree;
       lp.walk_slack = params.walk_slack;
+      lp.tau = params.level_tau;  // 0 = measure the parent overlay
+      lp.exec = params.exec;
       LevelResult lr = build_level(h.overlays_[level - 1], *h.partition_,
-                                   level, lp, rng, scope.ledger());
+                                   level, lp, rng, scope.ledger(),
+                                   &level_scratch);
       if (!lr.parts_connected) {
         levels_ok = false;
         break;
@@ -167,14 +176,23 @@ Hierarchy Hierarchy::build(const Graph& g, const HierarchyParams& params,
       continue;
     }
 
-    // Portals.
+    // Portals. The level scratch (walk starts/positions/candidates, sized
+    // by nv x walks-per-wave) is dead from here on in this attempt, and at
+    // 10^6+ nodes it is a few hundred MB sitting under the portal build's
+    // own peak — release it rather than hold it for a rare retry, which
+    // simply reallocates.
+    level_scratch = LevelScratch{};
     {
       const obs::Span span(ledger, "hierarchy/portals");
       PhaseScope scope(ledger, "portals");
       std::vector<const OverlayComm*> ptrs;
       for (const auto& ov : h.overlays_) ptrs.push_back(&ov);
       h.portals_ = std::make_unique<PortalTable>(*h.partition_, ptrs, rng,
-                                                 scope.ledger());
+                                                 scope.ledger(),
+                                                 /*repair=*/nullptr,
+                                                 params.exec,
+                                                 params.level_tau,
+                                                 params.portal_candidate_cap);
     }
     if (!h.portals_->complete()) {
       // Some sibling pair has no connecting edge: thicken all overlays

@@ -24,6 +24,7 @@
 #include "hierarchy/partition.hpp"
 #include "hierarchy/portals.hpp"
 #include "hierarchy/virtual_space.hpp"
+#include "util/thread_pool.hpp"
 
 namespace amix {
 
@@ -35,8 +36,32 @@ struct HierarchyParams {
   double walk_slack = 1.5;
   double balance_slack = 6.0;     // P1 check tolerance on leaf sizes
   std::uint32_t tau_mix = 0;      // 0 = measure on the base graph
+  /// Walk length for the level waves and the Lemma 3.3 portal batches.
+  /// 0 (default) measures the mixing time of each parent overlay, the
+  /// paper-faithful setting. A nonzero pin skips those measurements and
+  /// walks exactly this many steps — the scale-bench profile (DESIGN.md
+  /// §15.4): endpoint distributions get less uniform, but every
+  /// correctness gate (balance, per-part connectivity, portal
+  /// completeness, MST verification) still applies. Changes the built
+  /// hierarchy, so it IS folded into engine::params_fingerprint.
+  std::uint32_t level_tau = 0;
+  /// Cap on each portal slot's stored candidate list. 0 (default) keeps
+  /// the exact candidate set. A nonzero cap keeps a deterministic hashed
+  /// subsample per slot — the portal table is the asymptotically largest
+  /// structure of the build (O(nv * degree * depth) vids), and Lemma
+  /// 3.3's load-balance argument only needs Omega(log n) independent
+  /// candidates per slot, so the scale profile (DESIGN.md §15.4) caps at
+  /// 64. Changes portal_for's choices, so it IS folded into
+  /// engine::params_fingerprint.
+  std::uint32_t portal_candidate_cap = 0;
   std::uint32_t max_retries = 6;
   std::uint64_t seed = 0x517cc1b727220a95ULL;
+  /// Shard policy for the build's walk engines, partition hashing and
+  /// overlay/portal assembly sweeps. Builds are bit-identical at any
+  /// setting (keyed draws + order-fixed merges), so this field is
+  /// deliberately EXCLUDED from engine::params_fingerprint — cache keys
+  /// must not depend on thread count.
+  ExecPolicy exec;
 };
 
 /// The paper's beta: 2^O(sqrt(log n log log n)), concretely

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 #include "randwalk/mixing.hpp"
 
@@ -14,15 +13,58 @@ std::uint64_t edge_key(std::uint32_t a, std::uint32_t b) {
   return (static_cast<std::uint64_t>(a) << 32) | b;
 }
 
+/// Bottom-up merge of the per-shard sorted candidate runs into one
+/// sequence sorted by (edge key, start vid). Merging sorted runs is
+/// order-canonical: the result depends only on the multiset of records,
+/// never on how the wave's walks were cut into shards — which is what
+/// keeps the wave outcome bit-identical at any thread count.
+void merge_shard_runs(std::vector<std::vector<std::pair<std::uint64_t, Vid>>>&
+                          runs,
+                      std::uint32_t num_runs,
+                      std::vector<std::pair<std::uint64_t, Vid>>& out) {
+  out.clear();
+  std::size_t total = 0;
+  for (std::uint32_t s = 0; s < num_runs; ++s) total += runs[s].size();
+  out.reserve(total);
+  std::vector<std::pair<std::size_t, std::size_t>> bounds;  // sorted runs
+  for (std::uint32_t s = 0; s < num_runs; ++s) {
+    bounds.emplace_back(out.size(), out.size() + runs[s].size());
+    out.insert(out.end(), runs[s].begin(), runs[s].end());
+  }
+  while (bounds.size() > 1) {
+    std::vector<std::pair<std::size_t, std::size_t>> next;
+    for (std::size_t i = 0; i + 1 < bounds.size(); i += 2) {
+      std::inplace_merge(out.begin() + bounds[i].first,
+                         out.begin() + bounds[i].second,
+                         out.begin() + bounds[i + 1].second);
+      next.emplace_back(bounds[i].first, bounds[i + 1].second);
+    }
+    if (bounds.size() % 2 == 1) next.push_back(bounds.back());
+    bounds = std::move(next);
+  }
+}
+
 }  // namespace
+
+bool parts_singly_connected(std::span<const PartId> parts,
+                            std::span<const Vid> reps) {
+  AMIX_CHECK(parts.size() == reps.size());
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    if (parts[i] == parts[i - 1] && reps[i] != reps[i - 1]) return false;
+  }
+  return true;
+}
 
 LevelResult build_level(const CommGraph& parent,
                         const HierarchicalPartition& part, std::uint32_t level,
                         const LevelParams& params, Rng& rng,
-                        RoundLedger& ledger) {
+                        RoundLedger& ledger, LevelScratch* scratch) {
   AMIX_CHECK(level >= 1 && level <= part.depth());
   const std::uint32_t nv = parent.num_nodes();
   AMIX_CHECK(nv == part.order().size());
+
+  LevelScratch local;
+  LevelScratch& sc = scratch != nullptr ? *scratch : local;
 
   LevelResult res;
 
@@ -42,57 +84,129 @@ LevelResult build_level(const CommGraph& parent,
 
   // Per-vid targets: target_degree, capped at 2/3 of the co-member count
   // so the distinct-neighbor waves converge geometrically (each successful
-  // walk still has >= 1/3 chance of hitting a new neighbor).
-  std::vector<std::uint32_t> missing(nv);
-  for (Vid v = 0; v < nv; ++v) {
-    const std::uint32_t sz = part.part_size(level, part.part_of(v, level));
-    const std::uint32_t cap =
-        sz <= 1 ? 0 : std::max<std::uint32_t>(1, 2 * (sz - 1) / 3);
-    missing[v] = std::min(params.target_degree, cap);
-  }
+  // walk still has >= 1/3 chance of hitting a new neighbor). Pure per-vid
+  // lookups, so the fill shards freely.
+  std::vector<std::uint32_t>& missing = sc.missing;
+  missing.resize(nv);
+  parallel_for_shards(
+      params.exec, nv, [&](std::uint32_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t v = lo; v < hi; ++v) {
+          const std::uint32_t sz =
+              part.part_size(level, part.part_of(static_cast<Vid>(v), level));
+          const std::uint32_t cap =
+              sz <= 1 ? 0 : std::max<std::uint32_t>(1, 2 * (sz - 1) / 3);
+          missing[v] = std::min(params.target_degree, cap);
+        }
+      });
+  std::uint64_t sum_missing = 0;
+  for (Vid v = 0; v < nv; ++v) sum_missing += missing[v];
 
-  // Edges accumulate straight into CSR form: the builder records arcs in
-  // arrival order, which is exactly the port numbering the old nested
-  // vector construction produced, so arc indices (and all ledger charges
-  // derived from them) are unchanged.
+  // Edges accumulate straight into CSR form in accepted order. Dedup is a
+  // sorted flat key vector: every accepted edge decrements missing at its
+  // start vid, so at most sum(missing) edges ever exist — that exact bound
+  // sizes the storage (the old unordered_set reserved nv * target_degree
+  // * 2 buckets regardless of the part-size caps).
   CsrBuilder builder(nv);
-  std::unordered_set<std::uint64_t> have;  // undirected edges present
-  have.reserve(static_cast<std::size_t>(nv) * params.target_degree * 2);
+  std::vector<std::uint64_t>& have = sc.have;  // sorted undirected edge keys
+  have.clear();
+  have.reserve(sum_missing);
+  std::vector<std::uint64_t>& have_next = sc.have_next;
+  have_next.reserve(sum_missing);
+  std::vector<std::uint64_t> added;  // this wave's accepted keys (sorted)
 
-  auto connect = [&](Vid a, Vid b) -> bool {
-    if (!have.insert(edge_key(a, b)).second) return false;
-    builder.add_edge(a, b);
-    return true;
-  };
-
-  ParallelWalkEngine engine(parent, rng.split());
-  std::vector<std::uint32_t> starts;
+  ParallelWalkEngine engine(parent, rng.split(), params.exec);
+  const std::uint32_t nshards = params.exec.shards();
+  if (sc.shard_cands.size() < nshards) sc.shard_cands.resize(nshards);
+  std::vector<std::uint32_t>& starts = sc.starts;
+  std::vector<std::size_t>& offsets = sc.wave_offsets;
 
   for (res.waves = 0; res.waves < params.max_waves; ++res.waves) {
-    starts.clear();
+    // Wave starts: walk j of vid v occupies starts[offsets[v] + j]; the
+    // offsets make the fill a pure function of vid, so it shards freely.
+    offsets.resize(static_cast<std::size_t>(nv) + 1);
+    offsets[0] = 0;
     for (Vid v = 0; v < nv; ++v) {
-      if (missing[v] == 0) continue;
-      const auto w = static_cast<std::uint32_t>(
-          std::ceil(params.walk_slack * beta * missing[v]));
-      for (std::uint32_t i = 0; i < w; ++i) starts.push_back(v);
+      const std::size_t w =
+          missing[v] == 0
+              ? 0
+              : static_cast<std::size_t>(
+                    std::ceil(params.walk_slack * beta * missing[v]));
+      offsets[v + 1] = offsets[v] + w;
     }
-    if (starts.empty()) break;
-    res.walks_issued += starts.size();
+    const std::size_t num_walks = offsets[nv];
+    if (num_walks == 0) break;
+    starts.resize(num_walks);
+    parallel_for_shards(params.exec, nv,
+                        [&](std::uint32_t, std::size_t lo, std::size_t hi) {
+                          for (std::size_t v = lo; v < hi; ++v) {
+                            std::fill(starts.begin() + offsets[v],
+                                      starts.begin() + offsets[v + 1],
+                                      static_cast<std::uint32_t>(v));
+                          }
+                        });
+    res.walks_issued += num_walks;
 
     WalkStats stats;
     const auto ends = engine.run(starts, WalkKind::kRegular2Delta, res.tau,
                                  ledger, &stats);
     ParallelWalkEngine::charge_rerun(stats, ledger);  // reverse traversal
 
-    for (std::size_t i = 0; i < starts.size(); ++i) {
-      const Vid s = starts[i];
-      const Vid e = ends[i];
-      if (missing[s] == 0 || e == s) continue;
-      if (part.part_of(s, level) != part.part_of(e, level)) continue;
-      if (connect(s, e)) {
+    // Endpoint matching, phase 1 (parallel): filter the wave down to its
+    // successful walks — endpoint distinct from the start and inside the
+    // start's own part — as per-shard (edge key, start) records, each
+    // shard sorted by (key, start).
+    parallel_for_shards(
+        params.exec, num_walks,
+        [&](std::uint32_t s, std::size_t lo, std::size_t hi) {
+          auto& out = sc.shard_cands[s];
+          out.clear();
+          for (std::size_t i = lo; i < hi; ++i) {
+            const Vid st = starts[i];
+            const Vid e = ends[i];
+            if (e == st) continue;
+            if (part.part_of(st, level) != part.part_of(e, level)) continue;
+            out.emplace_back(edge_key(st, e), st);
+          }
+          std::sort(out.begin(), out.end());
+        });
+    merge_shard_runs(sc.shard_cands, nshards, sc.cands);
+
+    // Phase 2 (serial, order-canonical): walk the merged candidates in
+    // (key, start) order against the sorted `have` keys. For each new key
+    // the first start vid that still misses neighbors claims the edge;
+    // keys whose every start is already satisfied stay unclaimed (a later
+    // wave may still add them), exactly as in the per-walk loop this
+    // replaces.
+    added.clear();
+    std::size_t hp = 0;  // cursor into `have` (both sides key-sorted)
+    for (std::size_t i = 0; i < sc.cands.size();) {
+      const std::uint64_t key = sc.cands[i].first;
+      std::size_t j = i;
+      while (j < sc.cands.size() && sc.cands[j].first == key) ++j;
+      while (hp < have.size() && have[hp] < key) ++hp;
+      if (hp < have.size() && have[hp] == key) {
+        i = j;
+        continue;  // edge already present from an earlier wave
+      }
+      for (std::size_t k = i; k < j; ++k) {
+        const Vid s = sc.cands[k].second;
+        if (missing[s] == 0) continue;
+        const Vid a = static_cast<Vid>(key >> 32);
+        const Vid b = static_cast<Vid>(key & 0xffffffffu);
+        const Vid e = s == a ? b : a;
+        builder.add_edge(s, e);
+        added.push_back(key);
         --missing[s];
         if (missing[e] > 0) --missing[e];  // the edge serves both endpoints
+        break;
       }
+      i = j;
+    }
+    if (!added.empty()) {
+      have_next.clear();
+      std::merge(have.begin(), have.end(), added.begin(), added.end(),
+                 std::back_inserter(have_next));
+      std::swap(have, have_next);
     }
   }
 
@@ -107,10 +221,13 @@ LevelResult build_level(const CommGraph& parent,
   OverlayComm overlay = std::move(builder).finish(/*round_cost=*/1);
 
   // Per-part connectivity (the recursion walks within parts, so every
-  // part's overlay must be one component). Verified, not assumed.
+  // part's overlay must be one component). Verified, not assumed: a
+  // path-halving array union-find over the overlay arcs, then a per-part
+  // single-representative scan over the partition's member order (which
+  // groups every part contiguously).
   {
-    // Union-find over overlay edges.
-    std::vector<Vid> uf(nv);
+    std::vector<Vid>& uf = sc.uf;
+    uf.resize(nv);
     for (Vid v = 0; v < nv; ++v) uf[v] = v;
     const auto find = [&uf](Vid x) {
       while (uf[x] != x) {
@@ -125,33 +242,31 @@ LevelResult build_level(const CommGraph& parent,
         if (a != b) uf[a] = b;
       }
     }
-    // Each part must have exactly one representative.
-    std::unordered_set<std::uint64_t> reps;
-    res.parts_connected = true;
-    for (Vid v = 0; v < nv; ++v) {
-      const std::uint64_t key =
-          (part.part_of(v, level) << 22) ^ find(v);
-      reps.insert(key);
+    sc.conn_parts.resize(nv);
+    sc.conn_reps.resize(nv);
+    const std::vector<Vid>& order = part.order();
+    for (std::size_t idx = 0; idx < nv; ++idx) {
+      sc.conn_parts[idx] = part.part_of(order[idx], level);
+      sc.conn_reps[idx] = find(order[idx]);
     }
-    std::unordered_set<PartId> parts_seen;
-    for (Vid v = 0; v < nv; ++v) parts_seen.insert(part.part_of(v, level));
-    if (reps.size() != parts_seen.size()) res.parts_connected = false;
+    res.parts_connected = parts_singly_connected(sc.conn_parts, sc.conn_reps);
   }
 
   // Emulation-cost probe: one round of this overlay re-runs (forward and
   // backward) one walk per overlay edge-direction; probe with a fresh batch
   // of target_degree walks per vid on a scratch ledger.
-  RoundLedger scratch;
-  std::vector<std::uint32_t> probe_starts;
+  RoundLedger scratch_ledger;
+  std::vector<std::uint32_t>& probe_starts = sc.probe_starts;
+  probe_starts.clear();
   for (Vid v = 0; v < nv; ++v) {
     for (const Vid w : overlay.neighbors(v)) {
       if (v < w) probe_starts.push_back(v);  // one walk per undirected edge
     }
   }
   WalkStats probe_stats;
-  ParallelWalkEngine probe_engine(parent, rng.split());
-  probe_engine.run(probe_starts, WalkKind::kRegular2Delta, res.tau, scratch,
-                   &probe_stats);
+  ParallelWalkEngine probe_engine(parent, rng.split(), params.exec);
+  probe_engine.run(probe_starts, WalkKind::kRegular2Delta, res.tau,
+                   scratch_ledger, &probe_stats);
   res.emul_parent_rounds =
       2 * std::max<std::uint64_t>(1, probe_stats.graph_rounds);
 

@@ -17,6 +17,9 @@
 // overlays if it ever fails (Las Vegas).
 
 #include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "congest/comm_graph.hpp"
 #include "congest/round_ledger.hpp"
@@ -32,7 +35,40 @@ struct LevelParams {
   std::uint32_t tau_samples = 4;
   std::uint32_t max_tau = 4000;
   std::uint32_t max_waves = 64;
+  ExecPolicy exec;                  // walk engines + matching/assembly sweeps
 };
+
+/// Persistent build buffers, reused across waves AND levels (the caller
+/// keeps one instance alive for the whole hierarchy build): the wave loop
+/// repeatedly fills the same walk-start, candidate and dedup storage, so
+/// the per-wave allocations collapse to size bumps on the largest wave.
+struct LevelScratch {
+  std::vector<std::uint32_t> starts;        // wave walk starts
+  std::vector<std::uint32_t> probe_starts;  // cost-probe walk starts
+  std::vector<std::uint32_t> missing;       // per-vid remaining targets
+  std::vector<std::size_t> wave_offsets;    // per-vid start offsets + total
+  std::vector<Vid> uf;                      // union-find parents
+  std::vector<std::uint64_t> have;          // sorted undirected edge keys
+  std::vector<std::uint64_t> have_next;     // merge target for `have`
+  // Per-shard successful-walk candidates of one wave, each sorted by
+  // (edge key, start vid); merged in key order across shards.
+  std::vector<std::vector<std::pair<std::uint64_t, Vid>>> shard_cands;
+  std::vector<std::pair<std::uint64_t, Vid>> cands;  // merged wave output
+  std::vector<PartId> conn_parts;  // per order-position part ids
+  std::vector<Vid> conn_reps;      // per order-position union-find reps
+};
+
+/// Per-part single-component check used by the level builder: `parts[i]`
+/// is the part id of the i-th member in part-grouped order and `reps[i]`
+/// its union-find representative; true iff no part has two distinct
+/// representatives. Pairs are compared exactly — this replaces the old
+/// `(part << 22) ^ rep` packed-key count, which aliased distinct
+/// (part, rep) pairs once vids crossed 2^22 and could silently pass (or
+/// fail) the connectivity gate at 10^7 scale. Requires `parts` grouped
+/// (all equal part ids contiguous), which the partition's member order
+/// provides by construction.
+bool parts_singly_connected(std::span<const PartId> parts,
+                            std::span<const Vid> reps);
 
 struct LevelResult {
   OverlayComm overlay;               // on [0, 2m) vids; round_cost set
@@ -44,10 +80,11 @@ struct LevelResult {
 };
 
 /// Build the level-`level` overlay on top of `parent`. Charges the ledger
-/// for every wave (forward + reverse). `level >= 1`.
+/// for every wave (forward + reverse). `level >= 1`. Pass a `scratch` to
+/// share build buffers across levels; null uses call-local storage.
 LevelResult build_level(const CommGraph& parent,
                         const HierarchicalPartition& part, std::uint32_t level,
                         const LevelParams& params, Rng& rng,
-                        RoundLedger& ledger);
+                        RoundLedger& ledger, LevelScratch* scratch = nullptr);
 
 }  // namespace amix

@@ -1,14 +1,14 @@
 #include "hierarchy/partition.hpp"
 
 #include <algorithm>
-#include <numeric>
 
 namespace amix {
 
 HierarchicalPartition::HierarchicalPartition(const VirtualNodeSpace& vs,
                                              KWiseHash hash,
                                              std::uint32_t beta,
-                                             std::uint32_t depth)
+                                             std::uint32_t depth,
+                                             ExecPolicy exec)
     : vs_(&vs), hash_(std::move(hash)), beta_(beta), depth_(depth) {
   AMIX_CHECK(beta >= 2);
   AMIX_CHECK(depth >= 1);
@@ -19,18 +19,21 @@ HierarchicalPartition::HierarchicalPartition(const VirtualNodeSpace& vs,
     AMIX_CHECK_MSG(pow_beta_[i] < (1ULL << 40), "partition tree too large");
   }
 
+  // Leaf hashing is the construction's hot loop (Theta(w) multiply-adds
+  // per vid) and a pure function of the vid's key, so it shards freely.
   const Vid n = vs.num_virtual();
   leaf_.resize(n);
-  for (Vid vid = 0; vid < n; ++vid) {
-    leaf_[vid] = leaf_of_key(vs.key(vid));
-  }
+  parallel_for_shards(exec, n,
+                      [&](std::uint32_t, std::size_t lo, std::size_t hi) {
+                        for (std::size_t vid = lo; vid < hi; ++vid) {
+                          leaf_[vid] =
+                              leaf_of_key(vs.key(static_cast<Vid>(vid)));
+                        }
+                      });
 
-  order_.resize(n);
-  std::iota(order_.begin(), order_.end(), Vid{0});
-  std::sort(order_.begin(), order_.end(), [this](Vid a, Vid b) {
-    return leaf_[a] != leaf_[b] ? leaf_[a] < leaf_[b] : a < b;
-  });
-
+  // Member order: counting sort by (leaf, vid). Placement in ascending
+  // vid order is stable, so order_ matches a comparison sort by
+  // (leaf, vid) exactly — at a linear cost instead of n log n.
   const std::uint64_t leaves = pow_beta_[depth];
   leaf_start_.assign(leaves + 1, 0);
   for (Vid vid = 0; vid < n; ++vid) {
@@ -38,6 +41,14 @@ HierarchicalPartition::HierarchicalPartition(const VirtualNodeSpace& vs,
   }
   for (std::uint64_t l = 0; l < leaves; ++l) {
     leaf_start_[l + 1] += leaf_start_[l];
+  }
+  order_.resize(n);
+  {
+    std::vector<std::uint32_t> cursor(leaf_start_.begin(),
+                                      leaf_start_.end() - 1);
+    for (Vid vid = 0; vid < n; ++vid) {
+      order_[cursor[static_cast<std::size_t>(leaf_[vid])]++] = vid;
+    }
   }
 
   min_leaf_ = n;

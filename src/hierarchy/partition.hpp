@@ -17,6 +17,7 @@
 #include "hierarchy/virtual_space.hpp"
 #include "util/kwise_hash.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace amix {
 
@@ -27,9 +28,13 @@ using PartId = std::uint64_t;
 class HierarchicalPartition {
  public:
   /// depth >= 1, beta >= 2. `hash` must already be sampled (its seed is the
-  /// broadcast shared randomness).
+  /// broadcast shared randomness). `exec` shards the per-vid leaf hashing
+  /// (the construction's dominant cost — Theta(w) multiply-adds per vid);
+  /// the member order is then a counting sort by (leaf, vid), so the
+  /// partition is bit-identical at any shard count.
   HierarchicalPartition(const VirtualNodeSpace& vs, KWiseHash hash,
-                        std::uint32_t beta, std::uint32_t depth);
+                        std::uint32_t beta, std::uint32_t depth,
+                        ExecPolicy exec = {});
 
   std::uint32_t beta() const { return beta_; }
   std::uint32_t depth() const { return depth_; }
@@ -86,8 +91,9 @@ class HierarchicalPartition {
   /// surviving slot whose port survives a delta keeps its exact leaf; this
   /// is what keeps delta repair local. The result must be re-checked with
   /// balanced() (the repair falls back to a rebuild when it fails).
-  HierarchicalPartition rebound(const VirtualNodeSpace& vs) const {
-    return HierarchicalPartition(vs, hash_, beta_, depth_);
+  HierarchicalPartition rebound(const VirtualNodeSpace& vs,
+                                ExecPolicy exec = {}) const {
+    return HierarchicalPartition(vs, hash_, beta_, depth_, exec);
   }
 
   /// P1 check: every leaf size in [avg/slack, avg*slack] (and nonempty).

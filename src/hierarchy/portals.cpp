@@ -10,31 +10,86 @@ namespace amix {
 PortalTable::PortalTable(const HierarchicalPartition& part,
                          const std::vector<const OverlayComm*>& overlays,
                          Rng& rng, RoundLedger& ledger,
-                         const PortalRepairScope* repair)
+                         const PortalRepairScope* repair, ExecPolicy exec,
+                         std::uint32_t tau_override,
+                         std::uint32_t candidate_cap)
     : part_(&part), overlays_(overlays) {
   AMIX_CHECK(overlays_.size() == part.depth() + 1);
   AMIX_CHECK(repair == nullptr || repair->affected.size() == part.depth() + 1);
   AMIX_CHECK_MSG(part.beta() <= 64, "portal table assumes beta <= 64");
   const std::uint32_t nv = overlays_[0]->num_nodes();
+  const std::uint32_t nshards = exec.shards();
 
-  // Candidate sets from the parent-overlay adjacency.
+  // Candidate sets from the parent-overlay adjacency. The per-vid scan is
+  // pure (partition lookups + CSR reads), so each level shards over
+  // contiguous vid ranges into per-shard (slot key, u) records, appended
+  // in shard order into one flat vector; one sort by (key, u) + unique
+  // per level then replaces the old per-slot sort passes. The sorted
+  // order is a pure function of the record multiset, so the table is
+  // independent of the shard count — and because every slot key carries
+  // its level, grouping level by level (reusing one buffer) builds the
+  // same table as the old whole-build accumulation while keeping the
+  // transient footprint at max-per-level instead of the sum over levels
+  // (the difference is ~depth x nv x degree records at 10^6+ nodes).
+  std::vector<std::pair<std::uint64_t, Vid>> pairs;
+  std::vector<std::vector<std::pair<std::uint64_t, Vid>>> shard_pairs(nshards);
+  std::vector<std::pair<std::uint64_t, Vid>> ranked;  // cap selection scratch
   for (std::uint32_t level = 1; level <= part.depth(); ++level) {
     const OverlayComm& hop_graph = *overlays_[level - 1];
-    for (Vid u = 0; u < nv; ++u) {
-      const PartId pu = part.part_of(u, level);
-      const PartId parent_u = level == 1 ? 0 : part.part_of(u, level - 1);
-      for (const Vid w : hop_graph.neighbors(u)) {
-        const PartId pw = part.part_of(w, level);
-        if (pw == pu) continue;
-        const PartId parent_w = level == 1 ? 0 : part.part_of(w, level - 1);
-        if (parent_w != parent_u) continue;
-        candidates_[slot_key(level, pu, part.child_index(pw))].push_back(u);
-      }
+    parallel_for_shards(
+        exec, nv, [&](std::uint32_t s, std::size_t lo, std::size_t hi) {
+          auto& out = shard_pairs[s];
+          out.clear();
+          for (std::size_t v = lo; v < hi; ++v) {
+            const Vid u = static_cast<Vid>(v);
+            const PartId pu = part.part_of(u, level);
+            const PartId parent_u =
+                level == 1 ? 0 : part.part_of(u, level - 1);
+            for (const Vid w : hop_graph.neighbors(u)) {
+              const PartId pw = part.part_of(w, level);
+              if (pw == pu) continue;
+              const PartId parent_w =
+                  level == 1 ? 0 : part.part_of(w, level - 1);
+              if (parent_w != parent_u) continue;
+              out.emplace_back(slot_key(level, pu, part.child_index(pw)), u);
+            }
+          }
+        });
+    pairs.clear();
+    for (std::uint32_t s = 0; s < nshards; ++s) {
+      pairs.insert(pairs.end(), shard_pairs[s].begin(), shard_pairs[s].end());
     }
-  }
-  for (auto& [key, vec] : candidates_) {
-    std::sort(vec.begin(), vec.end());
-    vec.erase(std::unique(vec.begin(), vec.end()), vec.end());
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+    for (std::size_t i = 0; i < pairs.size();) {
+      std::size_t j = i;
+      while (j < pairs.size() && pairs[j].first == pairs[i].first) ++j;
+      const std::uint64_t key = pairs[i].first;
+      std::vector<Vid>& vec = candidates_[key];
+      if (candidate_cap != 0 && j - i > candidate_cap) {
+        // Hashed subsample: keep the `cap` candidates with the smallest
+        // keyed hash — a deterministic pseudo-random subset, independent
+        // of vid magnitude (a plain prefix would bias toward low vids).
+        // The kept vids are stored sorted, like an uncapped slot.
+        ranked.clear();
+        ranked.reserve(j - i);
+        for (std::size_t k = i; k < j; ++k) {
+          ranked.emplace_back(keyed_u64(key, 0x706f7274616cULL,
+                                        pairs[k].second),
+                              pairs[k].second);
+        }
+        std::nth_element(ranked.begin(), ranked.begin() + candidate_cap,
+                         ranked.end());
+        ranked.resize(candidate_cap);
+        vec.reserve(candidate_cap);
+        for (const auto& [h, u] : ranked) vec.push_back(u);
+        std::sort(vec.begin(), vec.end());
+      } else {
+        vec.reserve(j - i);
+        for (std::size_t k = i; k < j; ++k) vec.push_back(pairs[k].second);
+      }
+      i = j;
+    }
   }
 
   // Completeness + min size over all ordered sibling pairs.
@@ -66,22 +121,40 @@ PortalTable::PortalTable(const HierarchicalPartition& part,
   // Under a repair scope only the affected vids re-run their batches —
   // everyone else's portals (candidate hashes over unchanged candidate
   // sets) are untouched, so no simulated work happens for them.
+  std::vector<std::uint32_t> starts;
+  std::vector<std::size_t> offsets;
   for (std::uint32_t level = 1; level <= part.depth(); ++level) {
     const OverlayComm& ov = *overlays_[level];
     if (ov.num_arcs() == 0) continue;  // degenerate: all parts singletons
     if (repair != nullptr && repair->affected[level].empty()) continue;
-    Rng probe = rng.split();
-    const std::uint32_t tau = std::min<std::uint32_t>(
-        comm_mixing_time_sampled(ov, WalkKind::kRegular2Delta, 2, probe, 400),
-        400);
-    std::vector<std::uint32_t> starts;
+    std::uint32_t tau = tau_override;
+    if (tau == 0) {
+      Rng probe = rng.split();
+      tau = std::min<std::uint32_t>(
+          comm_mixing_time_sampled(ov, WalkKind::kRegular2Delta, 2, probe,
+                                   400),
+          400);
+    }
     if (repair == nullptr) {
-      starts.reserve(static_cast<std::size_t>(nv) * part.beta());
+      // Full-build batch: beta walkers per nonzero-degree vid, assembled
+      // in parallel via per-vid offsets (a pure function of the overlay
+      // degrees). The buffers persist across levels.
+      offsets.resize(static_cast<std::size_t>(nv) + 1);
+      offsets[0] = 0;
       for (Vid v = 0; v < nv; ++v) {
-        if (ov.degree(v) == 0) continue;
-        for (std::uint32_t i = 0; i < part.beta(); ++i) starts.push_back(v);
+        offsets[v + 1] = offsets[v] + (ov.degree(v) == 0 ? 0 : part.beta());
       }
+      starts.resize(offsets[nv]);
+      parallel_for_shards(exec, nv,
+                          [&](std::uint32_t, std::size_t lo, std::size_t hi) {
+                            for (std::size_t v = lo; v < hi; ++v) {
+                              std::fill(starts.begin() + offsets[v],
+                                        starts.begin() + offsets[v + 1],
+                                        static_cast<std::uint32_t>(v));
+                            }
+                          });
     } else {
+      starts.clear();
       starts.reserve(repair->affected[level].size() * part.beta());
       for (const Vid v : repair->affected[level]) {
         if (ov.degree(v) == 0) continue;
@@ -91,7 +164,7 @@ PortalTable::PortalTable(const HierarchicalPartition& part,
     if (starts.empty()) continue;
     RoundLedger scratch;
     WalkStats stats;
-    ParallelWalkEngine engine(ov, rng.split());
+    ParallelWalkEngine engine(ov, rng.split(), exec);
     engine.run(starts, WalkKind::kRegular2Delta, std::max(tau, 1u), scratch,
                &stats);
     if (repair == nullptr) {
@@ -107,6 +180,19 @@ PortalTable::PortalTable(const HierarchicalPartition& part,
       ledger.charge(2ULL * stats.base_rounds);
     }
   }
+}
+
+std::uint64_t PortalTable::digest() const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(candidates_.size());
+  for (const auto& [key, vids] : candidates_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  std::uint64_t h = splitmix64(0x706f7274616c7364ULL ^ keys.size());
+  for (const std::uint64_t key : keys) {
+    h = splitmix64(h ^ key);
+    for (const Vid v : candidates_.at(key)) h = splitmix64(h ^ v);
+  }
+  return h;
 }
 
 bool PortalTable::has_candidates(std::uint32_t level, PartId part_a,

@@ -36,10 +36,18 @@ class PortalTable {
   /// `overlays[l]` is the level-l overlay (overlays[0] == G0), for l in
   /// [0, depth]. Builds candidate sets for every level and charges the
   /// ledger per Lemma 3.3 — for every node, or (when `repair` is given)
-  /// only for the repair scope's affected vids per level.
+  /// only for the repair scope's affected vids per level. `exec` shards
+  /// the candidate scan, batch assembly and walk engines; the table is
+  /// bit-identical at any setting. `tau_override` pins the batch walk
+  /// length (HierarchyParams::level_tau); 0 measures each overlay.
+  /// `candidate_cap` (HierarchyParams::portal_candidate_cap) bounds each
+  /// slot's stored candidate list by a deterministic hashed subsample;
+  /// 0 keeps every candidate.
   PortalTable(const HierarchicalPartition& part,
               const std::vector<const OverlayComm*>& overlays, Rng& rng,
-              RoundLedger& ledger, const PortalRepairScope* repair = nullptr);
+              RoundLedger& ledger, const PortalRepairScope* repair = nullptr,
+              ExecPolicy exec = {}, std::uint32_t tau_override = 0,
+              std::uint32_t candidate_cap = 0);
 
   /// True if some node of part_a (level `level`) has a parent-overlay edge
   /// into the sibling with child index `target_child`.
@@ -73,6 +81,12 @@ class PortalTable {
     for (const auto& [key, vids] : candidates_) n += vids.size();
     return n;
   }
+
+  /// Canonical fold of the whole candidate table (slots visited in sorted
+  /// key order, so the map's bucket order never shows through): equal
+  /// digests mean element-wise identical tables. The thread-invariance
+  /// tests pin hierarchy builds with this.
+  std::uint64_t digest() const;
 
  private:
   static std::uint64_t slot_key(std::uint32_t level, PartId part,

@@ -1,7 +1,7 @@
 #include "routing/hierarchical_router.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <optional>
 
 #include "congest/token_transport.hpp"
 #include "obs/trace.hpp"
@@ -26,7 +26,11 @@ class Recursion {
  public:
   Recursion(const Hierarchy& h, std::vector<Packet>& packets,
             RoundLedger& ledger, RouteStats& stats)
-      : h_(h), packets_(packets), ledger_(ledger), stats_(stats) {}
+      : h_(h),
+        packets_(packets),
+        ledger_(ledger),
+        stats_(stats),
+        transports_(h.depth() + 1) {}
 
   void route_within(std::uint32_t level, std::vector<Item>& items) {
     if (items.empty()) return;
@@ -66,7 +70,7 @@ class Recursion {
         // span closes before the recursion so it holds only the hop cost.
         const obs::Span hop_span(ledger_,
                                  obs::numbered("route/hop/level-", level));
-        TokenTransport transport(h_.overlay(level));
+        TokenTransport& transport = transport_at(level);
         for (const Item& it : cross) {
           const Vid portal = packets_[it.pkt].cur;
           const std::uint32_t target_child =
@@ -99,21 +103,28 @@ class Recursion {
     const CommView lv = leaf.view();
     // The leaf overlay is a dense random graph per leaf part (diameter
     // 1-2): forward each packet along a BFS shortest path, one parallel
-    // hop per committed step.
-    std::vector<std::vector<std::pair<Vid, std::uint32_t>>> moves(
-        items.size());  // per packet: (node, port) hops
+    // hop per committed step. The per-packet paths land in reused flat
+    // buffers (`move_hops_` + offsets), and the BFS uses the epoch
+    // arrays below — a route call's leaf phases are the router's wall
+    // clock at scale, and a hash map + fresh vector per packet was most
+    // of it.
+    move_off_.assign(items.size() + 1, 0);
+    move_hops_.clear();
     std::size_t max_len = 0;
     for (std::size_t i = 0; i < items.size(); ++i) {
       Packet& p = packets_[items[i].pkt];
-      if (p.cur == items[i].target) continue;
-      moves[i] = leaf_path(lv, p.cur, items[i].target);
-      max_len = std::max(max_len, moves[i].size());
+      if (p.cur != items[i].target) {
+        const std::size_t before = move_hops_.size();
+        leaf_path(lv, p.cur, items[i].target);
+        max_len = std::max(max_len, move_hops_.size() - before);
+      }
+      move_off_[i + 1] = move_hops_.size();
     }
-    TokenTransport transport(leaf);
+    TokenTransport& transport = transport_at(h_.depth());
     for (std::size_t step = 0; step < max_len; ++step) {
       for (std::size_t i = 0; i < items.size(); ++i) {
-        if (step >= moves[i].size()) continue;
-        const auto [v, port] = moves[i][step];
+        if (step >= move_off_[i + 1] - move_off_[i]) continue;
+        const auto [v, port] = move_hops_[move_off_[i] + step];
         transport.move(v, port);
         packets_[items[i].pkt].cur = lv.neighbor(v, port);
       }
@@ -124,48 +135,86 @@ class Recursion {
     ++stats_.leaf_phases;
   }
 
-  /// BFS shortest path within the (small, connected) leaf component.
-  static std::vector<std::pair<Vid, std::uint32_t>> leaf_path(
-      const CommView& leaf, Vid from, Vid to) {
-    // Leaf parts are Theta(log n) nodes; a local BFS with hash maps stays
-    // proportional to the part size.
-    std::unordered_map<Vid, std::pair<Vid, std::uint32_t>> via;  // node -> (prev, port at prev)
-    std::vector<Vid> frontier{from}, next;
-    via[from] = {from, UINT32_MAX};
+  /// BFS shortest path within the (small, connected) leaf component,
+  /// appended to `move_hops_` as (node, port at node) pairs. Visit order
+  /// is identical to the original hash-map BFS (frontier in insertion
+  /// order, neighbors in port order), so the chosen path — and with it
+  /// every transport charge — is unchanged; the epoch-stamped flat
+  /// arrays only replace the per-call hash map and its allocations.
+  void leaf_path(const CommView& leaf, Vid from, Vid to) {
+    if (via_epoch_.size() != leaf.num_nodes) {
+      via_epoch_.assign(leaf.num_nodes, 0);
+      via_prev_.resize(leaf.num_nodes);
+      via_port_.resize(leaf.num_nodes);
+      epoch_ = 0;
+    }
+    if (++epoch_ == 0) {  // u32 wrap: stamp everything stale again
+      via_epoch_.assign(via_epoch_.size(), 0);
+      epoch_ = 1;
+    }
+    const auto visit = [&](Vid w, Vid prev, std::uint32_t port) {
+      via_epoch_[w] = epoch_;
+      via_prev_[w] = prev;
+      via_port_[w] = port;
+    };
+    frontier_.clear();
+    next_.clear();
+    frontier_.push_back(from);
+    visit(from, from, UINT32_MAX);
     bool found = false;
-    while (!frontier.empty() && !found) {
-      next.clear();
-      for (const Vid v : frontier) {
+    while (!frontier_.empty() && !found) {
+      next_.clear();
+      for (const Vid v : frontier_) {
         const auto nbrs = leaf.neighbors(v);
         for (std::uint32_t q = 0; q < nbrs.size(); ++q) {
           const Vid w = nbrs[q];
-          if (via.count(w) != 0) continue;
-          via[w] = {v, q};
+          if (via_epoch_[w] == epoch_) continue;
+          visit(w, v, q);
           if (w == to) {
             found = true;
             break;
           }
-          next.push_back(w);
+          next_.push_back(w);
         }
         if (found) break;
       }
-      frontier.swap(next);
+      frontier_.swap(next_);
     }
     AMIX_CHECK_MSG(found, "leaf part is not connected");
-    std::vector<std::pair<Vid, std::uint32_t>> hops;
+    const std::size_t first = move_hops_.size();
     for (Vid v = to; v != from;) {
-      const auto [prev, port] = via[v];
-      hops.emplace_back(prev, port);
-      v = prev;
+      move_hops_.emplace_back(via_prev_[v], via_port_[v]);
+      v = via_prev_[v];
     }
-    std::reverse(hops.begin(), hops.end());
-    return hops;
+    std::reverse(move_hops_.begin() + first, move_hops_.end());
+  }
+
+  /// The level's transport, constructed on first use and reused by every
+  /// recursion node of this routing instance. A TokenTransport's tallies
+  /// are per-step (commit_step clears exactly what the step touched), so
+  /// reuse charges bit-identically to a fresh transport — what it saves
+  /// is the O(arcs) zero-fill the old per-recursion-node construction
+  /// paid, which at 10^7 virtual nodes dominated the whole route call
+  /// (2^depth leaf batches x ~1 GB of zeroed tallies each).
+  TokenTransport& transport_at(std::uint32_t level) {
+    if (!transports_[level]) transports_[level].emplace(h_.overlay(level));
+    return *transports_[level];
   }
 
   const Hierarchy& h_;
   std::vector<Packet>& packets_;
   RoundLedger& ledger_;
   RouteStats& stats_;
+  std::vector<std::optional<TokenTransport>> transports_;
+  // leaf_deliver / leaf_path scratch, reused across the route call's leaf
+  // phases: flat per-packet hop runs (CSR-style offsets into one pair
+  // vector) and the epoch-stamped BFS visit marks (12 B per vid, lazily
+  // sized on the first leaf phase).
+  std::vector<std::pair<Vid, std::uint32_t>> move_hops_;
+  std::vector<std::size_t> move_off_;
+  std::vector<Vid> via_prev_, frontier_, next_;
+  std::vector<std::uint32_t> via_port_, via_epoch_;
+  std::uint32_t epoch_ = 0;
 };
 
 }  // namespace

@@ -277,5 +277,51 @@ TEST(HierarchyBuild, DeterministicGivenSeeds) {
   EXPECT_EQ(h1.overlay(0).num_arcs(), h2.overlay(0).num_arcs());
 }
 
+TEST(LevelBuilder, PartsSinglyConnectedBasics) {
+  // Grouped input, one rep per part: connected.
+  const std::vector<PartId> parts{0, 0, 0, 1, 1, 2};
+  const std::vector<Vid> one_rep{7, 7, 7, 3, 3, 9};
+  EXPECT_TRUE(parts_singly_connected(parts, one_rep));
+  // Part 1 holds two representatives: disconnected.
+  const std::vector<Vid> two_reps{7, 7, 7, 3, 4, 9};
+  EXPECT_FALSE(parts_singly_connected(parts, two_reps));
+  // Degenerate sizes.
+  EXPECT_TRUE(parts_singly_connected({}, {}));
+  EXPECT_TRUE(parts_singly_connected(std::vector<PartId>{5},
+                                     std::vector<Vid>{1}));
+}
+
+TEST(LevelBuilder, PartsSinglyConnectedSurvives2e22Aliasing) {
+  // Regression for the old packed-key check, `(part << 22) ^ find(v)`:
+  // once vids cross 2^22 the rep bleeds into the part bits and distinct
+  // (part, rep) pairs can collapse onto one key. Concretely, with
+  // rep X = 2^22 + 5 in part 0 and reps {5, X} in part 1:
+  //   (0 << 22) ^ X = X,   (1 << 22) ^ 5 = X,   (1 << 22) ^ X = 5
+  // — two distinct packed keys for two parts, so the old count concluded
+  // "connected" even though part 1 has TWO components. The exact-pair
+  // scan must flag it.
+  const Vid x = (1u << 22) + 5;
+  const std::vector<PartId> parts{0, 0, 1, 1};
+  const std::vector<Vid> reps{x, x, 5, x};
+  {
+    // The old formula really does alias on this input (the bug being
+    // pinned): distinct packed keys == distinct parts.
+    std::unordered_set<std::uint64_t> old_keys;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      old_keys.insert((parts[i] << 22) ^ reps[i]);
+    }
+    ASSERT_EQ(old_keys.size(), 2u);
+  }
+  EXPECT_FALSE(parts_singly_connected(parts, reps));
+
+  // The mirror case: distinct reps of ONE part straddling the boundary
+  // must still be counted as distinct.
+  const std::vector<PartId> parts2{0, 0};
+  const std::vector<Vid> reps2{5, x};
+  EXPECT_FALSE(parts_singly_connected(parts2, reps2));
+  const std::vector<Vid> reps3{x, x};
+  EXPECT_TRUE(parts_singly_connected(parts2, reps3));
+}
+
 }  // namespace
 }  // namespace amix

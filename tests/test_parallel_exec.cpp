@@ -406,5 +406,92 @@ TEST(ThreadInvariance, FaultInjectionUnderParallelExecutor) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Hierarchy construction
+// ---------------------------------------------------------------------------
+
+/// Everything a hierarchy build produces, flattened for bit-exact
+/// comparison: stats, every overlay's CSR arrays element-wise, the portal
+/// table, and the charged ledger (total + per-phase).
+struct HierarchyFingerprint {
+  std::uint32_t retries, tau_mix, depth, beta;
+  std::uint64_t build_rounds;
+  std::vector<std::uint64_t> emul_parent_rounds;
+  std::uint32_t g0_out_degree, level_degree;
+  std::vector<std::uint32_t> level_taus;
+  std::vector<std::vector<std::uint64_t>> overlay_offsets;
+  std::vector<std::vector<std::uint32_t>> overlay_nbrs;
+  std::vector<std::uint64_t> overlay_round_costs;
+  std::uint64_t portal_digest;
+  std::size_t portal_entries, portal_total;
+  std::uint32_t portal_min;
+  std::uint64_t ledger_total;
+  std::vector<std::pair<std::string, std::uint64_t>> ledger_phases;
+
+  bool operator==(const HierarchyFingerprint&) const = default;
+};
+
+HierarchyFingerprint build_fingerprint(const Graph& g,
+                                       std::uint32_t threads) {
+  HierarchyParams hp;
+  hp.seed = 0x68696572617263ULL;
+  hp.exec = ExecPolicy{threads};
+  RoundLedger ledger;
+  const Hierarchy h = Hierarchy::build(g, hp, ledger);
+  HierarchyFingerprint fp;
+  const HierarchyStats& st = h.stats();
+  fp.retries = st.retries;
+  fp.tau_mix = st.tau_mix;
+  fp.depth = st.depth;
+  fp.beta = st.beta;
+  fp.build_rounds = st.build_rounds;
+  fp.emul_parent_rounds = st.emul_parent_rounds;
+  fp.g0_out_degree = st.g0_out_degree;
+  fp.level_degree = st.level_degree;
+  fp.level_taus = st.level_taus;
+  for (std::uint32_t l = 0; l <= h.depth(); ++l) {
+    const CommView v = h.overlay(l).view();
+    fp.overlay_offsets.emplace_back(v.offsets, v.offsets + v.num_nodes + 1);
+    fp.overlay_nbrs.emplace_back(v.nbrs, v.nbrs + v.num_arcs);
+    fp.overlay_round_costs.push_back(v.round_cost);
+  }
+  fp.portal_digest = h.portals().digest();
+  fp.portal_entries = h.portals().table_entries();
+  fp.portal_total = h.portals().total_candidates();
+  fp.portal_min = h.portals().min_candidates();
+  fp.ledger_total = ledger.total();
+  fp.ledger_phases = ledger.phases();
+  return fp;
+}
+
+TEST(ThreadInvariance, HierarchyBuild) {
+  for (const Scenario& sc : sim::seeded_corpus(23)) {
+    const HierarchyFingerprint serial = build_fingerprint(sc.graph, 1);
+    EXPECT_EQ(build_fingerprint(sc.graph, 2), serial) << sc.name;
+    EXPECT_EQ(build_fingerprint(sc.graph, 8), serial) << sc.name;
+  }
+}
+
+TEST(ThreadInvariance, HierarchyBuildEngineReuse) {
+  // Back-to-back builds through one engine (cache dropped in between so
+  // the second build really rebuilds): the persistent thread pool and
+  // walk-engine scratch must not leak state across builds.
+  const Graph g = sim::seeded_corpus(23)[0].graph;
+  const HierarchyFingerprint serial = build_fingerprint(g, 1);
+  HierarchyParams hp;
+  hp.seed = 0x68696572617263ULL;
+  hp.exec = ExecPolicy{8};
+  QueryEngine eng(g, EngineOptions{.hierarchy = hp, .exec = ExecPolicy{8}});
+  for (int round = 0; round < 2; ++round) {
+    eng.cache().invalidate_all();
+    const auto lookup = eng.cache().get_or_build(g, hp);
+    ASSERT_TRUE(lookup.built);
+    const Hierarchy& h = lookup.entry->hierarchy();
+    EXPECT_EQ(h.portals().digest(), serial.portal_digest) << round;
+    EXPECT_EQ(h.stats().build_rounds, serial.build_rounds) << round;
+    EXPECT_EQ(lookup.entry->build_rounds(), serial.ledger_total) << round;
+  }
+}
+
 }  // namespace
 }  // namespace amix
