@@ -1,0 +1,98 @@
+// Scaling of the Ghaffari-Li transformation ops (google-benchmark):
+// matching, min cut, and SSSP as a function of n on 6-regular expanders.
+//
+//   BM_MatchingQuery/n  Israeli-Itai proposal phases to maximality, incl.
+//                       the per-phase termination convergecasts.
+//   BM_SsspQuery/n      Bellman-Ford to the quiet round (exact, certified).
+//   BM_MincutQuery/n    tree packing over a prebuilt hierarchy (the
+//                       hierarchy build is hoisted out of the loop — the
+//                       row measures the op, which is what a warm Session
+//                       pays per query).
+//
+// items processed = nodes, so items/sec is the per-node throughput the
+// round complexity predicts to be ~n/polylog(n). The `rounds` counter
+// carries the charged CONGEST rounds of the final iteration so a bench
+// run doubles as a scaling table for the round envelopes BoundChecker
+// gates. tools/perf_guard.py compares these rows against
+// BENCH_simulator.json like the other engine benches.
+
+#include <benchmark/benchmark.h>
+
+#include "amix/amix.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace amix;
+
+Graph ops_graph(std::int64_t n) {
+  Rng rng(static_cast<std::uint64_t>(n) * 29 + 3);
+  return gen::random_regular(static_cast<NodeId>(n), 6, rng);
+}
+
+void BM_MatchingQuery(benchmark::State& state) {
+  const Graph g = ops_graph(state.range(0));
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    RoundLedger ledger;
+    const MatchingStats s = distributed_greedy_matching(g, 7, ledger);
+    benchmark::DoNotOptimize(s.edges.size());
+    rounds = s.rounds;
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  amix::bench::set_memory_counters(state, g.num_edges());
+}
+BENCHMARK(BM_MatchingQuery)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SsspQuery(benchmark::State& state) {
+  const Graph g = ops_graph(state.range(0));
+  Rng rng(11);
+  const Weights w = distinct_random_weights(g, rng);
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    RoundLedger ledger;
+    const SsspStats s = distributed_sssp(g, w, 0, ledger);
+    benchmark::DoNotOptimize(s.dist_sum);
+    rounds = s.rounds;
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  amix::bench::set_memory_counters(state, g.num_edges());
+}
+BENCHMARK(BM_SsspQuery)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MincutQuery(benchmark::State& state) {
+  const Graph g = ops_graph(state.range(0));
+  RoundLedger build_ledger;
+  HierarchyParams hp;
+  hp.seed = 13;
+  const Hierarchy h = Hierarchy::build(g, hp, build_ledger);
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Rng rng(17);
+    RoundLedger ledger;
+    const MincutStats s = distributed_mincut_tree_packing(h, rng, ledger, 4);
+    benchmark::DoNotOptimize(s.cut_value);
+    rounds = s.rounds;
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  amix::bench::set_memory_counters(state, g.num_edges());
+}
+BENCHMARK(BM_MincutQuery)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

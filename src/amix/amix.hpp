@@ -54,7 +54,9 @@
 // The hierarchy of Lemmas 3.1-3.3: the shared routing substrate.
 #include "hierarchy/hierarchy.hpp"
 
-// Theorems on top of the hierarchy: routing, MST, mincut, clique.
+// Theorems on top of the hierarchy: routing, MST, mincut, clique — plus
+// the Ghaffari–Li transformation ops (matching, SSSP).
+#include "matching/parallel_matching.hpp"
 #include "mincut/tree_packing.hpp"
 #include "mst/baseline_mst.hpp"
 #include "mst/clique_mst.hpp"
@@ -65,6 +67,7 @@
 #include "routing/clique_emulation.hpp"
 #include "routing/hierarchical_router.hpp"
 #include "routing/request.hpp"
+#include "sssp/bellman_ford.hpp"
 
 // Observability: tracing, metrics, paper-bound checking.
 #include "obs/bound_checker.hpp"
@@ -80,6 +83,7 @@
 // Engine: cached hierarchies, multiplexed batches, the Session facade.
 #include "engine/equivalence_oracle.hpp"
 #include "engine/hierarchy_cache.hpp"
+#include "engine/ops.hpp"
 #include "engine/query.hpp"
 #include "engine/query_engine.hpp"
 #include "engine/report.hpp"

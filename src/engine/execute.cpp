@@ -7,10 +7,8 @@
 #include <utility>
 
 #include "congest/comm_graph.hpp"
+#include "engine/ops.hpp"
 #include "obs/trace.hpp"
-#include "randwalk/walk_engine.hpp"
-#include "routing/clique_emulation.hpp"
-#include "routing/hierarchical_router.hpp"
 #include "sim/harness.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -90,42 +88,13 @@ QueryExecution execute_query(const Graph& g, const Hierarchy& h,
   const std::uint64_t qseed = query_seed(spec);
   const auto t0 = std::chrono::steady_clock::now();
 
-  if (const auto* q = std::get_if<MstQuery>(&spec.op)) {
-    MstParams params = q->params;
-    params.seed = qseed;
-    HierarchicalBoruvka algo(h, q->weights);
-    MstStats s = algo.run(ledger, params);
-    std::vector<EdgeId> edges = s.edges;
-    std::sort(edges.begin(), edges.end());
-    digest.fold_range(edges);
-    rep.ok = g.num_nodes() == 0 || s.edges.size() + 1 == g.num_nodes();
-    rep.mst = std::move(s);
-  } else if (const auto* q = std::get_if<RouteQuery>(&spec.op)) {
-    HierarchicalRouter router(h);
-    Rng rng(qseed);
-    RouteStats s = router.route_in_phases(q->requests, q->phases, ledger, rng);
-    digest.fold(s.packets);
-    digest.fold(s.delivered);
-    digest.fold(s.max_vid_load);
-    rep.ok = s.delivered == s.packets;
-    rep.route = std::move(s);
-  } else if (const auto* q = std::get_if<CliqueQuery>(&spec.op)) {
-    CliqueEmulator emu(h);
-    Rng rng(qseed);
-    CliqueEmulationStats s = emu.emulate_round(ledger, rng, q->edge_expansion);
-    digest.fold(s.messages);
-    digest.fold(s.phases);
-    rep.ok = g.num_nodes() <= 1 || s.messages > 0;
-    rep.clique = s;
-  } else if (const auto* q = std::get_if<WalkQuery>(&spec.op)) {
-    BaseComm base(g);
-    ParallelWalkEngine walker(base, Rng(qseed));
-    WalkStats s;
-    const std::vector<std::uint32_t> ends =
-        walker.run(q->starts, q->kind, q->steps, ledger, &s);
-    digest.fold_range(ends);
-    rep.ok = ends.size() == q->starts.size();
-    rep.walks = s;
+  // One dispatch for every kind: the registry row runs the query under
+  // its per-kind span, so a new OpRow is automatically executable here.
+  const OpRow& row = op_row(rep.kind);
+  {
+    obs::Span kind_span(ledger, row.span_name);
+    OpExecContext ctx{g, h, spec, qseed, ledger, digest, rep};
+    row.execute(ctx);
   }
 
   rep.wall_ns = static_cast<std::uint64_t>(

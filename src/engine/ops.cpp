@@ -1,0 +1,432 @@
+#include "engine/ops.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "congest/comm_graph.hpp"
+#include "engine/report_json.hpp"
+#include "matching/parallel_matching.hpp"
+#include "mincut/tree_packing.hpp"
+#include "randwalk/walk_engine.hpp"
+#include "routing/clique_emulation.hpp"
+#include "routing/hierarchical_router.hpp"
+#include "routing/request.hpp"
+#include "sssp/bellman_ford.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace amix::engine {
+namespace {
+
+using json::emit_bool;
+using json::emit_u64;
+using json::emit_u64_array;
+using json::x1000;
+
+/// Read the next whitespace-separated token as a decimal u32. An absent
+/// token leaves *out at its default and succeeds; a present token that
+/// is not a full decimal u32 (junk, sign, overflow) fails — a daemon
+/// must reject it, not silently zero it the way stream extraction does.
+bool next_u32(std::istringstream& ls, std::uint32_t* out) {
+  std::string tok;
+  if (!(ls >> tok)) return true;
+  const char* const end = tok.data() + tok.size();
+  const auto [p, ec] = std::from_chars(tok.data(), end, *out);
+  return ec == std::errc() && p == end;
+}
+
+std::string at_line(const char* kind, std::uint64_t lineno) {
+  return std::string(kind) + '@' + std::to_string(lineno);
+}
+
+// ---- mst ----------------------------------------------------------------
+
+bool parse_mst(OpParseContext& c) {
+  c.spec.op = MstQuery{
+      c.weights != nullptr ? *c.weights : distinct_random_weights(c.g, c.rng),
+      MstParams{}};
+  c.spec.label = at_line("mst", c.lineno);
+  return true;
+}
+
+void exec_mst(OpExecContext& c) {
+  const auto& q = std::get<MstQuery>(c.spec.op);
+  MstParams params = q.params;
+  params.seed = c.qseed;
+  HierarchicalBoruvka algo(c.h, q.weights);
+  MstStats s = algo.run(c.ledger, params);
+  std::vector<EdgeId> edges = s.edges;
+  std::sort(edges.begin(), edges.end());
+  c.digest.fold_range(edges);
+  c.rep.ok = c.g.num_nodes() == 0 || s.edges.size() + 1 == c.g.num_nodes();
+  c.rep.mst = std::move(s);
+}
+
+void json_mst(std::ostream& os, const QueryReport& rep) {
+  if (!rep.mst.has_value()) return;
+  const MstStats& s = *rep.mst;
+  os << ",\"mst\":{";
+  bool f = true;
+  emit_u64(os, "edges", s.edges.size(), f);
+  emit_u64(os, "iterations", s.iterations, f);
+  emit_u64(os, "routing_instances", s.routing_instances, f);
+  emit_u64(os, "routed_packets", s.routed_packets, f);
+  emit_u64(os, "max_tree_depth", s.max_tree_depth, f);
+  emit_u64(os, "max_tree_indegree", s.max_tree_indegree, f);
+  emit_u64(os, "max_indegree_over_degree_x1000",
+           x1000(s.max_indegree_over_degree), f);
+  os << '}';
+}
+
+// ---- route --------------------------------------------------------------
+
+bool parse_route(OpParseContext& c) {
+  std::string inst = "perm";
+  c.args >> inst;
+  std::uint32_t phases = 1;
+  if (!next_u32(c.args, &phases)) {
+    c.err = "route phases must be a decimal u32";
+    return false;
+  }
+  if (phases > kMaxRoutePhases) {
+    c.err = "route phases " + std::to_string(phases) + " exceeds max " +
+            std::to_string(kMaxRoutePhases);
+    return false;
+  }
+  std::vector<RouteRequest> reqs;
+  if (inst == "perm") {
+    reqs = permutation_instance(c.g, c.rng);
+  } else if (inst == "demand") {
+    reqs = degree_demand_instance(c.g, c.rng);
+  } else if (inst == "a2a") {
+    reqs = all_to_all_instance(c.g);
+  } else {
+    c.err = "unknown route instance '" + inst + "'";
+    return false;
+  }
+  c.spec.op = RouteQuery{std::move(reqs), phases};
+  c.spec.label = at_line(("route-" + inst).c_str(), c.lineno);
+  return true;
+}
+
+void exec_route(OpExecContext& c) {
+  const auto& q = std::get<RouteQuery>(c.spec.op);
+  HierarchicalRouter router(c.h);
+  Rng rng(c.qseed);
+  RouteStats s = router.route_in_phases(q.requests, q.phases, c.ledger, rng);
+  c.digest.fold(s.packets);
+  c.digest.fold(s.delivered);
+  c.digest.fold(s.max_vid_load);
+  c.rep.ok = s.delivered == s.packets;
+  c.rep.route = std::move(s);
+}
+
+void json_route(std::ostream& os, const QueryReport& rep) {
+  if (!rep.route.has_value()) return;
+  const RouteStats& s = *rep.route;
+  os << ",\"route\":{";
+  bool f = true;
+  emit_u64(os, "prep_rounds", s.prep_rounds, f);
+  emit_u64(os, "hop_rounds", s.hop_rounds, f);
+  emit_u64(os, "leaf_rounds", s.leaf_rounds, f);
+  emit_u64(os, "packets", s.packets, f);
+  emit_u64(os, "delivered", s.delivered, f);
+  emit_u64(os, "max_vid_load", s.max_vid_load, f);
+  emit_u64(os, "leaf_phases", s.leaf_phases, f);
+  emit_u64(os, "route_phases", s.phases, f);
+  emit_u64_array(os, "hop_rounds_by_level", s.hop_rounds_by_level, f);
+  emit_u64_array(os, "cross_packets_by_level", s.cross_packets_by_level, f);
+  os << '}';
+}
+
+// ---- clique -------------------------------------------------------------
+
+bool parse_clique(OpParseContext& c) {
+  c.spec.op = CliqueQuery{};
+  c.spec.label = at_line("clique", c.lineno);
+  return true;
+}
+
+void exec_clique(OpExecContext& c) {
+  const auto& q = std::get<CliqueQuery>(c.spec.op);
+  CliqueEmulator emu(c.h);
+  Rng rng(c.qseed);
+  CliqueEmulationStats s = emu.emulate_round(c.ledger, rng, q.edge_expansion);
+  c.digest.fold(s.messages);
+  c.digest.fold(s.phases);
+  c.rep.ok = c.g.num_nodes() <= 1 || s.messages > 0;
+  c.rep.clique = s;
+}
+
+void json_clique(std::ostream& os, const QueryReport& rep) {
+  if (!rep.clique.has_value()) return;
+  os << ",\"clique\":{";
+  bool f = true;
+  emit_u64(os, "clique_phases", rep.clique->phases, f);
+  emit_u64(os, "messages", rep.clique->messages, f);
+  emit_u64(os, "lower_bound_x1000", x1000(rep.clique->lower_bound), f);
+  os << '}';
+}
+
+// ---- walks --------------------------------------------------------------
+
+bool parse_walks(OpParseContext& c) {
+  std::uint32_t count = c.g.num_nodes();
+  std::uint32_t steps = 8;
+  if (!next_u32(c.args, &count) || !next_u32(c.args, &steps)) {
+    c.err = "walks count/steps must be decimal u32";
+    return false;
+  }
+  if (count > c.g.num_nodes()) {
+    c.err = "walks count " + std::to_string(count) + " exceeds graph nodes " +
+            std::to_string(c.g.num_nodes());
+    return false;
+  }
+  if (steps > kMaxWalkSteps) {
+    c.err = "walks steps " + std::to_string(steps) + " exceeds max " +
+            std::to_string(kMaxWalkSteps);
+    return false;
+  }
+  std::vector<std::uint32_t> starts(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    starts[i] = static_cast<NodeId>(c.rng.next_below(c.g.num_nodes()));
+  }
+  c.spec.op = WalkQuery{std::move(starts), WalkKind::kLazy, steps};
+  c.spec.label = at_line("walks", c.lineno);
+  return true;
+}
+
+void exec_walks(OpExecContext& c) {
+  const auto& q = std::get<WalkQuery>(c.spec.op);
+  BaseComm base(c.g);
+  ParallelWalkEngine walker(base, Rng(c.qseed));
+  WalkStats s;
+  const std::vector<std::uint32_t> ends =
+      walker.run(q.starts, q.kind, q.steps, c.ledger, &s);
+  c.digest.fold_range(ends);
+  c.rep.ok = ends.size() == q.starts.size();
+  c.rep.walks = s;
+}
+
+void json_walks(std::ostream& os, const QueryReport& rep) {
+  if (!rep.walks.has_value()) return;
+  const WalkStats& s = *rep.walks;
+  os << ",\"walks\":{";
+  bool f = true;
+  emit_u64(os, "graph_rounds", s.graph_rounds, f);
+  emit_u64(os, "base_rounds", s.base_rounds, f);
+  emit_u64(os, "max_node_load", s.max_node_load, f);
+  emit_u64(os, "max_transport_residency", s.max_transport_residency, f);
+  emit_u64(os, "total_moves", s.total_moves, f);
+  emit_u64(os, "steps", s.steps, f);
+  os << '}';
+}
+
+// ---- matching -----------------------------------------------------------
+
+bool parse_matching(OpParseContext& c) {
+  std::uint32_t phases = 0;
+  if (!next_u32(c.args, &phases)) {
+    c.err = "matching phases must be a decimal u32";
+    return false;
+  }
+  if (phases > kMaxMatchingPhases) {
+    c.err = "matching phases " + std::to_string(phases) + " exceeds max " +
+            std::to_string(kMaxMatchingPhases);
+    return false;
+  }
+  c.spec.op = MatchingQuery{phases};
+  c.spec.label = at_line("matching", c.lineno);
+  return true;
+}
+
+void exec_matching(OpExecContext& c) {
+  const auto& q = std::get<MatchingQuery>(c.spec.op);
+  MatchingStats s =
+      distributed_greedy_matching(c.g, c.qseed, c.ledger, q.max_phases);
+  c.digest.fold_range(s.edges);
+  c.digest.fold(s.phases);
+  c.rep.ok = s.consistent && s.maximal;
+  c.rep.matching = std::move(s);
+}
+
+void json_matching(std::ostream& os, const QueryReport& rep) {
+  if (!rep.matching.has_value()) return;
+  const MatchingStats& s = *rep.matching;
+  os << ",\"matching\":{";
+  bool f = true;
+  emit_u64(os, "matched_edges", s.edges.size(), f);
+  emit_u64(os, "matching_phases", s.phases, f);
+  emit_u64(os, "proposals", s.proposals, f);
+  emit_u64(os, "kernel_rounds", s.kernel_rounds, f);
+  emit_bool(os, "maximal", s.maximal, f);
+  emit_bool(os, "consistent", s.consistent, f);
+  os << '}';
+}
+
+// ---- mincut -------------------------------------------------------------
+
+bool parse_mincut(OpParseContext& c) {
+  std::uint32_t trees = 0;
+  if (!next_u32(c.args, &trees)) {
+    c.err = "mincut trees must be a decimal u32";
+    return false;
+  }
+  if (trees > kMaxMincutTrees) {
+    c.err = "mincut trees " + std::to_string(trees) + " exceeds max " +
+            std::to_string(kMaxMincutTrees);
+    return false;
+  }
+  c.spec.op = MinCutQuery{trees, true};
+  c.spec.label = at_line("mincut", c.lineno);
+  return true;
+}
+
+void exec_mincut(OpExecContext& c) {
+  const auto& q = std::get<MinCutQuery>(c.spec.op);
+  Rng rng(c.qseed);
+  MincutStats s = distributed_mincut_tree_packing(c.h, rng, c.ledger, q.trees,
+                                                  q.two_respecting);
+  c.digest.fold(s.cut_value);
+  c.digest.fold(s.trees);
+  // A packed-tree cut can never beat the best singleton cut's bound, and
+  // a connected graph's cut is positive; anything else is a broken run.
+  c.rep.ok = s.trees > 0 && s.cut_value > 0 && s.cut_value <= s.min_degree;
+  c.rep.mincut = s;
+}
+
+void json_mincut(std::ostream& os, const QueryReport& rep) {
+  if (!rep.mincut.has_value()) return;
+  const MincutStats& s = *rep.mincut;
+  os << ",\"mincut\":{";
+  bool f = true;
+  emit_u64(os, "cut_value", s.cut_value, f);
+  emit_u64(os, "trees", s.trees, f);
+  emit_u64(os, "pack_rounds", s.pack_rounds, f);
+  emit_u64(os, "eval_rounds", s.eval_rounds, f);
+  emit_u64(os, "max_tree_rounds", s.max_tree_rounds, f);
+  emit_u64(os, "best_one_respecting", s.best_one_respecting, f);
+  emit_u64(os, "best_two_respecting", s.best_two_respecting, f);
+  emit_u64(os, "min_degree", s.min_degree, f);
+  os << '}';
+}
+
+// ---- sssp ---------------------------------------------------------------
+
+bool parse_sssp(OpParseContext& c) {
+  std::uint32_t source = 0;
+  std::uint32_t hops = 0;
+  if (!next_u32(c.args, &source) || !next_u32(c.args, &hops)) {
+    c.err = "sssp source/hops must be decimal u32";
+    return false;
+  }
+  if (source >= c.g.num_nodes()) {
+    c.err = "sssp source " + std::to_string(source) +
+            " exceeds graph nodes " + std::to_string(c.g.num_nodes());
+    return false;
+  }
+  if (hops > kMaxSsspHops) {
+    c.err = "sssp hops " + std::to_string(hops) + " exceeds max " +
+            std::to_string(kMaxSsspHops);
+    return false;
+  }
+  c.spec.op = SsspQuery{
+      c.weights != nullptr ? *c.weights : distinct_random_weights(c.g, c.rng),
+      source, hops};
+  c.spec.label = at_line("sssp", c.lineno);
+  return true;
+}
+
+void exec_sssp(OpExecContext& c) {
+  const auto& q = std::get<SsspQuery>(c.spec.op);
+  SsspStats s =
+      distributed_sssp(c.g, q.weights, q.source, c.ledger, q.max_hops);
+  c.digest.fold_range(s.dist);
+  // Unbounded runs must certify exactness; hop-bounded runs soundness.
+  c.rep.ok = s.sound && (q.max_hops != 0 || s.relaxed);
+  c.rep.sssp = std::move(s);
+}
+
+void json_sssp(std::ostream& os, const QueryReport& rep) {
+  if (!rep.sssp.has_value()) return;
+  const SsspStats& s = *rep.sssp;
+  os << ",\"sssp\":{";
+  bool f = true;
+  emit_u64(os, "source", s.source, f);
+  emit_u64(os, "max_hops", s.max_hops, f);
+  emit_u64(os, "reached", s.reached, f);
+  emit_u64(os, "max_dist", s.max_dist, f);
+  emit_u64(os, "dist_sum", s.dist_sum, f);
+  emit_u64(os, "relaxations", s.relaxations, f);
+  emit_u64(os, "kernel_rounds", s.kernel_rounds, f);
+  emit_bool(os, "sound", s.sound, f);
+  emit_bool(os, "relaxed", s.relaxed, f);
+  os << '}';
+}
+
+// ---- the registry -------------------------------------------------------
+
+constexpr std::size_t idx(QueryKind k) { return static_cast<std::size_t>(k); }
+
+constexpr OpRow make_row(QueryKind kind, const char* span_name,
+                         const char* wire_syntax, const char* bounds,
+                         const char* sample_line, bool (*parse)(OpParseContext&),
+                         void (*execute)(OpExecContext&),
+                         void (*stats_json)(std::ostream&,
+                                            const QueryReport&)) {
+  return OpRow{kind,
+               kQueryKindInfo[idx(kind)].name,
+               kQueryKindInfo[idx(kind)].seed_stream,
+               span_name,
+               wire_syntax,
+               bounds,
+               sample_line,
+               parse,
+               execute,
+               stats_json};
+}
+
+const std::array<OpRow, kNumQueryKinds> kOpTable{{
+    make_row(QueryKind::kMst, "op/mst", "mst", "-", "mst", parse_mst,
+             exec_mst, json_mst),
+    make_row(QueryKind::kRoute, "op/route", "route perm|demand|a2a [phases]",
+             "phases<=4096", "route perm 1", parse_route, exec_route,
+             json_route),
+    make_row(QueryKind::kClique, "op/clique", "clique", "-", "clique",
+             parse_clique, exec_clique, json_clique),
+    make_row(QueryKind::kWalks, "op/walks", "walks [count] [steps]",
+             "count<=n steps<=4096", "walks 16 6", parse_walks, exec_walks,
+             json_walks),
+    make_row(QueryKind::kMatching, "op/matching", "matching [phases]",
+             "phases<=4096 (0=auto)", "matching", parse_matching,
+             exec_matching, json_matching),
+    make_row(QueryKind::kMinCut, "op/mincut", "mincut [trees]",
+             "trees<=256 (0=auto)", "mincut 4", parse_mincut, exec_mincut,
+             json_mincut),
+    make_row(QueryKind::kSssp, "op/sssp", "sssp [source] [hops]",
+             "source<n hops<=4096 (0=exact)", "sssp 0 0", parse_sssp,
+             exec_sssp, json_sssp),
+}};
+
+}  // namespace
+
+const std::array<OpRow, kNumQueryKinds>& op_table() {
+  // Every row sits in its own kind's slot; a misordered table is caught
+  // here, at the single point the registry is served from.
+  for (std::size_t i = 0; i < kOpTable.size(); ++i) {
+    AMIX_DCHECK(idx(kOpTable[i].kind) == i);
+  }
+  return kOpTable;
+}
+
+const OpRow* find_op(std::string_view word) {
+  for (const OpRow& row : op_table()) {
+    if (word == row.name) return &row;
+  }
+  return nullptr;
+}
+
+}  // namespace amix::engine

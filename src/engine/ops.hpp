@@ -1,0 +1,106 @@
+#pragma once
+
+// The op-registration table: one row per query kind.
+//
+// Before this table existed, adding a query kind meant editing four
+// hand-maintained switch statements (kind name, seed stream, execute
+// dispatch, report serialization) plus the mix grammar's op words and
+// their parse-time resource ceilings — five chances to silently miss
+// one. Now a kind is one OpRow: its wire word and seed stream (the
+// compile-time columns live in kQueryKindInfo, engine/query.hpp), its
+// mix-grammar parse rule and size bounds, its executor, and its
+// report-JSON serializer. engine/execute.cpp, engine/report.cpp,
+// server/mix.cpp and amixctl all dispatch through the table, so they
+// are exhaustive by construction; static_asserts in engine/ops.cpp pin
+// every row to its QueryKind slot.
+//
+// Consumers:
+//   execute_query      -> row.execute (under row.span_name)
+//   QueryReport::to_json -> row.stats_json
+//   server::parse_mix_line -> find_op + row.parse (unknown word = the
+//                             typed unsupported-op error, not a generic
+//                             parse failure)
+//   amixctl ops        -> name/wire_syntax/bounds/sample_line
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <sstream>
+#include <string_view>
+
+#include "congest/round_ledger.hpp"
+#include "engine/query.hpp"
+#include "engine/report.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "sim/harness.hpp"
+
+namespace amix::engine {
+
+// Grammar-level hard ceilings on wire-controlled sizes, one per bounded
+// op argument. These are part of the grammar, NOT server configuration —
+// every parser (amixctl workload, the daemon, the client's serial-replay
+// verifier) must agree on what is well-formed, and a daemon must never
+// let a one-line request buy unbounded memory or CPU. (Arguments bounded
+// by the graph itself — walk counts, SSSP sources — need no constant.)
+inline constexpr std::uint32_t kMaxWalkSteps = 4096;
+inline constexpr std::uint32_t kMaxRoutePhases = 4096;
+inline constexpr std::uint32_t kMaxMatchingPhases = 4096;
+inline constexpr std::uint32_t kMaxMincutTrees = 256;
+inline constexpr std::uint32_t kMaxSsspHops = 4096;
+
+/// What an executor sees: the shared graph + hierarchy, the spec and its
+/// derived seed, and the query-private ledger/digest/report to fill. The
+/// executor must set rep.ok and its kind-specific stats optional, and
+/// fold the query's output into the digest.
+struct OpExecContext {
+  const Graph& g;
+  const Hierarchy& h;
+  const QuerySpec& spec;
+  std::uint64_t qseed;
+  RoundLedger& ledger;
+  sim::Digest& digest;
+  QueryReport& rep;
+};
+
+/// What a parse rule sees: the target graph (and its optional weights),
+/// the rest of the mix line as a token stream, and the spec-seeded RNG
+/// every piece of instance randomness must come from. On success the
+/// rule fills spec.op and spec.label; on failure it fills err.
+struct OpParseContext {
+  const Graph& g;
+  const Weights* weights;  // null: ops draw their own from rng
+  std::istringstream& args;
+  Rng& rng;
+  std::uint64_t lineno;
+  QuerySpec& spec;
+  std::string& err;
+};
+
+struct OpRow {
+  QueryKind kind;
+  const char* name;           // == kQueryKindInfo[kind].name
+  std::uint64_t seed_stream;  // == kQueryKindInfo[kind].seed_stream
+  const char* span_name;      // per-kind obs span opened around execute
+  const char* wire_syntax;    // mix-grammar line shape, for `amixctl ops`
+  const char* bounds;         // human-readable size ceilings
+  const char* sample_line;    // parseable example; tests round-trip it
+  bool (*parse)(OpParseContext&);
+  void (*execute)(OpExecContext&);
+  /// Emits the kind-specific ",\"<kind>\":{...}" block (nothing when the
+  /// report's stats optional is not engaged).
+  void (*stats_json)(std::ostream&, const QueryReport&);
+};
+
+/// The registry, indexed by QueryKind. Iterate it to enumerate every
+/// registered kind — tests and `amixctl ops` do, so a kind missing from
+/// the table cannot pass the completeness round-trip.
+const std::array<OpRow, kNumQueryKinds>& op_table();
+
+inline const OpRow& op_row(QueryKind k) {
+  return op_table()[static_cast<std::size_t>(k)];
+}
+
+/// Lookup by wire op word; nullptr means unsupported-op.
+const OpRow* find_op(std::string_view word);
+
+}  // namespace amix::engine

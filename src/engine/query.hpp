@@ -4,15 +4,26 @@
 //
 // A QuerySpec names one unit of work against a shared graph: an MST
 // computation, a batch of permutation-routing requests, one emulated
-// clique round, or a parallel-walk job. Every spec carries its own seed,
-// and ALL of a query's randomness is a pure function of that seed (via
-// query_seed below) — never of the submission order, the thread that
-// executes it, or the other queries in the batch. That independence is
-// what makes per-query round attribution under the multiplexer identical
-// to a standalone run of the same spec, which tests/test_engine.cpp pins.
+// clique round, a parallel-walk job, or one of the Ghaffari–Li
+// transformation ops (matching, min cut, SSSP). Every spec carries its
+// own seed, and ALL of a query's randomness is a pure function of that
+// seed (via query_seed below) — never of the submission order, the
+// thread that executes it, or the other queries in the batch. That
+// independence is what makes per-query round attribution under the
+// multiplexer identical to a standalone run of the same spec, which
+// tests/test_engine.cpp pins.
+//
+// Adding a kind: add the payload struct, one variant alternative, one
+// QueryKind enumerator, and one kQueryKindInfo row — all in this file,
+// in the same position — then one OpRow in engine/ops.cpp (parse rule,
+// executor, report serializer). The static_asserts below and the op
+// table's own assertions fail the build on any mismatch, so a new kind
+// cannot be silently mislabeled or half-registered.
 
+#include <array>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <variant>
 #include <vector>
 
@@ -52,10 +63,45 @@ struct WalkQuery {
   std::uint32_t steps = 0;
 };
 
-enum class QueryKind : std::uint8_t { kMst, kRoute, kClique, kWalks };
+/// Maximal matching (a 1/2-approximation of maximum matching) by the
+/// Israeli–Itai parallel proposal algorithm — the Ghaffari–Li
+/// transformation catalogue's simplest entry. `max_phases` caps the
+/// proposal phases (0 derives a generous O(log n) cap).
+struct MatchingQuery {
+  std::uint32_t max_phases = 0;
+};
+
+/// Approximate global min cut by greedy spanning-tree packing, every
+/// packed tree a real distributed MST run on the shared hierarchy
+/// (paper Section 4's closing claim; mincut/tree_packing.hpp).
+struct MinCutQuery {
+  std::uint32_t trees = 0;  // 0 = Theta(log n)
+  bool two_respecting = true;
+};
+
+/// Single-source shortest paths by distributed Bellman–Ford.
+/// `max_hops = 0` runs to the quiet-round exactness certificate; H > 0
+/// stops after H relaxation iterations (the hop-bounded approximation).
+struct SsspQuery {
+  Weights weights;
+  NodeId source = 0;
+  std::uint32_t max_hops = 0;
+};
+
+enum class QueryKind : std::uint8_t {
+  kMst,
+  kRoute,
+  kClique,
+  kWalks,
+  kMatching,
+  kMinCut,
+  kSssp,
+};
 
 struct QuerySpec {
-  std::variant<MstQuery, RouteQuery, CliqueQuery, WalkQuery> op;
+  std::variant<MstQuery, RouteQuery, CliqueQuery, WalkQuery, MatchingQuery,
+               MinCutQuery, SsspQuery>
+      op;
   /// The query's randomness root. Two specs with equal ops and equal
   /// seeds produce bit-identical results and charges; give distinct
   /// seeds to queries meant to be sampled independently.
@@ -64,36 +110,68 @@ struct QuerySpec {
   std::string label;
 };
 
+using QueryOpVariant = decltype(QuerySpec::op);
+
+/// Number of registered kinds — the one count every per-kind table is
+/// sized by, so a new variant alternative that misses a table is a
+/// compile error, not a silent fallback.
+inline constexpr std::size_t kNumQueryKinds =
+    std::variant_size_v<QueryOpVariant>;
+
+// The variant's alternative order IS the QueryKind numbering; query_kind
+// below relies on it, so pin every correspondence at compile time.
+static_assert(kNumQueryKinds ==
+              static_cast<std::size_t>(QueryKind::kSssp) + 1);
+#define AMIX_ASSERT_KIND_SLOT(kind, payload)                             \
+  static_assert(                                                         \
+      std::is_same_v<std::variant_alternative_t<                         \
+                         static_cast<std::size_t>(QueryKind::kind),      \
+                         QueryOpVariant>,                                \
+                     payload>,                                           \
+      "QuerySpec variant order must match QueryKind: " #kind)
+AMIX_ASSERT_KIND_SLOT(kMst, MstQuery);
+AMIX_ASSERT_KIND_SLOT(kRoute, RouteQuery);
+AMIX_ASSERT_KIND_SLOT(kClique, CliqueQuery);
+AMIX_ASSERT_KIND_SLOT(kWalks, WalkQuery);
+AMIX_ASSERT_KIND_SLOT(kMatching, MatchingQuery);
+AMIX_ASSERT_KIND_SLOT(kMinCut, MinCutQuery);
+AMIX_ASSERT_KIND_SLOT(kSssp, SsspQuery);
+#undef AMIX_ASSERT_KIND_SLOT
+
 inline QueryKind query_kind(const QuerySpec& spec) {
   return static_cast<QueryKind>(spec.op.index());
 }
 
-inline const char* query_kind_name(QueryKind k) {
-  switch (k) {
-    case QueryKind::kMst: return "mst";
-    case QueryKind::kRoute: return "route";
-    case QueryKind::kClique: return "clique";
-    case QueryKind::kWalks: return "walks";
-  }
-  return "?";
+/// The compile-time columns of the op table: wire/report name and seed
+/// stream, one row per kind, indexed by QueryKind. The runtime columns
+/// (parse rule, size bounds, executor, serializer) are engine/ops.cpp's
+/// OpRow, which static_asserts against this array.
+struct QueryKindInfo {
+  const char* name;           // op word on the wire, kind tag in reports
+  std::uint64_t seed_stream;  // per-kind stream constant (see query_seed)
+};
+
+inline constexpr std::array<QueryKindInfo, kNumQueryKinds> kQueryKindInfo{{
+    {"mst", 0x6d73742d71756572ULL},
+    {"route", 0x726f7574652d7175ULL},
+    {"clique", 0x636c697175652d71ULL},
+    {"walks", 0x77616c6b2d717565ULL},
+    {"matching", 0x6d617463682d7175ULL},
+    {"mincut", 0x6d696e6375742d71ULL},
+    {"sssp", 0x737373702d717565ULL},
+}};
+
+/// Exhaustive by construction: indexes the per-kind table, no fallback
+/// row to silently mislabel a new kind.
+inline constexpr const char* query_kind_name(QueryKind k) {
+  return kQueryKindInfo[static_cast<std::size_t>(k)].name;
 }
 
-// Per-kind stream constants: a spec's effective seed is
-// splitmix64(spec.seed ^ stream), so the same numeric seed used for an
-// MST query and a route query still yields independent randomness.
-inline constexpr std::uint64_t kMstSeedStream = 0x6d73742d71756572ULL;
-inline constexpr std::uint64_t kRouteSeedStream = 0x726f7574652d7175ULL;
-inline constexpr std::uint64_t kCliqueSeedStream = 0x636c697175652d71ULL;
-inline constexpr std::uint64_t kWalkSeedStream = 0x77616c6b2d717565ULL;
-
+/// Per-kind stream constant: a spec's effective seed is
+/// splitmix64(spec.seed ^ stream), so the same numeric seed used for an
+/// MST query and a route query still yields independent randomness.
 inline constexpr std::uint64_t seed_stream(QueryKind k) {
-  switch (k) {
-    case QueryKind::kMst: return kMstSeedStream;
-    case QueryKind::kRoute: return kRouteSeedStream;
-    case QueryKind::kClique: return kCliqueSeedStream;
-    case QueryKind::kWalks: return kWalkSeedStream;
-  }
-  return 0;
+  return kQueryKindInfo[static_cast<std::size_t>(k)].seed_stream;
 }
 
 /// The effective seed a spec's algorithm runs with. Documented (and

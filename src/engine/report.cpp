@@ -1,53 +1,15 @@
 #include "engine/report.hpp"
 
-#include <cmath>
-
+#include "engine/ops.hpp"
+#include "engine/report_json.hpp"
 #include "obs/metrics.hpp"
 
 namespace amix {
 namespace {
 
-// Scale a nonnegative double to an integer x1000, the same convention the
-// obs metrics use to keep JSON float-free.
-std::uint64_t x1000(double v) {
-  if (!(v > 0.0)) return 0;
-  return static_cast<std::uint64_t>(std::llround(v * 1000.0));
-}
-
-void emit_str(std::ostream& os, std::string_view key, std::string_view val,
-              bool& first) {
-  if (!first) os << ',';
-  first = false;
-  os << '"' << key << "\":\"";
-  obs::write_json_escaped(os, val);
-  os << '"';
-}
-
-void emit_u64(std::ostream& os, std::string_view key, std::uint64_t val,
-              bool& first) {
-  if (!first) os << ',';
-  first = false;
-  os << '"' << key << "\":" << val;
-}
-
-void emit_bool(std::ostream& os, std::string_view key, bool val,
-               bool& first) {
-  if (!first) os << ',';
-  first = false;
-  os << '"' << key << "\":" << (val ? "true" : "false");
-}
-
-void emit_u64_array(std::ostream& os, std::string_view key,
-                    const std::vector<std::uint64_t>& vals, bool& first) {
-  if (!first) os << ',';
-  first = false;
-  os << '"' << key << "\":[";
-  for (std::size_t i = 0; i < vals.size(); ++i) {
-    if (i != 0) os << ',';
-    os << vals[i];
-  }
-  os << ']';
-}
+using engine::json::emit_bool;
+using engine::json::emit_str;
+using engine::json::emit_u64;
 
 void emit_phases(
     std::ostream& os,
@@ -82,55 +44,9 @@ void QueryReport::to_json(std::ostream& os, bool include_wall) const {
   emit_u64(os, "output_digest", output_digest, first);
   emit_phases(os, phases, first);
   if (include_wall) emit_u64(os, "wall_ns", wall_ns, first);
-  if (mst.has_value()) {
-    os << ",\"mst\":{";
-    bool f = true;
-    emit_u64(os, "edges", mst->edges.size(), f);
-    emit_u64(os, "iterations", mst->iterations, f);
-    emit_u64(os, "routing_instances", mst->routing_instances, f);
-    emit_u64(os, "routed_packets", mst->routed_packets, f);
-    emit_u64(os, "max_tree_depth", mst->max_tree_depth, f);
-    emit_u64(os, "max_tree_indegree", mst->max_tree_indegree, f);
-    emit_u64(os, "max_indegree_over_degree_x1000",
-             x1000(mst->max_indegree_over_degree), f);
-    os << '}';
-  }
-  if (route.has_value()) {
-    os << ",\"route\":{";
-    bool f = true;
-    emit_u64(os, "prep_rounds", route->prep_rounds, f);
-    emit_u64(os, "hop_rounds", route->hop_rounds, f);
-    emit_u64(os, "leaf_rounds", route->leaf_rounds, f);
-    emit_u64(os, "packets", route->packets, f);
-    emit_u64(os, "delivered", route->delivered, f);
-    emit_u64(os, "max_vid_load", route->max_vid_load, f);
-    emit_u64(os, "leaf_phases", route->leaf_phases, f);
-    emit_u64(os, "route_phases", route->phases, f);
-    emit_u64_array(os, "hop_rounds_by_level", route->hop_rounds_by_level, f);
-    emit_u64_array(os, "cross_packets_by_level",
-                   route->cross_packets_by_level, f);
-    os << '}';
-  }
-  if (clique.has_value()) {
-    os << ",\"clique\":{";
-    bool f = true;
-    emit_u64(os, "clique_phases", clique->phases, f);
-    emit_u64(os, "messages", clique->messages, f);
-    emit_u64(os, "lower_bound_x1000", x1000(clique->lower_bound), f);
-    os << '}';
-  }
-  if (walks.has_value()) {
-    os << ",\"walks\":{";
-    bool f = true;
-    emit_u64(os, "graph_rounds", walks->graph_rounds, f);
-    emit_u64(os, "base_rounds", walks->base_rounds, f);
-    emit_u64(os, "max_node_load", walks->max_node_load, f);
-    emit_u64(os, "max_transport_residency", walks->max_transport_residency,
-             f);
-    emit_u64(os, "total_moves", walks->total_moves, f);
-    emit_u64(os, "steps", walks->steps, f);
-    os << '}';
-  }
+  // The kind-specific stats block comes from the op table — to_json stays
+  // exhaustive over kinds without a hand-maintained if-chain here.
+  engine::op_row(kind).stats_json(os, *this);
   os << '}';
 }
 

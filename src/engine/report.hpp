@@ -21,9 +21,12 @@
 #include <vector>
 
 #include "engine/query.hpp"
+#include "matching/parallel_matching.hpp"
+#include "mincut/tree_packing.hpp"
 #include "randwalk/walk_engine.hpp"
 #include "routing/clique_emulation.hpp"
 #include "routing/hierarchical_router.hpp"
+#include "sssp/bellman_ford.hpp"
 
 namespace amix {
 
@@ -44,11 +47,16 @@ struct QueryReport {
   std::uint64_t output_digest = 0;
   std::uint64_t wall_ns = 0;
 
-  // Kind-specific stats; exactly one is engaged.
+  // Kind-specific stats; exactly one is engaged. Serialized by the op
+  // table's per-kind writer (engine/ops.cpp), not by hand-maintained
+  // switch blocks here.
   std::optional<MstStats> mst;
   std::optional<RouteStats> route;
   std::optional<CliqueEmulationStats> clique;
   std::optional<WalkStats> walks;
+  std::optional<MatchingStats> matching;
+  std::optional<MincutStats> mincut;
+  std::optional<SsspStats> sssp;
 
   /// Deterministic JSON (fixed field order, integers only) unless
   /// `include_wall` pulls in wall_ns.

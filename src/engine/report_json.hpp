@@ -1,0 +1,60 @@
+#pragma once
+
+// Shared field emitters for the deterministic report JSON — used by
+// QueryReport/BatchReport::to_json (engine/report.cpp) and by the
+// per-kind stats serializers in the op table (engine/ops.cpp). Integers
+// only: doubles are scaled to x1000 ints, matching the obs metrics
+// convention, so serialized reports stay byte-stable and float-free.
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace amix::engine::json {
+
+inline std::uint64_t x1000(double v) {
+  if (!(v > 0.0)) return 0;
+  return static_cast<std::uint64_t>(std::llround(v * 1000.0));
+}
+
+inline void emit_str(std::ostream& os, std::string_view key,
+                     std::string_view val, bool& first) {
+  if (!first) os << ',';
+  first = false;
+  os << '"' << key << "\":\"";
+  obs::write_json_escaped(os, val);
+  os << '"';
+}
+
+inline void emit_u64(std::ostream& os, std::string_view key,
+                     std::uint64_t val, bool& first) {
+  if (!first) os << ',';
+  first = false;
+  os << '"' << key << "\":" << val;
+}
+
+inline void emit_bool(std::ostream& os, std::string_view key, bool val,
+                      bool& first) {
+  if (!first) os << ',';
+  first = false;
+  os << '"' << key << "\":" << (val ? "true" : "false");
+}
+
+inline void emit_u64_array(std::ostream& os, std::string_view key,
+                           const std::vector<std::uint64_t>& vals,
+                           bool& first) {
+  if (!first) os << ',';
+  first = false;
+  os << '"' << key << "\":[";
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    if (i != 0) os << ',';
+    os << vals[i];
+  }
+  os << ']';
+}
+
+}  // namespace amix::engine::json

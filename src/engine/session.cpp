@@ -51,6 +51,25 @@ QueryReport Session::walks(std::vector<std::uint32_t> starts, WalkKind kind,
   return run_call(std::move(spec));
 }
 
+QueryReport Session::matching(std::uint32_t max_phases) {
+  QuerySpec spec;
+  spec.op = MatchingQuery{max_phases};
+  return run_call(std::move(spec));
+}
+
+QueryReport Session::mincut(std::uint32_t trees, bool two_respecting) {
+  QuerySpec spec;
+  spec.op = MinCutQuery{trees, two_respecting};
+  return run_call(std::move(spec));
+}
+
+QueryReport Session::sssp(const Weights& w, NodeId source,
+                          std::uint32_t max_hops) {
+  QuerySpec spec;
+  spec.op = SsspQuery{w, source, max_hops};
+  return run_call(std::move(spec));
+}
+
 BatchReport Session::batch(std::vector<QuerySpec> specs) {
   ++calls_;  // a batch is one session call; its specs keep their own seeds
   for (QuerySpec& spec : specs) engine_.submit(std::move(spec));

@@ -59,6 +59,10 @@ class Session {
   QueryReport clique_round(double edge_expansion = 0.0);
   QueryReport walks(std::vector<std::uint32_t> starts, WalkKind kind,
                     std::uint32_t steps);
+  QueryReport matching(std::uint32_t max_phases = 0);
+  QueryReport mincut(std::uint32_t trees = 0, bool two_respecting = true);
+  QueryReport sssp(const Weights& w, NodeId source,
+                   std::uint32_t max_hops = 0);
 
   /// Run several specs as one multiplexed batch. Specs keep their own
   /// seeds (they are explicit, unlike the per-call sugar above), so a

@@ -1,0 +1,190 @@
+#include "matching/parallel_matching.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "congest/network.hpp"
+#include "congest/primitives.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+
+namespace amix {
+namespace {
+
+// Message tags (field a); field b carries the tag's payload.
+constexpr std::uint64_t kAlive = 1;    // b = phase coin
+constexpr std::uint64_t kPropose = 2;  // b unused
+constexpr std::uint64_t kAccept = 3;   // b unused
+
+constexpr std::uint64_t kCoinStream = 0x6d617463682d636fULL;     // "match-co"
+constexpr std::uint64_t kProposeStream = 0x6d617463682d7072ULL;  // "match-pr"
+
+}  // namespace
+
+MatchingStats distributed_greedy_matching(const Graph& g, std::uint64_t seed,
+                                          RoundLedger& ledger,
+                                          std::uint32_t max_phases) {
+  AMIX_CHECK(g.num_nodes() >= 1);
+  const NodeId n = g.num_nodes();
+  const std::uint64_t rounds_at_entry = ledger.total();
+  if (max_phases == 0) {
+    const auto log2n = static_cast<std::uint32_t>(
+        std::ceil(std::log2(std::max<double>(2.0, n))));
+    max_phases = 12 * (log2n + 2) + 16;
+  }
+
+  MatchingStats out;
+
+  // Termination detection: one BFS tree build (real kernel rounds), then
+  // one convergecast charge per phase.
+  const BfsTree term_tree = [&] {
+    PhaseScope scope(ledger, "matching-termination");
+    return congest::distributed_bfs_tree(g, 0, scope.ledger());
+  }();
+
+  // Per-node state. The handler for node v touches only index v, which is
+  // the kernel's synchronous contract (bit-identical at any thread count).
+  std::vector<NodeId> matched_to(n, kInvalidNode);
+  std::vector<EdgeId> matched_edge(n, kInvalidEdge);
+  std::vector<std::uint32_t> proposed_port(n, kInvalidNode);
+  std::vector<std::uint8_t> coin(n, 0);
+  std::uint32_t phase = 0;
+  std::uint32_t sub = 0;          // advanced between run_rounds(1) calls
+  std::uint64_t proposals = 0;    // kernel handlers run serially per query
+
+  const congest::SyncNetwork::Handler handler =
+      [&](NodeId v, const congest::Inbox& in, congest::Outbox& outbox) {
+        if (sub == 0) {
+          // Absorb last phase's ACCEPT (at most one: we proposed once).
+          if (proposed_port[v] != kInvalidNode) {
+            const auto slot = in.at(proposed_port[v]);
+            if (slot.has_value() && slot->a == kAccept &&
+                matched_to[v] == kInvalidNode) {
+              matched_to[v] = g.neighbor(v, proposed_port[v]);
+              matched_edge[v] = g.edge_at(v, proposed_port[v]);
+            }
+            proposed_port[v] = kInvalidNode;
+          }
+          if (matched_to[v] != kInvalidNode) return;
+          coin[v] = static_cast<std::uint8_t>(
+              keyed_u64(seed, kCoinStream,
+                        (static_cast<std::uint64_t>(phase) << 32) | v) &
+              1);
+          for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
+            outbox.send(p, {kAlive, coin[v]});
+          }
+        } else if (sub == 1) {
+          // Proposers pick one coin-0 ALIVE neighbor uniformly at random.
+          if (matched_to[v] != kInvalidNode || coin[v] != 1 || in.empty()) {
+            return;
+          }
+          std::uint32_t eligible = 0;
+          for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
+            const auto slot = in.at(p);
+            if (slot.has_value() && slot->a == kAlive && slot->b == 0) {
+              ++eligible;
+            }
+          }
+          if (eligible == 0) return;
+          std::uint32_t pick = static_cast<std::uint32_t>(
+              keyed_u64(seed, kProposeStream,
+                        (static_cast<std::uint64_t>(phase) << 32) | v) %
+              eligible);
+          for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
+            const auto slot = in.at(p);
+            if (!slot.has_value() || slot->a != kAlive || slot->b != 0) {
+              continue;
+            }
+            if (pick-- == 0) {
+              outbox.send(p, {kPropose, 0});
+              proposed_port[v] = p;
+              ++proposals;
+              return;
+            }
+          }
+        } else {
+          // Responders accept the minimum-port proposal and commit.
+          if (matched_to[v] != kInvalidNode || coin[v] != 0 || in.empty()) {
+            return;
+          }
+          for (std::uint32_t p = 0; p < in.num_ports(); ++p) {
+            const auto slot = in.at(p);
+            if (slot.has_value() && slot->a == kPropose) {
+              outbox.send(p, {kAccept, 0});
+              matched_to[v] = g.neighbor(v, p);
+              matched_edge[v] = g.edge_at(v, p);
+              return;
+            }
+          }
+        }
+      };
+
+  // An edge with both endpoints unmatched means another phase is needed —
+  // the predicate the charged convergecast evaluates.
+  const auto is_maximal = [&] {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (matched_to[g.edge_u(e)] == kInvalidNode &&
+          matched_to[g.edge_v(e)] == kInvalidNode) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  {
+    PhaseScope scope(ledger, "matching");
+    congest::SyncNetwork net(g, scope.ledger());
+    for (;;) {
+      sub = 0;
+      net.run_rounds(handler, 1);  // delivers pending ACCEPTs, sends ALIVE
+      // Each maximality check is one aggregate over the BFS tree.
+      congest::charge_pipelined_convergecast(term_tree.height, 1,
+                                             scope.ledger());
+      if (is_maximal()) break;
+      if (phase >= max_phases) break;  // cap tripped: verification fails loud
+      sub = 1;
+      net.run_rounds(handler, 1);
+      sub = 2;
+      net.run_rounds(handler, 1);
+      ++phase;
+    }
+    out.kernel_rounds = net.rounds_executed();
+  }
+
+  out.phases = phase;
+  out.proposals = proposals;
+  out.maximal = is_maximal();
+
+  // Central verification: every match mutual, every matched edge real.
+  out.consistent = true;
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId u = matched_to[v];
+    if (u == kInvalidNode) continue;
+    if (u >= n || matched_to[u] != v || matched_edge[u] != matched_edge[v] ||
+        g.other_endpoint(matched_edge[v], v) != u) {
+      out.consistent = false;
+      break;
+    }
+  }
+  if (out.consistent) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (matched_to[v] != kInvalidNode && v < matched_to[v]) {
+        out.edges.push_back(matched_edge[v]);
+      }
+    }
+    std::sort(out.edges.begin(), out.edges.end());
+  }
+
+  out.rounds = ledger.total() - rounds_at_entry;
+
+  // Ghaffari–Li matching envelope: phases vs the O(log n) expectation.
+  const auto log2n = static_cast<std::uint64_t>(
+      std::ceil(std::log2(std::max<double>(2.0, n))));
+  obs::metric_gauge_max("glmatch/phases_over_log2n_x1000",
+                        obs::ratio_x1000(out.phases, log2n));
+  obs::metric_gauge_set("matching/matched_edges", out.edges.size());
+  obs::metric_gauge_max("matching/phases", out.phases);
+  return out;
+}
+
+}  // namespace amix

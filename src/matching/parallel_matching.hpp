@@ -1,0 +1,59 @@
+#pragma once
+
+// Approximate maximum matching via the Israeli–Itai style parallel
+// proposal algorithm, run on the literal CONGEST kernel.
+//
+// This is the first of the Ghaffari–Li "transformations from parallel
+// algorithms" ops (arXiv 1805.04764): the parallel algorithm's rounds are
+// edge-local, so each one ports to O(1) CONGEST rounds directly — the
+// almost-mixing-time machinery is only needed for its *global* steps
+// (termination detection), which we run as a BFS-tree convergecast.
+//
+// One phase is three kernel rounds:
+//
+//   ALIVE    every unmatched node advertises itself with a per-phase coin
+//            (keyed_u64(seed, phase, v) — shared randomness, no state);
+//   PROPOSE  each coin-1 node picks one coin-0 ALIVE neighbor uniformly
+//            at random and proposes;
+//   ACCEPT   each coin-0 node accepts the minimum-port proposal it
+//            received and commits; the proposer commits on receipt.
+//
+// Only the accept side ever commits first, and a proposer sends exactly
+// one proposal per phase, so no node can end up in two matches — and a
+// maximal matching is a 1/2-approximation of the maximum. Phases repeat
+// until the matching is maximal (checked by a charged convergecast over
+// a BFS tree) or the phase cap trips. Expected phases: O(log n).
+//
+// Fail-loud contract: the result is centrally verified — `consistent`
+// (every match is mutual, on a real shared edge) and `maximal` (no edge
+// with both endpoints unmatched). Under kernel message drops the
+// algorithm may terminate early or inconsistently; verification then
+// reports it rather than returning a silently wrong matching.
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/round_ledger.hpp"
+#include "graph/graph.hpp"
+
+namespace amix {
+
+struct MatchingStats {
+  std::vector<EdgeId> edges;      // matched edges, ascending
+  std::uint32_t phases = 0;       // proposal phases executed
+  std::uint64_t proposals = 0;    // PROPOSE messages sent, total
+  std::uint64_t kernel_rounds = 0;  // sync-network rounds (3 per phase)
+  std::uint64_t rounds = 0;       // total charged, incl. termination casts
+  bool maximal = false;           // centrally verified
+  bool consistent = false;        // centrally verified
+};
+
+/// Run the matching to maximality (or `max_phases`; 0 derives a generous
+/// O(log n) cap). All randomness is a pure function of `seed`; charges
+/// land on `ledger` ("matching" kernel rounds + "matching-termination"
+/// casts).
+MatchingStats distributed_greedy_matching(const Graph& g, std::uint64_t seed,
+                                          RoundLedger& ledger,
+                                          std::uint32_t max_phases = 0);
+
+}  // namespace amix

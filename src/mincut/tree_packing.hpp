@@ -32,6 +32,14 @@ struct MincutStats {
   std::uint32_t trees = 0;
   std::uint64_t rounds = 0;
   EdgeId witness_tree_edge = kInvalidEdge;  // tree edge of the best cut
+  // Cost split and per-evaluation detail (filled by the distributed
+  // variant; the charged-envelope variant leaves the split at zero).
+  std::uint64_t pack_rounds = 0;      // MST runs (the packing itself)
+  std::uint64_t eval_rounds = 0;      // cut-evaluation casts
+  std::uint64_t max_tree_rounds = 0;  // costliest single packed-tree MST
+  std::uint64_t best_one_respecting = 0;
+  std::uint64_t best_two_respecting = 0;  // 0 when the scan was skipped
+  std::uint64_t min_degree = 0;           // the always-known singleton cut
 };
 
 /// `per_tree_rounds`: charged per packed tree (pass a measured distributed

@@ -33,6 +33,15 @@ BoundReport BoundChecker::check(const MetricsRegistry& m) const {
     } else if (starts_with(name, "lemma3x/")) {
       limit = c_.lemma3x_c_x1000;
       lemma = "Lemma 3.1/3.2";
+    } else if (starts_with(name, "glmatch/")) {
+      limit = c_.glmatch_c_x1000;
+      lemma = "Ghaffari-Li matching";
+    } else if (starts_with(name, "glcut/")) {
+      limit = c_.glcut_c_x1000;
+      lemma = "Ghaffari-Li min cut";
+    } else if (starts_with(name, "glsssp/")) {
+      limit = c_.glsssp_c_x1000;
+      lemma = "Ghaffari-Li SSSP";
     } else {
       continue;
     }

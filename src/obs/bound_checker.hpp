@@ -34,6 +34,26 @@ struct BoundConstants {
   /// log2(n)^2 envelope is tiny); 25x covers the measured worst case with
   /// headroom without masking an asymptotic blow-up.
   std::uint64_t lemma3x_c_x1000 = 25000;
+
+  /// Ghaffari–Li matching transformation: Israeli–Itai proposal phases
+  /// vs log2 n. The expected phase count is O(log n) with a small
+  /// constant (each phase kills a constant fraction of match-eligible
+  /// edges in expectation); 8x covers the corpus's measured worst case
+  /// with headroom.
+  std::uint64_t glmatch_c_x1000 = 8000;
+
+  /// Ghaffari–Li min cut: total tree-packing rounds vs trees x the
+  /// single most expensive packed-tree MST. Greedy packing reuses the
+  /// shared hierarchy, so total work should stay within ~1x of the
+  /// per-tree envelope times the pack size; 2x flags a pack whose later
+  /// trees degrade.
+  std::uint64_t glcut_c_x1000 = 2000;
+
+  /// Ghaffari–Li SSSP: Bellman–Ford kernel rounds vs the source's
+  /// unweighted eccentricity + 2 (the exactness certificate's quiet
+  /// round included). Weighted relaxation can re-propagate along long
+  /// hop paths, so allow up to 10x the hop radius before flagging.
+  std::uint64_t glsssp_c_x1000 = 10000;
 };
 
 struct BoundEntry {

@@ -1,29 +1,11 @@
 #include "server/mix.hpp"
 
-#include <charconv>
 #include <sstream>
 #include <utility>
 
-#include "routing/request.hpp"
 #include "util/rng.hpp"
 
 namespace amix::server {
-
-namespace {
-
-/// Read the next whitespace-separated token as a decimal u32. An absent
-/// token leaves *out at its default and succeeds; a present token that
-/// is not a full decimal u32 (junk, sign, overflow) fails — a daemon
-/// must reject it, not silently zero it the way stream extraction does.
-bool next_u32(std::istringstream& ls, std::uint32_t* out) {
-  std::string tok;
-  if (!(ls >> tok)) return true;
-  const char* const end = tok.data() + tok.size();
-  const auto [p, ec] = std::from_chars(tok.data(), end, *out);
-  return ec == std::errc() && p == end;
-}
-
-}  // namespace
 
 MixParse parse_mix_line(const Graph& g, const Weights* w,
                         const std::string& line, std::uint64_t lineno,
@@ -37,73 +19,19 @@ MixParse parse_mix_line(const Graph& g, const Weights* w,
   std::string kind;
   if (!(ls >> kind)) return MixParse::kBlank;
 
+  const engine::OpRow* row = engine::find_op(kind);
+  if (row == nullptr) {
+    if (err != nullptr) *err = "unsupported op '" + kind + "'";
+    return MixParse::kUnsupportedOp;
+  }
+
   QuerySpec spec;
   spec.seed = spec_seed;
   Rng rng(spec.seed);
-  if (kind == "mst") {
-    spec.op = MstQuery{w != nullptr ? *w : distinct_random_weights(g, rng),
-                       MstParams{}};
-    spec.label = "mst@" + std::to_string(lineno);
-  } else if (kind == "route") {
-    std::string inst = "perm";
-    ls >> inst;
-    std::uint32_t phases = 1;
-    if (!next_u32(ls, &phases)) {
-      if (err != nullptr) *err = "route phases must be a decimal u32";
-      return MixParse::kError;
-    }
-    if (phases > kMaxRoutePhases) {
-      if (err != nullptr) {
-        *err = "route phases " + std::to_string(phases) + " exceeds max " +
-               std::to_string(kMaxRoutePhases);
-      }
-      return MixParse::kError;
-    }
-    std::vector<RouteRequest> reqs;
-    if (inst == "perm") {
-      reqs = permutation_instance(g, rng);
-    } else if (inst == "demand") {
-      reqs = degree_demand_instance(g, rng);
-    } else if (inst == "a2a") {
-      reqs = all_to_all_instance(g);
-    } else {
-      if (err != nullptr) *err = "unknown route instance '" + inst + "'";
-      return MixParse::kError;
-    }
-    spec.op = RouteQuery{std::move(reqs), phases};
-    spec.label = "route-" + inst + "@" + std::to_string(lineno);
-  } else if (kind == "clique") {
-    spec.op = CliqueQuery{};
-    spec.label = "clique@" + std::to_string(lineno);
-  } else if (kind == "walks") {
-    std::uint32_t count = g.num_nodes();
-    std::uint32_t steps = 8;
-    if (!next_u32(ls, &count) || !next_u32(ls, &steps)) {
-      if (err != nullptr) *err = "walks count/steps must be decimal u32";
-      return MixParse::kError;
-    }
-    if (count > g.num_nodes()) {
-      if (err != nullptr) {
-        *err = "walks count " + std::to_string(count) +
-               " exceeds graph nodes " + std::to_string(g.num_nodes());
-      }
-      return MixParse::kError;
-    }
-    if (steps > kMaxWalkSteps) {
-      if (err != nullptr) {
-        *err = "walks steps " + std::to_string(steps) + " exceeds max " +
-               std::to_string(kMaxWalkSteps);
-      }
-      return MixParse::kError;
-    }
-    std::vector<std::uint32_t> starts(count);
-    for (std::uint32_t i = 0; i < count; ++i) {
-      starts[i] = static_cast<NodeId>(rng.next_below(g.num_nodes()));
-    }
-    spec.op = WalkQuery{std::move(starts), WalkKind::kLazy, steps};
-    spec.label = "walks@" + std::to_string(lineno);
-  } else {
-    if (err != nullptr) *err = "unknown query kind '" + kind + "'";
+  std::string parse_err;
+  engine::OpParseContext ctx{g, w, ls, rng, lineno, spec, parse_err};
+  if (!row->parse(ctx)) {
+    if (err != nullptr) *err = std::move(parse_err);
     return MixParse::kError;
   }
   *out = std::move(spec);

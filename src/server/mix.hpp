@@ -8,11 +8,20 @@
 //   route perm|demand|a2a [phases]
 //   clique
 //   walks [count] [steps]
+//   matching [phases]
+//   mincut [trees]
+//   sssp [source] [hops]
 //
 // This grammar is both amixctl's mix-file format AND the amixd wire
 // format (a query request's body is mix lines, see server/protocol.hpp),
 // so parsing lives here, shared by the workload subcommand, the daemon,
 // and the client's serial-replay verifier — one grammar, one parser.
+// The per-op parse rules themselves live in the op-registration table
+// (engine/ops.cpp): this function resolves the op word via find_op and
+// runs the row's rule, so a newly registered kind is parseable everywhere
+// at once, and an UNREGISTERED word is a distinct, typed result
+// (kUnsupportedOp) an amix/1 server can answer with its own error code —
+// old clients talking to a newer daemon degrade cleanly, and vice versa.
 //
 // Seeding stays with the caller: each parsed query runs with the
 // `spec_seed` the caller supplies (amixctl workload keys it by line
@@ -30,31 +39,29 @@
 #include <string>
 #include <vector>
 
+#include "engine/ops.hpp"
 #include "engine/query.hpp"
 #include "graph/weighted_graph.hpp"
 
 namespace amix::server {
 
-/// Grammar-level hard ceilings on wire-controlled sizes: walk step
-/// counts and route phase counts (walk count is bounded by the graph's
-/// own node count, so it needs no constant). These are part of the
-/// grammar, NOT server configuration — every parser (amixctl workload,
-/// the daemon, the client's serial-replay verifier) must agree on what
-/// is well-formed, and a daemon must never let a one-line request buy
-/// unbounded memory or CPU.
-inline constexpr std::uint32_t kMaxWalkSteps = 4096;
-inline constexpr std::uint32_t kMaxRoutePhases = 4096;
+// The grammar's hard ceilings on wire-controlled sizes moved into the op
+// table header alongside the parse rules they bound; re-exported here for
+// existing includers of the grammar.
+using engine::kMaxRoutePhases;
+using engine::kMaxWalkSteps;
 
 enum class MixParse : std::uint8_t {
-  kQuery,  // *out is a parsed spec
-  kBlank,  // comment / blank line, nothing parsed
-  kError,  // malformed; *err names the problem
+  kQuery,          // *out is a parsed spec
+  kBlank,          // comment / blank line, nothing parsed
+  kError,          // malformed; *err names the problem
+  kUnsupportedOp,  // first word is not a registered op; *err names it
 };
 
-/// Parse one mix line against `g` (weights `w` may be null: mst lines
-/// then draw distinct random weights from the spec seed). `lineno` only
-/// labels the spec ("mst@3"); `spec_seed` is the seed the query will run
-/// with.
+/// Parse one mix line against `g` (weights `w` may be null: ops that need
+/// weights then draw distinct random ones from the spec seed). `lineno`
+/// only labels the spec ("mst@3"); `spec_seed` is the seed the query will
+/// run with.
 MixParse parse_mix_line(const Graph& g, const Weights* w,
                         const std::string& line, std::uint64_t lineno,
                         std::uint64_t spec_seed, QuerySpec* out,

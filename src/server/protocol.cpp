@@ -13,7 +13,7 @@ struct CodeName {
   std::string_view name;
 };
 
-constexpr std::array<CodeName, 8> kCodeNames{{
+constexpr std::array<CodeName, 9> kCodeNames{{
     {ErrorCode::kBadRequest, "bad-request"},
     {ErrorCode::kTooLarge, "too-large"},
     {ErrorCode::kUnknownGraph, "unknown-graph"},
@@ -22,6 +22,7 @@ constexpr std::array<CodeName, 8> kCodeNames{{
     {ErrorCode::kTimeout, "timeout"},
     {ErrorCode::kShuttingDown, "shutting-down"},
     {ErrorCode::kInternal, "internal"},
+    {ErrorCode::kUnsupportedOp, "unsupported-op"},
 }};
 
 std::vector<std::string_view> split_ws(std::string_view line) {

@@ -60,6 +60,11 @@ enum class ErrorCode : std::uint8_t {
   kTimeout,           // peer stopped making progress (read or write side)
   kShuttingDown,      // server is draining
   kInternal,          // anything else; the daemon logs details
+  kUnsupportedOp,     // query line's op word is not in this server's op
+                      // table — a newer client against an older daemon
+                      // (or a typo); distinct from bad-request so clients
+                      // can degrade per-op instead of treating the whole
+                      // grammar as broken
 };
 
 const char* error_code_name(ErrorCode code);  // kebab-case wire token

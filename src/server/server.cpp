@@ -526,8 +526,9 @@ std::string Server::run_query(const RequestHeader& hdr, const GraphState& gs,
     const MixParse mp = parse_mix_line(
         gs.graph, w, body[i], hdr.base + i,
         Session::call_seed(hdr.seed, hdr.base + i), &spec, &perr);
-    if (mp == MixParse::kError) {
-      *code = ErrorCode::kBadRequest;
+    if (mp == MixParse::kError || mp == MixParse::kUnsupportedOp) {
+      *code = mp == MixParse::kUnsupportedOp ? ErrorCode::kUnsupportedOp
+                                             : ErrorCode::kBadRequest;
       *err = "body line " + std::to_string(i) + ": " + perr;
       return {};
     }

@@ -1,0 +1,63 @@
+#pragma once
+
+// Single-source shortest paths by distributed Bellman–Ford on the
+// CONGEST kernel, with an optional hop bound.
+//
+// The Ghaffari–Li catalogue (arXiv 1805.04764) reaches SSSP by
+// transforming parallel hopset/relaxation algorithms; the relaxation
+// step itself is edge-local, so it ports to one CONGEST round per
+// parallel iteration. Unbounded, the run continues to a quiet round —
+// the network-detectable certificate that no edge can relax further,
+// i.e. the distances are exact. With `max_hops = H` the run is cut off
+// after H relaxation iterations, yielding the classic hop-bounded
+// approximation (exact on all shortest paths of at most H edges): the
+// regime the transformation framework accelerates, since few iterations
+// of the parallel algorithm dominate the cost.
+//
+// Distances only ever enter the system as 0 at the source or as a
+// received distance plus a real incident-edge weight, so every finite
+// dist is the length of a real path — an upper bound on the true
+// distance — regardless of faults. Central verification then checks
+// soundness (every finite dist is witnessed by an in-edge) and, for the
+// unbounded run, exactness (`relaxed`); kernel message drops surface as
+// a failed certificate, never as a silently wrong distance.
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/round_ledger.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace amix {
+
+/// Distance of an unreached node.
+inline constexpr std::uint64_t kUnreachedDist = ~0ULL;
+
+struct SsspStats {
+  NodeId source = 0;
+  std::uint32_t max_hops = 0;       // 0 = ran to the quiet certificate
+  std::uint64_t reached = 0;        // nodes with a finite distance
+  std::uint64_t max_dist = 0;       // over reached nodes
+  std::uint64_t dist_sum = 0;       // over reached nodes
+  std::uint64_t relaxations = 0;    // distance improvements applied
+  std::uint64_t kernel_rounds = 0;
+  std::uint64_t rounds = 0;         // total charged
+  bool sound = false;               // every finite dist witnessed by an edge
+  bool relaxed = false;             // no improving edge remained (exact)
+  std::vector<std::uint64_t> dist;  // per node; kUnreachedDist if unreached
+};
+
+/// Run Bellman–Ford from `source` under `w`. `max_hops = 0` runs to the
+/// quiet round (exact distances, certified); `max_hops = H` stops after H
+/// relaxation iterations. Deterministic — the algorithm has no
+/// randomness. Charges land on `ledger` under "sssp".
+SsspStats distributed_sssp(const Graph& g, const Weights& w, NodeId source,
+                           RoundLedger& ledger, std::uint32_t max_hops = 0);
+
+/// Sequential Dijkstra oracle (tests and envelope accounting): exact
+/// distances, same kUnreachedDist convention.
+std::vector<std::uint64_t> dijkstra_distances(const Graph& g,
+                                              const Weights& w,
+                                              NodeId source);
+
+}  // namespace amix

@@ -57,6 +57,24 @@ std::vector<QuerySpec> mixed_batch(const Graph& g, Rng& rng,
     s.seed = 55;
     specs.push_back(std::move(s));
   }
+  {
+    QuerySpec s;
+    s.op = MatchingQuery{};
+    s.seed = 66;
+    specs.push_back(std::move(s));
+  }
+  {
+    QuerySpec s;
+    s.op = SsspQuery{distinct_random_weights(g, rng), 0, 0};
+    s.seed = 77;
+    specs.push_back(std::move(s));
+  }
+  if (with_clique) {  // the expensive kind rides the small-graph gate too
+    QuerySpec s;
+    s.op = MinCutQuery{2, true};
+    s.seed = 88;
+    specs.push_back(std::move(s));
+  }
   return specs;
 }
 
@@ -101,6 +119,21 @@ StandaloneRun run_standalone(const Graph& g, const Hierarchy& h,
     WalkStats s;
     const auto ends = walker.run(q->starts, q->kind, q->steps, ledger, &s);
     digest.fold_range(ends);
+  } else if (const auto* q = std::get_if<MatchingQuery>(&spec.op)) {
+    const MatchingStats s =
+        distributed_greedy_matching(g, qseed, ledger, q->max_phases);
+    digest.fold_range(s.edges);
+    digest.fold(s.phases);
+  } else if (const auto* q = std::get_if<MinCutQuery>(&spec.op)) {
+    Rng rng(qseed);
+    const MincutStats s = distributed_mincut_tree_packing(
+        h, rng, ledger, q->trees, q->two_respecting);
+    digest.fold(s.cut_value);
+    digest.fold(s.trees);
+  } else if (const auto* q = std::get_if<SsspQuery>(&spec.op)) {
+    const SsspStats s =
+        distributed_sssp(g, q->weights, q->source, ledger, q->max_hops);
+    digest.fold_range(s.dist);
   }
   out.rounds = ledger.total();
   out.digest = digest.value();
@@ -377,7 +410,7 @@ TEST(QueryEngine, EmitsEpochAndPerQuerySpans) {
     if (span.name.rfind("engine/query-", 0) == 0) ++query_spans;
   }
   EXPECT_EQ(epoch_spans, 1u);
-  EXPECT_EQ(query_spans, 4u);
+  EXPECT_EQ(query_spans, 6u);  // mst + route + walks + route + matching + sssp
 }
 
 // ---- Report serialization ----------------------------------------------
@@ -398,7 +431,8 @@ TEST(QueryReportJson, DeterministicAndFloatFree) {
   EXPECT_EQ(a.find('.'), std::string::npos) << "floats leaked into JSON";
   for (const char* key :
        {"\"queries\":[", "\"kind\":\"mst\"", "\"kind\":\"route\"",
-        "\"kind\":\"walks\"", "\"kind\":\"clique\"", "\"engine_rounds\":",
+        "\"kind\":\"walks\"", "\"kind\":\"clique\"", "\"kind\":\"matching\"",
+        "\"kind\":\"mincut\"", "\"kind\":\"sssp\"", "\"engine_rounds\":",
         "\"multiplexed_transport_rounds\":", "\"standalone_total_rounds\":",
         "\"merged_shared_groups\":", "\"phases\":{"}) {
     EXPECT_NE(a.find(key), std::string::npos) << key;

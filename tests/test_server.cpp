@@ -163,7 +163,8 @@ std::string delete_line(const Graph& g) {
   return os.str();
 }
 
-const std::vector<std::string> kMix = {"mst", "route perm", "walks 8 4"};
+const std::vector<std::string> kMix = {"mst",      "route perm", "walks 8 4",
+                                       "matching", "mincut 2",   "sssp 0 0"};
 
 TEST(Server, PingAndStatsRoundTrip) {
   TestDaemon d;
@@ -302,12 +303,33 @@ TEST(Server, BadMixLineIsTypedAndKeepsConnectionUsable) {
   Client c = d.connect();
   ResponseHeader resp;
   std::string body, err;
-  ASSERT_TRUE(c.request(query_header(), {"mst", "frobnicate 3"}, &resp, &body,
+  // Registered op, malformed argument: bad-request.
+  ASSERT_TRUE(c.request(query_header(), {"mst", "walks zzz"}, &resp, &body,
                         &err))
       << err;
   EXPECT_FALSE(resp.ok);
   EXPECT_EQ(resp.code, ErrorCode::kBadRequest);
   EXPECT_NE(resp.error_msg.find("line 1"), std::string::npos)
+      << resp.error_msg;
+
+  ASSERT_TRUE(c.request(query_header(), {"mst"}, &resp, &body, &err)) << err;
+  EXPECT_TRUE(resp.ok) << resp.error_msg;
+}
+
+TEST(Server, UnknownOpWordIsUnsupportedOpAndKeepsConnectionUsable) {
+  TestDaemon d;
+  Client c = d.connect();
+  ResponseHeader resp;
+  std::string body, err;
+  // An op word outside the registry is the DISTINCT typed error — a newer
+  // client against an older daemon can tell "this daemon lacks the op"
+  // apart from "my request is malformed" and degrade per-op.
+  ASSERT_TRUE(c.request(query_header(), {"mst", "frobnicate 3"}, &resp, &body,
+                        &err))
+      << err;
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, ErrorCode::kUnsupportedOp);
+  EXPECT_NE(resp.error_msg.find("frobnicate"), std::string::npos)
       << resp.error_msg;
 
   ASSERT_TRUE(c.request(query_header(), {"mst"}, &resp, &body, &err)) << err;

@@ -4,6 +4,9 @@
 //       families: regular (param=degree), gnp (param=avg degree),
 //                 hypercube, torus, ring, ws (param=k), ba (param=attach)
 //   amixctl info <file>
+//   amixctl ops
+//       lists every registered query op (the engine's op table): wire
+//       syntax, argument bounds, and a sample mix line per op.
 //   amixctl route <file> [--demand] [--seed S]
 //   amixctl mst <file> [--engine hier|flood|kernel|piped] [--seed S]
 //   amixctl mincut <file> [--trees T] [--seed S]
@@ -23,6 +26,10 @@
 //           route perm|demand|a2a [phases]
 //           clique
 //           walks <count> <steps>
+//           matching [phases]
+//           mincut [trees]
+//           sssp [source] [hops]
+//       (authoritative list: `amixctl ops`)
 //       prints the per-query table + amortization summary; --json writes
 //       the final BatchReport. Exits nonzero if any query failed.
 //   amixctl client <mixfile> --port P [--graph NAME] [--tenant NAME]
@@ -132,10 +139,23 @@ Args parse(int argc, char** argv) {
 }
 
 int usage() {
-  std::cerr << "usage: amixctl {generate|info|route|mst|mincut|estimate-tau|"
-               "trace|workload|client} "
+  std::cerr << "usage: amixctl {generate|info|ops|route|mst|mincut|"
+               "estimate-tau|trace|workload|client} "
                "... (see the header of tools/amixctl.cpp)\n";
   return 2;
+}
+
+// Enumerate the op-registration table: every query kind a mix file (and
+// the amixd wire) accepts, straight from the registry — this listing can
+// never lag behind what the engine actually serves.
+int cmd_ops() {
+  Table table({"op", "syntax", "bounds", "sample"});
+  for (const engine::OpRow& row : engine::op_table()) {
+    table.row().add(row.name).add(row.wire_syntax).add(row.bounds).add(
+        row.sample_line);
+  }
+  table.print_report(std::cout, "registered query ops");
+  return 0;
 }
 
 Graph make(const std::string& family, NodeId n, std::uint32_t param,
@@ -384,7 +404,8 @@ int cmd_workload(const Args& a) {
     const server::MixParse mp = server::parse_mix_line(
         g, f.weights ? &*f.weights : nullptr, line, lineno,
         keyed_u64(a.seed, 0x776f726b6c6f6164ULL, lineno), &spec, &perr);
-    AMIX_CHECK_MSG(mp != server::MixParse::kError,
+    AMIX_CHECK_MSG(mp != server::MixParse::kError &&
+                       mp != server::MixParse::kUnsupportedOp,
                    ("mix line " + std::to_string(lineno) + ": " + perr)
                        .c_str());
     if (mp == server::MixParse::kQuery) specs.push_back(std::move(spec));
@@ -539,7 +560,9 @@ int cmd_client(const Args& a) {
       const server::MixParse mp = server::parse_mix_line(
           f.graph, f.weights ? &*f.weights : nullptr, lines[i], i,
           Session::call_seed(a.seed, i), &spec, &perr);
-      AMIX_CHECK_MSG(mp != server::MixParse::kError, perr.c_str());
+      AMIX_CHECK_MSG(mp != server::MixParse::kError &&
+                         mp != server::MixParse::kUnsupportedOp,
+                     perr.c_str());
       if (mp != server::MixParse::kQuery) continue;
       execs.push_back(engine::execute_query(
           f.graph, h, spec, static_cast<std::uint32_t>(i), nullptr));
@@ -581,6 +604,7 @@ int main(int argc, char** argv) {
   const std::string cmd = a.positional.empty() ? "" : a.positional[0];
   if (cmd == "generate") return cmd_generate(a);
   if (cmd == "info") return cmd_info(a);
+  if (cmd == "ops") return cmd_ops();
   if (cmd == "route") return cmd_route(a);
   if (cmd == "mst") return cmd_mst(a);
   if (cmd == "mincut") return cmd_mincut(a);
